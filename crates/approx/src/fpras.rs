@@ -1,0 +1,461 @@
+//! The Karp–Luby FPRAS for `#Val(q)`, `q` a union of Boolean conjunctive
+//! queries (the concrete counterpart of Proposition 5.2 / Corollary 5.3).
+//!
+//! ## The witness space
+//!
+//! Fix an incomplete database `D` and a UCQ `q = q₁ ∨ … ∨ q_r`. A *witness*
+//! is a pair `(j, (f₁, …, f_m))` choosing, for every atom of the disjunct
+//! `q_j`, a fact of `D` over the same relation. The witness induces, for
+//! every variable `x` of `q_j`, an equality constraint among the table
+//! entries sitting at the positions of `x` in the chosen facts. The event
+//! `A_w` is the set of valuations satisfying those constraints; its size is
+//! a simple product (per equality class: the intersection of the involved
+//! domains, or a 0/1 factor when a constant anchors the class), and
+//!
+//! `⋃_w A_w  =  { ν : ν(D) ⊨ q }`.
+//!
+//! ## The estimator
+//!
+//! With `T = Σ_w |A_w|`, sample a witness `w` with probability `|A_w| / T`,
+//! then a valuation `ν` uniformly in `A_w`, and output `T / c(ν)` where
+//! `c(ν)` is the number of witnesses containing `ν`. The output is an
+//! unbiased estimator of `|⋃_w A_w|` bounded by `T ≤ |W| · |⋃_w A_w|`, so
+//! averaging `⌈4·|W| / ε²⌉` samples gives relative error `ε` with
+//! probability ≥ 3/4 (Chebyshev) — the guarantee required by the definition
+//! of an FPRAS in Section 5 of the paper. The total running time is
+//! polynomial in `|D|` and `1/ε` for a fixed query.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::{Rng, RngExt};
+
+use incdb_bignum::BigNat;
+use incdb_data::{Constant, DataError, IncompleteDatabase, NullId, Valuation, Value};
+use incdb_query::{Term, Ucq};
+
+/// Errors raised by the approximation algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApproxError {
+    /// A null of the database has no domain.
+    Data(DataError),
+    /// The requested accuracy is not in `(0, 1)`.
+    InvalidEpsilon,
+}
+
+impl fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxError::Data(e) => write!(f, "{e}"),
+            ApproxError::InvalidEpsilon => write!(f, "epsilon must lie strictly between 0 and 1"),
+        }
+    }
+}
+
+impl std::error::Error for ApproxError {}
+
+impl From<DataError> for ApproxError {
+    fn from(e: DataError) -> Self {
+        ApproxError::Data(e)
+    }
+}
+
+/// The outcome of a Karp–Luby estimation.
+#[derive(Debug, Clone)]
+pub struct FprasEstimate {
+    /// The estimated number of satisfying valuations.
+    pub estimate: f64,
+    /// The number of samples drawn.
+    pub samples: usize,
+    /// The number of witnesses of the instance.
+    pub witnesses: usize,
+    /// The total witness mass `T = Σ_w |A_w|` (an upper bound on the answer).
+    pub total_mass: f64,
+}
+
+/// One equality class induced by a witness: the nulls that must take a common
+/// value, the constant anchoring the class (if any), and the set of values
+/// the class may take.
+#[derive(Debug, Clone)]
+struct WitnessClass {
+    nulls: Vec<NullId>,
+    allowed: Vec<Constant>,
+}
+
+/// A preprocessed witness.
+#[derive(Debug, Clone)]
+struct Witness {
+    classes: Vec<WitnessClass>,
+    /// |A_w| as an exact natural (product over classes and free nulls).
+    weight: BigNat,
+}
+
+/// Builds all witnesses of `(db, q)`.
+fn build_witnesses(db: &IncompleteDatabase, q: &Ucq) -> Result<Vec<Witness>, ApproxError> {
+    let nulls = db.nulls();
+    let mut witnesses = Vec::new();
+
+    for disjunct in q.disjuncts() {
+        // Facts available per atom.
+        let per_atom: Vec<Vec<&Vec<Value>>> = disjunct
+            .atoms()
+            .iter()
+            .map(|atom| {
+                db.facts(atom.relation())
+                    .filter(|f| f.len() == atom.arity())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if per_atom.iter().any(Vec::is_empty) {
+            continue; // this disjunct has no witness on this database
+        }
+        // Enumerate the cartesian product of fact choices.
+        let mut indices = vec![0usize; per_atom.len()];
+        loop {
+            let chosen: Vec<&Vec<Value>> =
+                indices.iter().enumerate().map(|(i, &j)| per_atom[i][j]).collect();
+            if let Some(witness) = build_single_witness(db, disjunct, &chosen, &nulls)? {
+                witnesses.push(witness);
+            }
+            // Advance the odometer.
+            let mut pos = per_atom.len();
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                indices[pos] += 1;
+                if indices[pos] < per_atom[pos].len() {
+                    break;
+                }
+                indices[pos] = 0;
+                if pos == 0 {
+                    pos = usize::MAX;
+                    break;
+                }
+            }
+            if pos == usize::MAX {
+                break;
+            }
+        }
+    }
+    Ok(witnesses)
+}
+
+/// Builds the witness for one disjunct and one choice of facts, returning
+/// `None` when the equality constraints are unsatisfiable.
+fn build_single_witness(
+    db: &IncompleteDatabase,
+    disjunct: &incdb_query::Bcq,
+    chosen: &[&Vec<Value>],
+    all_nulls: &[NullId],
+) -> Result<Option<Witness>, ApproxError> {
+    // Group the table entries by query variable.
+    let mut groups: BTreeMap<incdb_query::Variable, Vec<Value>> = BTreeMap::new();
+    for (atom, fact) in disjunct.atoms().iter().zip(chosen.iter()) {
+        for (term, value) in atom.terms().iter().zip(fact.iter()) {
+            match term {
+                Term::Var(v) => groups.entry(v.clone()).or_default().push(*value),
+                Term::Const(expected) => match value {
+                    Value::Const(c) if c == expected => {}
+                    Value::Const(_) => return Ok(None),
+                    Value::Null(_) => {
+                        // A null forced to a constant by the query itself:
+                        // treat it as a one-null group anchored to `expected`.
+                        groups
+                            .entry(incdb_query::Variable::new(format!("__const{}", expected.id())))
+                            .or_default()
+                            .push(*value);
+                        groups
+                            .entry(incdb_query::Variable::new(format!("__const{}", expected.id())))
+                            .or_default()
+                            .push(Value::Const(*expected));
+                    }
+                },
+            }
+        }
+    }
+
+    let mut classes = Vec::new();
+    let mut constrained: Vec<NullId> = Vec::new();
+    let mut weight = BigNat::one();
+    for values in groups.values() {
+        let mut anchor: Option<Constant> = None;
+        let mut class_nulls: Vec<NullId> = Vec::new();
+        for value in values {
+            match value {
+                Value::Const(c) => match anchor {
+                    None => anchor = Some(*c),
+                    Some(prev) if prev != *c => return Ok(None),
+                    Some(_) => {}
+                },
+                Value::Null(null) => {
+                    if !class_nulls.contains(null) {
+                        class_nulls.push(*null);
+                    }
+                }
+            }
+        }
+        // Allowed values: intersection of the null domains (and the anchor).
+        let mut allowed: Option<Vec<Constant>> = None;
+        for null in &class_nulls {
+            let dom: Vec<Constant> = db.domain_of(*null)?.iter().copied().collect();
+            allowed = Some(match allowed {
+                None => dom,
+                Some(prev) => prev.into_iter().filter(|c| dom.contains(c)).collect(),
+            });
+        }
+        let allowed = match (anchor, allowed) {
+            (Some(c), Some(values)) => {
+                if values.contains(&c) {
+                    vec![c]
+                } else {
+                    return Ok(None);
+                }
+            }
+            (Some(_), None) => Vec::new(), // purely ground group: no nulls to fix
+            (None, Some(values)) => values,
+            (None, None) => Vec::new(),
+        };
+        if !class_nulls.is_empty() {
+            if allowed.is_empty() {
+                return Ok(None);
+            }
+            weight = weight * BigNat::from(allowed.len());
+            constrained.extend(class_nulls.iter().copied());
+            classes.push(WitnessClass { nulls: class_nulls, allowed });
+        }
+    }
+    // Free nulls multiply the weight by their domain size.
+    for null in all_nulls {
+        if !constrained.contains(null) {
+            let dom = db.domain_of(*null)?;
+            if dom.is_empty() {
+                return Ok(None);
+            }
+            weight = weight * BigNat::from(dom.len());
+        }
+    }
+    Ok(Some(Witness { classes, weight }))
+}
+
+/// Checks whether a valuation belongs to the event of a witness.
+fn valuation_in_witness(witness: &Witness, valuation: &Valuation) -> bool {
+    witness.classes.iter().all(|class| {
+        let values: Vec<Constant> = class
+            .nulls
+            .iter()
+            .map(|&n| valuation.get(n).expect("valuation covers every null"))
+            .collect();
+        let first = values[0];
+        values.iter().all(|&v| v == first) && class.allowed.contains(&first)
+    })
+}
+
+/// Samples a valuation uniformly from the event of a witness.
+fn sample_from_witness<R: Rng + ?Sized>(
+    db: &IncompleteDatabase,
+    witness: &Witness,
+    rng: &mut R,
+) -> Valuation {
+    let mut valuation = Valuation::new();
+    for class in &witness.classes {
+        let value = class.allowed[rng.random_range(0..class.allowed.len())];
+        for &null in &class.nulls {
+            valuation.assign(null, value);
+        }
+    }
+    for null in db.nulls() {
+        if valuation.get(null).is_none() {
+            let dom: Vec<Constant> =
+                db.domain_of(null).expect("validated database").iter().copied().collect();
+            valuation.assign(null, dom[rng.random_range(0..dom.len())]);
+        }
+    }
+    valuation
+}
+
+/// Estimates `#Val(q)(db)` with relative error `epsilon` and success
+/// probability ≥ 3/4 (the FPRAS guarantee of Section 5).
+///
+/// The running time is `O(|W|² / ε²)` valuation checks where `|W|` is the
+/// number of witnesses — polynomial in the database for a fixed query.
+pub fn karp_luby_valuations<R: Rng + ?Sized>(
+    db: &IncompleteDatabase,
+    q: &Ucq,
+    epsilon: f64,
+    rng: &mut R,
+) -> Result<FprasEstimate, ApproxError> {
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(ApproxError::InvalidEpsilon);
+    }
+    db.validate()?;
+    let witnesses = build_witnesses(db, q)?;
+    let total_mass: BigNat = witnesses.iter().map(|w| w.weight.clone()).sum();
+    if total_mass.is_zero() {
+        return Ok(FprasEstimate {
+            estimate: 0.0,
+            samples: 0,
+            witnesses: witnesses.len(),
+            total_mass: 0.0,
+        });
+    }
+    let total_mass_f = total_mass.to_f64();
+
+    // Cumulative weights for witness sampling.
+    let weights: Vec<f64> = witnesses.iter().map(|w| w.weight.to_f64()).collect();
+    let cumulative: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+
+    let samples = ((4.0 * witnesses.len() as f64) / (epsilon * epsilon)).ceil() as usize;
+    let samples = samples.max(1);
+    let mut acc = 0.0f64;
+    for _ in 0..samples {
+        // Sample a witness proportionally to its weight.
+        let target: f64 = rng.random_range(0.0..total_mass_f);
+        let index = cumulative.partition_point(|&c| c <= target).min(witnesses.len() - 1);
+        let witness = &witnesses[index];
+        let valuation = sample_from_witness(db, witness, rng);
+        let coverage = witnesses.iter().filter(|w| valuation_in_witness(w, &valuation)).count();
+        debug_assert!(coverage >= 1, "the sampled valuation lies in its own witness");
+        acc += 1.0 / coverage as f64;
+    }
+    let estimate = total_mass_f * acc / samples as f64;
+    Ok(FprasEstimate { estimate, samples, witnesses: witnesses.len(), total_mass: total_mass_f })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_core::enumerate::count_valuations_brute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+    fn c(id: u64) -> Value {
+        Value::constant(id)
+    }
+
+    fn relative_error(estimate: f64, exact: &BigNat) -> f64 {
+        let exact = exact.to_f64();
+        if exact == 0.0 {
+            estimate.abs()
+        } else {
+            (estimate - exact).abs() / exact
+        }
+    }
+
+    #[test]
+    fn figure_1_instance() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("S", vec![c(0), c(1)]).unwrap();
+        db.add_fact("S", vec![n(1), c(0)]).unwrap();
+        db.add_fact("S", vec![c(0), n(2)]).unwrap();
+        db.set_domain(incdb_data::NullId(1), [0u64, 1, 2]).unwrap();
+        db.set_domain(incdb_data::NullId(2), [0u64, 1]).unwrap();
+        let q: Ucq = "S(x,x)".parse().unwrap();
+        let exact = count_valuations_brute(&db, &q).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = karp_luby_valuations(&db, &q, 0.1, &mut rng).unwrap();
+        assert!(relative_error(result.estimate, &exact) <= 0.1, "{result:?} vs {exact}");
+        assert!(result.witnesses > 0);
+    }
+
+    #[test]
+    fn hard_pattern_instance_self_loop() {
+        // R(x,x) over a naïve uniform table (the Prop 3.4 hard case shape).
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0), n(1)]).unwrap();
+        db.add_fact("R", vec![n(1), n(2)]).unwrap();
+        db.add_fact("R", vec![n(2), n(0)]).unwrap();
+        let q: Ucq = "R(x,x)".parse().unwrap();
+        let exact = count_valuations_brute(&db, &q).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = karp_luby_valuations(&db, &q, 0.1, &mut rng).unwrap();
+        assert!(relative_error(result.estimate, &exact) <= 0.1, "{result:?} vs {exact}");
+    }
+
+    #[test]
+    fn union_of_queries() {
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        db.add_fact("S", vec![c(2)]).unwrap();
+        let q: Ucq = "R(x), S(x) | R(x), T(x)".parse().unwrap();
+        let exact = count_valuations_brute(&db, &q).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = karp_luby_valuations(&db, &q, 0.15, &mut rng).unwrap();
+        assert!(relative_error(result.estimate, &exact) <= 0.15, "{result:?} vs {exact}");
+    }
+
+    #[test]
+    fn empty_answer_is_exactly_zero() {
+        let mut db = IncompleteDatabase::new_uniform(0u64..2);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        // T is empty, so R(x) ∧ T(x) has no witness at all.
+        let q: Ucq = "R(x), T(x)".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let result = karp_luby_valuations(&db, &q, 0.2, &mut rng).unwrap();
+        assert_eq!(result.estimate, 0.0);
+        assert_eq!(result.samples, 0);
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let db = IncompleteDatabase::new_uniform(0u64..2);
+        let q: Ucq = "R(x)".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            karp_luby_valuations(&db, &q, 0.0, &mut rng).unwrap_err(),
+            ApproxError::InvalidEpsilon
+        );
+        assert_eq!(
+            karp_luby_valuations(&db, &q, 1.5, &mut rng).unwrap_err(),
+            ApproxError::InvalidEpsilon
+        );
+    }
+
+    #[test]
+    fn repeated_runs_mostly_hit_the_target_error() {
+        // The FPRAS guarantee is "within ε with probability ≥ 3/4"; over 20
+        // seeds we require at least 15 successes (the expectation is ≥ 15,
+        // and in practice the estimator is far more accurate than the bound).
+        let mut db = IncompleteDatabase::new_uniform(0u64..2);
+        db.add_fact("R", vec![n(0), n(1)]).unwrap();
+        db.add_fact("R", vec![n(1), n(2)]).unwrap();
+        db.add_fact("S", vec![n(0), n(2)]).unwrap();
+        let q: Ucq = "R(x,y), S(x,y)".parse().unwrap();
+        let exact = count_valuations_brute(&db, &q).unwrap();
+        let mut hits = 0;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = karp_luby_valuations(&db, &q, 0.2, &mut rng).unwrap();
+            if relative_error(result.estimate, &exact) <= 0.2 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 15, "only {hits}/20 runs within the error bound");
+    }
+
+    #[test]
+    fn larger_instance_stays_polynomial_and_accurate() {
+        // 12 nulls: 2^12 valuations would still be fine for brute force, but
+        // the witness count (9 per disjunct) is what the FPRAS scales with.
+        let mut db = IncompleteDatabase::new_uniform(0u64..2);
+        for i in 0..6u32 {
+            db.add_fact("R", vec![n(2 * i), n(2 * i + 1)]).unwrap();
+        }
+        let q: Ucq = "R(x,x)".parse().unwrap();
+        let exact = count_valuations_brute(&db, &q).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let result = karp_luby_valuations(&db, &q, 0.1, &mut rng).unwrap();
+        assert!(relative_error(result.estimate, &exact) <= 0.1, "{result:?} vs {exact}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # incdb-approx
+//!
+//! Randomized approximation algorithms for counting problems over incomplete
+//! databases, following Section 5 of *Counting Problems over Incomplete
+//! Databases* (Arenas, Barceló & Monet, PODS 2020).
+//!
+//! * [`karp_luby_valuations`] — a fully polynomial-time randomized
+//!   approximation scheme (FPRAS) for `#Val(q)` when `q` is a union of
+//!   Boolean conjunctive queries. The paper obtains the FPRAS abstractly by
+//!   placing the problem in SpanL (Proposition 5.2 + Theorem 5.1); here we
+//!   implement a concrete Karp–Luby union-of-events estimator with the same
+//!   guarantee, whose witness space is the set of per-atom fact choices.
+//! * [`monte_carlo_valuations`] — the naïve sampling estimator, provided as
+//!   a baseline (it is *not* an FPRAS: when the satisfying fraction is
+//!   exponentially small its relative error blows up).
+//! * [`completion_estimator`] — a heuristic estimator for the number of
+//!   completions. Theorem 5.5 / Proposition 5.6 show that no FPRAS exists
+//!   for counting completions (unless NP = RP), so this estimator carries
+//!   *no guarantee*; it is included to make that negative result observable
+//!   in the experiment harness.
+
+pub mod completion;
+pub mod fpras;
+pub mod monte_carlo;
+
+pub use completion::{completion_estimator, CompletionEstimate};
+pub use fpras::{karp_luby_valuations, ApproxError, FprasEstimate};
+pub use monte_carlo::monte_carlo_valuations;

@@ -1,0 +1,124 @@
+//! Naïve Monte-Carlo estimation of `#Val(q)` — a baseline that is *not* an
+//! FPRAS.
+//!
+//! Sampling valuations uniformly and multiplying the observed satisfaction
+//! frequency by the total number of valuations is unbiased, but its relative
+//! error depends on the satisfying fraction: when that fraction is tiny the
+//! estimator needs exponentially many samples. The benchmarks compare it to
+//! the Karp–Luby estimator of [`crate::fpras`] to illustrate why the latter
+//! is the right tool.
+
+use rand::{Rng, RngExt};
+
+use incdb_data::{Constant, IncompleteDatabase, Valuation};
+use incdb_query::BooleanQuery;
+
+use crate::fpras::ApproxError;
+
+/// Samples one valuation of `db` uniformly at random.
+pub fn sample_valuation<R: Rng + ?Sized>(db: &IncompleteDatabase, rng: &mut R) -> Valuation {
+    let mut valuation = Valuation::new();
+    for null in db.nulls() {
+        let dom: Vec<Constant> = db
+            .domain_of(null)
+            .expect("every null must have a domain")
+            .iter()
+            .copied()
+            .collect();
+        assert!(!dom.is_empty(), "cannot sample from an empty domain");
+        valuation.assign(null, dom[rng.random_range(0..dom.len())]);
+    }
+    valuation
+}
+
+/// Estimates `#Val(q)(db)` by uniform sampling of `samples` valuations.
+///
+/// The estimate is `(satisfying fraction) × (total number of valuations)`.
+/// Unbiased but with no multiplicative guarantee — see the module
+/// documentation.
+pub fn monte_carlo_valuations<Q: BooleanQuery + ?Sized, R: Rng + ?Sized>(
+    db: &IncompleteDatabase,
+    q: &Q,
+    samples: usize,
+    rng: &mut R,
+) -> Result<f64, ApproxError> {
+    db.validate()?;
+    if db.nulls().is_empty() {
+        let ground = db.apply_unchecked(&Valuation::new());
+        return Ok(if q.holds(&ground) { 1.0 } else { 0.0 });
+    }
+    let total = db.valuation_count().to_f64();
+    if total == 0.0 {
+        return Ok(0.0);
+    }
+    let samples = samples.max(1);
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let valuation = sample_valuation(db, rng);
+        if q.holds(&db.apply_unchecked(&valuation)) {
+            hits += 1;
+        }
+    }
+    Ok(total * hits as f64 / samples as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_core::enumerate::count_valuations_brute;
+    use incdb_data::Value;
+    use incdb_query::Bcq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+
+    #[test]
+    fn converges_on_a_balanced_instance() {
+        let mut db = IncompleteDatabase::new_uniform(0u64..2);
+        db.add_fact("R", vec![n(0), n(1)]).unwrap();
+        db.add_fact("R", vec![n(2), n(3)]).unwrap();
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        let exact = count_valuations_brute(&db, &q).unwrap().to_f64();
+        let mut rng = StdRng::seed_from_u64(17);
+        let estimate = monte_carlo_valuations(&db, &q, 20_000, &mut rng).unwrap();
+        assert!((estimate - exact).abs() / exact < 0.1, "{estimate} vs {exact}");
+    }
+
+    #[test]
+    fn ground_database() {
+        let mut db = IncompleteDatabase::new_uniform(0u64..2);
+        db.add_fact("R", vec![Value::constant(1), Value::constant(1)]).unwrap();
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(monte_carlo_valuations(&db, &q, 10, &mut rng).unwrap(), 1.0);
+        let q2: Bcq = "S(x)".parse().unwrap();
+        assert_eq!(monte_carlo_valuations(&db, &q2, 10, &mut rng).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sampling_respects_domains() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0), n(1)]).unwrap();
+        db.set_domain(incdb_data::NullId(0), [3u64]).unwrap();
+        db.set_domain(incdb_data::NullId(1), [4u64, 5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let v = sample_valuation(&db, &mut rng);
+            assert_eq!(v.get(incdb_data::NullId(0)), Some(incdb_data::Constant(3)));
+            let second = v.get(incdb_data::NullId(1)).unwrap();
+            assert!(second == incdb_data::Constant(4) || second == incdb_data::Constant(5));
+        }
+    }
+
+    #[test]
+    fn missing_domain_is_an_error() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0)]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(monte_carlo_valuations(&db, &q, 10, &mut rng).is_err());
+    }
+}

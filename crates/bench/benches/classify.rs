@@ -1,0 +1,83 @@
+//! Experiment E1: throughput of the Table 1 dichotomy classifier (pattern
+//! detection is linear-time, so classification of a query corpus is
+//! instantaneous — this benchmark documents that cost).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incdb_core::{classify, classify_approx, CountingProblem, Setting};
+use incdb_query::{is_pattern_of, Bcq, KnownPattern};
+
+fn corpus() -> Vec<Bcq> {
+    [
+        "R(x)",
+        "R(x,y)",
+        "R(x,x)",
+        "R(x), S(x)",
+        "R(x), S(y)",
+        "R(x), S(x,y), T(y)",
+        "R(x,y), S(x,y)",
+        "R(x,y), S(y,z)",
+        "R(x), S(x), T(x)",
+        "R(u,x,u), S(y,y), T(x,s,z,s)",
+        "A(a,b), B(b,c), C(c,d), D(d,a)",
+        "R(x,y,z), S(w), T(v,v)",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect()
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let queries = corpus();
+    c.bench_function("classify/full_table_1", |b| {
+        b.iter(|| {
+            let mut cells = 0usize;
+            for q in &queries {
+                for problem in [CountingProblem::Valuations, CountingProblem::Completions] {
+                    for setting in Setting::ALL {
+                        if classify(q, problem, setting).is_ok() {
+                            cells += 1;
+                        }
+                        let _ = classify_approx(q, problem, setting);
+                    }
+                }
+            }
+            cells
+        });
+    });
+
+    c.bench_function("classify/closed_form_patterns", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| KnownPattern::ALL.iter().filter(|p| p.matches(q)).count())
+                .sum::<usize>()
+        });
+    });
+
+    c.bench_function("classify/generic_pattern_search", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| {
+                    KnownPattern::ALL.iter().filter(|p| is_pattern_of(&p.query(), q)).count()
+                })
+                .sum::<usize>()
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_classifier
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Experiment E2 (Table 1, completion columns): the Theorem 4.6 polynomial
+//! algorithm for unary uniform schemas versus exhaustive enumeration for a
+//! binary relation (the `#Compᵘ(R(x,y))` hard cell).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdb_bench::{uniform_codd_binary, uniform_unary_completions_instance};
+use incdb_core::algorithms::comp_uniform;
+use incdb_core::enumerate::count_completions_brute;
+use incdb_query::Bcq;
+
+fn bench_tractable_unary(c: &mut Criterion) {
+    let q: Bcq = "R(x), S(x)".parse().unwrap();
+    let mut group = c.benchmark_group("comp/tractable/theorem_4_6");
+    for nulls in [2u32, 4, 6, 8] {
+        let db = uniform_unary_completions_instance(nulls, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(nulls), &db, |b, db| {
+            b.iter(|| comp_uniform::count_completions(db, &q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard_binary(c: &mut Criterion) {
+    let q: Bcq = "R(x,y)".parse().unwrap();
+    let mut group = c.benchmark_group("comp/hard/enumeration");
+    for facts in [2u32, 3, 4, 5] {
+        let db = uniform_codd_binary(facts, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(2 * facts), &db, |b, db| {
+            b.iter(|| count_completions_brute(db, &q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tractable_unary, bench_hard_binary
+}
+criterion_main!(benches);

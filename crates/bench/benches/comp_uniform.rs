@@ -1,0 +1,44 @@
+//! Experiment E11 (warm-ups B.6.1–B.6.5): the Theorem 4.6 completion
+//! counting algorithm versus brute-force enumeration as the uniform domain
+//! grows (brute force scales with d^#nulls, the closed form polynomially).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdb_bench::uniform_unary_completions_instance;
+use incdb_core::algorithms::comp_uniform;
+use incdb_core::enumerate::count_all_completions_brute;
+
+fn bench_domain_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comp_uniform/theorem_4_6_by_domain");
+    for domain in [4u64, 8, 12, 16] {
+        let db = uniform_unary_completions_instance(4, domain);
+        group.bench_with_input(BenchmarkId::from_parameter(domain), &db, |b, db| {
+            b.iter(|| comp_uniform::count_all_completions(db).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("comp_uniform/brute_force_by_domain");
+    for domain in [4u64, 6, 8, 10] {
+        let db = uniform_unary_completions_instance(4, domain);
+        group.bench_with_input(BenchmarkId::from_parameter(domain), &db, |b, db| {
+            b.iter(|| count_all_completions_brute(db).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_domain_growth
+}
+criterion_main!(benches);

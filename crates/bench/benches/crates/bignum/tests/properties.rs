@@ -1,0 +1,95 @@
+//! Property-based tests for the arbitrary-precision arithmetic: the counting
+//! algorithms lean on these laws holding exactly.
+
+use incdb_bignum::{binomial, factorial, stirling2, surjections, BigInt, BigNat, BigRat};
+use proptest::prelude::*;
+
+fn nat(v: u128) -> BigNat {
+    BigNat::from(v)
+}
+
+proptest! {
+    #[test]
+    fn addition_matches_u128(a in 0u128..=u64::MAX as u128, b in 0u128..=u64::MAX as u128) {
+        prop_assert_eq!((nat(a) + nat(b)).to_u128(), Some(a + b));
+    }
+
+    #[test]
+    fn multiplication_matches_u128(a in 0u128..=u64::MAX as u128, b in 0u128..=u64::MAX as u128) {
+        prop_assert_eq!((nat(a) * nat(b)).to_u128(), a.checked_mul(b));
+    }
+
+    #[test]
+    fn subtraction_round_trips(a in 0u128..=u64::MAX as u128, b in 0u128..=u64::MAX as u128) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let diff = nat(hi) - nat(lo);
+        prop_assert_eq!(diff + nat(lo), nat(hi));
+    }
+
+    #[test]
+    fn division_invariant(a in 0u128..u128::MAX / 2, b in 1u128..=u64::MAX as u128) {
+        let (q, r) = nat(a).div_rem(&nat(b));
+        prop_assert!(r < nat(b));
+        prop_assert_eq!(q * nat(b) + r, nat(a));
+    }
+
+    #[test]
+    fn decimal_round_trip(a in any::<u128>()) {
+        let n = nat(a);
+        let parsed: BigNat = n.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn distributivity(a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+        let (a, b, c) = (BigNat::from(a), BigNat::from(b), BigNat::from(c));
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_i128(a in -(1i128 << 80)..(1i128 << 80), b in -(1i128 << 80)..(1i128 << 80)) {
+        let (ba, bb) = (big_int(a), big_int(b));
+        prop_assert_eq!((&ba + &bb).to_i128(), Some(a + b));
+        prop_assert_eq!((&ba - &bb).to_i128(), Some(a - b));
+    }
+
+    #[test]
+    fn rational_field_laws(an in -1000i64..1000, ad in 1u64..50, bn in -1000i64..1000, bd in 1u64..50) {
+        let a = BigRat::new(BigInt::from(an), BigNat::from(ad));
+        let b = BigRat::new(BigInt::from(bn), BigNat::from(bd));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!((&a + &b) - &b, a.clone());
+        if !b.is_zero() {
+            prop_assert_eq!((&a / &b) * &b, a);
+        }
+    }
+
+    #[test]
+    fn pascal_rule(n in 1u64..40, k in 0u64..40) {
+        let k = k.min(n);
+        if k >= 1 {
+            prop_assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+        }
+    }
+
+    #[test]
+    fn surjections_factor_through_stirling(n in 0u64..10, m in 0u64..10) {
+        prop_assert_eq!(surjections(n, m), factorial(m) * stirling2(n, m));
+    }
+
+    #[test]
+    fn surjections_sum_to_total_functions(n in 0u64..8, m in 1u64..6) {
+        // Σ_k C(m, k) surj(n → k) = m^n: classify functions by image size.
+        let total: BigNat = (0..=m).map(|k| binomial(m, k) * surjections(n, k)).sum();
+        prop_assert_eq!(total, incdb_bignum::pow(m, n));
+    }
+}
+
+fn big_int(v: i128) -> BigInt {
+    if v >= 0 {
+        BigInt::from(BigNat::from(v as u128))
+    } else {
+        -BigInt::from(BigNat::from(v.unsigned_abs()))
+    }
+}

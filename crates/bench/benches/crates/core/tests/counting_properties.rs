@@ -1,0 +1,98 @@
+//! Property-based tests for the counting algorithms: on arbitrary small
+//! instances, every polynomial-time algorithm must agree with exhaustive
+//! enumeration, and the structural invariants of the two counting problems
+//! must hold.
+
+use incdb_core::algorithms::{comp_uniform, val_codd, val_nonuniform, val_uniform};
+use incdb_core::enumerate::{
+    count_all_completions_brute, count_completions_brute, count_valuations_brute,
+};
+use incdb_core::solver::{count_completions, count_valuations};
+use incdb_data::{IncompleteDatabase, Value};
+use incdb_query::Bcq;
+use proptest::prelude::*;
+
+/// Strategy: a small uniform naïve database over unary relations R, S and a
+/// binary relation T, with nulls drawn from a pool of 4 and constants from a
+/// pool of 3, uniform domain of size 2..=3.
+fn arbitrary_uniform_db() -> impl Strategy<Value = IncompleteDatabase> {
+    let value = prop_oneof![
+        (0u32..4).prop_map(Value::null),
+        (0u64..3).prop_map(Value::constant),
+    ];
+    let unary_facts = proptest::collection::vec(value.clone(), 0..4);
+    let binary_facts = proptest::collection::vec((value.clone(), value), 0..3);
+    (2u64..=3, unary_facts.clone(), unary_facts, binary_facts).prop_map(
+        |(domain, r_facts, s_facts, t_facts)| {
+            let mut db = IncompleteDatabase::new_uniform(0..domain);
+            db.declare_relation("R");
+            db.declare_relation("S");
+            db.declare_relation("T");
+            for v in r_facts {
+                db.add_fact("R", vec![v]).unwrap();
+            }
+            for v in s_facts {
+                db.add_fact("S", vec![v]).unwrap();
+            }
+            for (a, b) in t_facts {
+                db.add_fact("T", vec![a, b]).unwrap();
+            }
+            db
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_valuation_algorithm_matches_enumeration(db in arbitrary_uniform_db()) {
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        let fast = val_uniform::count_valuations(&db, &q).unwrap();
+        let brute = count_valuations_brute(&db, &q).unwrap();
+        prop_assert_eq!(fast, brute, "on {:?}", db);
+    }
+
+    #[test]
+    fn uniform_completion_algorithm_matches_enumeration(db in arbitrary_uniform_db()) {
+        // Restrict to the unary part of the instance (drop T).
+        let names: std::collections::BTreeSet<String> =
+            ["R".to_string(), "S".to_string()].into_iter().collect();
+        let db = db.restrict_to_relations(&names);
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        let fast = comp_uniform::count_completions(&db, &q).unwrap();
+        let brute = count_completions_brute(&db, &q).unwrap();
+        prop_assert_eq!(fast, brute, "on {:?}", db);
+        let fast_all = comp_uniform::count_all_completions(&db).unwrap();
+        let brute_all = count_all_completions_brute(&db).unwrap();
+        prop_assert_eq!(fast_all, brute_all, "on {:?}", db);
+    }
+
+    #[test]
+    fn single_occurrence_algorithm_matches_enumeration(db in arbitrary_uniform_db()) {
+        let q: Bcq = "R(x), T(y, z)".parse().unwrap();
+        let fast = val_nonuniform::count_valuations(&db, &q).unwrap();
+        let brute = count_valuations_brute(&db, &q).unwrap();
+        prop_assert_eq!(fast, brute, "on {:?}", db);
+    }
+
+    #[test]
+    fn codd_algorithm_matches_enumeration_on_codd_instances(db in arbitrary_uniform_db()) {
+        if db.is_codd() {
+            let q: Bcq = "T(x, x)".parse().unwrap();
+            let fast = val_codd::count_valuations(&db, &q).unwrap();
+            let brute = count_valuations_brute(&db, &q).unwrap();
+            prop_assert_eq!(fast, brute, "on {:?}", db);
+        }
+    }
+
+    #[test]
+    fn counting_invariants(db in arbitrary_uniform_db()) {
+        let q: Bcq = "R(x), S(x), T(x, y)".parse().unwrap();
+        let vals = count_valuations(&db, &q).unwrap().value;
+        let comps = count_completions(&db, &q).unwrap().value;
+        let all_vals = db.valuation_count();
+        prop_assert!(comps <= vals.clone());
+        prop_assert!(vals <= all_vals);
+    }
+}

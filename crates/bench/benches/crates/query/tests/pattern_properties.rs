@@ -1,0 +1,67 @@
+//! Property-based tests for the pattern machinery: the closed-form
+//! detectors used by the Table 1 classifier must agree with the generic
+//! Definition 3.1 decision procedure on arbitrary small queries.
+
+use incdb_query::{is_pattern_of, Atom, Bcq, KnownPattern};
+use proptest::prelude::*;
+
+/// Strategy: a random self-join-free query with at most 4 atoms of arity at
+/// most 3 over a pool of at most 5 variables.
+fn arbitrary_sjf_query() -> impl Strategy<Value = Bcq> {
+    let atom = (1usize..=3, proptest::collection::vec(0usize..5, 1..=3));
+    proptest::collection::vec(atom, 1..=4).prop_map(|spec| {
+        let atoms: Vec<Atom> = spec
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, vars))| {
+                let names: Vec<String> = vars.iter().map(|v| format!("x{v}")).collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                Atom::from_vars(format!("R{i}"), &refs)
+            })
+            .collect();
+        Bcq::new(atoms).expect("at least one atom with at least one variable")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn closed_forms_agree_with_generic_checker(q in arbitrary_sjf_query()) {
+        for pattern in KnownPattern::ALL {
+            prop_assert_eq!(
+                pattern.matches(&q),
+                is_pattern_of(&pattern.query(), &q),
+                "pattern {} on query {}", pattern, q
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_relation_is_reflexive(q in arbitrary_sjf_query()) {
+        prop_assert!(is_pattern_of(&q, &q));
+        prop_assert!(is_pattern_of(&q.canonical_form(), &q));
+    }
+
+    #[test]
+    fn deleting_an_atom_yields_a_pattern(q in arbitrary_sjf_query()) {
+        if q.atoms().len() >= 2 {
+            let smaller = Bcq::new(q.atoms()[1..].to_vec()).unwrap();
+            prop_assert!(is_pattern_of(&smaller, &q));
+        }
+    }
+
+    #[test]
+    fn table_1_monotonicity_under_atom_deletion(q in arbitrary_sjf_query()) {
+        // Hard patterns can only disappear (never appear) when deleting atoms,
+        // except for patterns about single atoms which are preserved per atom.
+        if q.atoms().len() >= 2 {
+            let smaller = Bcq::new(q.atoms()[..q.atoms().len() - 1].to_vec()).unwrap();
+            for pattern in KnownPattern::ALL {
+                if pattern.matches(&smaller) {
+                    prop_assert!(pattern.matches(&q), "pattern {} lost by adding an atom to {}", pattern, smaller);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Experiment E8 (Section 5.1): runtime of the Karp–Luby FPRAS versus exact
+//! enumeration and naïve Monte-Carlo on #P-hard valuation-counting
+//! instances. The FPRAS scales with the number of *witnesses* (polynomial in
+//! the database), while enumeration scales with the number of valuations.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdb_approx::{karp_luby_valuations, monte_carlo_valuations};
+use incdb_bench::uniform_self_loop_cycle;
+use incdb_core::enumerate::count_valuations_brute;
+use incdb_query::{Bcq, Ucq};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fpras_vs_exact(c: &mut Criterion) {
+    let q: Bcq = "R(x,x)".parse().unwrap();
+    let ucq: Ucq = q.clone().into();
+
+    let mut group = c.benchmark_group("fpras/karp_luby_eps_0.25");
+    for nulls in [6u32, 10, 14, 18] {
+        let db = uniform_self_loop_cycle(nulls, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(nulls), &db, |b, db| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| karp_luby_valuations(db, &ucq, 0.25, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fpras/exact_enumeration");
+    for nulls in [6u32, 10, 14, 18] {
+        let db = uniform_self_loop_cycle(nulls, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(nulls), &db, |b, db| {
+            b.iter(|| count_valuations_brute(db, &q).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fpras/monte_carlo_1000");
+    for nulls in [6u32, 10, 14, 18] {
+        let db = uniform_self_loop_cycle(nulls, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(nulls), &db, |b, db| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| monte_carlo_valuations(db, &q, 1000, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fpras_vs_exact
+}
+criterion_main!(benches);

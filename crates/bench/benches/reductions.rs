@@ -1,0 +1,62 @@
+//! Experiments E6/E7: end-to-end cost of the executable hardness reductions
+//! (building the incomplete database, running the counting oracle, and
+//! recovering the graph-level count).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdb_core::enumerate::{count_all_completions_brute, count_valuations_brute};
+use incdb_graph::{cycle_graph, random_graph};
+use incdb_reductions::comp_reductions::{
+    independent_sets_completions_database, independent_sets_from_completions,
+};
+use incdb_reductions::val_reductions::{
+    self_loop_query, three_colorings_database, three_colorings_from_count,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_three_colorings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/prop_3_4_three_colorings");
+    for n in [4usize, 6, 8] {
+        let g = cycle_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let db = three_colorings_database(g);
+                let satisfying = count_valuations_brute(&db, &self_loop_query()).unwrap();
+                three_colorings_from_count(g, &satisfying)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_independent_sets_completions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/prop_4_5a_independent_sets");
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [3usize, 5, 7] {
+        let g = random_graph(n, 0.4, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let db = independent_sets_completions_database(g);
+                let completions = count_all_completions_brute(&db).unwrap();
+                independent_sets_from_completions(g, &completions).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_three_colorings, bench_independent_sets_completions
+}
+criterion_main!(benches);

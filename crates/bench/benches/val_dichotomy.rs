@@ -1,0 +1,63 @@
+//! Experiment E2 (Table 1, valuation columns): wall-clock scaling of the
+//! tractable closed forms versus exhaustive enumeration as the number of
+//! nulls grows. The *shape* reproduces the dichotomy: the Theorem 3.7 / 3.9
+//! algorithms stay flat (polynomial) while enumeration explodes (its cost is
+//! the number of valuations, i.e. exponential in the number of nulls).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdb_bench::{codd_self_loop_instance, uniform_self_loop_cycle, uniform_two_unary_relations};
+use incdb_core::algorithms::{val_codd, val_uniform};
+use incdb_core::enumerate::count_valuations_brute;
+use incdb_query::Bcq;
+
+fn bench_tractable_uniform(c: &mut Criterion) {
+    let q: Bcq = "R(x), S(x)".parse().unwrap();
+    let mut group = c.benchmark_group("val/tractable/theorem_3_9");
+    for nulls in [4u32, 8, 12, 16] {
+        let db = uniform_two_unary_relations(nulls, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(2 * nulls), &db, |b, db| {
+            b.iter(|| val_uniform::count_valuations(db, &q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_tractable_codd(c: &mut Criterion) {
+    let q: Bcq = "R(x,x)".parse().unwrap();
+    let mut group = c.benchmark_group("val/tractable/theorem_3_7");
+    for facts in [4u32, 8, 16, 32] {
+        let db = codd_self_loop_instance(facts, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(2 * facts), &db, |b, db| {
+            b.iter(|| val_codd::count_valuations(db, &q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard_enumeration(c: &mut Criterion) {
+    let q: Bcq = "R(x,x)".parse().unwrap();
+    let mut group = c.benchmark_group("val/hard/enumeration");
+    for nulls in [4u32, 8, 10, 12] {
+        let db = uniform_self_loop_cycle(nulls, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(nulls), &db, |b, db| {
+            b.iter(|| count_valuations_brute(db, &q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tractable_uniform, bench_tractable_codd, bench_hard_enumeration
+}
+criterion_main!(benches);

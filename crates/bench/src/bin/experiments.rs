@@ -1,0 +1,361 @@
+//! The experiment harness: regenerates every table and figure of the paper
+//! and prints, for each, the paper's claim next to the measured outcome.
+//! `EXPERIMENTS.md` at the workspace root records a run of this binary.
+//!
+//! Run with `cargo run --release -p incdb-bench --bin experiments`.
+
+use std::time::Instant;
+
+use incdb_approx::{completion_estimator, karp_luby_valuations};
+use incdb_bench::{uniform_self_loop_cycle, uniform_two_unary_relations};
+use incdb_core::algorithms::{comp_uniform, val_uniform};
+use incdb_core::enumerate::{
+    count_all_completions_brute, count_completions_brute, count_valuations_brute,
+};
+use incdb_core::problem::problem_name;
+use incdb_core::solver::{count_completions, count_valuations};
+use incdb_core::{classify, classify_approx, CountingProblem, Setting};
+use incdb_data::{IncompleteDatabase, NullId, Value};
+use incdb_graph::{
+    complete_bipartite, complete_graph, count_independent_sets, count_proper_colorings,
+    count_pseudoforest_subsets, count_vertex_covers, cycle_graph, is_k_colorable, path_graph,
+    random_bipartite, random_graph, Multigraph,
+};
+use incdb_query::{Bcq, ConnectivityGraph, Ucq};
+use incdb_reductions::cnf::{Clause, Cnf3, Literal};
+use incdb_reductions::comp_reductions::{
+    independent_sets_completions_database, independent_sets_from_completions,
+    pseudoforest_database, three_colorability_gap_database, vertex_covers_database,
+};
+use incdb_reductions::spanp::{k3sat_database, spanp_negated_query};
+use incdb_reductions::val_reductions::{
+    avoidance_database, avoidance_from_count, bipartite_avoidance_reference, count_bis_via_oracle,
+    double_edge_query, independent_sets_double_edge_database, independent_sets_from_count,
+    independent_sets_path_database, path_query, self_loop_query, shared_variable_query,
+    three_colorings_database, three_colorings_from_count,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn header(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id} — {title}");
+    println!("================================================================");
+}
+
+fn figure_1() {
+    header("E3 / Figure 1", "Example 2.2: six valuations, #Val = 4, #Comp = 3");
+    let mut db = IncompleteDatabase::new_non_uniform();
+    db.add_fact("S", vec![Value::constant(0), Value::constant(1)]).unwrap();
+    db.add_fact("S", vec![Value::null(1), Value::constant(0)]).unwrap();
+    db.add_fact("S", vec![Value::constant(0), Value::null(2)]).unwrap();
+    db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+    db.set_domain(NullId(2), [0u64, 1]).unwrap();
+    let q: Bcq = "S(x,x)".parse().unwrap();
+    let vals = count_valuations(&db, &q).unwrap();
+    let comps = count_completions(&db, &q).unwrap();
+    println!("paper:    6 valuations, #Val(q)(D) = 4, #Comp(q)(D) = 3");
+    println!(
+        "measured: {} valuations, #Val(q)(D) = {} [{}], #Comp(q)(D) = {} [{}]",
+        db.valuation_count(),
+        vals.value,
+        vals.method,
+        comps.value,
+        comps.method
+    );
+}
+
+fn figure_2() {
+    header("E4 / Figure 2", "a multigraph and its avoiding assignments (#Avoidance)");
+    // A 5-node multigraph in the spirit of Figure 2 (the paper's figure is a
+    // drawing; we reproduce the object and the notion it illustrates).
+    let g = Multigraph::from_edges(5, &[(0, 1), (0, 1), (1, 2), (2, 3), (3, 4), (2, 4), (0, 4)]);
+    let avoiding = incdb_graph::count_avoiding_assignments(&g);
+    let total = incdb_graph::avoidance::count_all_assignments(&g);
+    println!("paper:    Figure 2 exhibits one avoiding assignment of a 5-node multigraph");
+    println!(
+        "measured: the reproduced multigraph has {total} assignments, of which {avoiding} are avoiding (> 0 as illustrated)"
+    );
+}
+
+fn figure_3() {
+    header("E5 / Figure 3", "connectivity graph of the Example A.10 query");
+    let q: Bcq =
+        "R1(x1,x1,y1,t1), R2(x1,y1,t2), S1(x2,t3), S2(x2,t4), S3(x2), T1(x3), T2(x3), T3(x3), T4(x3,t5)"
+            .parse()
+            .unwrap();
+    let g = ConnectivityGraph::of(&q);
+    let components = g.connected_components();
+    println!("paper:    three connected components {{R1,R2}}, {{S1,S2,S3}}, {{T1,...,T4}};");
+    println!("          the R1–R2 edge is labelled by two variables, so Lemma A.11 fails for it");
+    println!(
+        "measured: {} components of sizes {:?}; single-variable-clique criterion: {}",
+        components.len(),
+        components.iter().map(Vec::len).collect::<Vec<_>>(),
+        g.components_are_single_variable_cliques()
+    );
+    print!("{g}");
+}
+
+fn table_1_classification() {
+    header("E1 / Table 1", "the dichotomy classification of the named patterns");
+    let named: Vec<(&str, Bcq)> = [
+        "R(x)",
+        "R(x,y)",
+        "R(x,x)",
+        "R(x), S(x)",
+        "R(x), S(x,y), T(y)",
+        "R(x,y), S(x,y)",
+        "R(x,y), S(y,z)",
+        "R(x), S(y)",
+    ]
+    .iter()
+    .map(|s| (*s, s.parse().unwrap()))
+    .collect();
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12} {:>12}",
+        "query", "#Val", "#Valᵘ", "#Val_Cd", "#Valᵘ_Cd", "#Comp", "#Compᵘ", "#Comp_Cd", "#Compᵘ_Cd"
+    );
+    for (text, q) in &named {
+        let mut row = format!("{text:<22}");
+        for problem in [CountingProblem::Valuations, CountingProblem::Completions] {
+            for setting in [
+                Setting::ALL[0], // naïve non-uniform
+                Setting::ALL[1], // naïve uniform
+                Setting::ALL[2], // Codd non-uniform
+                Setting::ALL[3], // Codd uniform
+            ] {
+                let c = classify(q, problem, setting).unwrap();
+                row.push_str(&format!(" {:>12}", c.to_string()));
+            }
+            if problem == CountingProblem::Valuations {
+                row.push_str(" |");
+            }
+        }
+        println!("{row}");
+    }
+    println!("\npaper:    Table 1 marks exactly these patterns as the #P-hard frontiers");
+    println!("          (and counting completions is #P-hard for every sjfBCQ in the non-uniform columns).");
+
+    // Approximability (Section 5).
+    println!("\nApproximability (Section 5):");
+    for (text, q) in &named {
+        let val_status = classify_approx(q, CountingProblem::Valuations, Setting::ALL[0]).unwrap();
+        let comp_nu = classify_approx(q, CountingProblem::Completions, Setting::ALL[0]).unwrap();
+        let comp_u = classify_approx(q, CountingProblem::Completions, Setting::ALL[1]).unwrap();
+        println!(
+            "  {:<22} #Val: {:<22} #Comp: {:<28} #Compᵘ: {}",
+            text, val_status.to_string(), comp_nu.to_string(), comp_u.to_string()
+        );
+    }
+}
+
+fn table_1_scaling() {
+    header("E2 / Table 1 scaling", "tractable closed form vs enumeration (wall clock)");
+    println!("counting valuations of R(x)∧S(x) (uniform, tractable) vs R(x,x) on a naïve uniform cycle (hard):");
+    println!(
+        "{:>8} {:>18} {:>18} {:>22}",
+        "nulls", "Thm 3.9 (µs)", "enumeration (µs)", "enumeration #valuations"
+    );
+    let q_easy: Bcq = "R(x), S(x)".parse().unwrap();
+    let q_hard: Bcq = "R(x,x)".parse().unwrap();
+    for nulls in [4u32, 8, 12, 16] {
+        let easy_db = uniform_two_unary_relations(nulls, 6);
+        let start = Instant::now();
+        let _ = val_uniform::count_valuations(&easy_db, &q_easy).unwrap();
+        let easy_time = start.elapsed().as_micros();
+
+        let hard_db = uniform_self_loop_cycle(nulls, 3);
+        let start = Instant::now();
+        let _ = count_valuations_brute(&hard_db, &q_hard).unwrap();
+        let hard_time = start.elapsed().as_micros();
+        println!(
+            "{:>8} {:>18} {:>18} {:>22}",
+            2 * nulls,
+            easy_time,
+            hard_time,
+            hard_db.valuation_count().to_string()
+        );
+    }
+    println!("paper:    the FP cells scale polynomially, the #P-hard cells only admit exponential exact algorithms");
+    println!("measured: the closed-form column stays flat while the enumeration column grows with 3^n");
+}
+
+fn reductions_val() {
+    header("E6 / Prop. 3.4 + 3.5 + 3.8 + 3.11", "valuation-counting reductions recover the graph counts");
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // #3COL via #Valᵘ(R(x,x)).
+    let g = random_graph(6, 0.4, &mut rng);
+    let db = three_colorings_database(&g);
+    let recovered = three_colorings_from_count(&g, &count_valuations_brute(&db, &self_loop_query()).unwrap());
+    let direct = count_proper_colorings(&g, 3);
+    println!("Prop 3.4  #3COL  : direct = {direct:<8} recovered via #Valᵘ(R(x,x)) = {recovered}");
+
+    // #Avoidance via #Val_Cd(R(x)∧S(x)).
+    let bg = random_bipartite(3, 3, 0.8, &mut rng);
+    let db = avoidance_database(&bg);
+    let recovered = avoidance_from_count(&bg, &count_valuations_brute(&db, &shared_variable_query()).unwrap());
+    let direct = bipartite_avoidance_reference(&bg);
+    println!(
+        "Prop 3.5  #Avoid : direct = {:<8} recovered via #Val_Cd(R(x)∧S(x)) = {}",
+        direct,
+        recovered.map(|v| v.to_string()).unwrap_or_else(|| "n/a (isolated node)".to_string())
+    );
+
+    // #IS via both Prop. 3.8 encodings.
+    let g = random_graph(6, 0.35, &mut rng);
+    let direct = count_independent_sets(&g);
+    let db = independent_sets_path_database(&g);
+    let rec_path = independent_sets_from_count(&g, &count_valuations_brute(&db, &path_query()).unwrap());
+    let db = independent_sets_double_edge_database(&g);
+    let rec_double = independent_sets_from_count(&g, &count_valuations_brute(&db, &double_edge_query()).unwrap());
+    println!("Prop 3.8  #IS    : direct = {direct:<8} recovered (path pattern) = {rec_path}, (double-edge pattern) = {rec_double}");
+
+    // #BIS via the Prop. 3.11 Turing reduction.
+    let bg = random_bipartite(3, 3, 0.5, &mut rng);
+    let direct = bg.count_independent_sets();
+    let recovered = count_bis_via_oracle(&bg, |db, q| count_valuations_brute(db, q).unwrap());
+    println!("Prop 3.11 #BIS   : direct = {direct:<8} recovered via linear system = {recovered}");
+}
+
+fn reductions_comp() {
+    header("E7 / Prop. 4.2 + 4.5", "completion-counting reductions recover the graph counts");
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let g = random_graph(5, 0.5, &mut rng);
+    let db = vertex_covers_database(&g);
+    let recovered = count_all_completions_brute(&db).unwrap();
+    println!(
+        "Prop 4.2  #VC    : direct = {:<8} recovered via #Comp_Cd(R(x)) = {}",
+        count_vertex_covers(&g),
+        recovered
+    );
+
+    let g = random_graph(5, 0.4, &mut rng);
+    let db = independent_sets_completions_database(&g);
+    let completions = count_all_completions_brute(&db).unwrap();
+    let recovered = independent_sets_from_completions(&g, &completions).unwrap();
+    println!(
+        "Prop 4.5a #IS    : direct = {:<8} recovered via #Compᵘ(R(x,y)) = {} (completions = {})",
+        count_independent_sets(&g),
+        recovered,
+        completions
+    );
+
+    let bg = complete_bipartite(2, 2);
+    let db = pseudoforest_database(&bg);
+    let recovered = count_all_completions_brute(&db).unwrap();
+    println!(
+        "Prop 4.5b #PF    : direct = {:<8} recovered via #Compᵘ_Cd(R(x,y)) = {}",
+        count_pseudoforest_subsets(&bg.to_graph()),
+        recovered
+    );
+}
+
+fn fpras_experiment() {
+    header("E8 / Section 5.1", "FPRAS for #Val: accuracy and runtime");
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = random_graph(8, 0.4, &mut rng);
+    let db = independent_sets_path_database(&g);
+    let q = path_query();
+    let ucq: Ucq = q.clone().into();
+    let exact = count_valuations_brute(&db, &q).unwrap();
+    println!("instance: Prop 3.8 encoding of a random 8-node graph; exact #Val = {exact}");
+    println!("{:>8} {:>15} {:>15} {:>12} {:>10}", "ε", "estimate", "rel. error", "samples", "ms");
+    for epsilon in [0.5, 0.25, 0.1] {
+        let start = Instant::now();
+        let est = karp_luby_valuations(&db, &ucq, epsilon, &mut rng).unwrap();
+        let elapsed = start.elapsed().as_millis();
+        let err = (est.estimate - exact.to_f64()).abs() / exact.to_f64();
+        println!("{:>8} {:>15.1} {:>15.4} {:>12} {:>10}", epsilon, est.estimate, err, est.samples, elapsed);
+    }
+    println!("paper:    #Val(q) admits an FPRAS for every UCQ (Corollary 5.3): error ≤ ε with probability ≥ 3/4");
+}
+
+fn completion_gap_experiment() {
+    header("E9 / Prop. 5.6", "no FPRAS for #Comp: the 7-vs-8 gap hides 3-colourability");
+    let instances = vec![
+        ("C5 (3-colourable)", cycle_graph(5)),
+        ("K4 (not 3-colourable)", complete_graph(4)),
+        ("P4 (3-colourable)", path_graph(4)),
+    ];
+    println!("{:<26} {:>14} {:>16} {:>22}", "graph", "3-colourable?", "#completions", "estimator (500 samples)");
+    let mut rng = StdRng::seed_from_u64(3);
+    for (name, g) in instances {
+        let db = three_colorability_gap_database(&g);
+        let exact = count_all_completions_brute(&db).unwrap();
+        let est = completion_estimator(&db, &"R(x,y)".parse::<Bcq>().unwrap(), 500, &mut rng).unwrap();
+        println!(
+            "{:<26} {:>14} {:>16} {:>22.1}",
+            name,
+            is_k_colorable(&g, 3),
+            exact.to_string(),
+            est.estimate
+        );
+    }
+    println!("paper:    #completions = 8 iff the graph is 3-colourable, 7 otherwise;");
+    println!("          an FPRAS with ε = 1/16 would decide 3-colourability, so none exists unless NP = RP");
+}
+
+fn spanp_experiment() {
+    header("E10 / Theorem 6.3", "#k3SAT through the SpanP construction");
+    let f = Cnf3::new(
+        4,
+        vec![
+            Clause([Literal::pos(0), Literal::pos(1), Literal::neg(2)]),
+            Clause([Literal::neg(0), Literal::pos(2), Literal::pos(3)]),
+            Clause([Literal::neg(1), Literal::neg(3), Literal::pos(2)]),
+        ],
+    );
+    println!("formula: {f}");
+    println!("{:>4} {:>16} {:>26}", "k", "#k3SAT direct", "#Compᵘ(¬q) via reduction");
+    let negated = spanp_negated_query();
+    for k in 1..=4usize {
+        let db = k3sat_database(&f, k);
+        let recovered = count_completions_brute(&db, &negated).unwrap();
+        println!("{:>4} {:>16} {:>26}", k, f.count_k_extendable(k), recovered.to_string());
+    }
+    println!("paper:    the reduction is parsimonious, so the two columns coincide");
+}
+
+fn comp_uniform_warmups() {
+    header("E11 / Appendix B.6 warm-ups", "uniform unary completion counting: closed form vs brute force");
+    println!("{:>8} {:>8} {:>20} {:>20}", "d", "nulls", "Theorem 4.6", "brute force");
+    for (d, nulls) in [(4u64, 3u32), (6, 4), (8, 5)] {
+        let db = incdb_bench::uniform_unary_completions_instance(nulls, d);
+        let fast = comp_uniform::count_all_completions(&db).unwrap();
+        let brute = count_all_completions_brute(&db).unwrap();
+        println!("{:>8} {:>8} {:>20} {:>20}", d, db.nulls().len(), fast.to_string(), brute.to_string());
+        assert_eq!(fast, brute);
+    }
+    println!("paper:    #Compᵘ(q) is in FP whenever every atom of q is unary (Theorem 4.6)");
+}
+
+fn problem_naming_footer() {
+    println!("\nProblem naming used above: ");
+    for problem in [CountingProblem::Valuations, CountingProblem::Completions] {
+        for setting in Setting::ALL {
+            print!("  {} = {} over a {};", problem_name(problem, setting), problem, setting);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    println!("incdb experiment harness — regenerating the tables and figures of");
+    println!("\"Counting Problems over Incomplete Databases\" (Arenas, Barceló, Monet, PODS 2020)");
+    table_1_classification();
+    table_1_scaling();
+    figure_1();
+    figure_2();
+    figure_3();
+    reductions_val();
+    reductions_comp();
+    fpras_experiment();
+    completion_gap_experiment();
+    spanp_experiment();
+    comp_uniform_warmups();
+    problem_naming_footer();
+}

@@ -1,0 +1,100 @@
+//! # incdb-bench
+//!
+//! Shared instance builders for the Criterion benchmarks and the
+//! `experiments` binary that regenerates every table and figure of the
+//! paper (see `EXPERIMENTS.md` at the workspace root).
+
+use incdb_data::{IncompleteDatabase, Value};
+
+/// A `#Valᵘ(R(x) ∧ S(x))`-style instance (tractable cell of Table 1):
+/// `nulls_per_relation` nulls in each of R and S, plus one shared constant
+/// block, over a uniform domain of size `domain_size`.
+pub fn uniform_two_unary_relations(nulls_per_relation: u32, domain_size: u64) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_uniform(0..domain_size);
+    for i in 0..nulls_per_relation {
+        db.add_fact("R", vec![Value::null(i)]).unwrap();
+        db.add_fact("S", vec![Value::null(nulls_per_relation + i)]).unwrap();
+    }
+    db.add_fact("R", vec![Value::constant(0)]).unwrap();
+    db.add_fact("S", vec![Value::constant(1)]).unwrap();
+    db
+}
+
+/// A `#Valᵘ(R(x,x))`-style instance (hard cell of Table 1): a cycle of
+/// `nulls` nulls encoded as binary facts, exactly the Proposition 3.4 shape.
+pub fn uniform_self_loop_cycle(nulls: u32, domain_size: u64) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_uniform(0..domain_size);
+    for i in 0..nulls {
+        let j = (i + 1) % nulls;
+        db.add_fact("R", vec![Value::null(i), Value::null(j)]).unwrap();
+    }
+    db
+}
+
+/// A uniform Codd table with one binary relation of `facts` rows of fresh
+/// nulls — the `#Compᵘ_Cd(R(x,y))` hard cell (Proposition 4.5(b) shape).
+pub fn uniform_codd_binary(facts: u32, domain_size: u64) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_uniform(0..domain_size);
+    for i in 0..facts {
+        db.add_fact("R", vec![Value::null(2 * i), Value::null(2 * i + 1)]).unwrap();
+    }
+    db
+}
+
+/// A uniform unary instance for the Theorem 4.6 completion-counting
+/// algorithm: two unary relations sharing a few nulls.
+pub fn uniform_unary_completions_instance(nulls: u32, domain_size: u64) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_uniform(0..domain_size);
+    for i in 0..nulls {
+        db.add_fact("R", vec![Value::null(i)]).unwrap();
+        if i % 2 == 0 {
+            db.add_fact("S", vec![Value::null(i)]).unwrap();
+        } else {
+            db.add_fact("S", vec![Value::null(nulls + i)]).unwrap();
+        }
+    }
+    db.add_fact("R", vec![Value::constant(0)]).unwrap();
+    db
+}
+
+/// A non-uniform Codd instance for the Theorem 3.7 algorithm: `facts` rows
+/// `R(⊥, ⊥)` with overlapping two-element domains.
+pub fn codd_self_loop_instance(facts: u32, domain_size: u64) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_non_uniform();
+    for i in 0..facts {
+        let left = incdb_data::NullId(2 * i);
+        let right = incdb_data::NullId(2 * i + 1);
+        db.set_domain(left, 0..domain_size).unwrap();
+        db.set_domain(right, (domain_size / 2)..(domain_size + domain_size / 2)).unwrap();
+        db.add_fact("R", vec![Value::Null(left), Value::Null(right)]).unwrap();
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_the_advertised_shapes() {
+        let db = uniform_two_unary_relations(3, 4);
+        assert!(db.is_uniform());
+        assert_eq!(db.nulls().len(), 6);
+
+        let db = uniform_self_loop_cycle(5, 3);
+        assert_eq!(db.nulls().len(), 5);
+        assert!(!db.is_codd());
+
+        let db = uniform_codd_binary(4, 3);
+        assert!(db.is_codd());
+        assert_eq!(db.nulls().len(), 8);
+
+        let db = uniform_unary_completions_instance(4, 5);
+        assert!(db.is_uniform());
+
+        let db = codd_self_loop_instance(3, 4);
+        assert!(db.is_codd());
+        assert!(!db.is_uniform());
+        db.validate().unwrap();
+    }
+}

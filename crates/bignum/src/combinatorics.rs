@@ -1,0 +1,246 @@
+//! Exact counting combinatorics.
+//!
+//! These functions are the numeric backbone of the tractable counting
+//! algorithms of the paper:
+//!
+//! * [`surjections`] implements the quantity `surj(n → m)` used in Example
+//!   3.10, Proposition A.14 and Proposition 3.11:
+//!   `surj(n → m) = Σ_{i=0}^{m-1} (-1)^i · C(m, i) · (m - i)^n`.
+//! * [`binomial`] and [`pow`] appear in every closed-form counting formula of
+//!   Appendix A.3 and Appendix B.6.
+//! * [`stirling2`] is provided because `surj(n → m) = m! · S(n, m)`, which is
+//!   used as a cross-check in tests.
+
+use crate::int::BigInt;
+use crate::nat::BigNat;
+
+/// `n!` as an exact natural number.
+pub fn factorial(n: u64) -> BigNat {
+    let mut acc = BigNat::one();
+    for i in 2..=n {
+        acc = acc * BigNat::from(i);
+    }
+    acc
+}
+
+/// The binomial coefficient `C(n, k)`, with `C(n, k) = 0` whenever `k > n`.
+pub fn binomial(n: u64, k: u64) -> BigNat {
+    if k > n {
+        return BigNat::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = BigNat::one();
+    for i in 0..k {
+        // acc = acc * (n - i) / (i + 1); the division is always exact.
+        acc = acc * BigNat::from(n - i);
+        let (q, r) = acc.div_rem(&BigNat::from(i + 1));
+        debug_assert!(r.is_zero());
+        acc = q;
+    }
+    acc
+}
+
+/// The falling factorial `n · (n-1) · ... · (n-k+1)` (i.e. the number of
+/// injections from a `k`-set into an `n`-set). Returns `1` when `k = 0` and
+/// `0` when `k > n`.
+pub fn falling_factorial(n: u64, k: u64) -> BigNat {
+    if k > n {
+        return BigNat::zero();
+    }
+    let mut acc = BigNat::one();
+    for i in 0..k {
+        acc = acc * BigNat::from(n - i);
+    }
+    acc
+}
+
+/// `base^exp` as an exact natural number (with `0^0 = 1`).
+pub fn pow(base: u64, exp: u64) -> BigNat {
+    BigNat::from(base).pow(exp)
+}
+
+/// The number of surjective functions from an `n`-element set onto an
+/// `m`-element set.
+///
+/// By inclusion–exclusion, `surj(n → m) = Σ_{i=0}^{m} (-1)^i C(m, i) (m-i)^n`.
+/// Note that `surj(n → m) = 0` whenever `n < m`, `surj(0 → 0) = 1` and
+/// `surj(n → 0) = 0` for `n ≥ 1` — exactly the conventions needed by the
+/// formulas in the paper (see footnote 3 of Example 3.10).
+pub fn surjections(n: u64, m: u64) -> BigNat {
+    if m > n {
+        return BigNat::zero();
+    }
+    if m == 0 {
+        return if n == 0 { BigNat::one() } else { BigNat::zero() };
+    }
+    let mut acc = BigInt::zero();
+    for i in 0..=m {
+        let term = BigInt::from(binomial(m, i) * pow(m - i, n));
+        if i % 2 == 0 {
+            acc += term;
+        } else {
+            acc -= term;
+        }
+    }
+    debug_assert!(acc.sign() != crate::int::Sign::Negative, "surjection count must be non-negative");
+    acc.to_nat().expect("surjection count is non-negative")
+}
+
+/// Stirling numbers of the second kind `S(n, m)`: the number of ways to
+/// partition an `n`-element set into `m` non-empty unlabelled blocks.
+///
+/// Computed by the triangular recurrence `S(n, m) = m·S(n-1, m) + S(n-1, m-1)`.
+pub fn stirling2(n: u64, m: u64) -> BigNat {
+    if m > n {
+        return BigNat::zero();
+    }
+    if n == 0 {
+        return BigNat::one(); // S(0, 0) = 1
+    }
+    if m == 0 {
+        return BigNat::zero();
+    }
+    // Row-by-row DP.
+    let m_us = m as usize;
+    let mut row: Vec<BigNat> = vec![BigNat::zero(); m_us + 1];
+    row[0] = BigNat::one(); // S(0, 0)
+    for _i in 1..=n {
+        let mut next: Vec<BigNat> = vec![BigNat::zero(); m_us + 1];
+        for j in 1..=m_us {
+            let mut t = row[j].clone();
+            t.mul_u32(j as u32);
+            next[j] = t + &row[j - 1];
+        }
+        // S(i, 0) = 0 for i >= 1
+        next[0] = BigNat::zero();
+        row = next;
+    }
+    row[m_us].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small() {
+        let expected = [1u64, 1, 2, 6, 24, 120, 720, 5040];
+        for (n, &e) in expected.iter().enumerate() {
+            assert_eq!(factorial(n as u64), BigNat::from(e), "n = {n}");
+        }
+        assert_eq!(factorial(20).to_string(), "2432902008176640000");
+        assert_eq!(
+            factorial(30).to_string(),
+            "265252859812191058636308480000000"
+        );
+    }
+
+    #[test]
+    fn binomial_pascal_triangle() {
+        for n in 0..=20u64 {
+            assert_eq!(binomial(n, 0), BigNat::one());
+            assert_eq!(binomial(n, n), BigNat::one());
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k),
+                    binomial(n - 1, k - 1) + binomial(n - 1, k),
+                    "pascal failed at ({n},{k})"
+                );
+            }
+        }
+        assert_eq!(binomial(5, 7), BigNat::zero());
+        assert_eq!(binomial(50, 25).to_string(), "126410606437752");
+    }
+
+    #[test]
+    fn falling_factorial_values() {
+        assert_eq!(falling_factorial(5, 0), BigNat::one());
+        assert_eq!(falling_factorial(5, 3), BigNat::from(60u64));
+        assert_eq!(falling_factorial(5, 5), factorial(5));
+        assert_eq!(falling_factorial(3, 5), BigNat::zero());
+    }
+
+    #[test]
+    fn pow_values() {
+        assert_eq!(pow(0, 0), BigNat::one());
+        assert_eq!(pow(0, 3), BigNat::zero());
+        assert_eq!(pow(2, 10), BigNat::from(1024u64));
+        assert_eq!(pow(3, 0), BigNat::one());
+    }
+
+    #[test]
+    fn surjections_small_values() {
+        // OEIS A019538 / standard table.
+        assert_eq!(surjections(0, 0), BigNat::one());
+        assert_eq!(surjections(1, 0), BigNat::zero());
+        assert_eq!(surjections(3, 2), BigNat::from(6u64));
+        assert_eq!(surjections(4, 2), BigNat::from(14u64));
+        assert_eq!(surjections(4, 3), BigNat::from(36u64));
+        assert_eq!(surjections(5, 3), BigNat::from(150u64));
+        assert_eq!(surjections(2, 3), BigNat::zero());
+        assert_eq!(surjections(6, 6), factorial(6));
+    }
+
+    #[test]
+    fn surjections_equals_factorial_times_stirling() {
+        for n in 0..=9u64 {
+            for m in 0..=n {
+                assert_eq!(
+                    surjections(n, m),
+                    factorial(m) * stirling2(n, m),
+                    "mismatch at ({n},{m})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn surjections_brute_force() {
+        // Compare against brute-force enumeration of all functions [n] -> [m].
+        fn brute(n: u32, m: u32) -> u64 {
+            if n == 0 {
+                return if m == 0 { 1 } else { 0 };
+            }
+            let mut count = 0u64;
+            let total = (m as u64).pow(n);
+            for code in 0..total {
+                let mut c = code;
+                let mut hit = vec![false; m as usize];
+                for _ in 0..n {
+                    hit[(c % m as u64) as usize] = true;
+                    c /= m as u64;
+                }
+                if hit.iter().all(|&h| h) {
+                    count += 1;
+                }
+            }
+            count
+        }
+        for n in 1..=7u32 {
+            for m in 1..=5u32 {
+                assert_eq!(
+                    surjections(n as u64, m as u64),
+                    BigNat::from(brute(n, m)),
+                    "({n},{m})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stirling_small_values() {
+        assert_eq!(stirling2(0, 0), BigNat::one());
+        assert_eq!(stirling2(4, 2), BigNat::from(7u64));
+        assert_eq!(stirling2(5, 3), BigNat::from(25u64));
+        assert_eq!(stirling2(6, 3), BigNat::from(90u64));
+        assert_eq!(stirling2(3, 5), BigNat::zero());
+    }
+
+    #[test]
+    fn binomial_row_sums_to_power_of_two() {
+        for n in 0..=16u64 {
+            let sum: BigNat = (0..=n).map(|k| binomial(n, k)).sum();
+            assert_eq!(sum, pow(2, n));
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Arbitrary-precision signed integers built on top of [`BigNat`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use crate::nat::BigNat;
+
+/// The sign of a [`BigInt`]. Zero always has sign [`Sign::Zero`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Signed arithmetic is needed by the inclusion–exclusion formulas of the
+/// tractable counting algorithms (e.g. the surjection number
+/// `surj(n → m) = Σ (-1)^i C(m, i) (m - i)^n` of Example 3.10) and by the
+/// exact linear algebra of Proposition 3.11.
+///
+/// ```
+/// use incdb_bignum::BigInt;
+/// let a = BigInt::from(-7i64);
+/// let b = BigInt::from(12i64);
+/// assert_eq!((&a + &b).to_string(), "5");
+/// assert_eq!((&a * &b).to_string(), "-84");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    magnitude: BigNat,
+}
+
+impl BigInt {
+    /// The integer `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, magnitude: BigNat::zero() }
+    }
+
+    /// The integer `1`.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, magnitude: BigNat::one() }
+    }
+
+    /// Builds an integer from a sign and a magnitude (the sign is normalised
+    /// to [`Sign::Zero`] when the magnitude is zero).
+    pub fn from_sign_magnitude(sign: Sign, magnitude: BigNat) -> Self {
+        if magnitude.is_zero() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "non-zero magnitude with Sign::Zero");
+            BigInt { sign, magnitude }
+        }
+    }
+
+    /// Returns `true` if this integer is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` if this integer is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Returns `true` if this integer is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// The sign of this integer.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The absolute value, as a natural number.
+    pub fn magnitude(&self) -> &BigNat {
+        &self.magnitude
+    }
+
+    /// Consumes the integer and returns its absolute value.
+    pub fn into_magnitude(self) -> BigNat {
+        self.magnitude
+    }
+
+    /// Converts to a [`BigNat`], failing if the integer is negative.
+    pub fn to_nat(&self) -> Option<BigNat> {
+        if self.is_negative() {
+            None
+        } else {
+            Some(self.magnitude.clone())
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.magnitude.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i128::try_from(m).ok(),
+            Sign::Negative => {
+                if m == (i128::MAX as u128) + 1 {
+                    Some(i128::MIN)
+                } else {
+                    i128::try_from(m).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// Converts to `f64` (approximate).
+    pub fn to_f64(&self) -> f64 {
+        let m = self.magnitude.to_f64();
+        match self.sign {
+            Sign::Negative => -m,
+            _ => m,
+        }
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(&self, exp: u64) -> BigInt {
+        let magnitude = self.magnitude.pow(exp);
+        let sign = match self.sign {
+            Sign::Zero => {
+                if exp == 0 {
+                    Sign::Positive
+                } else {
+                    Sign::Zero
+                }
+            }
+            Sign::Positive => Sign::Positive,
+            Sign::Negative => {
+                if exp % 2 == 0 {
+                    Sign::Positive
+                } else {
+                    Sign::Negative
+                }
+            }
+        };
+        let magnitude = if self.is_zero() && exp == 0 { BigNat::one() } else { magnitude };
+        BigInt::from_sign_magnitude_or_zero(sign, magnitude)
+    }
+
+    fn from_sign_magnitude_or_zero(sign: Sign, magnitude: BigNat) -> Self {
+        if magnitude.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, magnitude }
+        }
+    }
+
+    fn add_ref(&self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt { sign: a, magnitude: &self.magnitude + &rhs.magnitude },
+            _ => {
+                // Opposite signs: subtract the smaller magnitude from the larger.
+                match self.magnitude.cmp(&rhs.magnitude) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => BigInt {
+                        sign: self.sign,
+                        magnitude: &self.magnitude - &rhs.magnitude,
+                    },
+                    Ordering::Less => BigInt {
+                        sign: rhs.sign,
+                        magnitude: &rhs.magnitude - &self.magnitude,
+                    },
+                }
+            }
+        }
+    }
+
+    fn mul_ref(&self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
+        BigInt { sign, magnitude: &self.magnitude * &rhs.magnitude }
+    }
+}
+
+impl From<BigNat> for BigInt {
+    fn from(n: BigNat) -> Self {
+        if n.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign: Sign::Positive, magnitude: n }
+        }
+    }
+}
+
+impl From<&BigNat> for BigInt {
+    fn from(n: &BigNat) -> Self {
+        BigInt::from(n.clone())
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt { sign: Sign::Positive, magnitude: BigNat::from(v as u64) },
+            Ordering::Less => BigInt { sign: Sign::Negative, magnitude: BigNat::from(v.unsigned_abs()) },
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from(BigNat::from(v))
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i64)
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+            Sign::Negative => Sign::Positive,
+        };
+        BigInt { sign, magnitude: self.magnitude }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+macro_rules! impl_int_binop {
+    ($trait:ident, $method:ident, $imp:expr) => {
+        impl $trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                let f: fn(&BigInt, &BigInt) -> BigInt = $imp;
+                f(self, rhs)
+            }
+        }
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+impl_int_binop!(Add, add, |a, b| a.add_ref(b));
+impl_int_binop!(Sub, sub, |a: &BigInt, b: &BigInt| a.add_ref(&(-b.clone())));
+impl_int_binop!(Mul, mul, |a, b| a.mul_ref(b));
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = self.add_ref(rhs);
+    }
+}
+impl AddAssign<BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: BigInt) {
+        *self = self.add_ref(&rhs);
+    }
+}
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = self.add_ref(&(-rhs.clone()));
+    }
+}
+impl SubAssign<BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: BigInt) {
+        *self = self.add_ref(&(-rhs));
+    }
+}
+
+impl Sum for BigInt {
+    fn sum<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |mut acc, x| {
+            acc += x;
+            acc
+        })
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(s: Sign) -> i8 {
+            match s {
+                Sign::Negative => -1,
+                Sign::Zero => 0,
+                Sign::Positive => 1,
+            }
+        }
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => self.magnitude.cmp(&other.magnitude),
+                Sign::Negative => other.magnitude.cmp(&self.magnitude),
+            },
+            o => o,
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.magnitude)
+        } else {
+            write!(f, "{}", self.magnitude)
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn arithmetic_matches_i128() {
+        let values: Vec<i64> = vec![0, 1, -1, 17, -42, i32::MAX as i64, -(i32::MAX as i64), 1 << 40];
+        for &a in &values {
+            for &b in &values {
+                assert_eq!((bi(a) + bi(b)).to_i128(), Some(a as i128 + b as i128), "{a}+{b}");
+                assert_eq!((bi(a) - bi(b)).to_i128(), Some(a as i128 - b as i128), "{a}-{b}");
+                assert_eq!((bi(a) * bi(b)).to_i128(), Some(a as i128 * b as i128), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_and_sign() {
+        assert!(bi(0).is_zero());
+        assert!(bi(5).is_positive());
+        assert!(bi(-5).is_negative());
+        assert_eq!(-bi(5), bi(-5));
+        assert_eq!(-bi(0), bi(0));
+        assert_eq!(bi(-3).sign(), Sign::Negative);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bi(-10) < bi(-3));
+        assert!(bi(-3) < bi(0));
+        assert!(bi(0) < bi(7));
+        assert!(bi(7) < bi(100));
+    }
+
+    #[test]
+    fn pow_signs() {
+        assert_eq!(bi(-2).pow(3), bi(-8));
+        assert_eq!(bi(-2).pow(4), bi(16));
+        assert_eq!(bi(0).pow(0), bi(1));
+        assert_eq!(bi(0).pow(5), bi(0));
+    }
+
+    #[test]
+    fn to_nat() {
+        assert_eq!(bi(5).to_nat(), Some(BigNat::from(5u64)));
+        assert_eq!(bi(0).to_nat(), Some(BigNat::zero()));
+        assert_eq!(bi(-5).to_nat(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(bi(-12345).to_string(), "-12345");
+        assert_eq!(bi(0).to_string(), "0");
+        assert_eq!(bi(987).to_string(), "987");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let s: BigInt = vec![bi(1), bi(-2), bi(3), bi(-4)].into_iter().sum();
+        assert_eq!(s, bi(-2));
+    }
+}

@@ -1,0 +1,41 @@
+//! # incdb-bignum
+//!
+//! Arbitrary-precision arithmetic and counting combinatorics for the `incdb`
+//! workspace.
+//!
+//! Counting problems over incomplete databases produce numbers that overflow
+//! machine integers almost immediately: the number of valuations of an
+//! incomplete database is the product of the domain sizes of its nulls, and
+//! the number of completions can be of the same order. The dichotomy
+//! algorithms of Arenas, Barceló and Monet (PODS 2020) further require exact
+//! binomial coefficients, surjection numbers and — for the Turing reduction of
+//! Proposition 3.11 — the exact inversion of a matrix of surjection numbers.
+//!
+//! This crate therefore provides, from scratch and with no external
+//! dependencies:
+//!
+//! * [`BigNat`] — arbitrary-precision natural numbers (unsigned),
+//! * [`BigInt`] — arbitrary-precision signed integers,
+//! * [`BigRat`] — arbitrary-precision rationals (always normalised),
+//! * [`combinatorics`] — factorials, binomial coefficients, surjection
+//!   numbers `surj(n → m)`, Stirling numbers of the second kind and falling
+//!   factorials,
+//! * [`linalg`] — exact Gaussian elimination over [`BigRat`], used to invert
+//!   the linear system of Proposition 3.11.
+//!
+//! The representation is deliberately simple (base `2^32` limbs, schoolbook
+//! multiplication, binary long division): the numbers manipulated by the
+//! counting algorithms have at most a few thousand bits, so asymptotically
+//! fancier algorithms would not pay for their complexity here.
+
+pub mod combinatorics;
+pub mod int;
+pub mod linalg;
+pub mod nat;
+pub mod rat;
+
+pub use combinatorics::{binomial, factorial, falling_factorial, pow, stirling2, surjections};
+pub use int::{BigInt, Sign};
+pub use linalg::{solve_linear_system, Matrix};
+pub use nat::BigNat;
+pub use rat::BigRat;

@@ -1,0 +1,266 @@
+//! Exact linear algebra over [`BigRat`].
+//!
+//! The Turing reduction of Proposition 3.11 (hardness of
+//! `#Valᵘ_Cd(R(x) ∧ S(x,y) ∧ T(y))`) calls the counting oracle `(n/2 + 1)²`
+//! times and recovers the number of independent sets of a bipartite graph by
+//! solving a linear system `A·Z = C` whose matrix `A` is a Kronecker product
+//! of triangular matrices of surjection numbers. Inverting that system
+//! requires exact rational arithmetic, which this module provides via
+//! fraction-free-ish Gaussian elimination with partial (non-zero) pivoting.
+
+use std::fmt;
+
+use crate::rat::BigRat;
+
+/// A dense matrix of exact rationals.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<BigRat>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![BigRat::zero(); rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, BigRat::one());
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major vector of entries.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<BigRat>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data has the wrong length");
+        Matrix { rows, cols, data }
+    }
+
+    /// The number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> &BigRat {
+        &self.data[i * self.cols + j]
+    }
+
+    /// Sets entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: BigRat) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &[BigRat]) -> Vec<BigRat> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = BigRat::zero();
+                for j in 0..self.cols {
+                    acc = acc + self.get(i, j) * &v[j];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// The Kronecker (tensor) product `self ⊗ other`.
+    ///
+    /// Used to build the `(n+1)² × (n+1)²` matrix `A' ⊗ A'` of
+    /// Proposition 3.11 from the `(n+1) × (n+1)` surjection-number matrix `A'`.
+    pub fn kronecker(&self, other: &Matrix) -> Matrix {
+        let rows = self.rows * other.rows;
+        let cols = self.cols * other.cols;
+        let mut out = Matrix::zeros(rows, cols);
+        for i1 in 0..self.rows {
+            for j1 in 0..self.cols {
+                let a = self.get(i1, j1).clone();
+                if a.is_zero() {
+                    continue;
+                }
+                for i2 in 0..other.rows {
+                    for j2 in 0..other.cols {
+                        let v = &a * other.get(i2, j2);
+                        out.set(i1 * other.rows + i2, j1 * other.cols + j2, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            let row: Vec<String> = (0..self.cols).map(|j| self.get(i, j).to_string()).collect();
+            writeln!(f, "  [{}]", row.join(", "))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Error returned by [`solve_linear_system`] when the matrix is singular.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "the linear system has a singular coefficient matrix")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Solves the square linear system `A · x = b` exactly by Gaussian
+/// elimination over the rationals.
+///
+/// Returns `Err(SingularMatrix)` if `A` is singular.
+pub fn solve_linear_system(a: &Matrix, b: &[BigRat]) -> Result<Vec<BigRat>, SingularMatrix> {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    assert_eq!(a.rows(), b.len(), "dimension mismatch");
+    let n = a.rows();
+    // Augmented matrix.
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Find a pivot row.
+        let pivot_row = (col..n).find(|&r| !m.get(r, col).is_zero()).ok_or(SingularMatrix)?;
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = m.get(col, j).clone();
+                m.set(col, j, m.get(pivot_row, j).clone());
+                m.set(pivot_row, j, tmp);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m.get(col, col).clone();
+        // Normalise the pivot row.
+        for j in col..n {
+            let v = m.get(col, j) / &pivot;
+            m.set(col, j, v);
+        }
+        rhs[col] = &rhs[col] / &pivot;
+        // Eliminate below and above.
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = m.get(row, col).clone();
+            if factor.is_zero() {
+                continue;
+            }
+            for j in col..n {
+                let v = m.get(row, j) - &factor * m.get(col, j);
+                m.set(row, j, v);
+            }
+            rhs[row] = &rhs[row] - &factor * &rhs[col];
+        }
+    }
+    Ok(rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinatorics::surjections;
+    use crate::int::BigInt;
+    use crate::nat::BigNat;
+
+    fn r(n: i64) -> BigRat {
+        BigRat::from_int(BigInt::from(n))
+    }
+
+    #[test]
+    fn solve_2x2() {
+        // x + 2y = 5 ; 3x - y = 1  => x = 1, y = 2
+        let a = Matrix::from_rows(2, 2, vec![r(1), r(2), r(3), r(-1)]);
+        let b = vec![r(5), r(1)];
+        let x = solve_linear_system(&a, &b).unwrap();
+        assert_eq!(x, vec![r(1), r(2)]);
+    }
+
+    #[test]
+    fn solve_with_row_swap() {
+        // 0x + y = 3 ; 2x + y = 7 => x = 2, y = 3
+        let a = Matrix::from_rows(2, 2, vec![r(0), r(1), r(2), r(1)]);
+        let b = vec![r(3), r(7)];
+        let x = solve_linear_system(&a, &b).unwrap();
+        assert_eq!(x, vec![r(2), r(3)]);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(2, 2, vec![r(1), r(2), r(2), r(4)]);
+        let b = vec![r(1), r(2)];
+        assert_eq!(solve_linear_system(&a, &b), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn identity_and_mul_vec() {
+        let id = Matrix::identity(3);
+        let v = vec![r(4), r(-1), r(9)];
+        assert_eq!(id.mul_vec(&v), v);
+    }
+
+    #[test]
+    fn solve_then_check_residual() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![r(2), r(1), r(-1), r(-3), r(-1), r(2), r(-2), r(1), r(2)],
+        );
+        let b = vec![r(8), r(-11), r(-3)];
+        let x = solve_linear_system(&a, &b).unwrap();
+        assert_eq!(a.mul_vec(&x), b);
+        assert_eq!(x, vec![r(2), r(3), r(-1)]);
+    }
+
+    #[test]
+    fn kronecker_product_dimensions_and_values() {
+        let a = Matrix::from_rows(2, 2, vec![r(1), r(2), r(3), r(4)]);
+        let b = Matrix::from_rows(2, 2, vec![r(0), r(5), r(6), r(7)]);
+        let k = a.kronecker(&b);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k.cols(), 4);
+        assert_eq!(k.get(0, 1), &r(5)); // a00*b01
+        assert_eq!(k.get(2, 0), &r(0)); // a10*b00
+        assert_eq!(k.get(3, 3), &r(28)); // a11*b11
+        assert_eq!(k.get(1, 2), &r(12)); // a01*b10
+    }
+
+    #[test]
+    fn surjection_matrix_is_invertible() {
+        // The matrix A' of Proposition 3.11: A'[a][i] = surj(a -> i), which is
+        // lower triangular with non-zero diagonal (surj(a -> a) = a!), hence
+        // invertible — and so is its Kronecker square.
+        let n = 4usize;
+        let mut a = Matrix::zeros(n + 1, n + 1);
+        for i in 0..=n {
+            for j in 0..=n {
+                a.set(i, j, BigRat::from_nat(surjections(i as u64, j as u64)));
+            }
+        }
+        let big = a.kronecker(&a);
+        // Solve against an arbitrary right-hand side and check the residual.
+        let b: Vec<BigRat> = (0..big.rows()).map(|i| BigRat::from(BigNat::from(i as u64 * 3 + 1))).collect();
+        let x = solve_linear_system(&big, &b).unwrap();
+        assert_eq!(big.mul_vec(&x), b);
+    }
+}

@@ -1,0 +1,691 @@
+//! Arbitrary-precision natural numbers.
+//!
+//! [`BigNat`] stores a natural number as little-endian base-`2^32` limbs with
+//! no trailing zero limb (the canonical representation of zero is the empty
+//! limb vector). All operations are exact; subtraction panics on underflow
+//! (use [`BigNat::checked_sub`] when underflow is a legitimate outcome).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+const BASE_BITS: u32 = 32;
+
+/// An arbitrary-precision natural number (non-negative integer).
+///
+/// ```
+/// use incdb_bignum::BigNat;
+/// let a = BigNat::from(10u64).pow(30);
+/// let b = BigNat::from(2u64).pow(100);
+/// assert!(b > a);
+/// assert_eq!((&a * &b).to_string().len(), 61);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigNat {
+    /// Little-endian limbs, base 2^32, no trailing zeros.
+    limbs: Vec<u32>,
+}
+
+impl BigNat {
+    /// The natural number `0`.
+    pub fn zero() -> Self {
+        BigNat { limbs: Vec::new() }
+    }
+
+    /// The natural number `1`.
+    pub fn one() -> Self {
+        BigNat { limbs: vec![1] }
+    }
+
+    /// Returns `true` if this number is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if this number is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Builds a value from raw little-endian base-`2^32` limbs.
+    pub fn from_limbs(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigNat { limbs }
+    }
+
+    /// The number of significant bits (`0` has zero bits).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * BASE_BITS as usize + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / BASE_BITS as usize;
+        let off = i % BASE_BITS as usize;
+        match self.limbs.get(limb) {
+            Some(&l) => (l >> off) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut v: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            v |= (l as u128) << (32 * i);
+        }
+        Some(v)
+    }
+
+    /// Converts to `f64` (may lose precision or overflow to infinity).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            v = v * 4294967296.0 + l as f64;
+        }
+        v
+    }
+
+    /// Addition, in place.
+    fn add_assign_ref(&mut self, rhs: &BigNat) {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let r = *rhs.limbs.get(i).unwrap_or(&0) as u64;
+            let sum = self.limbs[i] as u64 + r + carry;
+            self.limbs[i] = sum as u32;
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    /// Subtraction. Returns `None` if `rhs > self`.
+    pub fn checked_sub(&self, rhs: &BigNat) -> Option<BigNat> {
+        if self < rhs {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = 0i64;
+        for i in 0..limbs.len() {
+            let r = *rhs.limbs.get(i).unwrap_or(&0) as i64;
+            let mut diff = limbs[i] as i64 - r - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            limbs[i] = diff as u32;
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigNat::from_limbs(limbs))
+    }
+
+    /// Saturating subtraction: returns `0` instead of underflowing.
+    pub fn saturating_sub(&self, rhs: &BigNat) -> BigNat {
+        self.checked_sub(rhs).unwrap_or_else(BigNat::zero)
+    }
+
+    /// Multiplication by a single `u32`, in place.
+    pub fn mul_u32(&mut self, m: u32) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u64;
+        for limb in self.limbs.iter_mut() {
+            let prod = *limb as u64 * m as u64 + carry;
+            *limb = prod as u32;
+            carry = prod >> 32;
+        }
+        if carry > 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    /// Addition of a single `u32`, in place.
+    pub fn add_u32(&mut self, a: u32) {
+        let mut carry = a as u64;
+        let mut i = 0;
+        while carry > 0 {
+            if i == self.limbs.len() {
+                self.limbs.push(0);
+            }
+            let sum = self.limbs[i] as u64 + carry;
+            self.limbs[i] = sum as u32;
+            carry = sum >> 32;
+            i += 1;
+        }
+    }
+
+    /// Divides in place by a single non-zero `u32`, returning the remainder.
+    pub fn div_rem_u32(&mut self, d: u32) -> u32 {
+        assert!(d != 0, "division by zero");
+        let mut rem = 0u64;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 32) | *limb as u64;
+            *limb = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        rem as u32
+    }
+
+    /// Schoolbook multiplication.
+    fn mul_ref(&self, rhs: &BigNat) -> BigNat {
+        if self.is_zero() || rhs.is_zero() {
+            return BigNat::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        BigNat::from_limbs(out)
+    }
+
+    /// Left shift by `bits` bits.
+    pub fn shl_bits(&self, bits: usize) -> BigNat {
+        if self.is_zero() {
+            return BigNat::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = (bits % 32) as u32;
+        let mut limbs = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = (l >> (32 - bit_shift)) as u32;
+            }
+            if carry > 0 {
+                limbs.push(carry);
+            }
+        }
+        BigNat::from_limbs(limbs)
+    }
+
+    /// Right shift by `bits` bits.
+    pub fn shr_bits(&self, bits: usize) -> BigNat {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigNat::zero();
+        }
+        let bit_shift = (bits % 32) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() { src[i + 1] << (32 - bit_shift) } else { 0 };
+                limbs.push(lo | hi);
+            }
+        }
+        BigNat::from_limbs(limbs)
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)`.
+    ///
+    /// Uses binary long division, which is entirely adequate for the operand
+    /// sizes produced by the counting algorithms.
+    pub fn div_rem(&self, divisor: &BigNat) -> (BigNat, BigNat) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigNat::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let mut q = self.clone();
+            let r = q.div_rem_u32(divisor.limbs[0]);
+            return (q, BigNat::from(r as u64));
+        }
+        let n = self.bit_len();
+        let mut quotient = BigNat::zero();
+        let mut remainder = BigNat::zero();
+        for i in (0..n).rev() {
+            remainder = remainder.shl_bits(1);
+            if self.bit(i) {
+                remainder.add_u32(1);
+            }
+            if &remainder >= divisor {
+                remainder = remainder.checked_sub(divisor).expect("remainder >= divisor");
+                // set bit i of quotient
+                let limb = i / 32;
+                if quotient.limbs.len() <= limb {
+                    quotient.limbs.resize(limb + 1, 0);
+                }
+                quotient.limbs[limb] |= 1 << (i % 32);
+            }
+        }
+        (BigNat::from_limbs(quotient.limbs), remainder)
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(&self, mut exp: u64) -> BigNat {
+        let mut base = self.clone();
+        let mut acc = BigNat::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        acc
+    }
+
+    /// Greatest common divisor (Euclid's algorithm).
+    pub fn gcd(&self, other: &BigNat) -> BigNat {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+}
+
+impl From<u64> for BigNat {
+    fn from(v: u64) -> Self {
+        let mut limbs = vec![v as u32, (v >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigNat { limbs }
+    }
+}
+
+impl From<u32> for BigNat {
+    fn from(v: u32) -> Self {
+        BigNat::from(v as u64)
+    }
+}
+
+impl From<usize> for BigNat {
+    fn from(v: usize) -> Self {
+        BigNat::from(v as u64)
+    }
+}
+
+impl From<u128> for BigNat {
+    fn from(v: u128) -> Self {
+        let mut limbs = vec![v as u32, (v >> 32) as u32, (v >> 64) as u32, (v >> 96) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigNat { limbs }
+    }
+}
+
+impl PartialOrd for BigNat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigNat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $imp:expr) => {
+        impl $trait<&BigNat> for &BigNat {
+            type Output = BigNat;
+            fn $method(self, rhs: &BigNat) -> BigNat {
+                let f: fn(&BigNat, &BigNat) -> BigNat = $imp;
+                f(self, rhs)
+            }
+        }
+        impl $trait<BigNat> for BigNat {
+            type Output = BigNat;
+            fn $method(self, rhs: BigNat) -> BigNat {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigNat> for BigNat {
+            type Output = BigNat;
+            fn $method(self, rhs: &BigNat) -> BigNat {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigNat> for &BigNat {
+            type Output = BigNat;
+            fn $method(self, rhs: BigNat) -> BigNat {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, |a, b| {
+    let mut out = a.clone();
+    out.add_assign_ref(b);
+    out
+});
+impl_binop!(Mul, mul, |a, b| a.mul_ref(b));
+impl_binop!(Sub, sub, |a: &BigNat, b: &BigNat| a
+    .checked_sub(b)
+    .expect("BigNat subtraction underflow"));
+
+impl AddAssign<&BigNat> for BigNat {
+    fn add_assign(&mut self, rhs: &BigNat) {
+        self.add_assign_ref(rhs);
+    }
+}
+impl AddAssign<BigNat> for BigNat {
+    fn add_assign(&mut self, rhs: BigNat) {
+        self.add_assign_ref(&rhs);
+    }
+}
+impl MulAssign<&BigNat> for BigNat {
+    fn mul_assign(&mut self, rhs: &BigNat) {
+        *self = self.mul_ref(rhs);
+    }
+}
+impl MulAssign<BigNat> for BigNat {
+    fn mul_assign(&mut self, rhs: BigNat) {
+        *self = self.mul_ref(&rhs);
+    }
+}
+impl SubAssign<&BigNat> for BigNat {
+    fn sub_assign(&mut self, rhs: &BigNat) {
+        *self = self.checked_sub(rhs).expect("BigNat subtraction underflow");
+    }
+}
+impl SubAssign<BigNat> for BigNat {
+    fn sub_assign(&mut self, rhs: BigNat) {
+        *self -= &rhs;
+    }
+}
+
+impl Shl<usize> for &BigNat {
+    type Output = BigNat;
+    fn shl(self, bits: usize) -> BigNat {
+        self.shl_bits(bits)
+    }
+}
+impl Shr<usize> for &BigNat {
+    type Output = BigNat;
+    fn shr(self, bits: usize) -> BigNat {
+        self.shr_bits(bits)
+    }
+}
+
+impl Sum for BigNat {
+    fn sum<I: Iterator<Item = BigNat>>(iter: I) -> BigNat {
+        iter.fold(BigNat::zero(), |mut acc, x| {
+            acc += x;
+            acc
+        })
+    }
+}
+
+impl<'a> Sum<&'a BigNat> for BigNat {
+    fn sum<I: Iterator<Item = &'a BigNat>>(iter: I) -> BigNat {
+        iter.fold(BigNat::zero(), |mut acc, x| {
+            acc += x;
+            acc
+        })
+    }
+}
+
+impl Product for BigNat {
+    fn product<I: Iterator<Item = BigNat>>(iter: I) -> BigNat {
+        iter.fold(BigNat::one(), |acc, x| acc * x)
+    }
+}
+
+impl fmt::Display for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeatedly divide by 10^9 to extract decimal chunks.
+        let mut chunks: Vec<u32> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            chunks.push(cur.div_rem_u32(1_000_000_000));
+        }
+        let mut s = String::new();
+        for (i, chunk) in chunks.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&chunk.to_string());
+            } else {
+                s.push_str(&format!("{chunk:09}"));
+            }
+        }
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Debug for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigNat({self})")
+    }
+}
+
+/// Error returned when parsing a [`BigNat`] from a malformed decimal string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigNatError;
+
+impl fmt::Display for ParseBigNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal natural number")
+    }
+}
+
+impl std::error::Error for ParseBigNatError {}
+
+impl FromStr for BigNat {
+    type Err = ParseBigNatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigNatError);
+        }
+        let mut out = BigNat::zero();
+        for b in s.bytes() {
+            out.mul_u32(10);
+            out.add_u32((b - b'0') as u32);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigNat::zero().is_zero());
+        assert!(BigNat::one().is_one());
+        assert_eq!(BigNat::zero().to_string(), "0");
+        assert_eq!(BigNat::one().to_string(), "1");
+        assert_eq!(BigNat::from(0u64), BigNat::zero());
+    }
+
+    #[test]
+    fn small_arithmetic_matches_u128() {
+        let pairs: Vec<(u128, u128)> = vec![
+            (0, 0),
+            (1, 1),
+            (12345, 678910),
+            (u64::MAX as u128, 2),
+            (u64::MAX as u128, u64::MAX as u128),
+            (1 << 100, 3),
+        ];
+        for (a, b) in pairs {
+            let ba = BigNat::from(a);
+            let bb = BigNat::from(b);
+            assert_eq!((&ba + &bb).to_u128(), a.checked_add(b));
+            assert_eq!((&ba * &bb).to_u128(), a.checked_mul(b));
+            if a >= b {
+                assert_eq!((&ba - &bb).to_u128(), Some(a - b));
+            }
+            if b != 0 {
+                let (q, r) = ba.div_rem(&bb);
+                assert_eq!(q.to_u128(), Some(a / b));
+                assert_eq!(r.to_u128(), Some(a % b));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_and_display() {
+        let two_64 = BigNat::from(2u64).pow(64);
+        assert_eq!(two_64.to_string(), "18446744073709551616");
+        let ten_30 = BigNat::from(10u64).pow(30);
+        assert_eq!(ten_30.to_string(), "1000000000000000000000000000000");
+        assert_eq!(BigNat::from(7u64).pow(0), BigNat::one());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let s = "123456789012345678901234567890123456789";
+        let n: BigNat = s.parse().unwrap();
+        assert_eq!(n.to_string(), s);
+        assert!("".parse::<BigNat>().is_err());
+        assert!("12a3".parse::<BigNat>().is_err());
+    }
+
+    #[test]
+    fn comparison() {
+        let a = BigNat::from(10u64).pow(20);
+        let b = BigNat::from(10u64).pow(21);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        let a = BigNat::from(5u64);
+        let b = BigNat::from(7u64);
+        assert_eq!(a.checked_sub(&b), None);
+        assert_eq!(a.saturating_sub(&b), BigNat::zero());
+        assert_eq!(b.checked_sub(&a), Some(BigNat::from(2u64)));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigNat::from(0b1011u64);
+        assert_eq!(a.shl_bits(100).shr_bits(100), a);
+        assert_eq!(a.shl_bits(3).to_u64(), Some(0b1011000));
+        assert_eq!(a.shr_bits(2).to_u64(), Some(0b10));
+        assert_eq!(BigNat::zero().shl_bits(17), BigNat::zero());
+    }
+
+    #[test]
+    fn gcd_basic() {
+        let a = BigNat::from(48u64);
+        let b = BigNat::from(36u64);
+        assert_eq!(a.gcd(&b), BigNat::from(12u64));
+        assert_eq!(a.gcd(&BigNat::zero()), a);
+        assert_eq!(BigNat::zero().gcd(&b), b);
+    }
+
+    #[test]
+    fn bit_len() {
+        assert_eq!(BigNat::zero().bit_len(), 0);
+        assert_eq!(BigNat::one().bit_len(), 1);
+        assert_eq!(BigNat::from(255u64).bit_len(), 8);
+        assert_eq!(BigNat::from(256u64).bit_len(), 9);
+        assert_eq!(BigNat::from(2u64).pow(100).bit_len(), 101);
+    }
+
+    #[test]
+    fn division_large() {
+        let a = BigNat::from(10u64).pow(50);
+        let b = BigNat::from(10u64).pow(20);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, BigNat::from(10u64).pow(30));
+        assert!(r.is_zero());
+
+        let c = &a + &BigNat::from(12345u64);
+        let (q2, r2) = c.div_rem(&b);
+        assert_eq!(q2, BigNat::from(10u64).pow(30));
+        assert_eq!(r2, BigNat::from(12345u64));
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let nums: Vec<BigNat> = (1..=5u64).map(BigNat::from).collect();
+        let s: BigNat = nums.iter().sum();
+        assert_eq!(s, BigNat::from(15u64));
+        let p: BigNat = nums.into_iter().product();
+        assert_eq!(p, BigNat::from(120u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = BigNat::from(5u64).div_rem(&BigNat::zero());
+    }
+
+    #[test]
+    fn to_f64_rough() {
+        let a = BigNat::from(1u64 << 53);
+        assert_eq!(a.to_f64(), 9007199254740992.0);
+        let big = BigNat::from(10u64).pow(40);
+        let approx = big.to_f64();
+        assert!((approx / 1e40 - 1.0).abs() < 1e-10);
+    }
+}

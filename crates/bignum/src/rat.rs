@@ -1,0 +1,297 @@
+//! Arbitrary-precision rationals, always kept in lowest terms with a
+//! positive denominator.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::int::BigInt;
+use crate::nat::BigNat;
+
+/// An exact rational number `numerator / denominator`.
+///
+/// The denominator is always strictly positive and the fraction is always in
+/// lowest terms, so structural equality coincides with numerical equality.
+///
+/// Rationals are used by the exact Gaussian elimination of
+/// [`crate::linalg`], which in turn is used to invert the surjection-number
+/// matrix of the Proposition 3.11 Turing reduction.
+///
+/// ```
+/// use incdb_bignum::BigRat;
+/// let a = BigRat::new(1.into(), 3u64.into());
+/// let b = BigRat::new(1.into(), 6u64.into());
+/// assert_eq!((&a + &b).to_string(), "1/2");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigRat {
+    numerator: BigInt,
+    denominator: BigNat,
+}
+
+impl BigRat {
+    /// The rational `0`.
+    pub fn zero() -> Self {
+        BigRat { numerator: BigInt::zero(), denominator: BigNat::one() }
+    }
+
+    /// The rational `1`.
+    pub fn one() -> Self {
+        BigRat { numerator: BigInt::one(), denominator: BigNat::one() }
+    }
+
+    /// Creates a rational from a numerator and a (non-zero) denominator,
+    /// normalising to lowest terms.
+    pub fn new(numerator: BigInt, denominator: BigNat) -> Self {
+        assert!(!denominator.is_zero(), "zero denominator");
+        if numerator.is_zero() {
+            return BigRat::zero();
+        }
+        let g = numerator.magnitude().gcd(&denominator);
+        let (num_mag, _) = numerator.magnitude().div_rem(&g);
+        let (den, _) = denominator.div_rem(&g);
+        BigRat {
+            numerator: BigInt::from_sign_magnitude(numerator.sign(), num_mag),
+            denominator: den,
+        }
+    }
+
+    /// Creates the rational `n / 1` from an integer.
+    pub fn from_int(n: BigInt) -> Self {
+        BigRat { numerator: n, denominator: BigNat::one() }
+    }
+
+    /// Creates the rational `n / 1` from a natural number.
+    pub fn from_nat(n: BigNat) -> Self {
+        BigRat::from_int(BigInt::from(n))
+    }
+
+    /// The numerator (may be negative or zero).
+    pub fn numerator(&self) -> &BigInt {
+        &self.numerator
+    }
+
+    /// The denominator (always strictly positive).
+    pub fn denominator(&self) -> &BigNat {
+        &self.denominator
+    }
+
+    /// Returns `true` if this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.numerator.is_zero()
+    }
+
+    /// Returns `true` if this rational is a (possibly negative) integer.
+    pub fn is_integer(&self) -> bool {
+        self.denominator.is_one()
+    }
+
+    /// If this rational is a non-negative integer, returns it as a [`BigNat`].
+    pub fn to_nat(&self) -> Option<BigNat> {
+        if self.is_integer() {
+            self.numerator.to_nat()
+        } else {
+            None
+        }
+    }
+
+    /// If this rational is an integer, returns it as a [`BigInt`].
+    pub fn to_int(&self) -> Option<BigInt> {
+        if self.is_integer() {
+            Some(self.numerator.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Approximate conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.numerator.to_f64() / self.denominator.to_f64()
+    }
+
+    /// The multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> BigRat {
+        assert!(!self.is_zero(), "division by zero");
+        BigRat::new(
+            BigInt::from_sign_magnitude(self.numerator.sign(), self.denominator.clone()),
+            self.numerator.magnitude().clone(),
+        )
+    }
+
+    fn add_ref(&self, rhs: &BigRat) -> BigRat {
+        let num = &self.numerator * &BigInt::from(&rhs.denominator)
+            + &rhs.numerator * &BigInt::from(&self.denominator);
+        let den = &self.denominator * &rhs.denominator;
+        BigRat::new(num, den)
+    }
+
+    fn mul_ref(&self, rhs: &BigRat) -> BigRat {
+        BigRat::new(&self.numerator * &rhs.numerator, &self.denominator * &rhs.denominator)
+    }
+}
+
+impl From<BigInt> for BigRat {
+    fn from(n: BigInt) -> Self {
+        BigRat::from_int(n)
+    }
+}
+
+impl From<BigNat> for BigRat {
+    fn from(n: BigNat) -> Self {
+        BigRat::from_nat(n)
+    }
+}
+
+impl From<i64> for BigRat {
+    fn from(v: i64) -> Self {
+        BigRat::from_int(BigInt::from(v))
+    }
+}
+
+impl From<u64> for BigRat {
+    fn from(v: u64) -> Self {
+        BigRat::from_nat(BigNat::from(v))
+    }
+}
+
+impl Neg for BigRat {
+    type Output = BigRat;
+    fn neg(self) -> BigRat {
+        BigRat { numerator: -self.numerator, denominator: self.denominator }
+    }
+}
+impl Neg for &BigRat {
+    type Output = BigRat;
+    fn neg(self) -> BigRat {
+        -self.clone()
+    }
+}
+
+macro_rules! impl_rat_binop {
+    ($trait:ident, $method:ident, $imp:expr) => {
+        impl $trait<&BigRat> for &BigRat {
+            type Output = BigRat;
+            fn $method(self, rhs: &BigRat) -> BigRat {
+                let f: fn(&BigRat, &BigRat) -> BigRat = $imp;
+                f(self, rhs)
+            }
+        }
+        impl $trait<BigRat> for BigRat {
+            type Output = BigRat;
+            fn $method(self, rhs: BigRat) -> BigRat {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigRat> for BigRat {
+            type Output = BigRat;
+            fn $method(self, rhs: &BigRat) -> BigRat {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigRat> for &BigRat {
+            type Output = BigRat;
+            fn $method(self, rhs: BigRat) -> BigRat {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+impl_rat_binop!(Add, add, |a, b| a.add_ref(b));
+impl_rat_binop!(Sub, sub, |a: &BigRat, b: &BigRat| a.add_ref(&(-b.clone())));
+impl_rat_binop!(Mul, mul, |a, b| a.mul_ref(b));
+impl_rat_binop!(Div, div, |a: &BigRat, b: &BigRat| a.mul_ref(&b.recip()));
+
+impl PartialOrd for BigRat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b  (b, d > 0)
+        let lhs = &self.numerator * &BigInt::from(&other.denominator);
+        let rhs = &other.numerator * &BigInt::from(&self.denominator);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for BigRat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denominator.is_one() {
+            write!(f, "{}", self.numerator)
+        } else {
+            write!(f, "{}/{}", self.numerator, self.denominator)
+        }
+    }
+}
+
+impl fmt::Debug for BigRat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigRat({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: u64) -> BigRat {
+        BigRat::new(BigInt::from(n), BigNat::from(d))
+    }
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-6, 9), r(-2, 3));
+        assert_eq!(r(0, 7), BigRat::zero());
+        assert_eq!(r(2, 4).to_string(), "1/2");
+        assert_eq!(r(4, 2).to_string(), "2");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 3) + r(1, 6), r(1, 2));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(r(-1, 2) + r(1, 2), BigRat::zero());
+    }
+
+    #[test]
+    fn comparison() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < r(0, 1));
+        assert_eq!(r(3, 6).cmp(&r(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert_eq!(r(-3, 4).recip(), r(-4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn recip_zero_panics() {
+        let _ = BigRat::zero().recip();
+    }
+
+    #[test]
+    fn integer_extraction() {
+        assert_eq!(r(6, 3).to_nat(), Some(BigNat::from(2u64)));
+        assert_eq!(r(-6, 3).to_nat(), None);
+        assert_eq!(r(-6, 3).to_int(), Some(BigInt::from(-2i64)));
+        assert_eq!(r(1, 2).to_int(), None);
+        assert!(r(4, 2).is_integer());
+        assert!(!r(1, 2).is_integer());
+    }
+
+    #[test]
+    fn to_f64() {
+        assert!((r(1, 4).to_f64() - 0.25).abs() < 1e-12);
+        assert!((r(-7, 2).to_f64() + 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,656 @@
+//! Counting completions over uniform incomplete databases whose schema is
+//! unary — the tractable side of Theorem 4.6 (Appendix B.6).
+//!
+//! A self-join-free BCQ avoids the patterns `R(x,x)` and `R(x,y)` exactly
+//! when every atom is unary, so the database is a collection of unary
+//! relations `R` with constants `Con_R` and nulls `Nul_R`, all nulls sharing
+//! the uniform domain `dom`.
+//!
+//! A completion is then fully described by the function
+//! `g : dom ∪ Consts(D) → 2^σ` mapping each value to the set of relations it
+//! belongs to. The algorithm (a re-phrasing of the count-vector expression of
+//! Appendix B.6.6 that is easier to implement and verify):
+//!
+//! 1. group the domain values into *classes* by their fixed base coverage
+//!    `base(a) = {R : a ∈ Con_R}`;
+//! 2. enumerate *profiles*: for every class `c` and every target coverage
+//!    `T ⊇ c`, the number `n_{c,T}` of values of class `c` whose final
+//!    coverage is `T`;
+//! 3. a profile contributes `∏_c multinomial(m_c; (n_{c,T})_T)` distinct
+//!    completions, provided it is *realisable* by some placement of the
+//!    nulls and the query is satisfied;
+//! 4. realisability = (a) every null type has at least one admissible value
+//!    (a value whose target contains the type), and (b) the "excess"
+//!    coverage `T \ c` of every value can be covered by placing nulls on it,
+//!    subject to the global supply of nulls per type — decided by a memoised
+//!    search over minimal covers (Lemma B.19's system of equations, solved
+//!    directly).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use incdb_bignum::{factorial, BigNat};
+use incdb_data::{Constant, IncompleteDatabase, NullId, Value};
+use incdb_query::{Bcq, BooleanQuery, Variable};
+
+use super::AlgorithmError;
+
+/// Returns `true` if the Theorem 4.6 algorithm applies to `q`:
+/// self-join-free, constant-free and every atom unary (equivalently, neither
+/// `R(x,x)` nor `R(x,y)` is a pattern of `q`).
+pub fn applies_to_query(q: &Bcq) -> bool {
+    q.is_self_join_free() && q.is_constant_free() && q.is_unary_schema()
+}
+
+/// Counts the distinct completions of the uniform incomplete database `db`
+/// that satisfy `q` (Theorem 4.6, tractable case).
+///
+/// Every relation of `db` must be unary.
+pub fn count_completions(db: &IncompleteDatabase, q: &Bcq) -> Result<BigNat, AlgorithmError> {
+    if !applies_to_query(q) {
+        return Err(AlgorithmError::QueryNotApplicable(
+            "every atom must be unary (no R(x,x) or R(x,y) pattern)".to_string(),
+        ));
+    }
+    // Components of the query: atoms grouped by variable.
+    let mut components_map: BTreeMap<Variable, BTreeSet<String>> = BTreeMap::new();
+    for atom in q.atoms() {
+        let var = atom.terms()[0]
+            .as_var()
+            .expect("constant-free query")
+            .clone();
+        components_map.entry(var).or_default().insert(atom.relation().to_string());
+    }
+    let components: Vec<BTreeSet<String>> = components_map.into_values().collect();
+    count_completions_with_components(db, &q.signature(), &components)
+}
+
+/// Counts **all** distinct completions of a uniform incomplete database with
+/// unary relations (no query filter). This is the quantity studied in the
+/// warm-up examples B.6.1–B.6.5 of the paper.
+pub fn count_all_completions(db: &IncompleteDatabase) -> Result<BigNat, AlgorithmError> {
+    count_completions_with_components(db, &BTreeSet::new(), &[])
+}
+
+/// Shared implementation: counts the distinct completions of `db` whose
+/// relation contents satisfy every component (a component is a set of
+/// relations that must share at least one common value).
+fn count_completions_with_components(
+    db: &IncompleteDatabase,
+    extra_relations: &BTreeSet<String>,
+    components: &[BTreeSet<String>],
+) -> Result<BigNat, AlgorithmError> {
+    let Some(domain) = db.uniform_domain() else {
+        return Err(AlgorithmError::DatabaseNotApplicable(
+            "the Theorem 4.6 algorithm requires a uniform incomplete database".to_string(),
+        ));
+    };
+    let domain: BTreeSet<Constant> = domain.clone();
+
+    // The schema: relations of the database plus relations mentioned only by
+    // the query (whose content is necessarily empty).
+    let mut schema: Vec<String> = db.relation_names().map(str::to_string).collect();
+    for r in extra_relations {
+        if !schema.contains(r) {
+            schema.push(r.clone());
+        }
+    }
+    schema.sort();
+    let index_of = |name: &str| schema.iter().position(|r| r == name);
+
+    // Per-relation constants and nulls; every relation must be unary.
+    let mut constants: Vec<BTreeSet<Constant>> = vec![BTreeSet::new(); schema.len()];
+    let mut null_types: BTreeMap<NullId, BTreeSet<usize>> = BTreeMap::new();
+    for (name, facts) in db.relations() {
+        let k = index_of(name).expect("schema contains every database relation");
+        for fact in facts {
+            if fact.len() != 1 {
+                return Err(AlgorithmError::DatabaseNotApplicable(format!(
+                    "relation {name} is not unary"
+                )));
+            }
+            match fact[0] {
+                Value::Const(c) => {
+                    constants[k].insert(c);
+                }
+                Value::Null(nl) => {
+                    null_types.entry(nl).or_default().insert(k);
+                }
+            }
+        }
+    }
+
+    // Components as index sets; a component over a relation absent from the
+    // schema cannot be satisfied.
+    let mut component_sets: Vec<BTreeSet<usize>> = Vec::new();
+    for component in components {
+        let mut set = BTreeSet::new();
+        for relation in component {
+            match index_of(relation) {
+                Some(k) => {
+                    set.insert(k);
+                }
+                None => return Ok(BigNat::zero()),
+            }
+        }
+        component_sets.push(set);
+    }
+
+    // No nulls: a unique (ground) completion.
+    if null_types.is_empty() {
+        let base_cover = |a: &Constant| -> BTreeSet<usize> {
+            (0..schema.len()).filter(|&k| constants[k].contains(a)).collect()
+        };
+        let all_values: BTreeSet<Constant> =
+            constants.iter().flat_map(|s| s.iter().copied()).collect();
+        let satisfied = component_sets.iter().all(|comp| {
+            all_values.iter().any(|a| comp.is_subset(&base_cover(a)))
+        });
+        return Ok(if satisfied { BigNat::one() } else { BigNat::zero() });
+    }
+    if domain.is_empty() {
+        return Ok(BigNat::zero());
+    }
+
+    // Group nulls by type.
+    let mut type_counts: BTreeMap<Vec<usize>, u64> = BTreeMap::new();
+    for t in null_types.values() {
+        *type_counts.entry(t.iter().copied().collect()).or_insert(0) += 1;
+    }
+    let types: Vec<(BTreeSet<usize>, u64)> = type_counts
+        .into_iter()
+        .map(|(t, count)| (t.into_iter().collect::<BTreeSet<usize>>(), count))
+        .collect();
+
+    // Components already satisfied by constants outside the domain (their
+    // membership cannot change).
+    let satisfied_by_fixed: Vec<bool> = component_sets
+        .iter()
+        .map(|comp| {
+            let outside: BTreeSet<Constant> = constants
+                .iter()
+                .flat_map(|s| s.iter().copied())
+                .filter(|a| !domain.contains(a))
+                .collect();
+            outside.iter().any(|a| {
+                comp.iter().all(|&k| constants[k].contains(a))
+            })
+        })
+        .collect();
+
+    // Classes of domain values by base coverage.
+    let mut classes: BTreeMap<Vec<usize>, u64> = BTreeMap::new();
+    for a in &domain {
+        let cover: Vec<usize> =
+            (0..schema.len()).filter(|&k| constants[k].contains(a)).collect();
+        *classes.entry(cover).or_insert(0) += 1;
+    }
+    let classes: Vec<(BTreeSet<usize>, u64)> = classes
+        .into_iter()
+        .map(|(c, m)| (c.into_iter().collect::<BTreeSet<usize>>(), m))
+        .collect();
+
+    // All subsets of the schema, used as candidate target coverages.
+    let schema_len = schema.len();
+    let all_subsets: Vec<BTreeSet<usize>> = (0..(1u32 << schema_len))
+        .map(|mask| (0..schema_len).filter(|&k| mask >> k & 1 == 1).collect())
+        .collect();
+
+    // Enumerate profiles class by class.
+    let mut total = BigNat::zero();
+    let mut profile: Vec<Vec<u64>> = Vec::new();
+    enumerate_profiles(
+        0,
+        &classes,
+        &all_subsets,
+        &mut profile,
+        &mut |profile| {
+            // Collect the groups with a positive count.
+            let mut groups: Vec<(&BTreeSet<usize>, &BTreeSet<usize>, u64)> = Vec::new();
+            for (ci, (class, _)) in classes.iter().enumerate() {
+                for (ti, target) in all_subsets.iter().enumerate() {
+                    let count = profile[ci][ti];
+                    if count > 0 {
+                        groups.push((class, target, count));
+                    }
+                }
+            }
+            // Query satisfaction.
+            let satisfied = component_sets.iter().enumerate().all(|(i, comp)| {
+                satisfied_by_fixed[i]
+                    || groups.iter().any(|(_, target, _)| comp.is_subset(target))
+            });
+            if !satisfied {
+                return;
+            }
+            // Realisability.
+            if !profile_realisable(&types, &groups) {
+                return;
+            }
+            // Number of completions with this profile.
+            let mut ways = BigNat::one();
+            for (ci, (_, m_c)) in classes.iter().enumerate() {
+                let mut denom = BigNat::one();
+                for count in &profile[ci] {
+                    denom = denom * factorial(*count);
+                }
+                let (q, r) = factorial(*m_c).div_rem(&denom);
+                debug_assert!(r.is_zero());
+                ways = ways * q;
+            }
+            total += ways;
+        },
+    );
+    Ok(total)
+}
+
+/// Recursively enumerates, class by class, every way of splitting the `m_c`
+/// values of each class among the admissible target coverages (supersets of
+/// the class's base coverage).
+fn enumerate_profiles(
+    class_index: usize,
+    classes: &[(BTreeSet<usize>, u64)],
+    all_subsets: &[BTreeSet<usize>],
+    profile: &mut Vec<Vec<u64>>,
+    callback: &mut impl FnMut(&[Vec<u64>]),
+) {
+    if class_index == classes.len() {
+        callback(profile);
+        return;
+    }
+    let (class, m_c) = &classes[class_index];
+    let admissible: Vec<usize> = all_subsets
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| class.is_subset(t))
+        .map(|(i, _)| i)
+        .collect();
+    // Distribute m_c among the admissible targets.
+    let mut counts = vec![0u64; all_subsets.len()];
+    fn distribute(
+        pos: usize,
+        left: u64,
+        admissible: &[usize],
+        counts: &mut Vec<u64>,
+        class_index: usize,
+        classes: &[(BTreeSet<usize>, u64)],
+        all_subsets: &[BTreeSet<usize>],
+        profile: &mut Vec<Vec<u64>>,
+        callback: &mut impl FnMut(&[Vec<u64>]),
+    ) {
+        if pos == admissible.len() {
+            if left == 0 {
+                profile.push(counts.clone());
+                enumerate_profiles(class_index + 1, classes, all_subsets, profile, callback);
+                profile.pop();
+            }
+            return;
+        }
+        if pos + 1 == admissible.len() {
+            counts[admissible[pos]] = left;
+            profile.push(counts.clone());
+            enumerate_profiles(class_index + 1, classes, all_subsets, profile, callback);
+            profile.pop();
+            counts[admissible[pos]] = 0;
+            return;
+        }
+        for take in 0..=left {
+            counts[admissible[pos]] = take;
+            distribute(
+                pos + 1,
+                left - take,
+                admissible,
+                counts,
+                class_index,
+                classes,
+                all_subsets,
+                profile,
+                callback,
+            );
+        }
+        counts[admissible[pos]] = 0;
+    }
+    if admissible.is_empty() {
+        // No admissible target (cannot happen: the base coverage itself is
+        // admissible), but keep the recursion total.
+        return;
+    }
+    distribute(0, *m_c, &admissible, &mut counts, class_index, classes, all_subsets, profile, callback);
+}
+
+/// Decides whether a profile (a list of groups `(class, target, how many
+/// values)`) is realisable by some placement of the nulls.
+fn profile_realisable(
+    types: &[(BTreeSet<usize>, u64)],
+    groups: &[(&BTreeSet<usize>, &BTreeSet<usize>, u64)],
+) -> bool {
+    // (a) every null type needs at least one admissible value.
+    for (t, count) in types {
+        if *count > 0 && !groups.iter().any(|(_, target, _)| t.is_subset(target)) {
+            return false;
+        }
+    }
+    // (b) the excess coverage of every value must be coverable. Expand the
+    // groups into individual value slots (their number is at most |dom|) and
+    // search for a feasible allocation of nulls to slots, trying minimal
+    // covers per slot, with memoisation on (slot index, remaining supplies).
+    let mut slot_specs: Vec<(BTreeSet<usize>, BTreeSet<usize>)> = Vec::new();
+    for (class, target, count) in groups {
+        let excess: BTreeSet<usize> = target.difference(class).copied().collect();
+        if !excess.is_empty() {
+            for _ in 0..*count {
+                slot_specs.push(((*target).clone(), excess.clone()));
+            }
+        }
+    }
+    let supplies: Vec<u64> = types.iter().map(|(_, c)| *c).collect();
+    let mut memo: HashMap<(usize, Vec<u64>), bool> = HashMap::new();
+    cover_slots(0, &slot_specs, types, &supplies, &mut memo)
+}
+
+/// Memoised search: can slots `index..` be covered with the remaining
+/// supplies?
+fn cover_slots(
+    index: usize,
+    slots: &[(BTreeSet<usize>, BTreeSet<usize>)],
+    types: &[(BTreeSet<usize>, u64)],
+    remaining: &[u64],
+    memo: &mut HashMap<(usize, Vec<u64>), bool>,
+) -> bool {
+    if index == slots.len() {
+        return true;
+    }
+    let key = (index, remaining.to_vec());
+    if let Some(&cached) = memo.get(&key) {
+        return cached;
+    }
+    let (target, excess) = &slots[index];
+    // Usable types for this slot: non-exhausted types included in the target.
+    let usable: Vec<usize> = types
+        .iter()
+        .enumerate()
+        .filter(|(t, (ty, _))| remaining[*t] > 0 && ty.is_subset(target))
+        .map(|(t, _)| t)
+        .collect();
+    // Try every minimal selection of usable types covering the excess.
+    let mut ok = false;
+    let mut selection: Vec<usize> = Vec::new();
+    let needed: Vec<usize> = excess.iter().copied().collect();
+    try_cover(
+        &needed,
+        0,
+        &usable,
+        types,
+        remaining,
+        &mut selection,
+        &mut |used_types| {
+            if ok {
+                return;
+            }
+            let mut next = remaining.to_vec();
+            for &t in used_types {
+                next[t] -= 1;
+            }
+            if cover_slots(index + 1, slots, types, &next, memo) {
+                ok = true;
+            }
+        },
+    );
+    memo.insert(key, ok);
+    ok
+}
+
+/// Enumerates selections of distinct usable types (each used once) covering
+/// all `needed` relations; calls the callback with each selection. The
+/// enumeration picks, for the first uncovered relation, each usable type
+/// containing it — this enumerates a superset of the minimal covers, which
+/// is sufficient and keeps the search small.
+fn try_cover(
+    needed: &[usize],
+    covered_mask_start: usize,
+    usable: &[usize],
+    types: &[(BTreeSet<usize>, u64)],
+    remaining: &[u64],
+    selection: &mut Vec<usize>,
+    callback: &mut impl FnMut(&[usize]),
+) {
+    // Find the first relation not yet covered by the selection.
+    let covered: BTreeSet<usize> =
+        selection.iter().flat_map(|&t| types[t].0.iter().copied()).collect();
+    let next_needed = needed[covered_mask_start..]
+        .iter()
+        .position(|r| !covered.contains(r))
+        .map(|offset| covered_mask_start + offset);
+    match next_needed {
+        None => callback(selection),
+        Some(pos) => {
+            let relation = needed[pos];
+            for &t in usable {
+                if !types[t].0.contains(&relation) {
+                    continue;
+                }
+                // Respect supplies: a type can be used at most `remaining[t]`
+                // times in one slot, but using it twice in the same slot is
+                // pointless, so once is enough; just avoid re-using it if
+                // supply is 1 and it is already selected.
+                let already = selection.iter().filter(|&&s| s == t).count() as u64;
+                if already >= remaining[t] {
+                    continue;
+                }
+                selection.push(t);
+                try_cover(needed, pos + 1, usable, types, remaining, selection, callback);
+                selection.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{count_all_completions_brute, count_completions_brute};
+    use incdb_bignum::binomial;
+
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+    fn c(id: u64) -> Value {
+        Value::constant(id)
+    }
+
+    #[test]
+    fn applicability() {
+        assert!(applies_to_query(&"R(x), S(x)".parse().unwrap()));
+        assert!(applies_to_query(&"R(x), S(y), T(z)".parse().unwrap()));
+        assert!(!applies_to_query(&"R(x,y)".parse().unwrap()));
+        assert!(!applies_to_query(&"R(x,x)".parse().unwrap()));
+        assert!(!applies_to_query(&"R(x), R(y)".parse().unwrap()));
+    }
+
+    #[test]
+    fn warm_up_b61_single_relation_no_constants() {
+        // D = {R(⊥1), ..., R(⊥n)}, uniform domain of size d: the completions
+        // are exactly the non-empty subsets of dom of size ≤ n, so the count
+        // is Σ_{i=1}^{n} C(d, i).
+        for d in 1u64..=5 {
+            for nulls in 1u32..=4 {
+                let mut db = IncompleteDatabase::new_uniform(0..d);
+                for i in 0..nulls {
+                    db.add_fact("R", vec![n(i)]).unwrap();
+                }
+                let expected: BigNat = (1..=nulls as u64).map(|i| binomial(d, i)).sum();
+                let fast = count_all_completions(&db).unwrap();
+                assert_eq!(fast, expected, "d={d} n={nulls}");
+                assert_eq!(fast, count_all_completions_brute(&db).unwrap(), "d={d} n={nulls}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_up_b62_single_relation_with_constants() {
+        // D = {R(a_1..a_c), R(⊥_1..⊥_n)} with constants inside dom:
+        // completions are C ∪ I with I ⊆ dom \ C of size ≤ n:
+        // Σ_{i=0}^{n} C(d-c, i).
+        for d in 2u64..=5 {
+            for constants in 1u64..=2 {
+                for nulls in 1u32..=3 {
+                    let mut db = IncompleteDatabase::new_uniform(0..d);
+                    for a in 0..constants.min(d) {
+                        db.add_fact("R", vec![c(a)]).unwrap();
+                    }
+                    for i in 0..nulls {
+                        db.add_fact("R", vec![n(i)]).unwrap();
+                    }
+                    let expected: BigNat =
+                        (0..=nulls as u64).map(|i| binomial(d - constants.min(d), i)).sum();
+                    let fast = count_all_completions(&db).unwrap();
+                    assert_eq!(fast, expected, "d={d} c={constants} n={nulls}");
+                    assert_eq!(fast, count_all_completions_brute(&db).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_up_b63_two_relations_shared_nulls() {
+        // R and S with some nulls occurring in both relations (naïve table).
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("R", vec![n(1)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        db.add_fact("S", vec![n(2)]).unwrap();
+        assert_eq!(
+            count_all_completions(&db).unwrap(),
+            count_all_completions_brute(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn query_filter_r_and_s() {
+        // #Compᵘ(R(x) ∧ S(x)) (warm-up B.6.4 flavour) against brute force on
+        // several instances.
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        db.add_fact("S", vec![c(2)]).unwrap();
+        assert_eq!(
+            count_completions(&db, &q).unwrap(),
+            count_completions_brute(&db, &q).unwrap()
+        );
+
+        let mut db2 = IncompleteDatabase::new_uniform(0u64..4);
+        db2.add_fact("R", vec![n(0)]).unwrap();
+        db2.add_fact("R", vec![n(1)]).unwrap();
+        db2.add_fact("S", vec![n(2)]).unwrap();
+        db2.add_fact("R", vec![c(0)]).unwrap();
+        assert_eq!(
+            count_completions(&db2, &q).unwrap(),
+            count_completions_brute(&db2, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn disjoint_query_variables() {
+        // q = R(x) ∧ S(y): satisfied iff both relations are non-empty, which
+        // is always the case once they contain at least one fact.
+        let q: Bcq = "R(x), S(y)".parse().unwrap();
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        db.add_fact("T", vec![n(2)]).unwrap(); // extra relation outside the query
+        assert_eq!(
+            count_completions(&db, &q).unwrap(),
+            count_completions_brute(&db, &q).unwrap()
+        );
+        assert_eq!(
+            count_all_completions(&db).unwrap(),
+            count_all_completions_brute(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn query_relation_missing_from_database() {
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        assert_eq!(count_completions(&db, &q).unwrap(), BigNat::zero());
+    }
+
+    #[test]
+    fn ground_database_counts_one() {
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![c(1)]).unwrap();
+        db.add_fact("S", vec![c(1)]).unwrap();
+        assert_eq!(count_completions(&db, &q).unwrap(), BigNat::one());
+        let mut db2 = IncompleteDatabase::new_uniform(0u64..3);
+        db2.add_fact("R", vec![c(1)]).unwrap();
+        db2.add_fact("S", vec![c(2)]).unwrap();
+        assert_eq!(count_completions(&db2, &q).unwrap(), BigNat::zero());
+        assert_eq!(count_all_completions(&db2).unwrap(), BigNat::one());
+    }
+
+    #[test]
+    fn empty_domain() {
+        let q: Bcq = "R(x)".parse().unwrap();
+        let mut db = IncompleteDatabase::new_uniform(Vec::<u64>::new());
+        db.add_fact("R", vec![n(0)]).unwrap();
+        assert_eq!(count_completions(&db, &q).unwrap(), BigNat::zero());
+    }
+
+    #[test]
+    fn constants_outside_domain() {
+        // A constant outside dom satisfies the query on its own.
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        let mut db = IncompleteDatabase::new_uniform(0u64..2);
+        db.add_fact("R", vec![c(9)]).unwrap();
+        db.add_fact("S", vec![c(9)]).unwrap();
+        db.add_fact("R", vec![n(0)]).unwrap();
+        assert_eq!(
+            count_completions(&db, &q).unwrap(),
+            count_completions_brute(&db, &q).unwrap()
+        );
+        assert_eq!(
+            count_all_completions(&db).unwrap(),
+            count_all_completions_brute(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn three_relations_star_query() {
+        let q: Bcq = "R(x), S(x), T(x)".parse().unwrap();
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        db.add_fact("T", vec![n(2)]).unwrap();
+        db.add_fact("T", vec![c(1)]).unwrap();
+        assert_eq!(
+            count_completions(&db, &q).unwrap(),
+            count_completions_brute(&db, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_non_unary_databases() {
+        let q: Bcq = "R(x)".parse().unwrap();
+        let mut db = IncompleteDatabase::new_uniform(0u64..2);
+        db.add_fact("R", vec![n(0), n(1)]).unwrap();
+        assert!(matches!(
+            count_completions(&db, &q),
+            Err(AlgorithmError::DatabaseNotApplicable(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_uniform_databases() {
+        let q: Bcq = "R(x)".parse().unwrap();
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.set_domain(NullId(0), [0u64]).unwrap();
+        assert!(matches!(
+            count_completions(&db, &q),
+            Err(AlgorithmError::DatabaseNotApplicable(_))
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! Polynomial-time exact counting algorithms — one module per tractable cell
+//! of Table 1.
+//!
+//! | Module | Paper result | Problem | Applicability |
+//! |--------|--------------|---------|---------------|
+//! | [`val_nonuniform`] | Theorem 3.6 | `#Val(q)` | every variable of `q` occurs exactly once |
+//! | [`val_codd`] | Theorem 3.7 | `#Val_Cd(q)` | Codd table, atoms of `q` pairwise variable-disjoint |
+//! | [`val_uniform`] | Theorem 3.9 / Prop. A.14 | `#Valᵘ(q)` | uniform domain, `q` avoids `R(x,x)`, `R(x)∧S(x,y)∧T(y)`, `R(x,y)∧S(x,y)` |
+//! | [`comp_uniform`] | Theorem 4.6 / App. B.6 | `#Compᵘ(q)` | uniform domain, every atom of `q` (and every relation of `D`) unary |
+//!
+//! Each algorithm returns an [`AlgorithmError`] when its applicability
+//! conditions are not met; the [`crate::solver`] façade checks the
+//! conditions up front and falls back to enumeration when no polynomial
+//! algorithm applies.
+
+pub mod comp_uniform;
+pub mod val_codd;
+pub mod val_nonuniform;
+pub mod val_uniform;
+
+use std::fmt;
+
+use incdb_data::DataError;
+
+/// Error raised by a polynomial-time counting algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgorithmError {
+    /// The query does not satisfy the structural condition required by this
+    /// algorithm (e.g. it contains a hard pattern).
+    QueryNotApplicable(String),
+    /// The database does not satisfy the structural condition required by
+    /// this algorithm (e.g. it is not a Codd table / not uniform).
+    DatabaseNotApplicable(String),
+    /// A lower-level data error (missing domain, arity mismatch, …).
+    Data(DataError),
+}
+
+impl fmt::Display for AlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgorithmError::QueryNotApplicable(msg) => write!(f, "query not applicable: {msg}"),
+            AlgorithmError::DatabaseNotApplicable(msg) => {
+                write!(f, "database not applicable: {msg}")
+            }
+            AlgorithmError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgorithmError {}
+
+impl From<DataError> for AlgorithmError {
+    fn from(e: DataError) -> Self {
+        AlgorithmError::Data(e)
+    }
+}

@@ -1,0 +1,132 @@
+//! Counting valuations for queries in which every variable occurs exactly
+//! once — the tractable side of Theorem 3.6.
+//!
+//! When a self-join-free BCQ `q` has neither `R(x,x)` nor `R(x)∧S(x)` as a
+//! pattern, every variable of `q` occurs exactly once. In that case *every*
+//! valuation `ν` of `D` satisfies `q`, unless some relation of `q` is empty
+//! in `D` (in which case no valuation does). The answer is therefore either
+//! `0` or `∏_⊥ |dom(⊥)|`.
+
+use incdb_bignum::BigNat;
+use incdb_data::IncompleteDatabase;
+use incdb_query::{Bcq, BooleanQuery};
+
+use super::AlgorithmError;
+
+/// Returns `true` if the algorithm applies to `q`: `q` is self-join-free and
+/// every variable occurs exactly once (equivalently, `q` has neither
+/// `R(x,x)` nor `R(x)∧S(x)` as a pattern).
+pub fn applies_to(q: &Bcq) -> bool {
+    q.is_self_join_free()
+        && q.is_constant_free()
+        && q.variables().iter().all(|v| q.occurrences_of(v) == 1)
+}
+
+/// Counts the valuations of `db` satisfying `q` (Theorem 3.6, tractable
+/// case). Works for both non-uniform and uniform databases — the formula
+/// only needs each null's domain size.
+///
+/// # Errors
+/// Returns [`AlgorithmError::QueryNotApplicable`] if some variable of `q`
+/// occurs more than once, and [`AlgorithmError::Data`] if a null has no
+/// domain.
+pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<BigNat, AlgorithmError> {
+    if !applies_to(q) {
+        return Err(AlgorithmError::QueryNotApplicable(
+            "every variable must occur exactly once (no R(x,x) or R(x)∧S(x) pattern)".to_string(),
+        ));
+    }
+    // If some relation mentioned by q has no fact in D, no valuation can
+    // produce a witness tuple for the corresponding atom.
+    for relation in q.signature() {
+        if db.relation_size(&relation) == 0 {
+            return Ok(BigNat::zero());
+        }
+    }
+    // Otherwise every valuation satisfies q: the count is the total number
+    // of valuations.
+    let mut total = BigNat::one();
+    for null in db.nulls() {
+        let dom = db.domain_of(null)?;
+        if dom.is_empty() {
+            return Ok(BigNat::zero());
+        }
+        total = total * BigNat::from(dom.len());
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::count_valuations_brute;
+    use incdb_data::{NullId, Value};
+
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+    fn c(id: u64) -> Value {
+        Value::constant(id)
+    }
+
+    #[test]
+    fn applicability() {
+        assert!(applies_to(&"R(x,y), S(z)".parse().unwrap()));
+        assert!(applies_to(&"R(x)".parse().unwrap()));
+        assert!(!applies_to(&"R(x,x)".parse().unwrap()));
+        assert!(!applies_to(&"R(x), S(x)".parse().unwrap()));
+        assert!(!applies_to(&"R(x), R(y)".parse().unwrap()));
+    }
+
+    #[test]
+    fn counts_total_valuations_when_relations_nonempty() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0), c(9)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        db.set_domain(NullId(0), [1u64, 2, 3]).unwrap();
+        db.set_domain(NullId(1), [1u64, 2]).unwrap();
+        let q: Bcq = "R(x,y), S(z)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::from(6u64));
+        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn empty_relation_gives_zero() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0), c(9)]).unwrap();
+        db.set_domain(NullId(0), [1u64, 2, 3]).unwrap();
+        // S has no facts at all.
+        let q: Bcq = "R(x,y), S(z)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::zero());
+        assert_eq!(count_valuations_brute(&db, &q).unwrap(), BigNat::zero());
+    }
+
+    #[test]
+    fn rejects_hard_patterns() {
+        let db = IncompleteDatabase::new_non_uniform();
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        assert!(matches!(
+            count_valuations(&db, &q),
+            Err(AlgorithmError::QueryNotApplicable(_))
+        ));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_uniform_database() {
+        let mut db = IncompleteDatabase::new_uniform([1u64, 2, 3, 4]);
+        db.add_fact("R", vec![n(0), n(1)]).unwrap();
+        db.add_fact("R", vec![c(1), n(2)]).unwrap();
+        db.add_fact("S", vec![n(3)]).unwrap();
+        let q: Bcq = "R(x,y), S(z)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::from(256u64));
+        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn missing_domain_is_reported() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0)]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        assert!(matches!(count_valuations(&db, &q), Err(AlgorithmError::Data(_))));
+    }
+}

@@ -1,0 +1,457 @@
+//! Counting valuations over uniform incomplete databases — the tractable
+//! side of Theorem 3.9 (with the machinery of Lemmas A.11–A.13 and
+//! Proposition A.14).
+//!
+//! When a self-join-free BCQ `q` has none of the patterns `R(x,x)`,
+//! `R(x)∧S(x,y)∧T(y)` and `R(x,y)∧S(x,y)`, its atoms decompose into
+//! *basic-singleton components*: groups of atoms sharing one "hub" variable
+//! (plus atoms sharing no variable at all, which only require their relation
+//! to be non-empty). Satisfaction of a component `C` by a completion only
+//! depends on the values appearing in the hub columns of `C`'s relations:
+//! `C` is satisfied iff some constant appears in the hub column of *every*
+//! relation of `C`.
+//!
+//! The count is obtained by inclusion–exclusion over the components
+//! (Lemma A.13): for every subset `S` of components we count the valuations
+//! under which *no* component of `S` is satisfied. That quantity is computed
+//! by a dynamic program over the domain values: processing values one at a
+//! time, we choose how many not-yet-placed nulls of each *type* (the set of
+//! hub columns a null occurs in) are mapped to the current value, subject to
+//! the constraint that the resulting column coverage of that value does not
+//! contain any component of `S`. This is a reformulation of the nested-sum
+//! expression of Proposition A.14 that is easier to implement and to test.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use incdb_bignum::{binomial, BigInt, BigNat};
+use incdb_data::{Constant, IncompleteDatabase, NullId, Value};
+use incdb_query::{BasicSingletonDecomposition, Bcq, BooleanQuery};
+
+use super::AlgorithmError;
+
+/// Returns `true` if the Theorem 3.9 algorithm applies to `q`:
+/// self-join-free, constant-free, and none of the three hard patterns.
+pub fn applies_to_query(q: &Bcq) -> bool {
+    BasicSingletonDecomposition::of(q).is_some()
+}
+
+/// A hub column: the constants and nulls appearing, in one relation of one
+/// component, at the position of the component's hub variable.
+#[derive(Debug, Clone)]
+struct HubColumn {
+    constants: BTreeSet<Constant>,
+    nulls: BTreeSet<NullId>,
+}
+
+/// Counts the valuations of the uniform incomplete database `db` satisfying
+/// `q` (Theorem 3.9, tractable case).
+pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<BigNat, AlgorithmError> {
+    let decomposition = BasicSingletonDecomposition::of(q).ok_or_else(|| {
+        AlgorithmError::QueryNotApplicable(
+            "the query must avoid the patterns R(x,x), R(x)∧S(x,y)∧T(y) and R(x,y)∧S(x,y)"
+                .to_string(),
+        )
+    })?;
+    let Some(domain) = db.uniform_domain() else {
+        return Err(AlgorithmError::DatabaseNotApplicable(
+            "the Theorem 3.9 algorithm requires a uniform incomplete database".to_string(),
+        ));
+    };
+    let domain: Vec<Constant> = domain.iter().copied().collect();
+    let d = domain.len();
+
+    // A query atom over an empty relation can never be satisfied.
+    for relation in q.signature() {
+        if db.relation_size(&relation) == 0 {
+            return Ok(BigNat::zero());
+        }
+    }
+
+    let all_nulls = db.nulls();
+    if all_nulls.is_empty() {
+        // A single (ground) completion; just evaluate the query.
+        let ground = db.apply_unchecked(&incdb_data::Valuation::new());
+        return Ok(if q.holds(&ground) { BigNat::one() } else { BigNat::zero() });
+    }
+    if d == 0 {
+        return Ok(BigNat::zero());
+    }
+
+    // Build the hub columns, grouped by component.
+    let mut columns: Vec<HubColumn> = Vec::new();
+    let mut component_columns: Vec<Vec<usize>> = Vec::new();
+    for component in &decomposition.components {
+        let mut indices = Vec::new();
+        for (relation, position) in &component.atoms {
+            let mut constants = BTreeSet::new();
+            let mut nulls = BTreeSet::new();
+            for fact in db.facts(relation) {
+                match fact.get(*position) {
+                    Some(Value::Const(c)) => {
+                        constants.insert(*c);
+                    }
+                    Some(Value::Null(n)) => {
+                        nulls.insert(*n);
+                    }
+                    None => {
+                        return Err(AlgorithmError::DatabaseNotApplicable(format!(
+                            "relation {relation} has arity smaller than the query atom"
+                        )))
+                    }
+                }
+            }
+            indices.push(columns.len());
+            columns.push(HubColumn { constants, nulls });
+        }
+        component_columns.push(indices);
+    }
+
+    let m = component_columns.len();
+    let hub_nulls: BTreeSet<NullId> =
+        columns.iter().flat_map(|col| col.nulls.iter().copied()).collect();
+    let free_null_count = all_nulls.iter().filter(|n| !hub_nulls.contains(n)).count();
+
+    // Inclusion–exclusion over subsets of components (Lemma A.13).
+    let mut total = BigInt::zero();
+    for subset in 0u32..(1u32 << m) {
+        let selected: Vec<usize> = (0..m).filter(|i| subset >> i & 1 == 1).collect();
+        let selected_columns: BTreeSet<usize> =
+            selected.iter().flat_map(|&i| component_columns[i].iter().copied()).collect();
+        // Nulls constrained by this subset.
+        let constrained: BTreeSet<NullId> = selected_columns
+            .iter()
+            .flat_map(|&k| columns[k].nulls.iter().copied())
+            .collect();
+        let unconstrained = (hub_nulls.len() - constrained.len()) + free_null_count;
+
+        let forbidden: Vec<BTreeSet<usize>> = selected
+            .iter()
+            .map(|&i| component_columns[i].iter().copied().collect::<BTreeSet<usize>>())
+            .collect();
+
+        let core = count_avoiding_valuations(&columns, &selected_columns, &forbidden, &domain, &constrained);
+        let term = BigInt::from(core * BigNat::from(d as u64).pow(unconstrained as u64));
+        if selected.len() % 2 == 0 {
+            total += term;
+        } else {
+            total -= term;
+        }
+    }
+    total
+        .to_nat()
+        .ok_or_else(|| AlgorithmError::QueryNotApplicable("inclusion–exclusion underflow".into()))
+}
+
+/// Counts the valuations of the `constrained` nulls (those occurring in the
+/// selected hub columns) such that, for every forbidden column set `F`, no
+/// domain value ends up appearing in all columns of `F`.
+fn count_avoiding_valuations(
+    columns: &[HubColumn],
+    selected_columns: &BTreeSet<usize>,
+    forbidden: &[BTreeSet<usize>],
+    domain: &[Constant],
+    constrained: &BTreeSet<NullId>,
+) -> BigNat {
+    // A value outside the domain covers a fixed set of columns; if that set
+    // already contains a forbidden component, no valuation avoids it.
+    let domain_set: BTreeSet<Constant> = domain.iter().copied().collect();
+    let mut fixed_coverage: BTreeMap<Constant, BTreeSet<usize>> = BTreeMap::new();
+    for &k in selected_columns {
+        for &c in &columns[k].constants {
+            fixed_coverage.entry(c).or_default().insert(k);
+        }
+    }
+    for (constant, coverage) in &fixed_coverage {
+        if !domain_set.contains(constant)
+            && forbidden.iter().any(|f| f.is_subset(coverage))
+        {
+            return BigNat::zero();
+        }
+    }
+
+    // Types of the constrained nulls: the set of selected columns they occur in.
+    let mut type_of: BTreeMap<NullId, BTreeSet<usize>> = BTreeMap::new();
+    for &k in selected_columns {
+        for &null in &columns[k].nulls {
+            if constrained.contains(&null) {
+                type_of.entry(null).or_default().insert(k);
+            }
+        }
+    }
+    let mut type_counts: BTreeMap<Vec<usize>, u64> = BTreeMap::new();
+    for coverage in type_of.values() {
+        *type_counts.entry(coverage.iter().copied().collect()).or_insert(0) += 1;
+    }
+    let types: Vec<(Vec<usize>, u64)> = type_counts.into_iter().collect();
+
+    // Base coverage of each domain value (from constants in the columns).
+    let base_coverage: Vec<BTreeSet<usize>> = domain
+        .iter()
+        .map(|a| fixed_coverage.get(a).cloned().unwrap_or_default())
+        .collect();
+
+    // Dynamic program over domain values.
+    let initial: Vec<u64> = types.iter().map(|(_, count)| *count).collect();
+    let mut memo: HashMap<(usize, Vec<u64>), BigNat> = HashMap::new();
+    dp(0, &initial, domain.len(), &types, &base_coverage, forbidden, &mut memo)
+}
+
+/// `dp(i, remaining)` = number of ways to place the remaining nulls on the
+/// domain values `i..d` such that the coverage constraint holds for each of
+/// those values.
+#[allow(clippy::too_many_arguments)]
+fn dp(
+    value_index: usize,
+    remaining: &[u64],
+    value_count: usize,
+    types: &[(Vec<usize>, u64)],
+    base_coverage: &[BTreeSet<usize>],
+    forbidden: &[BTreeSet<usize>],
+    memo: &mut HashMap<(usize, Vec<u64>), BigNat>,
+) -> BigNat {
+    if value_index == value_count {
+        return if remaining.iter().all(|&r| r == 0) { BigNat::one() } else { BigNat::zero() };
+    }
+    let key = (value_index, remaining.to_vec());
+    if let Some(cached) = memo.get(&key) {
+        return cached.clone();
+    }
+    let base = &base_coverage[value_index];
+    let mut total = BigNat::zero();
+    // Enumerate how many nulls of each type go to this value.
+    let mut choice = vec![0u64; types.len()];
+    enumerate_choices(
+        0,
+        &mut choice,
+        remaining,
+        types,
+        base,
+        forbidden,
+        &mut |choice, ways| {
+            let next: Vec<u64> =
+                remaining.iter().zip(choice.iter()).map(|(&r, &c)| r - c).collect();
+            let rest =
+                dp(value_index + 1, &next, value_count, types, base_coverage, forbidden, memo);
+            total += ways * rest;
+        },
+    );
+    memo.insert(key, total.clone());
+    total
+}
+
+/// Enumerates all vectors `choice` with `0 ≤ choice[t] ≤ remaining[t]` whose
+/// induced coverage (base ∪ the types with a positive choice) contains no
+/// forbidden set, calling `callback(choice, #ways)` for each, where `#ways`
+/// is the product of binomials `C(remaining[t], choice[t])`.
+fn enumerate_choices(
+    index: usize,
+    choice: &mut Vec<u64>,
+    remaining: &[u64],
+    types: &[(Vec<usize>, u64)],
+    base: &BTreeSet<usize>,
+    forbidden: &[BTreeSet<usize>],
+    callback: &mut impl FnMut(&[u64], BigNat),
+) {
+    if index == types.len() {
+        let mut coverage: BTreeSet<usize> = base.clone();
+        for (t, &c) in choice.iter().enumerate() {
+            if c > 0 {
+                coverage.extend(types[t].0.iter().copied());
+            }
+        }
+        if forbidden.iter().any(|f| f.is_subset(&coverage)) {
+            return;
+        }
+        let mut ways = BigNat::one();
+        for (t, &c) in choice.iter().enumerate() {
+            ways = ways * binomial(remaining[t], c);
+        }
+        callback(choice, ways);
+        return;
+    }
+    for c in 0..=remaining[index] {
+        choice[index] = c;
+        enumerate_choices(index + 1, choice, remaining, types, base, forbidden, callback);
+    }
+    choice[index] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::count_valuations_brute;
+    use incdb_bignum::{pow, surjections};
+
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+    fn c(id: u64) -> Value {
+        Value::constant(id)
+    }
+
+    #[test]
+    fn applicability() {
+        assert!(applies_to_query(&"R(x), S(x)".parse().unwrap()));
+        assert!(applies_to_query(&"R(x,y), S(y), T(w)".parse().unwrap()));
+        assert!(!applies_to_query(&"R(x,x)".parse().unwrap()));
+        assert!(!applies_to_query(&"R(x), S(x,y), T(y)".parse().unwrap()));
+        assert!(!applies_to_query(&"R(x,y), S(x,y)".parse().unwrap()));
+    }
+
+    #[test]
+    fn rejects_non_uniform_databases() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.set_domain(NullId(0), [1u64]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        assert!(matches!(
+            count_valuations(&db, &q),
+            Err(AlgorithmError::DatabaseNotApplicable(_))
+        ));
+    }
+
+    #[test]
+    fn example_3_10_shape_no_constants() {
+        // q = R(x) ∧ S(x) over Codd-style unary tables with only nulls.
+        // The number of NON-satisfying valuations has the closed form
+        // Σ_{m'} C(d, m') surj(nR → m') (d − m')^{nS}; we verify our DP
+        // against brute force and against that closed form.
+        let d = 4u64;
+        let n_r = 3u32;
+        let n_s = 2u32;
+        let mut db = IncompleteDatabase::new_uniform(0..d);
+        let mut next = 0u32;
+        for _ in 0..n_r {
+            db.add_fact("R", vec![n(next)]).unwrap();
+            next += 1;
+        }
+        for _ in 0..n_s {
+            db.add_fact("S", vec![n(next)]).unwrap();
+            next += 1;
+        }
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        let fast = count_valuations(&db, &q).unwrap();
+        let brute = count_valuations_brute(&db, &q).unwrap();
+        assert_eq!(fast, brute);
+
+        // Closed form from Example 3.10 (no constants): total − Σ ...
+        let total = pow(d, (n_r + n_s) as u64);
+        let mut non_sat = BigNat::zero();
+        for m_prime in 0..=d {
+            non_sat += binomial(d, m_prime)
+                * surjections(n_r as u64, m_prime)
+                * pow(d - m_prime, n_s as u64);
+        }
+        assert_eq!(fast, total - non_sat);
+    }
+
+    #[test]
+    fn example_3_10_with_constants() {
+        // q = R(x) ∧ S(x); R = {R(⊥0), R(⊥1), R(5)}, S = {S(⊥2), S(6)},
+        // uniform domain {1,...,6}. Verified against brute force.
+        let mut db = IncompleteDatabase::new_uniform(1u64..=6);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("R", vec![n(1)]).unwrap();
+        db.add_fact("R", vec![c(5)]).unwrap();
+        db.add_fact("S", vec![n(2)]).unwrap();
+        db.add_fact("S", vec![c(6)]).unwrap();
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn overlapping_constants_make_everything_satisfying() {
+        // If R and S share a ground constant, every valuation satisfies q.
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![c(9)]).unwrap();
+        db.add_fact("S", vec![c(9)]).unwrap();
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::from(9u64));
+        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn shared_nulls_across_relations() {
+        // Naïve table: the same null occurs in R and S (and in T's non-hub
+        // column), exercising the "types" machinery.
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        db.add_fact("R", vec![c(1)]).unwrap();
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn multi_component_queries() {
+        // Two components (x and y) plus a free atom.
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0), c(7)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        db.add_fact("T", vec![n(2)]).unwrap();
+        db.add_fact("U", vec![n(0)]).unwrap();
+        db.add_fact("V", vec![c(3), n(3)]).unwrap();
+        let q: Bcq = "R(x,w), S(x), T(y), U(y), V(z,v)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn empty_relation_gives_zero() {
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::zero());
+    }
+
+    #[test]
+    fn ground_database() {
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![c(1)]).unwrap();
+        db.add_fact("S", vec![c(1)]).unwrap();
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::one());
+        let q2: Bcq = "R(x), S(x), T(z)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q2).unwrap(), BigNat::zero());
+    }
+
+    #[test]
+    fn constants_outside_domain_still_count_for_satisfaction() {
+        // Constant 9 is outside the uniform domain {0,1} but present in both
+        // R and S, so every valuation satisfies q.
+        let mut db = IncompleteDatabase::new_uniform(0u64..2);
+        db.add_fact("R", vec![c(9)]).unwrap();
+        db.add_fact("S", vec![c(9)]).unwrap();
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::from(4u64));
+        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn larger_star_component() {
+        // R(x) ∧ S(x) ∧ T(x) with a mix of nulls shared between relations.
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(0)]).unwrap();
+        db.add_fact("T", vec![n(1)]).unwrap();
+        db.add_fact("T", vec![c(0)]).unwrap();
+        db.add_fact("S", vec![n(2)]).unwrap();
+        let q: Bcq = "R(x), S(x), T(x)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn free_atoms_only() {
+        // Every variable occurs once; the count is d^#nulls when all
+        // relations are non-empty (agrees with Theorem 3.6).
+        let mut db = IncompleteDatabase::new_uniform(0u64..5);
+        db.add_fact("R", vec![n(0), n(1)]).unwrap();
+        db.add_fact("S", vec![c(2)]).unwrap();
+        let q: Bcq = "R(x,y), S(z)".parse().unwrap();
+        assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::from(25u64));
+    }
+}

@@ -1,0 +1,437 @@
+//! The dichotomy classifier: Table 1 (exact counting) and Section 5
+//! (approximate counting) of the paper, as executable code.
+//!
+//! Given a self-join-free Boolean conjunctive query `q`, a counting problem
+//! (`#Val` or `#Comp`) and a setting (naïve/Codd × non-uniform/uniform),
+//! [`classify`] returns the exact complexity of the problem according to the
+//! paper's dichotomies, and [`classify_approx`] returns its approximability
+//! status according to Section 5.
+
+use std::fmt;
+
+use incdb_query::{Bcq, KnownPattern};
+
+use crate::problem::{CountingProblem, DomainKind, Setting, TableKind};
+
+/// The exact-counting complexity of a problem `#Val(q)` / `#Comp(q)` in one
+/// of the paper's settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Complexity {
+    /// Solvable in polynomial time (the problem is in FP).
+    Fp,
+    /// #P-hard *and* member of #P, hence #P-complete.
+    SharpPComplete,
+    /// #P-hard; membership in #P is not claimed (and for counting
+    /// completions of naïve tables it fails unless NP ⊆ SPP,
+    /// Proposition 6.1).
+    SharpPHard,
+    /// Not resolved by the paper (the `#Valᵘ_Cd` frontier).
+    OpenProblem,
+}
+
+impl Complexity {
+    /// Returns `true` if the classification implies a polynomial-time exact
+    /// algorithm exists.
+    pub fn is_tractable(self) -> bool {
+        matches!(self, Complexity::Fp)
+    }
+
+    /// Returns `true` if the classification implies #P-hardness.
+    pub fn is_hard(self) -> bool {
+        matches!(self, Complexity::SharpPComplete | Complexity::SharpPHard)
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Complexity::Fp => write!(f, "FP"),
+            Complexity::SharpPComplete => write!(f, "#P-complete"),
+            Complexity::SharpPHard => write!(f, "#P-hard"),
+            Complexity::OpenProblem => write!(f, "open"),
+        }
+    }
+}
+
+/// The approximability of a problem, following Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApproxStatus {
+    /// Exactly solvable in polynomial time, so no approximation is needed.
+    ExactFp,
+    /// Admits a fully polynomial-time randomized approximation scheme.
+    Fpras,
+    /// Admits no FPRAS unless NP = RP.
+    NoFprasUnlessNpEqRp,
+    /// Left open by the paper (`#Compᵘ_Cd` with a hard pattern).
+    Open,
+}
+
+impl fmt::Display for ApproxStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxStatus::ExactFp => write!(f, "exact FP"),
+            ApproxStatus::Fpras => write!(f, "FPRAS"),
+            ApproxStatus::NoFprasUnlessNpEqRp => write!(f, "no FPRAS unless NP = RP"),
+            ApproxStatus::Open => write!(f, "open"),
+        }
+    }
+}
+
+/// Error returned when the query falls outside the scope of the dichotomies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassifyError {
+    /// The dichotomies of Table 1 are stated for self-join-free BCQs only.
+    NotSelfJoinFree,
+    /// The dichotomies assume constant-free queries.
+    HasConstants,
+}
+
+impl fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassifyError::NotSelfJoinFree => {
+                write!(f, "the dichotomy applies to self-join-free conjunctive queries only")
+            }
+            ClassifyError::HasConstants => {
+                write!(f, "the dichotomy applies to constant-free conjunctive queries only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClassifyError {}
+
+fn check_scope(q: &Bcq) -> Result<(), ClassifyError> {
+    if !q.is_self_join_free() {
+        return Err(ClassifyError::NotSelfJoinFree);
+    }
+    if !q.is_constant_free() {
+        return Err(ClassifyError::HasConstants);
+    }
+    Ok(())
+}
+
+/// Classifies the exact-counting complexity of `problem` for the
+/// self-join-free BCQ `q` in the given `setting`, reproducing Table 1.
+///
+/// * Counting valuations (first two columns of Table 1):
+///   * naïve, non-uniform — #P-complete iff `R(x,x)` or `R(x)∧S(x)` is a
+///     pattern of `q`, else FP (Theorem 3.6);
+///   * Codd, non-uniform — #P-complete iff `R(x)∧S(x)` is a pattern, else FP
+///     (Theorem 3.7);
+///   * naïve, uniform — #P-complete iff `R(x,x)`, `R(x)∧S(x,y)∧T(y)` or
+///     `R(x,y)∧S(x,y)` is a pattern, else FP (Theorem 3.9);
+///   * Codd, uniform — #P-complete if `R(x)∧S(x,y)∧T(y)` is a pattern
+///     (Proposition 3.11); FP when one of the known tractability results
+///     applies (Theorem 3.9 or Theorem 3.7 specialised to the uniform case);
+///     otherwise [`Complexity::OpenProblem`], the case the paper leaves open.
+/// * Counting completions (last two columns of Table 1):
+///   * non-uniform (naïve) — always #P-hard (Theorem 4.3);
+///   * non-uniform (Codd) — always #P-complete (Theorem 4.4);
+///   * uniform — #P-hard (naïve) / #P-complete (Codd) iff `R(x,x)` or
+///     `R(x,y)` is a pattern, else FP (Theorems 4.6 and 4.7).
+pub fn classify(
+    q: &Bcq,
+    problem: CountingProblem,
+    setting: Setting,
+) -> Result<Complexity, ClassifyError> {
+    check_scope(q)?;
+    let self_loop = KnownPattern::SelfLoop.matches(q);
+    let shared_var = KnownPattern::SharedVariable.matches(q);
+    let path2 = KnownPattern::PathOfLengthTwo.matches(q);
+    let double_edge = KnownPattern::DoubleEdge.matches(q);
+    let binary_atom = KnownPattern::BinaryAtom.matches(q);
+
+    let complexity = match (problem, setting.table, setting.domain) {
+        (CountingProblem::Valuations, TableKind::Naive, DomainKind::NonUniform) => {
+            if self_loop || shared_var {
+                Complexity::SharpPComplete
+            } else {
+                Complexity::Fp
+            }
+        }
+        (CountingProblem::Valuations, TableKind::Codd, DomainKind::NonUniform) => {
+            if shared_var {
+                Complexity::SharpPComplete
+            } else {
+                Complexity::Fp
+            }
+        }
+        (CountingProblem::Valuations, TableKind::Naive, DomainKind::Uniform) => {
+            if self_loop || path2 || double_edge {
+                Complexity::SharpPComplete
+            } else {
+                Complexity::Fp
+            }
+        }
+        (CountingProblem::Valuations, TableKind::Codd, DomainKind::Uniform) => {
+            if path2 {
+                Complexity::SharpPComplete
+            } else if !(self_loop || double_edge) || !shared_var {
+                // Tractable either via the uniform naïve algorithm
+                // (Theorem 3.9, when none of its three patterns occurs) or
+                // via the Codd algorithm (Theorem 3.7, when R(x)∧S(x) does
+                // not occur) — both apply a fortiori to uniform Codd tables.
+                Complexity::Fp
+            } else {
+                Complexity::OpenProblem
+            }
+        }
+        (CountingProblem::Completions, TableKind::Naive, DomainKind::NonUniform) => {
+            Complexity::SharpPHard
+        }
+        (CountingProblem::Completions, TableKind::Codd, DomainKind::NonUniform) => {
+            Complexity::SharpPComplete
+        }
+        (CountingProblem::Completions, TableKind::Naive, DomainKind::Uniform) => {
+            if self_loop || binary_atom {
+                Complexity::SharpPHard
+            } else {
+                Complexity::Fp
+            }
+        }
+        (CountingProblem::Completions, TableKind::Codd, DomainKind::Uniform) => {
+            if self_loop || binary_atom {
+                Complexity::SharpPComplete
+            } else {
+                Complexity::Fp
+            }
+        }
+    };
+    Ok(complexity)
+}
+
+/// Classifies the approximability of `problem` for `q` in `setting`,
+/// reproducing Section 5:
+///
+/// * `#Val(q)` admits an FPRAS in every setting (Corollary 5.3); we report
+///   [`ApproxStatus::ExactFp`] when exact counting is already tractable.
+/// * `#Comp(q)` over non-uniform databases admits no FPRAS unless NP = RP,
+///   for every sjfBCQ (Theorem 5.5).
+/// * `#Compᵘ(q)` over naïve tables admits no FPRAS unless NP = RP when
+///   `R(x,x)` or `R(x,y)` is a pattern of `q`, and is exactly solvable in FP
+///   otherwise (Theorem 5.7).
+/// * `#Compᵘ_Cd(q)` with a hard pattern is left open by the paper.
+pub fn classify_approx(
+    q: &Bcq,
+    problem: CountingProblem,
+    setting: Setting,
+) -> Result<ApproxStatus, ClassifyError> {
+    check_scope(q)?;
+    let exact = classify(q, problem, setting)?;
+    let status = match problem {
+        CountingProblem::Valuations => {
+            if exact == Complexity::Fp {
+                ApproxStatus::ExactFp
+            } else {
+                ApproxStatus::Fpras
+            }
+        }
+        CountingProblem::Completions => match setting.domain {
+            DomainKind::NonUniform => ApproxStatus::NoFprasUnlessNpEqRp,
+            DomainKind::Uniform => {
+                if exact == Complexity::Fp {
+                    ApproxStatus::ExactFp
+                } else if setting.table == TableKind::Naive {
+                    ApproxStatus::NoFprasUnlessNpEqRp
+                } else {
+                    ApproxStatus::Open
+                }
+            }
+        },
+    };
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> Bcq {
+        s.parse().unwrap()
+    }
+
+    fn all_settings() -> [Setting; 4] {
+        Setting::ALL
+    }
+
+    const VAL: CountingProblem = CountingProblem::Valuations;
+    const COMP: CountingProblem = CountingProblem::Completions;
+    const NAIVE_NU: Setting = Setting { table: TableKind::Naive, domain: DomainKind::NonUniform };
+    const NAIVE_U: Setting = Setting { table: TableKind::Naive, domain: DomainKind::Uniform };
+    const CODD_NU: Setting = Setting { table: TableKind::Codd, domain: DomainKind::NonUniform };
+    const CODD_U: Setting = Setting { table: TableKind::Codd, domain: DomainKind::Uniform };
+
+    #[test]
+    fn scope_errors() {
+        assert_eq!(classify(&q("R(x), R(y)"), VAL, NAIVE_NU), Err(ClassifyError::NotSelfJoinFree));
+        assert_eq!(classify(&q("R(x, 3)"), VAL, NAIVE_NU), Err(ClassifyError::HasConstants));
+        assert!(classify_approx(&q("R(x), R(y)"), COMP, NAIVE_U).is_err());
+    }
+
+    #[test]
+    fn table_1_row_naive_valuations() {
+        // Non-uniform naïve: hard patterns R(x,x) and R(x)∧S(x).
+        assert_eq!(classify(&q("R(x,x)"), VAL, NAIVE_NU).unwrap(), Complexity::SharpPComplete);
+        assert_eq!(classify(&q("R(x), S(x)"), VAL, NAIVE_NU).unwrap(), Complexity::SharpPComplete);
+        assert_eq!(classify(&q("R(x,y), S(z)"), VAL, NAIVE_NU).unwrap(), Complexity::Fp);
+        assert_eq!(classify(&q("R(x,y), S(y,z)"), VAL, NAIVE_NU).unwrap(), Complexity::SharpPComplete);
+
+        // Uniform naïve: hard patterns R(x,x), R(x)∧S(x,y)∧T(y), R(x,y)∧S(x,y).
+        assert_eq!(classify(&q("R(x,x)"), VAL, NAIVE_U).unwrap(), Complexity::SharpPComplete);
+        assert_eq!(
+            classify(&q("R(x), S(x,y), T(y)"), VAL, NAIVE_U).unwrap(),
+            Complexity::SharpPComplete
+        );
+        assert_eq!(classify(&q("R(x,y), S(x,y)"), VAL, NAIVE_U).unwrap(), Complexity::SharpPComplete);
+        // R(x)∧S(x) is tractable in the uniform setting (Example 3.10), and
+        // so is R(x,y)∧S(y,z): a single shared variable joins the two atoms,
+        // which avoids all three hard patterns.
+        assert_eq!(classify(&q("R(x), S(x)"), VAL, NAIVE_U).unwrap(), Complexity::Fp);
+        assert_eq!(classify(&q("R(x,y), S(y,z)"), VAL, NAIVE_U).unwrap(), Complexity::Fp);
+        assert_eq!(classify(&q("R(x), S(x), T(x)"), VAL, NAIVE_U).unwrap(), Complexity::Fp);
+    }
+
+    #[test]
+    fn table_1_row_codd_valuations() {
+        // Codd non-uniform: only R(x)∧S(x) is hard; R(x,x) becomes tractable.
+        assert_eq!(classify(&q("R(x,x)"), VAL, CODD_NU).unwrap(), Complexity::Fp);
+        assert_eq!(classify(&q("R(x), S(x)"), VAL, CODD_NU).unwrap(), Complexity::SharpPComplete);
+        assert_eq!(classify(&q("R(x,y)"), VAL, CODD_NU).unwrap(), Complexity::Fp);
+
+        // Codd uniform: R(x)∧S(x,y)∧T(y) is hard (Prop 3.11); R(x,x) and
+        // R(x,y)∧S(x,y)-free-but-shared cases are resolved by the known
+        // tractability results; the remaining frontier is open.
+        assert_eq!(
+            classify(&q("R(x), S(x,y), T(y)"), VAL, CODD_U).unwrap(),
+            Complexity::SharpPComplete
+        );
+        assert_eq!(classify(&q("R(x,x)"), VAL, CODD_U).unwrap(), Complexity::Fp);
+        assert_eq!(classify(&q("R(x), S(x)"), VAL, CODD_U).unwrap(), Complexity::Fp);
+        // R(x,y)∧S(x,y): not covered by either tractability result (it has
+        // both the double-edge and the shared-variable pattern) and not
+        // covered by the Prop 3.11 hardness: open.
+        assert_eq!(classify(&q("R(x,y), S(x,y)"), VAL, CODD_U).unwrap(), Complexity::OpenProblem);
+    }
+
+    #[test]
+    fn table_1_rows_completions() {
+        // Non-uniform: every sjfBCQ is hard, even a single unary atom.
+        for query in ["R(x)", "R(x,y)", "R(x), S(y)", "R(x,x)"] {
+            assert_eq!(classify(&q(query), COMP, NAIVE_NU).unwrap(), Complexity::SharpPHard, "{query}");
+            assert_eq!(classify(&q(query), COMP, CODD_NU).unwrap(), Complexity::SharpPComplete, "{query}");
+        }
+        // Uniform: hard iff R(x,x) or R(x,y) is a pattern, i.e. iff some atom
+        // has arity ≥ 2 or a repeated variable.
+        for query in ["R(x,y)", "R(x,x)", "R(x), S(x,y)", "R(x,y,z)"] {
+            assert_eq!(classify(&q(query), COMP, NAIVE_U).unwrap(), Complexity::SharpPHard, "{query}");
+            assert_eq!(classify(&q(query), COMP, CODD_U).unwrap(), Complexity::SharpPComplete, "{query}");
+        }
+        for query in ["R(x)", "R(x), S(x)", "R(x), S(y), T(z)"] {
+            assert_eq!(classify(&q(query), COMP, NAIVE_U).unwrap(), Complexity::Fp, "{query}");
+            assert_eq!(classify(&q(query), COMP, CODD_U).unwrap(), Complexity::Fp, "{query}");
+        }
+    }
+
+    #[test]
+    fn valuations_never_harder_than_completions_in_fp_terms() {
+        // "#Val(q) is always easier than #Comp(q)": whenever #Comp is FP,
+        // #Val is FP too, in every setting, over a corpus of queries.
+        let corpus = [
+            "R(x)",
+            "R(x,y)",
+            "R(x,x)",
+            "R(x), S(x)",
+            "R(x), S(y)",
+            "R(x), S(x,y), T(y)",
+            "R(x,y), S(x,y)",
+            "R(x,y), S(y,z)",
+            "R(x), S(x), T(x)",
+        ];
+        for text in corpus {
+            let query = q(text);
+            for setting in all_settings() {
+                let comp = classify(&query, COMP, setting).unwrap();
+                let val = classify(&query, VAL, setting).unwrap();
+                if comp == Complexity::Fp {
+                    assert_eq!(val, Complexity::Fp, "query {text}, setting {setting}");
+                }
+                // And hardness of #Val implies hardness of #Comp never fails
+                // the other way round in Table 1 for the uniform settings.
+                if val.is_hard() && setting.domain == DomainKind::Uniform {
+                    assert!(comp.is_hard(), "query {text}, setting {setting}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restrictions_only_help() {
+        // Codd ⊆ naïve and uniform ⊆ non-uniform: a problem tractable in the
+        // more general setting stays tractable in the more restricted one.
+        let corpus = ["R(x)", "R(x,y)", "R(x,x)", "R(x), S(x)", "R(x), S(x,y), T(y)", "R(x,y), S(x,y)"];
+        for text in corpus {
+            let query = q(text);
+            for problem in [VAL, COMP] {
+                for general in all_settings() {
+                    for restricted in all_settings() {
+                        if !restricted.is_special_case_of(&general) {
+                            continue;
+                        }
+                        let general_c = classify(&query, problem, general).unwrap();
+                        let restricted_c = classify(&query, problem, restricted).unwrap();
+                        if general_c == Complexity::Fp {
+                            assert_eq!(
+                                restricted_c,
+                                Complexity::Fp,
+                                "{problem:?} {text}: {general} is FP but {restricted} is {restricted_c}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_classification() {
+        // #Val always has an FPRAS (or is exactly tractable).
+        for text in ["R(x,x)", "R(x), S(x)", "R(x), S(x,y), T(y)"] {
+            for setting in all_settings() {
+                let status = classify_approx(&q(text), VAL, setting).unwrap();
+                assert!(
+                    matches!(status, ApproxStatus::Fpras | ApproxStatus::ExactFp),
+                    "{text} {setting}: {status}"
+                );
+            }
+        }
+        // #Comp over non-uniform databases: no FPRAS (Theorem 5.5), even for R(x).
+        assert_eq!(
+            classify_approx(&q("R(x)"), COMP, NAIVE_NU).unwrap(),
+            ApproxStatus::NoFprasUnlessNpEqRp
+        );
+        assert_eq!(
+            classify_approx(&q("R(x)"), COMP, CODD_NU).unwrap(),
+            ApproxStatus::NoFprasUnlessNpEqRp
+        );
+        // #Compᵘ: no FPRAS when a binary pattern occurs, exact FP otherwise.
+        assert_eq!(
+            classify_approx(&q("R(x,y)"), COMP, NAIVE_U).unwrap(),
+            ApproxStatus::NoFprasUnlessNpEqRp
+        );
+        assert_eq!(classify_approx(&q("R(x)"), COMP, NAIVE_U).unwrap(), ApproxStatus::ExactFp);
+        // #Compᵘ_Cd with a hard pattern: open.
+        assert_eq!(classify_approx(&q("R(x,y)"), COMP, CODD_U).unwrap(), ApproxStatus::Open);
+        assert_eq!(classify_approx(&q("R(x)"), COMP, CODD_U).unwrap(), ApproxStatus::ExactFp);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Complexity::Fp.to_string(), "FP");
+        assert_eq!(Complexity::SharpPComplete.to_string(), "#P-complete");
+        assert_eq!(ApproxStatus::NoFprasUnlessNpEqRp.to_string(), "no FPRAS unless NP = RP");
+        assert!(Complexity::SharpPHard.is_hard());
+        assert!(Complexity::Fp.is_tractable());
+        assert!(!Complexity::OpenProblem.is_hard());
+    }
+}

@@ -1,0 +1,203 @@
+//! The polynomial-time completion-identity check of Lemma B.2: given a Codd
+//! table `D` and a set `S` of ground facts, decide whether some valuation
+//! `ν` of `D` satisfies `ν(D) = S`.
+//!
+//! This is the key ingredient of the proof that `#Comp_Cd(q)` is in #P for
+//! every query with polynomial-time model checking (Proposition B.1 /
+//! Theorems 4.4 and 4.7).
+
+use incdb_data::{Database, IncompleteDatabase, Value};
+use incdb_graph::maximum_bipartite_matching;
+
+/// Returns `true` if `target` is a possible completion of the Codd table
+/// `db`, i.e. if there exists a valuation `ν` with `ν(db) = target`.
+///
+/// Follows the proof of Lemma B.2:
+///
+/// 1. every fact of `db` must be instantiable to *some* fact of `target`
+///    (otherwise `ν(db) ⊄ target` for every `ν`);
+/// 2. every fact of `target` must be *produced* by some fact of `db`; since
+///    facts of a Codd table do not share nulls, this is a bipartite-matching
+///    condition: the compatibility graph between the facts of `db` and the
+///    facts of `target` must have a matching saturating `target`.
+///
+/// # Panics
+/// Panics if `db` is not a Codd table (the characterisation is only valid
+/// for Codd tables) or if a null of `db` has no domain.
+pub fn is_possible_completion_of_codd(db: &IncompleteDatabase, target: &Database) -> bool {
+    assert!(db.is_codd(), "Lemma B.2 applies to Codd tables only");
+
+    // The completion has exactly the relations of db (declared relations with
+    // no facts stay empty). Any target fact over an unknown relation is
+    // unreachable, and a target relation that db cannot populate means the
+    // target is not a completion.
+    let db_relations: Vec<&str> = db.relation_names().collect();
+    for (relation, facts) in target.relations() {
+        if !facts.is_empty() && !db_relations.contains(&relation) {
+            return false;
+        }
+    }
+
+    // Collect db facts and target facts with global indices.
+    let mut db_facts: Vec<(&str, &Vec<Value>)> = Vec::new();
+    for (relation, facts) in db.relations() {
+        for fact in facts {
+            db_facts.push((relation, fact));
+        }
+    }
+    let mut target_facts: Vec<(&str, &Vec<incdb_data::Constant>)> = Vec::new();
+    for (relation, facts) in target.relations() {
+        for fact in facts {
+            target_facts.push((relation, fact));
+        }
+    }
+
+    // Compatibility: db fact i can be instantiated (within the domains of its
+    // nulls) to target fact j.
+    let compatible = |(rel_d, fact_d): (&str, &Vec<Value>),
+                      (rel_t, fact_t): (&str, &Vec<incdb_data::Constant>)|
+     -> bool {
+        if rel_d != rel_t || fact_d.len() != fact_t.len() {
+            return false;
+        }
+        fact_d.iter().zip(fact_t.iter()).all(|(v, &c)| match v {
+            Value::Const(k) => *k == c,
+            Value::Null(null) => db
+                .domain_of(*null)
+                .expect("every null of the Codd table must have a domain")
+                .contains(&c),
+        })
+    };
+
+    // Condition (⋆) of the proof: every db fact must have at least one
+    // compatible target fact.
+    let adjacency: Vec<Vec<usize>> = db_facts
+        .iter()
+        .map(|&df| {
+            target_facts
+                .iter()
+                .enumerate()
+                .filter(|(_, &tf)| compatible(df, tf))
+                .map(|(j, _)| j)
+                .collect::<Vec<usize>>()
+        })
+        .collect();
+    if adjacency.iter().any(Vec::is_empty) {
+        // Some db fact cannot land inside the target at all.
+        return false;
+    }
+    // Special case: an empty db produces only the empty completion.
+    if db_facts.is_empty() {
+        return target_facts.is_empty();
+    }
+
+    // Maximum matching must saturate the target facts.
+    let matching = maximum_bipartite_matching(db_facts.len(), target_facts.len(), &adjacency);
+    matching == target_facts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::all_completions;
+    use incdb_data::{Constant, NullId};
+
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+    fn c(id: u64) -> Value {
+        Value::constant(id)
+    }
+
+    fn codd_example() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("R", vec![n(1)]).unwrap();
+        db.add_fact("R", vec![c(5)]).unwrap();
+        db.add_fact("S", vec![n(2), c(1)]).unwrap();
+        db.set_domain(NullId(0), [1u64, 2]).unwrap();
+        db.set_domain(NullId(1), [2u64, 3]).unwrap();
+        db.set_domain(NullId(2), [1u64, 4]).unwrap();
+        db
+    }
+
+    #[test]
+    fn agrees_with_enumeration_on_all_candidates() {
+        let db = codd_example();
+        let completions = all_completions(&db).unwrap();
+        // Every enumerated completion must be recognised.
+        for completion in &completions {
+            assert!(
+                is_possible_completion_of_codd(&db, completion),
+                "rejected a genuine completion: {completion:?}"
+            );
+        }
+        // And a few non-completions must be rejected.
+        let mut not_a_completion = Database::new();
+        not_a_completion.add_fact("R", vec![Constant(5)]).unwrap();
+        assert!(!is_possible_completion_of_codd(&db, &not_a_completion), "missing S fact");
+
+        let mut wrong_value = Database::new();
+        wrong_value.add_fact("R", vec![Constant(5)]).unwrap();
+        wrong_value.add_fact("R", vec![Constant(9)]).unwrap();
+        wrong_value.add_fact("S", vec![Constant(1), Constant(1)]).unwrap();
+        assert!(!is_possible_completion_of_codd(&db, &wrong_value), "9 outside every domain");
+    }
+
+    #[test]
+    fn exhaustive_cross_check_on_small_instance() {
+        // Enumerate all subsets of the possible ground facts and compare the
+        // matching-based check against membership in the enumerated set of
+        // completions.
+        let mut db = IncompleteDatabase::new_uniform([1u64, 2]);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("R", vec![n(1)]).unwrap();
+        let completions = all_completions(&db).unwrap();
+        let universe = [Constant(1), Constant(2), Constant(3)];
+        for mask in 0u32..(1 << universe.len()) {
+            let mut candidate = Database::new();
+            candidate.declare_relation("R");
+            for (i, constant) in universe.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    candidate.add_fact("R", vec![*constant]).unwrap();
+                }
+            }
+            let expected = completions.contains(&candidate);
+            assert_eq!(
+                is_possible_completion_of_codd(&db, &candidate),
+                expected,
+                "candidate {candidate:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fact_count_constraints() {
+        // db has 3 R-facts over domains sizes 2; a target with more facts
+        // than db can produce, or fewer than the forced ones, is rejected.
+        let db = codd_example();
+        let mut too_many = Database::new();
+        for v in [1u64, 2, 3, 5, 7] {
+            too_many.add_fact("R", vec![Constant(v)]).unwrap();
+        }
+        too_many.add_fact("S", vec![Constant(1), Constant(1)]).unwrap();
+        assert!(!is_possible_completion_of_codd(&db, &too_many));
+    }
+
+    #[test]
+    fn empty_database_only_completes_to_empty() {
+        let db = IncompleteDatabase::new_non_uniform();
+        assert!(is_possible_completion_of_codd(&db, &Database::new()));
+        let mut nonempty = Database::new();
+        nonempty.add_fact("R", vec![Constant(1)]).unwrap();
+        assert!(!is_possible_completion_of_codd(&db, &nonempty));
+    }
+
+    #[test]
+    #[should_panic(expected = "Codd tables only")]
+    fn panics_on_naive_tables() {
+        let mut db = IncompleteDatabase::new_uniform([1u64]);
+        db.add_fact("R", vec![n(0), n(0)]).unwrap();
+        let _ = is_possible_completion_of_codd(&db, &Database::new());
+    }
+}

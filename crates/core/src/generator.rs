@@ -1,0 +1,176 @@
+//! Random incomplete-database generators, used by property tests, the
+//! experiment harness and the benchmarks.
+
+use rand::{Rng, RngExt};
+
+use incdb_data::{IncompleteDatabase, NullId, Value};
+use incdb_query::Bcq;
+
+/// Configuration of the random incomplete-database generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of facts per relation.
+    pub facts_per_relation: usize,
+    /// Probability that a position holds a null rather than a constant.
+    pub null_probability: f64,
+    /// Size of each null's domain (and of the uniform domain).
+    pub domain_size: usize,
+    /// Number of distinct constants to draw table constants from.
+    pub constant_pool: usize,
+    /// Generate a Codd table (fresh null per position) instead of reusing a
+    /// small pool of nulls.
+    pub codd: bool,
+    /// Generate a uniform database (single shared domain `{0..domain_size}`)
+    /// instead of per-null random domains.
+    pub uniform: bool,
+    /// Number of nulls to reuse across positions when `codd` is `false`.
+    pub null_pool: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            facts_per_relation: 3,
+            null_probability: 0.6,
+            domain_size: 3,
+            constant_pool: 4,
+            codd: false,
+            uniform: true,
+            null_pool: 4,
+        }
+    }
+}
+
+/// Generates a random incomplete database over the signature of `q`
+/// (one relation per atom, with the atom's arity).
+pub fn random_database_for_query<R: Rng + ?Sized>(
+    q: &Bcq,
+    config: &GeneratorConfig,
+    rng: &mut R,
+) -> IncompleteDatabase {
+    let relations: Vec<(String, usize)> =
+        q.atoms().iter().map(|a| (a.relation().to_string(), a.arity())).collect();
+    random_database(&relations, config, rng)
+}
+
+/// Generates a random incomplete database over an explicit schema given as
+/// `(relation name, arity)` pairs.
+pub fn random_database<R: Rng + ?Sized>(
+    relations: &[(String, usize)],
+    config: &GeneratorConfig,
+    rng: &mut R,
+) -> IncompleteDatabase {
+    let mut db = if config.uniform {
+        IncompleteDatabase::new_uniform(0..config.domain_size as u64)
+    } else {
+        IncompleteDatabase::new_non_uniform()
+    };
+    let mut next_null: u32 = 0;
+    let mut used_nulls: Vec<NullId> = Vec::new();
+
+    for (relation, arity) in relations {
+        db.declare_relation(relation);
+        for _ in 0..config.facts_per_relation {
+            let mut fact = Vec::with_capacity(*arity);
+            for _ in 0..*arity {
+                if rng.random_bool(config.null_probability.clamp(0.0, 1.0)) {
+                    let null = if config.codd || used_nulls.is_empty() {
+                        let id = NullId(next_null);
+                        next_null += 1;
+                        used_nulls.push(id);
+                        id
+                    } else if used_nulls.len() < config.null_pool && rng.random_bool(0.5) {
+                        let id = NullId(next_null);
+                        next_null += 1;
+                        used_nulls.push(id);
+                        id
+                    } else {
+                        used_nulls[rng.random_range(0..used_nulls.len())]
+                    };
+                    fact.push(Value::Null(null));
+                } else {
+                    let constant = rng.random_range(0..config.constant_pool.max(1)) as u64;
+                    fact.push(Value::constant(constant));
+                }
+            }
+            db.add_fact(relation, fact).expect("generated facts have a consistent arity");
+        }
+    }
+
+    if !config.uniform {
+        // Assign each null a random non-empty domain of the requested size,
+        // drawn from a slightly larger universe so domains differ.
+        let universe = (config.domain_size * 2).max(1) as u64;
+        for null in db.nulls() {
+            let mut dom: Vec<u64> = Vec::new();
+            while dom.len() < config.domain_size.max(1) {
+                let candidate = rng.random_range(0..universe);
+                if !dom.contains(&candidate) {
+                    dom.push(candidate);
+                }
+            }
+            db.set_domain(null, dom).expect("non-uniform database accepts per-null domains");
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn q(s: &str) -> Bcq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn respects_codd_and_uniform_flags() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = GeneratorConfig { codd: true, uniform: true, ..Default::default() };
+        let db = random_database_for_query(&q("R(x,y), S(y)"), &config, &mut rng);
+        assert!(db.is_codd());
+        assert!(db.is_uniform());
+        db.validate().unwrap();
+
+        let config = GeneratorConfig {
+            codd: false,
+            uniform: false,
+            null_probability: 1.0,
+            ..Default::default()
+        };
+        let db = random_database_for_query(&q("R(x,y), S(y)"), &config, &mut rng);
+        assert!(!db.is_uniform());
+        db.validate().unwrap();
+        assert!(!db.nulls().is_empty());
+    }
+
+    #[test]
+    fn schema_matches_query() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let db = random_database_for_query(&q("R(x,y), S(y), T(z)"), &GeneratorConfig::default(), &mut rng);
+        let names: Vec<&str> = db.relation_names().collect();
+        assert_eq!(names, vec!["R", "S", "T"]);
+        assert_eq!(db.arity("R"), Some(2));
+        assert_eq!(db.arity("S"), Some(1));
+        assert!(db.relation_size("R") <= GeneratorConfig::default().facts_per_relation);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let config = GeneratorConfig::default();
+        let a = random_database_for_query(&q("R(x,y)"), &config, &mut StdRng::seed_from_u64(9));
+        let b = random_database_for_query(&q("R(x,y)"), &config, &mut StdRng::seed_from_u64(9));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn all_constant_generation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = GeneratorConfig { null_probability: 0.0, ..Default::default() };
+        let db = random_database_for_query(&q("R(x)"), &config, &mut rng);
+        assert!(db.nulls().is_empty());
+        assert_eq!(db.valuation_count().to_u64(), Some(1));
+    }
+}

@@ -1,0 +1,180 @@
+//! The counting problems and settings studied in the paper.
+
+use std::fmt;
+
+use incdb_data::IncompleteDatabase;
+
+/// Which quantity is being counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CountingProblem {
+    /// `#Val(q)`: the number of valuations `ν` with `ν(D) ⊨ q`.
+    Valuations,
+    /// `#Comp(q)`: the number of distinct completions `ν(D)` with `ν(D) ⊨ q`.
+    Completions,
+}
+
+/// Whether the input table is a general naïve table or a Codd table
+/// (every null occurs at most once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TableKind {
+    /// Naïve tables: nulls may repeat.
+    Naive,
+    /// Codd tables: each null occurs at most once.
+    Codd,
+}
+
+/// Whether all nulls share one domain (uniform) or each null carries its own
+/// (non-uniform, the paper's default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DomainKind {
+    /// One domain per null.
+    NonUniform,
+    /// A single domain shared by every null.
+    Uniform,
+}
+
+/// One of the four settings of Table 1 (table kind × domain kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Setting {
+    /// Naïve or Codd.
+    pub table: TableKind,
+    /// Non-uniform or uniform.
+    pub domain: DomainKind,
+}
+
+impl Setting {
+    /// All four settings, in the column order of Table 1.
+    pub const ALL: [Setting; 4] = [
+        Setting { table: TableKind::Naive, domain: DomainKind::NonUniform },
+        Setting { table: TableKind::Naive, domain: DomainKind::Uniform },
+        Setting { table: TableKind::Codd, domain: DomainKind::NonUniform },
+        Setting { table: TableKind::Codd, domain: DomainKind::Uniform },
+    ];
+
+    /// The naïve, non-uniform setting (the paper's default).
+    pub fn default_naive() -> Self {
+        Setting { table: TableKind::Naive, domain: DomainKind::NonUniform }
+    }
+
+    /// The setting an actual incomplete database lives in.
+    ///
+    /// Note that a Codd table is also a naïve table and a database whose
+    /// nulls happen to share identical per-null domains is still non-uniform;
+    /// this function reports the *most restrictive* setting the database
+    /// belongs to (Codd if every null occurs once, uniform if the database
+    /// was built with a shared domain).
+    pub fn of(db: &IncompleteDatabase) -> Self {
+        Setting {
+            table: if db.is_codd() { TableKind::Codd } else { TableKind::Naive },
+            domain: if db.is_uniform() { DomainKind::Uniform } else { DomainKind::NonUniform },
+        }
+    }
+
+    /// Returns `true` if an instance of this setting is also an instance of
+    /// `other` (Codd ⊆ naïve and uniform ⊆ non-uniform — a uniform domain is
+    /// a special case of giving every null the same per-null domain).
+    pub fn is_special_case_of(&self, other: &Setting) -> bool {
+        let table_ok = other.table == TableKind::Naive || self.table == TableKind::Codd;
+        let domain_ok = other.domain == DomainKind::NonUniform || self.domain == DomainKind::Uniform;
+        table_ok && domain_ok
+    }
+}
+
+/// Renders the problem name the way the paper writes it, e.g. `#Valᵘ_Cd(q)`.
+pub fn problem_name(problem: CountingProblem, setting: Setting) -> String {
+    let base = match problem {
+        CountingProblem::Valuations => "#Val",
+        CountingProblem::Completions => "#Comp",
+    };
+    let sup = match setting.domain {
+        DomainKind::NonUniform => "",
+        DomainKind::Uniform => "ᵘ",
+    };
+    let sub = match setting.table {
+        TableKind::Naive => "",
+        TableKind::Codd => "_Cd",
+    };
+    format!("{base}{sup}{sub}")
+}
+
+impl fmt::Display for CountingProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountingProblem::Valuations => write!(f, "counting valuations"),
+            CountingProblem::Completions => write!(f, "counting completions"),
+        }
+    }
+}
+
+impl fmt::Display for Setting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let table = match self.table {
+            TableKind::Naive => "naïve",
+            TableKind::Codd => "Codd",
+        };
+        let domain = match self.domain {
+            DomainKind::NonUniform => "non-uniform",
+            DomainKind::Uniform => "uniform",
+        };
+        write!(f, "{table} table, {domain} domain")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_data::Value;
+
+    #[test]
+    fn problem_names_match_the_paper() {
+        use CountingProblem::*;
+        use DomainKind::*;
+        use TableKind::*;
+        assert_eq!(problem_name(Valuations, Setting { table: Naive, domain: NonUniform }), "#Val");
+        assert_eq!(problem_name(Valuations, Setting { table: Codd, domain: NonUniform }), "#Val_Cd");
+        assert_eq!(problem_name(Valuations, Setting { table: Naive, domain: Uniform }), "#Valᵘ");
+        assert_eq!(
+            problem_name(Completions, Setting { table: Codd, domain: Uniform }),
+            "#Compᵘ_Cd"
+        );
+    }
+
+    #[test]
+    fn setting_of_database() {
+        let mut codd_uniform = IncompleteDatabase::new_uniform([0u64, 1]);
+        codd_uniform.add_fact("R", vec![Value::null(0)]).unwrap();
+        assert_eq!(
+            Setting::of(&codd_uniform),
+            Setting { table: TableKind::Codd, domain: DomainKind::Uniform }
+        );
+
+        let mut naive = IncompleteDatabase::new_non_uniform();
+        naive.add_fact("R", vec![Value::null(0), Value::null(0)]).unwrap();
+        naive.set_domain(incdb_data::NullId(0), [1u64]).unwrap();
+        assert_eq!(
+            Setting::of(&naive),
+            Setting { table: TableKind::Naive, domain: DomainKind::NonUniform }
+        );
+    }
+
+    #[test]
+    fn specialisation_order() {
+        let codd_uniform = Setting { table: TableKind::Codd, domain: DomainKind::Uniform };
+        let naive_nonuniform = Setting::default_naive();
+        assert!(codd_uniform.is_special_case_of(&naive_nonuniform));
+        assert!(!naive_nonuniform.is_special_case_of(&codd_uniform));
+        for s in Setting::ALL {
+            assert!(s.is_special_case_of(&naive_nonuniform));
+            assert!(s.is_special_case_of(&s));
+        }
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(CountingProblem::Valuations.to_string(), "counting valuations");
+        assert_eq!(
+            Setting { table: TableKind::Codd, domain: DomainKind::Uniform }.to_string(),
+            "Codd table, uniform domain"
+        );
+    }
+}

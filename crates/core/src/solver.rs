@@ -1,0 +1,286 @@
+//! The solver façade: routes a counting request to the best applicable
+//! algorithm (closed form when a tractable cell of Table 1 applies,
+//! exhaustive enumeration otherwise) and reports which algorithm was used.
+
+use std::fmt;
+
+use incdb_bignum::BigNat;
+use incdb_data::{DataError, IncompleteDatabase};
+use incdb_query::Bcq;
+
+use crate::algorithms::{comp_uniform, val_codd, val_nonuniform, val_uniform, AlgorithmError};
+use crate::enumerate;
+
+/// The algorithm actually used to answer a counting request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Theorem 3.6: every variable occurs once — product of domain sizes.
+    SingleOccurrenceProduct,
+    /// Theorem 3.7: per-atom factorisation over a Codd table.
+    CoddFactorisation,
+    /// Theorem 3.9 / Proposition A.14: uniform inclusion–exclusion DP.
+    UniformInclusionExclusion,
+    /// Theorem 4.6 / Appendix B.6: uniform unary completion counting.
+    UniformUnaryCompletions,
+    /// Exhaustive enumeration of valuations (exponential).
+    Enumeration,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Method::SingleOccurrenceProduct => "Theorem 3.6 closed form",
+            Method::CoddFactorisation => "Theorem 3.7 Codd factorisation",
+            Method::UniformInclusionExclusion => "Theorem 3.9 inclusion–exclusion",
+            Method::UniformUnaryCompletions => "Theorem 4.6 unary completion counting",
+            Method::Enumeration => "exhaustive enumeration",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The result of a counting request: the exact value and the method used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountOutcome {
+    /// The exact count.
+    pub value: BigNat,
+    /// The algorithm that produced it.
+    pub method: Method,
+}
+
+/// Errors returned by the solver façade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// A data-level problem (missing domain, arity mismatch, …).
+    Data(DataError),
+    /// An internal algorithm rejected an instance the façade routed to it.
+    Algorithm(AlgorithmError),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Data(e) => write!(f, "{e}"),
+            SolveError::Algorithm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<DataError> for SolveError {
+    fn from(e: DataError) -> Self {
+        SolveError::Data(e)
+    }
+}
+
+impl From<AlgorithmError> for SolveError {
+    fn from(e: AlgorithmError) -> Self {
+        match e {
+            AlgorithmError::Data(d) => SolveError::Data(d),
+            other => SolveError::Algorithm(other),
+        }
+    }
+}
+
+/// Computes `#Val(q)(db)`: the number of valuations of `db` whose completion
+/// satisfies `q`. Routes to the tractable algorithms of Section 3 when they
+/// apply, and falls back to exhaustive enumeration otherwise.
+pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcome, SolveError> {
+    db.validate()?;
+    if val_nonuniform::applies_to(q) {
+        let value = val_nonuniform::count_valuations(db, q)?;
+        return Ok(CountOutcome { value, method: Method::SingleOccurrenceProduct });
+    }
+    if db.is_codd() && val_codd::applies_to_query(q) {
+        let value = val_codd::count_valuations(db, q)?;
+        return Ok(CountOutcome { value, method: Method::CoddFactorisation });
+    }
+    if db.is_uniform() && val_uniform::applies_to_query(q) {
+        let value = val_uniform::count_valuations(db, q)?;
+        return Ok(CountOutcome { value, method: Method::UniformInclusionExclusion });
+    }
+    let value = enumerate::count_valuations_brute(db, q)?;
+    Ok(CountOutcome { value, method: Method::Enumeration })
+}
+
+/// Computes `#Comp(q)(db)`: the number of distinct completions of `db`
+/// satisfying `q`. Routes to the Theorem 4.6 algorithm when the database is
+/// uniform with a unary schema, and falls back to enumeration otherwise —
+/// which is the best that can be done in general, since counting completions
+/// is #P-hard for *every* self-join-free BCQ over non-uniform databases
+/// (Theorem 4.3).
+pub fn count_completions(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcome, SolveError> {
+    db.validate()?;
+    let db_is_unary = db.relation_names().all(|r| db.arity(r).is_none_or(|a| a == 1));
+    if db.is_uniform() && db_is_unary && comp_uniform::applies_to_query(q) {
+        let value = comp_uniform::count_completions(db, q)?;
+        return Ok(CountOutcome { value, method: Method::UniformUnaryCompletions });
+    }
+    let value = enumerate::count_completions_brute(db, q)?;
+    Ok(CountOutcome { value, method: Method::Enumeration })
+}
+
+/// Computes the number of *all* distinct completions of `db` (no query),
+/// using the Theorem 4.6 machinery when possible.
+pub fn count_all_completions(db: &IncompleteDatabase) -> Result<CountOutcome, SolveError> {
+    db.validate()?;
+    let db_is_unary = db.relation_names().all(|r| db.arity(r).is_none_or(|a| a == 1));
+    if db.is_uniform() && db_is_unary {
+        let value = comp_uniform::count_all_completions(db)?;
+        return Ok(CountOutcome { value, method: Method::UniformUnaryCompletions });
+    }
+    let value = enumerate::count_all_completions_brute(db)?;
+    Ok(CountOutcome { value, method: Method::Enumeration })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{random_database_for_query, GeneratorConfig};
+    use incdb_data::{NullId, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn q(s: &str) -> Bcq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn routing_for_valuations() {
+        // Single-occurrence query: closed form.
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![Value::null(0), Value::null(1)]).unwrap();
+        let outcome = count_valuations(&db, &q("R(x,y)")).unwrap();
+        assert_eq!(outcome.method, Method::SingleOccurrenceProduct);
+        assert_eq!(outcome.value.to_u64(), Some(9));
+
+        // Codd table + R(x,x): Codd factorisation.
+        let outcome = count_valuations(&db, &q("R(x,x)")).unwrap();
+        assert_eq!(outcome.method, Method::CoddFactorisation);
+        assert_eq!(outcome.value.to_u64(), Some(3));
+
+        // Uniform naïve table + R(x) ∧ S(x): inclusion–exclusion.
+        let mut db2 = IncompleteDatabase::new_uniform(0u64..2);
+        db2.add_fact("R", vec![Value::null(0)]).unwrap();
+        db2.add_fact("S", vec![Value::null(0)]).unwrap();
+        db2.add_fact("S", vec![Value::null(1)]).unwrap();
+        let outcome = count_valuations(&db2, &q("R(x), S(x)")).unwrap();
+        assert_eq!(outcome.method, Method::UniformInclusionExclusion);
+
+        // Hard pattern on a naïve non-uniform table: enumeration.
+        let mut db3 = IncompleteDatabase::new_non_uniform();
+        db3.add_fact("R", vec![Value::null(0), Value::null(0)]).unwrap();
+        db3.add_fact("S", vec![Value::null(0)]).unwrap();
+        db3.set_domain(NullId(0), [0u64, 1]).unwrap();
+        let outcome = count_valuations(&db3, &q("R(x,y), S(x)")).unwrap();
+        assert_eq!(outcome.method, Method::Enumeration);
+    }
+
+    #[test]
+    fn routing_for_completions() {
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        db.add_fact("R", vec![Value::null(0)]).unwrap();
+        db.add_fact("S", vec![Value::null(1)]).unwrap();
+        let outcome = count_completions(&db, &q("R(x), S(x)")).unwrap();
+        assert_eq!(outcome.method, Method::UniformUnaryCompletions);
+
+        let outcome = count_all_completions(&db).unwrap();
+        assert_eq!(outcome.method, Method::UniformUnaryCompletions);
+
+        // Binary relation: enumeration.
+        let mut db2 = IncompleteDatabase::new_uniform(0u64..2);
+        db2.add_fact("R", vec![Value::null(0), Value::null(1)]).unwrap();
+        let outcome = count_completions(&db2, &q("R(x,y)")).unwrap();
+        assert_eq!(outcome.method, Method::Enumeration);
+    }
+
+    #[test]
+    fn closed_forms_agree_with_enumeration_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let val_queries = [
+            "R(x,y), S(z)",
+            "R(x,x)",
+            "R(x), S(x)",
+            "R(x), S(x), T(x)",
+            "R(x,y), S(y), T(w)",
+        ];
+        for text in val_queries {
+            let query = q(text);
+            for codd in [true, false] {
+                for uniform in [true, false] {
+                    let config = GeneratorConfig {
+                        facts_per_relation: 2,
+                        domain_size: 2,
+                        codd,
+                        uniform,
+                        constant_pool: 3,
+                        null_probability: 0.7,
+                        null_pool: 3,
+                    };
+                    let db = random_database_for_query(&query, &config, &mut rng);
+                    let fast = count_valuations(&db, &query).unwrap();
+                    let brute = enumerate::count_valuations_brute(&db, &query).unwrap();
+                    assert_eq!(
+                        fast.value, brute,
+                        "{text} codd={codd} uniform={uniform} via {} on {db:?}",
+                        fast.method
+                    );
+                }
+            }
+        }
+        let comp_queries = ["R(x), S(x)", "R(x), S(y)", "R(x), S(x), T(x)"];
+        for text in comp_queries {
+            let query = q(text);
+            for codd in [true, false] {
+                let config = GeneratorConfig {
+                    facts_per_relation: 2,
+                    domain_size: 2,
+                    codd,
+                    uniform: true,
+                    constant_pool: 3,
+                    null_probability: 0.7,
+                    null_pool: 3,
+                };
+                let db = random_database_for_query(&query, &config, &mut rng);
+                let fast = count_completions(&db, &query).unwrap();
+                let brute = enumerate::count_completions_brute(&db, &query).unwrap();
+                assert_eq!(fast.value, brute, "{text} codd={codd} on {db:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn invariants_completions_at_most_valuations() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let query = q("R(x,x), S(x)");
+        for _ in 0..10 {
+            let config = GeneratorConfig {
+                facts_per_relation: 2,
+                domain_size: 2,
+                codd: false,
+                uniform: true,
+                ..Default::default()
+            };
+            let db = random_database_for_query(&query, &config, &mut rng);
+            let vals = count_valuations(&db, &query).unwrap().value;
+            let comps = count_completions(&db, &query).unwrap().value;
+            assert!(comps <= vals);
+            assert!(vals <= db.valuation_count());
+        }
+    }
+
+    #[test]
+    fn missing_domain_propagates() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![Value::null(0)]).unwrap();
+        assert!(matches!(count_valuations(&db, &q("R(x)")), Err(SolveError::Data(_))));
+        assert!(matches!(count_completions(&db, &q("R(x)")), Err(SolveError::Data(_))));
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::Enumeration.to_string(), "exhaustive enumeration");
+        assert!(Method::UniformInclusionExclusion.to_string().contains("3.9"));
+    }
+}

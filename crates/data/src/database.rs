@@ -1,0 +1,233 @@
+//! Complete databases: finite sets of ground facts over a relational schema.
+//!
+//! Completions of incomplete databases are values of this type; counting
+//! *distinct* completions relies on [`Database`] having structural equality
+//! and hashing that coincide with set equality of facts, which the
+//! `BTreeMap`/`BTreeSet` representation guarantees.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::error::DataError;
+use crate::value::Constant;
+
+/// A ground fact: a tuple of constants (the relation name is the key of the
+/// containing relation map).
+pub type GroundFact = Vec<Constant>;
+
+/// A complete relational database: for each relation name, a set of ground
+/// facts of a fixed arity.
+///
+/// ```
+/// use incdb_data::{Database, Constant};
+/// let mut db = Database::new();
+/// db.add_fact("R", vec![Constant(1), Constant(2)]).unwrap();
+/// db.add_fact("R", vec![Constant(1), Constant(2)]).unwrap(); // duplicate, set semantics
+/// assert_eq!(db.fact_count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Database {
+    relations: BTreeMap<String, BTreeSet<GroundFact>>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a ground fact to relation `relation`.
+    ///
+    /// Duplicate facts are silently ignored (set semantics). Returns an error
+    /// if the arity of the fact differs from the arity of facts already
+    /// stored under the same relation name, or if the fact is empty.
+    pub fn add_fact(&mut self, relation: &str, fact: GroundFact) -> Result<(), DataError> {
+        if fact.is_empty() {
+            return Err(DataError::EmptyFact { relation: relation.to_string() });
+        }
+        if let Some(existing) = self.relations.get(relation) {
+            if let Some(first) = existing.iter().next() {
+                if first.len() != fact.len() {
+                    return Err(DataError::ArityMismatch {
+                        relation: relation.to_string(),
+                        expected: first.len(),
+                        found: fact.len(),
+                    });
+                }
+            }
+        }
+        self.relations.entry(relation.to_string()).or_default().insert(fact);
+        Ok(())
+    }
+
+    /// Declares a relation name with no facts (useful so that `relations()`
+    /// mentions it even when empty).
+    pub fn declare_relation(&mut self, relation: &str) {
+        self.relations.entry(relation.to_string()).or_default();
+    }
+
+    /// Returns `true` if the given ground fact belongs to the database.
+    pub fn contains(&self, relation: &str, fact: &[Constant]) -> bool {
+        self.relations.get(relation).is_some_and(|facts| facts.contains(fact))
+    }
+
+    /// The set of facts of a relation (empty if the relation is unknown).
+    pub fn facts(&self, relation: &str) -> impl Iterator<Item = &GroundFact> {
+        self.relations.get(relation).into_iter().flatten()
+    }
+
+    /// The number of facts stored in a relation.
+    pub fn relation_size(&self, relation: &str) -> usize {
+        self.relations.get(relation).map_or(0, BTreeSet::len)
+    }
+
+    /// Iterates over `(relation name, facts)` pairs in name order.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &BTreeSet<GroundFact>)> {
+        self.relations.iter().map(|(name, facts)| (name.as_str(), facts))
+    }
+
+    /// The relation names present in the database (including declared-empty
+    /// ones), in lexicographic order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// The total number of facts.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+
+    /// Returns `true` if the database stores no facts at all.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(BTreeSet::is_empty)
+    }
+
+    /// The active domain: every constant appearing in some fact.
+    pub fn active_domain(&self) -> BTreeSet<Constant> {
+        self.relations
+            .values()
+            .flat_map(|facts| facts.iter().flat_map(|f| f.iter().copied()))
+            .collect()
+    }
+
+    /// Returns `true` if `other` contains every fact of `self`.
+    pub fn is_subset_of(&self, other: &Database) -> bool {
+        self.relations.iter().all(|(name, facts)| {
+            facts.iter().all(|f| other.contains(name, f))
+        })
+    }
+
+    /// The set of constants appearing in the given relation.
+    pub fn adom_of_relation(&self, relation: &str) -> BTreeSet<Constant> {
+        self.facts(relation).flat_map(|f| f.iter().copied()).collect()
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (name, facts) in &self.relations {
+            for fact in facts {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                let args: Vec<String> = fact.iter().map(|c| c.to_string()).collect();
+                write!(f, "{name}({})", args.join(","))?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64) -> Constant {
+        Constant(id)
+    }
+
+    #[test]
+    fn set_semantics_deduplicates() {
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(1), c(2)]).unwrap();
+        db.add_fact("R", vec![c(1), c(2)]).unwrap();
+        db.add_fact("R", vec![c(2), c(1)]).unwrap();
+        assert_eq!(db.fact_count(), 2);
+        assert!(db.contains("R", &[c(1), c(2)]));
+        assert!(!db.contains("R", &[c(3), c(3)]));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(1), c(2)]).unwrap();
+        let err = db.add_fact("R", vec![c(1)]).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { expected: 2, found: 1, .. }));
+        let err = db.add_fact("S", vec![]).unwrap_err();
+        assert!(matches!(err, DataError::EmptyFact { .. }));
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let mut a = Database::new();
+        a.add_fact("R", vec![c(1)]).unwrap();
+        a.add_fact("R", vec![c(2)]).unwrap();
+        let mut b = Database::new();
+        b.add_fact("R", vec![c(2)]).unwrap();
+        b.add_fact("R", vec![c(1)]).unwrap();
+        assert_eq!(a, b);
+
+        let mut h = std::collections::HashSet::new();
+        h.insert(a);
+        h.insert(b);
+        assert_eq!(h.len(), 1, "equal databases must hash identically");
+    }
+
+    #[test]
+    fn active_domain_and_relation_adom() {
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(1), c(2)]).unwrap();
+        db.add_fact("S", vec![c(3)]).unwrap();
+        let adom: Vec<u64> = db.active_domain().into_iter().map(|x| x.0).collect();
+        assert_eq!(adom, vec![1, 2, 3]);
+        let r_adom: Vec<u64> = db.adom_of_relation("R").into_iter().map(|x| x.0).collect();
+        assert_eq!(r_adom, vec![1, 2]);
+        assert!(db.adom_of_relation("T").is_empty());
+    }
+
+    #[test]
+    fn subset_check() {
+        let mut a = Database::new();
+        a.add_fact("R", vec![c(1)]).unwrap();
+        let mut b = a.clone();
+        b.add_fact("R", vec![c(2)]).unwrap();
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(Database::new().is_subset_of(&a));
+    }
+
+    #[test]
+    fn declared_relation_shows_up_empty() {
+        let mut db = Database::new();
+        db.declare_relation("R");
+        assert!(db.is_empty());
+        assert_eq!(db.relation_names().collect::<Vec<_>>(), vec!["R"]);
+        assert_eq!(db.relation_size("R"), 0);
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(1), c(2)]).unwrap();
+        assert_eq!(format!("{db:?}"), "{R(1,2)}");
+    }
+}

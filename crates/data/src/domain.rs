@@ -1,0 +1,130 @@
+//! Null domains: uniform and non-uniform domain assignments.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::DataError;
+use crate::value::{Constant, NullId};
+
+/// A finite set of constants over which a null may be interpreted.
+pub type Domain = BTreeSet<Constant>;
+
+/// The domain assignment `dom` of an incomplete database.
+///
+/// * In the **non-uniform** (default) setting, every null `⊥` comes with its
+///   own finite set `dom(⊥) ⊆ Consts`.
+/// * In the **uniform** setting, a single finite set `dom ⊆ Consts` is shared
+///   by all nulls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainAssignment {
+    /// One domain per null.
+    NonUniform(BTreeMap<NullId, Domain>),
+    /// One shared domain for every null.
+    Uniform(Domain),
+}
+
+impl DomainAssignment {
+    /// A fresh empty non-uniform assignment.
+    pub fn non_uniform() -> Self {
+        DomainAssignment::NonUniform(BTreeMap::new())
+    }
+
+    /// A uniform assignment with the given shared domain.
+    pub fn uniform<I>(domain: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<Constant>,
+    {
+        DomainAssignment::Uniform(domain.into_iter().map(Into::into).collect())
+    }
+
+    /// Returns `true` if this is a uniform assignment.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, DomainAssignment::Uniform(_))
+    }
+
+    /// The domain of `null`, if defined.
+    pub fn domain_of(&self, null: NullId) -> Option<&Domain> {
+        match self {
+            DomainAssignment::NonUniform(map) => map.get(&null),
+            DomainAssignment::Uniform(dom) => Some(dom),
+        }
+    }
+
+    /// Sets the domain of a single null (non-uniform assignments only).
+    pub fn set(&mut self, null: NullId, domain: Domain) -> Result<(), DataError> {
+        match self {
+            DomainAssignment::NonUniform(map) => {
+                if domain.is_empty() {
+                    return Err(DataError::EmptyDomain { null: Some(null) });
+                }
+                map.insert(null, domain);
+                Ok(())
+            }
+            DomainAssignment::Uniform(_) => Err(DataError::DomainKindMismatch),
+        }
+    }
+
+    /// For a uniform assignment, the shared domain.
+    pub fn uniform_domain(&self) -> Option<&Domain> {
+        match self {
+            DomainAssignment::Uniform(dom) => Some(dom),
+            DomainAssignment::NonUniform(_) => None,
+        }
+    }
+
+    /// Every constant mentioned in some domain.
+    pub fn all_constants(&self) -> Domain {
+        match self {
+            DomainAssignment::Uniform(dom) => dom.clone(),
+            DomainAssignment::NonUniform(map) => {
+                map.values().flat_map(|d| d.iter().copied()).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64) -> Constant {
+        Constant(id)
+    }
+
+    #[test]
+    fn uniform_assignment_shares_domain() {
+        let dom = DomainAssignment::uniform([1u64, 2, 3]);
+        assert!(dom.is_uniform());
+        assert_eq!(dom.domain_of(NullId(0)).unwrap().len(), 3);
+        assert_eq!(dom.domain_of(NullId(99)).unwrap().len(), 3);
+        assert_eq!(dom.uniform_domain().unwrap().len(), 3);
+        assert_eq!(dom.all_constants().len(), 3);
+    }
+
+    #[test]
+    fn non_uniform_assignment_is_per_null() {
+        let mut dom = DomainAssignment::non_uniform();
+        dom.set(NullId(1), [c(1), c(2)].into_iter().collect()).unwrap();
+        dom.set(NullId(2), [c(3)].into_iter().collect()).unwrap();
+        assert!(!dom.is_uniform());
+        assert_eq!(dom.domain_of(NullId(1)).unwrap().len(), 2);
+        assert_eq!(dom.domain_of(NullId(2)).unwrap().len(), 1);
+        assert_eq!(dom.domain_of(NullId(3)), None);
+        assert_eq!(dom.uniform_domain(), None);
+        assert_eq!(dom.all_constants().len(), 3);
+    }
+
+    #[test]
+    fn setting_on_uniform_is_rejected() {
+        let mut dom = DomainAssignment::uniform([1u64]);
+        let err = dom.set(NullId(0), [c(1)].into_iter().collect()).unwrap_err();
+        assert_eq!(err, DataError::DomainKindMismatch);
+    }
+
+    #[test]
+    fn empty_per_null_domain_is_rejected() {
+        let mut dom = DomainAssignment::non_uniform();
+        let err = dom.set(NullId(0), Domain::new()).unwrap_err();
+        assert!(matches!(err, DataError::EmptyDomain { null: Some(NullId(0)) }));
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+use crate::value::{Constant, NullId};
+
+/// Errors raised while constructing or manipulating (incomplete) databases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A fact was added to a relation with a different arity than the facts
+    /// already present.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity of the facts already stored.
+        expected: usize,
+        /// Arity of the offending fact.
+        found: usize,
+    },
+    /// A fact with zero columns was added (the paper assumes arity ≥ 1).
+    EmptyFact {
+        /// Relation name.
+        relation: String,
+    },
+    /// A null occurring in the table has no associated domain.
+    MissingDomain {
+        /// The offending null.
+        null: NullId,
+    },
+    /// The domain provided for a null is empty, so no valuation exists.
+    EmptyDomain {
+        /// The offending null.
+        null: Option<NullId>,
+    },
+    /// A per-null domain was supplied for a uniform incomplete database (or
+    /// the uniform domain was set on a non-uniform one).
+    DomainKindMismatch,
+    /// A valuation maps a null outside of its domain.
+    ValueOutsideDomain {
+        /// The offending null.
+        null: NullId,
+        /// The offending constant.
+        value: Constant,
+    },
+    /// A valuation does not cover every null of the database.
+    IncompleteValuation {
+        /// A null with no image.
+        null: NullId,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch { relation, expected, found } => write!(
+                f,
+                "arity mismatch for relation {relation}: expected {expected}, found {found}"
+            ),
+            DataError::EmptyFact { relation } => {
+                write!(f, "relation {relation}: facts must have at least one column")
+            }
+            DataError::MissingDomain { null } => {
+                write!(f, "null {null} occurs in the table but has no domain")
+            }
+            DataError::EmptyDomain { null: Some(null) } => {
+                write!(f, "null {null} has an empty domain")
+            }
+            DataError::EmptyDomain { null: None } => write!(f, "the uniform domain is empty"),
+            DataError::DomainKindMismatch => write!(
+                f,
+                "mixed uniform and non-uniform domain assignments on the same incomplete database"
+            ),
+            DataError::ValueOutsideDomain { null, value } => {
+                write!(f, "valuation maps {null} to {value}, which is outside its domain")
+            }
+            DataError::IncompleteValuation { null } => {
+                write!(f, "valuation does not assign a value to {null}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::ArityMismatch { relation: "R".to_string(), expected: 2, found: 3 };
+        assert!(e.to_string().contains("arity mismatch"));
+        assert!(e.to_string().contains('R'));
+
+        let e = DataError::MissingDomain { null: NullId(4) };
+        assert!(e.to_string().contains("⊥4"));
+
+        let e = DataError::ValueOutsideDomain { null: NullId(1), value: Constant(9) };
+        assert!(e.to_string().contains('9'));
+
+        let e = DataError::EmptyDomain { null: None };
+        assert!(e.to_string().contains("uniform"));
+    }
+}

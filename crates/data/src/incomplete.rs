@@ -1,0 +1,525 @@
+//! Incomplete databases: naïve tables and Codd tables with uniform or
+//! non-uniform null domains, and the valuation/completion machinery.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use incdb_bignum::BigNat;
+
+use crate::database::Database;
+use crate::domain::{Domain, DomainAssignment};
+use crate::error::DataError;
+use crate::valuation::{Valuation, ValuationIter};
+use crate::value::{Constant, NullId, Value};
+
+/// A fact of a naïve table: a tuple of values (constants and/or nulls).
+pub type IncompleteFact = Vec<Value>;
+
+/// An incomplete database `D = (T, dom)`: a naïve table `T` whose facts may
+/// mention labelled nulls, together with a finite domain for each null.
+///
+/// * The table is a **Codd table** when every null occurs at most once
+///   ([`IncompleteDatabase::is_codd`]).
+/// * The database is **uniform** when all nulls share the same domain
+///   ([`IncompleteDatabase::is_uniform`]).
+///
+/// Completions are obtained by applying a [`Valuation`]
+/// ([`IncompleteDatabase::apply`]); duplicate facts collapse because
+/// completions use set semantics (closed-world assumption, Section 2 of the
+/// paper).
+#[derive(Clone, PartialEq, Eq)]
+pub struct IncompleteDatabase {
+    relations: BTreeMap<String, BTreeSet<IncompleteFact>>,
+    domains: DomainAssignment,
+}
+
+impl IncompleteDatabase {
+    /// Creates an empty incomplete database in the non-uniform setting
+    /// (each null will need [`IncompleteDatabase::set_domain`]).
+    pub fn new_non_uniform() -> Self {
+        IncompleteDatabase { relations: BTreeMap::new(), domains: DomainAssignment::non_uniform() }
+    }
+
+    /// Creates an empty incomplete database in the uniform setting, with the
+    /// given shared domain.
+    pub fn new_uniform<I>(domain: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<Constant>,
+    {
+        IncompleteDatabase {
+            relations: BTreeMap::new(),
+            domains: DomainAssignment::uniform(domain),
+        }
+    }
+
+    /// Adds a fact (possibly containing nulls) to relation `relation`.
+    /// Duplicate facts are ignored (the naïve table is a set of facts).
+    pub fn add_fact(&mut self, relation: &str, fact: IncompleteFact) -> Result<(), DataError> {
+        if fact.is_empty() {
+            return Err(DataError::EmptyFact { relation: relation.to_string() });
+        }
+        if let Some(existing) = self.relations.get(relation) {
+            if let Some(first) = existing.iter().next() {
+                if first.len() != fact.len() {
+                    return Err(DataError::ArityMismatch {
+                        relation: relation.to_string(),
+                        expected: first.len(),
+                        found: fact.len(),
+                    });
+                }
+            }
+        }
+        self.relations.entry(relation.to_string()).or_default().insert(fact);
+        Ok(())
+    }
+
+    /// Declares a relation with no facts.
+    pub fn declare_relation(&mut self, relation: &str) {
+        self.relations.entry(relation.to_string()).or_default();
+    }
+
+    /// Sets the domain of a null (non-uniform databases only).
+    pub fn set_domain<I>(&mut self, null: NullId, domain: I) -> Result<(), DataError>
+    where
+        I: IntoIterator,
+        I::Item: Into<Constant>,
+    {
+        let dom: Domain = domain.into_iter().map(Into::into).collect();
+        self.domains.set(null, dom)
+    }
+
+    /// Returns the domain assignment.
+    pub fn domains(&self) -> &DomainAssignment {
+        &self.domains
+    }
+
+    /// Returns `true` if this database is uniform (single shared domain).
+    pub fn is_uniform(&self) -> bool {
+        self.domains.is_uniform()
+    }
+
+    /// For uniform databases, the shared domain.
+    pub fn uniform_domain(&self) -> Option<&Domain> {
+        self.domains.uniform_domain()
+    }
+
+    /// The domain of a null occurring in the database.
+    pub fn domain_of(&self, null: NullId) -> Result<&Domain, DataError> {
+        self.domains.domain_of(null).ok_or(DataError::MissingDomain { null })
+    }
+
+    /// Iterates over `(relation name, facts)` pairs in name order.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &BTreeSet<IncompleteFact>)> {
+        self.relations.iter().map(|(name, facts)| (name.as_str(), facts))
+    }
+
+    /// The relation names of the database, in lexicographic order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// The facts of one relation.
+    pub fn facts(&self, relation: &str) -> impl Iterator<Item = &IncompleteFact> {
+        self.relations.get(relation).into_iter().flatten()
+    }
+
+    /// The number of facts in one relation.
+    pub fn relation_size(&self, relation: &str) -> usize {
+        self.relations.get(relation).map_or(0, BTreeSet::len)
+    }
+
+    /// The arity of a relation, if it has at least one fact.
+    pub fn arity(&self, relation: &str) -> Option<usize> {
+        self.relations.get(relation).and_then(|facts| facts.iter().next().map(Vec::len))
+    }
+
+    /// The total number of facts.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+
+    /// The set of nulls occurring in the table, in increasing label order.
+    pub fn nulls(&self) -> Vec<NullId> {
+        let set: BTreeSet<NullId> = self
+            .relations
+            .values()
+            .flat_map(|facts| facts.iter().flat_map(|f| f.iter().filter_map(|v| v.as_null())))
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The set of nulls occurring in one relation.
+    pub fn nulls_of_relation(&self, relation: &str) -> BTreeSet<NullId> {
+        self.facts(relation).flat_map(|f| f.iter().filter_map(|v| v.as_null())).collect()
+    }
+
+    /// The set of constants occurring in the table itself.
+    pub fn table_constants(&self) -> BTreeSet<Constant> {
+        self.relations
+            .values()
+            .flat_map(|facts| facts.iter().flat_map(|f| f.iter().filter_map(|v| v.as_const())))
+            .collect()
+    }
+
+    /// The set of constants occurring in one relation of the table.
+    pub fn constants_of_relation(&self, relation: &str) -> BTreeSet<Constant> {
+        self.facts(relation).flat_map(|f| f.iter().filter_map(|v| v.as_const())).collect()
+    }
+
+    /// The number of occurrences of `null` in the table (counting one per
+    /// position per fact).
+    pub fn occurrences(&self, null: NullId) -> usize {
+        self.relations
+            .values()
+            .flat_map(|facts| facts.iter())
+            .map(|f| f.iter().filter(|v| v.as_null() == Some(null)).count())
+            .sum()
+    }
+
+    /// Returns `true` if the table is a Codd table: every null occurs at most
+    /// once.
+    pub fn is_codd(&self) -> bool {
+        let mut seen: BTreeSet<NullId> = BTreeSet::new();
+        for facts in self.relations.values() {
+            for fact in facts {
+                for v in fact {
+                    if let Some(n) = v.as_null() {
+                        if !seen.insert(n) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks that every null occurring in the table has a non-empty domain.
+    pub fn validate(&self) -> Result<(), DataError> {
+        for null in self.nulls() {
+            let dom = self.domain_of(null)?;
+            if dom.is_empty() {
+                return Err(DataError::EmptyDomain {
+                    null: if self.is_uniform() { None } else { Some(null) },
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The total number of valuations `∏_⊥ |dom(⊥)|` (an exact big natural).
+    ///
+    /// Returns `0` if some null has an empty (or missing) domain, and `1` if
+    /// the table contains no nulls.
+    pub fn valuation_count(&self) -> BigNat {
+        let mut acc = BigNat::one();
+        for null in self.nulls() {
+            match self.domains.domain_of(null) {
+                Some(dom) if !dom.is_empty() => acc = acc * BigNat::from(dom.len()),
+                _ => return BigNat::zero(),
+            }
+        }
+        acc
+    }
+
+    /// Iterates over every valuation of the database.
+    ///
+    /// Returns an error if some null has no domain.
+    pub fn try_valuations(&self) -> Result<ValuationIter, DataError> {
+        let nulls = self.nulls();
+        let mut domains = Vec::with_capacity(nulls.len());
+        for &n in &nulls {
+            domains.push(self.domain_of(n)?.iter().copied().collect());
+        }
+        Ok(ValuationIter::new(nulls, domains))
+    }
+
+    /// Iterates over every valuation of the database.
+    ///
+    /// # Panics
+    /// Panics if some null occurring in the table has no domain; use
+    /// [`IncompleteDatabase::try_valuations`] to handle that case gracefully.
+    pub fn valuations(&self) -> ValuationIter {
+        self.try_valuations().expect("every null must have a domain")
+    }
+
+    /// Applies a valuation, producing the completion `ν(D)` (set semantics).
+    ///
+    /// Returns an error if the valuation misses a null of the table or maps a
+    /// null outside of its domain.
+    pub fn apply(&self, valuation: &Valuation) -> Result<Database, DataError> {
+        for null in self.nulls() {
+            match valuation.get(null) {
+                None => return Err(DataError::IncompleteValuation { null }),
+                Some(c) => {
+                    let dom = self.domain_of(null)?;
+                    if !dom.contains(&c) {
+                        return Err(DataError::ValueOutsideDomain { null, value: c });
+                    }
+                }
+            }
+        }
+        Ok(self.apply_unchecked(valuation))
+    }
+
+    /// Applies a valuation without checking domain membership (the valuation
+    /// must still assign every null of the table).
+    ///
+    /// # Panics
+    /// Panics if the valuation misses a null of the table.
+    pub fn apply_unchecked(&self, valuation: &Valuation) -> Database {
+        let mut db = Database::new();
+        for (name, facts) in &self.relations {
+            db.declare_relation(name);
+            for fact in facts {
+                let ground: Vec<Constant> = fact
+                    .iter()
+                    .map(|v| match v {
+                        Value::Const(c) => *c,
+                        Value::Null(n) => valuation
+                            .get(*n)
+                            .unwrap_or_else(|| panic!("valuation misses null {n}")),
+                    })
+                    .collect();
+                db.add_fact(name, ground).expect("arity verified at insertion time");
+            }
+        }
+        db
+    }
+
+    /// Restricts the database to the given relation names (used by the
+    /// counting algorithms to focus on the relations of a query).
+    pub fn restrict_to_relations(&self, names: &BTreeSet<String>) -> IncompleteDatabase {
+        IncompleteDatabase {
+            relations: self
+                .relations
+                .iter()
+                .filter(|(name, _)| names.contains(*name))
+                .map(|(name, facts)| (name.clone(), facts.clone()))
+                .collect(),
+            domains: self.domains.clone(),
+        }
+    }
+
+    /// Rewrites every constant `c` of the table into a fresh null with the
+    /// singleton domain `{c}`. This is the classical trick used in the proof
+    /// of Theorem 3.7 to assume, without loss of generality, that a Codd
+    /// table contains no constants. Only available in the non-uniform
+    /// setting (in the uniform setting the transformation would change the
+    /// semantics).
+    pub fn constants_to_fresh_nulls(&self) -> Result<IncompleteDatabase, DataError> {
+        if self.is_uniform() {
+            return Err(DataError::DomainKindMismatch);
+        }
+        let mut next_null = self.nulls().last().map_or(0, |n| n.0 + 1);
+        let mut out = IncompleteDatabase::new_non_uniform();
+        // Copy the existing domains.
+        for null in self.nulls() {
+            let dom = self.domain_of(null)?;
+            out.set_domain(null, dom.iter().copied())?;
+        }
+        for (name, facts) in &self.relations {
+            out.declare_relation(name);
+            for fact in facts {
+                let mut new_fact = Vec::with_capacity(fact.len());
+                for v in fact {
+                    match v {
+                        Value::Null(n) => new_fact.push(Value::Null(*n)),
+                        Value::Const(c) => {
+                            let fresh = NullId(next_null);
+                            next_null += 1;
+                            out.set_domain(fresh, [*c])?;
+                            new_fact.push(Value::Null(fresh));
+                        }
+                    }
+                }
+                out.add_fact(name, new_fact)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for IncompleteDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (name, facts) in &self.relations {
+            for fact in facts {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                let args: Vec<String> = fact.iter().map(|v| v.to_string()).collect();
+                write!(f, "{name}({})", args.join(","))?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for IncompleteDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64) -> Value {
+        Value::constant(id)
+    }
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+
+    /// The incomplete database of Example 2.1 of the paper:
+    /// `T = {S(⊥1,⊥1), S(a,⊥2)}`, `dom(⊥1) = {a,b}`, `dom(⊥2) = {a,c}`
+    /// with a = 0, b = 1, c = 2.
+    fn example_2_1() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("S", vec![n(1), n(1)]).unwrap();
+        db.add_fact("S", vec![c(0), n(2)]).unwrap();
+        db.set_domain(NullId(1), [0u64, 1]).unwrap();
+        db.set_domain(NullId(2), [0u64, 2]).unwrap();
+        db
+    }
+
+    #[test]
+    fn example_2_1_structure() {
+        let db = example_2_1();
+        assert_eq!(db.nulls(), vec![NullId(1), NullId(2)]);
+        assert!(!db.is_codd(), "⊥1 occurs twice, so this is not a Codd table");
+        assert!(!db.is_uniform());
+        assert_eq!(db.fact_count(), 2);
+        assert_eq!(db.arity("S"), Some(2));
+        assert_eq!(db.occurrences(NullId(1)), 2);
+        assert_eq!(db.occurrences(NullId(2)), 1);
+        assert_eq!(db.valuation_count().to_u64(), Some(4));
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn example_2_1_valuations() {
+        let db = example_2_1();
+        // ν1: ⊥1 ↦ b(=1), ⊥2 ↦ c(=2)  gives {S(b,b), S(a,c)}.
+        let v1 = Valuation::from_pairs([(NullId(1), Constant(1)), (NullId(2), Constant(2))]);
+        let completed = db.apply(&v1).unwrap();
+        assert_eq!(completed.fact_count(), 2);
+        assert!(completed.contains("S", &[Constant(1), Constant(1)]));
+        assert!(completed.contains("S", &[Constant(0), Constant(2)]));
+
+        // ν2: both ↦ a(=0) gives {S(a,a)} — duplicates collapse.
+        let v2 = Valuation::from_pairs([(NullId(1), Constant(0)), (NullId(2), Constant(0))]);
+        let completed = db.apply(&v2).unwrap();
+        assert_eq!(completed.fact_count(), 1);
+        assert!(completed.contains("S", &[Constant(0), Constant(0)]));
+
+        // Mapping ⊥2 to b(=1) is not a valuation: b ∉ dom(⊥2).
+        let bad = Valuation::from_pairs([(NullId(1), Constant(1)), (NullId(2), Constant(1))]);
+        assert!(matches!(
+            db.apply(&bad),
+            Err(DataError::ValueOutsideDomain { null: NullId(2), .. })
+        ));
+    }
+
+    #[test]
+    fn missing_null_in_valuation() {
+        let db = example_2_1();
+        let partial = Valuation::from_pairs([(NullId(1), Constant(0))]);
+        assert!(matches!(db.apply(&partial), Err(DataError::IncompleteValuation { null: NullId(2) })));
+    }
+
+    #[test]
+    fn valuation_iteration_counts() {
+        let db = example_2_1();
+        let vals: Vec<Valuation> = db.valuations().collect();
+        assert_eq!(vals.len(), 4);
+        let completions: BTreeSet<Database> =
+            vals.iter().map(|v| db.apply_unchecked(v)).collect();
+        // {S(a,a),S(a,a)}, {S(a,a),S(a,c)}, {S(b,b),S(a,a)}, {S(b,b),S(a,c)}:
+        // all four completions are distinct here.
+        assert_eq!(completions.len(), 4);
+    }
+
+    #[test]
+    fn uniform_database() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![n(0), n(1)]).unwrap();
+        assert!(db.is_uniform());
+        assert_eq!(db.uniform_domain().unwrap().len(), 2);
+        assert_eq!(db.valuation_count().to_u64(), Some(4));
+        assert!(db.set_domain(NullId(0), [5u64]).is_err());
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn missing_domain_detected() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0)]).unwrap();
+        assert!(matches!(db.validate(), Err(DataError::MissingDomain { null: NullId(0) })));
+        assert_eq!(db.valuation_count(), BigNat::zero());
+        assert!(db.try_valuations().is_err());
+    }
+
+    #[test]
+    fn codd_detection() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        assert!(db.is_codd());
+        db.add_fact("T", vec![n(0)]).unwrap();
+        assert!(!db.is_codd());
+    }
+
+    #[test]
+    fn constants_to_fresh_nulls_preserves_counting() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![c(7), n(0)]).unwrap();
+        db.set_domain(NullId(0), [1u64, 2]).unwrap();
+        let rewritten = db.constants_to_fresh_nulls().unwrap();
+        assert!(rewritten.table_constants().is_empty());
+        assert!(rewritten.is_codd());
+        // One fresh null with singleton domain {7} plus the original null.
+        assert_eq!(rewritten.nulls().len(), 2);
+        assert_eq!(rewritten.valuation_count().to_u64(), Some(2));
+        // The completions are in bijection.
+        let originals: BTreeSet<Database> =
+            db.valuations().map(|v| db.apply_unchecked(&v)).collect();
+        let rewrittens: BTreeSet<Database> =
+            rewritten.valuations().map(|v| rewritten.apply_unchecked(&v)).collect();
+        assert_eq!(originals, rewrittens);
+    }
+
+    #[test]
+    fn restrict_to_relations() {
+        let mut db = IncompleteDatabase::new_uniform([0u64]);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        let only_r: BTreeSet<String> = ["R".to_string()].into_iter().collect();
+        let restricted = db.restrict_to_relations(&only_r);
+        assert_eq!(restricted.relation_names().collect::<Vec<_>>(), vec!["R"]);
+        assert_eq!(restricted.nulls(), vec![NullId(0)]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut db = IncompleteDatabase::new_uniform([0u64]);
+        db.add_fact("R", vec![n(0), n(1)]).unwrap();
+        assert!(matches!(
+            db.add_fact("R", vec![n(2)]),
+            Err(DataError::ArityMismatch { expected: 2, found: 1, .. })
+        ));
+        assert!(matches!(db.add_fact("S", vec![]), Err(DataError::EmptyFact { .. })));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let mut db = IncompleteDatabase::new_uniform([0u64]);
+        db.add_fact("R", vec![c(1), n(2)]).unwrap();
+        assert_eq!(format!("{db}"), "{R(1,⊥2)}");
+    }
+}

@@ -1,0 +1,113 @@
+//! A small bidirectional interner mapping human-readable names to
+//! [`Constant`] identifiers.
+//!
+//! The counting algorithms only ever see integer identifiers; the pool exists
+//! so that examples and pretty-printers can speak about constants `a`, `b`,
+//! `c` like the paper does.
+
+use std::collections::HashMap;
+
+use crate::value::Constant;
+
+/// A bidirectional map between constant names and [`Constant`] identifiers.
+///
+/// ```
+/// use incdb_data::ConstantPool;
+/// let mut pool = ConstantPool::new();
+/// let a = pool.intern("a");
+/// let b = pool.intern("b");
+/// assert_ne!(a, b);
+/// assert_eq!(pool.intern("a"), a);
+/// assert_eq!(pool.name(a), Some("a"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConstantPool {
+    names: Vec<String>,
+    by_name: HashMap<String, Constant>,
+}
+
+impl ConstantPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the constant previously associated with it
+    /// or a fresh one.
+    pub fn intern(&mut self, name: &str) -> Constant {
+        if let Some(&c) = self.by_name.get(name) {
+            return c;
+        }
+        let c = Constant(self.names.len() as u64);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), c);
+        c
+    }
+
+    /// Looks up a constant by name without interning.
+    pub fn get(&self, name: &str) -> Option<Constant> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name associated with `c`, if `c` was interned through this pool.
+    pub fn name(&self, c: Constant) -> Option<&str> {
+        self.names.get(c.0 as usize).map(String::as_str)
+    }
+
+    /// The number of interned constants.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no constants have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Renders a constant: its name if known, otherwise its numeric id.
+    pub fn display(&self, c: Constant) -> String {
+        match self.name(c) {
+            Some(n) => n.to_string(),
+            None => c.0.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut pool = ConstantPool::new();
+        let a1 = pool.intern("alice");
+        let a2 = pool.intern("alice");
+        assert_eq!(a1, a2);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut pool = ConstantPool::new();
+        let ids: Vec<_> = ["a", "b", "c", "d"].iter().map(|n| pool.intern(n)).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn lookup_and_display() {
+        let mut pool = ConstantPool::new();
+        let a = pool.intern("a");
+        assert_eq!(pool.get("a"), Some(a));
+        assert_eq!(pool.get("zzz"), None);
+        assert_eq!(pool.name(a), Some("a"));
+        assert_eq!(pool.name(Constant(99)), None);
+        assert_eq!(pool.display(a), "a");
+        assert_eq!(pool.display(Constant(99)), "99");
+        assert!(!pool.is_empty());
+        assert!(ConstantPool::new().is_empty());
+    }
+}

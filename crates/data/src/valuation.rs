@@ -1,0 +1,223 @@
+//! Valuations of incomplete databases and exhaustive valuation iteration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::{Constant, NullId};
+
+/// A valuation `ν`: a mapping from (the nulls of an incomplete database) to
+/// constants.
+///
+/// A valuation built by [`crate::IncompleteDatabase::valuations`] always maps
+/// every null of the database into its domain; valuations built by hand can
+/// be checked with [`crate::IncompleteDatabase::apply`].
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Valuation {
+    map: BTreeMap<NullId, Constant>,
+}
+
+impl Valuation {
+    /// The empty valuation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a valuation from `(null, constant)` pairs.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (NullId, Constant)>,
+    {
+        Valuation { map: pairs.into_iter().collect() }
+    }
+
+    /// Assigns `value` to `null` (overwriting any previous assignment).
+    pub fn assign(&mut self, null: NullId, value: Constant) {
+        self.map.insert(null, value);
+    }
+
+    /// The image of `null`, if assigned.
+    pub fn get(&self, null: NullId) -> Option<Constant> {
+        self.map.get(&null).copied()
+    }
+
+    /// The number of assigned nulls.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no null is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(null, constant)` pairs in null order.
+    pub fn iter(&self) -> impl Iterator<Item = (NullId, Constant)> + '_ {
+        self.map.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// The set of constants in the image of the valuation.
+    pub fn image(&self) -> impl Iterator<Item = Constant> + '_ {
+        self.map.values().copied()
+    }
+
+    /// Restricts the valuation to the given nulls.
+    pub fn restrict(&self, nulls: &[NullId]) -> Valuation {
+        Valuation {
+            map: nulls.iter().filter_map(|&n| self.get(n).map(|c| (n, c))).collect(),
+        }
+    }
+}
+
+impl FromIterator<(NullId, Constant)> for Valuation {
+    fn from_iter<I: IntoIterator<Item = (NullId, Constant)>>(iter: I) -> Self {
+        Valuation::from_pairs(iter)
+    }
+}
+
+impl fmt::Debug for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, c)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n} ↦ {c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// An exhaustive iterator over every valuation of a set of nulls, given their
+/// domains (odometer order: the last null varies fastest).
+///
+/// Yields exactly `∏ᵢ |domᵢ|` valuations; if some domain is empty and at
+/// least one null exists, it yields nothing; with no nulls at all it yields
+/// the single empty valuation.
+pub struct ValuationIter {
+    nulls: Vec<NullId>,
+    domains: Vec<Vec<Constant>>,
+    /// Current odometer position; `None` once exhausted or before start.
+    indices: Option<Vec<usize>>,
+    started: bool,
+}
+
+impl ValuationIter {
+    /// Creates an iterator over all valuations of `nulls`, where `domains[i]`
+    /// is the domain of `nulls[i]`.
+    pub fn new(nulls: Vec<NullId>, domains: Vec<Vec<Constant>>) -> Self {
+        assert_eq!(nulls.len(), domains.len(), "one domain per null required");
+        let empty = domains.iter().any(Vec::is_empty);
+        let indices = if empty && !nulls.is_empty() { None } else { Some(vec![0; nulls.len()]) };
+        ValuationIter { nulls, domains, indices, started: false }
+    }
+
+    fn advance(&mut self) {
+        let Some(indices) = self.indices.as_mut() else { return };
+        for pos in (0..indices.len()).rev() {
+            indices[pos] += 1;
+            if indices[pos] < self.domains[pos].len() {
+                return;
+            }
+            indices[pos] = 0;
+        }
+        // Wrapped around completely: exhausted.
+        self.indices = None;
+    }
+}
+
+impl Iterator for ValuationIter {
+    type Item = Valuation;
+
+    fn next(&mut self) -> Option<Valuation> {
+        if self.started {
+            self.advance();
+        } else {
+            self.started = true;
+        }
+        let indices = self.indices.as_ref()?;
+        Some(Valuation::from_pairs(
+            self.nulls
+                .iter()
+                .enumerate()
+                .map(|(pos, &n)| (n, self.domains[pos][indices[pos]])),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64) -> Constant {
+        Constant(id)
+    }
+
+    #[test]
+    fn empty_null_set_yields_one_empty_valuation() {
+        let mut it = ValuationIter::new(vec![], vec![]);
+        let v = it.next().unwrap();
+        assert!(v.is_empty());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn empty_domain_yields_nothing() {
+        let mut it = ValuationIter::new(vec![NullId(0)], vec![vec![]]);
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn product_of_domain_sizes() {
+        let it = ValuationIter::new(
+            vec![NullId(0), NullId(1), NullId(2)],
+            vec![vec![c(1), c(2)], vec![c(3), c(4), c(5)], vec![c(6)]],
+        );
+        let all: Vec<Valuation> = it.collect();
+        assert_eq!(all.len(), 6);
+        // All distinct.
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6);
+        // Every valuation covers every null with a value of its domain.
+        for v in &all {
+            assert_eq!(v.len(), 3);
+            assert!([c(1), c(2)].contains(&v.get(NullId(0)).unwrap()));
+            assert!([c(3), c(4), c(5)].contains(&v.get(NullId(1)).unwrap()));
+            assert_eq!(v.get(NullId(2)), Some(c(6)));
+        }
+    }
+
+    #[test]
+    fn valuation_accessors() {
+        let mut v = Valuation::new();
+        v.assign(NullId(2), c(9));
+        v.assign(NullId(1), c(7));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(NullId(1)), Some(c(7)));
+        assert_eq!(v.get(NullId(5)), None);
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(NullId(1), c(7)), (NullId(2), c(9))]);
+        let image: Vec<_> = v.image().collect();
+        assert_eq!(image, vec![c(7), c(9)]);
+        let r = v.restrict(&[NullId(2), NullId(3)]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(NullId(2)), Some(c(9)));
+        assert_eq!(format!("{v}"), "{⊥1 ↦ 7, ⊥2 ↦ 9}");
+    }
+
+    #[test]
+    fn overwrite_assignment() {
+        let mut v = Valuation::new();
+        v.assign(NullId(0), c(1));
+        v.assign(NullId(0), c(2));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get(NullId(0)), Some(c(2)));
+    }
+}

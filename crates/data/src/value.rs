@@ -1,0 +1,219 @@
+//! Constants, labelled nulls and values.
+
+use std::fmt;
+
+/// A constant from the countably infinite set **Consts**.
+///
+/// Constants are plain integer identifiers; attach human-readable names with
+/// a [`crate::ConstantPool`] when building examples.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Constant(pub u64);
+
+impl Constant {
+    /// Creates a constant with the given identifier.
+    pub fn new(id: u64) -> Self {
+        Constant(id)
+    }
+
+    /// The raw identifier.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Constant {
+    fn from(id: u64) -> Self {
+        Constant(id)
+    }
+}
+
+impl From<u32> for Constant {
+    fn from(id: u32) -> Self {
+        Constant(id as u64)
+    }
+}
+
+impl From<usize> for Constant {
+    fn from(id: usize) -> Self {
+        Constant(id as u64)
+    }
+}
+
+impl fmt::Debug for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A labelled null `⊥ᵢ` from the countably infinite set **Nulls**, disjoint
+/// from the constants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NullId(pub u32);
+
+impl NullId {
+    /// Creates a null with the given label.
+    pub fn new(id: u32) -> Self {
+        NullId(id)
+    }
+
+    /// The raw label.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NullId {
+    fn from(id: u32) -> Self {
+        NullId(id)
+    }
+}
+
+impl From<usize> for NullId {
+    fn from(id: usize) -> Self {
+        NullId(id as u32)
+    }
+}
+
+impl fmt::Debug for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+/// An element of an incomplete database: either a constant or a labelled
+/// null.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A constant.
+    Const(Constant),
+    /// A labelled null.
+    Null(NullId),
+}
+
+impl Value {
+    /// Convenience constructor for a constant value.
+    pub fn constant(id: u64) -> Self {
+        Value::Const(Constant(id))
+    }
+
+    /// Convenience constructor for a null value.
+    pub fn null(id: u32) -> Self {
+        Value::Null(NullId(id))
+    }
+
+    /// Returns the constant if this value is one.
+    pub fn as_const(self) -> Option<Constant> {
+        match self {
+            Value::Const(c) => Some(c),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// Returns the null if this value is one.
+    pub fn as_null(self) -> Option<NullId> {
+        match self {
+            Value::Null(n) => Some(n),
+            Value::Const(_) => None,
+        }
+    }
+
+    /// Returns `true` if this value is a constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Returns `true` if this value is a null.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl From<NullId> for Value {
+    fn from(n: NullId) -> Self {
+        Value::Null(n)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c:?}"),
+            Value::Null(n) => write!(f, "{n:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c}"),
+            Value::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Value::constant(7);
+        assert!(v.is_const());
+        assert!(!v.is_null());
+        assert_eq!(v.as_const(), Some(Constant(7)));
+        assert_eq!(v.as_null(), None);
+
+        let w = Value::null(3);
+        assert!(w.is_null());
+        assert_eq!(w.as_null(), Some(NullId(3)));
+        assert_eq!(w.as_const(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        let c: Constant = 5u64.into();
+        let n: NullId = 2u32.into();
+        assert_eq!(Value::from(c), Value::constant(5));
+        assert_eq!(Value::from(n), Value::null(2));
+        assert_eq!(Constant::from(9usize), Constant(9));
+        assert_eq!(NullId::from(4usize), NullId(4));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        // Constants sort before nulls because of enum variant order.
+        let mut vs = vec![Value::null(0), Value::constant(10), Value::constant(2), Value::null(5)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::constant(2), Value::constant(10), Value::null(0), Value::null(5)]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::constant(3).to_string(), "3");
+        assert_eq!(Value::null(3).to_string(), "⊥3");
+        assert_eq!(format!("{:?}", Constant(3)), "c3");
+        assert_eq!(format!("{:?}", NullId(1)), "⊥1");
+    }
+}

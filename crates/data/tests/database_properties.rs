@@ -1,0 +1,107 @@
+//! Property-based tests on the relational substrate: valuation iteration,
+//! completion counting bounds and Codd/naïve structure on random tables.
+
+use incdb_data::{Constant, IncompleteDatabase, NullId, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy: a small uniform incomplete database over one binary relation.
+fn small_uniform_db() -> impl Strategy<Value = IncompleteDatabase> {
+    let value = prop_oneof![(0u32..3).prop_map(Value::null), (0u64..3).prop_map(Value::constant)];
+    let facts = proptest::collection::vec((value.clone(), value), 0..4);
+    (1u64..=3, facts).prop_map(|(domain, facts)| {
+        let mut db = IncompleteDatabase::new_uniform(0..domain);
+        db.declare_relation("R");
+        for (a, b) in facts {
+            db.add_fact("R", vec![a, b]).unwrap();
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn valuation_iterator_yields_exactly_the_declared_count(db in small_uniform_db()) {
+        let count = db.valuation_count();
+        let listed = db.valuations().count();
+        prop_assert_eq!(count.to_u64(), Some(listed as u64));
+    }
+
+    #[test]
+    fn every_valuation_produces_a_valid_completion(db in small_uniform_db()) {
+        for valuation in db.valuations() {
+            let completion = db.apply(&valuation).unwrap();
+            // Set semantics: no more facts than the table has, at least one
+            // fact per non-empty relation.
+            prop_assert!(completion.fact_count() <= db.fact_count());
+            for relation in db.relation_names() {
+                if db.relation_size(relation) > 0 {
+                    prop_assert!(completion.relation_size(relation) >= 1);
+                }
+                prop_assert!(completion.relation_size(relation) <= db.relation_size(relation));
+            }
+            // Every constant of the completion comes from the table or the domain.
+            let allowed: BTreeSet<Constant> = db
+                .table_constants()
+                .into_iter()
+                .chain(db.uniform_domain().unwrap().iter().copied())
+                .collect();
+            for c in completion.active_domain() {
+                prop_assert!(allowed.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_completions_never_exceed_valuations(db in small_uniform_db()) {
+        let completions: BTreeSet<_> = db.valuations().map(|v| db.apply_unchecked(&v)).collect();
+        prop_assert!(completions.len() as u64 <= db.valuation_count().to_u64().unwrap());
+        prop_assert!(db.nulls().is_empty() || !completions.is_empty() || db.uniform_domain().unwrap().is_empty());
+    }
+
+    #[test]
+    fn codd_iff_every_null_occurs_once(db in small_uniform_db()) {
+        let codd = db.is_codd();
+        let by_occurrences = db.nulls().iter().all(|&n| db.occurrences(n) == 1);
+        prop_assert_eq!(codd, by_occurrences);
+    }
+
+    #[test]
+    fn constants_to_fresh_nulls_preserves_completions(db in small_uniform_db()) {
+        // Only defined for non-uniform databases: convert first.
+        let mut non_uniform = IncompleteDatabase::new_non_uniform();
+        for (name, facts) in db.relations() {
+            non_uniform.declare_relation(name);
+            for fact in facts {
+                non_uniform.add_fact(name, fact.clone()).unwrap();
+            }
+        }
+        for null in db.nulls() {
+            non_uniform.set_domain(null, db.uniform_domain().unwrap().iter().copied()).unwrap();
+        }
+        if non_uniform.validate().is_err() {
+            return Ok(());
+        }
+        let rewritten = non_uniform.constants_to_fresh_nulls().unwrap();
+        let before: BTreeSet<_> =
+            non_uniform.valuations().map(|v| non_uniform.apply_unchecked(&v)).collect();
+        let after: BTreeSet<_> =
+            rewritten.valuations().map(|v| rewritten.apply_unchecked(&v)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn restricting_to_no_relations_gives_empty_database(db in small_uniform_db()) {
+        let restricted = db.restrict_to_relations(&BTreeSet::new());
+        prop_assert_eq!(restricted.fact_count(), 0);
+        prop_assert!(restricted.nulls().is_empty());
+    }
+}
+
+#[test]
+fn null_ids_do_not_clash_with_constants() {
+    // NullId(1) and Constant(1) are different values even with equal raw ids.
+    assert_ne!(Value::Null(NullId(1)), Value::Const(Constant(1)));
+}

@@ -1,0 +1,197 @@
+//! Bipartite graphs with an explicit left/right bipartition.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::graph::Graph;
+
+/// A bipartite graph `G = (X ⊔ Y, E)`: `left_count` nodes on the left,
+/// `right_count` nodes on the right, and edges joining a left node to a right
+/// node. Used by the `#BIS` reduction of Proposition 3.11 and the
+/// pseudoforest reduction of Proposition 4.5(b).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BipartiteGraph {
+    left_count: usize,
+    right_count: usize,
+    /// Edges `(x, y)` with `x` a left index and `y` a right index.
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl BipartiteGraph {
+    /// Creates an edgeless bipartite graph.
+    pub fn new(left_count: usize, right_count: usize) -> Self {
+        BipartiteGraph { left_count, right_count, edges: BTreeSet::new() }
+    }
+
+    /// Builds a bipartite graph from an edge list.
+    pub fn from_edges(left_count: usize, right_count: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = BipartiteGraph::new(left_count, right_count);
+        for &(x, y) in edges {
+            g.add_edge(x, y);
+        }
+        g
+    }
+
+    /// Adds the edge between left node `x` and right node `y`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn add_edge(&mut self, x: usize, y: usize) {
+        assert!(x < self.left_count && y < self.right_count, "node out of range");
+        self.edges.insert((x, y));
+    }
+
+    /// The number of left nodes.
+    pub fn left_count(&self) -> usize {
+        self.left_count
+    }
+
+    /// The number of right nodes.
+    pub fn right_count(&self) -> usize {
+        self.right_count
+    }
+
+    /// The number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over the edges `(left, right)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Returns `true` if `(x, y)` is an edge.
+    pub fn has_edge(&self, x: usize, y: usize) -> bool {
+        self.edges.contains(&(x, y))
+    }
+
+    /// The right-neighbours of left node `x`.
+    pub fn right_neighbors(&self, x: usize) -> Vec<usize> {
+        (0..self.right_count).filter(|&y| self.has_edge(x, y)).collect()
+    }
+
+    /// The left-neighbours of right node `y`.
+    pub fn left_neighbors(&self, y: usize) -> Vec<usize> {
+        (0..self.left_count).filter(|&x| self.has_edge(x, y)).collect()
+    }
+
+    /// Converts to a plain [`Graph`]: left node `x` becomes node `x`, right
+    /// node `y` becomes node `left_count + y`.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.left_count + self.right_count);
+        for &(x, y) in &self.edges {
+            g.add_edge(x, self.left_count + y);
+        }
+        g
+    }
+
+    /// Returns `true` if `(s1, s2)` is an *independent pair*: no edge joins a
+    /// member of `s1 ⊆ X` to a member of `s2 ⊆ Y` (the notion used in the
+    /// proof of Proposition 3.11).
+    pub fn is_independent_pair(&self, s1: &BTreeSet<usize>, s2: &BTreeSet<usize>) -> bool {
+        self.edges.iter().all(|&(x, y)| !(s1.contains(&x) && s2.contains(&y)))
+    }
+
+    /// Counts the independent pairs `(S1, S2)` with `|S1| = i`, `|S2| = j`,
+    /// for every `(i, j)` — the quantities `Z_{i,j}` of Proposition 3.11.
+    /// Brute force, intended for small graphs.
+    pub fn independent_pairs_by_size(&self) -> Vec<Vec<u128>> {
+        let n1 = self.left_count;
+        let n2 = self.right_count;
+        let mut z = vec![vec![0u128; n2 + 1]; n1 + 1];
+        for mask1 in 0u64..(1 << n1) {
+            let s1: BTreeSet<usize> = (0..n1).filter(|&i| mask1 >> i & 1 == 1).collect();
+            for mask2 in 0u64..(1 << n2) {
+                let s2: BTreeSet<usize> = (0..n2).filter(|&j| mask2 >> j & 1 == 1).collect();
+                if self.is_independent_pair(&s1, &s2) {
+                    z[s1.len()][s2.len()] += 1;
+                }
+            }
+        }
+        z
+    }
+
+    /// The number of independent sets of the underlying graph (`#BIS`).
+    /// Brute force, intended for small graphs.
+    pub fn count_independent_sets(&self) -> u128 {
+        self.independent_pairs_by_size().iter().flatten().sum()
+    }
+}
+
+impl fmt::Debug for BipartiteGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let edges: Vec<String> = self.edges.iter().map(|(x, y)| format!("(L{x},R{y})")).collect();
+        write!(
+            f,
+            "BipartiteGraph(left={}, right={}, edges=[{}])",
+            self.left_count,
+            self.right_count,
+            edges.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::count_independent_sets;
+
+    #[test]
+    fn structure() {
+        let g = BipartiteGraph::from_edges(2, 3, &[(0, 0), (0, 2), (1, 1)]);
+        assert_eq!(g.left_count(), 2);
+        assert_eq!(g.right_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.right_neighbors(0), vec![0, 2]);
+        assert_eq!(g.left_neighbors(1), vec![1]);
+    }
+
+    #[test]
+    fn conversion_to_graph() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]);
+        let plain = g.to_graph();
+        assert_eq!(plain.node_count(), 4);
+        assert!(plain.has_edge(0, 2));
+        assert!(plain.has_edge(1, 3));
+        assert!(!plain.has_edge(0, 1));
+    }
+
+    #[test]
+    fn independent_pair_detection() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0)]);
+        let s1: BTreeSet<usize> = [0].into_iter().collect();
+        let s2: BTreeSet<usize> = [0].into_iter().collect();
+        assert!(!g.is_independent_pair(&s1, &s2));
+        let s2b: BTreeSet<usize> = [1].into_iter().collect();
+        assert!(g.is_independent_pair(&s1, &s2b));
+        assert!(g.is_independent_pair(&BTreeSet::new(), &BTreeSet::new()));
+    }
+
+    #[test]
+    fn bis_count_agrees_with_generic_counter() {
+        // Independent sets of the bipartite graph = independent sets of the
+        // underlying simple graph.
+        let cases = [
+            BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]),
+            BipartiteGraph::from_edges(3, 2, &[(0, 0), (1, 0), (2, 1)]),
+            BipartiteGraph::from_edges(2, 3, &[]),
+        ];
+        for g in cases {
+            assert_eq!(g.count_independent_sets(), count_independent_sets(&g.to_graph()));
+        }
+    }
+
+    #[test]
+    fn independent_pairs_by_size_small() {
+        // Single edge between L0 and R0: pairs (S1, S2) must avoid {L0}x{R0}.
+        let g = BipartiteGraph::from_edges(1, 1, &[(0, 0)]);
+        let z = g.independent_pairs_by_size();
+        assert_eq!(z[0][0], 1);
+        assert_eq!(z[1][0], 1);
+        assert_eq!(z[0][1], 1);
+        assert_eq!(z[1][1], 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Exact reference counters for the graph problems used by the hardness
+//! reductions: `#IS`, `#VC`, proper colourings / `#3COL`, and `k`-colourability.
+//!
+//! All counters are brute force (exponential) by design: they are ground
+//! truth for validating the paper's reductions on small instances, not
+//! production algorithms.
+
+use std::collections::BTreeSet;
+
+use crate::graph::Graph;
+
+/// Counts the independent sets of `g` (including the empty set), the source
+/// problem `#IS` of Propositions 3.8 and 4.5.
+///
+/// Brute force over all `2^n` node subsets; intended for `n ≲ 25`.
+pub fn count_independent_sets(g: &Graph) -> u128 {
+    let n = g.node_count();
+    assert!(n < 64, "brute-force counter limited to fewer than 64 nodes");
+    // Precompute adjacency bitmasks for speed.
+    let mut adj = vec![0u64; n];
+    for (u, v) in g.edges() {
+        adj[u] |= 1 << v;
+        adj[v] |= 1 << u;
+    }
+    let mut count = 0u128;
+    'outer: for mask in 0u64..(1u64 << n) {
+        for u in 0..n {
+            if mask >> u & 1 == 1 && adj[u] & mask != 0 {
+                continue 'outer;
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Counts the vertex covers of `g`, the source problem `#VC` of
+/// Proposition 4.2. A set `S` is a vertex cover iff its complement is an
+/// independent set, so `#VC(G) = #IS(G)`; the function is still implemented
+/// directly so that this identity can be *tested* rather than assumed.
+pub fn count_vertex_covers(g: &Graph) -> u128 {
+    let n = g.node_count();
+    assert!(n < 64, "brute-force counter limited to fewer than 64 nodes");
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let mut count = 0u128;
+    'outer: for mask in 0u64..(1u64 << n) {
+        for &(u, v) in &edges {
+            if mask >> u & 1 == 0 && mask >> v & 1 == 0 {
+                continue 'outer;
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Counts the proper `k`-colourings of `g` (adjacent nodes get distinct
+/// colours). With `k = 3` this is the source problem `#3COL` of
+/// Proposition 3.4.
+///
+/// Backtracking over nodes in index order.
+pub fn count_proper_colorings(g: &Graph, k: usize) -> u128 {
+    fn go(g: &Graph, k: usize, colors: &mut Vec<usize>, node: usize) -> u128 {
+        if node == g.node_count() {
+            return 1;
+        }
+        let mut total = 0u128;
+        for color in 0..k {
+            let conflict =
+                (0..node).any(|prev| g.has_edge(prev, node) && colors[prev] == color);
+            if !conflict {
+                colors.push(color);
+                total += go(g, k, colors, node + 1);
+                colors.pop();
+            }
+        }
+        total
+    }
+    go(g, k, &mut Vec::with_capacity(g.node_count()), 0)
+}
+
+/// Decides whether `g` is properly `k`-colourable (used by the gap
+/// construction of Proposition 5.6, where `k = 3`).
+pub fn is_k_colorable(g: &Graph, k: usize) -> bool {
+    fn go(g: &Graph, k: usize, colors: &mut Vec<usize>, node: usize) -> bool {
+        if node == g.node_count() {
+            return true;
+        }
+        for color in 0..k {
+            let conflict =
+                (0..node).any(|prev| g.has_edge(prev, node) && colors[prev] == color);
+            if !conflict {
+                colors.push(color);
+                if go(g, k, colors, node + 1) {
+                    return true;
+                }
+                colors.pop();
+            }
+        }
+        false
+    }
+    go(g, k, &mut Vec::with_capacity(g.node_count()), 0)
+}
+
+/// Enumerates all independent sets of `g` (for tests on tiny graphs).
+pub fn independent_sets(g: &Graph) -> Vec<BTreeSet<usize>> {
+    let n = g.node_count();
+    assert!(n < 25, "enumeration limited to tiny graphs");
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << n) {
+        let set: BTreeSet<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+        if g.is_independent_set(&set) {
+            out.push(set);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, path_graph};
+
+    #[test]
+    fn independent_sets_of_paths_are_fibonacci() {
+        // #IS(P_n) = Fib(n+2) with Fib(1) = Fib(2) = 1.
+        let fib = [1u128, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89];
+        for n in 1..=8 {
+            let g = path_graph(n);
+            assert_eq!(count_independent_sets(&g), fib[n + 1], "P_{n}");
+        }
+    }
+
+    #[test]
+    fn independent_sets_of_cycles_are_lucas() {
+        // #IS(C_n) = Lucas(n) for n >= 3: 4, 7, 11, 18, 29, ...
+        let lucas = [0u128, 0, 0, 4, 7, 11, 18, 29, 47];
+        for n in 3..=8 {
+            assert_eq!(count_independent_sets(&cycle_graph(n)), lucas[n], "C_{n}");
+        }
+    }
+
+    #[test]
+    fn vertex_covers_equal_independent_sets() {
+        // S is a VC iff V \ S is an IS, so the counts agree.
+        let graphs = [
+            path_graph(5),
+            cycle_graph(6),
+            complete_graph(4),
+            Graph::from_edges(5, &[(0, 1), (0, 2), (3, 4)]),
+            Graph::new(4),
+        ];
+        for g in graphs {
+            assert_eq!(count_vertex_covers(&g), count_independent_sets(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn colorings_of_complete_graphs_are_falling_factorials() {
+        // #k-colourings(K_n) = k (k-1) ... (k-n+1).
+        assert_eq!(count_proper_colorings(&complete_graph(3), 3), 6);
+        assert_eq!(count_proper_colorings(&complete_graph(3), 4), 24);
+        assert_eq!(count_proper_colorings(&complete_graph(4), 3), 0);
+        assert_eq!(count_proper_colorings(&complete_graph(1), 3), 3);
+    }
+
+    #[test]
+    fn colorings_of_cycles_match_chromatic_polynomial() {
+        // P(C_n, k) = (k-1)^n + (-1)^n (k-1).
+        for n in 3..=7usize {
+            for k in 2..=4u64 {
+                let expected = ((k - 1) as i128).pow(n as u32)
+                    + if n % 2 == 0 { (k - 1) as i128 } else { -((k - 1) as i128) };
+                assert_eq!(
+                    count_proper_colorings(&cycle_graph(n), k as usize) as i128,
+                    expected,
+                    "C_{n} with {k} colours"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colorability_decision() {
+        assert!(is_k_colorable(&cycle_graph(5), 3));
+        assert!(!is_k_colorable(&cycle_graph(5), 2));
+        assert!(is_k_colorable(&cycle_graph(6), 2));
+        assert!(!is_k_colorable(&complete_graph(4), 3));
+        assert!(is_k_colorable(&Graph::new(3), 1));
+    }
+
+    #[test]
+    fn empty_graph_counts() {
+        let g = Graph::new(3);
+        assert_eq!(count_independent_sets(&g), 8);
+        assert_eq!(count_vertex_covers(&g), 8);
+        assert_eq!(count_proper_colorings(&g, 2), 8);
+        let g0 = Graph::new(0);
+        assert_eq!(count_independent_sets(&g0), 1);
+        assert_eq!(count_proper_colorings(&g0, 3), 1);
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(independent_sets(&g).len() as u128, count_independent_sets(&g));
+        for s in independent_sets(&g) {
+            assert!(g.is_independent_set(&s));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Deterministic and random graph generators for tests, examples and
+//! benchmarks.
+
+use rand::{Rng, RngExt};
+
+use crate::bipartite::BipartiteGraph;
+use crate::graph::Graph;
+use crate::multigraph::Multigraph;
+
+/// The path graph `P_n` on `n` nodes (`n - 1` edges).
+pub fn path_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// The cycle graph `C_n` on `n ≥ 3` nodes.
+///
+/// # Panics
+/// Panics if `n < 3` (smaller cycles would need self-loops or parallel
+/// edges).
+pub fn cycle_graph(n: usize) -> Graph {
+    assert!(n >= 3, "cycles need at least 3 nodes");
+    let mut g = path_graph(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The star graph with one centre (node `0`) and `leaves` leaves.
+pub fn star_graph(leaves: usize) -> Graph {
+    let mut g = Graph::new(leaves + 1);
+    for leaf in 1..=leaves {
+        g.add_edge(0, leaf);
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}`.
+pub fn complete_bipartite(a: usize, b: usize) -> BipartiteGraph {
+    let mut g = BipartiteGraph::new(a, b);
+    for x in 0..a {
+        for y in 0..b {
+            g.add_edge(x, y);
+        }
+    }
+    g
+}
+
+/// An Erdős–Rényi `G(n, p)` random graph.
+pub fn random_graph<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A random bipartite graph where each left–right pair is an edge with
+/// probability `p`.
+pub fn random_bipartite<R: Rng + ?Sized>(
+    left: usize,
+    right: usize,
+    p: f64,
+    rng: &mut R,
+) -> BipartiteGraph {
+    let mut g = BipartiteGraph::new(left, right);
+    for x in 0..left {
+        for y in 0..right {
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(x, y);
+            }
+        }
+    }
+    g
+}
+
+/// A random multigraph on `n ≥ 2` nodes with exactly `m` edges, each chosen
+/// uniformly among unordered pairs of distinct nodes (parallel edges
+/// allowed).
+pub fn random_multigraph<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Multigraph {
+    assert!(n >= 2, "need at least two nodes to place edges");
+    let mut g = Multigraph::new(n);
+    for _ in 0..m {
+        let u = rng.random_range(0..n);
+        let mut v = rng.random_range(0..n - 1);
+        if v >= u {
+            v += 1;
+        }
+        g.add_edge(u, v);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_generators_have_expected_sizes() {
+        assert_eq!(path_graph(5).edge_count(), 4);
+        assert_eq!(cycle_graph(5).edge_count(), 5);
+        assert_eq!(complete_graph(5).edge_count(), 10);
+        assert_eq!(star_graph(4).edge_count(), 4);
+        assert_eq!(star_graph(4).node_count(), 5);
+        assert_eq!(complete_bipartite(2, 3).edge_count(), 6);
+        assert_eq!(path_graph(1).edge_count(), 0);
+        assert_eq!(path_graph(0).node_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn tiny_cycle_rejected() {
+        let _ = cycle_graph(2);
+    }
+
+    #[test]
+    fn random_graph_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let empty = random_graph(6, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = random_graph(6, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 15);
+        let some = random_graph(10, 0.5, &mut rng);
+        assert!(some.edge_count() <= 45);
+    }
+
+    #[test]
+    fn random_bipartite_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(random_bipartite(3, 4, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(random_bipartite(3, 4, 1.0, &mut rng).edge_count(), 12);
+    }
+
+    #[test]
+    fn random_multigraph_has_requested_edges_and_no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_multigraph(5, 20, &mut rng);
+        assert_eq!(g.edge_count(), 20);
+        for (_, (u, v)) in g.edges() {
+            assert_ne!(u, v);
+            assert!(u < 5 && v < 5);
+        }
+    }
+
+    #[test]
+    fn random_generation_is_seed_deterministic() {
+        let g1 = random_graph(8, 0.4, &mut StdRng::seed_from_u64(42));
+        let g2 = random_graph(8, 0.4, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+    }
+}

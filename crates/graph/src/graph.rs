@@ -1,0 +1,174 @@
+//! Finite simple undirected graphs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite simple undirected graph: nodes are `0..n`, edges are unordered
+/// pairs of distinct nodes, with no parallel edges — the notion of "graph"
+/// used throughout Section 2 of the paper.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    node_count: usize,
+    /// Normalised edges `(u, v)` with `u < v`.
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates a graph with `node_count` isolated nodes.
+    pub fn new(node_count: usize) -> Self {
+        Graph { node_count, edges: BTreeSet::new() }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Self-loops are rejected; duplicate edges are ignored.
+    ///
+    /// # Panics
+    /// Panics if `u == v` or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u != v, "simple graphs have no self-loops");
+        assert!(u < self.node_count && v < self.node_count, "node out of range");
+        self.edges.insert((u.min(v), u.max(v)));
+    }
+
+    /// Builds a graph from an edge list.
+    pub fn from_edges(node_count: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(node_count);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over the edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// The neighbours of `u`.
+    pub fn neighbors(&self, u: usize) -> Vec<usize> {
+        (0..self.node_count).filter(|&v| self.has_edge(u, v)).collect()
+    }
+
+    /// The degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Returns `true` if `set` is an independent set (no edge joins two of
+    /// its members).
+    pub fn is_independent_set(&self, set: &BTreeSet<usize>) -> bool {
+        self.edges.iter().all(|&(u, v)| !(set.contains(&u) && set.contains(&v)))
+    }
+
+    /// Returns `true` if `set` is a vertex cover (every edge has an endpoint
+    /// in the set).
+    pub fn is_vertex_cover(&self, set: &BTreeSet<usize>) -> bool {
+        self.edges.iter().all(|&(u, v)| set.contains(&u) || set.contains(&v))
+    }
+
+    /// The subgraph induced by an **edge** subset `S ⊆ E`, returned as a new
+    /// graph over the same node set but only the selected edges (the paper's
+    /// `G[S]` keeps only nodes incident to `S`; isolated nodes are irrelevant
+    /// for the pseudoforest property so keeping them is harmless).
+    pub fn edge_subgraph(&self, selected: &[(usize, usize)]) -> Graph {
+        let mut g = Graph::new(self.node_count);
+        for &(u, v) in selected {
+            assert!(self.has_edge(u, v), "edge not present in the graph");
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds one node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.node_count += 1;
+        self.node_count - 1
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let edges: Vec<String> = self.edges.iter().map(|(u, v)| format!("{{{u},{v}}}")).collect();
+        write!(f, "Graph(n={}, edges=[{}])", self.node_count, edges.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_structure() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 0)]);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3, "duplicate edge (1,0) must be ignored");
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.neighbors(1), vec![0, 2]);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-loops")]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn independent_set_and_vertex_cover() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let is: BTreeSet<usize> = [0, 2].into_iter().collect();
+        assert!(g.is_independent_set(&is));
+        let not_is: BTreeSet<usize> = [0, 1].into_iter().collect();
+        assert!(!g.is_independent_set(&not_is));
+        // Complement of an independent set is a vertex cover.
+        let cover: BTreeSet<usize> = [1, 3].into_iter().collect();
+        assert!(g.is_vertex_cover(&cover));
+        let not_cover: BTreeSet<usize> = [0, 3].into_iter().collect();
+        assert!(!g.is_vertex_cover(&not_cover));
+    }
+
+    #[test]
+    fn edge_subgraph() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sub = g.edge_subgraph(&[(0, 1), (2, 3)]);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(!sub.has_edge(1, 2));
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = Graph::new(1);
+        let v = g.add_node();
+        assert_eq!(v, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

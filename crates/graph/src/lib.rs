@@ -1,0 +1,49 @@
+//! # incdb-graph
+//!
+//! Graph substrate for the `incdb` workspace.
+//!
+//! Every hardness proof of *Counting Problems over Incomplete Databases*
+//! (Arenas, Barceló & Monet, PODS 2020) reduces from a counting problem on
+//! graphs. To make those reductions executable — and testable — this crate
+//! implements the graph machinery from scratch:
+//!
+//! * [`Graph`] — finite simple undirected graphs (no self-loops, no parallel
+//!   edges), exactly the "graphs" of Section 2 of the paper;
+//! * [`Multigraph`] — undirected multigraphs with parallel edges (used by the
+//!   `#Avoidance` problem of Appendix A.2);
+//! * [`BipartiteGraph`] — bipartite graphs with an explicit left/right split
+//!   (used by `#BIS` in Proposition 3.11 and by the pseudoforest reduction);
+//! * exact (brute-force or backtracking) counters for every source problem:
+//!   `#IS`, `#VC`, `#BIS`, `#3COL` / proper colourings, `#Avoidance`,
+//!   `#PF` (pseudoforest edge subsets) — see [`counting`] and [`avoidance`];
+//! * [`matching`] — maximum bipartite matching (Kuhn's augmenting paths),
+//!   needed by the completion-identity check of Lemma B.2;
+//! * [`generators`] — deterministic and random graph generators for tests
+//!   and benchmarks.
+//!
+//! The counters are intentionally exponential-time reference implementations:
+//! they are the *ground truth* against which the paper's reductions and the
+//! counting algorithms of `incdb-core` are validated on small instances.
+
+pub mod avoidance;
+pub mod bipartite;
+pub mod counting;
+pub mod generators;
+pub mod graph;
+pub mod matching;
+pub mod multigraph;
+pub mod pseudoforest;
+
+pub use avoidance::{count_avoiding_assignments, Assignment};
+pub use bipartite::BipartiteGraph;
+pub use counting::{
+    count_independent_sets, count_proper_colorings, count_vertex_covers, is_k_colorable,
+};
+pub use generators::{
+    complete_bipartite, complete_graph, cycle_graph, path_graph, random_bipartite, random_graph,
+    random_multigraph, star_graph,
+};
+pub use graph::Graph;
+pub use matching::maximum_bipartite_matching;
+pub use multigraph::Multigraph;
+pub use pseudoforest::{count_pseudoforest_subsets, is_pseudoforest};

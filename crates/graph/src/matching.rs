@@ -1,0 +1,129 @@
+//! Maximum bipartite matching via Kuhn's augmenting-path algorithm.
+//!
+//! Lemma B.2 of the paper checks whether a set of ground facts is a possible
+//! completion of a Codd table by computing a maximum-cardinality matching of
+//! a bipartite "fact compatibility" graph; this module supplies that
+//! primitive.
+
+/// Computes the size of a maximum matching in the bipartite graph with
+/// `left_count` left nodes, `right_count` right nodes and adjacency lists
+/// `adj[x] = right-neighbours of left node x`.
+///
+/// Runs in `O(V · E)` (Kuhn's algorithm), which is ample for the instance
+/// sizes produced by the library.
+pub fn maximum_bipartite_matching(
+    left_count: usize,
+    right_count: usize,
+    adj: &[Vec<usize>],
+) -> usize {
+    assert_eq!(adj.len(), left_count, "one adjacency list per left node");
+    for neighbors in adj {
+        for &y in neighbors {
+            assert!(y < right_count, "right node out of range");
+        }
+    }
+    // match_right[y] = left node currently matched to right node y.
+    let mut match_right: Vec<Option<usize>> = vec![None; right_count];
+
+    fn try_augment(
+        x: usize,
+        adj: &[Vec<usize>],
+        visited: &mut [bool],
+        match_right: &mut [Option<usize>],
+    ) -> bool {
+        for &y in &adj[x] {
+            if visited[y] {
+                continue;
+            }
+            visited[y] = true;
+            match match_right[y] {
+                None => {
+                    match_right[y] = Some(x);
+                    return true;
+                }
+                Some(other) => {
+                    if try_augment(other, adj, visited, match_right) {
+                        match_right[y] = Some(x);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    let mut size = 0;
+    for x in 0..left_count {
+        let mut visited = vec![false; right_count];
+        if try_augment(x, adj, &mut visited, &mut match_right) {
+            size += 1;
+        }
+    }
+    size
+}
+
+/// Returns `true` if the bipartite graph admits a matching saturating every
+/// right node (used to decide "is every target fact realised by some source
+/// fact").
+pub fn has_right_perfect_matching(
+    left_count: usize,
+    right_count: usize,
+    adj: &[Vec<usize>],
+) -> bool {
+    maximum_bipartite_matching(left_count, right_count, adj) == right_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let adj = vec![vec![0], vec![1], vec![2]];
+        assert_eq!(maximum_bipartite_matching(3, 3, &adj), 3);
+        assert!(has_right_perfect_matching(3, 3, &adj));
+    }
+
+    #[test]
+    fn augmenting_paths_are_found() {
+        // Classic case where greedy fails but augmenting paths succeed:
+        // L0 -> {R0, R1}, L1 -> {R0}. Max matching = 2.
+        let adj = vec![vec![0, 1], vec![0]];
+        assert_eq!(maximum_bipartite_matching(2, 2, &adj), 2);
+    }
+
+    #[test]
+    fn bottleneck_limits_matching() {
+        // Three left nodes all pointing at the single right node.
+        let adj = vec![vec![0], vec![0], vec![0]];
+        assert_eq!(maximum_bipartite_matching(3, 1, &adj), 1);
+        assert!(has_right_perfect_matching(3, 1, &adj));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adj: Vec<Vec<usize>> = vec![vec![], vec![]];
+        assert_eq!(maximum_bipartite_matching(2, 3, &adj), 0);
+        assert!(!has_right_perfect_matching(2, 3, &adj));
+        assert_eq!(maximum_bipartite_matching(0, 0, &[]), 0);
+        assert!(has_right_perfect_matching(0, 0, &[]));
+    }
+
+    #[test]
+    fn hall_violation_detected() {
+        // Two left nodes both only adjacent to R0; R1 unreachable.
+        let adj = vec![vec![0], vec![0]];
+        assert_eq!(maximum_bipartite_matching(2, 2, &adj), 1);
+        assert!(!has_right_perfect_matching(2, 2, &adj));
+    }
+
+    #[test]
+    fn larger_random_like_instance() {
+        // A 4x4 instance with a known maximum matching of 4.
+        let adj = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]];
+        assert_eq!(maximum_bipartite_matching(4, 4, &adj), 4);
+        // Remove enough edges to force a deficiency.
+        let adj = vec![vec![0], vec![0, 1], vec![1], vec![1]];
+        assert_eq!(maximum_bipartite_matching(4, 4, &adj), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Undirected multigraphs (parallel edges allowed, no self-loops), as used
+//! by the `#Avoidance` problem of Appendix A.2 of the paper.
+
+use std::fmt;
+
+/// An undirected multigraph `G = (V, E, λ)`: nodes are `0..n`, edges are
+/// identified by their index in insertion order, and `λ` maps each edge to an
+/// unordered pair of distinct nodes. Parallel edges are allowed; self-loops
+/// are not.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Multigraph {
+    node_count: usize,
+    /// `edges[e] = (u, v)` with `u < v`.
+    edges: Vec<(usize, usize)>,
+}
+
+impl Multigraph {
+    /// Creates a multigraph with `node_count` isolated nodes.
+    pub fn new(node_count: usize) -> Self {
+        Multigraph { node_count, edges: Vec::new() }
+    }
+
+    /// Adds an edge between `u` and `v`, returning its index. Parallel edges
+    /// are allowed.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> usize {
+        assert!(u != v, "multigraphs in this library have no self-loops");
+        assert!(u < self.node_count && v < self.node_count, "node out of range");
+        self.edges.push((u.min(v), u.max(v)));
+        self.edges.len() - 1
+    }
+
+    /// Builds a multigraph from an edge list (parallel entries allowed).
+    pub fn from_edges(node_count: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Multigraph::new(node_count);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The number of edges (counting parallel edges separately).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The endpoints `(u, v)` (with `u < v`) of edge `e`.
+    pub fn endpoints(&self, e: usize) -> (usize, usize) {
+        self.edges[e]
+    }
+
+    /// Iterates over `(edge index, endpoints)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, (usize, usize))> + '_ {
+        self.edges.iter().copied().enumerate()
+    }
+
+    /// The edges incident to node `u` (`E(u)` in the paper's notation).
+    pub fn incident_edges(&self, u: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b))| a == u || b == u)
+            .map(|(e, _)| e)
+            .collect()
+    }
+
+    /// The degree of node `u` (number of incident edges, with multiplicity).
+    pub fn degree(&self, u: usize) -> usize {
+        self.incident_edges(u).len()
+    }
+
+    /// Returns `true` if every node has degree exactly `d`.
+    pub fn is_regular(&self, d: usize) -> bool {
+        (0..self.node_count).all(|u| self.degree(u) == d)
+    }
+}
+
+impl fmt::Debug for Multigraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let edges: Vec<String> =
+            self.edges.iter().map(|(u, v)| format!("{{{u},{v}}}")).collect();
+        write!(f, "Multigraph(n={}, edges=[{}])", self.node_count, edges.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let g = Multigraph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.incident_edges(1), vec![0, 1, 2]);
+        assert_eq!(g.endpoints(2), (1, 2));
+    }
+
+    #[test]
+    fn regularity_check() {
+        // A 3-regular multigraph on two nodes: a triple edge.
+        let g = Multigraph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert!(g.is_regular(3));
+        assert!(!g.is_regular(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-loops")]
+    fn self_loop_rejected() {
+        let mut g = Multigraph::new(2);
+        g.add_edge(0, 0);
+    }
+
+    #[test]
+    fn edge_iteration() {
+        let g = Multigraph::from_edges(3, &[(2, 1), (0, 2)]);
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(all, vec![(0, (1, 2)), (1, (0, 2))]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Pseudoforests and the `#PF` counting problem (Definition B.3), the source
+//! problem of the Codd-table completion-hardness reduction of
+//! Proposition 4.5(b).
+//!
+//! A graph is a pseudoforest when every connected component contains at most
+//! one cycle; equivalently (Lemma B.4), when it admits an orientation where
+//! every node has out-degree at most 1 — equivalently again, when every
+//! connected component has no more edges than nodes. We use the latter
+//! characterisation, which is easy to check with a union–find structure.
+
+use crate::graph::Graph;
+
+/// A small union–find (disjoint-set) structure tracking, per component, the
+/// number of nodes and edges.
+struct ComponentTracker {
+    parent: Vec<usize>,
+    nodes: Vec<usize>,
+    edges: Vec<usize>,
+}
+
+impl ComponentTracker {
+    fn new(n: usize) -> Self {
+        ComponentTracker { parent: (0..n).collect(), nodes: vec![1; n], edges: vec![0; n] }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Adds an edge, merging components; returns `false` if the affected
+    /// component now has more edges than nodes (i.e. more than one cycle).
+    fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        let ru = self.find(u);
+        let rv = self.find(v);
+        if ru == rv {
+            self.edges[ru] += 1;
+            self.edges[ru] <= self.nodes[ru]
+        } else {
+            self.parent[ru] = rv;
+            self.nodes[rv] += self.nodes[ru];
+            self.edges[rv] += self.edges[ru] + 1;
+            self.edges[rv] <= self.nodes[rv]
+        }
+    }
+}
+
+/// Returns `true` if `g` is a pseudoforest: every connected component
+/// contains at most one cycle.
+pub fn is_pseudoforest(g: &Graph) -> bool {
+    let mut tracker = ComponentTracker::new(g.node_count());
+    g.edges().all(|(u, v)| tracker.add_edge(u, v))
+}
+
+/// Counts the edge subsets `S ⊆ E` such that `G[S]` is a pseudoforest — the
+/// problem `#PF` of Definition B.3. Brute force over all `2^|E|` subsets;
+/// intended for small graphs.
+pub fn count_pseudoforest_subsets(g: &Graph) -> u128 {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let m = edges.len();
+    assert!(m < 30, "brute-force #PF limited to fewer than 30 edges");
+    let mut count = 0u128;
+    'subsets: for mask in 0u64..(1u64 << m) {
+        let mut tracker = ComponentTracker::new(g.node_count());
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if mask >> i & 1 == 1 && !tracker.add_edge(u, v) {
+                continue 'subsets;
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, path_graph};
+
+    #[test]
+    fn forests_and_single_cycles_are_pseudoforests() {
+        assert!(is_pseudoforest(&path_graph(6)));
+        assert!(is_pseudoforest(&cycle_graph(5)));
+        assert!(is_pseudoforest(&Graph::new(4)));
+        // Two disjoint cycles are still a pseudoforest (one cycle per component).
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(u, v);
+        }
+        assert!(is_pseudoforest(&g));
+    }
+
+    #[test]
+    fn two_cycles_in_one_component_are_not() {
+        // K4 has multiple cycles in one component.
+        assert!(!is_pseudoforest(&complete_graph(4)));
+        // A "theta" graph: two nodes joined by three internally disjoint paths.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)]);
+        assert!(!is_pseudoforest(&g));
+    }
+
+    #[test]
+    fn pf_count_of_trees_is_all_subsets() {
+        // Every edge subset of a tree induces a forest, hence a pseudoforest.
+        for n in 1..=6usize {
+            let g = path_graph(n);
+            assert_eq!(count_pseudoforest_subsets(&g), 1u128 << (n - 1), "P_{n}");
+        }
+        let star = crate::generators::star_graph(5);
+        assert_eq!(count_pseudoforest_subsets(&star), 1u128 << 5);
+    }
+
+    #[test]
+    fn pf_count_of_cycles_is_all_subsets() {
+        // A cycle and all of its subgraphs are pseudoforests.
+        for n in 3..=6usize {
+            assert_eq!(count_pseudoforest_subsets(&cycle_graph(n)), 1u128 << n, "C_{n}");
+        }
+    }
+
+    #[test]
+    fn pf_count_of_k4() {
+        // K4 has 6 edges => 64 subsets. The non-pseudoforest subsets are
+        // those with >= 5 edges (any 5-edge subgraph of K4 on 4 nodes has 2
+        // independent cycles) plus none with 4 edges? A 4-edge subgraph on 4
+        // nodes has exactly one cycle, so it IS a pseudoforest. Hence
+        // 64 - (6 choose 5) - (6 choose 6) = 64 - 6 - 1 = 57.
+        assert_eq!(count_pseudoforest_subsets(&complete_graph(4)), 57);
+    }
+
+    #[test]
+    fn brute_force_agrees_with_is_pseudoforest() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        let mut direct = 0u128;
+        for mask in 0u64..(1 << edges.len()) {
+            let selected: Vec<(usize, usize)> = edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            if is_pseudoforest(&g.edge_subgraph(&selected)) {
+                direct += 1;
+            }
+        }
+        assert_eq!(direct, count_pseudoforest_subsets(&g));
+    }
+}

@@ -1,0 +1,210 @@
+//! Variables, terms and atoms of conjunctive queries.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use incdb_data::Constant;
+
+/// A query variable, identified by its name.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Variable(pub String);
+
+impl Variable {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Variable(name.into())
+    }
+
+    /// The variable name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Variable {
+    fn from(s: &str) -> Self {
+        Variable(s.to_string())
+    }
+}
+
+impl From<String> for Variable {
+    fn from(s: String) -> Self {
+        Variable(s)
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A term inside an atom: a variable or a constant.
+///
+/// The paper's Boolean conjunctive queries only use variables; constants are
+/// supported for completeness (a homomorphism must map a constant term to
+/// exactly that constant).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable term.
+    Var(Variable),
+    /// A constant term.
+    Const(Constant),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(Variable::new(name))
+    }
+
+    /// Convenience constructor for a constant term.
+    pub fn constant(id: u64) -> Self {
+        Term::Const(Constant(id))
+    }
+
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<&Variable> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is one.
+    pub fn as_const(&self) -> Option<Constant> {
+        match self {
+            Term::Const(c) => Some(*c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// An atom `R(t₁, …, t_k)` of a conjunctive query.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    relation: String,
+    terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom. The paper assumes every atom has arity ≥ 1; this is
+    /// enforced by [`crate::Bcq`] construction rather than here so that
+    /// intermediate rewritings stay expressible.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom { relation: relation.into(), terms }
+    }
+
+    /// Creates an atom whose terms are all variables, from variable names.
+    pub fn from_vars(relation: impl Into<String>, vars: &[&str]) -> Self {
+        Atom::new(relation, vars.iter().map(|v| Term::var(*v)).collect())
+    }
+
+    /// The relation symbol of the atom.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The terms of the atom, in order.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The set of distinct variables of the atom.
+    pub fn variables(&self) -> BTreeSet<&Variable> {
+        self.terms.iter().filter_map(Term::as_var).collect()
+    }
+
+    /// The number of occurrences of `var` in the atom.
+    pub fn occurrences_of(&self, var: &Variable) -> usize {
+        self.terms.iter().filter(|t| t.as_var() == Some(var)).count()
+    }
+
+    /// Returns `true` if some variable occurs at least twice in the atom.
+    pub fn has_repeated_variable(&self) -> bool {
+        self.variables().iter().any(|v| self.occurrences_of(v) >= 2)
+    }
+
+    /// Returns `true` if every term of the atom is a variable.
+    pub fn is_constant_free(&self) -> bool {
+        self.terms.iter().all(|t| matches!(t, Term::Var(_)))
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.terms.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}({})", self.relation, args.join(","))
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_accessors() {
+        let a = Atom::from_vars("R", &["x", "y", "x"]);
+        assert_eq!(a.relation(), "R");
+        assert_eq!(a.arity(), 3);
+        assert_eq!(a.variables().len(), 2);
+        assert_eq!(a.occurrences_of(&Variable::new("x")), 2);
+        assert_eq!(a.occurrences_of(&Variable::new("y")), 1);
+        assert_eq!(a.occurrences_of(&Variable::new("z")), 0);
+        assert!(a.has_repeated_variable());
+        assert!(a.is_constant_free());
+        assert_eq!(a.to_string(), "R(x,y,x)");
+    }
+
+    #[test]
+    fn atom_with_constant() {
+        let a = Atom::new("S", vec![Term::var("x"), Term::constant(3)]);
+        assert!(!a.has_repeated_variable());
+        assert!(!a.is_constant_free());
+        assert_eq!(a.variables().len(), 1);
+        assert_eq!(a.to_string(), "S(x,3)");
+        assert_eq!(a.terms()[1].as_const(), Some(Constant(3)));
+        assert_eq!(a.terms()[0].as_var(), Some(&Variable::new("x")));
+    }
+
+    #[test]
+    fn variable_display_and_conversion() {
+        let v: Variable = "abc".into();
+        assert_eq!(v.name(), "abc");
+        assert_eq!(v.to_string(), "abc");
+        let w: Variable = String::from("z").into();
+        assert_eq!(w, Variable::new("z"));
+    }
+}

@@ -1,0 +1,355 @@
+//! Boolean conjunctive queries.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::str::FromStr;
+
+use incdb_data::Database;
+
+use crate::atom::{Atom, Term, Variable};
+use crate::error::QueryParseError;
+use crate::homomorphism::find_homomorphism;
+use crate::BooleanQuery;
+
+/// A Boolean conjunctive query `∃x̄ (R₁(x̄₁) ∧ … ∧ R_m(x̄_m))`.
+///
+/// All variables are implicitly existentially quantified. The paper's
+/// conventions are enforced at construction time: at least one atom, and
+/// every atom has arity ≥ 1.
+///
+/// ```
+/// use incdb_query::Bcq;
+/// let q: Bcq = "R(x,x)".parse().unwrap();
+/// assert!(q.is_self_join_free());
+/// assert!(q.atoms()[0].has_repeated_variable());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bcq {
+    atoms: Vec<Atom>,
+}
+
+impl Bcq {
+    /// Creates a BCQ from its atoms.
+    pub fn new(atoms: Vec<Atom>) -> Result<Self, QueryParseError> {
+        if atoms.is_empty() {
+            return Err(QueryParseError::NoAtoms);
+        }
+        for atom in &atoms {
+            if atom.arity() == 0 {
+                return Err(QueryParseError::NullaryAtom(atom.relation().to_string()));
+            }
+        }
+        Ok(Bcq { atoms })
+    }
+
+    /// Creates a BCQ from atoms given as `(relation, variable names)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the atom list is empty or an atom has no variables; intended
+    /// for tests and examples where the query is a literal.
+    pub fn from_atoms(spec: &[(&str, &[&str])]) -> Self {
+        Bcq::new(spec.iter().map(|(rel, vars)| Atom::from_vars(*rel, vars)).collect())
+            .expect("literal query specification must be well-formed")
+    }
+
+    /// The atoms of the query.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Always `false`: a BCQ has at least one atom.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The set of distinct variables of the query.
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        self.atoms.iter().flat_map(|a| a.variables().into_iter().cloned()).collect()
+    }
+
+    /// The total number of occurrences of `var` across all atoms.
+    pub fn occurrences_of(&self, var: &Variable) -> usize {
+        self.atoms.iter().map(|a| a.occurrences_of(var)).sum()
+    }
+
+    /// The variables that occur exactly once in the whole query
+    /// (the variables eliminated by Lemma A.12).
+    pub fn single_occurrence_variables(&self) -> BTreeSet<Variable> {
+        self.variables().into_iter().filter(|v| self.occurrences_of(v) == 1).collect()
+    }
+
+    /// Returns `true` if no two atoms use the same relation symbol
+    /// (self-join-freeness).
+    pub fn is_self_join_free(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.atoms.iter().all(|a| seen.insert(a.relation().to_string()))
+    }
+
+    /// Returns `true` if every atom of the query is unary (arity exactly 1).
+    ///
+    /// For self-join-free BCQs this characterises the queries for which
+    /// counting completions in the uniform setting is tractable
+    /// (Theorem 4.6): the query has neither `R(x,x)` nor `R(x,y)` as a
+    /// pattern if and only if every atom has a single variable occurrence.
+    pub fn is_unary_schema(&self) -> bool {
+        self.atoms.iter().all(|a| a.arity() == 1)
+    }
+
+    /// Returns `true` if every atom is constant-free (the paper's setting).
+    pub fn is_constant_free(&self) -> bool {
+        self.atoms.iter().all(Atom::is_constant_free)
+    }
+
+    /// The atom over a given relation symbol, if any (for self-join-free
+    /// queries it is unique).
+    pub fn atom_for_relation(&self, relation: &str) -> Option<&Atom> {
+        self.atoms.iter().find(|a| a.relation() == relation)
+    }
+
+    /// The query obtained by deleting, in every atom, the occurrences of the
+    /// given variables, then dropping atoms that would become nullary.
+    ///
+    /// This is the rewriting of Lemma A.12 (projecting out single-occurrence
+    /// variables). Note that dropping an atom can only happen when *all* of
+    /// its variables are projected out; callers that need to preserve
+    /// satisfiability must account for those atoms separately.
+    pub fn project_out(&self, vars: &BTreeSet<Variable>) -> Option<Bcq> {
+        let mut new_atoms = Vec::new();
+        for atom in &self.atoms {
+            let kept: Vec<Term> = atom
+                .terms()
+                .iter()
+                .filter(|t| match t.as_var() {
+                    Some(v) => !vars.contains(v),
+                    None => true,
+                })
+                .cloned()
+                .collect();
+            if !kept.is_empty() {
+                new_atoms.push(Atom::new(atom.relation(), kept));
+            }
+        }
+        Bcq::new(new_atoms).ok()
+    }
+
+    /// Renames relations and variables to a canonical form (`R0, R1, …` /
+    /// `x0, x1, …` in order of first appearance). Useful for deduplicating
+    /// generated query corpora.
+    pub fn canonical_form(&self) -> Bcq {
+        let mut rel_map: BTreeMap<String, String> = BTreeMap::new();
+        let mut var_map: BTreeMap<Variable, String> = BTreeMap::new();
+        let mut atoms = Vec::with_capacity(self.atoms.len());
+        for atom in &self.atoms {
+            let next_rel = format!("R{}", rel_map.len());
+            let rel = rel_map.entry(atom.relation().to_string()).or_insert(next_rel).clone();
+            let terms: Vec<Term> = atom
+                .terms()
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => {
+                        let next_var = format!("x{}", var_map.len());
+                        Term::Var(Variable::new(var_map.entry(v.clone()).or_insert(next_var).clone()))
+                    }
+                    Term::Const(c) => Term::Const(*c),
+                })
+                .collect();
+            atoms.push(Atom::new(rel, terms));
+        }
+        Bcq { atoms }
+    }
+}
+
+impl BooleanQuery for Bcq {
+    fn holds(&self, db: &Database) -> bool {
+        find_homomorphism(self, db).is_some()
+    }
+
+    fn signature(&self) -> BTreeSet<String> {
+        self.atoms.iter().map(|a| a.relation().to_string()).collect()
+    }
+}
+
+impl fmt::Debug for Bcq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+impl fmt::Display for Bcq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl FromStr for Bcq {
+    type Err = QueryParseError;
+
+    /// Parses a conjunction of atoms separated by `,`, `&` or `∧`.
+    /// Identifiers are variables; unsigned integer literals are constants.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut atoms = Vec::new();
+        let mut rest = s.trim();
+        while !rest.is_empty() {
+            // Relation name.
+            let open = rest
+                .find('(')
+                .ok_or_else(|| QueryParseError::Syntax(format!("expected '(' in {rest:?}")))?;
+            let rel = rest[..open].trim();
+            if rel.is_empty()
+                || !rel.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+            {
+                return Err(QueryParseError::Syntax(format!("invalid relation name {rel:?}")));
+            }
+            let close = rest[open..]
+                .find(')')
+                .map(|i| i + open)
+                .ok_or_else(|| QueryParseError::Syntax(format!("missing ')' in {rest:?}")))?;
+            let args_str = &rest[open + 1..close];
+            let mut terms = Vec::new();
+            for raw in args_str.split(',') {
+                let arg = raw.trim();
+                if arg.is_empty() {
+                    return Err(QueryParseError::Syntax(format!("empty argument in {rest:?}")));
+                }
+                if arg.chars().all(|c| c.is_ascii_digit()) {
+                    let id: u64 = arg
+                        .parse()
+                        .map_err(|_| QueryParseError::Syntax(format!("bad constant {arg:?}")))?;
+                    terms.push(Term::constant(id));
+                } else if arg.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'') {
+                    terms.push(Term::var(arg));
+                } else {
+                    return Err(QueryParseError::Syntax(format!("invalid term {arg:?}")));
+                }
+            }
+            atoms.push(Atom::new(rel, terms));
+            rest = rest[close + 1..].trim_start();
+            if let Some(stripped) = rest
+                .strip_prefix(',')
+                .or_else(|| rest.strip_prefix('&'))
+                .or_else(|| rest.strip_prefix('∧'))
+            {
+                rest = stripped.trim_start();
+                if rest.is_empty() {
+                    return Err(QueryParseError::Syntax("trailing separator".to_string()));
+                }
+            } else if !rest.is_empty() {
+                return Err(QueryParseError::Syntax(format!("unexpected input {rest:?}")));
+            }
+        }
+        Bcq::new(atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_data::Constant;
+
+    #[test]
+    fn parse_simple_queries() {
+        let q: Bcq = "R(x,y), S(y,z)".parse().unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.variables().len(), 3);
+        assert!(q.is_self_join_free());
+        assert!(q.is_constant_free());
+        assert_eq!(q.to_string(), "R(x,y) ∧ S(y,z)");
+
+        let q2: Bcq = "R(x, x) & S(x)".parse().unwrap();
+        assert_eq!(q2.len(), 2);
+        assert!(q2.atoms()[0].has_repeated_variable());
+
+        let q3: Bcq = "Edge(u,v) ∧ Colour(u) ∧ Colour(v)".parse().unwrap();
+        assert!(!q3.is_self_join_free());
+    }
+
+    #[test]
+    fn parse_constants() {
+        let q: Bcq = "R(x, 3)".parse().unwrap();
+        assert_eq!(q.atoms()[0].terms()[1].as_const(), Some(Constant(3)));
+        assert!(!q.is_constant_free());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<Bcq>().is_err());
+        assert!("R(x,".parse::<Bcq>().is_err());
+        assert!("R()".parse::<Bcq>().is_err());
+        assert!("R(x) junk".parse::<Bcq>().is_err());
+        assert!("R(x),".parse::<Bcq>().is_err());
+        assert!("(x)".parse::<Bcq>().is_err());
+        assert!("R(x$y)".parse::<Bcq>().is_err());
+    }
+
+    #[test]
+    fn self_join_free_detection() {
+        let q = Bcq::from_atoms(&[("R", &["x"]), ("S", &["x"])]);
+        assert!(q.is_self_join_free());
+        let q = Bcq::from_atoms(&[("R", &["x"]), ("R", &["y"])]);
+        assert!(!q.is_self_join_free());
+    }
+
+    #[test]
+    fn occurrence_counting() {
+        let q: Bcq = "R(x,y), S(x,z), T(x)".parse().unwrap();
+        assert_eq!(q.occurrences_of(&Variable::new("x")), 3);
+        assert_eq!(q.occurrences_of(&Variable::new("y")), 1);
+        let singles = q.single_occurrence_variables();
+        assert_eq!(
+            singles.into_iter().collect::<Vec<_>>(),
+            vec![Variable::new("y"), Variable::new("z")]
+        );
+    }
+
+    #[test]
+    fn unary_schema_detection() {
+        assert!(Bcq::from_atoms(&[("R", &["x"]), ("S", &["y"])]).is_unary_schema());
+        assert!(!Bcq::from_atoms(&[("R", &["x", "y"])]).is_unary_schema());
+    }
+
+    #[test]
+    fn project_out_variables() {
+        let q: Bcq = "R(x,y), S(x,z), T(w)".parse().unwrap();
+        let to_remove: BTreeSet<Variable> =
+            [Variable::new("y"), Variable::new("z"), Variable::new("w")].into_iter().collect();
+        let projected = q.project_out(&to_remove).unwrap();
+        // T(w) disappears entirely; R and S become unary over x.
+        assert_eq!(projected.to_string(), "R(x) ∧ S(x)");
+
+        // Projecting out everything yields no query.
+        let all: BTreeSet<Variable> = q.variables();
+        assert!(q.project_out(&all).is_none());
+    }
+
+    #[test]
+    fn canonical_form_identifies_isomorphic_queries() {
+        let q1: Bcq = "R(a,b), S(b,c)".parse().unwrap();
+        let q2: Bcq = "P(x,y), Q(y,z)".parse().unwrap();
+        assert_eq!(q1.canonical_form(), q2.canonical_form());
+        let q3: Bcq = "P(x,y), Q(z,y)".parse().unwrap();
+        assert_ne!(q1.canonical_form(), q3.canonical_form());
+    }
+
+    #[test]
+    fn model_checking_via_trait() {
+        use crate::BooleanQuery;
+        let q: Bcq = "R(x,y), S(y)".parse().unwrap();
+        let mut db = Database::new();
+        db.add_fact("R", vec![Constant(1), Constant(2)]).unwrap();
+        db.add_fact("S", vec![Constant(2)]).unwrap();
+        assert!(q.holds(&db));
+
+        let mut db2 = Database::new();
+        db2.add_fact("R", vec![Constant(1), Constant(2)]).unwrap();
+        db2.add_fact("S", vec![Constant(3)]).unwrap();
+        assert!(!q.holds(&db2));
+
+        assert_eq!(q.signature().into_iter().collect::<Vec<_>>(), vec!["R", "S"]);
+    }
+}

@@ -1,0 +1,312 @@
+//! The connectivity graph of a query (Definition A.9) and the
+//! basic-singleton decomposition used by the tractable algorithm for
+//! counting valuations in the uniform setting (Theorem 3.9, Lemmas A.11
+//! and A.12).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::atom::Variable;
+use crate::bcq::Bcq;
+use crate::patterns::KnownPattern;
+
+/// The connectivity graph `G_q` of a conjunctive query `q`
+/// (Definition A.9): one node per atom, and an edge between two atoms
+/// labelled with the (non-empty) set of variables they share.
+#[derive(Debug, Clone)]
+pub struct ConnectivityGraph {
+    /// Number of atoms of the query.
+    atom_count: usize,
+    /// `edges[(i, j)]` with `i < j` is the set of shared variables.
+    edges: BTreeMap<(usize, usize), BTreeSet<Variable>>,
+}
+
+impl ConnectivityGraph {
+    /// Builds the connectivity graph of `q`.
+    pub fn of(q: &Bcq) -> Self {
+        let atoms = q.atoms();
+        let mut edges = BTreeMap::new();
+        for i in 0..atoms.len() {
+            for j in (i + 1)..atoms.len() {
+                let vi: BTreeSet<Variable> = atoms[i].variables().into_iter().cloned().collect();
+                let vj: BTreeSet<Variable> = atoms[j].variables().into_iter().cloned().collect();
+                let shared: BTreeSet<Variable> = vi.intersection(&vj).cloned().collect();
+                if !shared.is_empty() {
+                    edges.insert((i, j), shared);
+                }
+            }
+        }
+        ConnectivityGraph { atom_count: atoms.len(), edges }
+    }
+
+    /// The number of nodes (atoms).
+    pub fn atom_count(&self) -> usize {
+        self.atom_count
+    }
+
+    /// The label of the edge between atoms `i` and `j`, if they share
+    /// variables.
+    pub fn edge_label(&self, i: usize, j: usize) -> Option<&BTreeSet<Variable>> {
+        let key = if i < j { (i, j) } else { (j, i) };
+        self.edges.get(&key)
+    }
+
+    /// All edges `(i, j, label)` with `i < j`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, &BTreeSet<Variable>)> {
+        self.edges.iter().map(|(&(i, j), label)| (i, j, label))
+    }
+
+    /// The connected components of the graph, as sorted lists of atom
+    /// indices. Components are returned in order of their smallest atom.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut parent: Vec<usize> = (0..self.atom_count).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for &(i, j) in self.edges.keys() {
+            let ri = find(&mut parent, i);
+            let rj = find(&mut parent, j);
+            if ri != rj {
+                parent[ri] = rj;
+            }
+        }
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..self.atom_count {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(i);
+        }
+        let mut components: Vec<Vec<usize>> = groups.into_values().collect();
+        components.sort_by_key(|comp| comp[0]);
+        components
+    }
+
+    /// Checks the structural condition of Lemma A.11: every connected
+    /// component is a clique and all of its edges are labelled by exactly the
+    /// same single variable. This holds whenever the query avoids the
+    /// patterns `R(x,x)`, `R(x)∧S(x,y)∧T(y)` and `R(x,y)∧S(x,y)`.
+    pub fn components_are_single_variable_cliques(&self) -> bool {
+        for component in self.connected_components() {
+            if component.len() == 1 {
+                continue;
+            }
+            let mut label: Option<&BTreeSet<Variable>> = None;
+            for (idx, &i) in component.iter().enumerate() {
+                for &j in &component[idx + 1..] {
+                    match self.edge_label(i, j) {
+                        None => return false, // not a clique
+                        Some(l) => {
+                            if l.len() != 1 {
+                                return false;
+                            }
+                            match label {
+                                None => label = Some(l),
+                                Some(prev) if prev != l => return false,
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for ConnectivityGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "connectivity graph on {} atoms:", self.atom_count)?;
+        for (i, j, label) in self.edges() {
+            let vars: Vec<String> = label.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  atom {i} — atom {j}  [{}]", vars.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// One component of a basic-singleton decomposition: a set of atoms all
+/// sharing the same single variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingletonComponent {
+    /// The shared ("hub") variable of the component.
+    pub variable: Variable,
+    /// The atoms of the component, as `(relation name, position of the hub
+    /// variable in the atom)` pairs.
+    pub atoms: Vec<(String, usize)>,
+}
+
+/// The decomposition of a pattern-free query into basic singleton components
+/// (Lemma A.11 + Lemma A.12), used by the uniform valuation-counting
+/// algorithm of Theorem 3.9.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicSingletonDecomposition {
+    /// Components with a shared variable appearing in at least two atoms.
+    pub components: Vec<SingletonComponent>,
+    /// Relations whose atom shares no variable with any other atom. The
+    /// corresponding atom is satisfied by every valuation as soon as the
+    /// relation is non-empty in the database (all of its variables occur
+    /// exactly once in the query).
+    pub free_relations: Vec<String>,
+}
+
+impl BasicSingletonDecomposition {
+    /// Attempts to decompose `q`.
+    ///
+    /// Returns `None` if `q` has one of the patterns `R(x,x)`,
+    /// `R(x)∧S(x,y)∧T(y)` or `R(x,y)∧S(x,y)` — the hard cases of Theorem 3.9
+    /// — or if `q` is not self-join-free or mentions constants.
+    pub fn of(q: &Bcq) -> Option<Self> {
+        if !q.is_self_join_free() || !q.is_constant_free() {
+            return None;
+        }
+        if KnownPattern::SelfLoop.matches(q)
+            || KnownPattern::PathOfLengthTwo.matches(q)
+            || KnownPattern::DoubleEdge.matches(q)
+        {
+            return None;
+        }
+        // Because the three patterns are absent, every atom contains at most
+        // one variable that also occurs in another atom, and that variable
+        // occurs exactly once in the atom.
+        let mut components: BTreeMap<Variable, Vec<(String, usize)>> = BTreeMap::new();
+        let mut free_relations = Vec::new();
+        for atom in q.atoms() {
+            let shared: Vec<(&Variable, usize)> = atom
+                .terms()
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, t)| t.as_var().map(|v| (v, pos)))
+                .filter(|(v, _)| q.occurrences_of(v) >= 2)
+                .collect();
+            match shared.as_slice() {
+                [] => free_relations.push(atom.relation().to_string()),
+                [(var, pos)] => components
+                    .entry((*var).clone())
+                    .or_default()
+                    .push((atom.relation().to_string(), *pos)),
+                _ => {
+                    // More than one shared variable in a single atom would
+                    // contradict the absence of the patterns; defensive.
+                    return None;
+                }
+            }
+        }
+        let components = components
+            .into_iter()
+            .map(|(variable, atoms)| SingletonComponent { variable, atoms })
+            .collect();
+        Some(BasicSingletonDecomposition { components, free_relations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> Bcq {
+        s.parse().unwrap()
+    }
+
+    /// The query of Example A.10 / Figure 3 of the paper.
+    fn example_a10() -> Bcq {
+        q("R1(x1,x1,y1,t1), R2(x1,y1,t2), S1(x2,t3), S2(x2,t4), S3(x2), T1(x3), T2(x3), T3(x3), T4(x3,t5)")
+    }
+
+    #[test]
+    fn figure_3_connectivity_graph() {
+        let query = example_a10();
+        let g = ConnectivityGraph::of(&query);
+        assert_eq!(g.atom_count(), 9);
+        let components = g.connected_components();
+        // Three components: {R1,R2}, {S1,S2,S3}, {T1,T2,T3,T4}.
+        assert_eq!(components.len(), 3);
+        assert_eq!(components[0].len(), 2);
+        assert_eq!(components[1].len(), 3);
+        assert_eq!(components[2].len(), 4);
+        // The R1–R2 edge is labelled by the two shared variables x1, y1.
+        let label = g.edge_label(0, 1).unwrap();
+        assert_eq!(label.len(), 2);
+        // So the Lemma A.11 criterion fails for the full query...
+        assert!(!g.components_are_single_variable_cliques());
+        // ...but holds once the first component is removed (as observed in
+        // the paper right after Example A.10).
+        let rest = q("S1(x2,t3), S2(x2,t4), S3(x2), T1(x3), T2(x3), T3(x3), T4(x3,t5)");
+        assert!(ConnectivityGraph::of(&rest).components_are_single_variable_cliques());
+    }
+
+    #[test]
+    fn components_of_disconnected_query() {
+        let query = q("R(x,y), S(y), T(z)");
+        let g = ConnectivityGraph::of(&query);
+        let comps = g.connected_components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2]]);
+        assert!(g.edge_label(0, 1).is_some());
+        assert!(g.edge_label(1, 0).is_some(), "edge lookup must be symmetric");
+        assert!(g.edge_label(0, 2).is_none());
+        assert!(g.components_are_single_variable_cliques());
+        assert_eq!(g.edges().count(), 1);
+    }
+
+    #[test]
+    fn decomposition_of_basic_singletons() {
+        // S1(x2) ∧ S2(x2) ∧ S3(x2) ∧ T1(x3) ∧ ... ∧ T4(x3, t5): two
+        // components plus no free relation; t3, t4, t5 are projected away.
+        let query = q("S1(x2,t3), S2(x2,t4), S3(x2), T1(x3), T2(x3), T3(x3), T4(x3,t5)");
+        let d = BasicSingletonDecomposition::of(&query).unwrap();
+        assert_eq!(d.components.len(), 2);
+        assert!(d.free_relations.is_empty());
+        let s_comp = &d.components[0];
+        assert_eq!(s_comp.variable, Variable::new("x2"));
+        assert_eq!(
+            s_comp.atoms,
+            vec![("S1".to_string(), 0), ("S2".to_string(), 0), ("S3".to_string(), 0)]
+        );
+        let t_comp = &d.components[1];
+        assert_eq!(t_comp.variable, Variable::new("x3"));
+        assert_eq!(t_comp.atoms.len(), 4);
+    }
+
+    #[test]
+    fn decomposition_with_free_relations() {
+        let query = q("R(x,y), S(z), U(w,v)");
+        let d = BasicSingletonDecomposition::of(&query).unwrap();
+        assert!(d.components.is_empty());
+        assert_eq!(d.free_relations, vec!["R", "S", "U"]);
+    }
+
+    #[test]
+    fn decomposition_rejects_hard_patterns() {
+        assert!(BasicSingletonDecomposition::of(&q("R(x,x)")).is_none());
+        assert!(BasicSingletonDecomposition::of(&q("R(x), S(x,y), T(y)")).is_none());
+        assert!(BasicSingletonDecomposition::of(&q("R(x,y), S(x,y)")).is_none());
+        // Not self-join-free.
+        assert!(BasicSingletonDecomposition::of(&q("R(x), R(y)")).is_none());
+        // But the tractable shapes decompose fine.
+        assert!(BasicSingletonDecomposition::of(&q("R(x), S(x)")).is_some());
+        assert!(BasicSingletonDecomposition::of(&q("R(x,y)")).is_some());
+    }
+
+    #[test]
+    fn hub_variable_positions_are_recorded() {
+        let query = q("R(a,x), S(x,b), T(x)");
+        let d = BasicSingletonDecomposition::of(&query).unwrap();
+        assert_eq!(d.components.len(), 1);
+        let comp = &d.components[0];
+        assert_eq!(comp.variable, Variable::new("x"));
+        assert_eq!(
+            comp.atoms,
+            vec![("R".to_string(), 1), ("S".to_string(), 0), ("T".to_string(), 0)]
+        );
+    }
+
+    #[test]
+    fn display_renders_edges() {
+        let g = ConnectivityGraph::of(&q("R(x,y), S(y)"));
+        let text = g.to_string();
+        assert!(text.contains("atom 0 — atom 1"));
+        assert!(text.contains('y'));
+    }
+}

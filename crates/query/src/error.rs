@@ -1,0 +1,40 @@
+//! Errors for query parsing and construction.
+
+use std::fmt;
+
+/// Error produced while parsing or constructing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryParseError {
+    /// The textual form could not be parsed.
+    Syntax(String),
+    /// A query was built with no atoms (the paper requires at least one).
+    NoAtoms,
+    /// An atom was built with no terms (the paper requires arity ≥ 1).
+    NullaryAtom(String),
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryParseError::Syntax(msg) => write!(f, "syntax error: {msg}"),
+            QueryParseError::NoAtoms => write!(f, "a Boolean conjunctive query needs at least one atom"),
+            QueryParseError::NullaryAtom(rel) => {
+                write!(f, "atom over relation {rel} has no terms; arity must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(QueryParseError::Syntax("bad".into()).to_string().contains("bad"));
+        assert!(QueryParseError::NoAtoms.to_string().contains("at least one atom"));
+        assert!(QueryParseError::NullaryAtom("R".into()).to_string().contains('R'));
+    }
+}

@@ -1,0 +1,186 @@
+//! Homomorphism-based model checking for conjunctive queries.
+//!
+//! A homomorphism from a BCQ `q` to a complete database `D` is a mapping `h`
+//! from the variables of `q` to the constants of `D` such that the image of
+//! every atom of `q` is a fact of `D`. `D ⊨ q` iff such a homomorphism
+//! exists (Section 2 of the paper).
+
+use std::collections::BTreeMap;
+
+use incdb_data::{Constant, Database};
+
+use crate::atom::{Atom, Term, Variable};
+use crate::bcq::Bcq;
+
+/// A homomorphism: an assignment of constants to the variables of a query.
+pub type Homomorphism = BTreeMap<Variable, Constant>;
+
+/// Checks whether `partial` can be extended so that the image of `atom` is a
+/// fact of `db`, and returns every consistent extension restricted to the
+/// variables of this atom.
+fn candidate_extensions(
+    atom: &Atom,
+    db: &Database,
+    partial: &Homomorphism,
+) -> Vec<Homomorphism> {
+    let mut out = Vec::new();
+    'facts: for fact in db.facts(atom.relation()) {
+        if fact.len() != atom.arity() {
+            continue;
+        }
+        let mut extension = partial.clone();
+        for (term, &constant) in atom.terms().iter().zip(fact.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if *c != constant {
+                        continue 'facts;
+                    }
+                }
+                Term::Var(v) => match extension.get(v) {
+                    Some(&bound) if bound != constant => continue 'facts,
+                    Some(_) => {}
+                    None => {
+                        extension.insert(v.clone(), constant);
+                    }
+                },
+            }
+        }
+        out.push(extension);
+    }
+    out
+}
+
+/// Finds one homomorphism from `q` to `db`, if any exists.
+///
+/// The search orders atoms as given and backtracks on conflicts; queries are
+/// fixed and tiny in this library, so no join-order optimisation is needed.
+pub fn find_homomorphism(q: &Bcq, db: &Database) -> Option<Homomorphism> {
+    fn go(atoms: &[Atom], db: &Database, partial: Homomorphism) -> Option<Homomorphism> {
+        match atoms.split_first() {
+            None => Some(partial),
+            Some((first, rest)) => {
+                for extension in candidate_extensions(first, db, &partial) {
+                    if let Some(h) = go(rest, db, extension) {
+                        return Some(h);
+                    }
+                }
+                None
+            }
+        }
+    }
+    go(q.atoms(), db, Homomorphism::new())
+}
+
+/// Enumerates **all** homomorphisms from `q` to `db`.
+///
+/// Used by the Karp–Luby FPRAS to enumerate witnesses and by tests as a
+/// ground-truth oracle.
+pub fn all_homomorphisms(q: &Bcq, db: &Database) -> Vec<Homomorphism> {
+    fn go(atoms: &[Atom], db: &Database, partial: Homomorphism, out: &mut Vec<Homomorphism>) {
+        match atoms.split_first() {
+            None => out.push(partial),
+            Some((first, rest)) => {
+                for extension in candidate_extensions(first, db, &partial) {
+                    go(rest, db, extension, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(q.atoms(), db, Homomorphism::new(), &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64) -> Constant {
+        Constant(id)
+    }
+
+    fn path_db(edges: &[(u64, u64)]) -> Database {
+        let mut db = Database::new();
+        for &(a, b) in edges {
+            db.add_fact("E", vec![c(a), c(b)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn triangle_query_on_triangle() {
+        let q: Bcq = "E(x,y), E(y,z), E(z,x)".parse().unwrap();
+        let triangle = path_db(&[(1, 2), (2, 3), (3, 1)]);
+        assert!(find_homomorphism(&q, &triangle).is_some());
+
+        let path = path_db(&[(1, 2), (2, 3), (3, 4)]);
+        assert!(find_homomorphism(&q, &path).is_none());
+    }
+
+    #[test]
+    fn repeated_variable_forces_loop() {
+        let q: Bcq = "E(x,x)".parse().unwrap();
+        let no_loop = path_db(&[(1, 2), (2, 1)]);
+        assert!(find_homomorphism(&q, &no_loop).is_none());
+        let with_loop = path_db(&[(1, 2), (3, 3)]);
+        let h = find_homomorphism(&q, &with_loop).unwrap();
+        assert_eq!(h.get(&Variable::new("x")), Some(&c(3)));
+    }
+
+    #[test]
+    fn constants_in_atoms_must_match() {
+        let q: Bcq = "E(x, 3)".parse().unwrap();
+        let db = path_db(&[(1, 2)]);
+        assert!(find_homomorphism(&q, &db).is_none());
+        let db = path_db(&[(1, 3)]);
+        assert!(find_homomorphism(&q, &db).is_some());
+    }
+
+    #[test]
+    fn cross_atom_join() {
+        let q: Bcq = "R(x,y), S(y,z)".parse().unwrap();
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(1), c(2)]).unwrap();
+        db.add_fact("S", vec![c(3), c(4)]).unwrap();
+        assert!(find_homomorphism(&q, &db).is_none(), "join value 2 ≠ 3");
+        db.add_fact("S", vec![c(2), c(4)]).unwrap();
+        let h = find_homomorphism(&q, &db).unwrap();
+        assert_eq!(h[&Variable::new("x")], c(1));
+        assert_eq!(h[&Variable::new("y")], c(2));
+        assert_eq!(h[&Variable::new("z")], c(4));
+    }
+
+    #[test]
+    fn missing_relation_means_no_homomorphism() {
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(1)]).unwrap();
+        assert!(find_homomorphism(&q, &db).is_none());
+    }
+
+    #[test]
+    fn all_homomorphisms_count() {
+        // q = E(x,y) on a complete directed graph on {1,2} with loops: 4 homs.
+        let q: Bcq = "E(x,y)".parse().unwrap();
+        let db = path_db(&[(1, 1), (1, 2), (2, 1), (2, 2)]);
+        assert_eq!(all_homomorphisms(&q, &db).len(), 4);
+
+        // Triangle query on the (undirected, both directions) triangle: 6 homs.
+        let q: Bcq = "E(x,y), E(y,z), E(z,x)".parse().unwrap();
+        let db = path_db(&[(1, 2), (2, 1), (2, 3), (3, 2), (1, 3), (3, 1)]);
+        assert_eq!(all_homomorphisms(&q, &db).len(), 6);
+    }
+
+    #[test]
+    fn arity_mismatch_facts_are_skipped() {
+        // A database can in principle hold facts of different arity under a
+        // name the query also uses; the matcher must skip them rather than
+        // panic.
+        let q: Bcq = "R(x,y)".parse().unwrap();
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(1)]).unwrap();
+        assert!(find_homomorphism(&q, &db).is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! # incdb-query
+//!
+//! Boolean queries over relational databases, as used by
+//! *Counting Problems over Incomplete Databases* (Arenas, Barceló & Monet,
+//! PODS 2020):
+//!
+//! * [`Bcq`] — Boolean conjunctive queries `∃x̄ (R₁(x̄₁) ∧ … ∧ R_m(x̄_m))`,
+//!   together with the self-join-free check ([`Bcq::is_self_join_free`]),
+//! * [`Ucq`] — unions of Boolean conjunctive queries (needed by the FPRAS of
+//!   Section 5.1),
+//! * [`NegatedBcq`] — negations of BCQs (Section 6, Theorem 6.3),
+//! * homomorphism-based model checking ([`homomorphism`]),
+//! * the **pattern** pre-order of Definition 3.1 ([`patterns`]), both as a
+//!   generic decision procedure and as closed-form detectors for the six
+//!   patterns of Table 1,
+//! * the connectivity-graph analysis of Appendix A.3 ([`connectivity`]),
+//!   used by the tractable uniform-valuation-counting algorithm.
+//!
+//! ## Query syntax
+//!
+//! Queries can be built programmatically or parsed from a compact textual
+//! form where atoms are separated by `,` (or `&`), identifiers are variables
+//! and integer literals are constants:
+//!
+//! ```
+//! use incdb_query::Bcq;
+//! let q: Bcq = "R(x, y), S(y, z)".parse().unwrap();
+//! assert!(q.is_self_join_free());
+//! assert_eq!(q.atoms().len(), 2);
+//! assert_eq!(q.variables().len(), 3);
+//! ```
+
+pub mod atom;
+pub mod bcq;
+pub mod connectivity;
+pub mod error;
+pub mod homomorphism;
+pub mod patterns;
+pub mod ucq;
+
+pub use atom::{Atom, Term, Variable};
+pub use bcq::Bcq;
+pub use connectivity::{BasicSingletonDecomposition, ConnectivityGraph};
+pub use error::QueryParseError;
+pub use homomorphism::{all_homomorphisms, find_homomorphism, Homomorphism};
+pub use patterns::{is_pattern_of, KnownPattern};
+pub use ucq::{NegatedBcq, Ucq};
+
+use incdb_data::Database;
+
+/// A Boolean query: something a complete database satisfies or not.
+pub trait BooleanQuery {
+    /// Model checking: does `db ⊨ q` hold?
+    fn holds(&self, db: &Database) -> bool;
+
+    /// The set of relation symbols mentioned by the query (`sig(q)`).
+    fn signature(&self) -> std::collections::BTreeSet<String>;
+}

@@ -1,0 +1,395 @@
+//! The *pattern* pre-order of Definition 3.1 and the six named patterns of
+//! Table 1.
+//!
+//! A query `q'` is a **pattern** of `q` when `q'` can be obtained from `q` by
+//! repeatedly deleting atoms, deleting variable occurrences, renaming
+//! relations or variables to fresh ones, and reordering the variables inside
+//! an atom. By Lemmas 3.3 and 4.1, counting problems are at least as hard
+//! for `q` as they are for any of its patterns, so the dichotomies of the
+//! paper are stated as "the problem is #P-hard iff `q` has one of the
+//! following patterns".
+//!
+//! This module provides
+//!
+//! * [`is_pattern_of`] — a generic decision procedure for the pattern
+//!   relation (exponential in the — fixed and tiny — query sizes),
+//! * [`KnownPattern`] — the six patterns appearing in Table 1, each with a
+//!   closed-form linear-time detector whose correctness is cross-checked
+//!   against [`is_pattern_of`] in the test-suite.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::atom::{Atom, Variable};
+use crate::bcq::Bcq;
+
+/// Multiplicity profile of an atom: how many times each variable occurs.
+fn occurrence_profile(atom: &Atom) -> BTreeMap<&Variable, usize> {
+    let mut map = BTreeMap::new();
+    for term in atom.terms() {
+        if let Some(v) = term.as_var() {
+            *map.entry(v).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+/// Decides whether `pattern` is a pattern of `q` in the sense of
+/// Definition 3.1.
+///
+/// Both queries are expected to be self-join-free and constant-free (the
+/// paper's setting); constant terms, if present, are ignored.
+///
+/// The procedure searches for an injective mapping from the atoms of
+/// `pattern` to the atoms of `q` together with an injective mapping from the
+/// variables of `pattern` to the variables of `q`, such that each pattern
+/// atom's variable multiplicities are dominated by the multiplicities of the
+/// mapped variables inside the mapped atom. This is exactly the reachability
+/// condition of Definition 3.1 (deleting atoms realises the atom injection,
+/// deleting occurrences and reordering realise the multiplicity domination,
+/// and renamings realise the variable/relation correspondence).
+pub fn is_pattern_of(pattern: &Bcq, q: &Bcq) -> bool {
+    let p_atoms = pattern.atoms();
+    let q_atoms = q.atoms();
+    if p_atoms.len() > q_atoms.len() {
+        return false;
+    }
+
+    fn compatible(
+        p_atom: &Atom,
+        q_atom: &Atom,
+        sigma: &BTreeMap<Variable, Variable>,
+    ) -> Vec<BTreeMap<Variable, Variable>> {
+        // Enumerate all ways to extend `sigma` (an injective map from pattern
+        // variables to query variables) so that the multiplicity of every
+        // pattern variable in `p_atom` is dominated by the multiplicity of
+        // its image in `q_atom`.
+        let p_profile = occurrence_profile(p_atom);
+        let q_profile = occurrence_profile(q_atom);
+        let p_vars: Vec<(&Variable, usize)> = p_profile.into_iter().collect();
+
+        fn assign(
+            remaining: &[(&Variable, usize)],
+            q_profile: &BTreeMap<&Variable, usize>,
+            sigma: BTreeMap<Variable, Variable>,
+            out: &mut Vec<BTreeMap<Variable, Variable>>,
+        ) {
+            match remaining.split_first() {
+                None => out.push(sigma),
+                Some(((p_var, p_mult), rest)) => {
+                    if let Some(image) = sigma.get(p_var) {
+                        // Already mapped: just check the multiplicity here.
+                        if q_profile.get(image).copied().unwrap_or(0) >= *p_mult {
+                            assign(rest, q_profile, sigma, out);
+                        }
+                        return;
+                    }
+                    for (&q_var, &q_mult) in q_profile {
+                        if q_mult < *p_mult {
+                            continue;
+                        }
+                        if sigma.values().any(|used| used == q_var) {
+                            continue; // injectivity
+                        }
+                        let mut extended = sigma.clone();
+                        extended.insert((*p_var).clone(), q_var.clone());
+                        assign(rest, q_profile, extended, out);
+                    }
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        assign(&p_vars, &q_profile, sigma.clone(), &mut out);
+        out
+    }
+
+    fn search(
+        p_atoms: &[Atom],
+        q_atoms: &[Atom],
+        used: &mut Vec<bool>,
+        sigma: &BTreeMap<Variable, Variable>,
+    ) -> bool {
+        match p_atoms.split_first() {
+            None => true,
+            Some((p_atom, rest)) => {
+                for (i, q_atom) in q_atoms.iter().enumerate() {
+                    if used[i] {
+                        continue;
+                    }
+                    used[i] = true;
+                    for extended in compatible(p_atom, q_atom, sigma) {
+                        if search(rest, q_atoms, used, &extended) {
+                            used[i] = false;
+                            return true;
+                        }
+                    }
+                    used[i] = false;
+                }
+                false
+            }
+        }
+    }
+
+    let mut used = vec![false; q_atoms.len()];
+    search(p_atoms, q_atoms, &mut used, &BTreeMap::new())
+}
+
+/// The six query patterns appearing in Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KnownPattern {
+    /// `R(x)` — any atom at all. Hard pattern for `#Comp` / `#Comp_Cd`
+    /// (non-uniform completions, Proposition 4.2).
+    UnaryAtom,
+    /// `R(x,y)` — an atom with two distinct variables. Hard pattern for
+    /// `#Compᵘ` / `#Compᵘ_Cd` (Proposition 4.5).
+    BinaryAtom,
+    /// `R(x,x)` — an atom with a repeated variable. Hard pattern for
+    /// `#Val`, `#Valᵘ`, `#Compᵘ`, `#Compᵘ_Cd` (Propositions 3.4 and 4.5).
+    SelfLoop,
+    /// `R(x) ∧ S(x)` — two atoms sharing a variable. Hard pattern for
+    /// `#Val`, `#Val_Cd` (Proposition 3.5).
+    SharedVariable,
+    /// `R(x) ∧ S(x,y) ∧ T(y)` — a length-2 path of shared variables through
+    /// three atoms. Hard pattern for `#Valᵘ` and `#Valᵘ_Cd`
+    /// (Propositions 3.8 and 3.11).
+    PathOfLengthTwo,
+    /// `R(x,y) ∧ S(x,y)` — two atoms sharing two distinct variables. Hard
+    /// pattern for `#Valᵘ` (Proposition 3.8).
+    DoubleEdge,
+}
+
+impl KnownPattern {
+    /// All six patterns, in a fixed order.
+    pub const ALL: [KnownPattern; 6] = [
+        KnownPattern::UnaryAtom,
+        KnownPattern::BinaryAtom,
+        KnownPattern::SelfLoop,
+        KnownPattern::SharedVariable,
+        KnownPattern::PathOfLengthTwo,
+        KnownPattern::DoubleEdge,
+    ];
+
+    /// The pattern as a [`Bcq`], exactly as written in the paper.
+    pub fn query(self) -> Bcq {
+        let spec: &[(&str, &[&str])] = match self {
+            KnownPattern::UnaryAtom => &[("R", &["x"])],
+            KnownPattern::BinaryAtom => &[("R", &["x", "y"])],
+            KnownPattern::SelfLoop => &[("R", &["x", "x"])],
+            KnownPattern::SharedVariable => &[("R", &["x"]), ("S", &["x"])],
+            KnownPattern::PathOfLengthTwo => &[("R", &["x"]), ("S", &["x", "y"]), ("T", &["y"])],
+            KnownPattern::DoubleEdge => &[("R", &["x", "y"]), ("S", &["x", "y"])],
+        };
+        Bcq::from_atoms(spec)
+    }
+
+    /// Closed-form detection of this pattern inside `q` (a self-join-free,
+    /// constant-free BCQ). Equivalent to `is_pattern_of(&self.query(), q)`
+    /// but linear-time; the equivalence is verified by property tests.
+    pub fn matches(self, q: &Bcq) -> bool {
+        match self {
+            // Every sjfBCQ has at least one atom with at least one variable.
+            KnownPattern::UnaryAtom => q.atoms().iter().any(|a| !a.variables().is_empty()),
+            // An atom with at least two *distinct* variables.
+            KnownPattern::BinaryAtom => q.atoms().iter().any(|a| a.variables().len() >= 2),
+            // An atom with a repeated variable.
+            KnownPattern::SelfLoop => q.atoms().iter().any(Atom::has_repeated_variable),
+            // Two distinct atoms sharing a variable.
+            KnownPattern::SharedVariable => {
+                let atoms = q.atoms();
+                for i in 0..atoms.len() {
+                    for j in (i + 1)..atoms.len() {
+                        let vi: BTreeSet<_> = atoms[i].variables();
+                        let vj: BTreeSet<_> = atoms[j].variables();
+                        if vi.intersection(&vj).next().is_some() {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            // Three pairwise distinct atoms A, B, C and distinct variables
+            // x ≠ y with x ∈ vars(A) ∩ vars(B) and y ∈ vars(B) ∩ vars(C).
+            KnownPattern::PathOfLengthTwo => {
+                let atoms = q.atoms();
+                let n = atoms.len();
+                for b in 0..n {
+                    let vb = atoms[b].variables();
+                    for a in 0..n {
+                        if a == b {
+                            continue;
+                        }
+                        let va = atoms[a].variables();
+                        for c in 0..n {
+                            if c == a || c == b {
+                                continue;
+                            }
+                            let vc = atoms[c].variables();
+                            let has = va.intersection(&vb).any(|x| {
+                                vb.intersection(&vc).any(|y| x != y)
+                            });
+                            if has {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            // Two distinct atoms sharing at least two distinct variables.
+            KnownPattern::DoubleEdge => {
+                let atoms = q.atoms();
+                for i in 0..atoms.len() {
+                    for j in (i + 1)..atoms.len() {
+                        let vi: BTreeSet<_> = atoms[i].variables();
+                        let vj: BTreeSet<_> = atoms[j].variables();
+                        if vi.intersection(&vj).count() >= 2 {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+impl fmt::Display for KnownPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.query())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> Bcq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn example_3_2_from_the_paper() {
+        // q' = R'(u,u,y) ∧ S'(z) is a pattern of
+        // q  = R(u,x,u) ∧ S'(y,y) ∧ T(x,s,z,s).
+        let pattern = q("R'(u,u,y), S'(z)");
+        let query = q("R(u,x,u), S'(y,y), T(x,s,z,s)");
+        assert!(is_pattern_of(&pattern, &query));
+        // But the converse fails (the pattern has fewer atoms).
+        assert!(!is_pattern_of(&query, &pattern));
+    }
+
+    #[test]
+    fn atom_count_prevents_pattern() {
+        assert!(!is_pattern_of(&q("R(x), S(y)"), &q("R(x)")));
+    }
+
+    #[test]
+    fn self_loop_pattern_detection() {
+        assert!(KnownPattern::SelfLoop.matches(&q("R(x,x)")));
+        assert!(KnownPattern::SelfLoop.matches(&q("T(a,b,a)")));
+        assert!(!KnownPattern::SelfLoop.matches(&q("R(x,y), S(y,z)")));
+        assert!(is_pattern_of(&KnownPattern::SelfLoop.query(), &q("T(a,b,a)")));
+        assert!(!is_pattern_of(&KnownPattern::SelfLoop.query(), &q("R(x,y), S(y,z)")));
+    }
+
+    #[test]
+    fn shared_variable_pattern_detection() {
+        assert!(KnownPattern::SharedVariable.matches(&q("R(x), S(x)")));
+        assert!(KnownPattern::SharedVariable.matches(&q("R(x,y), S(y,z)")));
+        assert!(!KnownPattern::SharedVariable.matches(&q("R(x), S(y)")));
+        assert!(!KnownPattern::SharedVariable.matches(&q("R(x,x)")));
+    }
+
+    #[test]
+    fn path_of_length_two_detection() {
+        assert!(KnownPattern::PathOfLengthTwo.matches(&q("R(x), S(x,y), T(y)")));
+        assert!(KnownPattern::PathOfLengthTwo.matches(&q("A(u,v), B(v,w), C(w,t)")));
+        // Only two atoms: impossible.
+        assert!(!KnownPattern::PathOfLengthTwo.matches(&q("R(x,y), S(x,y)")));
+        // Three atoms but a single shared variable overall ("star"): impossible.
+        assert!(!KnownPattern::PathOfLengthTwo.matches(&q("R(x), S(x), T(x)")));
+        // The query of Example 3.10.
+        assert!(!KnownPattern::PathOfLengthTwo.matches(&q("R(x), S(x)")));
+    }
+
+    #[test]
+    fn double_edge_detection() {
+        assert!(KnownPattern::DoubleEdge.matches(&q("R(x,y), S(x,y)")));
+        assert!(KnownPattern::DoubleEdge.matches(&q("R(x,y,z), S(z,x)")));
+        assert!(!KnownPattern::DoubleEdge.matches(&q("R(x,y), S(y,z)")));
+    }
+
+    #[test]
+    fn unary_and_binary_atom_detection() {
+        assert!(KnownPattern::UnaryAtom.matches(&q("R(x)")));
+        assert!(KnownPattern::UnaryAtom.matches(&q("R(x,y), S(z)")));
+        assert!(KnownPattern::BinaryAtom.matches(&q("R(x,y)")));
+        assert!(KnownPattern::BinaryAtom.matches(&q("R(u,x,u)")));
+        assert!(!KnownPattern::BinaryAtom.matches(&q("R(x,x)")));
+        assert!(!KnownPattern::BinaryAtom.matches(&q("R(x), S(y)")));
+    }
+
+    #[test]
+    fn closed_forms_agree_with_generic_checker_on_corpus() {
+        // A corpus of small self-join-free queries exercising every shape
+        // relevant to Table 1.
+        let corpus = [
+            "R(x)",
+            "R(x,y)",
+            "R(x,x)",
+            "R(x), S(x)",
+            "R(x), S(y)",
+            "R(x,y), S(x,y)",
+            "R(x,y), S(y,z)",
+            "R(x), S(x,y), T(y)",
+            "R(x), S(x), T(x)",
+            "R(x,y), S(y), T(z)",
+            "R(u,x,u), S'(y,y), T(x,s,z,s)",
+            "R(x,y,z)",
+            "R(x,x,y), S(y)",
+            "A(a,b), B(b,c), C(c,d), D(d,a)",
+            "R(x), S(y), T(z), U(x,y)",
+        ];
+        for text in corpus {
+            let query = q(text);
+            for pattern in KnownPattern::ALL {
+                assert_eq!(
+                    pattern.matches(&query),
+                    is_pattern_of(&pattern.query(), &query),
+                    "mismatch for pattern {pattern} on query {query}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_relation_is_reflexive_and_respects_renaming() {
+        let queries = ["R(x)", "R(x,y), S(y,z)", "R(x,x), S(x)"];
+        for text in queries {
+            let query = q(text);
+            assert!(is_pattern_of(&query, &query), "{query} must be a pattern of itself");
+            assert!(
+                is_pattern_of(&query.canonical_form(), &query),
+                "renamed {query} must remain a pattern"
+            );
+        }
+    }
+
+    #[test]
+    fn deleting_occurrences_is_allowed_but_merging_is_not() {
+        // R(x) is a pattern of R(x,y) (delete the occurrence of y).
+        assert!(is_pattern_of(&q("R(x)"), &q("R(x,y)")));
+        // R(x,x) is NOT a pattern of R(x,y): variables cannot be merged.
+        assert!(!is_pattern_of(&q("R(x,x)"), &q("R(x,y)")));
+        // R(x,y) is not a pattern of R(x,x): distinct pattern variables need
+        // distinct query variables.
+        assert!(!is_pattern_of(&q("R(x,y)"), &q("R(x,x)")));
+    }
+
+    #[test]
+    fn display_of_known_patterns() {
+        assert_eq!(KnownPattern::SelfLoop.to_string(), "R(x,x)");
+        assert_eq!(KnownPattern::PathOfLengthTwo.to_string(), "R(x) ∧ S(x,y) ∧ T(y)");
+    }
+}

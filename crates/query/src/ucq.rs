@@ -1,0 +1,188 @@
+//! Unions of Boolean conjunctive queries and negated BCQs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use incdb_data::Database;
+
+use crate::bcq::Bcq;
+use crate::error::QueryParseError;
+use crate::BooleanQuery;
+
+/// A union (disjunction) of Boolean conjunctive queries.
+///
+/// UCQs are monotone, have bounded minimal models and model checking in
+/// nondeterministic linear space, so by Proposition 5.2 / Corollary 5.3 of
+/// the paper, `#Val(q)` admits an FPRAS for every UCQ `q`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ucq {
+    disjuncts: Vec<Bcq>,
+}
+
+impl Ucq {
+    /// Creates a UCQ from its disjuncts.
+    pub fn new(disjuncts: Vec<Bcq>) -> Result<Self, QueryParseError> {
+        if disjuncts.is_empty() {
+            return Err(QueryParseError::NoAtoms);
+        }
+        Ok(Ucq { disjuncts })
+    }
+
+    /// A UCQ with a single disjunct.
+    pub fn from_bcq(q: Bcq) -> Self {
+        Ucq { disjuncts: vec![q] }
+    }
+
+    /// The disjuncts of the union.
+    pub fn disjuncts(&self) -> &[Bcq] {
+        &self.disjuncts
+    }
+
+    /// The number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Always `false`: a UCQ has at least one disjunct.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl BooleanQuery for Ucq {
+    fn holds(&self, db: &Database) -> bool {
+        self.disjuncts.iter().any(|q| q.holds(db))
+    }
+
+    fn signature(&self) -> BTreeSet<String> {
+        self.disjuncts.iter().flat_map(|q| q.signature()).collect()
+    }
+}
+
+impl From<Bcq> for Ucq {
+    fn from(q: Bcq) -> Self {
+        Ucq::from_bcq(q)
+    }
+}
+
+impl fmt::Debug for Ucq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.disjuncts.iter().map(|q| format!("({q})")).collect();
+        write!(f, "{}", parts.join(" ∨ "))
+    }
+}
+
+impl fmt::Display for Ucq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl FromStr for Ucq {
+    type Err = QueryParseError;
+
+    /// Parses disjuncts separated by `|` or `∨`, each a BCQ.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalised = s.replace('∨', "|");
+        let disjuncts: Result<Vec<Bcq>, _> =
+            normalised.split('|').map(|part| part.trim().parse::<Bcq>()).collect();
+        Ucq::new(disjuncts?)
+    }
+}
+
+/// The negation `¬q` of a Boolean conjunctive query.
+///
+/// Used in Section 6 of the paper: Theorem 6.3 exhibits an sjfBCQ `q` for
+/// which counting the completions satisfying `¬q` is SpanP-complete.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NegatedBcq {
+    inner: Bcq,
+}
+
+impl NegatedBcq {
+    /// Wraps a BCQ in a negation.
+    pub fn new(inner: Bcq) -> Self {
+        NegatedBcq { inner }
+    }
+
+    /// The query under the negation.
+    pub fn inner(&self) -> &Bcq {
+        &self.inner
+    }
+}
+
+impl BooleanQuery for NegatedBcq {
+    fn holds(&self, db: &Database) -> bool {
+        !self.inner.holds(db)
+    }
+
+    fn signature(&self) -> BTreeSet<String> {
+        self.inner.signature()
+    }
+}
+
+impl fmt::Debug for NegatedBcq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "¬({})", self.inner)
+    }
+}
+
+impl fmt::Display for NegatedBcq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_data::Constant;
+
+    fn c(id: u64) -> Constant {
+        Constant(id)
+    }
+
+    #[test]
+    fn parse_union() {
+        let u: Ucq = "R(x,x) | S(x), T(x)".parse().unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.to_string(), "(R(x,x)) ∨ (S(x) ∧ T(x))");
+        assert_eq!(
+            u.signature().into_iter().collect::<Vec<_>>(),
+            vec!["R", "S", "T"]
+        );
+        assert!("".parse::<Ucq>().is_err());
+        assert!("R(x) |".parse::<Ucq>().is_err());
+    }
+
+    #[test]
+    fn union_semantics_is_disjunction() {
+        let u: Ucq = "R(x) | S(x)".parse().unwrap();
+        let mut db = Database::new();
+        db.add_fact("S", vec![c(1)]).unwrap();
+        assert!(u.holds(&db));
+        let empty = Database::new();
+        assert!(!u.holds(&empty));
+    }
+
+    #[test]
+    fn negation_semantics() {
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        let n = NegatedBcq::new(q);
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(1), c(2)]).unwrap();
+        assert!(n.holds(&db), "no self loop, so ¬q holds");
+        db.add_fact("R", vec![c(3), c(3)]).unwrap();
+        assert!(!n.holds(&db));
+        assert_eq!(n.to_string(), "¬(R(x,x))");
+        assert_eq!(n.inner().len(), 1);
+    }
+
+    #[test]
+    fn from_bcq_round_trip() {
+        let q: Bcq = "R(x)".parse().unwrap();
+        let u: Ucq = q.clone().into();
+        assert_eq!(u.disjuncts(), &[q]);
+    }
+}

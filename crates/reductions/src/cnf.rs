@@ -1,0 +1,224 @@
+//! A small 3-CNF substrate: formulas, evaluation and brute-force counting of
+//! (partial) satisfying assignments — the source problem `#k3SAT` of the
+//! SpanP-completeness proof (Theorem 6.3 / Proposition D.3).
+
+use std::fmt;
+
+/// A literal: a propositional variable (0-based index) or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// The variable index.
+    pub var: usize,
+    /// `true` for a positive literal, `false` for a negated one.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// A positive literal on variable `var`.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// A negative literal on variable `var`.
+    pub fn neg(var: usize) -> Self {
+        Literal { var, positive: false }
+    }
+
+    /// Evaluates the literal under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A clause of exactly three literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clause(pub [Literal; 3]);
+
+impl Clause {
+    /// Evaluates the clause (a disjunction) under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.eval(assignment))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} ∨ {} ∨ {})", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+/// A 3-CNF formula over variables `x0 … x_{num_vars-1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf3 {
+    /// Number of propositional variables.
+    pub num_vars: usize,
+    /// The clauses (conjunction).
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf3 {
+    /// Creates a formula; every literal must mention a variable `< num_vars`.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        for clause in &clauses {
+            for literal in &clause.0 {
+                assert!(literal.var < num_vars, "literal variable out of range");
+            }
+        }
+        Cnf3 { num_vars, clauses }
+    }
+
+    /// Evaluates the formula under a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Counts the satisfying assignments (`#3SAT`), by brute force.
+    pub fn count_satisfying(&self) -> u128 {
+        assert!(self.num_vars < 32, "brute-force counter limited to < 32 variables");
+        let mut count = 0u128;
+        for mask in 0u64..(1u64 << self.num_vars) {
+            let assignment: Vec<bool> = (0..self.num_vars).map(|i| mask >> i & 1 == 1).collect();
+            if self.eval(&assignment) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Counts the assignments of the first `k` variables that extend to a
+    /// satisfying assignment of the whole formula (`#k3SAT`, Definition D.2).
+    pub fn count_k_extendable(&self, k: usize) -> u128 {
+        assert!(k <= self.num_vars, "k must not exceed the number of variables");
+        assert!(self.num_vars < 32, "brute-force counter limited to < 32 variables");
+        let mut count = 0u128;
+        for prefix in 0u64..(1u64 << k) {
+            let mut extendable = false;
+            for suffix in 0u64..(1u64 << (self.num_vars - k)) {
+                let assignment: Vec<bool> = (0..self.num_vars)
+                    .map(|i| {
+                        if i < k {
+                            prefix >> i & 1 == 1
+                        } else {
+                            suffix >> (i - k) & 1 == 1
+                        }
+                    })
+                    .collect();
+                if self.eval(&assignment) {
+                    extendable = true;
+                    break;
+                }
+            }
+            if extendable {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+impl fmt::Display for Cnf3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.clauses.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_formula() -> Cnf3 {
+        // (x0 ∨ x1 ∨ ¬x2) ∧ (¬x0 ∨ x2 ∨ x3)
+        Cnf3::new(
+            4,
+            vec![
+                Clause([Literal::pos(0), Literal::pos(1), Literal::neg(2)]),
+                Clause([Literal::neg(0), Literal::pos(2), Literal::pos(3)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn evaluation() {
+        let f = example_formula();
+        assert!(f.eval(&[true, false, true, false]));
+        assert!(!f.eval(&[true, false, false, false]));
+        assert!(f.eval(&[false, false, false, true]));
+    }
+
+    #[test]
+    fn counting_satisfying_assignments() {
+        let f = example_formula();
+        // Count by a different brute force to double-check.
+        let mut expected = 0u128;
+        for mask in 0u64..16 {
+            let a: Vec<bool> = (0..4).map(|i| mask >> i & 1 == 1).collect();
+            if f.eval(&a) {
+                expected += 1;
+            }
+        }
+        assert_eq!(f.count_satisfying(), expected);
+        // 16 assignments minus 2 falsifying clause 1 minus 2 falsifying clause 2.
+        assert_eq!(expected, 12);
+    }
+
+    #[test]
+    fn k_extendable_counts() {
+        let f = example_formula();
+        // With k = num_vars this is exactly #3SAT.
+        assert_eq!(f.count_k_extendable(4), f.count_satisfying());
+        // With k = 0 it is 1 iff the formula is satisfiable.
+        assert_eq!(f.count_k_extendable(0), 1);
+        // Monotonicity in k: 1 ≤ #k ≤ 2^k and #k ≤ #(k+1) ≤ 2 · #k.
+        let mut previous = 1u128;
+        for k in 0..=4usize {
+            let current = f.count_k_extendable(k);
+            assert!(current <= 1 << k);
+            if k > 0 {
+                assert!(current >= previous);
+                assert!(current <= 2 * previous);
+            }
+            previous = current;
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_formula() {
+        // (x0 ∨ x0 ∨ x0) ∧ (¬x0 ∨ ¬x0 ∨ ¬x0)
+        let f = Cnf3::new(
+            1,
+            vec![
+                Clause([Literal::pos(0), Literal::pos(0), Literal::pos(0)]),
+                Clause([Literal::neg(0), Literal::neg(0), Literal::neg(0)]),
+            ],
+        );
+        assert_eq!(f.count_satisfying(), 0);
+        assert_eq!(f.count_k_extendable(0), 0);
+        assert_eq!(f.count_k_extendable(1), 0);
+    }
+
+    #[test]
+    fn display() {
+        let f = example_formula();
+        let text = f.to_string();
+        assert!(text.contains("¬x2"));
+        assert!(text.contains('∧'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_rejected() {
+        let _ = Cnf3::new(1, vec![Clause([Literal::pos(0), Literal::pos(1), Literal::pos(0)])]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Reductions to **counting completions** (Sections 4 and 5.2 of the paper).
+
+use incdb_bignum::{pow, BigNat};
+use incdb_data::{IncompleteDatabase, NullId, Value};
+use incdb_graph::{BipartiteGraph, Graph};
+use incdb_query::Bcq;
+
+/// The hard query `R(x)` of Proposition 4.2.
+pub fn unary_query() -> Bcq {
+    "R(x)".parse().expect("valid query")
+}
+
+/// The hard query `R(x,y)` of Proposition 4.5.
+pub fn binary_query() -> Bcq {
+    "R(x,y)".parse().expect("valid query")
+}
+
+/// The hard query `R(x,x)` of Proposition 4.5.
+pub fn loop_query() -> Bcq {
+    "R(x,x)".parse().expect("valid query")
+}
+
+/// Proposition 4.2: parsimonious reduction from counting the vertex covers
+/// of a graph to `#Comp_Cd(R(x))` (non-uniform Codd table, single unary
+/// relation).
+///
+/// The constants are: node `v` ↦ `v`, and the fresh constant `a` ↦
+/// `g.node_count()`. Every completion of the returned database satisfies
+/// `R(x)`, and the number of completions equals the number of vertex covers
+/// of `g` (equivalently, its number of independent sets).
+pub fn vertex_covers_database(g: &Graph) -> IncompleteDatabase {
+    let fresh = g.node_count() as u64;
+    let mut db = IncompleteDatabase::new_non_uniform();
+    let mut next_null = 0u32;
+    // One null per edge with domain {u, v}.
+    for (u, v) in g.edges() {
+        let null = NullId(next_null);
+        next_null += 1;
+        db.set_domain(null, [u as u64, v as u64]).unwrap();
+        db.add_fact("R", vec![Value::Null(null)]).unwrap();
+    }
+    // One null per node with domain {v, a}.
+    for v in 0..g.node_count() {
+        let null = NullId(next_null);
+        next_null += 1;
+        db.set_domain(null, [v as u64, fresh]).unwrap();
+        db.add_fact("R", vec![Value::Null(null)]).unwrap();
+    }
+    // The anchoring fact R(a).
+    db.add_fact("R", vec![Value::constant(fresh)]).unwrap();
+    db
+}
+
+/// Proposition 4.5(a): reduction from `#IS` to `#Compᵘ(R(x,x))` and
+/// `#Compᵘ(R(x,y))` over naïve uniform tables with domain `{0, 1}`.
+///
+/// Every completion of the returned database satisfies both queries, and the
+/// number of completions is `2^{|V|} + #IS(g)`.
+pub fn independent_sets_completions_database(g: &Graph) -> IncompleteDatabase {
+    let n = g.node_count();
+    let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+    // Node constants 2, 3, ... keep the R(u, ⊥_u) facts pairwise distinct
+    // from the {0,1} block (the proof uses the node names themselves).
+    let node_constant = |u: usize| -> u64 { (u + 2) as u64 };
+    for u in 0..n {
+        db.add_fact("R", vec![Value::constant(node_constant(u)), Value::null(u as u32)]).unwrap();
+    }
+    for (u, v) in g.edges() {
+        db.add_fact("R", vec![Value::null(u as u32), Value::null(v as u32)]).unwrap();
+        db.add_fact("R", vec![Value::null(v as u32), Value::null(u as u32)]).unwrap();
+    }
+    db.add_fact("R", vec![Value::constant(0), Value::constant(0)]).unwrap();
+    db.add_fact("R", vec![Value::constant(0), Value::constant(1)]).unwrap();
+    db.add_fact("R", vec![Value::constant(1), Value::constant(0)]).unwrap();
+    db.add_fact("R", vec![Value::Null(NullId(n as u32)), Value::Null(NullId(n as u32))]).unwrap();
+    db
+}
+
+/// Recovers `#IS(g)` from the number of completions of
+/// [`independent_sets_completions_database`]: `#IS = #Comp − 2^{|V|}`.
+pub fn independent_sets_from_completions(g: &Graph, completions: &BigNat) -> Option<BigNat> {
+    completions.checked_sub(&pow(2, g.node_count() as u64))
+}
+
+/// Proposition 4.5(b): reduction from `#PF` (counting the edge subsets
+/// inducing a pseudoforest) on a **bipartite** graph to
+/// `#Compᵘ_Cd(R(x,y))` / `#Compᵘ_Cd(R(x,x))`.
+///
+/// The constants are: left node `u` ↦ `u`, right node `v` ↦
+/// `left_count + v`, and the fresh constant `f` ↦ `left_count + right_count`.
+/// Every completion satisfies both queries and the number of completions
+/// equals `#PF(g)`.
+pub fn pseudoforest_database(g: &BipartiteGraph) -> IncompleteDatabase {
+    let left = g.left_count();
+    let right = g.right_count();
+    let node_count = left + right;
+    let fresh = node_count as u64;
+    let left_constant = |u: usize| -> u64 { u as u64 };
+    let right_constant = |v: usize| -> u64 { (left + v) as u64 };
+
+    // Uniform domain: all node constants.
+    let mut db = IncompleteDatabase::new_uniform(0..node_count as u64);
+    // Complementary facts: every ordered pair that is NOT an edge of g
+    // (seen as an undirected graph over all the node constants).
+    let is_edge = |a: usize, b: usize| -> bool {
+        if a < left && b >= left {
+            g.has_edge(a, b - left)
+        } else if b < left && a >= left {
+            g.has_edge(b, a - left)
+        } else {
+            false
+        }
+    };
+    for a in 0..node_count {
+        for b in 0..node_count {
+            if !is_edge(a, b) {
+                db.add_fact("R", vec![Value::constant(a as u64), Value::constant(b as u64)])
+                    .unwrap();
+            }
+        }
+    }
+    // R(u, ⊥_u) for left nodes and R(⊥_v, v) for right nodes.
+    for u in 0..left {
+        db.add_fact("R", vec![Value::constant(left_constant(u)), Value::null(u as u32)]).unwrap();
+    }
+    for v in 0..right {
+        db.add_fact("R", vec![Value::null((left + v) as u32), Value::constant(right_constant(v))])
+            .unwrap();
+    }
+    // The anchoring fact R(f, f).
+    db.add_fact("R", vec![Value::constant(fresh), Value::constant(fresh)]).unwrap();
+    db
+}
+
+/// Proposition 5.6: the gap construction. Builds, from a graph `g`, a
+/// uniform naïve table over a single binary relation (domain `{0,1,2}`)
+/// whose number of completions is `8` if `g` is 3-colourable and `7`
+/// otherwise; every completion satisfies both `R(x,x)` and `R(x,y)`.
+///
+/// Node `u` is encoded by the null `⊥_u`; the six auxiliary nulls use the
+/// labels `n, n+1, …, n+5` and the fresh constant `c` is `3`.
+pub fn three_colorability_gap_database(g: &Graph) -> IncompleteDatabase {
+    let n = g.node_count() as u32;
+    let mut db = IncompleteDatabase::new_uniform([0u64, 1, 2]);
+    // Encoding facts.
+    for (u, v) in g.edges() {
+        db.add_fact("R", vec![Value::null(u as u32), Value::null(v as u32)]).unwrap();
+        db.add_fact("R", vec![Value::null(v as u32), Value::null(u as u32)]).unwrap();
+    }
+    // Triangle facts over {0,1,2}.
+    for (a, b) in [(0u64, 1u64), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)] {
+        db.add_fact("R", vec![Value::constant(a), Value::constant(b)]).unwrap();
+    }
+    // Auxiliary facts R(⊥_i, ⊥'_i) and R(⊥'_i, ⊥_i) for i = 1..3.
+    for i in 0..3u32 {
+        let b = n + 2 * i;
+        let b_prime = n + 2 * i + 1;
+        db.add_fact("R", vec![Value::null(b), Value::null(b_prime)]).unwrap();
+        db.add_fact("R", vec![Value::null(b_prime), Value::null(b)]).unwrap();
+    }
+    // The fresh ground fact R(c, c) with c = 3 (outside the domain).
+    db.add_fact("R", vec![Value::constant(3), Value::constant(3)]).unwrap();
+    db
+}
+
+/// Decides 3-colourability of `g` from the completion count of
+/// [`three_colorability_gap_database`], mimicking the BPP algorithm of
+/// Proposition 5.6 (with an exact count instead of an FPRAS: ≥ 7.5 means
+/// 3-colourable).
+pub fn is_three_colorable_from_completions(completions: &BigNat) -> bool {
+    *completions >= BigNat::from(8u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_core::enumerate::{count_all_completions_brute, count_completions_brute};
+    use incdb_core::solver::count_all_completions;
+    use incdb_graph::{
+        complete_bipartite, complete_graph, count_independent_sets, count_pseudoforest_subsets,
+        count_vertex_covers, cycle_graph, is_k_colorable, path_graph, random_bipartite,
+        random_graph,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn proposition_4_2_vertex_covers() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut graphs = vec![path_graph(3), cycle_graph(4), Graph::new(2), complete_graph(3)];
+        graphs.push(random_graph(4, 0.5, &mut rng));
+        for g in graphs {
+            let db = vertex_covers_database(&g);
+            assert!(db.is_codd());
+            assert!(!db.is_uniform());
+            // Every completion satisfies R(x) thanks to the ground fact R(a).
+            let all = count_all_completions_brute(&db).unwrap();
+            let satisfying = count_completions_brute(&db, &unary_query()).unwrap();
+            assert_eq!(all, satisfying);
+            assert_eq!(satisfying, BigNat::from(count_vertex_covers(&g) as u64), "{g:?}");
+            // ... and #VC = #IS, as used for Theorem 5.5.
+            assert_eq!(count_vertex_covers(&g), count_independent_sets(&g));
+        }
+    }
+
+    #[test]
+    fn proposition_4_5a_independent_sets() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut graphs = vec![path_graph(3), cycle_graph(4), Graph::new(2)];
+        graphs.push(random_graph(4, 0.4, &mut rng));
+        for g in graphs {
+            let db = independent_sets_completions_database(&g);
+            assert!(db.is_uniform());
+            assert!(!db.is_codd());
+            let expected = BigNat::from(count_independent_sets(&g) as u64);
+            for q in [loop_query(), binary_query()] {
+                let completions = count_completions_brute(&db, &q).unwrap();
+                // Every completion satisfies the query.
+                assert_eq!(completions, count_all_completions_brute(&db).unwrap());
+                let recovered = independent_sets_from_completions(&g, &completions).unwrap();
+                assert_eq!(recovered, expected, "{g:?} / {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_4_5b_pseudoforests() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let graphs = vec![
+            complete_bipartite(2, 2),
+            BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]),
+            random_bipartite(2, 3, 0.6, &mut rng),
+        ];
+        for g in graphs {
+            let db = pseudoforest_database(&g);
+            assert!(db.is_codd());
+            assert!(db.is_uniform());
+            let expected = BigNat::from(count_pseudoforest_subsets(&g.to_graph()) as u64);
+            for q in [loop_query(), binary_query()] {
+                let completions = count_completions_brute(&db, &q).unwrap();
+                assert_eq!(completions, count_all_completions_brute(&db).unwrap(), "{g:?}");
+                assert_eq!(completions, expected, "{g:?} / {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_5_6_gap_instances() {
+        // 3-colourable graphs give 8 completions, non-3-colourable ones 7.
+        let colorable = [cycle_graph(4), cycle_graph(5), path_graph(3), complete_graph(3)];
+        for g in colorable {
+            assert!(is_k_colorable(&g, 3));
+            let db = three_colorability_gap_database(&g);
+            let completions = count_all_completions_brute(&db).unwrap();
+            assert_eq!(completions, BigNat::from(8u64), "{g:?}");
+            assert!(is_three_colorable_from_completions(&completions));
+            // Every completion satisfies both hard queries.
+            assert_eq!(completions, count_completions_brute(&db, &loop_query()).unwrap());
+            assert_eq!(completions, count_completions_brute(&db, &binary_query()).unwrap());
+        }
+        let not_colorable = [complete_graph(4)];
+        for g in not_colorable {
+            assert!(!is_k_colorable(&g, 3));
+            let db = three_colorability_gap_database(&g);
+            let completions = count_all_completions_brute(&db).unwrap();
+            assert_eq!(completions, BigNat::from(7u64), "{g:?}");
+            assert!(!is_three_colorable_from_completions(&completions));
+        }
+    }
+
+    #[test]
+    fn solver_agrees_on_reduction_instances() {
+        // The solver routes these to enumeration (binary relation), matching
+        // the brute-force oracle used above.
+        let g = path_graph(3);
+        let db = independent_sets_completions_database(&g);
+        assert_eq!(
+            count_all_completions(&db).unwrap().value,
+            count_all_completions_brute(&db).unwrap()
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! The SpanP-hardness construction of Theorem 6.3: a parsimonious reduction
+//! from `#k3SAT` to counting the completions of a uniform naïve table that
+//! **falsify** a fixed self-join-free BCQ `q` (i.e. to `#Compᵘ(¬q)`).
+
+use incdb_bignum::BigNat;
+use incdb_data::{IncompleteDatabase, Value};
+use incdb_query::{Atom, Bcq, NegatedBcq, Term};
+
+use crate::cnf::Cnf3;
+
+/// The relation name `C_abc` for a polarity triple.
+fn clause_relation(a: bool, b: bool, c: bool) -> String {
+    format!("C{}{}{}", u8::from(a), u8::from(b), u8::from(c))
+}
+
+/// The fixed sjfBCQ `q` of Equation (8): `S(u,v) ∧ ⋀_{abc} C_abc(x,y,z)`.
+///
+/// (The paper writes the two existential blocks separately; since they share
+/// no variable, the conjunction with disjoint variables is an equivalent
+/// single self-join-free BCQ.)
+pub fn spanp_query() -> Bcq {
+    let mut atoms = vec![Atom::new("S", vec![Term::var("u"), Term::var("v")])];
+    for a in [false, true] {
+        for b in [false, true] {
+            for c in [false, true] {
+                atoms.push(Atom::new(
+                    clause_relation(a, b, c),
+                    vec![Term::var("x"), Term::var("y"), Term::var("z")],
+                ));
+            }
+        }
+    }
+    Bcq::new(atoms).expect("well-formed query")
+}
+
+/// The negated query `¬q` whose completion-counting problem is
+/// SpanP-complete (Theorem 6.3).
+pub fn spanp_negated_query() -> NegatedBcq {
+    NegatedBcq::new(spanp_query())
+}
+
+/// Builds the uniform incomplete database of the Theorem 6.3 reduction from
+/// a 3-CNF formula `f` and a prefix length `k`.
+///
+/// The number of completions **falsifying** [`spanp_query`] equals
+/// `#k3SAT(f, k)`: the number of assignments of the first `k` variables that
+/// extend to a satisfying assignment of `f`.
+pub fn k3sat_database(f: &Cnf3, k: usize) -> IncompleteDatabase {
+    assert!(
+        (1..=f.num_vars).contains(&k),
+        "Definition D.2 requires 1 ≤ k ≤ number of variables (S must be non-empty)"
+    );
+    let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+
+    // The fixed 7-tuple contents of each C_abc: every (a',b',c') ∈ {0,1}³
+    // with a = a' or b = b' or c = c'.
+    for a in [false, true] {
+        for b in [false, true] {
+            for c in [false, true] {
+                let relation = clause_relation(a, b, c);
+                db.declare_relation(&relation);
+                for a2 in [false, true] {
+                    for b2 in [false, true] {
+                        for c2 in [false, true] {
+                            if a == a2 || b == b2 || c == c2 {
+                                db.add_fact(
+                                    &relation,
+                                    vec![
+                                        Value::constant(u64::from(a2)),
+                                        Value::constant(u64::from(b2)),
+                                        Value::constant(u64::from(c2)),
+                                    ],
+                                )
+                                .unwrap();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // One fact per clause, placed in the relation matching its polarities,
+    // with the nulls of its variables.
+    for clause in &f.clauses {
+        let [l1, l2, l3] = clause.0;
+        let relation = clause_relation(l1.positive, l2.positive, l3.positive);
+        db.add_fact(
+            &relation,
+            vec![
+                Value::null(l1.var as u32),
+                Value::null(l2.var as u32),
+                Value::null(l3.var as u32),
+            ],
+        )
+        .unwrap();
+    }
+
+    // The S relation exposes the first k variables: S(10 + i, ⊥_{x_i}).
+    db.declare_relation("S");
+    for i in 0..k {
+        db.add_fact("S", vec![Value::constant(10 + i as u64), Value::null(i as u32)]).unwrap();
+    }
+    db
+}
+
+/// Recovers `#k3SAT(f, k)` from the number of completions of
+/// [`k3sat_database`] that falsify [`spanp_query`] — which is the identity,
+/// the reduction being parsimonious.
+pub fn k3sat_from_completions(completions: &BigNat) -> BigNat {
+    completions.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Literal};
+    use incdb_core::enumerate::count_completions_brute;
+    use incdb_query::BooleanQuery;
+
+    fn formula_a() -> Cnf3 {
+        // (x0 ∨ x1 ∨ ¬x2) ∧ (¬x0 ∨ x2 ∨ x3)
+        Cnf3::new(
+            4,
+            vec![
+                Clause([Literal::pos(0), Literal::pos(1), Literal::neg(2)]),
+                Clause([Literal::neg(0), Literal::pos(2), Literal::pos(3)]),
+            ],
+        )
+    }
+
+    fn formula_unsat() -> Cnf3 {
+        // x0 ∧ ¬x0 (padded to width 3).
+        Cnf3::new(
+            1,
+            vec![
+                Clause([Literal::pos(0), Literal::pos(0), Literal::pos(0)]),
+                Clause([Literal::neg(0), Literal::neg(0), Literal::neg(0)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn query_shape() {
+        let q = spanp_query();
+        assert!(q.is_self_join_free());
+        assert_eq!(q.len(), 9);
+        assert_eq!(q.signature().len(), 9);
+        assert!(q.signature().contains("C000"));
+        assert!(q.signature().contains("C111"));
+        assert!(q.signature().contains("S"));
+    }
+
+    #[test]
+    fn theorem_6_3_counts_match_k3sat() {
+        let f = formula_a();
+        let negated = spanp_negated_query();
+        for k in 1..=3usize {
+            let db = k3sat_database(&f, k);
+            assert!(db.is_uniform());
+            let completions = count_completions_brute(&db, &negated).unwrap();
+            let recovered = k3sat_from_completions(&completions);
+            assert_eq!(
+                recovered,
+                BigNat::from(f.count_k_extendable(k) as u64),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_formula_gives_zero() {
+        let f = formula_unsat();
+        let negated = spanp_negated_query();
+        let db = k3sat_database(&f, 1);
+        let completions = count_completions_brute(&db, &negated).unwrap();
+        assert_eq!(completions, BigNat::zero());
+    }
+
+    #[test]
+    fn clause_relations_hold_seven_ground_facts() {
+        let f = formula_a();
+        let db = k3sat_database(&f, 2);
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let relation = clause_relation(a, b, c);
+                    // 7 ground facts, plus possibly clause facts with nulls.
+                    let ground = db
+                        .facts(&relation)
+                        .filter(|fact| fact.iter().all(|v| v.is_const()))
+                        .count();
+                    assert_eq!(ground, 7, "{relation}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn satisfying_assignment_falsifies_the_query() {
+        // Directly check the key invariant of the proof: a valuation encodes
+        // a satisfying assignment iff its completion falsifies q.
+        let f = formula_a();
+        let db = k3sat_database(&f, 4);
+        let q = spanp_query();
+        for valuation in db.valuations() {
+            let assignment: Vec<bool> = (0..f.num_vars)
+                .map(|i| valuation.get(incdb_data::NullId(i as u32)) == Some(incdb_data::Constant(1)))
+                .collect();
+            let completion = db.apply_unchecked(&valuation);
+            assert_eq!(
+                f.eval(&assignment),
+                !q.holds(&completion),
+                "assignment {assignment:?}"
+            );
+        }
+    }
+}

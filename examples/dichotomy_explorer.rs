@@ -1,0 +1,64 @@
+//! Classify a self-join-free Boolean conjunctive query against every cell of
+//! Table 1 (exact counting) and of Section 5 (approximation).
+//!
+//! Usage:
+//! ```text
+//! cargo run --example dichotomy_explorer                       # a default tour
+//! cargo run --example dichotomy_explorer -- "R(x), S(x,y), T(y)"
+//! ```
+
+use incdb::prelude::*;
+
+fn classify_and_print(q: &Bcq) {
+    println!("query: {q}");
+    println!("  detected hard patterns:");
+    for pattern in KnownPattern::ALL {
+        if pattern.matches(q) {
+            println!("    - {pattern}");
+        }
+    }
+    println!(
+        "  {:<34} {:<18} {:<18} {}",
+        "problem", "exact", "approximate", ""
+    );
+    for problem in [CountingProblem::Valuations, CountingProblem::Completions] {
+        for setting in Setting::ALL {
+            let name = incdb::core::problem::problem_name(problem, setting);
+            match classify(q, problem, setting) {
+                Ok(complexity) => {
+                    let approx = classify_approx(q, problem, setting).unwrap();
+                    println!("  {:<34} {:<18} {:<18}", format!("{name}(q) [{setting}]"), complexity.to_string(), approx.to_string());
+                }
+                Err(e) => println!("  {name}(q): {e}"),
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        println!("No query given — touring the named patterns of Table 1.\n");
+        for text in [
+            "R(x)",
+            "R(x,y)",
+            "R(x,x)",
+            "R(x), S(x)",
+            "R(x), S(x,y), T(y)",
+            "R(x,y), S(x,y)",
+            "R(x,y), S(y,z), T(w)",
+        ] {
+            classify_and_print(&text.parse().expect("valid query"));
+        }
+        println!("Pass a query of your own, e.g.:");
+        println!("  cargo run --example dichotomy_explorer -- \"R(x,y), S(y), T(y,z)\"");
+        return;
+    }
+    for text in &args {
+        match text.parse::<Bcq>() {
+            Ok(q) => classify_and_print(&q),
+            Err(e) => eprintln!("cannot parse {text:?}: {e}"),
+        }
+    }
+}

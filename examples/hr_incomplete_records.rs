@@ -1,0 +1,70 @@
+//! A "dirty HR database" scenario: employee records with unknown departments
+//! and unknown office assignments, modelled as labelled nulls with finite
+//! domains (the motivating use case from the introduction of the paper:
+//! measuring *how close to certain* a query is, rather than only asking
+//! whether it is certain).
+//!
+//! Run with `cargo run --example hr_incomplete_records`.
+
+use incdb::prelude::*;
+
+fn main() {
+    let mut names = ConstantPool::new();
+    let engineering = names.intern("engineering");
+    let sales = names.intern("sales");
+    let support = names.intern("support");
+    let berlin = names.intern("berlin");
+    let paris = names.intern("paris");
+
+    let alice = names.intern("alice");
+    let bob = names.intern("bob");
+    let carol = names.intern("carol");
+
+    // WorksIn(person, department) and Located(department, city), with some
+    // unknown values. The domains encode what is still plausible for each
+    // missing entry (non-uniform setting).
+    let mut db = IncompleteDatabase::new_non_uniform();
+    db.add_fact("WorksIn", vec![Value::Const(alice), Value::Const(engineering)]).unwrap();
+    db.add_fact("WorksIn", vec![Value::Const(bob), Value::null(1)]).unwrap();
+    db.add_fact("WorksIn", vec![Value::Const(carol), Value::null(2)]).unwrap();
+    db.add_fact("Located", vec![Value::Const(engineering), Value::Const(berlin)]).unwrap();
+    db.add_fact("Located", vec![Value::Const(sales), Value::null(3)]).unwrap();
+    db.set_domain(NullId(1), [sales, support]).unwrap();
+    db.set_domain(NullId(2), [engineering, sales]).unwrap();
+    db.set_domain(NullId(3), [berlin, paris]).unwrap();
+
+    println!("Incomplete HR database: {db}\n");
+
+    // "Is some employee working in a department located in Berlin?"
+    // Built programmatically so the Berlin constant comes from the name pool.
+    let q = {
+        use incdb::query::{Atom, Term};
+        Bcq::new(vec![
+            Atom::new("WorksIn", vec![Term::var("p"), Term::var("d")]),
+            Atom::new("Located", vec![Term::var("d"), Term::Const(berlin)]),
+        ])
+        .unwrap()
+    };
+    println!("Query q = {q}  (\"someone works in a department located in Berlin\")");
+
+    let (satisfying, total) =
+        incdb::core::enumerate::valuation_support(&db, &q).unwrap();
+    let completions = count_completions(&db, &q).unwrap();
+    let all_completions = count_all_completions(&db).unwrap();
+
+    println!("\nvaluations satisfying q : {satisfying} out of {total}");
+    println!(
+        "support of q            : {:.1}% of the possible worlds (by valuations)",
+        100.0 * satisfying.to_f64() / total.to_f64()
+    );
+    println!(
+        "completions satisfying q: {} out of {}",
+        completions.value, all_completions.value
+    );
+    println!(
+        "\nq is {} certain: it holds in {} of the {} completions.",
+        if completions.value == all_completions.value { "" } else { "NOT" },
+        completions.value,
+        all_completions.value
+    );
+}

@@ -1,0 +1,95 @@
+//! # incdb — Counting Problems over Incomplete Databases
+//!
+//! A from-scratch Rust reproduction of *Counting Problems over Incomplete
+//! Databases* (Marcelo Arenas, Pablo Barceló, Mikaël Monet — PODS 2020):
+//! exact and approximate counting of the **valuations** and **completions**
+//! of an incomplete database that satisfy a Boolean query, together with the
+//! dichotomy classifier of Table 1 and executable versions of every hardness
+//! reduction in the paper.
+//!
+//! This crate is a façade: it re-exports the workspace crates under a single
+//! name and provides a [`prelude`]. See the individual crates for the
+//! details:
+//!
+//! * [`data`] (`incdb-data`) — naïve/Codd tables, uniform/non-uniform
+//!   domains, valuations, completions;
+//! * [`query`] (`incdb-query`) — (self-join-free) Boolean conjunctive
+//!   queries, unions, negations, model checking and the pattern pre-order;
+//! * [`core`] (`incdb-core`) — the counting algorithms, the Table 1
+//!   classifier and the solver façade;
+//! * [`approx`] (`incdb-approx`) — the Karp–Luby FPRAS for counting
+//!   valuations and baseline estimators;
+//! * [`reductions`] (`incdb-reductions`) — the executable hardness
+//!   reductions (#3COL, #IS, #BIS, #VC, #Avoidance, #PF, #k3SAT);
+//! * [`graph`] (`incdb-graph`) and [`bignum`] (`incdb-bignum`) — the
+//!   substrates they rely on.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use incdb::prelude::*;
+//!
+//! // The incomplete database of Example 2.2 / Figure 1 of the paper.
+//! let mut db = IncompleteDatabase::new_non_uniform();
+//! db.add_fact("S", vec![Value::constant(0), Value::constant(1)]).unwrap();
+//! db.add_fact("S", vec![Value::null(1), Value::constant(0)]).unwrap();
+//! db.add_fact("S", vec![Value::constant(0), Value::null(2)]).unwrap();
+//! db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+//! db.set_domain(NullId(2), [0u64, 1]).unwrap();
+//!
+//! let q: Bcq = "S(x,x)".parse().unwrap();
+//! assert_eq!(count_valuations(&db, &q).unwrap().value.to_u64(), Some(4));
+//! assert_eq!(count_completions(&db, &q).unwrap().value.to_u64(), Some(3));
+//!
+//! // Where does this query sit in Table 1? The table above is a Codd table,
+//! // so counting valuations of S(x,x) is tractable (Theorem 3.7) — over
+//! // general naïve tables the same query is #P-complete (Proposition 3.4).
+//! let complexity = classify(&q, CountingProblem::Valuations, Setting::of(&db)).unwrap();
+//! assert_eq!(complexity, Complexity::Fp);
+//! let naive = Setting { table: TableKind::Naive, domain: DomainKind::NonUniform };
+//! assert_eq!(
+//!     classify(&q, CountingProblem::Valuations, naive).unwrap(),
+//!     Complexity::SharpPComplete,
+//! );
+//! ```
+
+pub use incdb_approx as approx;
+pub use incdb_bignum as bignum;
+pub use incdb_core as core;
+pub use incdb_data as data;
+pub use incdb_graph as graph;
+pub use incdb_query as query;
+pub use incdb_reductions as reductions;
+
+/// The most commonly used items, re-exported for `use incdb::prelude::*`.
+pub mod prelude {
+    pub use incdb_approx::{completion_estimator, karp_luby_valuations, monte_carlo_valuations};
+    pub use incdb_bignum::{BigInt, BigNat, BigRat};
+    pub use incdb_core::solver::{count_all_completions, count_completions, count_valuations};
+    pub use incdb_core::{
+        classify, classify_approx, ApproxStatus, Complexity, CountingProblem, DomainKind, Setting,
+        TableKind,
+    };
+    pub use incdb_data::{
+        Constant, ConstantPool, Database, IncompleteDatabase, NullId, Valuation, Value,
+    };
+    pub use incdb_query::{Bcq, BooleanQuery, KnownPattern, NegatedBcq, Ucq};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let q: Bcq = "R(x)".parse().unwrap();
+        let complexity = classify(
+            &q,
+            CountingProblem::Completions,
+            Setting { table: TableKind::Codd, domain: DomainKind::NonUniform },
+        )
+        .unwrap();
+        assert_eq!(complexity, Complexity::SharpPComplete);
+        assert_eq!(BigNat::from(2u64) + BigNat::from(3u64), BigNat::from(5u64));
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration tests reproducing the worked examples of the
+//! paper end-to-end through the public façade.
+
+use incdb::prelude::*;
+
+/// Example 2.1: valuations, completions and domain violations.
+#[test]
+fn example_2_1() {
+    let mut names = ConstantPool::new();
+    let a = names.intern("a");
+    let b = names.intern("b");
+    let c = names.intern("c");
+
+    let mut db = IncompleteDatabase::new_non_uniform();
+    db.add_fact("S", vec![Value::null(1), Value::null(1)]).unwrap();
+    db.add_fact("S", vec![Value::Const(a), Value::null(2)]).unwrap();
+    db.set_domain(NullId(1), [a, b]).unwrap();
+    db.set_domain(NullId(2), [a, c]).unwrap();
+
+    // ν1 = {⊥1 ↦ b, ⊥2 ↦ c} gives {S(b,b), S(a,c)}.
+    let v1 = Valuation::from_pairs([(NullId(1), b), (NullId(2), c)]);
+    let completed = db.apply(&v1).unwrap();
+    assert!(completed.contains("S", &[b, b]));
+    assert!(completed.contains("S", &[a, c]));
+    assert_eq!(completed.fact_count(), 2);
+
+    // ν2 mapping both nulls to a gives the single fact S(a,a).
+    let v2 = Valuation::from_pairs([(NullId(1), a), (NullId(2), a)]);
+    assert_eq!(db.apply(&v2).unwrap().fact_count(), 1);
+
+    // Mapping ⊥2 to b is not a valuation because b ∉ dom(⊥2).
+    let bad = Valuation::from_pairs([(NullId(1), b), (NullId(2), b)]);
+    assert!(db.apply(&bad).is_err());
+
+    // The table is naïve but not Codd (⊥1 occurs twice).
+    assert!(!db.is_codd());
+}
+
+/// Example 2.2 / Figure 1: #Val(q)(D) = 4 and #Comp(q)(D) = 3.
+#[test]
+fn example_2_2_figure_1() {
+    let mut db = IncompleteDatabase::new_non_uniform();
+    db.add_fact("S", vec![Value::constant(0), Value::constant(1)]).unwrap();
+    db.add_fact("S", vec![Value::null(1), Value::constant(0)]).unwrap();
+    db.add_fact("S", vec![Value::constant(0), Value::null(2)]).unwrap();
+    db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+    db.set_domain(NullId(2), [0u64, 1]).unwrap();
+
+    let q: Bcq = "S(x,x)".parse().unwrap();
+    assert_eq!(db.valuation_count().to_u64(), Some(6));
+    assert_eq!(count_valuations(&db, &q).unwrap().value.to_u64(), Some(4));
+    assert_eq!(count_completions(&db, &q).unwrap().value.to_u64(), Some(3));
+    assert_eq!(count_all_completions(&db).unwrap().value.to_u64(), Some(5));
+}
+
+/// Example 3.2: the pattern relation between the two displayed queries.
+#[test]
+fn example_3_2_pattern() {
+    use incdb::query::is_pattern_of;
+    let pattern: Bcq = "R'(u,u,y), S'(z)".parse().unwrap();
+    let query: Bcq = "R(u,x,u), S'(y,y), T(x,s,z,s)".parse().unwrap();
+    assert!(is_pattern_of(&pattern, &query));
+    assert!(!is_pattern_of(&query, &pattern));
+}
+
+/// Example 3.10: the closed-form count for #Valᵘ(R(x) ∧ S(x)) agrees with
+/// both the solver and brute-force enumeration.
+#[test]
+fn example_3_10_uniform_two_relations() {
+    use incdb::bignum::{binomial, pow, surjections};
+
+    let d = 5u64;
+    let n_r = 3u32;
+    let n_s = 2u32;
+    let mut db = IncompleteDatabase::new_uniform(0..d);
+    let mut next = 0;
+    for _ in 0..n_r {
+        db.add_fact("R", vec![Value::null(next)]).unwrap();
+        next += 1;
+    }
+    for _ in 0..n_s {
+        db.add_fact("S", vec![Value::null(next)]).unwrap();
+        next += 1;
+    }
+    let q: Bcq = "R(x), S(x)".parse().unwrap();
+    let outcome = count_valuations(&db, &q).unwrap();
+
+    // Closed form from Example 3.10 (constant-free case).
+    let mut non_satisfying = BigNat::zero();
+    for m_prime in 0..=d {
+        non_satisfying +=
+            binomial(d, m_prime) * surjections(n_r as u64, m_prime) * pow(d - m_prime, n_s as u64);
+    }
+    let expected = pow(d, (n_r + n_s) as u64) - non_satisfying;
+    assert_eq!(outcome.value, expected);
+    assert_eq!(
+        incdb::core::enumerate::count_valuations_brute(&db, &q).unwrap(),
+        expected
+    );
+}
+
+/// The eight named cells of Table 1, checked through the public classifier.
+#[test]
+fn table_1_named_patterns() {
+    let naive_nu = Setting { table: TableKind::Naive, domain: DomainKind::NonUniform };
+    let naive_u = Setting { table: TableKind::Naive, domain: DomainKind::Uniform };
+    let codd_nu = Setting { table: TableKind::Codd, domain: DomainKind::NonUniform };
+    let codd_u = Setting { table: TableKind::Codd, domain: DomainKind::Uniform };
+
+    let q = |s: &str| s.parse::<Bcq>().unwrap();
+
+    // Counting valuations, non-uniform: R(x,x) and R(x)∧S(x) are the hard patterns.
+    assert!(classify(&q("R(x,x)"), CountingProblem::Valuations, naive_nu).unwrap().is_hard());
+    assert!(classify(&q("R(x), S(x)"), CountingProblem::Valuations, naive_nu).unwrap().is_hard());
+    assert!(classify(&q("R(x,y), S(z)"), CountingProblem::Valuations, naive_nu).unwrap().is_tractable());
+
+    // Codd: R(x,x) becomes tractable, R(x)∧S(x) stays hard.
+    assert!(classify(&q("R(x,x)"), CountingProblem::Valuations, codd_nu).unwrap().is_tractable());
+    assert!(classify(&q("R(x), S(x)"), CountingProblem::Valuations, codd_nu).unwrap().is_hard());
+
+    // Uniform naïve: the three patterns of Theorem 3.9.
+    for hard in ["R(x,x)", "R(x), S(x,y), T(y)", "R(x,y), S(x,y)"] {
+        assert!(classify(&q(hard), CountingProblem::Valuations, naive_u).unwrap().is_hard(), "{hard}");
+    }
+    assert!(classify(&q("R(x), S(x)"), CountingProblem::Valuations, naive_u).unwrap().is_tractable());
+
+    // Completions, non-uniform: hard for everything, even R(x).
+    assert!(classify(&q("R(x)"), CountingProblem::Completions, naive_nu).unwrap().is_hard());
+    assert!(classify(&q("R(x)"), CountingProblem::Completions, codd_nu).unwrap().is_hard());
+
+    // Completions, uniform: hard iff R(x,x) or R(x,y) is a pattern.
+    assert!(classify(&q("R(x,y)"), CountingProblem::Completions, naive_u).unwrap().is_hard());
+    assert!(classify(&q("R(x)"), CountingProblem::Completions, naive_u).unwrap().is_tractable());
+    assert!(classify(&q("R(x), S(x)"), CountingProblem::Completions, codd_u).unwrap().is_tractable());
+}

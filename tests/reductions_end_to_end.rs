@@ -1,0 +1,92 @@
+//! End-to-end runs of the paper's hardness reductions through the public
+//! façade: graph → incomplete database → counting oracle → recovered count,
+//! compared against the direct graph-level counters.
+
+use incdb::graph::{
+    count_independent_sets, count_proper_colorings, count_vertex_covers, cycle_graph, path_graph,
+    random_graph,
+};
+use incdb::prelude::*;
+use incdb::reductions::comp_reductions::{
+    independent_sets_completions_database, independent_sets_from_completions,
+    three_colorability_gap_database, vertex_covers_database,
+};
+use incdb::reductions::spanp::{k3sat_database, spanp_negated_query};
+use incdb::reductions::val_reductions::{
+    independent_sets_from_count, independent_sets_path_database, path_query, self_loop_query,
+    three_colorings_database, three_colorings_from_count,
+};
+use incdb::reductions::{Clause, Cnf3, Literal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn three_colorings_round_trip() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for g in [cycle_graph(5), path_graph(4), random_graph(5, 0.5, &mut rng)] {
+        let db = three_colorings_database(&g);
+        let answer = count_valuations(&db, &self_loop_query()).unwrap().value;
+        assert_eq!(
+            three_colorings_from_count(&g, &answer),
+            BigNat::from(count_proper_colorings(&g, 3) as u64),
+            "{g:?}"
+        );
+    }
+}
+
+#[test]
+fn independent_sets_round_trip_valuations_and_completions() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for g in [cycle_graph(4), random_graph(5, 0.4, &mut rng)] {
+        let expected = BigNat::from(count_independent_sets(&g) as u64);
+
+        let db = independent_sets_path_database(&g);
+        let vals = count_valuations(&db, &path_query()).unwrap().value;
+        assert_eq!(independent_sets_from_count(&g, &vals), expected, "{g:?}");
+
+        let db = independent_sets_completions_database(&g);
+        let comps = count_all_completions(&db).unwrap().value;
+        assert_eq!(independent_sets_from_completions(&g, &comps).unwrap(), expected, "{g:?}");
+    }
+}
+
+#[test]
+fn vertex_covers_round_trip() {
+    let g = cycle_graph(5);
+    let db = vertex_covers_database(&g);
+    let count = count_all_completions(&db).unwrap().value;
+    assert_eq!(count, BigNat::from(count_vertex_covers(&g) as u64));
+    // Every completion satisfies R(x) (the anchoring ground fact).
+    let satisfying = count_completions(&db, &"R(x)".parse::<Bcq>().unwrap()).unwrap().value;
+    assert_eq!(satisfying, count);
+}
+
+#[test]
+fn gap_instance_distinguishes_colorability() {
+    let colorable = cycle_graph(4);
+    let db = three_colorability_gap_database(&colorable);
+    assert_eq!(count_all_completions(&db).unwrap().value, BigNat::from(8u64));
+
+    let not_colorable = incdb::graph::complete_graph(4);
+    let db = three_colorability_gap_database(&not_colorable);
+    assert_eq!(count_all_completions(&db).unwrap().value, BigNat::from(7u64));
+}
+
+#[test]
+fn spanp_construction_counts_k3sat() {
+    let f = Cnf3::new(
+        3,
+        vec![
+            Clause([Literal::pos(0), Literal::neg(1), Literal::pos(2)]),
+            Clause([Literal::neg(0), Literal::pos(1), Literal::pos(1)]),
+        ],
+    );
+    for k in 1..=3usize {
+        let db = k3sat_database(&f, k);
+        // The solver façade takes BCQs; negated queries go through the
+        // generic enumerator, which accepts any `BooleanQuery`.
+        let brute =
+            incdb::core::enumerate::count_completions_brute(&db, &spanp_negated_query()).unwrap();
+        assert_eq!(brute, BigNat::from(f.count_k_extendable(k) as u64), "k = {k}");
+    }
+}
