@@ -28,7 +28,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use incdb_bignum::BigNat;
 use incdb_data::{Constant, DataError, IncompleteDatabase, NullId, Valuation, Value};
@@ -221,7 +221,7 @@ fn build_single_witness(
             if allowed.is_empty() {
                 return Ok(None);
             }
-            weight = weight * BigNat::from(allowed.len());
+            weight *= BigNat::from(allowed.len());
             constrained.extend(class_nulls.iter().copied());
             classes.push(WitnessClass { nulls: class_nulls, allowed });
         }
@@ -233,7 +233,7 @@ fn build_single_witness(
             if dom.is_empty() {
                 return Ok(None);
             }
-            weight = weight * BigNat::from(dom.len());
+            weight *= BigNat::from(dom.len());
         }
     }
     Ok(Some(Witness { classes, weight }))

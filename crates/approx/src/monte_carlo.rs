@@ -8,7 +8,7 @@
 //! the Karp–Luby estimator of [`crate::fpras`] to illustrate why the latter
 //! is the right tool.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use incdb_data::{Constant, IncompleteDatabase, Valuation};
 use incdb_query::BooleanQuery;

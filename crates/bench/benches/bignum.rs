@@ -1,0 +1,52 @@
+//! Experiment E0: throughput of the arbitrary-precision substrate. Every
+//! counting algorithm bottoms out in `incdb-bignum` products and sums, so
+//! regressions here show up multiplied in every other benchmark.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdb_bignum::{binomial, factorial, pow, stirling2, BigNat};
+
+fn bench_bignum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bignum/mul_chain");
+    for words in [4u64, 16, 64] {
+        // A (words * 64)-bit operand: 2^(64 * words) - 1.
+        let operand = pow(2, 64 * words) - BigNat::from(1u64);
+        group.bench_with_input(BenchmarkId::from_parameter(words), &operand, |b, operand| {
+            b.iter(|| {
+                let mut acc = BigNat::from(1u64);
+                for _ in 0..8 {
+                    acc *= operand.clone();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bignum/combinatorics");
+    group.bench_with_input(BenchmarkId::new("binomial", "200,100"), &(), |b, ()| {
+        b.iter(|| binomial(200, 100))
+    });
+    group.bench_with_input(BenchmarkId::new("factorial", "400"), &(), |b, ()| {
+        b.iter(|| factorial(400))
+    });
+    group.bench_with_input(BenchmarkId::new("stirling2", "40,20"), &(), |b, ()| {
+        b.iter(|| stirling2(40, 20))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bignum
+}
+criterion_main!(benches);

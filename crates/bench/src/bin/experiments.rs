@@ -146,7 +146,7 @@ fn table_1_classification() {
         let comp_u = classify_approx(q, CountingProblem::Completions, Setting::ALL[1]).unwrap();
         println!(
             "  {:<22} #Val: {:<22} #Comp: {:<28} #Compᵘ: {}",
-            text, val_status.to_string(), comp_nu.to_string(), comp_u.to_string()
+            text, val_status.to_string(), comp_nu.to_string(), comp_u
         );
     }
 }

@@ -18,7 +18,7 @@ use crate::nat::BigNat;
 pub fn factorial(n: u64) -> BigNat {
     let mut acc = BigNat::one();
     for i in 2..=n {
-        acc = acc * BigNat::from(i);
+        acc *= BigNat::from(i);
     }
     acc
 }
@@ -32,7 +32,7 @@ pub fn binomial(n: u64, k: u64) -> BigNat {
     let mut acc = BigNat::one();
     for i in 0..k {
         // acc = acc * (n - i) / (i + 1); the division is always exact.
-        acc = acc * BigNat::from(n - i);
+        acc *= BigNat::from(n - i);
         let (q, r) = acc.div_rem(&BigNat::from(i + 1));
         debug_assert!(r.is_zero());
         acc = q;
@@ -49,7 +49,7 @@ pub fn falling_factorial(n: u64, k: u64) -> BigNat {
     }
     let mut acc = BigNat::one();
     for i in 0..k {
-        acc = acc * BigNat::from(n - i);
+        acc *= BigNat::from(n - i);
     }
     acc
 }

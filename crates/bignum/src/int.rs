@@ -137,7 +137,7 @@ impl BigInt {
             }
             Sign::Positive => Sign::Positive,
             Sign::Negative => {
-                if exp % 2 == 0 {
+                if exp.is_multiple_of(2) {
                     Sign::Positive
                 } else {
                     Sign::Negative

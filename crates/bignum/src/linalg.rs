@@ -70,8 +70,8 @@ impl Matrix {
         (0..self.rows)
             .map(|i| {
                 let mut acc = BigRat::zero();
-                for j in 0..self.cols {
-                    acc = acc + self.get(i, j) * &v[j];
+                for (j, vj) in v.iter().enumerate() {
+                    acc = acc + self.get(i, j) * vj;
                 }
                 acc
             })

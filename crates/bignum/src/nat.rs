@@ -129,16 +129,16 @@ impl BigNat {
         }
         let mut limbs = self.limbs.clone();
         let mut borrow = 0i64;
-        for i in 0..limbs.len() {
+        for (i, limb) in limbs.iter_mut().enumerate() {
             let r = *rhs.limbs.get(i).unwrap_or(&0) as i64;
-            let mut diff = limbs[i] as i64 - r - borrow;
+            let mut diff = *limb as i64 - r - borrow;
             if diff < 0 {
                 diff += 1 << 32;
                 borrow = 1;
             } else {
                 borrow = 0;
             }
-            limbs[i] = diff as u32;
+            *limb = diff as u32;
         }
         debug_assert_eq!(borrow, 0);
         Some(BigNat::from_limbs(limbs))
@@ -237,7 +237,7 @@ impl BigNat {
             let mut carry = 0u32;
             for &l in &self.limbs {
                 limbs.push((l << bit_shift) | carry);
-                carry = (l >> (32 - bit_shift)) as u32;
+                carry = l >> (32 - bit_shift);
             }
             if carry > 0 {
                 limbs.push(carry);
@@ -582,8 +582,8 @@ mod tests {
             }
             if b != 0 {
                 let (q, r) = ba.div_rem(&bb);
-                assert_eq!(q.to_u128(), Some(a / b));
-                assert_eq!(r.to_u128(), Some(a % b));
+                assert_eq!(q.to_u128(), a.checked_div(b));
+                assert_eq!(r.to_u128(), a.checked_rem(b));
             }
         }
     }

@@ -231,11 +231,11 @@ fn count_completions_with_components(
             for (ci, (_, m_c)) in classes.iter().enumerate() {
                 let mut denom = BigNat::one();
                 for count in &profile[ci] {
-                    denom = denom * factorial(*count);
+                    denom *= factorial(*count);
                 }
                 let (q, r) = factorial(*m_c).div_rem(&denom);
                 debug_assert!(r.is_zero());
-                ways = ways * q;
+                ways *= q;
             }
             total += ways;
         },
@@ -266,6 +266,7 @@ fn enumerate_profiles(
         .collect();
     // Distribute m_c among the admissible targets.
     let mut counts = vec![0u64; all_subsets.len()];
+    #[allow(clippy::too_many_arguments)]
     fn distribute(
         pos: usize,
         left: u64,

@@ -67,13 +67,13 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<BigNat, Algo
             if dom.is_empty() {
                 return Ok(BigNat::zero());
             }
-            result = result * BigNat::from(dom.len());
+            result *= BigNat::from(dom.len());
         }
     }
 
     // Per-atom factor.
     for atom in q.atoms() {
-        result = result * count_single_atom(db, atom)?;
+        result *= count_single_atom(db, atom)?;
     }
     Ok(result)
 }
@@ -91,7 +91,7 @@ fn count_single_atom(db: &IncompleteDatabase, atom: &Atom) -> Result<BigNat, Alg
     let mut total = BigNat::one();
     for null in db.nulls_of_relation(relation) {
         let dom = db.domain_of(null)?;
-        total = total * BigNat::from(dom.len());
+        total *= BigNat::from(dom.len());
     }
 
     // Product over tuples of ρ(t̄) = (valuations of t̄'s nulls) − (matching ones).
@@ -106,14 +106,14 @@ fn count_single_atom(db: &IncompleteDatabase, atom: &Atom) -> Result<BigNat, Alg
             let mut acc = BigNat::one();
             for value in fact.iter() {
                 if let Value::Null(null) = value {
-                    acc = acc * BigNat::from(db.domain_of(*null)?.len());
+                    acc *= BigNat::from(db.domain_of(*null)?.len());
                 }
             }
             acc
         };
         let matching = count_tuple_matches(db, atom, fact)?;
         debug_assert!(matching <= tuple_total);
-        none_match = none_match * (tuple_total - matching);
+        none_match *= tuple_total - matching;
     }
     Ok(total - none_match)
 }
@@ -180,7 +180,7 @@ fn count_tuple_matches(
                 (None, None) => BigNat::one(),
             }
         };
-        acc = acc * ways;
+        acc *= ways;
     }
     // Positions holding constant terms of the atom (not used by the paper's
     // constant-free queries, supported for completeness).

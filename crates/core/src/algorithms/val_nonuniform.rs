@@ -51,7 +51,7 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<BigNat, Algo
         if dom.is_empty() {
             return Ok(BigNat::zero());
         }
-        total = total * BigNat::from(dom.len());
+        total *= BigNat::from(dom.len());
     }
     Ok(total)
 }

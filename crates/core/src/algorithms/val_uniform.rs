@@ -131,7 +131,7 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<BigNat, Algo
 
         let core = count_avoiding_valuations(&columns, &selected_columns, &forbidden, &domain, &constrained);
         let term = BigInt::from(core * BigNat::from(d as u64).pow(unconstrained as u64));
-        if selected.len() % 2 == 0 {
+        if selected.len().is_multiple_of(2) {
             total += term;
         } else {
             total -= term;
@@ -264,7 +264,7 @@ fn enumerate_choices(
         }
         let mut ways = BigNat::one();
         for (t, &c) in choice.iter().enumerate() {
-            ways = ways * binomial(remaining[t], c);
+            ways *= binomial(remaining[t], c);
         }
         callback(choice, ways);
         return;

@@ -1,7 +1,7 @@
 //! Random incomplete-database generators, used by property tests, the
 //! experiment harness and the benchmarks.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use incdb_data::{IncompleteDatabase, NullId, Value};
 use incdb_query::Bcq;
@@ -74,12 +74,10 @@ pub fn random_database<R: Rng + ?Sized>(
             let mut fact = Vec::with_capacity(*arity);
             for _ in 0..*arity {
                 if rng.random_bool(config.null_probability.clamp(0.0, 1.0)) {
-                    let null = if config.codd || used_nulls.is_empty() {
-                        let id = NullId(next_null);
-                        next_null += 1;
-                        used_nulls.push(id);
-                        id
-                    } else if used_nulls.len() < config.null_pool && rng.random_bool(0.5) {
+                    let null = if config.codd
+                        || used_nulls.is_empty()
+                        || (used_nulls.len() < config.null_pool && rng.random_bool(0.5))
+                    {
                         let id = NullId(next_null);
                         next_null += 1;
                         used_nulls.push(id);

@@ -216,7 +216,7 @@ impl IncompleteDatabase {
         let mut acc = BigNat::one();
         for null in self.nulls() {
             match self.domains.domain_of(null) {
-                Some(dom) if !dom.is_empty() => acc = acc * BigNat::from(dom.len()),
+                Some(dom) if !dom.is_empty() => acc *= BigNat::from(dom.len()),
                 _ => return BigNat::zero(),
             }
         }

@@ -1,7 +1,7 @@
 //! Deterministic and random graph generators for tests, examples and
 //! benchmarks.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::bipartite::BipartiteGraph;
 use crate::graph::Graph;

@@ -220,11 +220,11 @@ impl KnownPattern {
                             continue;
                         }
                         let va = atoms[a].variables();
-                        for c in 0..n {
+                        for (c, atom_c) in atoms.iter().enumerate() {
                             if c == a || c == b {
                                 continue;
                             }
-                            let vc = atoms[c].variables();
+                            let vc = atom_c.variables();
                             let has = va.intersection(&vb).any(|x| {
                                 vb.intersection(&vc).any(|y| x != y)
                             });

@@ -95,14 +95,14 @@ pub fn avoidance_from_count(g: &BipartiteGraph, satisfying_valuations: &BigNat) 
         if degree == 0 {
             return None;
         }
-        total = total * BigNat::from(degree);
+        total *= BigNat::from(degree);
     }
     for y in 0..g.right_count() {
         let degree = g.left_neighbors(y).len();
         if degree == 0 {
             return None;
         }
-        total = total * BigNat::from(degree);
+        total *= BigNat::from(degree);
     }
     total.checked_sub(satisfying_valuations)
 }

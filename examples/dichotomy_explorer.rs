@@ -18,8 +18,8 @@ fn classify_and_print(q: &Bcq) {
         }
     }
     println!(
-        "  {:<34} {:<18} {:<18} {}",
-        "problem", "exact", "approximate", ""
+        "  {:<34} {:<18} {:<18} ",
+        "problem", "exact", "approximate"
     );
     for problem in [CountingProblem::Valuations, CountingProblem::Completions] {
         for setting in Setting::ALL {

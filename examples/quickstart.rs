@@ -29,7 +29,7 @@ fn main() {
     println!("dom(⊥1) = {{a, b, c}}, dom(⊥2) = {{a, b}}");
     println!("Query q = ∃x {q}\n");
 
-    println!("{:<28} {:<38} {}", "valuation", "completion ν(D)", "ν(D) ⊨ q?");
+    println!("{:<28} {:<38} ν(D) ⊨ q?", "valuation", "completion ν(D)");
     for valuation in db.valuations() {
         let completion = db.apply(&valuation).unwrap();
         let pretty: Vec<String> = valuation
