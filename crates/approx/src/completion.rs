@@ -13,11 +13,12 @@ use std::collections::BTreeMap;
 
 use rand::Rng;
 
-use incdb_data::{Database, IncompleteDatabase};
+use incdb_core::engine::holds_under_current;
+use incdb_data::{Constant, Database, IncompleteDatabase};
 use incdb_query::BooleanQuery;
 
 use crate::fpras::ApproxError;
-use crate::monte_carlo::sample_valuation;
+use crate::monte_carlo::sample_into_grounding;
 
 /// The outcome of the heuristic completion estimation.
 #[derive(Debug, Clone)]
@@ -42,9 +43,10 @@ pub fn completion_estimator<Q: BooleanQuery + ?Sized, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<CompletionEstimate, ApproxError> {
     db.validate()?;
-    if db.nulls().is_empty() {
-        let ground = db.apply_unchecked(&incdb_data::Valuation::new());
-        let hit = q.holds(&ground);
+    let mut g = db.try_grounding()?;
+    let mut scratch = Database::new();
+    if g.null_count() == 0 {
+        let hit = holds_under_current(&g, q, &mut scratch)?;
         return Ok(CompletionEstimate {
             distinct_observed: usize::from(hit),
             estimate: if hit { 1.0 } else { 0.0 },
@@ -52,12 +54,13 @@ pub fn completion_estimator<Q: BooleanQuery + ?Sized, R: Rng + ?Sized>(
         });
     }
     let samples = samples.max(1);
-    let mut seen: BTreeMap<Database, usize> = BTreeMap::new();
+    // Completions are identified by their canonical fingerprints, so the
+    // sampling loop never materialises a `Database` for dedup purposes.
+    let mut seen: BTreeMap<Vec<(usize, Vec<Constant>)>, usize> = BTreeMap::new();
     for _ in 0..samples {
-        let valuation = sample_valuation(db, rng);
-        let completion = db.apply_unchecked(&valuation);
-        if q.holds(&completion) {
-            *seen.entry(completion).or_insert(0) += 1;
+        sample_into_grounding(&mut g, rng);
+        if holds_under_current(&g, q, &mut scratch)? {
+            *seen.entry(g.completion_fingerprint()?).or_insert(0) += 1;
         }
     }
     let distinct = seen.len();

@@ -31,7 +31,7 @@ use std::fmt;
 use rand::Rng;
 
 use incdb_bignum::BigNat;
-use incdb_data::{Constant, DataError, IncompleteDatabase, NullId, Valuation, Value};
+use incdb_data::{Constant, DataError, Grounding, IncompleteDatabase, NullId, Value};
 use incdb_query::{Term, Ucq};
 
 /// Errors raised by the approximation algorithms.
@@ -112,8 +112,11 @@ fn build_witnesses(db: &IncompleteDatabase, q: &Ucq) -> Result<Vec<Witness>, App
         // Enumerate the cartesian product of fact choices.
         let mut indices = vec![0usize; per_atom.len()];
         loop {
-            let chosen: Vec<&Vec<Value>> =
-                indices.iter().enumerate().map(|(i, &j)| per_atom[i][j]).collect();
+            let chosen: Vec<&Vec<Value>> = indices
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| per_atom[i][j])
+                .collect();
             if let Some(witness) = build_single_witness(db, disjunct, &chosen, &nulls)? {
                 witnesses.push(witness);
             }
@@ -163,11 +166,17 @@ fn build_single_witness(
                         // A null forced to a constant by the query itself:
                         // treat it as a one-null group anchored to `expected`.
                         groups
-                            .entry(incdb_query::Variable::new(format!("__const{}", expected.id())))
+                            .entry(incdb_query::Variable::new(format!(
+                                "__const{}",
+                                expected.id()
+                            )))
                             .or_default()
                             .push(*value);
                         groups
-                            .entry(incdb_query::Variable::new(format!("__const{}", expected.id())))
+                            .entry(incdb_query::Variable::new(format!(
+                                "__const{}",
+                                expected.id()
+                            )))
                             .or_default()
                             .push(Value::Const(*expected));
                     }
@@ -223,7 +232,10 @@ fn build_single_witness(
             }
             weight *= BigNat::from(allowed.len());
             constrained.extend(class_nulls.iter().copied());
-            classes.push(WitnessClass { nulls: class_nulls, allowed });
+            classes.push(WitnessClass {
+                nulls: class_nulls,
+                allowed,
+            });
         }
     }
     // Free nulls multiply the weight by their domain size.
@@ -239,40 +251,41 @@ fn build_single_witness(
     Ok(Some(Witness { classes, weight }))
 }
 
-/// Checks whether a valuation belongs to the event of a witness.
-fn valuation_in_witness(witness: &Witness, valuation: &Valuation) -> bool {
+/// Checks whether the grounding's current (total) assignment belongs to the
+/// event of a witness.
+fn grounding_in_witness(witness: &Witness, g: &Grounding) -> bool {
     witness.classes.iter().all(|class| {
-        let values: Vec<Constant> = class
-            .nulls
-            .iter()
-            .map(|&n| valuation.get(n).expect("valuation covers every null"))
-            .collect();
-        let first = values[0];
-        values.iter().all(|&v| v == first) && class.allowed.contains(&first)
+        let first = g
+            .value(class.nulls[0])
+            .expect("assignment covers every null");
+        class.nulls.iter().all(|&n| g.value(n) == Some(first)) && class.allowed.contains(&first)
     })
 }
 
-/// Samples a valuation uniformly from the event of a witness.
-fn sample_from_witness<R: Rng + ?Sized>(
-    db: &IncompleteDatabase,
+/// Rebinds `g` to a valuation sampled uniformly from the event of a witness:
+/// one shared value per equality class, an independent uniform value for
+/// every free null. The grounding is the engine's bind/unbind oracle, so the
+/// sampling hot loop allocates nothing.
+fn sample_witness_into_grounding<R: Rng + ?Sized>(
+    g: &mut Grounding,
     witness: &Witness,
     rng: &mut R,
-) -> Valuation {
-    let mut valuation = Valuation::new();
+) {
+    g.reset();
     for class in &witness.classes {
         let value = class.allowed[rng.random_range(0..class.allowed.len())];
         for &null in &class.nulls {
-            valuation.assign(null, value);
+            g.bind(null, value)
+                .expect("witness values lie in the null domains");
         }
     }
-    for null in db.nulls() {
-        if valuation.get(null).is_none() {
-            let dom: Vec<Constant> =
-                db.domain_of(null).expect("validated database").iter().copied().collect();
-            valuation.assign(null, dom[rng.random_range(0..dom.len())]);
+    for i in 0..g.null_count() {
+        if g.value_by_index(i).is_none() {
+            let len = g.domain_by_index(i).len();
+            let value = g.domain_by_index(i)[rng.random_range(0..len)];
+            g.bind_index(i, value);
         }
     }
-    valuation
 }
 
 /// Estimates `#Val(q)(db)` with relative error `epsilon` and success
@@ -314,19 +327,33 @@ pub fn karp_luby_valuations<R: Rng + ?Sized>(
 
     let samples = ((4.0 * witnesses.len() as f64) / (epsilon * epsilon)).ceil() as usize;
     let samples = samples.max(1);
+    let mut grounding = db.try_grounding()?;
     let mut acc = 0.0f64;
     for _ in 0..samples {
         // Sample a witness proportionally to its weight.
         let target: f64 = rng.random_range(0.0..total_mass_f);
-        let index = cumulative.partition_point(|&c| c <= target).min(witnesses.len() - 1);
+        let index = cumulative
+            .partition_point(|&c| c <= target)
+            .min(witnesses.len() - 1);
         let witness = &witnesses[index];
-        let valuation = sample_from_witness(db, witness, rng);
-        let coverage = witnesses.iter().filter(|w| valuation_in_witness(w, &valuation)).count();
-        debug_assert!(coverage >= 1, "the sampled valuation lies in its own witness");
+        sample_witness_into_grounding(&mut grounding, witness, rng);
+        let coverage = witnesses
+            .iter()
+            .filter(|w| grounding_in_witness(w, &grounding))
+            .count();
+        debug_assert!(
+            coverage >= 1,
+            "the sampled valuation lies in its own witness"
+        );
         acc += 1.0 / coverage as f64;
     }
     let estimate = total_mass_f * acc / samples as f64;
-    Ok(FprasEstimate { estimate, samples, witnesses: witnesses.len(), total_mass: total_mass_f })
+    Ok(FprasEstimate {
+        estimate,
+        samples,
+        witnesses: witnesses.len(),
+        total_mass: total_mass_f,
+    })
 }
 
 #[cfg(test)]
@@ -364,7 +391,10 @@ mod tests {
         let exact = count_valuations_brute(&db, &q).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let result = karp_luby_valuations(&db, &q, 0.1, &mut rng).unwrap();
-        assert!(relative_error(result.estimate, &exact) <= 0.1, "{result:?} vs {exact}");
+        assert!(
+            relative_error(result.estimate, &exact) <= 0.1,
+            "{result:?} vs {exact}"
+        );
         assert!(result.witnesses > 0);
     }
 
@@ -379,7 +409,10 @@ mod tests {
         let exact = count_valuations_brute(&db, &q).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let result = karp_luby_valuations(&db, &q, 0.1, &mut rng).unwrap();
-        assert!(relative_error(result.estimate, &exact) <= 0.1, "{result:?} vs {exact}");
+        assert!(
+            relative_error(result.estimate, &exact) <= 0.1,
+            "{result:?} vs {exact}"
+        );
     }
 
     #[test]
@@ -392,7 +425,10 @@ mod tests {
         let exact = count_valuations_brute(&db, &q).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let result = karp_luby_valuations(&db, &q, 0.15, &mut rng).unwrap();
-        assert!(relative_error(result.estimate, &exact) <= 0.15, "{result:?} vs {exact}");
+        assert!(
+            relative_error(result.estimate, &exact) <= 0.15,
+            "{result:?} vs {exact}"
+        );
     }
 
     #[test]
@@ -456,6 +492,9 @@ mod tests {
         let exact = count_valuations_brute(&db, &q).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let result = karp_luby_valuations(&db, &q, 0.1, &mut rng).unwrap();
-        assert!(relative_error(result.estimate, &exact) <= 0.1, "{result:?} vs {exact}");
+        assert!(
+            relative_error(result.estimate, &exact) <= 0.1,
+            "{result:?} vs {exact}"
+        );
     }
 }

@@ -10,7 +10,8 @@
 
 use rand::Rng;
 
-use incdb_data::{Constant, IncompleteDatabase, Valuation};
+use incdb_core::engine::holds_under_current;
+use incdb_data::{Constant, Database, Grounding, IncompleteDatabase, Valuation};
 use incdb_query::BooleanQuery;
 
 use crate::fpras::ApproxError;
@@ -31,11 +32,28 @@ pub fn sample_valuation<R: Rng + ?Sized>(db: &IncompleteDatabase, rng: &mut R) -
     valuation
 }
 
+/// Rebinds every null of `g` to a uniformly random value of its domain —
+/// the allocation-free counterpart of [`sample_valuation`] used inside the
+/// sampling hot loops.
+///
+/// # Panics
+/// Panics if some null has an empty domain.
+pub fn sample_into_grounding<R: Rng + ?Sized>(g: &mut Grounding, rng: &mut R) {
+    for i in 0..g.null_count() {
+        let len = g.domain_by_index(i).len();
+        assert!(len > 0, "cannot sample from an empty domain");
+        let value = g.domain_by_index(i)[rng.random_range(0..len)];
+        g.bind_index(i, value);
+    }
+}
+
 /// Estimates `#Val(q)(db)` by uniform sampling of `samples` valuations.
 ///
 /// The estimate is `(satisfying fraction) × (total number of valuations)`.
 /// Unbiased but with no multiplicative guarantee — see the module
-/// documentation.
+/// documentation. Each sample is drawn directly into a reusable
+/// [`Grounding`] and checked through the engine's bind/check oracle, so the
+/// loop does no per-sample materialisation.
 pub fn monte_carlo_valuations<Q: BooleanQuery + ?Sized, R: Rng + ?Sized>(
     db: &IncompleteDatabase,
     q: &Q,
@@ -43,9 +61,11 @@ pub fn monte_carlo_valuations<Q: BooleanQuery + ?Sized, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<f64, ApproxError> {
     db.validate()?;
-    if db.nulls().is_empty() {
-        let ground = db.apply_unchecked(&Valuation::new());
-        return Ok(if q.holds(&ground) { 1.0 } else { 0.0 });
+    let mut g = db.try_grounding()?;
+    let mut scratch = Database::new();
+    if g.null_count() == 0 {
+        let hit = holds_under_current(&g, q, &mut scratch)?;
+        return Ok(if hit { 1.0 } else { 0.0 });
     }
     let total = db.valuation_count().to_f64();
     if total == 0.0 {
@@ -54,8 +74,8 @@ pub fn monte_carlo_valuations<Q: BooleanQuery + ?Sized, R: Rng + ?Sized>(
     let samples = samples.max(1);
     let mut hits = 0usize;
     for _ in 0..samples {
-        let valuation = sample_valuation(db, rng);
-        if q.holds(&db.apply_unchecked(&valuation)) {
+        sample_into_grounding(&mut g, rng);
+        if holds_under_current(&g, q, &mut scratch)? {
             hits += 1;
         }
     }
@@ -84,13 +104,17 @@ mod tests {
         let exact = count_valuations_brute(&db, &q).unwrap().to_f64();
         let mut rng = StdRng::seed_from_u64(17);
         let estimate = monte_carlo_valuations(&db, &q, 20_000, &mut rng).unwrap();
-        assert!((estimate - exact).abs() / exact < 0.1, "{estimate} vs {exact}");
+        assert!(
+            (estimate - exact).abs() / exact < 0.1,
+            "{estimate} vs {exact}"
+        );
     }
 
     #[test]
     fn ground_database() {
         let mut db = IncompleteDatabase::new_uniform(0u64..2);
-        db.add_fact("R", vec![Value::constant(1), Value::constant(1)]).unwrap();
+        db.add_fact("R", vec![Value::constant(1), Value::constant(1)])
+            .unwrap();
         let q: Bcq = "R(x,x)".parse().unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(monte_carlo_valuations(&db, &q, 10, &mut rng).unwrap(), 1.0);

@@ -12,15 +12,19 @@ fn bench_bignum(c: &mut Criterion) {
     for words in [4u64, 16, 64] {
         // A (words * 64)-bit operand: 2^(64 * words) - 1.
         let operand = pow(2, 64 * words) - BigNat::from(1u64);
-        group.bench_with_input(BenchmarkId::from_parameter(words), &operand, |b, operand| {
-            b.iter(|| {
-                let mut acc = BigNat::from(1u64);
-                for _ in 0..8 {
-                    acc *= operand.clone();
-                }
-                acc
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(words),
+            &operand,
+            |b, operand| {
+                b.iter(|| {
+                    let mut acc = BigNat::from(1u64);
+                    for _ in 0..8 {
+                        acc *= operand.clone();
+                    }
+                    acc
+                })
+            },
+        );
     }
     group.finish();
 

@@ -61,7 +61,10 @@ fn bench_classifier(c: &mut Criterion) {
             queries
                 .iter()
                 .map(|q| {
-                    KnownPattern::ALL.iter().filter(|p| is_pattern_of(&p.query(), q)).count()
+                    KnownPattern::ALL
+                        .iter()
+                        .filter(|p| is_pattern_of(&p.query(), q))
+                        .count()
                 })
                 .sum::<usize>()
         });

@@ -1,0 +1,246 @@
+//! Engine bench: the backtracking counting engine against the seed
+//! brute-force loop ([`NaiveEngine`]) on the shapes that matter —
+//! early-refuted queries (residual pruning collapses the whole tree),
+//! early-satisfied queries (closed-form subtree counts), genuinely hard
+//! instances (pure constant-factor wins from in-place grounding), and the
+//! sharded configuration.
+//!
+//! Besides the Criterion groups, this bench always measures the headline
+//! naive-vs-engine comparison directly and writes the results to
+//! `BENCH_engine.json` at the workspace root, so every CI run appends a
+//! point to the perf trajectory. Run `cargo bench --bench engine -- --test`
+//! (or set `ENGINE_BENCH_FAST=1`) for the fast smoke mode CI uses.
+
+use std::time::{Duration, Instant};
+
+use criterion::{BenchmarkId, Criterion};
+use incdb_bench::{uniform_codd_binary, uniform_self_loop_cycle};
+use incdb_core::engine::{BacktrackingEngine, CountingEngine, NaiveEngine};
+use incdb_data::{IncompleteDatabase, Value};
+use incdb_query::Bcq;
+
+/// The pruning-friendly acceptance instance: a cycle of `nulls` binary facts
+/// (≥ 6 nulls) and a query conjoined with an atom over the empty relation
+/// `T`, so residual evaluation refutes it at the very root while the naive
+/// loop still walks every one of the `domain^nulls` valuations.
+fn early_refuted_instance(nulls: u32, domain: u64) -> (IncompleteDatabase, Bcq) {
+    let mut db = uniform_self_loop_cycle(nulls, domain);
+    db.declare_relation("T");
+    (db, "R(x,x), T(x)".parse().unwrap())
+}
+
+/// An early-satisfied instance: one ground self-loop decides `R(x,x)`
+/// positively, so the engine counts the whole tree in closed form.
+fn early_satisfied_instance(nulls: u32, domain: u64) -> (IncompleteDatabase, Bcq) {
+    let mut db = uniform_self_loop_cycle(nulls, domain);
+    db.add_fact("R", vec![Value::constant(9), Value::constant(9)])
+        .unwrap();
+    (db, "R(x,x)".parse().unwrap())
+}
+
+/// A genuinely hard instance: no early decision, the engine must reach the
+/// leaves and wins only its constant factor (no cloning, no allocation).
+fn hard_instance(nulls: u32, domain: u64) -> (IncompleteDatabase, Bcq) {
+    (
+        uniform_self_loop_cycle(nulls, domain),
+        "R(x,x)".parse().unwrap(),
+    )
+}
+
+fn bench_refuted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/early_refuted");
+    for nulls in [6u32, 8, 10] {
+        let (db, q) = early_refuted_instance(nulls, 3);
+        group.bench_with_input(BenchmarkId::new("naive", nulls), &db, |b, db| {
+            b.iter(|| NaiveEngine.count_valuations(db, &q).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("engine", nulls), &db, |b, db| {
+            b.iter(|| {
+                BacktrackingEngine::sequential()
+                    .count_valuations(db, &q)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_satisfied(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/early_satisfied");
+    for nulls in [6u32, 8, 10] {
+        let (db, q) = early_satisfied_instance(nulls, 3);
+        group.bench_with_input(BenchmarkId::new("naive", nulls), &db, |b, db| {
+            b.iter(|| NaiveEngine.count_valuations(db, &q).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("engine", nulls), &db, |b, db| {
+            b.iter(|| {
+                BacktrackingEngine::sequential()
+                    .count_valuations(db, &q)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/hard_no_pruning");
+    for nulls in [8u32, 10] {
+        let (db, q) = hard_instance(nulls, 3);
+        group.bench_with_input(BenchmarkId::new("naive", nulls), &db, |b, db| {
+            b.iter(|| NaiveEngine.count_valuations(db, &q).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("engine", nulls), &db, |b, db| {
+            b.iter(|| {
+                BacktrackingEngine::sequential()
+                    .count_valuations(db, &q)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("engine_sharded", nulls), &db, |b, db| {
+            b.iter(|| {
+                BacktrackingEngine::with_threads(4)
+                    .with_parallel_threshold(1)
+                    .count_valuations(db, &q)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_completions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/completions_codd");
+    for facts in [4u32, 5] {
+        let db = uniform_codd_binary(facts, 3);
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        group.bench_with_input(BenchmarkId::new("naive", 2 * facts), &db, |b, db| {
+            b.iter(|| NaiveEngine.count_completions(db, &q).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("engine", 2 * facts), &db, |b, db| {
+            b.iter(|| {
+                BacktrackingEngine::sequential()
+                    .count_completions(db, &q)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Medians of `runs` timed executions of `f`.
+fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> u128 {
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct JsonRow {
+    name: &'static str,
+    nulls: u32,
+    valuations: String,
+    naive_ns: u128,
+    engine_ns: u128,
+}
+
+impl JsonRow {
+    fn speedup(&self) -> f64 {
+        self.naive_ns as f64 / self.engine_ns.max(1) as f64
+    }
+}
+
+/// Measures the headline comparisons and writes `BENCH_engine.json` at the
+/// workspace root.
+fn write_json_report(fast: bool) {
+    let runs = if fast { 5 } else { 15 };
+    let mut rows: Vec<JsonRow> = Vec::new();
+
+    for (name, (db, q)) in [
+        ("early_refuted", early_refuted_instance(8, 3)),
+        ("early_satisfied", early_satisfied_instance(8, 3)),
+        ("hard_no_pruning", hard_instance(8, 3)),
+    ] {
+        let expected = NaiveEngine.count_valuations(&db, &q).unwrap();
+        assert_eq!(
+            BacktrackingEngine::sequential()
+                .count_valuations(&db, &q)
+                .unwrap(),
+            expected,
+            "engine disagrees with the seed brute force on {name}"
+        );
+        let naive_ns = median_ns(runs, || {
+            NaiveEngine.count_valuations(&db, &q).unwrap();
+        });
+        let engine_ns = median_ns(runs, || {
+            BacktrackingEngine::sequential()
+                .count_valuations(&db, &q)
+                .unwrap();
+        });
+        rows.push(JsonRow {
+            name,
+            nulls: db.nulls().len() as u32,
+            valuations: db.valuation_count().to_string(),
+            naive_ns,
+            engine_ns,
+        });
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"engine\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if fast { "fast" } else { "full" }
+    ));
+    json.push_str("  \"instances\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nulls\": {}, \"valuations\": \"{}\", \
+             \"naive_ns\": {}, \"engine_ns\": {}, \"speedup\": {:.2}}}{}\n",
+            row.name,
+            row.nulls,
+            row.valuations,
+            row.naive_ns,
+            row.engine_ns,
+            row.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let refuted = rows.iter().find(|r| r.name == "early_refuted").unwrap();
+    json.push_str(&format!(
+        "  \"speedup_early_refuted\": {:.2}\n}}\n",
+        refuted.speedup()
+    ));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("\nwrote {path}:\n{json}");
+    assert!(
+        refuted.speedup() >= 10.0,
+        "acceptance criterion: the engine must be ≥10× faster than the seed \
+         brute force on the early-refuted instance (got {:.2}×)",
+        refuted.speedup()
+    );
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--test" || a == "--fast")
+        || std::env::var("ENGINE_BENCH_FAST").is_ok();
+    if !fast {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600))
+            .configure_from_args();
+        bench_refuted(&mut c);
+        bench_satisfied(&mut c);
+        bench_hard(&mut c);
+        bench_completions(&mut c);
+    }
+    write_json_report(fast);
+}

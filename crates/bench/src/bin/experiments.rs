@@ -9,6 +9,7 @@ use std::time::Instant;
 use incdb_approx::{completion_estimator, karp_luby_valuations};
 use incdb_bench::{uniform_self_loop_cycle, uniform_two_unary_relations};
 use incdb_core::algorithms::{comp_uniform, val_uniform};
+use incdb_core::engine::{BacktrackingEngine, CountingEngine, NaiveEngine};
 use incdb_core::enumerate::{
     count_all_completions_brute, count_completions_brute, count_valuations_brute,
 };
@@ -44,11 +45,17 @@ fn header(id: &str, title: &str) {
 }
 
 fn figure_1() {
-    header("E3 / Figure 1", "Example 2.2: six valuations, #Val = 4, #Comp = 3");
+    header(
+        "E3 / Figure 1",
+        "Example 2.2: six valuations, #Val = 4, #Comp = 3",
+    );
     let mut db = IncompleteDatabase::new_non_uniform();
-    db.add_fact("S", vec![Value::constant(0), Value::constant(1)]).unwrap();
-    db.add_fact("S", vec![Value::null(1), Value::constant(0)]).unwrap();
-    db.add_fact("S", vec![Value::constant(0), Value::null(2)]).unwrap();
+    db.add_fact("S", vec![Value::constant(0), Value::constant(1)])
+        .unwrap();
+    db.add_fact("S", vec![Value::null(1), Value::constant(0)])
+        .unwrap();
+    db.add_fact("S", vec![Value::constant(0), Value::null(2)])
+        .unwrap();
     db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
     db.set_domain(NullId(2), [0u64, 1]).unwrap();
     let q: Bcq = "S(x,x)".parse().unwrap();
@@ -66,7 +73,10 @@ fn figure_1() {
 }
 
 fn figure_2() {
-    header("E4 / Figure 2", "a multigraph and its avoiding assignments (#Avoidance)");
+    header(
+        "E4 / Figure 2",
+        "a multigraph and its avoiding assignments (#Avoidance)",
+    );
     // A 5-node multigraph in the spirit of Figure 2 (the paper's figure is a
     // drawing; we reproduce the object and the notion it illustrates).
     let g = Multigraph::from_edges(5, &[(0, 1), (0, 1), (1, 2), (2, 3), (3, 4), (2, 4), (0, 4)]);
@@ -79,7 +89,10 @@ fn figure_2() {
 }
 
 fn figure_3() {
-    header("E5 / Figure 3", "connectivity graph of the Example A.10 query");
+    header(
+        "E5 / Figure 3",
+        "connectivity graph of the Example A.10 query",
+    );
     let q: Bcq =
         "R1(x1,x1,y1,t1), R2(x1,y1,t2), S1(x2,t3), S2(x2,t4), S3(x2), T1(x3), T2(x3), T3(x3), T4(x3,t5)"
             .parse()
@@ -98,7 +111,10 @@ fn figure_3() {
 }
 
 fn table_1_classification() {
-    header("E1 / Table 1", "the dichotomy classification of the named patterns");
+    header(
+        "E1 / Table 1",
+        "the dichotomy classification of the named patterns",
+    );
     let named: Vec<(&str, Bcq)> = [
         "R(x)",
         "R(x,y)",
@@ -146,13 +162,19 @@ fn table_1_classification() {
         let comp_u = classify_approx(q, CountingProblem::Completions, Setting::ALL[1]).unwrap();
         println!(
             "  {:<22} #Val: {:<22} #Comp: {:<28} #Compᵘ: {}",
-            text, val_status.to_string(), comp_nu.to_string(), comp_u
+            text,
+            val_status.to_string(),
+            comp_nu.to_string(),
+            comp_u
         );
     }
 }
 
 fn table_1_scaling() {
-    header("E2 / Table 1 scaling", "tractable closed form vs enumeration (wall clock)");
+    header(
+        "E2 / Table 1 scaling",
+        "tractable closed form vs enumeration (wall clock)",
+    );
     println!("counting valuations of R(x)∧S(x) (uniform, tractable) vs R(x,x) on a naïve uniform cycle (hard):");
     println!(
         "{:>8} {:>18} {:>18} {:>22}",
@@ -179,38 +201,101 @@ fn table_1_scaling() {
         );
     }
     println!("paper:    the FP cells scale polynomially, the #P-hard cells only admit exponential exact algorithms");
-    println!("measured: the closed-form column stays flat while the enumeration column grows with 3^n");
+    println!(
+        "measured: the closed-form column stays flat while the enumeration column grows with 3^n"
+    );
+}
+
+fn engine_vs_brute() {
+    header(
+        "E2b / engine",
+        "backtracking engine vs seed brute force inside the #P-hard cells",
+    );
+    println!("counting valuations on a naïve uniform cycle (domain 3), three query shapes:");
+    println!(
+        "{:>8} {:>24} {:>16} {:>16} {:>10}",
+        "nulls", "query", "naive (µs)", "engine (µs)", "speedup"
+    );
+    for nulls in [6u32, 8, 10] {
+        for (label, q, ground_loop) in [
+            ("R(x,x) ∧ T(x) (refuted)", "R(x,x), T(x)", false),
+            ("R(x,x) (satisfied)", "R(x,x)", true),
+            ("R(x,x) (hard)", "R(x,x)", false),
+        ] {
+            let mut db = uniform_self_loop_cycle(nulls, 3);
+            db.declare_relation("T");
+            if ground_loop {
+                db.add_fact("R", vec![Value::constant(9), Value::constant(9)])
+                    .unwrap();
+            }
+            let query: Bcq = q.parse().unwrap();
+            let start = Instant::now();
+            let naive = NaiveEngine.count_valuations(&db, &query).unwrap();
+            let naive_us = start.elapsed().as_micros();
+            let start = Instant::now();
+            let engine = BacktrackingEngine::default()
+                .count_valuations(&db, &query)
+                .unwrap();
+            let engine_us = start.elapsed().as_micros();
+            assert_eq!(naive, engine, "engine disagrees with the seed brute force");
+            println!(
+                "{:>8} {:>24} {:>16} {:>16} {:>9.1}x",
+                nulls,
+                label,
+                naive_us,
+                engine_us,
+                naive_us as f64 / (engine_us.max(1)) as f64
+            );
+        }
+    }
+    println!("engine:   residual-query pruning + closed-form subtree counts + in-place grounding");
+    println!("measured: identical counts; the decided-early rows collapse to microseconds");
 }
 
 fn reductions_val() {
-    header("E6 / Prop. 3.4 + 3.5 + 3.8 + 3.11", "valuation-counting reductions recover the graph counts");
+    header(
+        "E6 / Prop. 3.4 + 3.5 + 3.8 + 3.11",
+        "valuation-counting reductions recover the graph counts",
+    );
     let mut rng = StdRng::seed_from_u64(42);
 
     // #3COL via #Valᵘ(R(x,x)).
     let g = random_graph(6, 0.4, &mut rng);
     let db = three_colorings_database(&g);
-    let recovered = three_colorings_from_count(&g, &count_valuations_brute(&db, &self_loop_query()).unwrap());
+    let recovered = three_colorings_from_count(
+        &g,
+        &count_valuations_brute(&db, &self_loop_query()).unwrap(),
+    );
     let direct = count_proper_colorings(&g, 3);
     println!("Prop 3.4  #3COL  : direct = {direct:<8} recovered via #Valᵘ(R(x,x)) = {recovered}");
 
     // #Avoidance via #Val_Cd(R(x)∧S(x)).
     let bg = random_bipartite(3, 3, 0.8, &mut rng);
     let db = avoidance_database(&bg);
-    let recovered = avoidance_from_count(&bg, &count_valuations_brute(&db, &shared_variable_query()).unwrap());
+    let recovered = avoidance_from_count(
+        &bg,
+        &count_valuations_brute(&db, &shared_variable_query()).unwrap(),
+    );
     let direct = bipartite_avoidance_reference(&bg);
     println!(
         "Prop 3.5  #Avoid : direct = {:<8} recovered via #Val_Cd(R(x)∧S(x)) = {}",
         direct,
-        recovered.map(|v| v.to_string()).unwrap_or_else(|| "n/a (isolated node)".to_string())
+        recovered
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "n/a (isolated node)".to_string())
     );
 
     // #IS via both Prop. 3.8 encodings.
     let g = random_graph(6, 0.35, &mut rng);
     let direct = count_independent_sets(&g);
     let db = independent_sets_path_database(&g);
-    let rec_path = independent_sets_from_count(&g, &count_valuations_brute(&db, &path_query()).unwrap());
+    let rec_path =
+        independent_sets_from_count(&g, &count_valuations_brute(&db, &path_query()).unwrap());
     let db = independent_sets_double_edge_database(&g);
-    let rec_double = independent_sets_from_count(&g, &count_valuations_brute(&db, &double_edge_query()).unwrap());
+    let rec_double = independent_sets_from_count(
+        &g,
+        &count_valuations_brute(&db, &double_edge_query()).unwrap(),
+    );
     println!("Prop 3.8  #IS    : direct = {direct:<8} recovered (path pattern) = {rec_path}, (double-edge pattern) = {rec_double}");
 
     // #BIS via the Prop. 3.11 Turing reduction.
@@ -221,7 +306,10 @@ fn reductions_val() {
 }
 
 fn reductions_comp() {
-    header("E7 / Prop. 4.2 + 4.5", "completion-counting reductions recover the graph counts");
+    header(
+        "E7 / Prop. 4.2 + 4.5",
+        "completion-counting reductions recover the graph counts",
+    );
     let mut rng = StdRng::seed_from_u64(7);
 
     let g = random_graph(5, 0.5, &mut rng);
@@ -263,30 +351,43 @@ fn fpras_experiment() {
     let ucq: Ucq = q.clone().into();
     let exact = count_valuations_brute(&db, &q).unwrap();
     println!("instance: Prop 3.8 encoding of a random 8-node graph; exact #Val = {exact}");
-    println!("{:>8} {:>15} {:>15} {:>12} {:>10}", "ε", "estimate", "rel. error", "samples", "ms");
+    println!(
+        "{:>8} {:>15} {:>15} {:>12} {:>10}",
+        "ε", "estimate", "rel. error", "samples", "ms"
+    );
     for epsilon in [0.5, 0.25, 0.1] {
         let start = Instant::now();
         let est = karp_luby_valuations(&db, &ucq, epsilon, &mut rng).unwrap();
         let elapsed = start.elapsed().as_millis();
         let err = (est.estimate - exact.to_f64()).abs() / exact.to_f64();
-        println!("{:>8} {:>15.1} {:>15.4} {:>12} {:>10}", epsilon, est.estimate, err, est.samples, elapsed);
+        println!(
+            "{:>8} {:>15.1} {:>15.4} {:>12} {:>10}",
+            epsilon, est.estimate, err, est.samples, elapsed
+        );
     }
     println!("paper:    #Val(q) admits an FPRAS for every UCQ (Corollary 5.3): error ≤ ε with probability ≥ 3/4");
 }
 
 fn completion_gap_experiment() {
-    header("E9 / Prop. 5.6", "no FPRAS for #Comp: the 7-vs-8 gap hides 3-colourability");
+    header(
+        "E9 / Prop. 5.6",
+        "no FPRAS for #Comp: the 7-vs-8 gap hides 3-colourability",
+    );
     let instances = vec![
         ("C5 (3-colourable)", cycle_graph(5)),
         ("K4 (not 3-colourable)", complete_graph(4)),
         ("P4 (3-colourable)", path_graph(4)),
     ];
-    println!("{:<26} {:>14} {:>16} {:>22}", "graph", "3-colourable?", "#completions", "estimator (500 samples)");
+    println!(
+        "{:<26} {:>14} {:>16} {:>22}",
+        "graph", "3-colourable?", "#completions", "estimator (500 samples)"
+    );
     let mut rng = StdRng::seed_from_u64(3);
     for (name, g) in instances {
         let db = three_colorability_gap_database(&g);
         let exact = count_all_completions_brute(&db).unwrap();
-        let est = completion_estimator(&db, &"R(x,y)".parse::<Bcq>().unwrap(), 500, &mut rng).unwrap();
+        let est =
+            completion_estimator(&db, &"R(x,y)".parse::<Bcq>().unwrap(), 500, &mut rng).unwrap();
         println!(
             "{:<26} {:>14} {:>16} {:>22.1}",
             name,
@@ -310,24 +411,44 @@ fn spanp_experiment() {
         ],
     );
     println!("formula: {f}");
-    println!("{:>4} {:>16} {:>26}", "k", "#k3SAT direct", "#Compᵘ(¬q) via reduction");
+    println!(
+        "{:>4} {:>16} {:>26}",
+        "k", "#k3SAT direct", "#Compᵘ(¬q) via reduction"
+    );
     let negated = spanp_negated_query();
     for k in 1..=4usize {
         let db = k3sat_database(&f, k);
         let recovered = count_completions_brute(&db, &negated).unwrap();
-        println!("{:>4} {:>16} {:>26}", k, f.count_k_extendable(k), recovered.to_string());
+        println!(
+            "{:>4} {:>16} {:>26}",
+            k,
+            f.count_k_extendable(k),
+            recovered.to_string()
+        );
     }
     println!("paper:    the reduction is parsimonious, so the two columns coincide");
 }
 
 fn comp_uniform_warmups() {
-    header("E11 / Appendix B.6 warm-ups", "uniform unary completion counting: closed form vs brute force");
-    println!("{:>8} {:>8} {:>20} {:>20}", "d", "nulls", "Theorem 4.6", "brute force");
+    header(
+        "E11 / Appendix B.6 warm-ups",
+        "uniform unary completion counting: closed form vs brute force",
+    );
+    println!(
+        "{:>8} {:>8} {:>20} {:>20}",
+        "d", "nulls", "Theorem 4.6", "brute force"
+    );
     for (d, nulls) in [(4u64, 3u32), (6, 4), (8, 5)] {
         let db = incdb_bench::uniform_unary_completions_instance(nulls, d);
         let fast = comp_uniform::count_all_completions(&db).unwrap();
         let brute = count_all_completions_brute(&db).unwrap();
-        println!("{:>8} {:>8} {:>20} {:>20}", d, db.nulls().len(), fast.to_string(), brute.to_string());
+        println!(
+            "{:>8} {:>8} {:>20} {:>20}",
+            d,
+            db.nulls().len(),
+            fast.to_string(),
+            brute.to_string()
+        );
         assert_eq!(fast, brute);
     }
     println!("paper:    #Compᵘ(q) is in FP whenever every atom of q is unary (Theorem 4.6)");
@@ -337,7 +458,12 @@ fn problem_naming_footer() {
     println!("\nProblem naming used above: ");
     for problem in [CountingProblem::Valuations, CountingProblem::Completions] {
         for setting in Setting::ALL {
-            print!("  {} = {} over a {};", problem_name(problem, setting), problem, setting);
+            print!(
+                "  {} = {} over a {};",
+                problem_name(problem, setting),
+                problem,
+                setting
+            );
         }
         println!();
     }
@@ -348,6 +474,7 @@ fn main() {
     println!("\"Counting Problems over Incomplete Databases\" (Arenas, Barceló, Monet, PODS 2020)");
     table_1_classification();
     table_1_scaling();
+    engine_vs_brute();
     figure_1();
     figure_2();
     figure_3();

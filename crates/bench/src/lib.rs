@@ -9,11 +9,15 @@ use incdb_data::{IncompleteDatabase, Value};
 /// A `#Valᵘ(R(x) ∧ S(x))`-style instance (tractable cell of Table 1):
 /// `nulls_per_relation` nulls in each of R and S, plus one shared constant
 /// block, over a uniform domain of size `domain_size`.
-pub fn uniform_two_unary_relations(nulls_per_relation: u32, domain_size: u64) -> IncompleteDatabase {
+pub fn uniform_two_unary_relations(
+    nulls_per_relation: u32,
+    domain_size: u64,
+) -> IncompleteDatabase {
     let mut db = IncompleteDatabase::new_uniform(0..domain_size);
     for i in 0..nulls_per_relation {
         db.add_fact("R", vec![Value::null(i)]).unwrap();
-        db.add_fact("S", vec![Value::null(nulls_per_relation + i)]).unwrap();
+        db.add_fact("S", vec![Value::null(nulls_per_relation + i)])
+            .unwrap();
     }
     db.add_fact("R", vec![Value::constant(0)]).unwrap();
     db.add_fact("S", vec![Value::constant(1)]).unwrap();
@@ -26,7 +30,8 @@ pub fn uniform_self_loop_cycle(nulls: u32, domain_size: u64) -> IncompleteDataba
     let mut db = IncompleteDatabase::new_uniform(0..domain_size);
     for i in 0..nulls {
         let j = (i + 1) % nulls;
-        db.add_fact("R", vec![Value::null(i), Value::null(j)]).unwrap();
+        db.add_fact("R", vec![Value::null(i), Value::null(j)])
+            .unwrap();
     }
     db
 }
@@ -36,7 +41,8 @@ pub fn uniform_self_loop_cycle(nulls: u32, domain_size: u64) -> IncompleteDataba
 pub fn uniform_codd_binary(facts: u32, domain_size: u64) -> IncompleteDatabase {
     let mut db = IncompleteDatabase::new_uniform(0..domain_size);
     for i in 0..facts {
-        db.add_fact("R", vec![Value::null(2 * i), Value::null(2 * i + 1)]).unwrap();
+        db.add_fact("R", vec![Value::null(2 * i), Value::null(2 * i + 1)])
+            .unwrap();
     }
     db
 }
@@ -65,8 +71,10 @@ pub fn codd_self_loop_instance(facts: u32, domain_size: u64) -> IncompleteDataba
         let left = incdb_data::NullId(2 * i);
         let right = incdb_data::NullId(2 * i + 1);
         db.set_domain(left, 0..domain_size).unwrap();
-        db.set_domain(right, (domain_size / 2)..(domain_size + domain_size / 2)).unwrap();
-        db.add_fact("R", vec![Value::Null(left), Value::Null(right)]).unwrap();
+        db.set_domain(right, (domain_size / 2)..(domain_size + domain_size / 2))
+            .unwrap();
+        db.add_fact("R", vec![Value::Null(left), Value::Null(right)])
+            .unwrap();
     }
     db
 }

@@ -1,0 +1,128 @@
+//! A counting accumulator that avoids per-increment big-integer work.
+//!
+//! The exact counters of the workspace used to execute `count += BigNat::one()`
+//! once per satisfying valuation, paying a heap allocation and a limb-vector
+//! walk per hit. [`NatAccumulator`] keeps a machine-word fast path: increments
+//! land in a `u64` and are only folded ("spilled") into the exact [`BigNat`]
+//! total when the word would overflow, so the hot loop runs on register
+//! arithmetic while the final total stays exact.
+
+use crate::nat::BigNat;
+
+/// An exact natural-number accumulator with a `u64` fast path.
+///
+/// ```
+/// use incdb_bignum::{BigNat, NatAccumulator};
+/// let mut acc = NatAccumulator::new();
+/// for _ in 0..1000 {
+///     acc.add_one();
+/// }
+/// acc.add_big(&BigNat::from(2u64).pow(100));
+/// assert_eq!(acc.total(), BigNat::from(1000u64) + BigNat::from(2u64).pow(100));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NatAccumulator {
+    small: u64,
+    big: BigNat,
+}
+
+impl NatAccumulator {
+    /// A fresh accumulator holding zero.
+    pub fn new() -> Self {
+        NatAccumulator {
+            small: 0,
+            big: BigNat::zero(),
+        }
+    }
+
+    /// Adds one (the per-hit fast path of the counting loops).
+    #[inline]
+    pub fn add_one(&mut self) {
+        self.add_u64(1);
+    }
+
+    /// Adds a machine word, spilling into the big total only on overflow.
+    #[inline]
+    pub fn add_u64(&mut self, n: u64) {
+        match self.small.checked_add(n) {
+            Some(sum) => self.small = sum,
+            None => {
+                self.big += BigNat::from(self.small);
+                self.small = n;
+            }
+        }
+    }
+
+    /// Adds an exact big natural (used for closed-form subtree counts).
+    pub fn add_big(&mut self, n: &BigNat) {
+        if let Some(word) = n.to_u64() {
+            self.add_u64(word);
+        } else {
+            self.big += n;
+        }
+    }
+
+    /// Returns `true` if nothing has been accumulated yet.
+    pub fn is_zero(&self) -> bool {
+        self.small == 0 && self.big.is_zero()
+    }
+
+    /// The exact accumulated total.
+    pub fn total(&self) -> BigNat {
+        &self.big + &BigNat::from(self.small)
+    }
+
+    /// Consumes the accumulator, returning the exact total.
+    pub fn into_total(self) -> BigNat {
+        self.big + BigNat::from(self.small)
+    }
+}
+
+impl From<NatAccumulator> for BigNat {
+    fn from(acc: NatAccumulator) -> Self {
+        acc.into_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let acc = NatAccumulator::new();
+        assert!(acc.is_zero());
+        assert_eq!(acc.total(), BigNat::zero());
+    }
+
+    #[test]
+    fn small_increments_stay_exact() {
+        let mut acc = NatAccumulator::new();
+        for _ in 0..123 {
+            acc.add_one();
+        }
+        assert_eq!(acc.total().to_u64(), Some(123));
+        assert!(!acc.is_zero());
+    }
+
+    #[test]
+    fn overflow_spills_into_the_big_total() {
+        let mut acc = NatAccumulator::new();
+        acc.add_u64(u64::MAX);
+        acc.add_u64(u64::MAX);
+        acc.add_one();
+        let expected = BigNat::from(u64::MAX) + BigNat::from(u64::MAX) + BigNat::one();
+        assert_eq!(acc.total(), expected);
+    }
+
+    #[test]
+    fn mixed_big_and_small_additions() {
+        let mut acc = NatAccumulator::new();
+        let huge = BigNat::from(3u64).pow(100);
+        acc.add_big(&huge);
+        acc.add_u64(41);
+        acc.add_one();
+        assert_eq!(acc.clone().into_total(), huge + BigNat::from(42u64));
+        assert_eq!(BigNat::from(acc.clone()), acc.total());
+    }
+}

@@ -71,7 +71,11 @@ pub fn surjections(n: u64, m: u64) -> BigNat {
         return BigNat::zero();
     }
     if m == 0 {
-        return if n == 0 { BigNat::one() } else { BigNat::zero() };
+        return if n == 0 {
+            BigNat::one()
+        } else {
+            BigNat::zero()
+        };
     }
     let mut acc = BigInt::zero();
     for i in 0..=m {
@@ -82,7 +86,10 @@ pub fn surjections(n: u64, m: u64) -> BigNat {
             acc -= term;
         }
     }
-    debug_assert!(acc.sign() != crate::int::Sign::Negative, "surjection count must be non-negative");
+    debug_assert!(
+        acc.sign() != crate::int::Sign::Negative,
+        "surjection count must be non-negative"
+    );
     acc.to_nat().expect("surjection count is non-negative")
 }
 

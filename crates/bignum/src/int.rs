@@ -41,12 +41,18 @@ pub struct BigInt {
 impl BigInt {
     /// The integer `0`.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, magnitude: BigNat::zero() }
+        BigInt {
+            sign: Sign::Zero,
+            magnitude: BigNat::zero(),
+        }
     }
 
     /// The integer `1`.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Positive, magnitude: BigNat::one() }
+        BigInt {
+            sign: Sign::Positive,
+            magnitude: BigNat::one(),
+        }
     }
 
     /// Builds an integer from a sign and a magnitude (the sign is normalised
@@ -144,7 +150,11 @@ impl BigInt {
                 }
             }
         };
-        let magnitude = if self.is_zero() && exp == 0 { BigNat::one() } else { magnitude };
+        let magnitude = if self.is_zero() && exp == 0 {
+            BigNat::one()
+        } else {
+            magnitude
+        };
         BigInt::from_sign_magnitude_or_zero(sign, magnitude)
     }
 
@@ -160,7 +170,10 @@ impl BigInt {
         match (self.sign, rhs.sign) {
             (Sign::Zero, _) => rhs.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => BigInt { sign: a, magnitude: &self.magnitude + &rhs.magnitude },
+            (a, b) if a == b => BigInt {
+                sign: a,
+                magnitude: &self.magnitude + &rhs.magnitude,
+            },
             _ => {
                 // Opposite signs: subtract the smaller magnitude from the larger.
                 match self.magnitude.cmp(&rhs.magnitude) {
@@ -182,8 +195,15 @@ impl BigInt {
         if self.is_zero() || rhs.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
-        BigInt { sign, magnitude: &self.magnitude * &rhs.magnitude }
+        let sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        BigInt {
+            sign,
+            magnitude: &self.magnitude * &rhs.magnitude,
+        }
     }
 }
 
@@ -192,7 +212,10 @@ impl From<BigNat> for BigInt {
         if n.is_zero() {
             BigInt::zero()
         } else {
-            BigInt { sign: Sign::Positive, magnitude: n }
+            BigInt {
+                sign: Sign::Positive,
+                magnitude: n,
+            }
         }
     }
 }
@@ -207,8 +230,14 @@ impl From<i64> for BigInt {
     fn from(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt { sign: Sign::Positive, magnitude: BigNat::from(v as u64) },
-            Ordering::Less => BigInt { sign: Sign::Negative, magnitude: BigNat::from(v.unsigned_abs()) },
+            Ordering::Greater => BigInt {
+                sign: Sign::Positive,
+                magnitude: BigNat::from(v as u64),
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                magnitude: BigNat::from(v.unsigned_abs()),
+            },
         }
     }
 }
@@ -233,7 +262,10 @@ impl Neg for BigInt {
             Sign::Positive => Sign::Negative,
             Sign::Negative => Sign::Positive,
         };
-        BigInt { sign, magnitude: self.magnitude }
+        BigInt {
+            sign,
+            magnitude: self.magnitude,
+        }
     }
 }
 
@@ -360,12 +392,33 @@ mod tests {
 
     #[test]
     fn arithmetic_matches_i128() {
-        let values: Vec<i64> = vec![0, 1, -1, 17, -42, i32::MAX as i64, -(i32::MAX as i64), 1 << 40];
+        let values: Vec<i64> = vec![
+            0,
+            1,
+            -1,
+            17,
+            -42,
+            i32::MAX as i64,
+            -(i32::MAX as i64),
+            1 << 40,
+        ];
         for &a in &values {
             for &b in &values {
-                assert_eq!((bi(a) + bi(b)).to_i128(), Some(a as i128 + b as i128), "{a}+{b}");
-                assert_eq!((bi(a) - bi(b)).to_i128(), Some(a as i128 - b as i128), "{a}-{b}");
-                assert_eq!((bi(a) * bi(b)).to_i128(), Some(a as i128 * b as i128), "{a}*{b}");
+                assert_eq!(
+                    (bi(a) + bi(b)).to_i128(),
+                    Some(a as i128 + b as i128),
+                    "{a}+{b}"
+                );
+                assert_eq!(
+                    (bi(a) - bi(b)).to_i128(),
+                    Some(a as i128 - b as i128),
+                    "{a}-{b}"
+                );
+                assert_eq!(
+                    (bi(a) * bi(b)).to_i128(),
+                    Some(a as i128 * b as i128),
+                    "{a}*{b}"
+                );
             }
         }
     }

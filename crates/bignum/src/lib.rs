@@ -28,12 +28,14 @@
 //! counting algorithms have at most a few thousand bits, so asymptotically
 //! fancier algorithms would not pay for their complexity here.
 
+pub mod accumulator;
 pub mod combinatorics;
 pub mod int;
 pub mod linalg;
 pub mod nat;
 pub mod rat;
 
+pub use accumulator::NatAccumulator;
 pub use combinatorics::{binomial, factorial, falling_factorial, pow, stirling2, surjections};
 pub use int::{BigInt, Sign};
 pub use linalg::{solve_linear_system, Matrix};

@@ -23,7 +23,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![BigRat::zero(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![BigRat::zero(); rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -141,7 +145,9 @@ pub fn solve_linear_system(a: &Matrix, b: &[BigRat]) -> Result<Vec<BigRat>, Sing
 
     for col in 0..n {
         // Find a pivot row.
-        let pivot_row = (col..n).find(|&r| !m.get(r, col).is_zero()).ok_or(SingularMatrix)?;
+        let pivot_row = (col..n)
+            .find(|&r| !m.get(r, col).is_zero())
+            .ok_or(SingularMatrix)?;
         if pivot_row != col {
             for j in 0..n {
                 let tmp = m.get(col, j).clone();
@@ -259,7 +265,9 @@ mod tests {
         }
         let big = a.kronecker(&a);
         // Solve against an arbitrary right-hand side and check the residual.
-        let b: Vec<BigRat> = (0..big.rows()).map(|i| BigRat::from(BigNat::from(i as u64 * 3 + 1))).collect();
+        let b: Vec<BigRat> = (0..big.rows())
+            .map(|i| BigRat::from(BigNat::from(i as u64 * 3 + 1)))
+            .collect();
         let x = solve_linear_system(&big, &b).unwrap();
         assert_eq!(big.mul_vec(&x), b);
     }

@@ -61,7 +61,9 @@ impl BigNat {
     pub fn bit_len(&self) -> usize {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => (self.limbs.len() - 1) * BASE_BITS as usize + (32 - top.leading_zeros() as usize),
+            Some(&top) => {
+                (self.limbs.len() - 1) * BASE_BITS as usize + (32 - top.leading_zeros() as usize)
+            }
         }
     }
 
@@ -260,7 +262,11 @@ impl BigNat {
         } else {
             for i in 0..src.len() {
                 let lo = src[i] >> bit_shift;
-                let hi = if i + 1 < src.len() { src[i + 1] << (32 - bit_shift) } else { 0 };
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
                 limbs.push(lo | hi);
             }
         }
@@ -290,7 +296,9 @@ impl BigNat {
                 remainder.add_u32(1);
             }
             if &remainder >= divisor {
-                remainder = remainder.checked_sub(divisor).expect("remainder >= divisor");
+                remainder = remainder
+                    .checked_sub(divisor)
+                    .expect("remainder >= divisor");
                 // set bit i of quotient
                 let limb = i / 32;
                 if quotient.limbs.len() <= limb {
@@ -355,7 +363,12 @@ impl From<usize> for BigNat {
 
 impl From<u128> for BigNat {
     fn from(v: u128) -> Self {
-        let mut limbs = vec![v as u32, (v >> 32) as u32, (v >> 64) as u32, (v >> 96) as u32];
+        let mut limbs = vec![
+            v as u32,
+            (v >> 32) as u32,
+            (v >> 64) as u32,
+            (v >> 96) as u32,
+        ];
         while limbs.last() == Some(&0) {
             limbs.pop();
         }

@@ -32,12 +32,18 @@ pub struct BigRat {
 impl BigRat {
     /// The rational `0`.
     pub fn zero() -> Self {
-        BigRat { numerator: BigInt::zero(), denominator: BigNat::one() }
+        BigRat {
+            numerator: BigInt::zero(),
+            denominator: BigNat::one(),
+        }
     }
 
     /// The rational `1`.
     pub fn one() -> Self {
-        BigRat { numerator: BigInt::one(), denominator: BigNat::one() }
+        BigRat {
+            numerator: BigInt::one(),
+            denominator: BigNat::one(),
+        }
     }
 
     /// Creates a rational from a numerator and a (non-zero) denominator,
@@ -58,7 +64,10 @@ impl BigRat {
 
     /// Creates the rational `n / 1` from an integer.
     pub fn from_int(n: BigInt) -> Self {
-        BigRat { numerator: n, denominator: BigNat::one() }
+        BigRat {
+            numerator: n,
+            denominator: BigNat::one(),
+        }
     }
 
     /// Creates the rational `n / 1` from a natural number.
@@ -126,7 +135,10 @@ impl BigRat {
     }
 
     fn mul_ref(&self, rhs: &BigRat) -> BigRat {
-        BigRat::new(&self.numerator * &rhs.numerator, &self.denominator * &rhs.denominator)
+        BigRat::new(
+            &self.numerator * &rhs.numerator,
+            &self.denominator * &rhs.denominator,
+        )
     }
 }
 
@@ -157,7 +169,10 @@ impl From<u64> for BigRat {
 impl Neg for BigRat {
     type Output = BigRat;
     fn neg(self) -> BigRat {
-        BigRat { numerator: -self.numerator, denominator: self.denominator }
+        BigRat {
+            numerator: -self.numerator,
+            denominator: self.denominator,
+        }
     }
 }
 impl Neg for &BigRat {

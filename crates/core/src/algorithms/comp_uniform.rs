@@ -58,7 +58,10 @@ pub fn count_completions(db: &IncompleteDatabase, q: &Bcq) -> Result<BigNat, Alg
             .as_var()
             .expect("constant-free query")
             .clone();
-        components_map.entry(var).or_default().insert(atom.relation().to_string());
+        components_map
+            .entry(var)
+            .or_default()
+            .insert(atom.relation().to_string());
     }
     let components: Vec<BTreeSet<String>> = components_map.into_values().collect();
     count_completions_with_components(db, &q.signature(), &components)
@@ -138,14 +141,20 @@ fn count_completions_with_components(
     // No nulls: a unique (ground) completion.
     if null_types.is_empty() {
         let base_cover = |a: &Constant| -> BTreeSet<usize> {
-            (0..schema.len()).filter(|&k| constants[k].contains(a)).collect()
+            (0..schema.len())
+                .filter(|&k| constants[k].contains(a))
+                .collect()
         };
         let all_values: BTreeSet<Constant> =
             constants.iter().flat_map(|s| s.iter().copied()).collect();
-        let satisfied = component_sets.iter().all(|comp| {
-            all_values.iter().any(|a| comp.is_subset(&base_cover(a)))
+        let satisfied = component_sets
+            .iter()
+            .all(|comp| all_values.iter().any(|a| comp.is_subset(&base_cover(a))));
+        return Ok(if satisfied {
+            BigNat::one()
+        } else {
+            BigNat::zero()
         });
-        return Ok(if satisfied { BigNat::one() } else { BigNat::zero() });
     }
     if domain.is_empty() {
         return Ok(BigNat::zero());
@@ -171,17 +180,18 @@ fn count_completions_with_components(
                 .flat_map(|s| s.iter().copied())
                 .filter(|a| !domain.contains(a))
                 .collect();
-            outside.iter().any(|a| {
-                comp.iter().all(|&k| constants[k].contains(a))
-            })
+            outside
+                .iter()
+                .any(|a| comp.iter().all(|&k| constants[k].contains(a)))
         })
         .collect();
 
     // Classes of domain values by base coverage.
     let mut classes: BTreeMap<Vec<usize>, u64> = BTreeMap::new();
     for a in &domain {
-        let cover: Vec<usize> =
-            (0..schema.len()).filter(|&k| constants[k].contains(a)).collect();
+        let cover: Vec<usize> = (0..schema.len())
+            .filter(|&k| constants[k].contains(a))
+            .collect();
         *classes.entry(cover).or_insert(0) += 1;
     }
     let classes: Vec<(BTreeSet<usize>, u64)> = classes
@@ -198,48 +208,41 @@ fn count_completions_with_components(
     // Enumerate profiles class by class.
     let mut total = BigNat::zero();
     let mut profile: Vec<Vec<u64>> = Vec::new();
-    enumerate_profiles(
-        0,
-        &classes,
-        &all_subsets,
-        &mut profile,
-        &mut |profile| {
-            // Collect the groups with a positive count.
-            let mut groups: Vec<(&BTreeSet<usize>, &BTreeSet<usize>, u64)> = Vec::new();
-            for (ci, (class, _)) in classes.iter().enumerate() {
-                for (ti, target) in all_subsets.iter().enumerate() {
-                    let count = profile[ci][ti];
-                    if count > 0 {
-                        groups.push((class, target, count));
-                    }
+    enumerate_profiles(0, &classes, &all_subsets, &mut profile, &mut |profile| {
+        // Collect the groups with a positive count.
+        let mut groups: Vec<(&BTreeSet<usize>, &BTreeSet<usize>, u64)> = Vec::new();
+        for (ci, (class, _)) in classes.iter().enumerate() {
+            for (ti, target) in all_subsets.iter().enumerate() {
+                let count = profile[ci][ti];
+                if count > 0 {
+                    groups.push((class, target, count));
                 }
             }
-            // Query satisfaction.
-            let satisfied = component_sets.iter().enumerate().all(|(i, comp)| {
-                satisfied_by_fixed[i]
-                    || groups.iter().any(|(_, target, _)| comp.is_subset(target))
-            });
-            if !satisfied {
-                return;
+        }
+        // Query satisfaction.
+        let satisfied = component_sets.iter().enumerate().all(|(i, comp)| {
+            satisfied_by_fixed[i] || groups.iter().any(|(_, target, _)| comp.is_subset(target))
+        });
+        if !satisfied {
+            return;
+        }
+        // Realisability.
+        if !profile_realisable(&types, &groups) {
+            return;
+        }
+        // Number of completions with this profile.
+        let mut ways = BigNat::one();
+        for (ci, (_, m_c)) in classes.iter().enumerate() {
+            let mut denom = BigNat::one();
+            for count in &profile[ci] {
+                denom *= factorial(*count);
             }
-            // Realisability.
-            if !profile_realisable(&types, &groups) {
-                return;
-            }
-            // Number of completions with this profile.
-            let mut ways = BigNat::one();
-            for (ci, (_, m_c)) in classes.iter().enumerate() {
-                let mut denom = BigNat::one();
-                for count in &profile[ci] {
-                    denom *= factorial(*count);
-                }
-                let (q, r) = factorial(*m_c).div_rem(&denom);
-                debug_assert!(r.is_zero());
-                ways *= q;
-            }
-            total += ways;
-        },
-    );
+            let (q, r) = factorial(*m_c).div_rem(&denom);
+            debug_assert!(r.is_zero());
+            ways *= q;
+        }
+        total += ways;
+    });
     Ok(total)
 }
 
@@ -315,7 +318,17 @@ fn enumerate_profiles(
         // admissible), but keep the recursion total.
         return;
     }
-    distribute(0, *m_c, &admissible, &mut counts, class_index, classes, all_subsets, profile, callback);
+    distribute(
+        0,
+        *m_c,
+        &admissible,
+        &mut counts,
+        class_index,
+        classes,
+        all_subsets,
+        profile,
+        callback,
+    );
 }
 
 /// Decides whether a profile (a list of groups `(class, target, how many
@@ -415,8 +428,10 @@ fn try_cover(
     callback: &mut impl FnMut(&[usize]),
 ) {
     // Find the first relation not yet covered by the selection.
-    let covered: BTreeSet<usize> =
-        selection.iter().flat_map(|&t| types[t].0.iter().copied()).collect();
+    let covered: BTreeSet<usize> = selection
+        .iter()
+        .flat_map(|&t| types[t].0.iter().copied())
+        .collect();
     let next_needed = needed[covered_mask_start..]
         .iter()
         .position(|r| !covered.contains(r))
@@ -438,7 +453,15 @@ fn try_cover(
                     continue;
                 }
                 selection.push(t);
-                try_cover(needed, pos + 1, usable, types, remaining, selection, callback);
+                try_cover(
+                    needed,
+                    pos + 1,
+                    usable,
+                    types,
+                    remaining,
+                    selection,
+                    callback,
+                );
                 selection.pop();
             }
         }
@@ -481,7 +504,11 @@ mod tests {
                 let expected: BigNat = (1..=nulls as u64).map(|i| binomial(d, i)).sum();
                 let fast = count_all_completions(&db).unwrap();
                 assert_eq!(fast, expected, "d={d} n={nulls}");
-                assert_eq!(fast, count_all_completions_brute(&db).unwrap(), "d={d} n={nulls}");
+                assert_eq!(
+                    fast,
+                    count_all_completions_brute(&db).unwrap(),
+                    "d={d} n={nulls}"
+                );
             }
         }
     }
@@ -501,8 +528,9 @@ mod tests {
                     for i in 0..nulls {
                         db.add_fact("R", vec![n(i)]).unwrap();
                     }
-                    let expected: BigNat =
-                        (0..=nulls as u64).map(|i| binomial(d - constants.min(d), i)).sum();
+                    let expected: BigNat = (0..=nulls as u64)
+                        .map(|i| binomial(d - constants.min(d), i))
+                        .sum();
                     let fast = count_all_completions(&db).unwrap();
                     assert_eq!(fast, expected, "d={d} c={constants} n={nulls}");
                     assert_eq!(fast, count_all_completions_brute(&db).unwrap());

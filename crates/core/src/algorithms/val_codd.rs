@@ -294,7 +294,11 @@ mod tests {
         db.set_domain(NullId(0), [1u64, 2, 3]).unwrap();
         let q: Bcq = "R(x,x)".parse().unwrap();
         let fast = count_valuations(&db, &q).unwrap();
-        assert_eq!(fast, BigNat::from(3u64), "the ground loop makes every valuation satisfying");
+        assert_eq!(
+            fast,
+            BigNat::from(3u64),
+            "the ground loop makes every valuation satisfying"
+        );
         assert_eq!(fast, count_valuations_brute(&db, &q).unwrap());
 
         // Without the ground loop: only ⊥0 ↦ 1 works.
@@ -303,7 +307,10 @@ mod tests {
         db2.add_fact("R", vec![c(2), c(3)]).unwrap();
         db2.set_domain(NullId(0), [1u64, 2, 3]).unwrap();
         assert_eq!(count_valuations(&db2, &q).unwrap(), BigNat::one());
-        assert_eq!(count_valuations(&db2, &q).unwrap(), count_valuations_brute(&db2, &q).unwrap());
+        assert_eq!(
+            count_valuations(&db2, &q).unwrap(),
+            count_valuations_brute(&db2, &q).unwrap()
+        );
     }
 
     #[test]
@@ -331,7 +338,10 @@ mod tests {
         db.set_domain(NullId(2), [1u64, 2, 3]).unwrap();
         let q: Bcq = "R(x)".parse().unwrap();
         assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::from(6u64));
-        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+        assert_eq!(
+            count_valuations(&db, &q).unwrap(),
+            count_valuations_brute(&db, &q).unwrap()
+        );
     }
 
     #[test]

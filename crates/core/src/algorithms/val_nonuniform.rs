@@ -87,7 +87,10 @@ mod tests {
         db.set_domain(NullId(1), [1u64, 2]).unwrap();
         let q: Bcq = "R(x,y), S(z)".parse().unwrap();
         assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::from(6u64));
-        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+        assert_eq!(
+            count_valuations(&db, &q).unwrap(),
+            count_valuations_brute(&db, &q).unwrap()
+        );
     }
 
     #[test]
@@ -119,7 +122,10 @@ mod tests {
         db.add_fact("S", vec![n(3)]).unwrap();
         let q: Bcq = "R(x,y), S(z)".parse().unwrap();
         assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::from(256u64));
-        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+        assert_eq!(
+            count_valuations(&db, &q).unwrap(),
+            count_valuations_brute(&db, &q).unwrap()
+        );
     }
 
     #[test]
@@ -127,6 +133,9 @@ mod tests {
         let mut db = IncompleteDatabase::new_non_uniform();
         db.add_fact("R", vec![n(0)]).unwrap();
         let q: Bcq = "R(x)".parse().unwrap();
-        assert!(matches!(count_valuations(&db, &q), Err(AlgorithmError::Data(_))));
+        assert!(matches!(
+            count_valuations(&db, &q),
+            Err(AlgorithmError::Data(_))
+        ));
     }
 }

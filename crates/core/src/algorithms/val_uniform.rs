@@ -71,7 +71,11 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<BigNat, Algo
     if all_nulls.is_empty() {
         // A single (ground) completion; just evaluate the query.
         let ground = db.apply_unchecked(&incdb_data::Valuation::new());
-        return Ok(if q.holds(&ground) { BigNat::one() } else { BigNat::zero() });
+        return Ok(if q.holds(&ground) {
+            BigNat::one()
+        } else {
+            BigNat::zero()
+        });
     }
     if d == 0 {
         return Ok(BigNat::zero());
@@ -107,16 +111,20 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<BigNat, Algo
     }
 
     let m = component_columns.len();
-    let hub_nulls: BTreeSet<NullId> =
-        columns.iter().flat_map(|col| col.nulls.iter().copied()).collect();
+    let hub_nulls: BTreeSet<NullId> = columns
+        .iter()
+        .flat_map(|col| col.nulls.iter().copied())
+        .collect();
     let free_null_count = all_nulls.iter().filter(|n| !hub_nulls.contains(n)).count();
 
     // Inclusion–exclusion over subsets of components (Lemma A.13).
     let mut total = BigInt::zero();
     for subset in 0u32..(1u32 << m) {
         let selected: Vec<usize> = (0..m).filter(|i| subset >> i & 1 == 1).collect();
-        let selected_columns: BTreeSet<usize> =
-            selected.iter().flat_map(|&i| component_columns[i].iter().copied()).collect();
+        let selected_columns: BTreeSet<usize> = selected
+            .iter()
+            .flat_map(|&i| component_columns[i].iter().copied())
+            .collect();
         // Nulls constrained by this subset.
         let constrained: BTreeSet<NullId> = selected_columns
             .iter()
@@ -126,10 +134,21 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<BigNat, Algo
 
         let forbidden: Vec<BTreeSet<usize>> = selected
             .iter()
-            .map(|&i| component_columns[i].iter().copied().collect::<BTreeSet<usize>>())
+            .map(|&i| {
+                component_columns[i]
+                    .iter()
+                    .copied()
+                    .collect::<BTreeSet<usize>>()
+            })
             .collect();
 
-        let core = count_avoiding_valuations(&columns, &selected_columns, &forbidden, &domain, &constrained);
+        let core = count_avoiding_valuations(
+            &columns,
+            &selected_columns,
+            &forbidden,
+            &domain,
+            &constrained,
+        );
         let term = BigInt::from(core * BigNat::from(d as u64).pow(unconstrained as u64));
         if selected.len().is_multiple_of(2) {
             total += term;
@@ -162,9 +181,7 @@ fn count_avoiding_valuations(
         }
     }
     for (constant, coverage) in &fixed_coverage {
-        if !domain_set.contains(constant)
-            && forbidden.iter().any(|f| f.is_subset(coverage))
-        {
+        if !domain_set.contains(constant) && forbidden.iter().any(|f| f.is_subset(coverage)) {
             return BigNat::zero();
         }
     }
@@ -180,7 +197,9 @@ fn count_avoiding_valuations(
     }
     let mut type_counts: BTreeMap<Vec<usize>, u64> = BTreeMap::new();
     for coverage in type_of.values() {
-        *type_counts.entry(coverage.iter().copied().collect()).or_insert(0) += 1;
+        *type_counts
+            .entry(coverage.iter().copied().collect())
+            .or_insert(0) += 1;
     }
     let types: Vec<(Vec<usize>, u64)> = type_counts.into_iter().collect();
 
@@ -193,7 +212,15 @@ fn count_avoiding_valuations(
     // Dynamic program over domain values.
     let initial: Vec<u64> = types.iter().map(|(_, count)| *count).collect();
     let mut memo: HashMap<(usize, Vec<u64>), BigNat> = HashMap::new();
-    dp(0, &initial, domain.len(), &types, &base_coverage, forbidden, &mut memo)
+    dp(
+        0,
+        &initial,
+        domain.len(),
+        &types,
+        &base_coverage,
+        forbidden,
+        &mut memo,
+    )
 }
 
 /// `dp(i, remaining)` = number of ways to place the remaining nulls on the
@@ -210,7 +237,11 @@ fn dp(
     memo: &mut HashMap<(usize, Vec<u64>), BigNat>,
 ) -> BigNat {
     if value_index == value_count {
-        return if remaining.iter().all(|&r| r == 0) { BigNat::one() } else { BigNat::zero() };
+        return if remaining.iter().all(|&r| r == 0) {
+            BigNat::one()
+        } else {
+            BigNat::zero()
+        };
     }
     let key = (value_index, remaining.to_vec());
     if let Some(cached) = memo.get(&key) {
@@ -228,10 +259,20 @@ fn dp(
         base,
         forbidden,
         &mut |choice, ways| {
-            let next: Vec<u64> =
-                remaining.iter().zip(choice.iter()).map(|(&r, &c)| r - c).collect();
-            let rest =
-                dp(value_index + 1, &next, value_count, types, base_coverage, forbidden, memo);
+            let next: Vec<u64> = remaining
+                .iter()
+                .zip(choice.iter())
+                .map(|(&r, &c)| r - c)
+                .collect();
+            let rest = dp(
+                value_index + 1,
+                &next,
+                value_count,
+                types,
+                base_coverage,
+                forbidden,
+                memo,
+            );
             total += ways * rest;
         },
     );
@@ -271,7 +312,15 @@ fn enumerate_choices(
     }
     for c in 0..=remaining[index] {
         choice[index] = c;
-        enumerate_choices(index + 1, choice, remaining, types, base, forbidden, callback);
+        enumerate_choices(
+            index + 1,
+            choice,
+            remaining,
+            types,
+            base,
+            forbidden,
+            callback,
+        );
     }
     choice[index] = 0;
 }
@@ -356,7 +405,10 @@ mod tests {
         db.add_fact("S", vec![n(2)]).unwrap();
         db.add_fact("S", vec![c(6)]).unwrap();
         let q: Bcq = "R(x), S(x)".parse().unwrap();
-        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+        assert_eq!(
+            count_valuations(&db, &q).unwrap(),
+            count_valuations_brute(&db, &q).unwrap()
+        );
     }
 
     #[test]
@@ -369,7 +421,10 @@ mod tests {
         db.add_fact("S", vec![n(1)]).unwrap();
         let q: Bcq = "R(x), S(x)".parse().unwrap();
         assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::from(9u64));
-        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+        assert_eq!(
+            count_valuations(&db, &q).unwrap(),
+            count_valuations_brute(&db, &q).unwrap()
+        );
     }
 
     #[test]
@@ -382,7 +437,10 @@ mod tests {
         db.add_fact("S", vec![n(1)]).unwrap();
         db.add_fact("R", vec![c(1)]).unwrap();
         let q: Bcq = "R(x), S(x)".parse().unwrap();
-        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+        assert_eq!(
+            count_valuations(&db, &q).unwrap(),
+            count_valuations_brute(&db, &q).unwrap()
+        );
     }
 
     #[test]
@@ -395,7 +453,10 @@ mod tests {
         db.add_fact("U", vec![n(0)]).unwrap();
         db.add_fact("V", vec![c(3), n(3)]).unwrap();
         let q: Bcq = "R(x,w), S(x), T(y), U(y), V(z,v)".parse().unwrap();
-        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+        assert_eq!(
+            count_valuations(&db, &q).unwrap(),
+            count_valuations_brute(&db, &q).unwrap()
+        );
     }
 
     #[test]
@@ -428,7 +489,10 @@ mod tests {
         db.add_fact("S", vec![n(1)]).unwrap();
         let q: Bcq = "R(x), S(x)".parse().unwrap();
         assert_eq!(count_valuations(&db, &q).unwrap(), BigNat::from(4u64));
-        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+        assert_eq!(
+            count_valuations(&db, &q).unwrap(),
+            count_valuations_brute(&db, &q).unwrap()
+        );
     }
 
     #[test]
@@ -441,7 +505,10 @@ mod tests {
         db.add_fact("T", vec![c(0)]).unwrap();
         db.add_fact("S", vec![n(2)]).unwrap();
         let q: Bcq = "R(x), S(x), T(x)".parse().unwrap();
-        assert_eq!(count_valuations(&db, &q).unwrap(), count_valuations_brute(&db, &q).unwrap());
+        assert_eq!(
+            count_valuations(&db, &q).unwrap(),
+            count_valuations_brute(&db, &q).unwrap()
+        );
     }
 
     #[test]

@@ -90,10 +90,16 @@ impl fmt::Display for ClassifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClassifyError::NotSelfJoinFree => {
-                write!(f, "the dichotomy applies to self-join-free conjunctive queries only")
+                write!(
+                    f,
+                    "the dichotomy applies to self-join-free conjunctive queries only"
+                )
             }
             ClassifyError::HasConstants => {
-                write!(f, "the dichotomy applies to constant-free conjunctive queries only")
+                write!(
+                    f,
+                    "the dichotomy applies to constant-free conjunctive queries only"
+                )
             }
         }
     }
@@ -257,47 +263,101 @@ mod tests {
 
     const VAL: CountingProblem = CountingProblem::Valuations;
     const COMP: CountingProblem = CountingProblem::Completions;
-    const NAIVE_NU: Setting = Setting { table: TableKind::Naive, domain: DomainKind::NonUniform };
-    const NAIVE_U: Setting = Setting { table: TableKind::Naive, domain: DomainKind::Uniform };
-    const CODD_NU: Setting = Setting { table: TableKind::Codd, domain: DomainKind::NonUniform };
-    const CODD_U: Setting = Setting { table: TableKind::Codd, domain: DomainKind::Uniform };
+    const NAIVE_NU: Setting = Setting {
+        table: TableKind::Naive,
+        domain: DomainKind::NonUniform,
+    };
+    const NAIVE_U: Setting = Setting {
+        table: TableKind::Naive,
+        domain: DomainKind::Uniform,
+    };
+    const CODD_NU: Setting = Setting {
+        table: TableKind::Codd,
+        domain: DomainKind::NonUniform,
+    };
+    const CODD_U: Setting = Setting {
+        table: TableKind::Codd,
+        domain: DomainKind::Uniform,
+    };
 
     #[test]
     fn scope_errors() {
-        assert_eq!(classify(&q("R(x), R(y)"), VAL, NAIVE_NU), Err(ClassifyError::NotSelfJoinFree));
-        assert_eq!(classify(&q("R(x, 3)"), VAL, NAIVE_NU), Err(ClassifyError::HasConstants));
+        assert_eq!(
+            classify(&q("R(x), R(y)"), VAL, NAIVE_NU),
+            Err(ClassifyError::NotSelfJoinFree)
+        );
+        assert_eq!(
+            classify(&q("R(x, 3)"), VAL, NAIVE_NU),
+            Err(ClassifyError::HasConstants)
+        );
         assert!(classify_approx(&q("R(x), R(y)"), COMP, NAIVE_U).is_err());
     }
 
     #[test]
     fn table_1_row_naive_valuations() {
         // Non-uniform naïve: hard patterns R(x,x) and R(x)∧S(x).
-        assert_eq!(classify(&q("R(x,x)"), VAL, NAIVE_NU).unwrap(), Complexity::SharpPComplete);
-        assert_eq!(classify(&q("R(x), S(x)"), VAL, NAIVE_NU).unwrap(), Complexity::SharpPComplete);
-        assert_eq!(classify(&q("R(x,y), S(z)"), VAL, NAIVE_NU).unwrap(), Complexity::Fp);
-        assert_eq!(classify(&q("R(x,y), S(y,z)"), VAL, NAIVE_NU).unwrap(), Complexity::SharpPComplete);
+        assert_eq!(
+            classify(&q("R(x,x)"), VAL, NAIVE_NU).unwrap(),
+            Complexity::SharpPComplete
+        );
+        assert_eq!(
+            classify(&q("R(x), S(x)"), VAL, NAIVE_NU).unwrap(),
+            Complexity::SharpPComplete
+        );
+        assert_eq!(
+            classify(&q("R(x,y), S(z)"), VAL, NAIVE_NU).unwrap(),
+            Complexity::Fp
+        );
+        assert_eq!(
+            classify(&q("R(x,y), S(y,z)"), VAL, NAIVE_NU).unwrap(),
+            Complexity::SharpPComplete
+        );
 
         // Uniform naïve: hard patterns R(x,x), R(x)∧S(x,y)∧T(y), R(x,y)∧S(x,y).
-        assert_eq!(classify(&q("R(x,x)"), VAL, NAIVE_U).unwrap(), Complexity::SharpPComplete);
+        assert_eq!(
+            classify(&q("R(x,x)"), VAL, NAIVE_U).unwrap(),
+            Complexity::SharpPComplete
+        );
         assert_eq!(
             classify(&q("R(x), S(x,y), T(y)"), VAL, NAIVE_U).unwrap(),
             Complexity::SharpPComplete
         );
-        assert_eq!(classify(&q("R(x,y), S(x,y)"), VAL, NAIVE_U).unwrap(), Complexity::SharpPComplete);
+        assert_eq!(
+            classify(&q("R(x,y), S(x,y)"), VAL, NAIVE_U).unwrap(),
+            Complexity::SharpPComplete
+        );
         // R(x)∧S(x) is tractable in the uniform setting (Example 3.10), and
         // so is R(x,y)∧S(y,z): a single shared variable joins the two atoms,
         // which avoids all three hard patterns.
-        assert_eq!(classify(&q("R(x), S(x)"), VAL, NAIVE_U).unwrap(), Complexity::Fp);
-        assert_eq!(classify(&q("R(x,y), S(y,z)"), VAL, NAIVE_U).unwrap(), Complexity::Fp);
-        assert_eq!(classify(&q("R(x), S(x), T(x)"), VAL, NAIVE_U).unwrap(), Complexity::Fp);
+        assert_eq!(
+            classify(&q("R(x), S(x)"), VAL, NAIVE_U).unwrap(),
+            Complexity::Fp
+        );
+        assert_eq!(
+            classify(&q("R(x,y), S(y,z)"), VAL, NAIVE_U).unwrap(),
+            Complexity::Fp
+        );
+        assert_eq!(
+            classify(&q("R(x), S(x), T(x)"), VAL, NAIVE_U).unwrap(),
+            Complexity::Fp
+        );
     }
 
     #[test]
     fn table_1_row_codd_valuations() {
         // Codd non-uniform: only R(x)∧S(x) is hard; R(x,x) becomes tractable.
-        assert_eq!(classify(&q("R(x,x)"), VAL, CODD_NU).unwrap(), Complexity::Fp);
-        assert_eq!(classify(&q("R(x), S(x)"), VAL, CODD_NU).unwrap(), Complexity::SharpPComplete);
-        assert_eq!(classify(&q("R(x,y)"), VAL, CODD_NU).unwrap(), Complexity::Fp);
+        assert_eq!(
+            classify(&q("R(x,x)"), VAL, CODD_NU).unwrap(),
+            Complexity::Fp
+        );
+        assert_eq!(
+            classify(&q("R(x), S(x)"), VAL, CODD_NU).unwrap(),
+            Complexity::SharpPComplete
+        );
+        assert_eq!(
+            classify(&q("R(x,y)"), VAL, CODD_NU).unwrap(),
+            Complexity::Fp
+        );
 
         // Codd uniform: R(x)∧S(x,y)∧T(y) is hard (Prop 3.11); R(x,x) and
         // R(x,y)∧S(x,y)-free-but-shared cases are resolved by the known
@@ -307,29 +367,59 @@ mod tests {
             Complexity::SharpPComplete
         );
         assert_eq!(classify(&q("R(x,x)"), VAL, CODD_U).unwrap(), Complexity::Fp);
-        assert_eq!(classify(&q("R(x), S(x)"), VAL, CODD_U).unwrap(), Complexity::Fp);
+        assert_eq!(
+            classify(&q("R(x), S(x)"), VAL, CODD_U).unwrap(),
+            Complexity::Fp
+        );
         // R(x,y)∧S(x,y): not covered by either tractability result (it has
         // both the double-edge and the shared-variable pattern) and not
         // covered by the Prop 3.11 hardness: open.
-        assert_eq!(classify(&q("R(x,y), S(x,y)"), VAL, CODD_U).unwrap(), Complexity::OpenProblem);
+        assert_eq!(
+            classify(&q("R(x,y), S(x,y)"), VAL, CODD_U).unwrap(),
+            Complexity::OpenProblem
+        );
     }
 
     #[test]
     fn table_1_rows_completions() {
         // Non-uniform: every sjfBCQ is hard, even a single unary atom.
         for query in ["R(x)", "R(x,y)", "R(x), S(y)", "R(x,x)"] {
-            assert_eq!(classify(&q(query), COMP, NAIVE_NU).unwrap(), Complexity::SharpPHard, "{query}");
-            assert_eq!(classify(&q(query), COMP, CODD_NU).unwrap(), Complexity::SharpPComplete, "{query}");
+            assert_eq!(
+                classify(&q(query), COMP, NAIVE_NU).unwrap(),
+                Complexity::SharpPHard,
+                "{query}"
+            );
+            assert_eq!(
+                classify(&q(query), COMP, CODD_NU).unwrap(),
+                Complexity::SharpPComplete,
+                "{query}"
+            );
         }
         // Uniform: hard iff R(x,x) or R(x,y) is a pattern, i.e. iff some atom
         // has arity ≥ 2 or a repeated variable.
         for query in ["R(x,y)", "R(x,x)", "R(x), S(x,y)", "R(x,y,z)"] {
-            assert_eq!(classify(&q(query), COMP, NAIVE_U).unwrap(), Complexity::SharpPHard, "{query}");
-            assert_eq!(classify(&q(query), COMP, CODD_U).unwrap(), Complexity::SharpPComplete, "{query}");
+            assert_eq!(
+                classify(&q(query), COMP, NAIVE_U).unwrap(),
+                Complexity::SharpPHard,
+                "{query}"
+            );
+            assert_eq!(
+                classify(&q(query), COMP, CODD_U).unwrap(),
+                Complexity::SharpPComplete,
+                "{query}"
+            );
         }
         for query in ["R(x)", "R(x), S(x)", "R(x), S(y), T(z)"] {
-            assert_eq!(classify(&q(query), COMP, NAIVE_U).unwrap(), Complexity::Fp, "{query}");
-            assert_eq!(classify(&q(query), COMP, CODD_U).unwrap(), Complexity::Fp, "{query}");
+            assert_eq!(
+                classify(&q(query), COMP, NAIVE_U).unwrap(),
+                Complexity::Fp,
+                "{query}"
+            );
+            assert_eq!(
+                classify(&q(query), COMP, CODD_U).unwrap(),
+                Complexity::Fp,
+                "{query}"
+            );
         }
     }
 
@@ -369,7 +459,14 @@ mod tests {
     fn restrictions_only_help() {
         // Codd ⊆ naïve and uniform ⊆ non-uniform: a problem tractable in the
         // more general setting stays tractable in the more restricted one.
-        let corpus = ["R(x)", "R(x,y)", "R(x,x)", "R(x), S(x)", "R(x), S(x,y), T(y)", "R(x,y), S(x,y)"];
+        let corpus = [
+            "R(x)",
+            "R(x,y)",
+            "R(x,x)",
+            "R(x), S(x)",
+            "R(x), S(x,y), T(y)",
+            "R(x,y), S(x,y)",
+        ];
         for text in corpus {
             let query = q(text);
             for problem in [VAL, COMP] {
@@ -419,17 +516,29 @@ mod tests {
             classify_approx(&q("R(x,y)"), COMP, NAIVE_U).unwrap(),
             ApproxStatus::NoFprasUnlessNpEqRp
         );
-        assert_eq!(classify_approx(&q("R(x)"), COMP, NAIVE_U).unwrap(), ApproxStatus::ExactFp);
+        assert_eq!(
+            classify_approx(&q("R(x)"), COMP, NAIVE_U).unwrap(),
+            ApproxStatus::ExactFp
+        );
         // #Compᵘ_Cd with a hard pattern: open.
-        assert_eq!(classify_approx(&q("R(x,y)"), COMP, CODD_U).unwrap(), ApproxStatus::Open);
-        assert_eq!(classify_approx(&q("R(x)"), COMP, CODD_U).unwrap(), ApproxStatus::ExactFp);
+        assert_eq!(
+            classify_approx(&q("R(x,y)"), COMP, CODD_U).unwrap(),
+            ApproxStatus::Open
+        );
+        assert_eq!(
+            classify_approx(&q("R(x)"), COMP, CODD_U).unwrap(),
+            ApproxStatus::ExactFp
+        );
     }
 
     #[test]
     fn display_impls() {
         assert_eq!(Complexity::Fp.to_string(), "FP");
         assert_eq!(Complexity::SharpPComplete.to_string(), "#P-complete");
-        assert_eq!(ApproxStatus::NoFprasUnlessNpEqRp.to_string(), "no FPRAS unless NP = RP");
+        assert_eq!(
+            ApproxStatus::NoFprasUnlessNpEqRp.to_string(),
+            "no FPRAS unless NP = RP"
+        );
         assert!(Complexity::SharpPHard.is_hard());
         assert!(Complexity::Fp.is_tractable());
         assert!(!Complexity::OpenProblem.is_hard());

@@ -135,13 +135,21 @@ mod tests {
         // And a few non-completions must be rejected.
         let mut not_a_completion = Database::new();
         not_a_completion.add_fact("R", vec![Constant(5)]).unwrap();
-        assert!(!is_possible_completion_of_codd(&db, &not_a_completion), "missing S fact");
+        assert!(
+            !is_possible_completion_of_codd(&db, &not_a_completion),
+            "missing S fact"
+        );
 
         let mut wrong_value = Database::new();
         wrong_value.add_fact("R", vec![Constant(5)]).unwrap();
         wrong_value.add_fact("R", vec![Constant(9)]).unwrap();
-        wrong_value.add_fact("S", vec![Constant(1), Constant(1)]).unwrap();
-        assert!(!is_possible_completion_of_codd(&db, &wrong_value), "9 outside every domain");
+        wrong_value
+            .add_fact("S", vec![Constant(1), Constant(1)])
+            .unwrap();
+        assert!(
+            !is_possible_completion_of_codd(&db, &wrong_value),
+            "9 outside every domain"
+        );
     }
 
     #[test]
@@ -180,7 +188,9 @@ mod tests {
         for v in [1u64, 2, 3, 5, 7] {
             too_many.add_fact("R", vec![Constant(v)]).unwrap();
         }
-        too_many.add_fact("S", vec![Constant(1), Constant(1)]).unwrap();
+        too_many
+            .add_fact("S", vec![Constant(1), Constant(1)])
+            .unwrap();
         assert!(!is_possible_completion_of_codd(&db, &too_many));
     }
 

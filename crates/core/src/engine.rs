@@ -1,0 +1,694 @@
+//! The backtracking counting engine: the shared exact-counting substrate for
+//! every #P-hard cell of Table 1.
+//!
+//! The paper's central message is that most cells of Table 1 are #P-hard, so
+//! inside those cells exhaustive search is the *only* exact option. The seed
+//! implementation ([`NaiveEngine`], previously `enumerate.rs`) cloned a full
+//! [`Database`] per valuation and re-ran model checking from scratch — paying
+//! `O(|D| log |D|)` allocations per leaf of a tree with `∏_⊥ |dom(⊥)|`
+//! leaves. [`BacktrackingEngine`] replaces that with depth-first search over
+//! an in-place [`Grounding`]:
+//!
+//! * **No per-valuation materialisation** — binding a null rewrites its
+//!   occurrences in place (`O(occurrences)`), and a completion is only
+//!   written out (into a reusable scratch database) for query types that
+//!   cannot evaluate partially.
+//! * **Residual-query pruning** — at every node the engine asks the query to
+//!   decide itself on the partial grounding
+//!   (`BooleanQuery::holds_partial`). A `Refuted` answer discards the whole
+//!   subtree; a `Satisfied` answer counts it in closed form, `∏` of the
+//!   remaining domain sizes, without visiting a single leaf.
+//! * **Domain-size-aware ordering** — nulls are explored smallest-domain
+//!   first (ties broken towards frequently occurring nulls), which keeps the
+//!   branching factor low near the root where pruning pays the most.
+//! * **Parallel sharding** — the assignments of a shallow search prefix
+//!   (just deep enough to reach the worker cap) are split across
+//!   `std::thread::scope` workers (rayon is unavailable offline; scoped
+//!   threads need no dependency). Counts are exact naturals, so the shard
+//!   sums are deterministic.
+//! * **Completion dedup via canonical fingerprints** — distinct-completion
+//!   counting hashes a sorted, deduplicated fact list instead of comparing
+//!   whole `Database` values.
+//!
+//! All exact consumers share this engine: `enumerate.rs` is a thin wrapper
+//! over it, the solver routes the hard cells here
+//! ([`crate::solver::Method::BacktrackingSearch`]), and the samplers in
+//! `incdb-approx` reuse the bind/check oracle ([`holds_under_current`]) in
+//! their hot loops.
+
+use std::collections::{BTreeSet, HashSet};
+use std::thread;
+
+use incdb_bignum::{BigNat, NatAccumulator};
+use incdb_data::{Constant, DataError, Database, Grounding, IncompleteDatabase};
+use incdb_query::{BooleanQuery, PartialOutcome};
+
+/// A strategy for exactly counting valuations and completions.
+///
+/// Implementations must agree with exhaustive enumeration on every input;
+/// they differ only in how much of the valuation tree they can avoid
+/// visiting.
+pub trait CountingEngine {
+    /// Counts the valuations `ν` of `db` with `ν(db) ⊨ q`.
+    ///
+    /// Returns an error if some null of the table has no domain.
+    fn count_valuations<Q: BooleanQuery + Sync + ?Sized>(
+        &self,
+        db: &IncompleteDatabase,
+        q: &Q,
+    ) -> Result<BigNat, DataError>;
+
+    /// Counts the **distinct** completions `ν(db)` with `ν(db) ⊨ q`.
+    fn count_completions<Q: BooleanQuery + Sync + ?Sized>(
+        &self,
+        db: &IncompleteDatabase,
+        q: &Q,
+    ) -> Result<BigNat, DataError>;
+
+    /// Counts all distinct completions of `db` (no query filter).
+    fn count_all_completions(&self, db: &IncompleteDatabase) -> Result<BigNat, DataError> {
+        self.count_completions(db, &Tautology)
+    }
+}
+
+/// The query that holds in every database — used to count *all* completions
+/// through the same engine code path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tautology;
+
+impl BooleanQuery for Tautology {
+    fn holds(&self, _db: &Database) -> bool {
+        true
+    }
+
+    fn signature(&self) -> BTreeSet<String> {
+        BTreeSet::new()
+    }
+
+    fn holds_partial(&self, _grounding: &Grounding) -> PartialOutcome {
+        PartialOutcome::Satisfied
+    }
+}
+
+/// Evaluates `q` under the grounding's *current* (total) assignment: the
+/// bind/check oracle used by the samplers of `incdb-approx`.
+///
+/// Fast path: queries with real residual evaluation decide without any
+/// materialisation. Queries that stay [`PartialOutcome::Unknown`] have their
+/// completion written into the reusable `scratch` database and checked with
+/// plain [`BooleanQuery::holds`].
+///
+/// Returns an error naming the first unbound null if the assignment is not
+/// total and the fast path could not decide.
+pub fn holds_under_current<Q: BooleanQuery + ?Sized>(
+    grounding: &Grounding,
+    q: &Q,
+    scratch: &mut Database,
+) -> Result<bool, DataError> {
+    match q.holds_partial(grounding) {
+        PartialOutcome::Satisfied => Ok(true),
+        PartialOutcome::Refuted => Ok(false),
+        PartialOutcome::Unknown => {
+            grounding.completion_into(scratch)?;
+            Ok(q.holds(scratch))
+        }
+    }
+}
+
+/// The seed reference strategy: enumerate every valuation, materialise its
+/// completion, model-check from scratch. Exponential with a large constant —
+/// kept as the differential-testing ground truth and the benchmark baseline
+/// that [`BacktrackingEngine`] is measured against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveEngine;
+
+impl CountingEngine for NaiveEngine {
+    fn count_valuations<Q: BooleanQuery + Sync + ?Sized>(
+        &self,
+        db: &IncompleteDatabase,
+        q: &Q,
+    ) -> Result<BigNat, DataError> {
+        let mut count = NatAccumulator::new();
+        for valuation in db.try_valuations()? {
+            let completion = db.apply_unchecked(&valuation);
+            if q.holds(&completion) {
+                count.add_one();
+            }
+        }
+        Ok(count.into_total())
+    }
+
+    fn count_completions<Q: BooleanQuery + Sync + ?Sized>(
+        &self,
+        db: &IncompleteDatabase,
+        q: &Q,
+    ) -> Result<BigNat, DataError> {
+        let mut seen: BTreeSet<Database> = BTreeSet::new();
+        for valuation in db.try_valuations()? {
+            let completion = db.apply_unchecked(&valuation);
+            if q.holds(&completion) {
+                seen.insert(completion);
+            }
+        }
+        Ok(BigNat::from(seen.len()))
+    }
+}
+
+/// The canonical fingerprint of one completion
+/// ([`Grounding::completion_fingerprint`]): a hash set of fingerprints
+/// counts distinct completions without ever building a [`Database`].
+type CompletionKey = Vec<(usize, Vec<Constant>)>;
+
+fn completion_key(g: &Grounding) -> CompletionKey {
+    g.completion_fingerprint().expect("leaf is fully bound")
+}
+
+/// The backtracking counting engine (see the module documentation).
+#[derive(Debug, Clone)]
+pub struct BacktrackingEngine {
+    /// Maximum number of worker threads for the sharded search prefix.
+    /// `1` disables sharding.
+    threads: usize,
+    /// Minimum number of valuations before sharding is worth the thread
+    /// spawn cost.
+    parallel_threshold: u64,
+}
+
+impl Default for BacktrackingEngine {
+    /// Auto-detects parallelism (capped at 8 workers) and only shards
+    /// instances with at least 4096 valuations.
+    fn default() -> Self {
+        let threads = thread::available_parallelism()
+            .map_or(1, usize::from)
+            .min(8);
+        BacktrackingEngine {
+            threads,
+            parallel_threshold: 4096,
+        }
+    }
+}
+
+impl BacktrackingEngine {
+    /// A single-threaded engine (deterministic scheduling; used by the thin
+    /// wrappers in [`crate::enumerate`] and by tests).
+    pub fn sequential() -> Self {
+        BacktrackingEngine {
+            threads: 1,
+            parallel_threshold: u64::MAX,
+        }
+    }
+
+    /// An engine sharding the first search level over up to `threads`
+    /// workers.
+    pub fn with_threads(threads: usize) -> Self {
+        BacktrackingEngine {
+            threads: threads.max(1),
+            parallel_threshold: 4096,
+        }
+    }
+
+    /// The configured worker cap.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Overrides the minimum number of valuations before the engine shards
+    /// (builder style; mostly useful to force sharding in tests and
+    /// benchmarks).
+    pub fn with_parallel_threshold(mut self, leaves: u64) -> Self {
+        self.parallel_threshold = leaves;
+        self
+    }
+
+    /// The search order: null indices sorted by ascending domain size, ties
+    /// broken towards nulls with more occurrences (deciding more of the
+    /// table per bind), then by label for determinism.
+    fn search_order(g: &Grounding) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..g.null_count()).collect();
+        order.sort_by_key(|&i| {
+            (
+                g.domain_by_index(i).len(),
+                usize::MAX - g.occurrence_count(i),
+                i,
+            )
+        });
+        order
+    }
+
+    /// `suffix[d] = ∏_{i ≥ d} |dom(order[i])|` — the closed-form size of the
+    /// subtree below depth `d`, credited wholesale when the query is decided
+    /// `Satisfied` there.
+    fn suffix_products(g: &Grounding, order: &[usize]) -> Vec<BigNat> {
+        let mut suffix = vec![BigNat::one(); order.len() + 1];
+        for d in (0..order.len()).rev() {
+            suffix[d] = &suffix[d + 1] * &BigNat::from(g.domain_by_index(order[d]).len());
+        }
+        suffix
+    }
+
+    /// Decides whether this instance is worth sharding and, if so, over
+    /// which search prefix: the shallowest depth `d` whose assignment count
+    /// `∏_{i < d} |dom(order[i])|` reaches the worker cap. Sharding over
+    /// prefix *assignments* rather than the first null's domain keeps full
+    /// parallel width even when the pruning-optimal order puts a tiny
+    /// domain first.
+    ///
+    /// Returns the prefix depth and every assignment of `order[..depth]`
+    /// (odometer order), or `None` when the engine should run sequentially.
+    fn shard_plan(&self, g: &Grounding, order: &[usize]) -> Option<(usize, Vec<Vec<Constant>>)> {
+        if self.threads < 2 || order.is_empty() {
+            return None;
+        }
+        let mut leaves: u64 = 1;
+        for &i in order {
+            leaves = leaves.saturating_mul(g.domain_by_index(i).len() as u64);
+        }
+        if leaves < self.parallel_threshold {
+            return None;
+        }
+        let mut depth = 0;
+        let mut width: usize = 1;
+        while depth < order.len() && width < self.threads {
+            width = width.saturating_mul(g.domain_by_index(order[depth]).len());
+            depth += 1;
+        }
+        let mut prefixes: Vec<Vec<Constant>> = vec![Vec::new()];
+        for &i in &order[..depth] {
+            let dom = g.domain_by_index(i);
+            let mut extended = Vec::with_capacity(prefixes.len() * dom.len());
+            for prefix in &prefixes {
+                for &value in dom {
+                    let mut next = prefix.clone();
+                    next.push(value);
+                    extended.push(next);
+                }
+            }
+            prefixes = extended;
+        }
+        // One or zero prefix assignments (tiny or empty domains up front):
+        // nothing to parallelise.
+        if prefixes.len() < 2 {
+            return None;
+        }
+        Some((depth, prefixes))
+    }
+
+    /// Runs `work` over the prefix assignments of a [`shard_plan`] split
+    /// across up to [`threads`] scoped workers, each on its own clone of the
+    /// grounding, and returns the per-worker results.
+    ///
+    /// [`shard_plan`]: BacktrackingEngine::shard_plan
+    /// [`threads`]: BacktrackingEngine::threads
+    fn run_sharded<T, W>(&self, g: &Grounding, prefixes: &[Vec<Constant>], work: W) -> Vec<T>
+    where
+        T: Send,
+        W: Fn(&mut Grounding, &[Vec<Constant>]) -> T + Sync,
+    {
+        let per_worker = prefixes
+            .len()
+            .div_ceil(self.threads.min(prefixes.len()))
+            .max(1);
+        thread::scope(|scope| {
+            let handles: Vec<_> = prefixes
+                .chunks(per_worker)
+                .map(|chunk| {
+                    let base = g.clone();
+                    let work = &work;
+                    scope.spawn(move || {
+                        let mut g = base;
+                        work(&mut g, chunk)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Binds one prefix assignment (`order[d] ↦ prefix[d]`) before a subtree
+    /// search resumes at `prefix.len()`.
+    fn bind_prefix(g: &mut Grounding, order: &[usize], prefix: &[Constant]) {
+        for (d, &value) in prefix.iter().enumerate() {
+            g.bind_index(order[d], value);
+        }
+    }
+
+    /// Counts satisfying valuations below the current bindings of `g`,
+    /// exploring `order[depth..]`.
+    fn count_val_subtree<Q: BooleanQuery + ?Sized>(
+        g: &mut Grounding,
+        q: &Q,
+        order: &[usize],
+        suffix: &[BigNat],
+        depth: usize,
+        acc: &mut NatAccumulator,
+        scratch: &mut Database,
+    ) {
+        match q.holds_partial(g) {
+            PartialOutcome::Satisfied => acc.add_big(&suffix[depth]),
+            PartialOutcome::Refuted => {}
+            PartialOutcome::Unknown => {
+                if depth == order.len() {
+                    // Fully bound yet undecided: the query type has no
+                    // residual evaluation, so materialise and model-check.
+                    g.completion_into(scratch)
+                        .expect("every null is bound at a leaf");
+                    if q.holds(scratch) {
+                        acc.add_one();
+                    }
+                } else {
+                    let i = order[depth];
+                    for k in 0..g.domain_by_index(i).len() {
+                        let value = g.domain_by_index(i)[k];
+                        g.bind_index(i, value);
+                        Self::count_val_subtree(g, q, order, suffix, depth + 1, acc, scratch);
+                    }
+                    g.unbind_index(i);
+                }
+            }
+        }
+    }
+
+    /// Collects the fingerprints of satisfying completions below the current
+    /// bindings. `decided` records that an ancestor already proved the query
+    /// `Satisfied` (no completion below can fail, so checks are skipped).
+    fn collect_comp_subtree<Q: BooleanQuery + ?Sized>(
+        g: &mut Grounding,
+        q: &Q,
+        order: &[usize],
+        depth: usize,
+        decided: bool,
+        keys: &mut HashSet<CompletionKey>,
+        scratch: &mut Database,
+    ) {
+        let decided = decided
+            || match q.holds_partial(g) {
+                PartialOutcome::Satisfied => true,
+                PartialOutcome::Refuted => return,
+                PartialOutcome::Unknown => false,
+            };
+        if depth == order.len() {
+            let satisfied = decided || {
+                g.completion_into(scratch)
+                    .expect("every null is bound at a leaf");
+                q.holds(scratch)
+            };
+            if satisfied {
+                keys.insert(completion_key(g));
+            }
+            return;
+        }
+        let i = order[depth];
+        for k in 0..g.domain_by_index(i).len() {
+            let value = g.domain_by_index(i)[k];
+            g.bind_index(i, value);
+            Self::collect_comp_subtree(g, q, order, depth + 1, decided, keys, scratch);
+        }
+        g.unbind_index(i);
+    }
+}
+
+impl CountingEngine for BacktrackingEngine {
+    fn count_valuations<Q: BooleanQuery + Sync + ?Sized>(
+        &self,
+        db: &IncompleteDatabase,
+        q: &Q,
+    ) -> Result<BigNat, DataError> {
+        let mut g = db.try_grounding()?;
+        let order = Self::search_order(&g);
+        let suffix = Self::suffix_products(&g, &order);
+        let Some((depth, prefixes)) = self.shard_plan(&g, &order) else {
+            let mut acc = NatAccumulator::new();
+            let mut scratch = Database::new();
+            Self::count_val_subtree(&mut g, q, &order, &suffix, 0, &mut acc, &mut scratch);
+            return Ok(acc.into_total());
+        };
+        let totals = self.run_sharded(&g, &prefixes, |g, chunk| {
+            let mut acc = NatAccumulator::new();
+            let mut scratch = Database::new();
+            for prefix in chunk {
+                Self::bind_prefix(g, &order, prefix);
+                Self::count_val_subtree(g, q, &order, &suffix, depth, &mut acc, &mut scratch);
+            }
+            acc.into_total()
+        });
+        Ok(totals.into_iter().sum())
+    }
+
+    fn count_completions<Q: BooleanQuery + Sync + ?Sized>(
+        &self,
+        db: &IncompleteDatabase,
+        q: &Q,
+    ) -> Result<BigNat, DataError> {
+        let mut g = db.try_grounding()?;
+        let order = Self::search_order(&g);
+        let Some((depth, prefixes)) = self.shard_plan(&g, &order) else {
+            let mut keys = HashSet::new();
+            let mut scratch = Database::new();
+            Self::collect_comp_subtree(&mut g, q, &order, 0, false, &mut keys, &mut scratch);
+            return Ok(BigNat::from(keys.len()));
+        };
+        let shard_keys = self.run_sharded(&g, &prefixes, |g, chunk| {
+            let mut keys = HashSet::new();
+            let mut scratch = Database::new();
+            for prefix in chunk {
+                Self::bind_prefix(g, &order, prefix);
+                Self::collect_comp_subtree(g, q, &order, depth, false, &mut keys, &mut scratch);
+            }
+            keys
+        });
+        // Distinct completions can be produced in several shards (different
+        // prefix assignments may induce the same completion), so dedup again
+        // while merging.
+        let mut merged: HashSet<CompletionKey> = HashSet::new();
+        for keys in shard_keys {
+            merged.extend(keys);
+        }
+        Ok(BigNat::from(merged.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_data::{NullId, Value};
+    use incdb_query::{Bcq, NegatedBcq, Ucq};
+
+    fn c(id: u64) -> Value {
+        Value::constant(id)
+    }
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+
+    /// The database of Example 2.2 / Figure 1.
+    fn example_2_2() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("S", vec![c(0), c(1)]).unwrap();
+        db.add_fact("S", vec![n(1), c(0)]).unwrap();
+        db.add_fact("S", vec![c(0), n(2)]).unwrap();
+        db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(2), [0u64, 1]).unwrap();
+        db
+    }
+
+    fn engines() -> Vec<BacktrackingEngine> {
+        vec![
+            BacktrackingEngine::sequential(),
+            // Force sharding even on tiny instances.
+            BacktrackingEngine::with_threads(3).with_parallel_threshold(1),
+        ]
+    }
+
+    #[test]
+    fn figure_1_counts() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        for engine in engines() {
+            assert_eq!(
+                engine.count_valuations(&db, &q).unwrap(),
+                BigNat::from(4u64)
+            );
+            assert_eq!(
+                engine.count_completions(&db, &q).unwrap(),
+                BigNat::from(3u64)
+            );
+            assert_eq!(
+                engine.count_all_completions(&db).unwrap(),
+                BigNat::from(5u64)
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_negation_and_union() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let neg = NegatedBcq::new(q.clone());
+        let u: Ucq = "S(x,x) | S(x,y)".parse().unwrap();
+        for engine in engines() {
+            // Exercise the `?Sized` path through a trait object.
+            let dyn_neg: &(dyn BooleanQuery + Sync) = &neg;
+            assert_eq!(
+                engine.count_valuations(&db, dyn_neg).unwrap(),
+                NaiveEngine.count_valuations(&db, dyn_neg).unwrap()
+            );
+            assert_eq!(
+                engine.count_valuations(&db, &u).unwrap(),
+                NaiveEngine.count_valuations(&db, &u).unwrap()
+            );
+            assert_eq!(
+                engine.count_completions(&db, &neg).unwrap(),
+                NaiveEngine.count_completions(&db, &neg).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_subtrees_count_correctly() {
+        // R(1,1) is a ground fact, so R(x,x) is satisfied at the root and
+        // the whole tree (2^6 valuations) is counted in closed form.
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![c(1), c(1)]).unwrap();
+        for i in 0..6u32 {
+            db.add_fact("R", vec![n(i), c(7)]).unwrap();
+        }
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        for engine in engines() {
+            assert_eq!(
+                engine.count_valuations(&db, &q).unwrap(),
+                BigNat::from(64u64)
+            );
+        }
+    }
+
+    #[test]
+    fn refuted_subtrees_are_pruned_to_zero() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        for i in 0..6u32 {
+            db.add_fact("R", vec![n(i)]).unwrap();
+        }
+        // T is empty in every completion.
+        let q: Bcq = "R(x), T(x)".parse().unwrap();
+        for engine in engines() {
+            assert_eq!(engine.count_valuations(&db, &q).unwrap(), BigNat::zero());
+            assert_eq!(engine.count_completions(&db, &q).unwrap(), BigNat::zero());
+        }
+    }
+
+    #[test]
+    fn empty_domain_counts_zero() {
+        let mut db = IncompleteDatabase::new_uniform(Vec::<u64>::new());
+        db.add_fact("R", vec![n(0)]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        for engine in engines() {
+            assert_eq!(engine.count_valuations(&db, &q).unwrap(), BigNat::zero());
+            assert_eq!(engine.count_completions(&db, &q).unwrap(), BigNat::zero());
+            assert_eq!(engine.count_all_completions(&db).unwrap(), BigNat::zero());
+        }
+    }
+
+    #[test]
+    fn missing_domain_is_an_error_not_a_panic() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0)]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        for engine in engines() {
+            assert!(matches!(
+                engine.count_valuations(&db, &q),
+                Err(DataError::MissingDomain { null: NullId(0) })
+            ));
+            assert!(engine.count_completions(&db, &q).is_err());
+            assert!(engine.count_all_completions(&db).is_err());
+        }
+        assert!(NaiveEngine.count_valuations(&db, &q).is_err());
+        assert!(NaiveEngine.count_completions(&db, &q).is_err());
+    }
+
+    #[test]
+    fn ground_database_is_a_single_leaf() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![c(5)]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        let q2: Bcq = "R(x), T(x)".parse().unwrap();
+        for engine in engines() {
+            assert_eq!(engine.count_valuations(&db, &q).unwrap(), BigNat::one());
+            assert_eq!(engine.count_valuations(&db, &q2).unwrap(), BigNat::zero());
+            assert_eq!(engine.count_all_completions(&db).unwrap(), BigNat::one());
+        }
+    }
+
+    #[test]
+    fn completions_collapse_valuations() {
+        let mut db = IncompleteDatabase::new_uniform([1u64, 2]);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("R", vec![n(1)]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        for engine in engines() {
+            assert_eq!(
+                engine.count_valuations(&db, &q).unwrap(),
+                BigNat::from(4u64)
+            );
+            assert_eq!(
+                engine.count_completions(&db, &q).unwrap(),
+                BigNat::from(3u64)
+            );
+        }
+    }
+
+    #[test]
+    fn custom_query_without_residual_evaluation_falls_back() {
+        /// Holds iff relation "R" stores an even number of facts.
+        struct EvenR;
+        impl BooleanQuery for EvenR {
+            fn holds(&self, db: &Database) -> bool {
+                db.relation_size("R").is_multiple_of(2)
+            }
+            fn signature(&self) -> BTreeSet<String> {
+                ["R".to_string()].into_iter().collect()
+            }
+        }
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("R", vec![n(1)]).unwrap();
+        for engine in engines() {
+            assert_eq!(
+                engine.count_valuations(&db, &EvenR).unwrap(),
+                NaiveEngine.count_valuations(&db, &EvenR).unwrap()
+            );
+            assert_eq!(
+                engine.count_completions(&db, &EvenR).unwrap(),
+                NaiveEngine.count_completions(&db, &EvenR).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_matches_apply_and_holds() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let mut scratch = Database::new();
+        for valuation in db.valuations() {
+            for (null, value) in valuation.iter() {
+                g.bind(null, value).unwrap();
+            }
+            let expected = q.holds(&db.apply_unchecked(&valuation));
+            assert_eq!(holds_under_current(&g, &q, &mut scratch).unwrap(), expected);
+        }
+        // Partial assignments surface an error for undecidable queries.
+        struct Opaque;
+        impl BooleanQuery for Opaque {
+            fn holds(&self, _db: &Database) -> bool {
+                true
+            }
+            fn signature(&self) -> BTreeSet<String> {
+                BTreeSet::new()
+            }
+        }
+        g.reset();
+        assert!(holds_under_current(&g, &Opaque, &mut scratch).is_err());
+    }
+}

@@ -1,73 +1,76 @@
-//! Exact counting by exhaustive enumeration of valuations.
+//! Exact counting over the full valuation space — thin wrappers over the
+//! backtracking [`CountingEngine`].
 //!
-//! These are the reference implementations: they work for every query and
-//! every incomplete database, but take time proportional to the number of
-//! valuations `∏_⊥ |dom(⊥)|`. They serve as ground truth for the
-//! polynomial-time algorithms and as the only exact option inside the
-//! #P-hard cells of Table 1 (that hardness is, after all, the paper's main
-//! message).
+//! These entry points work for every query and every incomplete database and
+//! remain worst-case proportional to the number of valuations
+//! `∏_⊥ |dom(⊥)|`; inside the #P-hard cells of Table 1 that is the best any
+//! exact method can promise (that hardness is, after all, the paper's main
+//! message). Since the engine refactor they share the
+//! [`crate::engine::BacktrackingEngine`] — in-place grounding,
+//! residual-query pruning, closed-form subtree counts and parallel sharding
+//! — instead of materialising a fresh [`Database`] per valuation. The
+//! original materialise-everything loop survives as
+//! [`crate::engine::NaiveEngine`] for differential testing and benchmarking.
 
 use std::collections::BTreeSet;
 
 use incdb_bignum::BigNat;
-use incdb_data::{Database, DataError, IncompleteDatabase};
+use incdb_data::{DataError, Database, IncompleteDatabase};
 use incdb_query::BooleanQuery;
 
-/// Counts the valuations `ν` of `db` such that `ν(db) ⊨ q`, by enumerating
-/// every valuation.
+use crate::engine::{BacktrackingEngine, CountingEngine};
+
+/// Counts the valuations `ν` of `db` such that `ν(db) ⊨ q`, searching the
+/// whole valuation tree (with pruning).
 ///
 /// Returns an error if some null of the table has no domain.
-pub fn count_valuations_brute<Q: BooleanQuery + ?Sized>(
+pub fn count_valuations_brute<Q: BooleanQuery + Sync + ?Sized>(
     db: &IncompleteDatabase,
     q: &Q,
 ) -> Result<BigNat, DataError> {
-    let mut count = BigNat::zero();
-    for valuation in db.try_valuations()? {
-        let completion = db.apply_unchecked(&valuation);
-        if q.holds(&completion) {
-            count += BigNat::one();
-        }
-    }
-    Ok(count)
+    BacktrackingEngine::default().count_valuations(db, q)
 }
 
-/// Counts the **distinct** completions `ν(db)` such that `ν(db) ⊨ q`, by
-/// enumerating every valuation and deduplicating the resulting complete
-/// databases.
-pub fn count_completions_brute<Q: BooleanQuery + ?Sized>(
+/// Counts the **distinct** completions `ν(db)` such that `ν(db) ⊨ q`,
+/// deduplicating via canonical completion fingerprints.
+pub fn count_completions_brute<Q: BooleanQuery + Sync + ?Sized>(
     db: &IncompleteDatabase,
     q: &Q,
 ) -> Result<BigNat, DataError> {
-    let mut seen: BTreeSet<Database> = BTreeSet::new();
-    for valuation in db.try_valuations()? {
-        let completion = db.apply_unchecked(&valuation);
-        if q.holds(&completion) {
-            seen.insert(completion);
-        }
-    }
-    Ok(BigNat::from(seen.len()))
+    BacktrackingEngine::default().count_completions(db, q)
 }
 
 /// Enumerates the set of **all** distinct completions of `db`
-/// (no query filter). Exponential; intended for small instances and tests.
+/// (no query filter), materialised as [`Database`] values. Exponential and
+/// allocation-heavy by nature; intended for small instances and tests —
+/// counting callers should prefer [`count_all_completions_brute`], which
+/// never materialises.
 pub fn all_completions(db: &IncompleteDatabase) -> Result<BTreeSet<Database>, DataError> {
     let mut seen: BTreeSet<Database> = BTreeSet::new();
+    let mut g = db.try_grounding()?;
+    let mut scratch = Database::new();
     for valuation in db.try_valuations()? {
-        seen.insert(db.apply_unchecked(&valuation));
+        for (null, value) in valuation.iter() {
+            g.bind(null, value)?;
+        }
+        g.completion_into(&mut scratch)?;
+        if !seen.contains(&scratch) {
+            seen.insert(scratch.clone());
+        }
     }
     Ok(seen)
 }
 
 /// Counts all distinct completions of `db` (no query filter).
 pub fn count_all_completions_brute(db: &IncompleteDatabase) -> Result<BigNat, DataError> {
-    Ok(BigNat::from(all_completions(db)?.len()))
+    BacktrackingEngine::default().count_all_completions(db)
 }
 
 /// The total number of valuations of `db` together with the number of
 /// satisfying ones — handy for computing the "support" of a query, i.e. the
 /// fraction of valuations under which it holds (the quantity `µ` of
 /// Libkin's work discussed in Section 7).
-pub fn valuation_support<Q: BooleanQuery + ?Sized>(
+pub fn valuation_support<Q: BooleanQuery + Sync + ?Sized>(
     db: &IncompleteDatabase,
     q: &Q,
 ) -> Result<(BigNat, BigNat), DataError> {
@@ -104,7 +107,10 @@ mod tests {
         let db = example_2_2();
         let q: Bcq = "S(x,x)".parse().unwrap();
         assert_eq!(count_valuations_brute(&db, &q).unwrap(), BigNat::from(4u64));
-        assert_eq!(count_completions_brute(&db, &q).unwrap(), BigNat::from(3u64));
+        assert_eq!(
+            count_completions_brute(&db, &q).unwrap(),
+            BigNat::from(3u64)
+        );
         // Six valuations in total, five distinct completions.
         assert_eq!(db.valuation_count(), BigNat::from(6u64));
         assert_eq!(all_completions(&db).unwrap().len(), 5);
@@ -177,6 +183,9 @@ mod tests {
         db.add_fact("R", vec![n(1)]).unwrap();
         let q: Bcq = "R(x)".parse().unwrap();
         assert_eq!(count_valuations_brute(&db, &q).unwrap(), BigNat::from(4u64));
-        assert_eq!(count_completions_brute(&db, &q).unwrap(), BigNat::from(3u64));
+        assert_eq!(
+            count_completions_brute(&db, &q).unwrap(),
+            BigNat::from(3u64)
+        );
     }
 }

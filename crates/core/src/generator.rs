@@ -48,8 +48,11 @@ pub fn random_database_for_query<R: Rng + ?Sized>(
     config: &GeneratorConfig,
     rng: &mut R,
 ) -> IncompleteDatabase {
-    let relations: Vec<(String, usize)> =
-        q.atoms().iter().map(|a| (a.relation().to_string(), a.arity())).collect();
+    let relations: Vec<(String, usize)> = q
+        .atoms()
+        .iter()
+        .map(|a| (a.relation().to_string(), a.arity()))
+        .collect();
     random_database(&relations, config, rng)
 }
 
@@ -91,7 +94,8 @@ pub fn random_database<R: Rng + ?Sized>(
                     fact.push(Value::constant(constant));
                 }
             }
-            db.add_fact(relation, fact).expect("generated facts have a consistent arity");
+            db.add_fact(relation, fact)
+                .expect("generated facts have a consistent arity");
         }
     }
 
@@ -107,7 +111,8 @@ pub fn random_database<R: Rng + ?Sized>(
                     dom.push(candidate);
                 }
             }
-            db.set_domain(null, dom).expect("non-uniform database accepts per-null domains");
+            db.set_domain(null, dom)
+                .expect("non-uniform database accepts per-null domains");
         }
     }
     db
@@ -126,7 +131,11 @@ mod tests {
     #[test]
     fn respects_codd_and_uniform_flags() {
         let mut rng = StdRng::seed_from_u64(1);
-        let config = GeneratorConfig { codd: true, uniform: true, ..Default::default() };
+        let config = GeneratorConfig {
+            codd: true,
+            uniform: true,
+            ..Default::default()
+        };
         let db = random_database_for_query(&q("R(x,y), S(y)"), &config, &mut rng);
         assert!(db.is_codd());
         assert!(db.is_uniform());
@@ -147,7 +156,11 @@ mod tests {
     #[test]
     fn schema_matches_query() {
         let mut rng = StdRng::seed_from_u64(2);
-        let db = random_database_for_query(&q("R(x,y), S(y), T(z)"), &GeneratorConfig::default(), &mut rng);
+        let db = random_database_for_query(
+            &q("R(x,y), S(y), T(z)"),
+            &GeneratorConfig::default(),
+            &mut rng,
+        );
         let names: Vec<&str> = db.relation_names().collect();
         assert_eq!(names, vec!["R", "S", "T"]);
         assert_eq!(db.arity("R"), Some(2));
@@ -166,7 +179,10 @@ mod tests {
     #[test]
     fn all_constant_generation() {
         let mut rng = StdRng::seed_from_u64(3);
-        let config = GeneratorConfig { null_probability: 0.0, ..Default::default() };
+        let config = GeneratorConfig {
+            null_probability: 0.0,
+            ..Default::default()
+        };
         let db = random_database_for_query(&q("R(x)"), &config, &mut rng);
         assert!(db.nulls().is_empty());
         assert_eq!(db.valuation_count().to_u64(), Some(1));

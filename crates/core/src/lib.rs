@@ -8,9 +8,15 @@
 //! The crate provides, for the problems `#Val(q)` and `#Comp(q)` in each of
 //! the four settings (naïve/Codd table × non-uniform/uniform domain):
 //!
-//! * [`enumerate`] — exact baselines that enumerate every valuation
-//!   (exponential time; the ground truth for tests and the only option in
-//!   the #P-hard cells of Table 1);
+//! * [`engine`] — the backtracking counting engine shared by every exact
+//!   consumer: DFS over an in-place [`incdb_data::Grounding`] with
+//!   residual-query pruning, closed-form subtree counts and parallel
+//!   sharding ([`engine::BacktrackingEngine`]), plus the seed
+//!   materialise-everything loop kept as [`engine::NaiveEngine`] for
+//!   differential testing;
+//! * [`enumerate`] — the exhaustive entry points, now thin wrappers over the
+//!   engine (exponential worst case; the only exact option in the #P-hard
+//!   cells of Table 1);
 //! * [`algorithms`] — the polynomial-time algorithms behind every tractable
 //!   cell of Table 1:
 //!   * [`algorithms::val_nonuniform`] — Theorem 3.6,
@@ -48,6 +54,7 @@
 pub mod algorithms;
 pub mod classify;
 pub mod completion_check;
+pub mod engine;
 pub mod enumerate;
 pub mod generator;
 pub mod problem;
@@ -55,5 +62,6 @@ pub mod solver;
 
 pub use classify::{classify, classify_approx, ApproxStatus, ClassifyError, Complexity};
 pub use completion_check::is_possible_completion_of_codd;
+pub use engine::{BacktrackingEngine, CountingEngine, NaiveEngine};
 pub use problem::{CountingProblem, DomainKind, Setting, TableKind};
 pub use solver::{count_completions, count_valuations, CountOutcome, Method, SolveError};

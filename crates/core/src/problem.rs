@@ -45,15 +45,30 @@ pub struct Setting {
 impl Setting {
     /// All four settings, in the column order of Table 1.
     pub const ALL: [Setting; 4] = [
-        Setting { table: TableKind::Naive, domain: DomainKind::NonUniform },
-        Setting { table: TableKind::Naive, domain: DomainKind::Uniform },
-        Setting { table: TableKind::Codd, domain: DomainKind::NonUniform },
-        Setting { table: TableKind::Codd, domain: DomainKind::Uniform },
+        Setting {
+            table: TableKind::Naive,
+            domain: DomainKind::NonUniform,
+        },
+        Setting {
+            table: TableKind::Naive,
+            domain: DomainKind::Uniform,
+        },
+        Setting {
+            table: TableKind::Codd,
+            domain: DomainKind::NonUniform,
+        },
+        Setting {
+            table: TableKind::Codd,
+            domain: DomainKind::Uniform,
+        },
     ];
 
     /// The naïve, non-uniform setting (the paper's default).
     pub fn default_naive() -> Self {
-        Setting { table: TableKind::Naive, domain: DomainKind::NonUniform }
+        Setting {
+            table: TableKind::Naive,
+            domain: DomainKind::NonUniform,
+        }
     }
 
     /// The setting an actual incomplete database lives in.
@@ -65,8 +80,16 @@ impl Setting {
     /// was built with a shared domain).
     pub fn of(db: &IncompleteDatabase) -> Self {
         Setting {
-            table: if db.is_codd() { TableKind::Codd } else { TableKind::Naive },
-            domain: if db.is_uniform() { DomainKind::Uniform } else { DomainKind::NonUniform },
+            table: if db.is_codd() {
+                TableKind::Codd
+            } else {
+                TableKind::Naive
+            },
+            domain: if db.is_uniform() {
+                DomainKind::Uniform
+            } else {
+                DomainKind::NonUniform
+            },
         }
     }
 
@@ -75,7 +98,8 @@ impl Setting {
     /// a special case of giving every null the same per-null domain).
     pub fn is_special_case_of(&self, other: &Setting) -> bool {
         let table_ok = other.table == TableKind::Naive || self.table == TableKind::Codd;
-        let domain_ok = other.domain == DomainKind::NonUniform || self.domain == DomainKind::Uniform;
+        let domain_ok =
+            other.domain == DomainKind::NonUniform || self.domain == DomainKind::Uniform;
         table_ok && domain_ok
     }
 }
@@ -130,11 +154,44 @@ mod tests {
         use CountingProblem::*;
         use DomainKind::*;
         use TableKind::*;
-        assert_eq!(problem_name(Valuations, Setting { table: Naive, domain: NonUniform }), "#Val");
-        assert_eq!(problem_name(Valuations, Setting { table: Codd, domain: NonUniform }), "#Val_Cd");
-        assert_eq!(problem_name(Valuations, Setting { table: Naive, domain: Uniform }), "#Valᵘ");
         assert_eq!(
-            problem_name(Completions, Setting { table: Codd, domain: Uniform }),
+            problem_name(
+                Valuations,
+                Setting {
+                    table: Naive,
+                    domain: NonUniform
+                }
+            ),
+            "#Val"
+        );
+        assert_eq!(
+            problem_name(
+                Valuations,
+                Setting {
+                    table: Codd,
+                    domain: NonUniform
+                }
+            ),
+            "#Val_Cd"
+        );
+        assert_eq!(
+            problem_name(
+                Valuations,
+                Setting {
+                    table: Naive,
+                    domain: Uniform
+                }
+            ),
+            "#Valᵘ"
+        );
+        assert_eq!(
+            problem_name(
+                Completions,
+                Setting {
+                    table: Codd,
+                    domain: Uniform
+                }
+            ),
             "#Compᵘ_Cd"
         );
     }
@@ -145,21 +202,32 @@ mod tests {
         codd_uniform.add_fact("R", vec![Value::null(0)]).unwrap();
         assert_eq!(
             Setting::of(&codd_uniform),
-            Setting { table: TableKind::Codd, domain: DomainKind::Uniform }
+            Setting {
+                table: TableKind::Codd,
+                domain: DomainKind::Uniform
+            }
         );
 
         let mut naive = IncompleteDatabase::new_non_uniform();
-        naive.add_fact("R", vec![Value::null(0), Value::null(0)]).unwrap();
+        naive
+            .add_fact("R", vec![Value::null(0), Value::null(0)])
+            .unwrap();
         naive.set_domain(incdb_data::NullId(0), [1u64]).unwrap();
         assert_eq!(
             Setting::of(&naive),
-            Setting { table: TableKind::Naive, domain: DomainKind::NonUniform }
+            Setting {
+                table: TableKind::Naive,
+                domain: DomainKind::NonUniform
+            }
         );
     }
 
     #[test]
     fn specialisation_order() {
-        let codd_uniform = Setting { table: TableKind::Codd, domain: DomainKind::Uniform };
+        let codd_uniform = Setting {
+            table: TableKind::Codd,
+            domain: DomainKind::Uniform,
+        };
         let naive_nonuniform = Setting::default_naive();
         assert!(codd_uniform.is_special_case_of(&naive_nonuniform));
         assert!(!naive_nonuniform.is_special_case_of(&codd_uniform));
@@ -171,9 +239,16 @@ mod tests {
 
     #[test]
     fn display_strings() {
-        assert_eq!(CountingProblem::Valuations.to_string(), "counting valuations");
         assert_eq!(
-            Setting { table: TableKind::Codd, domain: DomainKind::Uniform }.to_string(),
+            CountingProblem::Valuations.to_string(),
+            "counting valuations"
+        );
+        assert_eq!(
+            Setting {
+                table: TableKind::Codd,
+                domain: DomainKind::Uniform
+            }
+            .to_string(),
             "Codd table, uniform domain"
         );
     }

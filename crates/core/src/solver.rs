@@ -22,8 +22,11 @@ pub enum Method {
     UniformInclusionExclusion,
     /// Theorem 4.6 / Appendix B.6: uniform unary completion counting.
     UniformUnaryCompletions,
-    /// Exhaustive enumeration of valuations (exponential).
-    Enumeration,
+    /// The backtracking counting engine ([`crate::engine`]): exhaustive
+    /// search with residual-query pruning, closed-form subtree counts and
+    /// parallel sharding — still exponential in the worst case, as it must
+    /// be inside the #P-hard cells.
+    BacktrackingSearch,
 }
 
 impl fmt::Display for Method {
@@ -33,7 +36,7 @@ impl fmt::Display for Method {
             Method::CoddFactorisation => "Theorem 3.7 Codd factorisation",
             Method::UniformInclusionExclusion => "Theorem 3.9 inclusion–exclusion",
             Method::UniformUnaryCompletions => "Theorem 4.6 unary completion counting",
-            Method::Enumeration => "exhaustive enumeration",
+            Method::BacktrackingSearch => "backtracking search",
         };
         write!(f, "{name}")
     }
@@ -90,18 +93,30 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcome
     db.validate()?;
     if val_nonuniform::applies_to(q) {
         let value = val_nonuniform::count_valuations(db, q)?;
-        return Ok(CountOutcome { value, method: Method::SingleOccurrenceProduct });
+        return Ok(CountOutcome {
+            value,
+            method: Method::SingleOccurrenceProduct,
+        });
     }
     if db.is_codd() && val_codd::applies_to_query(q) {
         let value = val_codd::count_valuations(db, q)?;
-        return Ok(CountOutcome { value, method: Method::CoddFactorisation });
+        return Ok(CountOutcome {
+            value,
+            method: Method::CoddFactorisation,
+        });
     }
     if db.is_uniform() && val_uniform::applies_to_query(q) {
         let value = val_uniform::count_valuations(db, q)?;
-        return Ok(CountOutcome { value, method: Method::UniformInclusionExclusion });
+        return Ok(CountOutcome {
+            value,
+            method: Method::UniformInclusionExclusion,
+        });
     }
     let value = enumerate::count_valuations_brute(db, q)?;
-    Ok(CountOutcome { value, method: Method::Enumeration })
+    Ok(CountOutcome {
+        value,
+        method: Method::BacktrackingSearch,
+    })
 }
 
 /// Computes `#Comp(q)(db)`: the number of distinct completions of `db`
@@ -112,26 +127,42 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcome
 /// (Theorem 4.3).
 pub fn count_completions(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcome, SolveError> {
     db.validate()?;
-    let db_is_unary = db.relation_names().all(|r| db.arity(r).is_none_or(|a| a == 1));
+    let db_is_unary = db
+        .relation_names()
+        .all(|r| db.arity(r).is_none_or(|a| a == 1));
     if db.is_uniform() && db_is_unary && comp_uniform::applies_to_query(q) {
         let value = comp_uniform::count_completions(db, q)?;
-        return Ok(CountOutcome { value, method: Method::UniformUnaryCompletions });
+        return Ok(CountOutcome {
+            value,
+            method: Method::UniformUnaryCompletions,
+        });
     }
     let value = enumerate::count_completions_brute(db, q)?;
-    Ok(CountOutcome { value, method: Method::Enumeration })
+    Ok(CountOutcome {
+        value,
+        method: Method::BacktrackingSearch,
+    })
 }
 
 /// Computes the number of *all* distinct completions of `db` (no query),
 /// using the Theorem 4.6 machinery when possible.
 pub fn count_all_completions(db: &IncompleteDatabase) -> Result<CountOutcome, SolveError> {
     db.validate()?;
-    let db_is_unary = db.relation_names().all(|r| db.arity(r).is_none_or(|a| a == 1));
+    let db_is_unary = db
+        .relation_names()
+        .all(|r| db.arity(r).is_none_or(|a| a == 1));
     if db.is_uniform() && db_is_unary {
         let value = comp_uniform::count_all_completions(db)?;
-        return Ok(CountOutcome { value, method: Method::UniformUnaryCompletions });
+        return Ok(CountOutcome {
+            value,
+            method: Method::UniformUnaryCompletions,
+        });
     }
     let value = enumerate::count_all_completions_brute(db)?;
-    Ok(CountOutcome { value, method: Method::Enumeration })
+    Ok(CountOutcome {
+        value,
+        method: Method::BacktrackingSearch,
+    })
 }
 
 #[cfg(test)]
@@ -150,7 +181,8 @@ mod tests {
     fn routing_for_valuations() {
         // Single-occurrence query: closed form.
         let mut db = IncompleteDatabase::new_uniform(0u64..3);
-        db.add_fact("R", vec![Value::null(0), Value::null(1)]).unwrap();
+        db.add_fact("R", vec![Value::null(0), Value::null(1)])
+            .unwrap();
         let outcome = count_valuations(&db, &q("R(x,y)")).unwrap();
         assert_eq!(outcome.method, Method::SingleOccurrenceProduct);
         assert_eq!(outcome.value.to_u64(), Some(9));
@@ -168,13 +200,14 @@ mod tests {
         let outcome = count_valuations(&db2, &q("R(x), S(x)")).unwrap();
         assert_eq!(outcome.method, Method::UniformInclusionExclusion);
 
-        // Hard pattern on a naïve non-uniform table: enumeration.
+        // Hard pattern on a naïve non-uniform table: backtracking search.
         let mut db3 = IncompleteDatabase::new_non_uniform();
-        db3.add_fact("R", vec![Value::null(0), Value::null(0)]).unwrap();
+        db3.add_fact("R", vec![Value::null(0), Value::null(0)])
+            .unwrap();
         db3.add_fact("S", vec![Value::null(0)]).unwrap();
         db3.set_domain(NullId(0), [0u64, 1]).unwrap();
         let outcome = count_valuations(&db3, &q("R(x,y), S(x)")).unwrap();
-        assert_eq!(outcome.method, Method::Enumeration);
+        assert_eq!(outcome.method, Method::BacktrackingSearch);
     }
 
     #[test]
@@ -188,11 +221,12 @@ mod tests {
         let outcome = count_all_completions(&db).unwrap();
         assert_eq!(outcome.method, Method::UniformUnaryCompletions);
 
-        // Binary relation: enumeration.
+        // Binary relation: backtracking search.
         let mut db2 = IncompleteDatabase::new_uniform(0u64..2);
-        db2.add_fact("R", vec![Value::null(0), Value::null(1)]).unwrap();
+        db2.add_fact("R", vec![Value::null(0), Value::null(1)])
+            .unwrap();
         let outcome = count_completions(&db2, &q("R(x,y)")).unwrap();
-        assert_eq!(outcome.method, Method::Enumeration);
+        assert_eq!(outcome.method, Method::BacktrackingSearch);
     }
 
     #[test]
@@ -274,13 +308,24 @@ mod tests {
     fn missing_domain_propagates() {
         let mut db = IncompleteDatabase::new_non_uniform();
         db.add_fact("R", vec![Value::null(0)]).unwrap();
-        assert!(matches!(count_valuations(&db, &q("R(x)")), Err(SolveError::Data(_))));
-        assert!(matches!(count_completions(&db, &q("R(x)")), Err(SolveError::Data(_))));
+        assert!(matches!(
+            count_valuations(&db, &q("R(x)")),
+            Err(SolveError::Data(_))
+        ));
+        assert!(matches!(
+            count_completions(&db, &q("R(x)")),
+            Err(SolveError::Data(_))
+        ));
     }
 
     #[test]
     fn method_display() {
-        assert_eq!(Method::Enumeration.to_string(), "exhaustive enumeration");
-        assert!(Method::UniformInclusionExclusion.to_string().contains("3.9"));
+        assert_eq!(
+            Method::BacktrackingSearch.to_string(),
+            "backtracking search"
+        );
+        assert!(Method::UniformInclusionExclusion
+            .to_string()
+            .contains("3.9"));
     }
 }

@@ -1,0 +1,176 @@
+//! Differential tests: the backtracking engine must agree with the seed
+//! brute-force implementation ([`NaiveEngine`], the exact loop the workspace
+//! shipped with) on randomly generated instances, across every setting of
+//! Table 1 (naïve/Codd table × uniform/non-uniform domains), for valuations
+//! *and* completions, sequentially *and* sharded, for BCQs, unions and
+//! negations.
+
+use incdb_core::engine::{BacktrackingEngine, CountingEngine, NaiveEngine};
+use incdb_core::generator::{random_database_for_query, GeneratorConfig};
+use incdb_data::IncompleteDatabase;
+use incdb_query::{Bcq, NegatedBcq, Ucq};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engines() -> Vec<(&'static str, BacktrackingEngine)> {
+    vec![
+        ("sequential", BacktrackingEngine::sequential()),
+        // Shard even the tiny random instances over several workers.
+        (
+            "sharded",
+            BacktrackingEngine::with_threads(4).with_parallel_threshold(1),
+        ),
+    ]
+}
+
+fn queries() -> Vec<Bcq> {
+    [
+        "R(x,y), S(z)",
+        "R(x,x)",
+        "R(x), S(x)",
+        "R(x), S(x), T(x)",
+        "R(x), S(x,y), T(y)",
+        "R(x,y), S(x,y)",
+        "R(x,y), S(y,z)",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect()
+}
+
+fn config(codd: bool, uniform: bool) -> GeneratorConfig {
+    GeneratorConfig {
+        facts_per_relation: 2,
+        domain_size: 2,
+        constant_pool: 3,
+        null_probability: 0.7,
+        codd,
+        uniform,
+        null_pool: 3,
+    }
+}
+
+#[test]
+fn engine_matches_seed_brute_force_on_bcqs() {
+    let mut rng = StdRng::seed_from_u64(2020);
+    for query in queries() {
+        for codd in [false, true] {
+            for uniform in [false, true] {
+                let db = random_database_for_query(&query, &config(codd, uniform), &mut rng);
+                let expected_vals = NaiveEngine.count_valuations(&db, &query).unwrap();
+                let expected_comps = NaiveEngine.count_completions(&db, &query).unwrap();
+                for (name, engine) in engines() {
+                    assert_eq!(
+                        engine.count_valuations(&db, &query).unwrap(),
+                        expected_vals,
+                        "#Val mismatch [{name}] {query} codd={codd} uniform={uniform} {db:?}"
+                    );
+                    assert_eq!(
+                        engine.count_completions(&db, &query).unwrap(),
+                        expected_comps,
+                        "#Comp mismatch [{name}] {query} codd={codd} uniform={uniform} {db:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_matches_seed_brute_force_on_unions_and_negations() {
+    let mut rng = StdRng::seed_from_u64(51);
+    let unions: Vec<Ucq> = [
+        "R(x,x) | S(x)",
+        "R(x), S(x) | R(y), T(y)",
+        "R(x,y), S(y,x) | T(z)",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect();
+    for u in &unions {
+        // Generate over the union's full signature via a flattened BCQ.
+        let all_atoms: Vec<_> = u
+            .disjuncts()
+            .iter()
+            .flat_map(|d| d.atoms().iter().cloned())
+            .collect();
+        let schema = Bcq::new(all_atoms).unwrap();
+        for codd in [false, true] {
+            for uniform in [false, true] {
+                let db = random_database_for_query(&schema, &config(codd, uniform), &mut rng);
+                let expected = NaiveEngine.count_valuations(&db, u).unwrap();
+                for (name, engine) in engines() {
+                    assert_eq!(
+                        engine.count_valuations(&db, u).unwrap(),
+                        expected,
+                        "#Val mismatch [{name}] {u} codd={codd} uniform={uniform} {db:?}"
+                    );
+                }
+            }
+        }
+    }
+    for query in queries() {
+        let neg = NegatedBcq::new(query.clone());
+        let db = random_database_for_query(&query, &config(false, true), &mut rng);
+        let expected_vals = NaiveEngine.count_valuations(&db, &neg).unwrap();
+        let expected_comps = NaiveEngine.count_completions(&db, &neg).unwrap();
+        for (name, engine) in engines() {
+            assert_eq!(
+                engine.count_valuations(&db, &neg).unwrap(),
+                expected_vals,
+                "¬#Val mismatch [{name}] {neg} {db:?}"
+            );
+            assert_eq!(
+                engine.count_completions(&db, &neg).unwrap(),
+                expected_comps,
+                "¬#Comp mismatch [{name}] {neg} {db:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_matches_seed_brute_force_on_all_completions() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let schema: Bcq = "R(x,y), S(y)".parse().unwrap();
+    for codd in [false, true] {
+        for uniform in [false, true] {
+            let db = random_database_for_query(&schema, &config(codd, uniform), &mut rng);
+            let expected = NaiveEngine.count_all_completions(&db).unwrap();
+            for (name, engine) in engines() {
+                assert_eq!(
+                    engine.count_all_completions(&db).unwrap(),
+                    expected,
+                    "#Comp(all) mismatch [{name}] codd={codd} uniform={uniform} {db:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn missing_domain_is_an_error_on_every_path() {
+    // A null with no domain must surface as Err — never a panic — through
+    // the engine, the wrappers and both counting modes.
+    let mut db = IncompleteDatabase::new_non_uniform();
+    db.add_fact("R", vec![incdb_data::Value::null(0)]).unwrap();
+    let q: Bcq = "R(x)".parse().unwrap();
+    for (name, engine) in engines() {
+        assert!(
+            engine.count_valuations(&db, &q).is_err(),
+            "[{name}] valuations"
+        );
+        assert!(
+            engine.count_completions(&db, &q).is_err(),
+            "[{name}] completions"
+        );
+        assert!(
+            engine.count_all_completions(&db).is_err(),
+            "[{name}] all completions"
+        );
+    }
+    assert!(incdb_core::enumerate::count_valuations_brute(&db, &q).is_err());
+    assert!(incdb_core::enumerate::count_completions_brute(&db, &q).is_err());
+    assert!(incdb_core::enumerate::count_all_completions_brute(&db).is_err());
+    assert!(incdb_core::enumerate::all_completions(&db).is_err());
+}

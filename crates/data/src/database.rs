@@ -43,7 +43,9 @@ impl Database {
     /// stored under the same relation name, or if the fact is empty.
     pub fn add_fact(&mut self, relation: &str, fact: GroundFact) -> Result<(), DataError> {
         if fact.is_empty() {
-            return Err(DataError::EmptyFact { relation: relation.to_string() });
+            return Err(DataError::EmptyFact {
+                relation: relation.to_string(),
+            });
         }
         if let Some(existing) = self.relations.get(relation) {
             if let Some(first) = existing.iter().next() {
@@ -56,7 +58,10 @@ impl Database {
                 }
             }
         }
-        self.relations.entry(relation.to_string()).or_default().insert(fact);
+        self.relations
+            .entry(relation.to_string())
+            .or_default()
+            .insert(fact);
         Ok(())
     }
 
@@ -66,9 +71,19 @@ impl Database {
         self.relations.entry(relation.to_string()).or_default();
     }
 
+    /// Removes every relation and fact, turning `self` back into the empty
+    /// database. Lets callers reuse one `Database` as a scratch buffer
+    /// (e.g. [`crate::Grounding::completion_into`]) instead of allocating a
+    /// fresh value per completion.
+    pub fn clear(&mut self) {
+        self.relations.clear();
+    }
+
     /// Returns `true` if the given ground fact belongs to the database.
     pub fn contains(&self, relation: &str, fact: &[Constant]) -> bool {
-        self.relations.get(relation).is_some_and(|facts| facts.contains(fact))
+        self.relations
+            .get(relation)
+            .is_some_and(|facts| facts.contains(fact))
     }
 
     /// The set of facts of a relation (empty if the relation is unknown).
@@ -83,7 +98,9 @@ impl Database {
 
     /// Iterates over `(relation name, facts)` pairs in name order.
     pub fn relations(&self) -> impl Iterator<Item = (&str, &BTreeSet<GroundFact>)> {
-        self.relations.iter().map(|(name, facts)| (name.as_str(), facts))
+        self.relations
+            .iter()
+            .map(|(name, facts)| (name.as_str(), facts))
     }
 
     /// The relation names present in the database (including declared-empty
@@ -112,14 +129,16 @@ impl Database {
 
     /// Returns `true` if `other` contains every fact of `self`.
     pub fn is_subset_of(&self, other: &Database) -> bool {
-        self.relations.iter().all(|(name, facts)| {
-            facts.iter().all(|f| other.contains(name, f))
-        })
+        self.relations
+            .iter()
+            .all(|(name, facts)| facts.iter().all(|f| other.contains(name, f)))
     }
 
     /// The set of constants appearing in the given relation.
     pub fn adom_of_relation(&self, relation: &str) -> BTreeSet<Constant> {
-        self.facts(relation).flat_map(|f| f.iter().copied()).collect()
+        self.facts(relation)
+            .flat_map(|f| f.iter().copied())
+            .collect()
     }
 }
 
@@ -171,7 +190,14 @@ mod tests {
         let mut db = Database::new();
         db.add_fact("R", vec![c(1), c(2)]).unwrap();
         let err = db.add_fact("R", vec![c(1)]).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { expected: 2, found: 1, .. }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
         let err = db.add_fact("S", vec![]).unwrap_err();
         assert!(matches!(err, DataError::EmptyFact { .. }));
     }

@@ -104,7 +104,8 @@ mod tests {
     #[test]
     fn non_uniform_assignment_is_per_null() {
         let mut dom = DomainAssignment::non_uniform();
-        dom.set(NullId(1), [c(1), c(2)].into_iter().collect()).unwrap();
+        dom.set(NullId(1), [c(1), c(2)].into_iter().collect())
+            .unwrap();
         dom.set(NullId(2), [c(3)].into_iter().collect()).unwrap();
         assert!(!dom.is_uniform());
         assert_eq!(dom.domain_of(NullId(1)).unwrap().len(), 2);
@@ -117,7 +118,9 @@ mod tests {
     #[test]
     fn setting_on_uniform_is_rejected() {
         let mut dom = DomainAssignment::uniform([1u64]);
-        let err = dom.set(NullId(0), [c(1)].into_iter().collect()).unwrap_err();
+        let err = dom
+            .set(NullId(0), [c(1)].into_iter().collect())
+            .unwrap_err();
         assert_eq!(err, DataError::DomainKindMismatch);
     }
 
@@ -125,6 +128,11 @@ mod tests {
     fn empty_per_null_domain_is_rejected() {
         let mut dom = DomainAssignment::non_uniform();
         let err = dom.set(NullId(0), Domain::new()).unwrap_err();
-        assert!(matches!(err, DataError::EmptyDomain { null: Some(NullId(0)) }));
+        assert!(matches!(
+            err,
+            DataError::EmptyDomain {
+                null: Some(NullId(0))
+            }
+        ));
     }
 }

@@ -52,12 +52,19 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::ArityMismatch { relation, expected, found } => write!(
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
                 f,
                 "arity mismatch for relation {relation}: expected {expected}, found {found}"
             ),
             DataError::EmptyFact { relation } => {
-                write!(f, "relation {relation}: facts must have at least one column")
+                write!(
+                    f,
+                    "relation {relation}: facts must have at least one column"
+                )
             }
             DataError::MissingDomain { null } => {
                 write!(f, "null {null} occurs in the table but has no domain")
@@ -71,7 +78,10 @@ impl fmt::Display for DataError {
                 "mixed uniform and non-uniform domain assignments on the same incomplete database"
             ),
             DataError::ValueOutsideDomain { null, value } => {
-                write!(f, "valuation maps {null} to {value}, which is outside its domain")
+                write!(
+                    f,
+                    "valuation maps {null} to {value}, which is outside its domain"
+                )
             }
             DataError::IncompleteValuation { null } => {
                 write!(f, "valuation does not assign a value to {null}")
@@ -88,14 +98,21 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DataError::ArityMismatch { relation: "R".to_string(), expected: 2, found: 3 };
+        let e = DataError::ArityMismatch {
+            relation: "R".to_string(),
+            expected: 2,
+            found: 3,
+        };
         assert!(e.to_string().contains("arity mismatch"));
         assert!(e.to_string().contains('R'));
 
         let e = DataError::MissingDomain { null: NullId(4) };
         assert!(e.to_string().contains("⊥4"));
 
-        let e = DataError::ValueOutsideDomain { null: NullId(1), value: Constant(9) };
+        let e = DataError::ValueOutsideDomain {
+            null: NullId(1),
+            value: Constant(9),
+        };
         assert!(e.to_string().contains('9'));
 
         let e = DataError::EmptyDomain { null: None };

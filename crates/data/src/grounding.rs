@@ -1,0 +1,499 @@
+//! In-place partial grounding of incomplete databases.
+//!
+//! The exhaustive counters used to clone a full [`Database`] per valuation
+//! and re-run model checking from scratch. A [`Grounding`] is the mutable
+//! workspace that replaces that pattern: it snapshots the naïve table once,
+//! then lets a search [`bind`](Grounding::bind) and
+//! [`unbind`](Grounding::unbind) individual nulls in `O(occurrences)` time,
+//! keeping a *partially resolved* view of every fact. Query evaluators can
+//! inspect that view directly (see `BooleanQuery::holds_partial` in
+//! `incdb-query`), and a completion only has to be materialised — into a
+//! reusable scratch [`Database`] — when a caller genuinely needs one.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::database::Database;
+use crate::error::DataError;
+use crate::incomplete::IncompleteDatabase;
+use crate::valuation::{Valuation, ValuationIter};
+use crate::value::{Constant, NullId, Value};
+
+/// A mutable partial-valuation workspace over one incomplete database.
+///
+/// The grounding owns a snapshot of the table (so it carries no lifetime and
+/// can be moved into worker threads) plus, per null, the list of positions
+/// where it occurs. Binding a null rewrites exactly those positions in the
+/// resolved view; unbinding restores them. No per-step allocation happens on
+/// either path.
+///
+/// ```
+/// use incdb_data::{Constant, IncompleteDatabase, NullId, Value};
+///
+/// let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+/// db.add_fact("R", vec![Value::null(0), Value::null(1)]).unwrap();
+/// let mut g = db.try_grounding().unwrap();
+/// assert!(!g.is_fully_bound());
+/// g.bind(NullId(0), Constant(1)).unwrap();
+/// g.bind(NullId(1), Constant(0)).unwrap();
+/// assert!(g.is_fully_bound());
+/// assert!(g.to_database().contains("R", &[Constant(1), Constant(0)]));
+/// g.unbind(NullId(1));
+/// assert_eq!(g.value(NullId(0)), Some(Constant(1)));
+/// assert_eq!(g.value(NullId(1)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Grounding {
+    /// The nulls of the table, in increasing label order.
+    nulls: Vec<NullId>,
+    /// `domains[i]` is the sorted domain of `nulls[i]`, shared with any
+    /// valuation cursor built from the same database.
+    domains: Vec<Arc<[Constant]>>,
+    index_of: BTreeMap<NullId, usize>,
+    /// Current partial assignment, indexed like `nulls`.
+    assignment: Vec<Option<Constant>>,
+    bound: usize,
+    /// Relation names, in lexicographic order.
+    rel_names: Vec<String>,
+    rel_index: BTreeMap<String, usize>,
+    /// One entry per fact: owning relation (index into `rel_names`).
+    fact_rel: Vec<usize>,
+    /// The facts with bound nulls replaced by their constants, updated in
+    /// place by `bind` / `unbind`.
+    resolved: Vec<Vec<Value>>,
+    /// Number of *unbound* null positions per fact (0 ⇒ the fact is ground).
+    unbound_in_fact: Vec<usize>,
+    /// Per null index, the `(fact, position)` pairs where it occurs.
+    occurrences: Vec<Vec<(usize, usize)>>,
+    /// Fact indices per relation index.
+    facts_by_rel: Vec<Vec<usize>>,
+}
+
+impl Grounding {
+    /// Builds a grounding of `db` with every null unbound.
+    ///
+    /// Returns an error if some null of the table has no domain.
+    pub(crate) fn of(db: &IncompleteDatabase) -> Result<Grounding, DataError> {
+        let (nulls, domains) = db.null_domains()?;
+        let index_of: BTreeMap<NullId, usize> =
+            nulls.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+        let mut rel_names = Vec::new();
+        let mut rel_index = BTreeMap::new();
+        let mut fact_rel = Vec::new();
+        let mut resolved = Vec::new();
+        let mut unbound_in_fact = Vec::new();
+        let mut occurrences: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nulls.len()];
+        let mut facts_by_rel = Vec::new();
+
+        for (name, facts) in db.relations() {
+            let rel = rel_names.len();
+            rel_names.push(name.to_string());
+            rel_index.insert(name.to_string(), rel);
+            facts_by_rel.push(Vec::new());
+            for fact in facts {
+                let idx = resolved.len();
+                let mut unbound = 0;
+                for (pos, value) in fact.iter().enumerate() {
+                    if let Value::Null(n) = value {
+                        occurrences[index_of[n]].push((idx, pos));
+                        unbound += 1;
+                    }
+                }
+                fact_rel.push(rel);
+                resolved.push(fact.clone());
+                unbound_in_fact.push(unbound);
+                facts_by_rel[rel].push(idx);
+            }
+        }
+
+        let assignment = vec![None; nulls.len()];
+        Ok(Grounding {
+            nulls,
+            domains,
+            index_of,
+            assignment,
+            bound: 0,
+            rel_names,
+            rel_index,
+            fact_rel,
+            resolved,
+            unbound_in_fact,
+            occurrences,
+            facts_by_rel,
+        })
+    }
+
+    /// The nulls of the underlying table, in increasing label order.
+    pub fn nulls(&self) -> &[NullId] {
+        &self.nulls
+    }
+
+    /// The number of nulls.
+    pub fn null_count(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// The sorted domain of the `i`-th null (position in [`Grounding::nulls`]).
+    pub fn domain_by_index(&self, i: usize) -> &[Constant] {
+        &self.domains[i]
+    }
+
+    /// The sorted domain of a null, if it occurs in the table.
+    pub fn domain(&self, null: NullId) -> Option<&[Constant]> {
+        self.index_of.get(&null).map(|&i| &*self.domains[i])
+    }
+
+    /// The index of a null within [`Grounding::nulls`].
+    pub fn index_of(&self, null: NullId) -> Option<usize> {
+        self.index_of.get(&null).copied()
+    }
+
+    /// Returns `true` if `value` lies in the domain of `null`. Nulls that do
+    /// not occur in the table accept nothing.
+    pub fn null_can_take(&self, null: NullId, value: Constant) -> bool {
+        self.domain(null)
+            .is_some_and(|dom| dom.binary_search(&value).is_ok())
+    }
+
+    /// The number of occurrences of the `i`-th null in the table.
+    pub fn occurrence_count(&self, i: usize) -> usize {
+        self.occurrences[i].len()
+    }
+
+    /// Binds a null to a value of its domain, resolving every occurrence in
+    /// place. Rebinding an already-bound null is allowed.
+    ///
+    /// Returns an error if the null does not occur in the table or the value
+    /// lies outside its domain.
+    pub fn bind(&mut self, null: NullId, value: Constant) -> Result<(), DataError> {
+        let Some(&i) = self.index_of.get(&null) else {
+            return Err(DataError::MissingDomain { null });
+        };
+        if self.domains[i].binary_search(&value).is_err() {
+            return Err(DataError::ValueOutsideDomain { null, value });
+        }
+        self.bind_index(i, value);
+        Ok(())
+    }
+
+    /// Binds the `i`-th null (position in [`Grounding::nulls`]) without
+    /// checking domain membership — the hot-loop path for searches that
+    /// iterate the domain slice itself.
+    pub fn bind_index(&mut self, i: usize, value: Constant) {
+        debug_assert!(
+            self.domains[i].binary_search(&value).is_ok(),
+            "bind_index outside the domain of {:?}",
+            self.nulls[i]
+        );
+        if self.assignment[i].is_none() {
+            self.bound += 1;
+            for &(fact, _) in &self.occurrences[i] {
+                self.unbound_in_fact[fact] -= 1;
+            }
+        }
+        self.assignment[i] = Some(value);
+        for &(fact, pos) in &self.occurrences[i] {
+            self.resolved[fact][pos] = Value::Const(value);
+        }
+    }
+
+    /// Unbinds a null, restoring its occurrences to the unresolved null.
+    /// Unbinding an unknown or already-unbound null is a no-op.
+    pub fn unbind(&mut self, null: NullId) {
+        if let Some(&i) = self.index_of.get(&null) {
+            self.unbind_index(i);
+        }
+    }
+
+    /// Unbinds the `i`-th null (position in [`Grounding::nulls`]).
+    pub fn unbind_index(&mut self, i: usize) {
+        if self.assignment[i].take().is_some() {
+            self.bound -= 1;
+            let null = self.nulls[i];
+            for &(fact, pos) in &self.occurrences[i] {
+                self.resolved[fact][pos] = Value::Null(null);
+                self.unbound_in_fact[fact] += 1;
+            }
+        }
+    }
+
+    /// The current value of a null, if bound.
+    pub fn value(&self, null: NullId) -> Option<Constant> {
+        self.index_of.get(&null).and_then(|&i| self.assignment[i])
+    }
+
+    /// The current value of the `i`-th null, if bound.
+    pub fn value_by_index(&self, i: usize) -> Option<Constant> {
+        self.assignment[i]
+    }
+
+    /// Returns `true` if every null of the table is bound.
+    pub fn is_fully_bound(&self) -> bool {
+        self.bound == self.nulls.len()
+    }
+
+    /// The number of currently bound nulls.
+    pub fn bound_count(&self) -> usize {
+        self.bound
+    }
+
+    /// Unbinds every null at once.
+    pub fn reset(&mut self) {
+        for i in 0..self.nulls.len() {
+            self.unbind_index(i);
+        }
+    }
+
+    /// The relation names of the table, in lexicographic order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.rel_names.iter().map(String::as_str)
+    }
+
+    /// The partially resolved facts of one relation, each tagged with
+    /// whether it is fully ground under the current assignment.
+    pub fn facts_of(&self, relation: &str) -> impl Iterator<Item = (&[Value], bool)> {
+        self.rel_index
+            .get(relation)
+            .into_iter()
+            .flat_map(|&rel| self.facts_by_rel[rel].iter())
+            .map(|&idx| {
+                (
+                    self.resolved[idx].as_slice(),
+                    self.unbound_in_fact[idx] == 0,
+                )
+            })
+    }
+
+    /// Every partially resolved fact as `(relation index, values)`; relation
+    /// indices follow the order of [`Grounding::relation_names`]. Used by the
+    /// counting engine to fingerprint completions without building a
+    /// [`Database`].
+    pub fn resolved_facts(&self) -> impl Iterator<Item = (usize, &[Value])> {
+        self.fact_rel
+            .iter()
+            .zip(self.resolved.iter())
+            .map(|(&rel, fact)| (rel, fact.as_slice()))
+    }
+
+    /// The canonical fingerprint of the completion induced by the current
+    /// (full) assignment: its facts as `(relation index, tuple)` pairs,
+    /// sorted and deduplicated. Two assignments induce the same completion
+    /// iff they produce the same fingerprint, so fingerprints support
+    /// counting distinct completions without materialising [`Database`]
+    /// values.
+    ///
+    /// Returns an error naming the first unbound null if the assignment is
+    /// not total.
+    pub fn completion_fingerprint(&self) -> Result<Vec<(usize, Vec<Constant>)>, DataError> {
+        if let Some(i) = self.assignment.iter().position(Option::is_none) {
+            return Err(DataError::IncompleteValuation {
+                null: self.nulls[i],
+            });
+        }
+        let mut key: Vec<(usize, Vec<Constant>)> = self
+            .resolved_facts()
+            .map(|(rel, fact)| {
+                (
+                    rel,
+                    fact.iter()
+                        .map(|v| v.as_const().expect("all nulls are bound"))
+                        .collect(),
+                )
+            })
+            .collect();
+        key.sort_unstable();
+        key.dedup();
+        Ok(key)
+    }
+
+    /// The current assignment as a [`Valuation`] (allocates; not for hot
+    /// loops).
+    pub fn current_valuation(&self) -> Valuation {
+        Valuation::from_pairs(
+            self.nulls
+                .iter()
+                .zip(self.assignment.iter())
+                .filter_map(|(&n, value)| value.map(|c| (n, c))),
+        )
+    }
+
+    /// A cursor over every valuation of the underlying database, sharing
+    /// this grounding's domain slices.
+    pub fn valuation_cursor(&self) -> ValuationIter {
+        ValuationIter::new_shared(self.nulls.clone(), self.domains.clone())
+    }
+
+    /// Writes the completion induced by the current (full) assignment into a
+    /// reusable scratch database, clearing it first.
+    ///
+    /// Returns an error naming the first unbound null if the assignment is
+    /// not total.
+    pub fn completion_into(&self, out: &mut Database) -> Result<(), DataError> {
+        if let Some(i) = self.assignment.iter().position(Option::is_none) {
+            return Err(DataError::IncompleteValuation {
+                null: self.nulls[i],
+            });
+        }
+        out.clear();
+        for name in &self.rel_names {
+            out.declare_relation(name);
+        }
+        for (rel, fact) in self.resolved_facts() {
+            let ground: Vec<Constant> = fact
+                .iter()
+                .map(|v| v.as_const().expect("all nulls are bound"))
+                .collect();
+            out.add_fact(&self.rel_names[rel], ground)
+                .expect("arity verified at insertion time");
+        }
+        Ok(())
+    }
+
+    /// The completion induced by the current (full) assignment as a fresh
+    /// [`Database`].
+    ///
+    /// # Panics
+    /// Panics if some null is unbound; use [`Grounding::completion_into`] to
+    /// handle that case gracefully.
+    pub fn to_database(&self) -> Database {
+        let mut out = Database::new();
+        self.completion_into(&mut out)
+            .expect("every null must be bound");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64) -> Value {
+        Value::constant(id)
+    }
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+
+    /// Example 2.2 / Figure 1: `S(a,b), S(⊥1,a), S(a,⊥2)`.
+    fn example_2_2() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("S", vec![c(0), c(1)]).unwrap();
+        db.add_fact("S", vec![n(1), c(0)]).unwrap();
+        db.add_fact("S", vec![c(0), n(2)]).unwrap();
+        db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(2), [0u64, 1]).unwrap();
+        db
+    }
+
+    #[test]
+    fn bind_resolves_every_occurrence() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![n(0), n(0)]).unwrap();
+        db.add_fact("S", vec![n(0), n(1)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+        g.bind(NullId(0), Constant(1)).unwrap();
+        let r: Vec<_> = g.facts_of("R").collect();
+        assert_eq!(r, vec![(&[c(1), c(1)][..], true)]);
+        let s: Vec<_> = g.facts_of("S").collect();
+        assert_eq!(s, vec![(&[c(1), n(1)][..], false)]);
+        assert_eq!(g.bound_count(), 1);
+
+        g.unbind(NullId(0));
+        let r: Vec<_> = g.facts_of("R").collect();
+        assert_eq!(r, vec![(&[n(0), n(0)][..], false)]);
+        assert_eq!(g.bound_count(), 0);
+    }
+
+    #[test]
+    fn rebinding_overwrites() {
+        let db = example_2_2();
+        let mut g = db.try_grounding().unwrap();
+        g.bind(NullId(1), Constant(0)).unwrap();
+        g.bind(NullId(1), Constant(2)).unwrap();
+        assert_eq!(g.value(NullId(1)), Some(Constant(2)));
+        assert_eq!(g.bound_count(), 1);
+    }
+
+    #[test]
+    fn completion_matches_apply() {
+        let db = example_2_2();
+        let mut g = db.try_grounding().unwrap();
+        let mut scratch = Database::new();
+        for valuation in db.valuations() {
+            for (null, value) in valuation.iter() {
+                g.bind(null, value).unwrap();
+            }
+            g.completion_into(&mut scratch).unwrap();
+            assert_eq!(scratch, db.apply_unchecked(&valuation));
+            assert_eq!(g.current_valuation(), valuation);
+            assert_eq!(g.to_database(), scratch);
+        }
+    }
+
+    #[test]
+    fn error_paths_are_reported_not_panicked() {
+        let db = example_2_2();
+        let mut g = db.try_grounding().unwrap();
+        // Binding an unknown null is an error, not a panic.
+        assert!(matches!(
+            g.bind(NullId(9), Constant(0)),
+            Err(DataError::MissingDomain { null: NullId(9) })
+        ));
+        // Binding outside the domain is an error.
+        assert!(matches!(
+            g.bind(NullId(2), Constant(2)),
+            Err(DataError::ValueOutsideDomain {
+                null: NullId(2),
+                value: Constant(2)
+            })
+        ));
+        // Materialising a partial assignment names the missing null.
+        g.bind(NullId(1), Constant(0)).unwrap();
+        let mut scratch = Database::new();
+        assert!(matches!(
+            g.completion_into(&mut scratch),
+            Err(DataError::IncompleteValuation { null: NullId(2) })
+        ));
+        // A database with a domainless null refuses to build a grounding.
+        let mut bad = IncompleteDatabase::new_non_uniform();
+        bad.add_fact("R", vec![n(0)]).unwrap();
+        assert!(matches!(
+            bad.try_grounding(),
+            Err(DataError::MissingDomain { null: NullId(0) })
+        ));
+    }
+
+    #[test]
+    fn reset_and_cursor_share_domains() {
+        let db = example_2_2();
+        let mut g = db.try_grounding().unwrap();
+        g.bind(NullId(1), Constant(1)).unwrap();
+        g.bind(NullId(2), Constant(1)).unwrap();
+        assert!(g.is_fully_bound());
+        g.reset();
+        assert_eq!(g.bound_count(), 0);
+        assert!(!g.is_fully_bound());
+        let cursor = g.valuation_cursor();
+        assert_eq!(cursor.len(), 6);
+        assert_eq!(cursor.count(), 6);
+    }
+
+    #[test]
+    fn domain_accessors() {
+        let db = example_2_2();
+        let g = db.try_grounding().unwrap();
+        assert_eq!(g.nulls(), &[NullId(1), NullId(2)]);
+        assert_eq!(g.null_count(), 2);
+        assert_eq!(g.domain(NullId(2)), Some(&[Constant(0), Constant(1)][..]));
+        assert_eq!(g.domain_by_index(0).len(), 3);
+        assert_eq!(g.index_of(NullId(2)), Some(1));
+        assert!(g.null_can_take(NullId(2), Constant(1)));
+        assert!(!g.null_can_take(NullId(2), Constant(2)));
+        assert!(!g.null_can_take(NullId(7), Constant(0)));
+        assert_eq!(g.occurrence_count(0), 1);
+        assert_eq!(g.relation_names().collect::<Vec<_>>(), vec!["S"]);
+        assert_eq!(g.resolved_facts().count(), 3);
+        assert_eq!(g.value_by_index(0), None);
+    }
+}

@@ -3,17 +3,23 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 use incdb_bignum::BigNat;
 
 use crate::database::Database;
 use crate::domain::{Domain, DomainAssignment};
 use crate::error::DataError;
+use crate::grounding::Grounding;
 use crate::valuation::{Valuation, ValuationIter};
 use crate::value::{Constant, NullId, Value};
 
 /// A fact of a naïve table: a tuple of values (constants and/or nulls).
 pub type IncompleteFact = Vec<Value>;
+
+/// The nulls of a table paired with their domains as shared sorted slices
+/// (see [`IncompleteDatabase::null_domains`]).
+pub type NullDomains = (Vec<NullId>, Vec<Arc<[Constant]>>);
 
 /// An incomplete database `D = (T, dom)`: a naïve table `T` whose facts may
 /// mention labelled nulls, together with a finite domain for each null.
@@ -37,7 +43,10 @@ impl IncompleteDatabase {
     /// Creates an empty incomplete database in the non-uniform setting
     /// (each null will need [`IncompleteDatabase::set_domain`]).
     pub fn new_non_uniform() -> Self {
-        IncompleteDatabase { relations: BTreeMap::new(), domains: DomainAssignment::non_uniform() }
+        IncompleteDatabase {
+            relations: BTreeMap::new(),
+            domains: DomainAssignment::non_uniform(),
+        }
     }
 
     /// Creates an empty incomplete database in the uniform setting, with the
@@ -57,7 +66,9 @@ impl IncompleteDatabase {
     /// Duplicate facts are ignored (the naïve table is a set of facts).
     pub fn add_fact(&mut self, relation: &str, fact: IncompleteFact) -> Result<(), DataError> {
         if fact.is_empty() {
-            return Err(DataError::EmptyFact { relation: relation.to_string() });
+            return Err(DataError::EmptyFact {
+                relation: relation.to_string(),
+            });
         }
         if let Some(existing) = self.relations.get(relation) {
             if let Some(first) = existing.iter().next() {
@@ -70,7 +81,10 @@ impl IncompleteDatabase {
                 }
             }
         }
-        self.relations.entry(relation.to_string()).or_default().insert(fact);
+        self.relations
+            .entry(relation.to_string())
+            .or_default()
+            .insert(fact);
         Ok(())
     }
 
@@ -106,12 +120,16 @@ impl IncompleteDatabase {
 
     /// The domain of a null occurring in the database.
     pub fn domain_of(&self, null: NullId) -> Result<&Domain, DataError> {
-        self.domains.domain_of(null).ok_or(DataError::MissingDomain { null })
+        self.domains
+            .domain_of(null)
+            .ok_or(DataError::MissingDomain { null })
     }
 
     /// Iterates over `(relation name, facts)` pairs in name order.
     pub fn relations(&self) -> impl Iterator<Item = (&str, &BTreeSet<IncompleteFact>)> {
-        self.relations.iter().map(|(name, facts)| (name.as_str(), facts))
+        self.relations
+            .iter()
+            .map(|(name, facts)| (name.as_str(), facts))
     }
 
     /// The relation names of the database, in lexicographic order.
@@ -131,7 +149,9 @@ impl IncompleteDatabase {
 
     /// The arity of a relation, if it has at least one fact.
     pub fn arity(&self, relation: &str) -> Option<usize> {
-        self.relations.get(relation).and_then(|facts| facts.iter().next().map(Vec::len))
+        self.relations
+            .get(relation)
+            .and_then(|facts| facts.iter().next().map(Vec::len))
     }
 
     /// The total number of facts.
@@ -144,27 +164,39 @@ impl IncompleteDatabase {
         let set: BTreeSet<NullId> = self
             .relations
             .values()
-            .flat_map(|facts| facts.iter().flat_map(|f| f.iter().filter_map(|v| v.as_null())))
+            .flat_map(|facts| {
+                facts
+                    .iter()
+                    .flat_map(|f| f.iter().filter_map(|v| v.as_null()))
+            })
             .collect();
         set.into_iter().collect()
     }
 
     /// The set of nulls occurring in one relation.
     pub fn nulls_of_relation(&self, relation: &str) -> BTreeSet<NullId> {
-        self.facts(relation).flat_map(|f| f.iter().filter_map(|v| v.as_null())).collect()
+        self.facts(relation)
+            .flat_map(|f| f.iter().filter_map(|v| v.as_null()))
+            .collect()
     }
 
     /// The set of constants occurring in the table itself.
     pub fn table_constants(&self) -> BTreeSet<Constant> {
         self.relations
             .values()
-            .flat_map(|facts| facts.iter().flat_map(|f| f.iter().filter_map(|v| v.as_const())))
+            .flat_map(|facts| {
+                facts
+                    .iter()
+                    .flat_map(|f| f.iter().filter_map(|v| v.as_const()))
+            })
             .collect()
     }
 
     /// The set of constants occurring in one relation of the table.
     pub fn constants_of_relation(&self, relation: &str) -> BTreeSet<Constant> {
-        self.facts(relation).flat_map(|f| f.iter().filter_map(|v| v.as_const())).collect()
+        self.facts(relation)
+            .flat_map(|f| f.iter().filter_map(|v| v.as_const()))
+            .collect()
     }
 
     /// The number of occurrences of `null` in the table (counting one per
@@ -223,16 +255,36 @@ impl IncompleteDatabase {
         acc
     }
 
+    /// The nulls of the table together with their domains as shared sorted
+    /// slices — the representation used by the valuation cursor and by
+    /// [`Grounding`], so that the two can share one set of buffers.
+    ///
+    /// Returns an error if some null has no domain.
+    pub fn null_domains(&self) -> Result<NullDomains, DataError> {
+        let nulls = self.nulls();
+        let mut domains = Vec::with_capacity(nulls.len());
+        for &n in &nulls {
+            let slice: Arc<[Constant]> = self.domain_of(n)?.iter().copied().collect();
+            domains.push(slice);
+        }
+        Ok((nulls, domains))
+    }
+
     /// Iterates over every valuation of the database.
     ///
     /// Returns an error if some null has no domain.
     pub fn try_valuations(&self) -> Result<ValuationIter, DataError> {
-        let nulls = self.nulls();
-        let mut domains = Vec::with_capacity(nulls.len());
-        for &n in &nulls {
-            domains.push(self.domain_of(n)?.iter().copied().collect());
-        }
-        Ok(ValuationIter::new(nulls, domains))
+        let (nulls, domains) = self.null_domains()?;
+        Ok(ValuationIter::new_shared(nulls, domains))
+    }
+
+    /// Creates an in-place [`Grounding`] of this database: a reusable
+    /// partial-valuation workspace supporting [`Grounding::bind`] /
+    /// [`Grounding::unbind`] without re-materialising the table.
+    ///
+    /// Returns an error if some null has no domain.
+    pub fn try_grounding(&self) -> Result<Grounding, DataError> {
+        Grounding::of(self)
     }
 
     /// Iterates over every valuation of the database.
@@ -241,7 +293,8 @@ impl IncompleteDatabase {
     /// Panics if some null occurring in the table has no domain; use
     /// [`IncompleteDatabase::try_valuations`] to handle that case gracefully.
     pub fn valuations(&self) -> ValuationIter {
-        self.try_valuations().expect("every null must have a domain")
+        self.try_valuations()
+            .expect("every null must have a domain")
     }
 
     /// Applies a valuation, producing the completion `ν(D)` (set semantics).
@@ -282,7 +335,8 @@ impl IncompleteDatabase {
                             .unwrap_or_else(|| panic!("valuation misses null {n}")),
                     })
                     .collect();
-                db.add_fact(name, ground).expect("arity verified at insertion time");
+                db.add_fact(name, ground)
+                    .expect("arity verified at insertion time");
             }
         }
         db
@@ -392,7 +446,10 @@ mod tests {
     fn example_2_1_structure() {
         let db = example_2_1();
         assert_eq!(db.nulls(), vec![NullId(1), NullId(2)]);
-        assert!(!db.is_codd(), "⊥1 occurs twice, so this is not a Codd table");
+        assert!(
+            !db.is_codd(),
+            "⊥1 occurs twice, so this is not a Codd table"
+        );
         assert!(!db.is_uniform());
         assert_eq!(db.fact_count(), 2);
         assert_eq!(db.arity("S"), Some(2));
@@ -422,7 +479,10 @@ mod tests {
         let bad = Valuation::from_pairs([(NullId(1), Constant(1)), (NullId(2), Constant(1))]);
         assert!(matches!(
             db.apply(&bad),
-            Err(DataError::ValueOutsideDomain { null: NullId(2), .. })
+            Err(DataError::ValueOutsideDomain {
+                null: NullId(2),
+                ..
+            })
         ));
     }
 
@@ -430,7 +490,10 @@ mod tests {
     fn missing_null_in_valuation() {
         let db = example_2_1();
         let partial = Valuation::from_pairs([(NullId(1), Constant(0))]);
-        assert!(matches!(db.apply(&partial), Err(DataError::IncompleteValuation { null: NullId(2) })));
+        assert!(matches!(
+            db.apply(&partial),
+            Err(DataError::IncompleteValuation { null: NullId(2) })
+        ));
     }
 
     #[test]
@@ -438,8 +501,7 @@ mod tests {
         let db = example_2_1();
         let vals: Vec<Valuation> = db.valuations().collect();
         assert_eq!(vals.len(), 4);
-        let completions: BTreeSet<Database> =
-            vals.iter().map(|v| db.apply_unchecked(v)).collect();
+        let completions: BTreeSet<Database> = vals.iter().map(|v| db.apply_unchecked(v)).collect();
         // {S(a,a),S(a,a)}, {S(a,a),S(a,c)}, {S(b,b),S(a,a)}, {S(b,b),S(a,c)}:
         // all four completions are distinct here.
         assert_eq!(completions.len(), 4);
@@ -460,7 +522,10 @@ mod tests {
     fn missing_domain_detected() {
         let mut db = IncompleteDatabase::new_non_uniform();
         db.add_fact("R", vec![n(0)]).unwrap();
-        assert!(matches!(db.validate(), Err(DataError::MissingDomain { null: NullId(0) })));
+        assert!(matches!(
+            db.validate(),
+            Err(DataError::MissingDomain { null: NullId(0) })
+        ));
         assert_eq!(db.valuation_count(), BigNat::zero());
         assert!(db.try_valuations().is_err());
     }
@@ -489,8 +554,10 @@ mod tests {
         // The completions are in bijection.
         let originals: BTreeSet<Database> =
             db.valuations().map(|v| db.apply_unchecked(&v)).collect();
-        let rewrittens: BTreeSet<Database> =
-            rewritten.valuations().map(|v| rewritten.apply_unchecked(&v)).collect();
+        let rewrittens: BTreeSet<Database> = rewritten
+            .valuations()
+            .map(|v| rewritten.apply_unchecked(&v))
+            .collect();
         assert_eq!(originals, rewrittens);
     }
 
@@ -511,9 +578,16 @@ mod tests {
         db.add_fact("R", vec![n(0), n(1)]).unwrap();
         assert!(matches!(
             db.add_fact("R", vec![n(2)]),
-            Err(DataError::ArityMismatch { expected: 2, found: 1, .. })
+            Err(DataError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            })
         ));
-        assert!(matches!(db.add_fact("S", vec![]), Err(DataError::EmptyFact { .. })));
+        assert!(matches!(
+            db.add_fact("S", vec![]),
+            Err(DataError::EmptyFact { .. })
+        ));
     }
 
     #[test]

@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn distinct_names_get_distinct_ids() {
         let mut pool = ConstantPool::new();
-        let ids: Vec<_> = ["a", "b", "c", "d"].iter().map(|n| pool.intern(n)).collect();
+        let ids: Vec<_> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| pool.intern(n))
+            .collect();
         let mut dedup = ids.clone();
         dedup.sort();
         dedup.dedup();

@@ -45,6 +45,7 @@
 pub mod database;
 pub mod domain;
 pub mod error;
+pub mod grounding;
 pub mod incomplete;
 pub mod interner;
 pub mod valuation;
@@ -53,7 +54,8 @@ pub mod value;
 pub use database::{Database, GroundFact};
 pub use domain::{Domain, DomainAssignment};
 pub use error::DataError;
-pub use incomplete::{IncompleteDatabase, IncompleteFact};
+pub use grounding::Grounding;
+pub use incomplete::{IncompleteDatabase, IncompleteFact, NullDomains};
 pub use interner::ConstantPool;
 pub use valuation::{Valuation, ValuationIter};
 pub use value::{Constant, NullId, Value};

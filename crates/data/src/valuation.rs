@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::value::{Constant, NullId};
 
@@ -27,7 +28,9 @@ impl Valuation {
     where
         I: IntoIterator<Item = (NullId, Constant)>,
     {
-        Valuation { map: pairs.into_iter().collect() }
+        Valuation {
+            map: pairs.into_iter().collect(),
+        }
     }
 
     /// Assigns `value` to `null` (overwriting any previous assignment).
@@ -63,7 +66,10 @@ impl Valuation {
     /// Restricts the valuation to the given nulls.
     pub fn restrict(&self, nulls: &[NullId]) -> Valuation {
         Valuation {
-            map: nulls.iter().filter_map(|&n| self.get(n).map(|c| (n, c))).collect(),
+            map: nulls
+                .iter()
+                .filter_map(|&n| self.get(n).map(|c| (n, c)))
+                .collect(),
         }
     }
 }
@@ -99,9 +105,15 @@ impl fmt::Display for Valuation {
 /// Yields exactly `∏ᵢ |domᵢ|` valuations; if some domain is empty and at
 /// least one null exists, it yields nothing; with no nulls at all it yields
 /// the single empty valuation.
+///
+/// The domains are reference-counted slices, so cloning the cursor — or
+/// building one from domains already shared with a [`crate::Grounding`] —
+/// does not copy them. The iterator knows how many valuations remain
+/// ([`Iterator::size_hint`], [`ExactSizeIterator`]).
+#[derive(Clone)]
 pub struct ValuationIter {
     nulls: Vec<NullId>,
-    domains: Vec<Vec<Constant>>,
+    domains: Vec<Arc<[Constant]>>,
     /// Current odometer position; `None` once exhausted or before start.
     indices: Option<Vec<usize>>,
     started: bool,
@@ -111,14 +123,32 @@ impl ValuationIter {
     /// Creates an iterator over all valuations of `nulls`, where `domains[i]`
     /// is the domain of `nulls[i]`.
     pub fn new(nulls: Vec<NullId>, domains: Vec<Vec<Constant>>) -> Self {
+        Self::new_shared(nulls, domains.into_iter().map(Arc::from).collect())
+    }
+
+    /// Creates an iterator over shared domain slices without copying them
+    /// (the representation used by [`crate::IncompleteDatabase`] and
+    /// [`crate::Grounding`]).
+    pub fn new_shared(nulls: Vec<NullId>, domains: Vec<Arc<[Constant]>>) -> Self {
         assert_eq!(nulls.len(), domains.len(), "one domain per null required");
-        let empty = domains.iter().any(Vec::is_empty);
-        let indices = if empty && !nulls.is_empty() { None } else { Some(vec![0; nulls.len()]) };
-        ValuationIter { nulls, domains, indices, started: false }
+        let empty = domains.iter().any(|d| d.is_empty());
+        let indices = if empty && !nulls.is_empty() {
+            None
+        } else {
+            Some(vec![0; nulls.len()])
+        };
+        ValuationIter {
+            nulls,
+            domains,
+            indices,
+            started: false,
+        }
     }
 
     fn advance(&mut self) {
-        let Some(indices) = self.indices.as_mut() else { return };
+        let Some(indices) = self.indices.as_mut() else {
+            return;
+        };
         for pos in (0..indices.len()).rev() {
             indices[pos] += 1;
             if indices[pos] < self.domains[pos].len() {
@@ -128,6 +158,26 @@ impl ValuationIter {
         }
         // Wrapped around completely: exhausted.
         self.indices = None;
+    }
+
+    /// The number of valuations not yet yielded, if it fits in a `u128`.
+    fn remaining(&self) -> Option<u128> {
+        let Some(indices) = self.indices.as_ref() else {
+            return Some(0);
+        };
+        // Mixed-radix rank of the current odometer position.
+        let mut total: u128 = 1;
+        let mut rank: u128 = 0;
+        for pos in (0..indices.len()).rev() {
+            rank = rank.checked_add((indices[pos] as u128).checked_mul(total)?)?;
+            total = total.checked_mul(self.domains[pos].len() as u128)?;
+        }
+        // Before the first `next()` the position at rank 0 is still pending.
+        Some(if self.started {
+            total - rank - 1
+        } else {
+            total
+        })
     }
 }
 
@@ -148,7 +198,19 @@ impl Iterator for ValuationIter {
                 .map(|(pos, &n)| (n, self.domains[pos][indices[pos]])),
         ))
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.remaining() {
+            Some(n) if n <= usize::MAX as u128 => (n as usize, Some(n as usize)),
+            _ => (usize::MAX, None),
+        }
+    }
 }
+
+/// Exact only while the remaining count fits in `usize`; beyond that
+/// (more than `2^64` pending valuations) [`ExactSizeIterator::len`] panics,
+/// which no caller can reach by actually iterating.
+impl ExactSizeIterator for ValuationIter {}
 
 #[cfg(test)]
 mod tests {
@@ -192,6 +254,36 @@ mod tests {
             assert!([c(3), c(4), c(5)].contains(&v.get(NullId(1)).unwrap()));
             assert_eq!(v.get(NullId(2)), Some(c(6)));
         }
+    }
+
+    #[test]
+    fn size_hint_tracks_remaining_valuations() {
+        let mut it = ValuationIter::new(
+            vec![NullId(0), NullId(1)],
+            vec![vec![c(1), c(2)], vec![c(3), c(4), c(5)]],
+        );
+        assert_eq!(it.len(), 6);
+        assert_eq!(it.size_hint(), (6, Some(6)));
+        it.next();
+        assert_eq!(it.len(), 5);
+        for _ in 0..5 {
+            it.next();
+        }
+        assert_eq!(it.len(), 0);
+        assert!(it.next().is_none());
+        assert_eq!(it.len(), 0);
+
+        // No nulls: exactly one (empty) valuation pending.
+        let empty = ValuationIter::new(vec![], vec![]);
+        assert_eq!(empty.len(), 1);
+        // An empty domain: nothing pending from the start.
+        let none = ValuationIter::new(vec![NullId(0)], vec![vec![]]);
+        assert_eq!(none.len(), 0);
+        // Cloning preserves the position (shared domains, copied odometer).
+        let mut a = ValuationIter::new(vec![NullId(0)], vec![vec![c(1), c(2)]]);
+        a.next();
+        let mut b = a.clone();
+        assert_eq!(a.next(), b.next());
     }
 
     #[test]

@@ -201,11 +201,21 @@ mod tests {
     #[test]
     fn ordering_is_total() {
         // Constants sort before nulls because of enum variant order.
-        let mut vs = vec![Value::null(0), Value::constant(10), Value::constant(2), Value::null(5)];
+        let mut vs = vec![
+            Value::null(0),
+            Value::constant(10),
+            Value::constant(2),
+            Value::null(5),
+        ];
         vs.sort();
         assert_eq!(
             vs,
-            vec![Value::constant(2), Value::constant(10), Value::null(0), Value::null(5)]
+            vec![
+                Value::constant(2),
+                Value::constant(10),
+                Value::null(0),
+                Value::null(5)
+            ]
         );
     }
 

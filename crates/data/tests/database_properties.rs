@@ -7,7 +7,10 @@ use std::collections::BTreeSet;
 
 /// Strategy: a small uniform incomplete database over one binary relation.
 fn small_uniform_db() -> impl Strategy<Value = IncompleteDatabase> {
-    let value = prop_oneof![(0u32..3).prop_map(Value::null), (0u64..3).prop_map(Value::constant)];
+    let value = prop_oneof![
+        (0u32..3).prop_map(Value::null),
+        (0u64..3).prop_map(Value::constant)
+    ];
     let facts = proptest::collection::vec((value.clone(), value), 0..4);
     (1u64..=3, facts).prop_map(|(domain, facts)| {
         let mut db = IncompleteDatabase::new_uniform(0..domain);

@@ -154,8 +154,11 @@ mod tests {
         let mut seen_total = 0u128;
         let mut seen_avoiding = 0u128;
         loop {
-            let assignment: Vec<usize> =
-                idx.iter().enumerate().map(|(v, &i)| incident[v][i]).collect();
+            let assignment: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .map(|(v, &i)| incident[v][i])
+                .collect();
             seen_total += 1;
             if is_avoiding(&g, &assignment) {
                 seen_avoiding += 1;

@@ -20,7 +20,11 @@ pub struct BipartiteGraph {
 impl BipartiteGraph {
     /// Creates an edgeless bipartite graph.
     pub fn new(left_count: usize, right_count: usize) -> Self {
-        BipartiteGraph { left_count, right_count, edges: BTreeSet::new() }
+        BipartiteGraph {
+            left_count,
+            right_count,
+            edges: BTreeSet::new(),
+        }
     }
 
     /// Builds a bipartite graph from an edge list.
@@ -37,7 +41,10 @@ impl BipartiteGraph {
     /// # Panics
     /// Panics if either index is out of range.
     pub fn add_edge(&mut self, x: usize, y: usize) {
-        assert!(x < self.left_count && y < self.right_count, "node out of range");
+        assert!(
+            x < self.left_count && y < self.right_count,
+            "node out of range"
+        );
         self.edges.insert((x, y));
     }
 
@@ -68,12 +75,16 @@ impl BipartiteGraph {
 
     /// The right-neighbours of left node `x`.
     pub fn right_neighbors(&self, x: usize) -> Vec<usize> {
-        (0..self.right_count).filter(|&y| self.has_edge(x, y)).collect()
+        (0..self.right_count)
+            .filter(|&y| self.has_edge(x, y))
+            .collect()
     }
 
     /// The left-neighbours of right node `y`.
     pub fn left_neighbors(&self, y: usize) -> Vec<usize> {
-        (0..self.left_count).filter(|&x| self.has_edge(x, y)).collect()
+        (0..self.left_count)
+            .filter(|&x| self.has_edge(x, y))
+            .collect()
     }
 
     /// Converts to a plain [`Graph`]: left node `x` becomes node `x`, right
@@ -90,7 +101,9 @@ impl BipartiteGraph {
     /// member of `s1 ⊆ X` to a member of `s2 ⊆ Y` (the notion used in the
     /// proof of Proposition 3.11).
     pub fn is_independent_pair(&self, s1: &BTreeSet<usize>, s2: &BTreeSet<usize>) -> bool {
-        self.edges.iter().all(|&(x, y)| !(s1.contains(&x) && s2.contains(&y)))
+        self.edges
+            .iter()
+            .all(|&(x, y)| !(s1.contains(&x) && s2.contains(&y)))
     }
 
     /// Counts the independent pairs `(S1, S2)` with `|S1| = i`, `|S2| = j`,
@@ -121,7 +134,11 @@ impl BipartiteGraph {
 
 impl fmt::Debug for BipartiteGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let edges: Vec<String> = self.edges.iter().map(|(x, y)| format!("(L{x},R{y})")).collect();
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|(x, y)| format!("(L{x},R{y})"))
+            .collect();
         write!(
             f,
             "BipartiteGraph(left={}, right={}, edges=[{}])",
@@ -180,7 +197,10 @@ mod tests {
             BipartiteGraph::from_edges(2, 3, &[]),
         ];
         for g in cases {
-            assert_eq!(g.count_independent_sets(), count_independent_sets(&g.to_graph()));
+            assert_eq!(
+                g.count_independent_sets(),
+                count_independent_sets(&g.to_graph())
+            );
         }
     }
 

@@ -16,7 +16,10 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `node_count` isolated nodes.
     pub fn new(node_count: usize) -> Self {
-        Graph { node_count, edges: BTreeSet::new() }
+        Graph {
+            node_count,
+            edges: BTreeSet::new(),
+        }
     }
 
     /// Adds the undirected edge `{u, v}`.
@@ -27,7 +30,10 @@ impl Graph {
     /// Panics if `u == v` or either endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
         assert!(u != v, "simple graphs have no self-loops");
-        assert!(u < self.node_count && v < self.node_count, "node out of range");
+        assert!(
+            u < self.node_count && v < self.node_count,
+            "node out of range"
+        );
         self.edges.insert((u.min(v), u.max(v)));
     }
 
@@ -62,7 +68,9 @@ impl Graph {
 
     /// The neighbours of `u`.
     pub fn neighbors(&self, u: usize) -> Vec<usize> {
-        (0..self.node_count).filter(|&v| self.has_edge(u, v)).collect()
+        (0..self.node_count)
+            .filter(|&v| self.has_edge(u, v))
+            .collect()
     }
 
     /// The degree of `u`.
@@ -73,13 +81,17 @@ impl Graph {
     /// Returns `true` if `set` is an independent set (no edge joins two of
     /// its members).
     pub fn is_independent_set(&self, set: &BTreeSet<usize>) -> bool {
-        self.edges.iter().all(|&(u, v)| !(set.contains(&u) && set.contains(&v)))
+        self.edges
+            .iter()
+            .all(|&(u, v)| !(set.contains(&u) && set.contains(&v)))
     }
 
     /// Returns `true` if `set` is a vertex cover (every edge has an endpoint
     /// in the set).
     pub fn is_vertex_cover(&self, set: &BTreeSet<usize>) -> bool {
-        self.edges.iter().all(|&(u, v)| set.contains(&u) || set.contains(&v))
+        self.edges
+            .iter()
+            .all(|&(u, v)| set.contains(&u) || set.contains(&v))
     }
 
     /// The subgraph induced by an **edge** subset `S ⊆ E`, returned as a new
@@ -104,8 +116,17 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let edges: Vec<String> = self.edges.iter().map(|(u, v)| format!("{{{u},{v}}}")).collect();
-        write!(f, "Graph(n={}, edges=[{}])", self.node_count, edges.join(", "))
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|(u, v)| format!("{{{u},{v}}}"))
+            .collect();
+        write!(
+            f,
+            "Graph(n={}, edges=[{}])",
+            self.node_count,
+            edges.join(", ")
+        )
     }
 }
 

@@ -17,7 +17,10 @@ pub struct Multigraph {
 impl Multigraph {
     /// Creates a multigraph with `node_count` isolated nodes.
     pub fn new(node_count: usize) -> Self {
-        Multigraph { node_count, edges: Vec::new() }
+        Multigraph {
+            node_count,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds an edge between `u` and `v`, returning its index. Parallel edges
@@ -27,7 +30,10 @@ impl Multigraph {
     /// Panics on self-loops or out-of-range endpoints.
     pub fn add_edge(&mut self, u: usize, v: usize) -> usize {
         assert!(u != v, "multigraphs in this library have no self-loops");
-        assert!(u < self.node_count && v < self.node_count, "node out of range");
+        assert!(
+            u < self.node_count && v < self.node_count,
+            "node out of range"
+        );
         self.edges.push((u.min(v), u.max(v)));
         self.edges.len() - 1
     }
@@ -84,9 +90,17 @@ impl Multigraph {
 
 impl fmt::Debug for Multigraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let edges: Vec<String> =
-            self.edges.iter().map(|(u, v)| format!("{{{u},{v}}}")).collect();
-        write!(f, "Multigraph(n={}, edges=[{}])", self.node_count, edges.join(", "))
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|(u, v)| format!("{{{u},{v}}}"))
+            .collect();
+        write!(
+            f,
+            "Multigraph(n={}, edges=[{}])",
+            self.node_count,
+            edges.join(", ")
+        )
     }
 }
 

@@ -20,7 +20,11 @@ struct ComponentTracker {
 
 impl ComponentTracker {
     fn new(n: usize) -> Self {
-        ComponentTracker { parent: (0..n).collect(), nodes: vec![1; n], edges: vec![0; n] }
+        ComponentTracker {
+            parent: (0..n).collect(),
+            nodes: vec![1; n],
+            edges: vec![0; n],
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -117,7 +121,11 @@ mod tests {
     fn pf_count_of_cycles_is_all_subsets() {
         // A cycle and all of its subgraphs are pseudoforests.
         for n in 3..=6usize {
-            assert_eq!(count_pseudoforest_subsets(&cycle_graph(n)), 1u128 << n, "C_{n}");
+            assert_eq!(
+                count_pseudoforest_subsets(&cycle_graph(n)),
+                1u128 << n,
+                "C_{n}"
+            );
         }
     }
 

@@ -113,7 +113,10 @@ impl Atom {
     /// enforced by [`crate::Bcq`] construction rather than here so that
     /// intermediate rewritings stay expressible.
     pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
-        Atom { relation: relation.into(), terms }
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
     }
 
     /// Creates an atom whose terms are all variables, from variable names.
@@ -143,7 +146,10 @@ impl Atom {
 
     /// The number of occurrences of `var` in the atom.
     pub fn occurrences_of(&self, var: &Variable) -> usize {
-        self.terms.iter().filter(|t| t.as_var() == Some(var)).count()
+        self.terms
+            .iter()
+            .filter(|t| t.as_var() == Some(var))
+            .count()
     }
 
     /// Returns `true` if some variable occurs at least twice in the atom.

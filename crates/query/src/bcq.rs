@@ -8,8 +8,8 @@ use incdb_data::Database;
 
 use crate::atom::{Atom, Term, Variable};
 use crate::error::QueryParseError;
-use crate::homomorphism::find_homomorphism;
-use crate::BooleanQuery;
+use crate::homomorphism::{find_homomorphism, find_partial_homomorphism, PartialMatch};
+use crate::{BooleanQuery, PartialOutcome};
 
 /// A Boolean conjunctive query `∃x̄ (R₁(x̄₁) ∧ … ∧ R_m(x̄_m))`.
 ///
@@ -48,8 +48,12 @@ impl Bcq {
     /// Panics if the atom list is empty or an atom has no variables; intended
     /// for tests and examples where the query is a literal.
     pub fn from_atoms(spec: &[(&str, &[&str])]) -> Self {
-        Bcq::new(spec.iter().map(|(rel, vars)| Atom::from_vars(*rel, vars)).collect())
-            .expect("literal query specification must be well-formed")
+        Bcq::new(
+            spec.iter()
+                .map(|(rel, vars)| Atom::from_vars(*rel, vars))
+                .collect(),
+        )
+        .expect("literal query specification must be well-formed")
     }
 
     /// The atoms of the query.
@@ -69,7 +73,10 @@ impl Bcq {
 
     /// The set of distinct variables of the query.
     pub fn variables(&self) -> BTreeSet<Variable> {
-        self.atoms.iter().flat_map(|a| a.variables().into_iter().cloned()).collect()
+        self.atoms
+            .iter()
+            .flat_map(|a| a.variables().into_iter().cloned())
+            .collect()
     }
 
     /// The total number of occurrences of `var` across all atoms.
@@ -80,14 +87,19 @@ impl Bcq {
     /// The variables that occur exactly once in the whole query
     /// (the variables eliminated by Lemma A.12).
     pub fn single_occurrence_variables(&self) -> BTreeSet<Variable> {
-        self.variables().into_iter().filter(|v| self.occurrences_of(v) == 1).collect()
+        self.variables()
+            .into_iter()
+            .filter(|v| self.occurrences_of(v) == 1)
+            .collect()
     }
 
     /// Returns `true` if no two atoms use the same relation symbol
     /// (self-join-freeness).
     pub fn is_self_join_free(&self) -> bool {
         let mut seen = BTreeSet::new();
-        self.atoms.iter().all(|a| seen.insert(a.relation().to_string()))
+        self.atoms
+            .iter()
+            .all(|a| seen.insert(a.relation().to_string()))
     }
 
     /// Returns `true` if every atom of the query is unary (arity exactly 1).
@@ -146,14 +158,19 @@ impl Bcq {
         let mut atoms = Vec::with_capacity(self.atoms.len());
         for atom in &self.atoms {
             let next_rel = format!("R{}", rel_map.len());
-            let rel = rel_map.entry(atom.relation().to_string()).or_insert(next_rel).clone();
+            let rel = rel_map
+                .entry(atom.relation().to_string())
+                .or_insert(next_rel)
+                .clone();
             let terms: Vec<Term> = atom
                 .terms()
                 .iter()
                 .map(|t| match t {
                     Term::Var(v) => {
                         let next_var = format!("x{}", var_map.len());
-                        Term::Var(Variable::new(var_map.entry(v.clone()).or_insert(next_var).clone()))
+                        Term::Var(Variable::new(
+                            var_map.entry(v.clone()).or_insert(next_var).clone(),
+                        ))
                     }
                     Term::Const(c) => Term::Const(*c),
                 })
@@ -170,7 +187,25 @@ impl BooleanQuery for Bcq {
     }
 
     fn signature(&self) -> BTreeSet<String> {
-        self.atoms.iter().map(|a| a.relation().to_string()).collect()
+        self.atoms
+            .iter()
+            .map(|a| a.relation().to_string())
+            .collect()
+    }
+
+    /// A BCQ is decided on a partial grounding whenever either a
+    /// homomorphism into the already-ground facts exists (those facts occur
+    /// in every completion ⇒ `Satisfied`) or not even the optimistic
+    /// wildcard relaxation of the unbound nulls admits a match (⇒ `Refuted`).
+    /// On a fully bound grounding exactly one of the two always applies.
+    fn holds_partial(&self, grounding: &incdb_data::Grounding) -> PartialOutcome {
+        if find_partial_homomorphism(self, grounding, PartialMatch::GroundOnly).is_some() {
+            PartialOutcome::Satisfied
+        } else if find_partial_homomorphism(self, grounding, PartialMatch::Optimistic).is_none() {
+            PartialOutcome::Refuted
+        } else {
+            PartialOutcome::Unknown
+        }
     }
 }
 
@@ -202,9 +237,13 @@ impl FromStr for Bcq {
                 .ok_or_else(|| QueryParseError::Syntax(format!("expected '(' in {rest:?}")))?;
             let rel = rest[..open].trim();
             if rel.is_empty()
-                || !rel.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+                || !rel
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
             {
-                return Err(QueryParseError::Syntax(format!("invalid relation name {rel:?}")));
+                return Err(QueryParseError::Syntax(format!(
+                    "invalid relation name {rel:?}"
+                )));
             }
             let close = rest[open..]
                 .find(')')
@@ -215,14 +254,19 @@ impl FromStr for Bcq {
             for raw in args_str.split(',') {
                 let arg = raw.trim();
                 if arg.is_empty() {
-                    return Err(QueryParseError::Syntax(format!("empty argument in {rest:?}")));
+                    return Err(QueryParseError::Syntax(format!(
+                        "empty argument in {rest:?}"
+                    )));
                 }
                 if arg.chars().all(|c| c.is_ascii_digit()) {
                     let id: u64 = arg
                         .parse()
                         .map_err(|_| QueryParseError::Syntax(format!("bad constant {arg:?}")))?;
                     terms.push(Term::constant(id));
-                } else if arg.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'') {
+                } else if arg
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+                {
                     terms.push(Term::var(arg));
                 } else {
                     return Err(QueryParseError::Syntax(format!("invalid term {arg:?}")));
@@ -240,7 +284,9 @@ impl FromStr for Bcq {
                     return Err(QueryParseError::Syntax("trailing separator".to_string()));
                 }
             } else if !rest.is_empty() {
-                return Err(QueryParseError::Syntax(format!("unexpected input {rest:?}")));
+                return Err(QueryParseError::Syntax(format!(
+                    "unexpected input {rest:?}"
+                )));
             }
         }
         Bcq::new(atoms)
@@ -317,7 +363,9 @@ mod tests {
     fn project_out_variables() {
         let q: Bcq = "R(x,y), S(x,z), T(w)".parse().unwrap();
         let to_remove: BTreeSet<Variable> =
-            [Variable::new("y"), Variable::new("z"), Variable::new("w")].into_iter().collect();
+            [Variable::new("y"), Variable::new("z"), Variable::new("w")]
+                .into_iter()
+                .collect();
         let projected = q.project_out(&to_remove).unwrap();
         // T(w) disappears entirely; R and S become unary over x.
         assert_eq!(projected.to_string(), "R(x) ∧ S(x)");
@@ -337,6 +385,35 @@ mod tests {
     }
 
     #[test]
+    fn partial_evaluation_decides_subtrees() {
+        use crate::{BooleanQuery, PartialOutcome};
+        use incdb_data::{IncompleteDatabase, NullId, Value};
+
+        // T = { R(1,1), S(⊥0) } over the uniform domain {0,1}.
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![Value::constant(1), Value::constant(1)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(0)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+
+        // R(x,x) is witnessed by the ground fact R(1,1) in every completion.
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        assert_eq!(q.holds_partial(&g), PartialOutcome::Satisfied);
+
+        // T(x) is refuted: the relation is empty in every completion.
+        let q: Bcq = "T(x)".parse().unwrap();
+        assert_eq!(q.holds_partial(&g), PartialOutcome::Refuted);
+
+        // S(1) is undecided while ⊥0 is unbound, then decided either way.
+        let q: Bcq = "S(1)".parse().unwrap();
+        assert_eq!(q.holds_partial(&g), PartialOutcome::Unknown);
+        g.bind(NullId(0), Constant(1)).unwrap();
+        assert_eq!(q.holds_partial(&g), PartialOutcome::Satisfied);
+        g.bind(NullId(0), Constant(0)).unwrap();
+        assert_eq!(q.holds_partial(&g), PartialOutcome::Refuted);
+    }
+
+    #[test]
     fn model_checking_via_trait() {
         use crate::BooleanQuery;
         let q: Bcq = "R(x,y), S(y)".parse().unwrap();
@@ -350,6 +427,9 @@ mod tests {
         db2.add_fact("S", vec![Constant(3)]).unwrap();
         assert!(!q.holds(&db2));
 
-        assert_eq!(q.signature().into_iter().collect::<Vec<_>>(), vec!["R", "S"]);
+        assert_eq!(
+            q.signature().into_iter().collect::<Vec<_>>(),
+            vec!["R", "S"]
+        );
     }
 }

@@ -36,7 +36,10 @@ impl ConnectivityGraph {
                 }
             }
         }
-        ConnectivityGraph { atom_count: atoms.len(), edges }
+        ConnectivityGraph {
+            atom_count: atoms.len(),
+            edges,
+        }
     }
 
     /// The number of nodes (atoms).
@@ -198,7 +201,10 @@ impl BasicSingletonDecomposition {
             .into_iter()
             .map(|(variable, atoms)| SingletonComponent { variable, atoms })
             .collect();
-        Some(BasicSingletonDecomposition { components, free_relations })
+        Some(BasicSingletonDecomposition {
+            components,
+            free_relations,
+        })
     }
 }
 
@@ -244,7 +250,10 @@ mod tests {
         let comps = g.connected_components();
         assert_eq!(comps, vec![vec![0, 1], vec![2]]);
         assert!(g.edge_label(0, 1).is_some());
-        assert!(g.edge_label(1, 0).is_some(), "edge lookup must be symmetric");
+        assert!(
+            g.edge_label(1, 0).is_some(),
+            "edge lookup must be symmetric"
+        );
         assert!(g.edge_label(0, 2).is_none());
         assert!(g.components_are_single_variable_cliques());
         assert_eq!(g.edges().count(), 1);
@@ -262,7 +271,11 @@ mod tests {
         assert_eq!(s_comp.variable, Variable::new("x2"));
         assert_eq!(
             s_comp.atoms,
-            vec![("S1".to_string(), 0), ("S2".to_string(), 0), ("S3".to_string(), 0)]
+            vec![
+                ("S1".to_string(), 0),
+                ("S2".to_string(), 0),
+                ("S3".to_string(), 0)
+            ]
         );
         let t_comp = &d.components[1];
         assert_eq!(t_comp.variable, Variable::new("x3"));
@@ -298,7 +311,11 @@ mod tests {
         assert_eq!(comp.variable, Variable::new("x"));
         assert_eq!(
             comp.atoms,
-            vec![("R".to_string(), 1), ("S".to_string(), 0), ("T".to_string(), 0)]
+            vec![
+                ("R".to_string(), 1),
+                ("S".to_string(), 0),
+                ("T".to_string(), 0)
+            ]
         );
     }
 

@@ -17,9 +17,14 @@ impl fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryParseError::Syntax(msg) => write!(f, "syntax error: {msg}"),
-            QueryParseError::NoAtoms => write!(f, "a Boolean conjunctive query needs at least one atom"),
+            QueryParseError::NoAtoms => {
+                write!(f, "a Boolean conjunctive query needs at least one atom")
+            }
             QueryParseError::NullaryAtom(rel) => {
-                write!(f, "atom over relation {rel} has no terms; arity must be at least 1")
+                write!(
+                    f,
+                    "atom over relation {rel} has no terms; arity must be at least 1"
+                )
             }
         }
     }
@@ -33,8 +38,14 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(QueryParseError::Syntax("bad".into()).to_string().contains("bad"));
-        assert!(QueryParseError::NoAtoms.to_string().contains("at least one atom"));
-        assert!(QueryParseError::NullaryAtom("R".into()).to_string().contains('R'));
+        assert!(QueryParseError::Syntax("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(QueryParseError::NoAtoms
+            .to_string()
+            .contains("at least one atom"));
+        assert!(QueryParseError::NullaryAtom("R".into())
+            .to_string()
+            .contains('R'));
     }
 }

@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use incdb_data::{Constant, Database};
+use incdb_data::{Constant, Database, Grounding, Value};
 
 use crate::atom::{Atom, Term, Variable};
 use crate::bcq::Bcq;
@@ -18,11 +18,7 @@ pub type Homomorphism = BTreeMap<Variable, Constant>;
 /// Checks whether `partial` can be extended so that the image of `atom` is a
 /// fact of `db`, and returns every consistent extension restricted to the
 /// variables of this atom.
-fn candidate_extensions(
-    atom: &Atom,
-    db: &Database,
-    partial: &Homomorphism,
-) -> Vec<Homomorphism> {
+fn candidate_extensions(atom: &Atom, db: &Database, partial: &Homomorphism) -> Vec<Homomorphism> {
     let mut out = Vec::new();
     'facts: for fact in db.facts(atom.relation()) {
         if fact.len() != atom.arity() {
@@ -93,9 +89,120 @@ pub fn all_homomorphisms(q: &Bcq, db: &Database) -> Vec<Homomorphism> {
     out
 }
 
+/// How [`find_partial_homomorphism`] treats positions holding *unbound*
+/// nulls of a [`Grounding`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartialMatch {
+    /// Only fully ground facts participate in the match. Ground facts occur
+    /// in **every** completion, so a homomorphism found in this mode
+    /// certifies the query in every completion of the unbound nulls.
+    GroundOnly,
+    /// Unbound nulls are optimistic wildcards: each occurrence may
+    /// independently take any value of its domain. The matchable facts of
+    /// any completion are a subset of the optimistic ones, so *failure* in
+    /// this mode refutes the query in every completion.
+    Optimistic,
+}
+
+/// Extensions of `partial` matching `atom` against the partially resolved
+/// facts of `g`, under the given matching mode.
+///
+/// In [`PartialMatch::Optimistic`] mode a variable meeting an unbound null
+/// stays unassigned (maximally permissive), so the returned maps may be
+/// partial — they are possibility certificates, not homomorphisms.
+fn partial_candidates(
+    atom: &Atom,
+    g: &Grounding,
+    partial: &Homomorphism,
+    mode: PartialMatch,
+) -> Vec<Homomorphism> {
+    let mut out = Vec::new();
+    'facts: for (fact, ground) in g.facts_of(atom.relation()) {
+        if fact.len() != atom.arity() {
+            continue;
+        }
+        if mode == PartialMatch::GroundOnly && !ground {
+            continue;
+        }
+        let mut extension = partial.clone();
+        for (term, value) in atom.terms().iter().zip(fact.iter()) {
+            match (term, value) {
+                (Term::Const(c), Value::Const(d)) => {
+                    if c != d {
+                        continue 'facts;
+                    }
+                }
+                (Term::Const(c), Value::Null(n)) => {
+                    // Only reachable in Optimistic mode: the null must be
+                    // able to take exactly the constant the query demands.
+                    if !g.null_can_take(*n, *c) {
+                        continue 'facts;
+                    }
+                }
+                (Term::Var(v), Value::Const(d)) => match extension.get(v) {
+                    Some(bound) if bound != d => continue 'facts,
+                    Some(_) => {}
+                    None => {
+                        extension.insert(v.clone(), *d);
+                    }
+                },
+                (Term::Var(v), Value::Null(n)) => {
+                    // If the variable already has a value, the null must be
+                    // able to take it; otherwise the variable stays free
+                    // (the wildcard can follow whatever the null becomes).
+                    if let Some(&bound) = extension.get(v) {
+                        if !g.null_can_take(*n, bound) {
+                            continue 'facts;
+                        }
+                    }
+                }
+            }
+        }
+        out.push(extension);
+    }
+    out
+}
+
+/// Searches for a (possibly partial) homomorphism from `q` into the
+/// partially grounded database `g`.
+///
+/// * With [`PartialMatch::GroundOnly`], `Some(_)` means `q` holds in every
+///   completion of the unbound nulls.
+/// * With [`PartialMatch::Optimistic`], `None` means `q` fails in every
+///   completion of the unbound nulls.
+///
+/// Together the two modes implement the residual evaluation behind
+/// [`crate::BooleanQuery::holds_partial`].
+pub fn find_partial_homomorphism(
+    q: &Bcq,
+    g: &Grounding,
+    mode: PartialMatch,
+) -> Option<Homomorphism> {
+    fn go(
+        atoms: &[Atom],
+        g: &Grounding,
+        partial: Homomorphism,
+        mode: PartialMatch,
+    ) -> Option<Homomorphism> {
+        match atoms.split_first() {
+            None => Some(partial),
+            Some((first, rest)) => {
+                for extension in partial_candidates(first, g, &partial, mode) {
+                    if let Some(h) = go(rest, g, extension, mode) {
+                        return Some(h);
+                    }
+                }
+                None
+            }
+        }
+    }
+    go(q.atoms(), g, Homomorphism::new(), mode)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use incdb_data::{IncompleteDatabase, NullId};
 
     fn c(id: u64) -> Constant {
         Constant(id)
@@ -171,6 +278,56 @@ mod tests {
         let q: Bcq = "E(x,y), E(y,z), E(z,x)".parse().unwrap();
         let db = path_db(&[(1, 2), (2, 1), (2, 3), (3, 2), (1, 3), (3, 1)]);
         assert_eq!(all_homomorphisms(&q, &db).len(), 6);
+    }
+
+    #[test]
+    fn ground_only_match_ignores_open_facts() {
+        // R(⊥0, 2) with ⊥0 unbound: no ground fact, so no certain match —
+        // but the optimistic wildcard can still complete R(x,y).
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![Value::Null(NullId(0)), Value::Const(c(2))])
+            .unwrap();
+        let g = db.try_grounding().unwrap();
+        let q: Bcq = "R(x,y)".parse().unwrap();
+        assert!(find_partial_homomorphism(&q, &g, PartialMatch::GroundOnly).is_none());
+        assert!(find_partial_homomorphism(&q, &g, PartialMatch::Optimistic).is_some());
+    }
+
+    #[test]
+    fn optimistic_match_respects_domains() {
+        // R(⊥0) with dom(⊥0) = {0,1}: the atom R(5) can never be produced.
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![Value::Null(NullId(0))]).unwrap();
+        let g = db.try_grounding().unwrap();
+        let q: Bcq = "R(5)".parse().unwrap();
+        assert!(find_partial_homomorphism(&q, &g, PartialMatch::Optimistic).is_none());
+        let q: Bcq = "R(1)".parse().unwrap();
+        assert!(find_partial_homomorphism(&q, &g, PartialMatch::Optimistic).is_some());
+    }
+
+    #[test]
+    fn optimistic_join_checks_bound_variables() {
+        // R(3), S(⊥0) with dom(⊥0) = {0,1}: R(x) ∧ S(x) forces x = 3, which
+        // ⊥0 cannot take, so the optimistic match fails (a true refutation).
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![Value::Const(c(3))]).unwrap();
+        db.add_fact("S", vec![Value::Null(NullId(0))]).unwrap();
+        let g = db.try_grounding().unwrap();
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        assert!(find_partial_homomorphism(&q, &g, PartialMatch::Optimistic).is_none());
+    }
+
+    #[test]
+    fn binding_turns_optimistic_into_ground() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![Value::Null(NullId(0)), Value::Null(NullId(0))])
+            .unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        assert!(find_partial_homomorphism(&q, &g, PartialMatch::GroundOnly).is_none());
+        g.bind(NullId(0), c(1)).unwrap();
+        let h = find_partial_homomorphism(&q, &g, PartialMatch::GroundOnly).unwrap();
+        assert_eq!(h.get(&Variable::new("x")), Some(&c(1)));
     }
 
     #[test]

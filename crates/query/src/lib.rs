@@ -42,11 +42,41 @@ pub use atom::{Atom, Term, Variable};
 pub use bcq::Bcq;
 pub use connectivity::{BasicSingletonDecomposition, ConnectivityGraph};
 pub use error::QueryParseError;
-pub use homomorphism::{all_homomorphisms, find_homomorphism, Homomorphism};
+pub use homomorphism::{
+    all_homomorphisms, find_homomorphism, find_partial_homomorphism, Homomorphism, PartialMatch,
+};
 pub use patterns::{is_pattern_of, KnownPattern};
 pub use ucq::{NegatedBcq, Ucq};
 
-use incdb_data::Database;
+use incdb_data::{Database, Grounding};
+
+/// The outcome of evaluating a Boolean query on a *partially* grounded
+/// incomplete database (a [`Grounding`] with some nulls still unbound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartialOutcome {
+    /// Every completion of the remaining nulls satisfies the query.
+    Satisfied,
+    /// No completion of the remaining nulls satisfies the query.
+    Refuted,
+    /// The current bindings do not decide the query.
+    Unknown,
+}
+
+impl PartialOutcome {
+    /// The outcome of the negated query.
+    pub fn negate(self) -> PartialOutcome {
+        match self {
+            PartialOutcome::Satisfied => PartialOutcome::Refuted,
+            PartialOutcome::Refuted => PartialOutcome::Satisfied,
+            PartialOutcome::Unknown => PartialOutcome::Unknown,
+        }
+    }
+
+    /// Returns `true` if the query is decided either way.
+    pub fn is_decided(self) -> bool {
+        !matches!(self, PartialOutcome::Unknown)
+    }
+}
 
 /// A Boolean query: something a complete database satisfies or not.
 pub trait BooleanQuery {
@@ -55,4 +85,16 @@ pub trait BooleanQuery {
 
     /// The set of relation symbols mentioned by the query (`sig(q)`).
     fn signature(&self) -> std::collections::BTreeSet<String>;
+
+    /// Residual model checking on a partially grounded database: decides the
+    /// query for the *whole subtree* of completions below the current
+    /// bindings whenever it can, letting exhaustive counters prune.
+    ///
+    /// The default implementation never decides; query types that can do
+    /// better ([`Bcq`], [`Ucq`], [`NegatedBcq`]) override it. Implementations
+    /// must be **sound**: `Satisfied`/`Refuted` may only be returned when the
+    /// query holds/fails in every completion of the unbound nulls.
+    fn holds_partial(&self, _grounding: &Grounding) -> PartialOutcome {
+        PartialOutcome::Unknown
+    }
 }

@@ -225,9 +225,9 @@ impl KnownPattern {
                                 continue;
                             }
                             let vc = atom_c.variables();
-                            let has = va.intersection(&vb).any(|x| {
-                                vb.intersection(&vc).any(|y| x != y)
-                            });
+                            let has = va
+                                .intersection(&vb)
+                                .any(|x| vb.intersection(&vc).any(|y| x != y));
                             if has {
                                 return true;
                             }
@@ -289,8 +289,14 @@ mod tests {
         assert!(KnownPattern::SelfLoop.matches(&q("R(x,x)")));
         assert!(KnownPattern::SelfLoop.matches(&q("T(a,b,a)")));
         assert!(!KnownPattern::SelfLoop.matches(&q("R(x,y), S(y,z)")));
-        assert!(is_pattern_of(&KnownPattern::SelfLoop.query(), &q("T(a,b,a)")));
-        assert!(!is_pattern_of(&KnownPattern::SelfLoop.query(), &q("R(x,y), S(y,z)")));
+        assert!(is_pattern_of(
+            &KnownPattern::SelfLoop.query(),
+            &q("T(a,b,a)")
+        ));
+        assert!(!is_pattern_of(
+            &KnownPattern::SelfLoop.query(),
+            &q("R(x,y), S(y,z)")
+        ));
     }
 
     #[test]
@@ -368,7 +374,10 @@ mod tests {
         let queries = ["R(x)", "R(x,y), S(y,z)", "R(x,x), S(x)"];
         for text in queries {
             let query = q(text);
-            assert!(is_pattern_of(&query, &query), "{query} must be a pattern of itself");
+            assert!(
+                is_pattern_of(&query, &query),
+                "{query} must be a pattern of itself"
+            );
             assert!(
                 is_pattern_of(&query.canonical_form(), &query),
                 "renamed {query} must remain a pattern"
@@ -390,6 +399,9 @@ mod tests {
     #[test]
     fn display_of_known_patterns() {
         assert_eq!(KnownPattern::SelfLoop.to_string(), "R(x,x)");
-        assert_eq!(KnownPattern::PathOfLengthTwo.to_string(), "R(x) ∧ S(x,y) ∧ T(y)");
+        assert_eq!(
+            KnownPattern::PathOfLengthTwo.to_string(),
+            "R(x) ∧ S(x,y) ∧ T(y)"
+        );
     }
 }

@@ -8,7 +8,7 @@ use incdb_data::Database;
 
 use crate::bcq::Bcq;
 use crate::error::QueryParseError;
-use crate::BooleanQuery;
+use crate::{BooleanQuery, PartialOutcome};
 
 /// A union (disjunction) of Boolean conjunctive queries.
 ///
@@ -58,6 +58,24 @@ impl BooleanQuery for Ucq {
     fn signature(&self) -> BTreeSet<String> {
         self.disjuncts.iter().flat_map(|q| q.signature()).collect()
     }
+
+    /// A union is satisfied as soon as one disjunct is, and refuted only
+    /// once every disjunct is.
+    fn holds_partial(&self, grounding: &incdb_data::Grounding) -> PartialOutcome {
+        let mut all_refuted = true;
+        for q in &self.disjuncts {
+            match q.holds_partial(grounding) {
+                PartialOutcome::Satisfied => return PartialOutcome::Satisfied,
+                PartialOutcome::Refuted => {}
+                PartialOutcome::Unknown => all_refuted = false,
+            }
+        }
+        if all_refuted {
+            PartialOutcome::Refuted
+        } else {
+            PartialOutcome::Unknown
+        }
+    }
 }
 
 impl From<Bcq> for Ucq {
@@ -85,8 +103,10 @@ impl FromStr for Ucq {
     /// Parses disjuncts separated by `|` or `∨`, each a BCQ.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let normalised = s.replace('∨', "|");
-        let disjuncts: Result<Vec<Bcq>, _> =
-            normalised.split('|').map(|part| part.trim().parse::<Bcq>()).collect();
+        let disjuncts: Result<Vec<Bcq>, _> = normalised
+            .split('|')
+            .map(|part| part.trim().parse::<Bcq>())
+            .collect();
         Ucq::new(disjuncts?)
     }
 }
@@ -119,6 +139,10 @@ impl BooleanQuery for NegatedBcq {
 
     fn signature(&self) -> BTreeSet<String> {
         self.inner.signature()
+    }
+
+    fn holds_partial(&self, grounding: &incdb_data::Grounding) -> PartialOutcome {
+        self.inner.holds_partial(grounding).negate()
     }
 }
 

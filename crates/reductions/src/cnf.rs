@@ -16,12 +16,18 @@ pub struct Literal {
 impl Literal {
     /// A positive literal on variable `var`.
     pub fn pos(var: usize) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// A negative literal on variable `var`.
     pub fn neg(var: usize) -> Self {
-        Literal { var, positive: false }
+        Literal {
+            var,
+            positive: false,
+        }
     }
 
     /// Evaluates the literal under an assignment.
@@ -85,7 +91,10 @@ impl Cnf3 {
 
     /// Counts the satisfying assignments (`#3SAT`), by brute force.
     pub fn count_satisfying(&self) -> u128 {
-        assert!(self.num_vars < 32, "brute-force counter limited to < 32 variables");
+        assert!(
+            self.num_vars < 32,
+            "brute-force counter limited to < 32 variables"
+        );
         let mut count = 0u128;
         for mask in 0u64..(1u64 << self.num_vars) {
             let assignment: Vec<bool> = (0..self.num_vars).map(|i| mask >> i & 1 == 1).collect();
@@ -99,8 +108,14 @@ impl Cnf3 {
     /// Counts the assignments of the first `k` variables that extend to a
     /// satisfying assignment of the whole formula (`#k3SAT`, Definition D.2).
     pub fn count_k_extendable(&self, k: usize) -> u128 {
-        assert!(k <= self.num_vars, "k must not exceed the number of variables");
-        assert!(self.num_vars < 32, "brute-force counter limited to < 32 variables");
+        assert!(
+            k <= self.num_vars,
+            "k must not exceed the number of variables"
+        );
+        assert!(
+            self.num_vars < 32,
+            "brute-force counter limited to < 32 variables"
+        );
         let mut count = 0u128;
         for prefix in 0u64..(1u64 << k) {
             let mut extendable = false;
@@ -219,6 +234,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_literal_rejected() {
-        let _ = Cnf3::new(1, vec![Clause([Literal::pos(0), Literal::pos(1), Literal::pos(0)])]);
+        let _ = Cnf3::new(
+            1,
+            vec![Clause([Literal::pos(0), Literal::pos(1), Literal::pos(0)])],
+        );
     }
 }

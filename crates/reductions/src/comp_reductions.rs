@@ -63,16 +63,29 @@ pub fn independent_sets_completions_database(g: &Graph) -> IncompleteDatabase {
     // from the {0,1} block (the proof uses the node names themselves).
     let node_constant = |u: usize| -> u64 { (u + 2) as u64 };
     for u in 0..n {
-        db.add_fact("R", vec![Value::constant(node_constant(u)), Value::null(u as u32)]).unwrap();
+        db.add_fact(
+            "R",
+            vec![Value::constant(node_constant(u)), Value::null(u as u32)],
+        )
+        .unwrap();
     }
     for (u, v) in g.edges() {
-        db.add_fact("R", vec![Value::null(u as u32), Value::null(v as u32)]).unwrap();
-        db.add_fact("R", vec![Value::null(v as u32), Value::null(u as u32)]).unwrap();
+        db.add_fact("R", vec![Value::null(u as u32), Value::null(v as u32)])
+            .unwrap();
+        db.add_fact("R", vec![Value::null(v as u32), Value::null(u as u32)])
+            .unwrap();
     }
-    db.add_fact("R", vec![Value::constant(0), Value::constant(0)]).unwrap();
-    db.add_fact("R", vec![Value::constant(0), Value::constant(1)]).unwrap();
-    db.add_fact("R", vec![Value::constant(1), Value::constant(0)]).unwrap();
-    db.add_fact("R", vec![Value::Null(NullId(n as u32)), Value::Null(NullId(n as u32))]).unwrap();
+    db.add_fact("R", vec![Value::constant(0), Value::constant(0)])
+        .unwrap();
+    db.add_fact("R", vec![Value::constant(0), Value::constant(1)])
+        .unwrap();
+    db.add_fact("R", vec![Value::constant(1), Value::constant(0)])
+        .unwrap();
+    db.add_fact(
+        "R",
+        vec![Value::Null(NullId(n as u32)), Value::Null(NullId(n as u32))],
+    )
+    .unwrap();
     db
 }
 
@@ -114,21 +127,35 @@ pub fn pseudoforest_database(g: &BipartiteGraph) -> IncompleteDatabase {
     for a in 0..node_count {
         for b in 0..node_count {
             if !is_edge(a, b) {
-                db.add_fact("R", vec![Value::constant(a as u64), Value::constant(b as u64)])
-                    .unwrap();
+                db.add_fact(
+                    "R",
+                    vec![Value::constant(a as u64), Value::constant(b as u64)],
+                )
+                .unwrap();
             }
         }
     }
     // R(u, ⊥_u) for left nodes and R(⊥_v, v) for right nodes.
     for u in 0..left {
-        db.add_fact("R", vec![Value::constant(left_constant(u)), Value::null(u as u32)]).unwrap();
+        db.add_fact(
+            "R",
+            vec![Value::constant(left_constant(u)), Value::null(u as u32)],
+        )
+        .unwrap();
     }
     for v in 0..right {
-        db.add_fact("R", vec![Value::null((left + v) as u32), Value::constant(right_constant(v))])
-            .unwrap();
+        db.add_fact(
+            "R",
+            vec![
+                Value::null((left + v) as u32),
+                Value::constant(right_constant(v)),
+            ],
+        )
+        .unwrap();
     }
     // The anchoring fact R(f, f).
-    db.add_fact("R", vec![Value::constant(fresh), Value::constant(fresh)]).unwrap();
+    db.add_fact("R", vec![Value::constant(fresh), Value::constant(fresh)])
+        .unwrap();
     db
 }
 
@@ -144,22 +171,28 @@ pub fn three_colorability_gap_database(g: &Graph) -> IncompleteDatabase {
     let mut db = IncompleteDatabase::new_uniform([0u64, 1, 2]);
     // Encoding facts.
     for (u, v) in g.edges() {
-        db.add_fact("R", vec![Value::null(u as u32), Value::null(v as u32)]).unwrap();
-        db.add_fact("R", vec![Value::null(v as u32), Value::null(u as u32)]).unwrap();
+        db.add_fact("R", vec![Value::null(u as u32), Value::null(v as u32)])
+            .unwrap();
+        db.add_fact("R", vec![Value::null(v as u32), Value::null(u as u32)])
+            .unwrap();
     }
     // Triangle facts over {0,1,2}.
     for (a, b) in [(0u64, 1u64), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)] {
-        db.add_fact("R", vec![Value::constant(a), Value::constant(b)]).unwrap();
+        db.add_fact("R", vec![Value::constant(a), Value::constant(b)])
+            .unwrap();
     }
     // Auxiliary facts R(⊥_i, ⊥'_i) and R(⊥'_i, ⊥_i) for i = 1..3.
     for i in 0..3u32 {
         let b = n + 2 * i;
         let b_prime = n + 2 * i + 1;
-        db.add_fact("R", vec![Value::null(b), Value::null(b_prime)]).unwrap();
-        db.add_fact("R", vec![Value::null(b_prime), Value::null(b)]).unwrap();
+        db.add_fact("R", vec![Value::null(b), Value::null(b_prime)])
+            .unwrap();
+        db.add_fact("R", vec![Value::null(b_prime), Value::null(b)])
+            .unwrap();
     }
     // The fresh ground fact R(c, c) with c = 3 (outside the domain).
-    db.add_fact("R", vec![Value::constant(3), Value::constant(3)]).unwrap();
+    db.add_fact("R", vec![Value::constant(3), Value::constant(3)])
+        .unwrap();
     db
 }
 
@@ -187,7 +220,12 @@ mod tests {
     #[test]
     fn proposition_4_2_vertex_covers() {
         let mut rng = StdRng::seed_from_u64(10);
-        let mut graphs = vec![path_graph(3), cycle_graph(4), Graph::new(2), complete_graph(3)];
+        let mut graphs = vec![
+            path_graph(3),
+            cycle_graph(4),
+            Graph::new(2),
+            complete_graph(3),
+        ];
         graphs.push(random_graph(4, 0.5, &mut rng));
         for g in graphs {
             let db = vertex_covers_database(&g);
@@ -197,7 +235,11 @@ mod tests {
             let all = count_all_completions_brute(&db).unwrap();
             let satisfying = count_completions_brute(&db, &unary_query()).unwrap();
             assert_eq!(all, satisfying);
-            assert_eq!(satisfying, BigNat::from(count_vertex_covers(&g) as u64), "{g:?}");
+            assert_eq!(
+                satisfying,
+                BigNat::from(count_vertex_covers(&g) as u64),
+                "{g:?}"
+            );
             // ... and #VC = #IS, as used for Theorem 5.5.
             assert_eq!(count_vertex_covers(&g), count_independent_sets(&g));
         }
@@ -238,7 +280,11 @@ mod tests {
             let expected = BigNat::from(count_pseudoforest_subsets(&g.to_graph()) as u64);
             for q in [loop_query(), binary_query()] {
                 let completions = count_completions_brute(&db, &q).unwrap();
-                assert_eq!(completions, count_all_completions_brute(&db).unwrap(), "{g:?}");
+                assert_eq!(
+                    completions,
+                    count_all_completions_brute(&db).unwrap(),
+                    "{g:?}"
+                );
                 assert_eq!(completions, expected, "{g:?} / {q}");
             }
         }
@@ -247,7 +293,12 @@ mod tests {
     #[test]
     fn proposition_5_6_gap_instances() {
         // 3-colourable graphs give 8 completions, non-3-colourable ones 7.
-        let colorable = [cycle_graph(4), cycle_graph(5), path_graph(3), complete_graph(3)];
+        let colorable = [
+            cycle_graph(4),
+            cycle_graph(5),
+            path_graph(3),
+            complete_graph(3),
+        ];
         for g in colorable {
             assert!(is_k_colorable(&g, 3));
             let db = three_colorability_gap_database(&g);
@@ -255,8 +306,14 @@ mod tests {
             assert_eq!(completions, BigNat::from(8u64), "{g:?}");
             assert!(is_three_colorable_from_completions(&completions));
             // Every completion satisfies both hard queries.
-            assert_eq!(completions, count_completions_brute(&db, &loop_query()).unwrap());
-            assert_eq!(completions, count_completions_brute(&db, &binary_query()).unwrap());
+            assert_eq!(
+                completions,
+                count_completions_brute(&db, &loop_query()).unwrap()
+            );
+            assert_eq!(
+                completions,
+                count_completions_brute(&db, &binary_query()).unwrap()
+            );
         }
         let not_colorable = [complete_graph(4)];
         for g in not_colorable {

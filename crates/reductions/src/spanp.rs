@@ -99,7 +99,11 @@ pub fn k3sat_database(f: &Cnf3, k: usize) -> IncompleteDatabase {
     // The S relation exposes the first k variables: S(10 + i, ⊥_{x_i}).
     db.declare_relation("S");
     for i in 0..k {
-        db.add_fact("S", vec![Value::constant(10 + i as u64), Value::null(i as u32)]).unwrap();
+        db.add_fact(
+            "S",
+            vec![Value::constant(10 + i as u64), Value::null(i as u32)],
+        )
+        .unwrap();
     }
     db
 }
@@ -205,7 +209,9 @@ mod tests {
         let q = spanp_query();
         for valuation in db.valuations() {
             let assignment: Vec<bool> = (0..f.num_vars)
-                .map(|i| valuation.get(incdb_data::NullId(i as u32)) == Some(incdb_data::Constant(1)))
+                .map(|i| {
+                    valuation.get(incdb_data::NullId(i as u32)) == Some(incdb_data::Constant(1))
+                })
                 .collect();
             let completion = db.apply_unchecked(&valuation);
             assert_eq!(

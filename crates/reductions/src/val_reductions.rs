@@ -20,8 +20,10 @@ pub fn three_colorings_database(g: &Graph) -> IncompleteDatabase {
     let mut db = IncompleteDatabase::new_uniform([0u64, 1, 2]);
     db.declare_relation("R");
     for (u, v) in g.edges() {
-        db.add_fact("R", vec![Value::null(u as u32), Value::null(v as u32)]).unwrap();
-        db.add_fact("R", vec![Value::null(v as u32), Value::null(u as u32)]).unwrap();
+        db.add_fact("R", vec![Value::null(u as u32), Value::null(v as u32)])
+            .unwrap();
+        db.add_fact("R", vec![Value::null(v as u32), Value::null(u as u32)])
+            .unwrap();
     }
     // Isolated nodes still need their null to appear so that each node gets a
     // colour; the paper's reduction only introduces nulls for nodes touched
@@ -34,8 +36,7 @@ pub fn three_colorings_database(g: &Graph) -> IncompleteDatabase {
 
 /// Recovers `#3COL(g)` from `#Valᵘ(R(x,x))` on [`three_colorings_database`].
 pub fn three_colorings_from_count(g: &Graph, satisfying_valuations: &BigNat) -> BigNat {
-    let touched: std::collections::BTreeSet<usize> =
-        g.edges().flat_map(|(u, v)| [u, v]).collect();
+    let touched: std::collections::BTreeSet<usize> = g.edges().flat_map(|(u, v)| [u, v]).collect();
     let isolated = g.node_count() - touched.len();
     let total = pow(3, touched.len() as u64);
     let non_satisfying = total - satisfying_valuations.clone();
@@ -61,11 +62,18 @@ pub fn avoidance_database(g: &BipartiteGraph) -> IncompleteDatabase {
     // Identify each edge by its index in iteration order.
     let edges: Vec<(usize, usize)> = g.edges().collect();
     let edge_id = |x: usize, y: usize| -> u64 {
-        edges.iter().position(|&(a, b)| a == x && b == y).expect("edge exists") as u64
+        edges
+            .iter()
+            .position(|&(a, b)| a == x && b == y)
+            .expect("edge exists") as u64
     };
     for x in 0..g.left_count() {
         let null = NullId(x as u32);
-        let incident: Vec<u64> = g.right_neighbors(x).into_iter().map(|y| edge_id(x, y)).collect();
+        let incident: Vec<u64> = g
+            .right_neighbors(x)
+            .into_iter()
+            .map(|y| edge_id(x, y))
+            .collect();
         if incident.is_empty() {
             continue;
         }
@@ -74,7 +82,11 @@ pub fn avoidance_database(g: &BipartiteGraph) -> IncompleteDatabase {
     }
     for y in 0..g.right_count() {
         let null = NullId((g.left_count() + y) as u32);
-        let incident: Vec<u64> = g.left_neighbors(y).into_iter().map(|x| edge_id(x, y)).collect();
+        let incident: Vec<u64> = g
+            .left_neighbors(y)
+            .into_iter()
+            .map(|x| edge_id(x, y))
+            .collect();
         if incident.is_empty() {
             continue;
         }
@@ -123,8 +135,10 @@ pub fn independent_sets_path_database(g: &Graph) -> IncompleteDatabase {
     let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
     db.declare_relation("S");
     for (u, v) in g.edges() {
-        db.add_fact("S", vec![Value::null(u as u32), Value::null(v as u32)]).unwrap();
-        db.add_fact("S", vec![Value::null(v as u32), Value::null(u as u32)]).unwrap();
+        db.add_fact("S", vec![Value::null(u as u32), Value::null(v as u32)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(v as u32), Value::null(u as u32)])
+            .unwrap();
     }
     db.add_fact("R", vec![Value::constant(1)]).unwrap();
     db.add_fact("T", vec![Value::constant(1)]).unwrap();
@@ -137,10 +151,13 @@ pub fn independent_sets_double_edge_database(g: &Graph) -> IncompleteDatabase {
     let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
     db.declare_relation("S");
     for (u, v) in g.edges() {
-        db.add_fact("S", vec![Value::null(u as u32), Value::null(v as u32)]).unwrap();
-        db.add_fact("S", vec![Value::null(v as u32), Value::null(u as u32)]).unwrap();
+        db.add_fact("S", vec![Value::null(u as u32), Value::null(v as u32)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(v as u32), Value::null(u as u32)])
+            .unwrap();
     }
-    db.add_fact("R", vec![Value::constant(1), Value::constant(1)]).unwrap();
+    db.add_fact("R", vec![Value::constant(1), Value::constant(1)])
+        .unwrap();
     db
 }
 
@@ -148,8 +165,7 @@ pub fn independent_sets_double_edge_database(g: &Graph) -> IncompleteDatabase {
 /// Proposition 3.8 database: `#IS = 2^{|V touched by edges|} − #Val`, times
 /// `2^{#isolated nodes}` to account for nodes that carry no null.
 pub fn independent_sets_from_count(g: &Graph, satisfying_valuations: &BigNat) -> BigNat {
-    let touched: std::collections::BTreeSet<usize> =
-        g.edges().flat_map(|(u, v)| [u, v]).collect();
+    let touched: std::collections::BTreeSet<usize> = g.edges().flat_map(|(u, v)| [u, v]).collect();
     let isolated = g.node_count() - touched.len();
     let total = pow(2, touched.len() as u64);
     (total - satisfying_valuations.clone()) * pow(2, isolated as u64)
@@ -189,8 +205,11 @@ where
             db.declare_relation("S");
             db.declare_relation("T");
             for (x, y) in g.edges() {
-                db.add_fact("S", vec![Value::constant(x as u64), Value::constant(y as u64)])
-                    .unwrap();
+                db.add_fact(
+                    "S",
+                    vec![Value::constant(x as u64), Value::constant(y as u64)],
+                )
+                .unwrap();
             }
             for i in 0..a {
                 db.add_fact("R", vec![Value::null(i as u32)]).unwrap();
@@ -220,7 +239,9 @@ where
     let padded: BigRat = z.into_iter().fold(BigRat::zero(), |acc, v| acc + v);
     let divisor = BigRat::from_nat(pow(2, padding as u64));
     let result = padded / divisor;
-    result.to_nat().expect("independent-set count is a non-negative integer")
+    result
+        .to_nat()
+        .expect("independent-set count is a non-negative integer")
 }
 
 /// Direct reference implementation of `#Avoidance` on a bipartite graph, via
@@ -288,7 +309,11 @@ mod tests {
             let q = shared_variable_query();
             let satisfying = oracle(&db, &q);
             let recovered = avoidance_from_count(&g, &satisfying).unwrap();
-            assert_eq!(recovered, BigNat::from(bipartite_avoidance_reference(&g) as u64), "{g:?}");
+            assert_eq!(
+                recovered,
+                BigNat::from(bipartite_avoidance_reference(&g) as u64),
+                "{g:?}"
+            );
         }
     }
 
@@ -302,7 +327,11 @@ mod tests {
 
             let db = independent_sets_path_database(&g);
             let satisfying = oracle(&db, &path_query());
-            assert_eq!(independent_sets_from_count(&g, &satisfying), expected, "path encoding {g:?}");
+            assert_eq!(
+                independent_sets_from_count(&g, &satisfying),
+                expected,
+                "path encoding {g:?}"
+            );
 
             let db = independent_sets_double_edge_database(&g);
             let satisfying = oracle(&db, &double_edge_query());
@@ -320,7 +349,10 @@ mod tests {
         let db = independent_sets_path_database(&g);
         assert!(db.is_uniform());
         assert_eq!(db.uniform_domain().unwrap().len(), 2);
-        assert!(!db.is_codd(), "each node null occurs once per incident edge");
+        assert!(
+            !db.is_codd(),
+            "each node null occurs once per incident edge"
+        );
     }
 
     #[test]

@@ -5,12 +5,10 @@
 //!
 //! Run with `cargo run --release --example approximate_counting`.
 
-use incdb::prelude::*;
-use incdb::reductions::val_reductions::{
-    independent_sets_path_database, path_query,
-};
-use incdb::reductions::comp_reductions::three_colorability_gap_database;
 use incdb::graph::{cycle_graph, random_graph};
+use incdb::prelude::*;
+use incdb::reductions::comp_reductions::three_colorability_gap_database;
+use incdb::reductions::val_reductions::{independent_sets_path_database, path_query};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,11 +22,18 @@ fn main() {
     let q = path_query();
     let ucq: Ucq = q.clone().into();
 
-    println!("Instance: Prop. 3.8 #IS encoding of a random graph ({} nodes, {} edges)", graph.node_count(), graph.edge_count());
+    println!(
+        "Instance: Prop. 3.8 #IS encoding of a random graph ({} nodes, {} edges)",
+        graph.node_count(),
+        graph.edge_count()
+    );
     println!("Query: {q}   — #P-hard cell of Table 1 (uniform naïve)\n");
 
     let exact = count_valuations(&db, &q).unwrap();
-    println!("exact #Val(q)(D)          = {}   [{}]", exact.value, exact.method);
+    println!(
+        "exact #Val(q)(D)          = {}   [{}]",
+        exact.value, exact.method
+    );
 
     for epsilon in [0.5, 0.25, 0.1] {
         let estimate = karp_luby_valuations(&db, &ucq, epsilon, &mut rng).unwrap();
@@ -51,8 +56,12 @@ fn main() {
     let gap_graph = cycle_graph(5);
     let gap_db = three_colorability_gap_database(&gap_graph);
     let all = count_all_completions(&gap_db).unwrap();
-    let estimate = completion_estimator(&gap_db, &"R(x,y)".parse::<Bcq>().unwrap(), 500, &mut rng).unwrap();
-    println!("Prop. 5.6 gap instance (C5, 3-colourable): exact completions = {}", all.value);
+    let estimate =
+        completion_estimator(&gap_db, &"R(x,y)".parse::<Bcq>().unwrap(), 500, &mut rng).unwrap();
+    println!(
+        "Prop. 5.6 gap instance (C5, 3-colourable): exact completions = {}",
+        all.value
+    );
     println!(
         "heuristic completion estimator (500 samples): observed {} distinct, estimate {:.1} — no guarantee attached",
         estimate.distinct_observed, estimate.estimate

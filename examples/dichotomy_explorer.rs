@@ -17,17 +17,19 @@ fn classify_and_print(q: &Bcq) {
             println!("    - {pattern}");
         }
     }
-    println!(
-        "  {:<34} {:<18} {:<18} ",
-        "problem", "exact", "approximate"
-    );
+    println!("  {:<34} {:<18} {:<18} ", "problem", "exact", "approximate");
     for problem in [CountingProblem::Valuations, CountingProblem::Completions] {
         for setting in Setting::ALL {
             let name = incdb::core::problem::problem_name(problem, setting);
             match classify(q, problem, setting) {
                 Ok(complexity) => {
                     let approx = classify_approx(q, problem, setting).unwrap();
-                    println!("  {:<34} {:<18} {:<18}", format!("{name}(q) [{setting}]"), complexity.to_string(), approx.to_string());
+                    println!(
+                        "  {:<34} {:<18} {:<18}",
+                        format!("{name}(q) [{setting}]"),
+                        complexity.to_string(),
+                        approx.to_string()
+                    );
                 }
                 Err(e) => println!("  {name}(q): {e}"),
             }

@@ -24,11 +24,22 @@ fn main() {
     // unknown values. The domains encode what is still plausible for each
     // missing entry (non-uniform setting).
     let mut db = IncompleteDatabase::new_non_uniform();
-    db.add_fact("WorksIn", vec![Value::Const(alice), Value::Const(engineering)]).unwrap();
-    db.add_fact("WorksIn", vec![Value::Const(bob), Value::null(1)]).unwrap();
-    db.add_fact("WorksIn", vec![Value::Const(carol), Value::null(2)]).unwrap();
-    db.add_fact("Located", vec![Value::Const(engineering), Value::Const(berlin)]).unwrap();
-    db.add_fact("Located", vec![Value::Const(sales), Value::null(3)]).unwrap();
+    db.add_fact(
+        "WorksIn",
+        vec![Value::Const(alice), Value::Const(engineering)],
+    )
+    .unwrap();
+    db.add_fact("WorksIn", vec![Value::Const(bob), Value::null(1)])
+        .unwrap();
+    db.add_fact("WorksIn", vec![Value::Const(carol), Value::null(2)])
+        .unwrap();
+    db.add_fact(
+        "Located",
+        vec![Value::Const(engineering), Value::Const(berlin)],
+    )
+    .unwrap();
+    db.add_fact("Located", vec![Value::Const(sales), Value::null(3)])
+        .unwrap();
     db.set_domain(NullId(1), [sales, support]).unwrap();
     db.set_domain(NullId(2), [engineering, sales]).unwrap();
     db.set_domain(NullId(3), [berlin, paris]).unwrap();
@@ -47,8 +58,7 @@ fn main() {
     };
     println!("Query q = {q}  (\"someone works in a department located in Berlin\")");
 
-    let (satisfying, total) =
-        incdb::core::enumerate::valuation_support(&db, &q).unwrap();
+    let (satisfying, total) = incdb::core::enumerate::valuation_support(&db, &q).unwrap();
     let completions = count_completions(&db, &q).unwrap();
     let all_completions = count_all_completions(&db).unwrap();
 
@@ -63,7 +73,11 @@ fn main() {
     );
     println!(
         "\nq is {} certain: it holds in {} of the {} completions.",
-        if completions.value == all_completions.value { "" } else { "NOT" },
+        if completions.value == all_completions.value {
+            ""
+        } else {
+            "NOT"
+        },
         completions.value,
         all_completions.value
     );

@@ -17,9 +17,12 @@ fn main() {
     let c = names.intern("c");
 
     let mut db = IncompleteDatabase::new_non_uniform();
-    db.add_fact("S", vec![Value::Const(a), Value::Const(b)]).unwrap();
-    db.add_fact("S", vec![Value::null(1), Value::Const(a)]).unwrap();
-    db.add_fact("S", vec![Value::Const(a), Value::null(2)]).unwrap();
+    db.add_fact("S", vec![Value::Const(a), Value::Const(b)])
+        .unwrap();
+    db.add_fact("S", vec![Value::null(1), Value::Const(a)])
+        .unwrap();
+    db.add_fact("S", vec![Value::Const(a), Value::null(2)])
+        .unwrap();
     db.set_domain(NullId(1), [a, b, c]).unwrap();
     db.set_domain(NullId(2), [a, b]).unwrap();
 
@@ -46,8 +49,14 @@ fn main() {
 
     let valuations = count_valuations(&db, &q).unwrap();
     let completions = count_completions(&db, &q).unwrap();
-    println!("\n#Val(q)(D)  = {}   (method: {})", valuations.value, valuations.method);
-    println!("#Comp(q)(D) = {}   (method: {})", completions.value, completions.method);
+    println!(
+        "\n#Val(q)(D)  = {}   (method: {})",
+        valuations.value, valuations.method
+    );
+    println!(
+        "#Comp(q)(D) = {}   (method: {})",
+        completions.value, completions.method
+    );
 
     // Where does q sit in Table 1? The table is a Codd table, so counting
     // valuations of R(x,x)-shaped queries is tractable (Theorem 3.7), while

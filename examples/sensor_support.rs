@@ -29,13 +29,20 @@ fn main() {
     }
 
     let q: Bcq = "Ground(x), Roof(x)".parse().unwrap();
-    println!("Uniform incomplete database ({} lost readings, {} levels):", db.nulls().len(), levels);
+    println!(
+        "Uniform incomplete database ({} lost readings, {} levels):",
+        db.nulls().len(),
+        levels
+    );
     println!("  {db}\n");
     println!("Alert query q = {q}\n");
 
     let outcome = count_valuations(&db, &q).unwrap();
     let total = db.valuation_count();
-    println!("#Val(q)(D) = {}  of {} valuations   [computed by: {}]", outcome.value, total, outcome.method);
+    println!(
+        "#Val(q)(D) = {}  of {} valuations   [computed by: {}]",
+        outcome.value, total, outcome.method
+    );
     println!(
         "support    = {:.2}%",
         100.0 * outcome.value.to_f64() / total.to_f64()

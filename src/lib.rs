@@ -86,7 +86,10 @@ mod tests {
         let complexity = classify(
             &q,
             CountingProblem::Completions,
-            Setting { table: TableKind::Codd, domain: DomainKind::NonUniform },
+            Setting {
+                table: TableKind::Codd,
+                domain: DomainKind::NonUniform,
+            },
         )
         .unwrap();
         assert_eq!(complexity, Complexity::SharpPComplete);

@@ -12,8 +12,10 @@ fn example_2_1() {
     let c = names.intern("c");
 
     let mut db = IncompleteDatabase::new_non_uniform();
-    db.add_fact("S", vec![Value::null(1), Value::null(1)]).unwrap();
-    db.add_fact("S", vec![Value::Const(a), Value::null(2)]).unwrap();
+    db.add_fact("S", vec![Value::null(1), Value::null(1)])
+        .unwrap();
+    db.add_fact("S", vec![Value::Const(a), Value::null(2)])
+        .unwrap();
     db.set_domain(NullId(1), [a, b]).unwrap();
     db.set_domain(NullId(2), [a, c]).unwrap();
 
@@ -40,9 +42,12 @@ fn example_2_1() {
 #[test]
 fn example_2_2_figure_1() {
     let mut db = IncompleteDatabase::new_non_uniform();
-    db.add_fact("S", vec![Value::constant(0), Value::constant(1)]).unwrap();
-    db.add_fact("S", vec![Value::null(1), Value::constant(0)]).unwrap();
-    db.add_fact("S", vec![Value::constant(0), Value::null(2)]).unwrap();
+    db.add_fact("S", vec![Value::constant(0), Value::constant(1)])
+        .unwrap();
+    db.add_fact("S", vec![Value::null(1), Value::constant(0)])
+        .unwrap();
+    db.add_fact("S", vec![Value::constant(0), Value::null(2)])
+        .unwrap();
     db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
     db.set_domain(NullId(2), [0u64, 1]).unwrap();
 
@@ -102,34 +107,87 @@ fn example_3_10_uniform_two_relations() {
 /// The eight named cells of Table 1, checked through the public classifier.
 #[test]
 fn table_1_named_patterns() {
-    let naive_nu = Setting { table: TableKind::Naive, domain: DomainKind::NonUniform };
-    let naive_u = Setting { table: TableKind::Naive, domain: DomainKind::Uniform };
-    let codd_nu = Setting { table: TableKind::Codd, domain: DomainKind::NonUniform };
-    let codd_u = Setting { table: TableKind::Codd, domain: DomainKind::Uniform };
+    let naive_nu = Setting {
+        table: TableKind::Naive,
+        domain: DomainKind::NonUniform,
+    };
+    let naive_u = Setting {
+        table: TableKind::Naive,
+        domain: DomainKind::Uniform,
+    };
+    let codd_nu = Setting {
+        table: TableKind::Codd,
+        domain: DomainKind::NonUniform,
+    };
+    let codd_u = Setting {
+        table: TableKind::Codd,
+        domain: DomainKind::Uniform,
+    };
 
     let q = |s: &str| s.parse::<Bcq>().unwrap();
 
     // Counting valuations, non-uniform: R(x,x) and R(x)∧S(x) are the hard patterns.
-    assert!(classify(&q("R(x,x)"), CountingProblem::Valuations, naive_nu).unwrap().is_hard());
-    assert!(classify(&q("R(x), S(x)"), CountingProblem::Valuations, naive_nu).unwrap().is_hard());
-    assert!(classify(&q("R(x,y), S(z)"), CountingProblem::Valuations, naive_nu).unwrap().is_tractable());
+    assert!(
+        classify(&q("R(x,x)"), CountingProblem::Valuations, naive_nu)
+            .unwrap()
+            .is_hard()
+    );
+    assert!(
+        classify(&q("R(x), S(x)"), CountingProblem::Valuations, naive_nu)
+            .unwrap()
+            .is_hard()
+    );
+    assert!(
+        classify(&q("R(x,y), S(z)"), CountingProblem::Valuations, naive_nu)
+            .unwrap()
+            .is_tractable()
+    );
 
     // Codd: R(x,x) becomes tractable, R(x)∧S(x) stays hard.
-    assert!(classify(&q("R(x,x)"), CountingProblem::Valuations, codd_nu).unwrap().is_tractable());
-    assert!(classify(&q("R(x), S(x)"), CountingProblem::Valuations, codd_nu).unwrap().is_hard());
+    assert!(classify(&q("R(x,x)"), CountingProblem::Valuations, codd_nu)
+        .unwrap()
+        .is_tractable());
+    assert!(
+        classify(&q("R(x), S(x)"), CountingProblem::Valuations, codd_nu)
+            .unwrap()
+            .is_hard()
+    );
 
     // Uniform naïve: the three patterns of Theorem 3.9.
     for hard in ["R(x,x)", "R(x), S(x,y), T(y)", "R(x,y), S(x,y)"] {
-        assert!(classify(&q(hard), CountingProblem::Valuations, naive_u).unwrap().is_hard(), "{hard}");
+        assert!(
+            classify(&q(hard), CountingProblem::Valuations, naive_u)
+                .unwrap()
+                .is_hard(),
+            "{hard}"
+        );
     }
-    assert!(classify(&q("R(x), S(x)"), CountingProblem::Valuations, naive_u).unwrap().is_tractable());
+    assert!(
+        classify(&q("R(x), S(x)"), CountingProblem::Valuations, naive_u)
+            .unwrap()
+            .is_tractable()
+    );
 
     // Completions, non-uniform: hard for everything, even R(x).
-    assert!(classify(&q("R(x)"), CountingProblem::Completions, naive_nu).unwrap().is_hard());
-    assert!(classify(&q("R(x)"), CountingProblem::Completions, codd_nu).unwrap().is_hard());
+    assert!(classify(&q("R(x)"), CountingProblem::Completions, naive_nu)
+        .unwrap()
+        .is_hard());
+    assert!(classify(&q("R(x)"), CountingProblem::Completions, codd_nu)
+        .unwrap()
+        .is_hard());
 
     // Completions, uniform: hard iff R(x,x) or R(x,y) is a pattern.
-    assert!(classify(&q("R(x,y)"), CountingProblem::Completions, naive_u).unwrap().is_hard());
-    assert!(classify(&q("R(x)"), CountingProblem::Completions, naive_u).unwrap().is_tractable());
-    assert!(classify(&q("R(x), S(x)"), CountingProblem::Completions, codd_u).unwrap().is_tractable());
+    assert!(
+        classify(&q("R(x,y)"), CountingProblem::Completions, naive_u)
+            .unwrap()
+            .is_hard()
+    );
+    assert!(classify(&q("R(x)"), CountingProblem::Completions, naive_u)
+        .unwrap()
+        .is_tractable());
+    assert!(
+        classify(&q("R(x), S(x)"), CountingProblem::Completions, codd_u)
+            .unwrap()
+            .is_tractable()
+    );
 }

@@ -23,7 +23,11 @@ use rand::SeedableRng;
 #[test]
 fn three_colorings_round_trip() {
     let mut rng = StdRng::seed_from_u64(1);
-    for g in [cycle_graph(5), path_graph(4), random_graph(5, 0.5, &mut rng)] {
+    for g in [
+        cycle_graph(5),
+        path_graph(4),
+        random_graph(5, 0.5, &mut rng),
+    ] {
         let db = three_colorings_database(&g);
         let answer = count_valuations(&db, &self_loop_query()).unwrap().value;
         assert_eq!(
@@ -46,7 +50,11 @@ fn independent_sets_round_trip_valuations_and_completions() {
 
         let db = independent_sets_completions_database(&g);
         let comps = count_all_completions(&db).unwrap().value;
-        assert_eq!(independent_sets_from_completions(&g, &comps).unwrap(), expected, "{g:?}");
+        assert_eq!(
+            independent_sets_from_completions(&g, &comps).unwrap(),
+            expected,
+            "{g:?}"
+        );
     }
 }
 
@@ -57,7 +65,9 @@ fn vertex_covers_round_trip() {
     let count = count_all_completions(&db).unwrap().value;
     assert_eq!(count, BigNat::from(count_vertex_covers(&g) as u64));
     // Every completion satisfies R(x) (the anchoring ground fact).
-    let satisfying = count_completions(&db, &"R(x)".parse::<Bcq>().unwrap()).unwrap().value;
+    let satisfying = count_completions(&db, &"R(x)".parse::<Bcq>().unwrap())
+        .unwrap()
+        .value;
     assert_eq!(satisfying, count);
 }
 
@@ -65,11 +75,17 @@ fn vertex_covers_round_trip() {
 fn gap_instance_distinguishes_colorability() {
     let colorable = cycle_graph(4);
     let db = three_colorability_gap_database(&colorable);
-    assert_eq!(count_all_completions(&db).unwrap().value, BigNat::from(8u64));
+    assert_eq!(
+        count_all_completions(&db).unwrap().value,
+        BigNat::from(8u64)
+    );
 
     let not_colorable = incdb::graph::complete_graph(4);
     let db = three_colorability_gap_database(&not_colorable);
-    assert_eq!(count_all_completions(&db).unwrap().value, BigNat::from(7u64));
+    assert_eq!(
+        count_all_completions(&db).unwrap().value,
+        BigNat::from(7u64)
+    );
 }
 
 #[test]
@@ -87,6 +103,10 @@ fn spanp_construction_counts_k3sat() {
         // generic enumerator, which accepts any `BooleanQuery`.
         let brute =
             incdb::core::enumerate::count_completions_brute(&db, &spanp_negated_query()).unwrap();
-        assert_eq!(brute, BigNat::from(f.count_k_extendable(k) as u64), "k = {k}");
+        assert_eq!(
+            brute,
+            BigNat::from(f.count_k_extendable(k) as u64),
+            "k = {k}"
+        );
     }
 }

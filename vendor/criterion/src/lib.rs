@@ -74,7 +74,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 }
 
@@ -121,12 +124,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id made of a function name and a parameter.
     pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// An id carrying only a parameter value.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -171,7 +178,13 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(sample_size: usize, warm_up_time: Duration, measurement_time: Duration) -> Self {
-        Bencher { sample_size, warm_up_time, measurement_time, samples: Vec::new(), iters_per_sample: 0 }
+        Bencher {
+            sample_size,
+            warm_up_time,
+            measurement_time,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        }
     }
 
     /// Benchmarks `routine`: warms up, picks an iteration count that fits

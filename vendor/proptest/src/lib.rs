@@ -117,7 +117,10 @@ pub mod test_runner {
     impl TestRunner {
         /// Creates a runner with a fixed seed so failures reproduce.
         pub fn new(config: ProptestConfig) -> Self {
-            TestRunner { config, rng: TestRng::seed_from_u64(0x1CDB_0ACE_5EED_2020) }
+            TestRunner {
+                config,
+                rng: TestRng::seed_from_u64(0x1CDB_0ACE_5EED_2020),
+            }
         }
 
         /// Runs `body` against `config.cases` values drawn from `strategy`,
@@ -163,7 +166,10 @@ pub mod strategy {
             Self: Sized,
             F: Fn(Self::Value) -> O,
         {
-            Map { source: self, map: f }
+            Map {
+                source: self,
+                map: f,
+            }
         }
 
         /// Erases the concrete strategy type.
@@ -171,7 +177,9 @@ pub mod strategy {
         where
             Self: Sized + 'static,
         {
-            BoxedStrategy { inner: Arc::new(self) }
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
         }
     }
 
@@ -209,7 +217,9 @@ pub mod strategy {
 
     impl<V> Clone for BoxedStrategy<V> {
         fn clone(&self) -> Self {
-            BoxedStrategy { inner: Arc::clone(&self.inner) }
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
         }
     }
 
@@ -236,7 +246,9 @@ pub mod strategy {
 
     impl<V> Clone for Union<V> {
         fn clone(&self) -> Self {
-            Union { arms: self.arms.clone() }
+            Union {
+                arms: self.arms.clone(),
+            }
         }
     }
 
@@ -332,28 +344,40 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(len: usize) -> Self {
-            SizeRange { min: len, max_inclusive: len }
+            SizeRange {
+                min: len,
+                max_inclusive: len,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(range: Range<usize>) -> Self {
             assert!(range.start < range.end, "empty vec length range");
-            SizeRange { min: range.start, max_inclusive: range.end - 1 }
+            SizeRange {
+                min: range.start,
+                max_inclusive: range.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(range: RangeInclusive<usize>) -> Self {
             assert!(range.start() <= range.end(), "empty vec length range");
-            SizeRange { min: *range.start(), max_inclusive: *range.end() }
+            SizeRange {
+                min: *range.start(),
+                max_inclusive: *range.end(),
+            }
         }
     }
 
     /// Generates `Vec`s whose length is drawn from `size` and whose
     /// elements are drawn from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`vec`].
@@ -511,7 +535,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *left != *right,
             "assertion failed: `{} != {}`\n  both: `{:?}`",
-            stringify!($left), stringify!($right), left
+            stringify!($left),
+            stringify!($right),
+            left
         );
     }};
 }
@@ -553,8 +579,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "property failed")]
     fn failing_property_panics() {
-        let mut runner =
-            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8));
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8));
         runner.run(&(0u32..10,), |(x,)| {
             prop_assert!(x < 3, "saw {}", x);
             Ok(())
