@@ -1,20 +1,38 @@
-//! Engine bench: the backtracking counting engine against the seed
-//! brute-force loop ([`NaiveEngine`]) on the shapes that matter —
-//! early-refuted queries (residual pruning collapses the whole tree),
-//! early-satisfied queries (closed-form subtree counts), genuinely hard
-//! instances (pure constant-factor wins from in-place grounding), and the
-//! sharded configuration.
+//! Engine bench: the backtracking counting engine against its baselines on
+//! the shapes that matter — early-refuted queries (residual pruning
+//! collapses the whole tree), early-satisfied queries (closed-form subtree
+//! counts), genuinely hard instances (where the per-node evaluation cost is
+//! everything), skewed instances (where the scheduler is everything), and
+//! the tiny instances behind the solver's engine-vs-closed-form cutoff.
+//!
+//! Three baselines appear:
+//!
+//! * `naive` — the seed clone-and-check loop ([`NaiveEngine`]);
+//! * `engine_scratch` — the PR 2 engine: same search, but re-running
+//!   `holds_partial` from scratch at every node
+//!   ([`BacktrackingEngine::without_incremental`]); the `incremental_*` and
+//!   `skewed_*` rows measure the PR 3 evaluator/scheduler against it;
+//! * `closed_form` — the Theorem 3.9 / 4.6 polynomial algorithms; the
+//!   `tiny_*` rows justify `ENGINE_TINY_INSTANCE_VALUATIONS` in
+//!   `incdb_core::solver`.
 //!
 //! Besides the Criterion groups, this bench always measures the headline
-//! naive-vs-engine comparison directly and writes the results to
-//! `BENCH_engine.json` at the workspace root, so every CI run appends a
-//! point to the perf trajectory. Run `cargo bench --bench engine -- --test`
-//! (or set `ENGINE_BENCH_FAST=1`) for the fast smoke mode CI uses.
+//! comparisons directly and writes the results to `BENCH_engine.json` at the
+//! workspace root, so every CI run appends a point to the perf trajectory —
+//! and **diffs the fresh speedup ratios against the committed record**,
+//! failing when any named instance's ratio collapsed more than 3× (set
+//! `ENGINE_BENCH_NO_REGRESSION` to skip the diff locally). Run
+//! `cargo bench --bench engine -- --test` (or set `ENGINE_BENCH_FAST=1`)
+//! for the fast smoke mode CI uses.
 
 use std::time::{Duration, Instant};
 
 use criterion::{BenchmarkId, Criterion};
-use incdb_bench::{uniform_codd_binary, uniform_self_loop_cycle};
+use incdb_bench::{
+    deep_null_cycle, skewed_switch_cycle, uniform_codd_binary, uniform_self_loop_cycle,
+    uniform_two_unary_relations, uniform_unary_completions_instance,
+};
+use incdb_core::algorithms::{comp_uniform, val_uniform};
 use incdb_core::engine::{BacktrackingEngine, CountingEngine, NaiveEngine};
 use incdb_data::{IncompleteDatabase, Value};
 use incdb_query::Bcq;
@@ -38,13 +56,28 @@ fn early_satisfied_instance(nulls: u32, domain: u64) -> (IncompleteDatabase, Bcq
     (db, "R(x,x)".parse().unwrap())
 }
 
-/// A genuinely hard instance: no early decision, the engine must reach the
-/// leaves and wins only its constant factor (no cloning, no allocation).
+/// A genuinely hard instance: no early decision, the engine must search the
+/// tree and wins only what its per-node evaluation cost allows.
 fn hard_instance(nulls: u32, domain: u64) -> (IncompleteDatabase, Bcq) {
     (
         uniform_self_loop_cycle(nulls, domain),
         "R(x,x)".parse().unwrap(),
     )
+}
+
+/// The skewed scheduler instance (see
+/// [`incdb_bench::skewed_switch_cycle`]): the gate `⊥s ↦ 1` kills half the
+/// prefix space at the root, `⊥s ↦ 0` opens the full cycle subtree.
+fn skewed_instance(nulls: u32, domain: u64) -> (IncompleteDatabase, Bcq) {
+    (
+        skewed_switch_cycle(nulls, domain),
+        "S(0), R(x,x)".parse().unwrap(),
+    )
+}
+
+/// The PR 2 engine: from-scratch residual evaluation per node.
+fn scratch_engine() -> BacktrackingEngine {
+    BacktrackingEngine::sequential().without_incremental()
 }
 
 fn bench_refuted(c: &mut Criterion) {
@@ -90,6 +123,9 @@ fn bench_hard(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", nulls), &db, |b, db| {
             b.iter(|| NaiveEngine.count_valuations(db, &q).unwrap());
         });
+        group.bench_with_input(BenchmarkId::new("engine_scratch", nulls), &db, |b, db| {
+            b.iter(|| scratch_engine().count_valuations(db, &q).unwrap());
+        });
         group.bench_with_input(BenchmarkId::new("engine", nulls), &db, |b, db| {
             b.iter(|| {
                 BacktrackingEngine::sequential()
@@ -97,7 +133,33 @@ fn bench_hard(c: &mut Criterion) {
                     .unwrap()
             });
         });
-        group.bench_with_input(BenchmarkId::new("engine_sharded", nulls), &db, |b, db| {
+        group.bench_with_input(BenchmarkId::new("engine_stealing", nulls), &db, |b, db| {
+            b.iter(|| {
+                BacktrackingEngine::with_threads(4)
+                    .with_parallel_threshold(1)
+                    .count_valuations(db, &q)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_skewed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/skewed");
+    for nulls in [8u32, 10] {
+        let (db, q) = skewed_instance(nulls, 3);
+        group.bench_with_input(BenchmarkId::new("engine_scratch", nulls), &db, |b, db| {
+            b.iter(|| scratch_engine().count_valuations(db, &q).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("engine", nulls), &db, |b, db| {
+            b.iter(|| {
+                BacktrackingEngine::sequential()
+                    .count_valuations(db, &q)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("engine_stealing", nulls), &db, |b, db| {
             b.iter(|| {
                 BacktrackingEngine::with_threads(4)
                     .with_parallel_threshold(1)
@@ -143,6 +205,9 @@ fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> u128 {
 
 struct JsonRow {
     name: &'static str,
+    /// What `naive_ns` measures for this row (`naive`, `engine_scratch`,
+    /// `closed_form`, `engine_sequential`).
+    baseline: &'static str,
     nulls: u32,
     valuations: String,
     naive_ns: u128,
@@ -155,12 +220,119 @@ impl JsonRow {
     }
 }
 
-/// Measures the headline comparisons and writes `BENCH_engine.json` at the
-/// workspace root.
+/// Measures one engine-vs-engine comparison (checking agreement first).
+fn engine_row(
+    name: &'static str,
+    baseline_label: &'static str,
+    db: &IncompleteDatabase,
+    q: &Bcq,
+    baseline: &BacktrackingEngine,
+    engine: &BacktrackingEngine,
+    runs: usize,
+) -> JsonRow {
+    assert_eq!(
+        baseline.count_valuations(db, q).unwrap(),
+        engine.count_valuations(db, q).unwrap(),
+        "engines disagree on {name}"
+    );
+    let naive_ns = median_ns(runs, || {
+        baseline.count_valuations(db, q).unwrap();
+    });
+    let engine_ns = median_ns(runs, || {
+        engine.count_valuations(db, q).unwrap();
+    });
+    JsonRow {
+        name,
+        baseline: baseline_label,
+        nulls: db.nulls().len() as u32,
+        valuations: db.valuation_count().to_string(),
+        naive_ns,
+        engine_ns,
+    }
+}
+
+/// Extracts the `(name, speedup)` pairs of a previously written
+/// `BENCH_engine.json` (one instance object per line, as written below).
+fn parse_committed_speedups(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = rest[..name_end].to_string();
+        let Some(at) = line.find("\"speedup\": ") else {
+            continue;
+        };
+        let digits: String = line[at + 11..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(speedup) = digits.parse::<f64>() {
+            out.push((name, speedup));
+        }
+    }
+    out
+}
+
+/// Rows whose meaning flips with the host's core count and therefore cannot
+/// be gated against a record committed from a different machine:
+/// `skewed_stealing` measures real parallel speedup on multicore hosts but
+/// pure scheduler overhead on a 1-core container, so a multicore-committed
+/// record would fail every 1-core CI run with no code change.
+const GATE_EXEMPT: &[&str] = &["skewed_stealing"];
+
+/// Fails the bench when a named instance's fresh engine-vs-baseline
+/// **speedup ratio** collapsed more than 3× against the committed
+/// `BENCH_engine.json` — the CI perf trajectory gate. Both sides of every
+/// ratio are measured on the same host in the same run, so the gate is
+/// independent of how fast the CI runner happens to be (absolute medians
+/// are not comparable across machines). Rows absent from the committed
+/// record are new and pass; a committed record that parses to nothing is an
+/// error (a silently vacuous gate would let real regressions merge).
+fn check_regressions(committed: &str, rows: &[JsonRow]) {
+    let committed = parse_committed_speedups(committed);
+    assert!(
+        !committed.is_empty(),
+        "the committed BENCH_engine.json contains no parseable instance rows — \
+         was it reformatted? The regression gate expects the one-object-per-line \
+         layout this bench writes; regenerate it with `cargo bench --bench engine -- --test`"
+    );
+    let mut violations = Vec::new();
+    for row in rows {
+        if GATE_EXEMPT.contains(&row.name) {
+            continue;
+        }
+        if let Some((_, old_speedup)) = committed.iter().find(|(name, _)| name == row.name) {
+            if row.speedup() < old_speedup / 3.0 {
+                violations.push(format!(
+                    "{}: {:.2}× now vs {:.2}× committed",
+                    row.name,
+                    row.speedup(),
+                    old_speedup
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "engine speedup collapsed >3× against the committed BENCH_engine.json:\n  {}\n\
+         (set ENGINE_BENCH_NO_REGRESSION=1 to skip this gate locally)",
+        violations.join("\n  ")
+    );
+}
+
+/// Measures the headline comparisons, gates on perf regressions against the
+/// committed record, and rewrites `BENCH_engine.json` at the workspace root.
 fn write_json_report(fast: bool) {
     let runs = if fast { 5 } else { 15 };
     let mut rows: Vec<JsonRow> = Vec::new();
 
+    // Seed-vs-engine rows (the PR 2 headline, kept for trajectory
+    // continuity).
     for (name, (db, q)) in [
         ("early_refuted", early_refuted_instance(8, 3)),
         ("early_satisfied", early_satisfied_instance(8, 3)),
@@ -184,11 +356,129 @@ fn write_json_report(fast: bool) {
         });
         rows.push(JsonRow {
             name,
+            baseline: "naive",
             nulls: db.nulls().len() as u32,
             valuations: db.valuation_count().to_string(),
             naive_ns,
             engine_ns,
         });
+    }
+
+    // Incremental-evaluator rows: the PR 3 stateful ResidualState against
+    // the PR 2 from-scratch per-node evaluation, same search otherwise.
+    {
+        let (db, q) = hard_instance(8, 3);
+        rows.push(engine_row(
+            "incremental_hard_no_pruning",
+            "engine_scratch",
+            &db,
+            &q,
+            &scratch_engine(),
+            &BacktrackingEngine::sequential(),
+            runs,
+        ));
+        let db = deep_null_cycle(16);
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        rows.push(engine_row(
+            "incremental_deep_nulls",
+            "engine_scratch",
+            &db,
+            &q,
+            &scratch_engine(),
+            &BacktrackingEngine::sequential(),
+            runs,
+        ));
+    }
+
+    // Skewed rows: the full PR 3 stack (incremental evaluation + work
+    // stealing at the default worker count) against the PR 2 engine, and
+    // the scheduler in isolation (sequential vs forced stealing, both
+    // incremental — only meaningful on multi-core hosts).
+    {
+        let (db, q) = skewed_instance(8, 3);
+        rows.push(engine_row(
+            "skewed_switch",
+            "engine_scratch",
+            &db,
+            &q,
+            &scratch_engine(),
+            &BacktrackingEngine::default(),
+            runs,
+        ));
+        rows.push(engine_row(
+            "skewed_stealing",
+            "engine_sequential",
+            &db,
+            &q,
+            &BacktrackingEngine::sequential(),
+            &BacktrackingEngine::with_threads(4).with_parallel_threshold(1),
+            runs,
+        ));
+    }
+
+    // Tiny-instance rows: the exponential-setup closed forms against the
+    // engine, justifying `ENGINE_TINY_INSTANCE_VALUATIONS` in the solver.
+    let q_ie: Bcq = "R(x), S(x)".parse().unwrap();
+    for (name, per_relation) in [("tiny_ie_16", 2u32), ("tiny_ie_64", 3), ("tiny_ie_256", 4)] {
+        let db = uniform_two_unary_relations(per_relation, 2);
+        let expected = val_uniform::count_valuations(&db, &q_ie).unwrap();
+        assert_eq!(
+            BacktrackingEngine::sequential()
+                .count_valuations(&db, &q_ie)
+                .unwrap(),
+            expected,
+            "engine disagrees with inclusion–exclusion on {name}"
+        );
+        let naive_ns = median_ns(runs, || {
+            val_uniform::count_valuations(&db, &q_ie).unwrap();
+        });
+        let engine_ns = median_ns(runs, || {
+            BacktrackingEngine::sequential()
+                .count_valuations(&db, &q_ie)
+                .unwrap();
+        });
+        rows.push(JsonRow {
+            name,
+            baseline: "closed_form",
+            nulls: db.nulls().len() as u32,
+            valuations: db.valuation_count().to_string(),
+            naive_ns,
+            engine_ns,
+        });
+    }
+    {
+        let db = uniform_unary_completions_instance(5, 2);
+        let expected = comp_uniform::count_all_completions(&db).unwrap();
+        assert_eq!(
+            BacktrackingEngine::sequential()
+                .count_all_completions(&db)
+                .unwrap(),
+            expected,
+            "engine disagrees with unary completion counting on tiny_comp"
+        );
+        let naive_ns = median_ns(runs, || {
+            comp_uniform::count_all_completions(&db).unwrap();
+        });
+        let engine_ns = median_ns(runs, || {
+            BacktrackingEngine::sequential()
+                .count_all_completions(&db)
+                .unwrap();
+        });
+        rows.push(JsonRow {
+            name: "tiny_comp_all",
+            baseline: "closed_form",
+            nulls: db.nulls().len() as u32,
+            valuations: db.valuation_count().to_string(),
+            naive_ns,
+            engine_ns,
+        });
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    if std::env::var("ENGINE_BENCH_NO_REGRESSION").is_err() {
+        if let Ok(committed) = std::fs::read_to_string(path) {
+            check_regressions(&committed, &rows);
+        }
     }
 
     let mut json = String::from("{\n  \"bench\": \"engine\",\n");
@@ -199,9 +489,11 @@ fn write_json_report(fast: bool) {
     json.push_str("  \"instances\": [\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"nulls\": {}, \"valuations\": \"{}\", \
-             \"naive_ns\": {}, \"engine_ns\": {}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"nulls\": {}, \
+             \"valuations\": \"{}\", \"naive_ns\": {}, \"engine_ns\": {}, \
+             \"speedup\": {:.2}}}{}\n",
             row.name,
+            row.baseline,
             row.nulls,
             row.valuations,
             row.naive_ns,
@@ -217,7 +509,6 @@ fn write_json_report(fast: bool) {
         refuted.speedup()
     ));
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &json).expect("write BENCH_engine.json");
     println!("\nwrote {path}:\n{json}");
     assert!(
@@ -226,6 +517,15 @@ fn write_json_report(fast: bool) {
          brute force on the early-refuted instance (got {:.2}×)",
         refuted.speedup()
     );
+    for name in ["incremental_hard_no_pruning", "skewed_switch"] {
+        let row = rows.iter().find(|r| r.name == name).unwrap();
+        assert!(
+            row.speedup() >= 5.0,
+            "acceptance criterion: the incremental engine must be ≥5× faster \
+             than the PR 2 engine on {name} (got {:.2}×)",
+            row.speedup()
+        );
+    }
 }
 
 fn main() {
@@ -240,6 +540,7 @@ fn main() {
         bench_refuted(&mut c);
         bench_satisfied(&mut c);
         bench_hard(&mut c);
+        bench_skewed(&mut c);
         bench_completions(&mut c);
     }
     write_json_report(fast);

@@ -36,6 +36,37 @@ pub fn uniform_self_loop_cycle(nulls: u32, domain_size: u64) -> IncompleteDataba
     db
 }
 
+/// A skewed instance for scheduler benchmarks: a gating null `⊥s` with
+/// domain `{0, 1}` behind the unary fact `S(⊥s)`, in front of an `R(x,x)`
+/// cycle of `nulls` nulls over domains of size `domain_size`. Paired with
+/// the query `S(0), R(x,x)`, the branch `⊥s ↦ 1` refutes at the root while
+/// `⊥s ↦ 0` opens the whole cycle subtree — so a static partition of the
+/// search prefix leaves half its workers idle, and a work-stealing
+/// scheduler gets to prove itself. (The smallest-domain-first search order
+/// explores `⊥s` first whenever `domain_size > 2`.)
+pub fn skewed_switch_cycle(nulls: u32, domain_size: u64) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_non_uniform();
+    let switch = incdb_data::NullId(nulls);
+    db.set_domain(switch, [0u64, 1]).unwrap();
+    db.add_fact("S", vec![Value::Null(switch)]).unwrap();
+    for i in 0..nulls {
+        let j = (i + 1) % nulls;
+        db.set_domain(incdb_data::NullId(i), 0..domain_size)
+            .unwrap();
+        db.add_fact("R", vec![Value::null(i), Value::null(j)])
+            .unwrap();
+    }
+    db
+}
+
+/// A deep instance for per-node evaluation benchmarks: an `R(x,x)` cycle of
+/// `nulls` (16+) nulls over a **binary** domain — `2^nulls` valuations whose
+/// search tree is tall and narrow, stressing how much work the residual
+/// evaluator performs per bind.
+pub fn deep_null_cycle(nulls: u32) -> IncompleteDatabase {
+    uniform_self_loop_cycle(nulls, 2)
+}
+
 /// A uniform Codd table with one binary relation of `facts` rows of fresh
 /// nulls — the `#Compᵘ_Cd(R(x,y))` hard cell (Proposition 4.5(b) shape).
 pub fn uniform_codd_binary(facts: u32, domain_size: u64) -> IncompleteDatabase {

@@ -13,19 +13,29 @@
 //!   occurrences in place (`O(occurrences)`), and a completion is only
 //!   written out (into a reusable scratch database) for query types that
 //!   cannot evaluate partially.
-//! * **Residual-query pruning** — at every node the engine asks the query to
-//!   decide itself on the partial grounding
-//!   (`BooleanQuery::holds_partial`). A `Refuted` answer discards the whole
-//!   subtree; a `Satisfied` answer counts it in closed form, `∏` of the
-//!   remaining domain sizes, without visiting a single leaf.
+//! * **Incremental residual evaluation** — instead of re-running the two
+//!   partial-homomorphism searches of `BooleanQuery::holds_partial` from
+//!   scratch at every node, the engine keeps a stateful
+//!   [`ResidualState`](incdb_query::ResidualState) per worker: each bind
+//!   flows through the grounding's dirty-null channel
+//!   ([`Grounding::drain_dirty_into`]) and re-classifies only the candidate
+//!   facts that mention the bound null, watched-literal style. A `Refuted`
+//!   answer discards the whole subtree; a `Satisfied` answer counts it in
+//!   closed form, `∏` of the remaining domain sizes, without visiting a
+//!   single leaf. The from-scratch path survives behind
+//!   [`BacktrackingEngine::without_incremental`] as the differential /
+//!   benchmark baseline (the PR 2 engine).
 //! * **Domain-size-aware ordering** — nulls are explored smallest-domain
 //!   first (ties broken towards frequently occurring nulls), which keeps the
 //!   branching factor low near the root where pruning pays the most.
-//! * **Parallel sharding** — the assignments of a shallow search prefix
-//!   (just deep enough to reach the worker cap) are split across
-//!   `std::thread::scope` workers (rayon is unavailable offline; scoped
-//!   threads need no dependency). Counts are exact naturals, so the shard
-//!   sums are deterministic.
+//! * **Work-stealing parallel search** — subtree tasks (assignments of a
+//!   shallow search prefix) live in a shared deque ([`TaskQueue`]:
+//!   `Mutex<VecDeque>` + `Condvar`; rayon/crossbeam are unavailable offline)
+//!   drained by `std::thread::scope` workers one task at a time. When the
+//!   queue runs dry while a worker still owns a large subtree, that worker
+//!   **splits on steal**: it donates its unexplored sibling branches back to
+//!   the queue, so skewed instances (one heavy subtree) keep every core
+//!   busy. Counts are exact naturals, so worker sums are deterministic.
 //! * **Completion dedup via canonical fingerprints** — distinct-completion
 //!   counting hashes a sorted, deduplicated fact list instead of comparing
 //!   whole `Database` values.
@@ -36,12 +46,13 @@
 //! `incdb-approx` reuse the bind/check oracle ([`holds_under_current`]) in
 //! their hot loops.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::sync::{Condvar, Mutex};
 use std::thread;
 
 use incdb_bignum::{BigNat, NatAccumulator};
 use incdb_data::{Constant, DataError, Database, Grounding, IncompleteDatabase};
-use incdb_query::{BooleanQuery, PartialOutcome};
+use incdb_query::{BooleanQuery, PartialOutcome, ResidualState};
 
 /// A strategy for exactly counting valuations and completions.
 ///
@@ -163,27 +174,310 @@ fn completion_key(g: &Grounding) -> CompletionKey {
     g.completion_fingerprint().expect("leaf is fully bound")
 }
 
+/// Per-worker evaluation context: the query, its optional incremental
+/// [`ResidualState`], and the buffer that carries the grounding's dirty-null
+/// notifications into it.
+struct NodeEval<'q, Q: ?Sized> {
+    q: &'q Q,
+    state: Option<Box<dyn ResidualState>>,
+    changed: Vec<usize>,
+}
+
+impl<'q, Q: BooleanQuery + ?Sized> NodeEval<'q, Q> {
+    /// Builds the evaluator over the grounding's current assignment. With
+    /// `incremental` unset (or for query types without incremental
+    /// evaluation) every [`NodeEval::outcome`] call falls back to a
+    /// from-scratch `holds_partial`.
+    fn new(q: &'q Q, g: &mut Grounding, incremental: bool) -> Self {
+        // The state snapshots the grounding as-is; clear pending
+        // notifications so the sync cursor starts at the snapshot.
+        let mut changed = Vec::new();
+        g.drain_dirty_into(&mut changed);
+        let state = if incremental {
+            q.residual_state(g)
+        } else {
+            None
+        };
+        NodeEval { q, state, changed }
+    }
+
+    /// The query's outcome for the subtree below the grounding's current
+    /// bindings, after syncing the incremental state with every null that
+    /// changed since the previous call.
+    fn outcome(&mut self, g: &mut Grounding) -> PartialOutcome {
+        match &mut self.state {
+            Some(state) => {
+                g.drain_dirty_into(&mut self.changed);
+                state.apply(g, &self.changed);
+                state.outcome(g)
+            }
+            None => self.q.holds_partial(g),
+        }
+    }
+}
+
+/// The shared work-stealing scheduler: subtree tasks (prefix assignments of
+/// the search order) in a deque guarded by a mutex and a condvar. Workers
+/// pop one task at a time, which already self-balances moderately skewed
+/// instances; when the deque runs dry while some worker still owns a large
+/// subtree, that worker donates its unexplored sibling branches
+/// ("split on steal", [`SubtreeSearch::maybe_donate`]), so a single heavy
+/// subtree ends up spread across every idle core.
+struct TaskQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    tasks: VecDeque<Vec<Constant>>,
+    /// Tasks created but not yet finished (queued + running). Zero means
+    /// the whole search space is accounted for and workers may exit.
+    unfinished: usize,
+    /// Workers currently blocked waiting for a task — the starvation signal
+    /// that triggers splitting.
+    idle: usize,
+}
+
+impl TaskQueue {
+    fn new(tasks: Vec<Vec<Constant>>) -> Self {
+        let unfinished = tasks.len();
+        TaskQueue {
+            state: Mutex::new(QueueState {
+                tasks: tasks.into(),
+                unfinished,
+                idle: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Pops the next task, blocking while running workers may still donate
+    /// new ones. Returns `None` once every task has finished.
+    fn next_task(&self) -> Option<Vec<Constant>> {
+        let mut s = self.state.lock().expect("engine task queue poisoned");
+        loop {
+            if let Some(task) = s.tasks.pop_front() {
+                return Some(task);
+            }
+            if s.unfinished == 0 {
+                return None;
+            }
+            s.idle += 1;
+            s = self.available.wait(s).expect("engine task queue poisoned");
+            s.idle -= 1;
+        }
+    }
+
+    /// Marks one popped task as finished, releasing waiting workers when it
+    /// was the last.
+    fn finish_task(&self) {
+        let mut s = self.state.lock().expect("engine task queue poisoned");
+        s.unfinished -= 1;
+        let done = s.unfinished == 0;
+        drop(s);
+        if done {
+            self.available.notify_all();
+        }
+    }
+
+    /// Returns `true` if some worker is starving — the signal for a busy
+    /// worker to split off part of its subtree.
+    fn wants_work(&self) -> bool {
+        let s = self.state.lock().expect("engine task queue poisoned");
+        s.idle > 0 && s.tasks.is_empty()
+    }
+
+    /// Donates subtree tasks to starving workers.
+    fn donate(&self, tasks: impl IntoIterator<Item = Vec<Constant>>) {
+        let mut s = self.state.lock().expect("engine task queue poisoned");
+        for task in tasks {
+            s.tasks.push_back(task);
+            s.unfinished += 1;
+        }
+        drop(s);
+        self.available.notify_all();
+    }
+}
+
+/// Subtrees smaller than this many valuations are never donated: queue
+/// round-trips would cost more than just searching them locally.
+const MIN_SPLIT_VALUATIONS: u64 = 64;
+
+/// How many seed tasks per worker [`BacktrackingEngine::shard_plan`] aims
+/// for. Moderate oversubscription self-balances most instances; split-on-
+/// steal refines the partition at runtime, so the seed stays small.
+const PREFIX_OVERSUBSCRIPTION: usize = 4;
+
+/// One worker's DFS over `order[depth..]`: the evaluation context plus the
+/// per-worker scratch state, bundled so the recursive walks stay at a
+/// readable arity.
+struct SubtreeSearch<'a, Q: ?Sized> {
+    ev: NodeEval<'a, Q>,
+    order: &'a [usize],
+    /// `suffix[d] = ∏_{i ≥ d} |dom(order[i])|` — the closed-form size of the
+    /// subtree below depth `d`, credited wholesale on `Satisfied`. Only the
+    /// valuation walk reads it; the completions path (which must visit
+    /// leaves for fingerprints regardless) passes an empty slice.
+    suffix: &'a [BigNat],
+    /// `suffix` saturated into machine words, for the donation heuristic.
+    hint: &'a [u64],
+    /// The scheduler to donate subtrees to; `None` when running sequentially.
+    steal: Option<&'a TaskQueue>,
+    /// The values bound along `order[..depth]` — the prefix a donated
+    /// sibling task is built from. Invariant: `path.len() == depth` whenever
+    /// a recursive call at `depth` runs.
+    path: Vec<Constant>,
+    scratch: Database,
+}
+
+impl<'a, Q: BooleanQuery + ?Sized> SubtreeSearch<'a, Q> {
+    /// Donates the unexplored sibling branches `order[depth] ↦ dom[from..]`
+    /// if another worker is starving and the subtree is worth splitting.
+    /// Returns `true` if the siblings now belong to the queue.
+    fn maybe_donate(&mut self, g: &Grounding, depth: usize, from: usize) -> bool {
+        let Some(queue) = self.steal else {
+            return false;
+        };
+        if self.hint[depth + 1] < MIN_SPLIT_VALUATIONS || !queue.wants_work() {
+            return false;
+        }
+        let dom = g.domain_by_index(self.order[depth]);
+        queue.donate((from..dom.len()).map(|j| {
+            let mut prefix = self.path.clone();
+            prefix.push(dom[j]);
+            prefix
+        }));
+        true
+    }
+
+    /// Counts satisfying valuations below the current bindings of `g` into
+    /// `acc`, exploring `order[depth..]`.
+    fn count_vals(&mut self, g: &mut Grounding, depth: usize, acc: &mut NatAccumulator) {
+        match self.ev.outcome(g) {
+            PartialOutcome::Satisfied => acc.add_big(&self.suffix[depth]),
+            PartialOutcome::Refuted => {}
+            PartialOutcome::Unknown => {
+                if depth == self.order.len() {
+                    // Fully bound yet undecided: the query type has no
+                    // residual evaluation, so materialise and model-check.
+                    g.completion_into(&mut self.scratch)
+                        .expect("every null is bound at a leaf");
+                    if self.ev.q.holds(&self.scratch) {
+                        acc.add_one();
+                    }
+                } else {
+                    let i = self.order[depth];
+                    let mut last = g.domain_by_index(i).len();
+                    let mut k = 0;
+                    while k < last {
+                        if k + 1 < last && self.maybe_donate(g, depth, k + 1) {
+                            last = k + 1;
+                        }
+                        let value = g.domain_by_index(i)[k];
+                        g.bind_index(i, value);
+                        self.path.push(value);
+                        self.count_vals(g, depth + 1, acc);
+                        self.path.pop();
+                        k += 1;
+                    }
+                    g.unbind_index(i);
+                }
+            }
+        }
+    }
+
+    /// Collects the fingerprints of satisfying completions below the
+    /// current bindings. `decided` records that an ancestor already proved
+    /// the query `Satisfied` (no completion below can fail, so checks are
+    /// skipped); a donated task re-derives it at its root, since
+    /// `Satisfied` is monotone along a binding path.
+    fn collect_comps(
+        &mut self,
+        g: &mut Grounding,
+        depth: usize,
+        decided: bool,
+        keys: &mut HashSet<CompletionKey>,
+    ) {
+        let decided = decided
+            || match self.ev.outcome(g) {
+                PartialOutcome::Satisfied => true,
+                PartialOutcome::Refuted => return,
+                PartialOutcome::Unknown => false,
+            };
+        if depth == self.order.len() {
+            let satisfied = decided || {
+                g.completion_into(&mut self.scratch)
+                    .expect("every null is bound at a leaf");
+                self.ev.q.holds(&self.scratch)
+            };
+            if satisfied {
+                keys.insert(completion_key(g));
+            }
+            return;
+        }
+        let i = self.order[depth];
+        let mut last = g.domain_by_index(i).len();
+        let mut k = 0;
+        while k < last {
+            if k + 1 < last && self.maybe_donate(g, depth, k + 1) {
+                last = k + 1;
+            }
+            let value = g.domain_by_index(i)[k];
+            g.bind_index(i, value);
+            self.path.push(value);
+            self.collect_comps(g, depth + 1, decided, keys);
+            self.path.pop();
+            k += 1;
+        }
+        g.unbind_index(i);
+    }
+
+    /// Rebinds the grounding for a fresh task: everything unbound, then
+    /// `order[d] ↦ prefix[d]`. The changes reach the residual state through
+    /// the dirty channel at the next evaluation — no rebuild.
+    fn start_task(&mut self, g: &mut Grounding, prefix: &[Constant]) {
+        g.reset();
+        for (d, &value) in prefix.iter().enumerate() {
+            g.bind_index(self.order[d], value);
+        }
+        self.path.clear();
+        self.path.extend_from_slice(prefix);
+    }
+}
+
 /// The backtracking counting engine (see the module documentation).
 #[derive(Debug, Clone)]
 pub struct BacktrackingEngine {
-    /// Maximum number of worker threads for the sharded search prefix.
+    /// Maximum number of worker threads for the work-stealing search.
     /// `1` disables sharding.
     threads: usize,
-    /// Minimum number of valuations before sharding is worth the thread
-    /// spawn cost.
+    /// Minimum total number of valuations (`∏_⊥ |dom(⊥)|`, the leaf count
+    /// of the full search tree) at or above which the search is sharded
+    /// across workers.
     parallel_threshold: u64,
+    /// Whether to drive the search through the stateful incremental
+    /// residual evaluator (`false` re-runs `holds_partial` from scratch at
+    /// every node, as the PR 2 engine did).
+    incremental: bool,
 }
 
+/// The default [`BacktrackingEngine::with_parallel_threshold`]: with
+/// work-stealing keeping skewed shards balanced, sharding pays off well
+/// below the static-sharding engine's old 4096-valuation floor.
+const DEFAULT_PARALLEL_THRESHOLD: u64 = 1024;
+
 impl Default for BacktrackingEngine {
-    /// Auto-detects parallelism (capped at 8 workers) and only shards
-    /// instances with at least 4096 valuations.
+    /// Auto-detects parallelism (capped at 8 workers), shards instances
+    /// with at least [`DEFAULT_PARALLEL_THRESHOLD`] valuations, and
+    /// evaluates incrementally.
     fn default() -> Self {
         let threads = thread::available_parallelism()
             .map_or(1, usize::from)
             .min(8);
         BacktrackingEngine {
             threads,
-            parallel_threshold: 4096,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            incremental: true,
         }
     }
 }
@@ -195,15 +489,17 @@ impl BacktrackingEngine {
         BacktrackingEngine {
             threads: 1,
             parallel_threshold: u64::MAX,
+            incremental: true,
         }
     }
 
-    /// An engine sharding the first search level over up to `threads`
+    /// An engine spreading the search over up to `threads` work-stealing
     /// workers.
     pub fn with_threads(threads: usize) -> Self {
         BacktrackingEngine {
             threads: threads.max(1),
-            parallel_threshold: 4096,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            incremental: true,
         }
     }
 
@@ -212,11 +508,23 @@ impl BacktrackingEngine {
         self.threads
     }
 
-    /// Overrides the minimum number of valuations before the engine shards
-    /// (builder style; mostly useful to force sharding in tests and
-    /// benchmarks).
-    pub fn with_parallel_threshold(mut self, leaves: u64) -> Self {
-        self.parallel_threshold = leaves;
+    /// Overrides the minimum **total number of valuations**
+    /// (`∏_⊥ |dom(⊥)|`, the leaf count of the full search tree) at or above
+    /// which the engine shards the search across workers; the boundary is
+    /// inclusive, so an instance with exactly `valuations` valuations
+    /// shards. Builder style; mostly useful to force sharding in tests and
+    /// benchmarks.
+    pub fn with_parallel_threshold(mut self, valuations: u64) -> Self {
+        self.parallel_threshold = valuations;
+        self
+    }
+
+    /// Disables the incremental residual evaluator: every node re-runs
+    /// `holds_partial` from scratch, exactly as the PR 2 engine did. Kept
+    /// as the benchmark baseline (`BENCH_engine.json`'s `incremental_*`
+    /// rows) and for differential testing of the incremental path.
+    pub fn without_incremental(mut self) -> Self {
+        self.incremental = false;
         self
     }
 
@@ -246,29 +554,45 @@ impl BacktrackingEngine {
         suffix
     }
 
-    /// Decides whether this instance is worth sharding and, if so, over
-    /// which search prefix: the shallowest depth `d` whose assignment count
-    /// `∏_{i < d} |dom(order[i])|` reaches the worker cap. Sharding over
-    /// prefix *assignments* rather than the first null's domain keeps full
-    /// parallel width even when the pruning-optimal order puts a tiny
-    /// domain first.
+    /// [`suffix_products`](BacktrackingEngine::suffix_products) saturated
+    /// into machine words: the cheap subtree-size signal the donation
+    /// heuristic compares against [`MIN_SPLIT_VALUATIONS`].
+    fn subtree_hints(g: &Grounding, order: &[usize]) -> Vec<u64> {
+        let mut hint = vec![1u64; order.len() + 1];
+        for d in (0..order.len()).rev() {
+            hint[d] = hint[d + 1].saturating_mul(g.domain_by_index(order[d]).len() as u64);
+        }
+        hint
+    }
+
+    /// Decides whether this instance is worth sharding and, if so, seeds
+    /// the task queue: the assignments of the shallowest search prefix wide
+    /// enough for a few tasks per worker ([`PREFIX_OVERSUBSCRIPTION`]).
+    /// Sharding over prefix *assignments* rather than the first null's
+    /// domain keeps full parallel width even when the pruning-optimal order
+    /// puts a tiny domain first; split-on-steal refines the partition at
+    /// runtime.
     ///
-    /// Returns the prefix depth and every assignment of `order[..depth]`
-    /// (odometer order), or `None` when the engine should run sequentially.
-    fn shard_plan(&self, g: &Grounding, order: &[usize]) -> Option<(usize, Vec<Vec<Constant>>)> {
+    /// Returns every assignment of the prefix (odometer order), or `None`
+    /// when the engine should run sequentially: fewer than two workers, or
+    /// fewer total valuations than the
+    /// [threshold](BacktrackingEngine::with_parallel_threshold) (the
+    /// boundary is inclusive).
+    fn shard_plan(&self, g: &Grounding, order: &[usize]) -> Option<Vec<Vec<Constant>>> {
         if self.threads < 2 || order.is_empty() {
             return None;
         }
-        let mut leaves: u64 = 1;
+        let mut valuations: u64 = 1;
         for &i in order {
-            leaves = leaves.saturating_mul(g.domain_by_index(i).len() as u64);
+            valuations = valuations.saturating_mul(g.domain_by_index(i).len() as u64);
         }
-        if leaves < self.parallel_threshold {
+        if valuations < self.parallel_threshold {
             return None;
         }
+        let target = self.threads.saturating_mul(PREFIX_OVERSUBSCRIPTION);
         let mut depth = 0;
         let mut width: usize = 1;
-        while depth < order.len() && width < self.threads {
+        while depth < order.len() && width < target {
             width = width.saturating_mul(g.domain_by_index(order[depth]).len());
             depth += 1;
         }
@@ -290,33 +614,53 @@ impl BacktrackingEngine {
         if prefixes.len() < 2 {
             return None;
         }
-        Some((depth, prefixes))
+        Some(prefixes)
     }
 
-    /// Runs `work` over the prefix assignments of a [`shard_plan`] split
-    /// across up to [`threads`] scoped workers, each on its own clone of the
-    /// grounding, and returns the per-worker results.
-    ///
-    /// [`shard_plan`]: BacktrackingEngine::shard_plan
-    /// [`threads`]: BacktrackingEngine::threads
-    fn run_sharded<T, W>(&self, g: &Grounding, prefixes: &[Vec<Constant>], work: W) -> Vec<T>
+    /// Runs one subtree walk per task of the work-stealing queue across up
+    /// to [`threads`](BacktrackingEngine::threads) scoped workers, each on
+    /// its own clone of the grounding with its own result accumulator of
+    /// type `A`, and returns the per-worker accumulators for the caller to
+    /// merge. `work` resumes the search at the task's prefix depth — both
+    /// counting modes share every other line of the worker protocol.
+    fn run_stealing<Q, A, W>(
+        &self,
+        g: &Grounding,
+        q: &Q,
+        plan: &SearchPlan<'_>,
+        prefixes: Vec<Vec<Constant>>,
+        work: W,
+    ) -> Vec<A>
     where
-        T: Send,
-        W: Fn(&mut Grounding, &[Vec<Constant>]) -> T + Sync,
+        Q: BooleanQuery + Sync + ?Sized,
+        A: Default + Send,
+        W: for<'s> Fn(&mut SubtreeSearch<'s, Q>, &mut Grounding, usize, &mut A) + Sync,
     {
-        let per_worker = prefixes
-            .len()
-            .div_ceil(self.threads.min(prefixes.len()))
-            .max(1);
+        let queue = TaskQueue::new(prefixes);
         thread::scope(|scope| {
-            let handles: Vec<_> = prefixes
-                .chunks(per_worker)
-                .map(|chunk| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|_| {
                     let base = g.clone();
-                    let work = &work;
+                    let (queue, work) = (&queue, &work);
+                    let incremental = self.incremental;
                     scope.spawn(move || {
                         let mut g = base;
-                        work(&mut g, chunk)
+                        let mut search = SubtreeSearch {
+                            ev: NodeEval::new(q, &mut g, incremental),
+                            order: plan.order,
+                            suffix: plan.suffix,
+                            hint: plan.hint,
+                            steal: Some(queue),
+                            path: Vec::new(),
+                            scratch: Database::new(),
+                        };
+                        let mut acc = A::default();
+                        while let Some(prefix) = queue.next_task() {
+                            search.start_task(&mut g, &prefix);
+                            work(&mut search, &mut g, prefix.len(), &mut acc);
+                            queue.finish_task();
+                        }
+                        acc
                     })
                 })
                 .collect();
@@ -326,88 +670,14 @@ impl BacktrackingEngine {
                 .collect()
         })
     }
+}
 
-    /// Binds one prefix assignment (`order[d] ↦ prefix[d]`) before a subtree
-    /// search resumes at `prefix.len()`.
-    fn bind_prefix(g: &mut Grounding, order: &[usize], prefix: &[Constant]) {
-        for (d, &value) in prefix.iter().enumerate() {
-            g.bind_index(order[d], value);
-        }
-    }
-
-    /// Counts satisfying valuations below the current bindings of `g`,
-    /// exploring `order[depth..]`.
-    fn count_val_subtree<Q: BooleanQuery + ?Sized>(
-        g: &mut Grounding,
-        q: &Q,
-        order: &[usize],
-        suffix: &[BigNat],
-        depth: usize,
-        acc: &mut NatAccumulator,
-        scratch: &mut Database,
-    ) {
-        match q.holds_partial(g) {
-            PartialOutcome::Satisfied => acc.add_big(&suffix[depth]),
-            PartialOutcome::Refuted => {}
-            PartialOutcome::Unknown => {
-                if depth == order.len() {
-                    // Fully bound yet undecided: the query type has no
-                    // residual evaluation, so materialise and model-check.
-                    g.completion_into(scratch)
-                        .expect("every null is bound at a leaf");
-                    if q.holds(scratch) {
-                        acc.add_one();
-                    }
-                } else {
-                    let i = order[depth];
-                    for k in 0..g.domain_by_index(i).len() {
-                        let value = g.domain_by_index(i)[k];
-                        g.bind_index(i, value);
-                        Self::count_val_subtree(g, q, order, suffix, depth + 1, acc, scratch);
-                    }
-                    g.unbind_index(i);
-                }
-            }
-        }
-    }
-
-    /// Collects the fingerprints of satisfying completions below the current
-    /// bindings. `decided` records that an ancestor already proved the query
-    /// `Satisfied` (no completion below can fail, so checks are skipped).
-    fn collect_comp_subtree<Q: BooleanQuery + ?Sized>(
-        g: &mut Grounding,
-        q: &Q,
-        order: &[usize],
-        depth: usize,
-        decided: bool,
-        keys: &mut HashSet<CompletionKey>,
-        scratch: &mut Database,
-    ) {
-        let decided = decided
-            || match q.holds_partial(g) {
-                PartialOutcome::Satisfied => true,
-                PartialOutcome::Refuted => return,
-                PartialOutcome::Unknown => false,
-            };
-        if depth == order.len() {
-            let satisfied = decided || {
-                g.completion_into(scratch)
-                    .expect("every null is bound at a leaf");
-                q.holds(scratch)
-            };
-            if satisfied {
-                keys.insert(completion_key(g));
-            }
-            return;
-        }
-        let i = order[depth];
-        for k in 0..g.domain_by_index(i).len() {
-            let value = g.domain_by_index(i)[k];
-            g.bind_index(i, value);
-            Self::collect_comp_subtree(g, q, order, depth + 1, decided, keys, scratch);
-        }
-        g.unbind_index(i);
-    }
+/// The precomputed per-instance search geometry shared by every worker: the
+/// null exploration order with its closed-form subtree sizes.
+struct SearchPlan<'a> {
+    order: &'a [usize],
+    suffix: &'a [BigNat],
+    hint: &'a [u64],
 }
 
 impl CountingEngine for BacktrackingEngine {
@@ -419,22 +689,31 @@ impl CountingEngine for BacktrackingEngine {
         let mut g = db.try_grounding()?;
         let order = Self::search_order(&g);
         let suffix = Self::suffix_products(&g, &order);
-        let Some((depth, prefixes)) = self.shard_plan(&g, &order) else {
+        let hint = Self::subtree_hints(&g, &order);
+        let Some(prefixes) = self.shard_plan(&g, &order) else {
+            let mut search = SubtreeSearch {
+                ev: NodeEval::new(q, &mut g, self.incremental),
+                order: &order,
+                suffix: &suffix,
+                hint: &hint,
+                steal: None,
+                path: Vec::new(),
+                scratch: Database::new(),
+            };
             let mut acc = NatAccumulator::new();
-            let mut scratch = Database::new();
-            Self::count_val_subtree(&mut g, q, &order, &suffix, 0, &mut acc, &mut scratch);
+            search.count_vals(&mut g, 0, &mut acc);
             return Ok(acc.into_total());
         };
-        let totals = self.run_sharded(&g, &prefixes, |g, chunk| {
-            let mut acc = NatAccumulator::new();
-            let mut scratch = Database::new();
-            for prefix in chunk {
-                Self::bind_prefix(g, &order, prefix);
-                Self::count_val_subtree(g, q, &order, &suffix, depth, &mut acc, &mut scratch);
-            }
-            acc.into_total()
-        });
-        Ok(totals.into_iter().sum())
+        let plan = SearchPlan {
+            order: &order,
+            suffix: &suffix,
+            hint: &hint,
+        };
+        let totals: Vec<NatAccumulator> =
+            self.run_stealing(&g, q, &plan, prefixes, |search, g, depth, acc| {
+                search.count_vals(g, depth, acc)
+            });
+        Ok(totals.into_iter().map(NatAccumulator::into_total).sum())
     }
 
     fn count_completions<Q: BooleanQuery + Sync + ?Sized>(
@@ -444,22 +723,31 @@ impl CountingEngine for BacktrackingEngine {
     ) -> Result<BigNat, DataError> {
         let mut g = db.try_grounding()?;
         let order = Self::search_order(&g);
-        let Some((depth, prefixes)) = self.shard_plan(&g, &order) else {
+        let hint = Self::subtree_hints(&g, &order);
+        let Some(prefixes) = self.shard_plan(&g, &order) else {
+            let mut search = SubtreeSearch {
+                ev: NodeEval::new(q, &mut g, self.incremental),
+                order: &order,
+                suffix: &[],
+                hint: &hint,
+                steal: None,
+                path: Vec::new(),
+                scratch: Database::new(),
+            };
             let mut keys = HashSet::new();
-            let mut scratch = Database::new();
-            Self::collect_comp_subtree(&mut g, q, &order, 0, false, &mut keys, &mut scratch);
+            search.collect_comps(&mut g, 0, false, &mut keys);
             return Ok(BigNat::from(keys.len()));
         };
-        let shard_keys = self.run_sharded(&g, &prefixes, |g, chunk| {
-            let mut keys = HashSet::new();
-            let mut scratch = Database::new();
-            for prefix in chunk {
-                Self::bind_prefix(g, &order, prefix);
-                Self::collect_comp_subtree(g, q, &order, depth, false, &mut keys, &mut scratch);
-            }
-            keys
-        });
-        // Distinct completions can be produced in several shards (different
+        let plan = SearchPlan {
+            order: &order,
+            suffix: &[],
+            hint: &hint,
+        };
+        let shard_keys: Vec<HashSet<CompletionKey>> =
+            self.run_stealing(&g, q, &plan, prefixes, |search, g, depth, keys| {
+                search.collect_comps(g, depth, false, keys)
+            });
+        // Distinct completions can be produced by several workers (different
         // prefix assignments may induce the same completion), so dedup again
         // while merging.
         let mut merged: HashSet<CompletionKey> = HashSet::new();
@@ -497,9 +785,51 @@ mod tests {
     fn engines() -> Vec<BacktrackingEngine> {
         vec![
             BacktrackingEngine::sequential(),
-            // Force sharding even on tiny instances.
+            // The PR 2 baseline: from-scratch residual evaluation per node.
+            BacktrackingEngine::sequential().without_incremental(),
+            // Force work-stealing sharding even on tiny instances.
             BacktrackingEngine::with_threads(3).with_parallel_threshold(1),
+            BacktrackingEngine::with_threads(3)
+                .with_parallel_threshold(1)
+                .without_incremental(),
         ]
+    }
+
+    #[test]
+    fn parallel_threshold_counts_valuations_inclusively() {
+        // Example 2.2 has 3 × 2 = 6 valuations: a threshold of exactly 6
+        // shards, 7 stays sequential — the unit is total valuations, not
+        // any other notion of "leaves".
+        let db = example_2_2();
+        let g = db.try_grounding().unwrap();
+        let order = BacktrackingEngine::search_order(&g);
+        let at = BacktrackingEngine::with_threads(2).with_parallel_threshold(6);
+        assert!(at.shard_plan(&g, &order).is_some());
+        let above = BacktrackingEngine::with_threads(2).with_parallel_threshold(7);
+        assert!(above.shard_plan(&g, &order).is_none());
+        // One worker never shards, whatever the threshold.
+        let solo = BacktrackingEngine::with_threads(1).with_parallel_threshold(1);
+        assert!(solo.shard_plan(&g, &order).is_none());
+    }
+
+    #[test]
+    fn skewed_instance_counts_match_across_schedulers() {
+        // One gating null (domain {0,1}) refutes half the tree at the root:
+        // the work-stealing engine must agree with the sequential one even
+        // though its workers see wildly unequal subtrees.
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("S", vec![n(100)]).unwrap();
+        db.set_domain(NullId(100), [0u64, 1]).unwrap();
+        for i in 0..6u32 {
+            let j = (i + 1) % 6;
+            db.add_fact("R", vec![n(i), n(j)]).unwrap();
+            db.set_domain(NullId(i), [0u64, 1, 2]).unwrap();
+        }
+        let q: Bcq = "S(0), R(x,x)".parse().unwrap();
+        let expected = NaiveEngine.count_valuations(&db, &q).unwrap();
+        for engine in engines() {
+            assert_eq!(engine.count_valuations(&db, &q).unwrap(), expected);
+        }
     }
 
     #[test]

@@ -86,9 +86,37 @@ impl From<AlgorithmError> for SolveError {
     }
 }
 
+/// Valuation-count ceiling below which the solver prefers the backtracking
+/// engine over the Theorem 3.9 inclusion–exclusion DP for `#Val`. The DP
+/// enumerates variable subsets and runs big-integer combinatorics regardless
+/// of how small the database is, while the engine just walks a tiny
+/// valuation tree with incremental residual evaluation. The crossover is
+/// measured by the `tiny_ie_*` rows of `cargo bench --bench engine` (see
+/// `BENCH_engine.json`): through 256 valuations on the reference shape the
+/// two are within ~10% of parity with the engine usually slightly ahead
+/// (typical medians 1.0–1.1×), so routing below this cutoff is at worst
+/// neutral and avoids the DP's big-rational setup entirely. The same
+/// bench's `tiny_comp_all` row shows the Theorem 4.6 unary completion
+/// counter is ~5× cheaper than search even on tiny instances (distinct-
+/// completion search cannot prune into closed forms), so completion routing
+/// ignores this cutoff; the linear-setup closed forms (Theorems 3.6 / 3.7)
+/// also stay preferred at every size.
+pub const ENGINE_TINY_INSTANCE_VALUATIONS: u64 = 64;
+
+/// Returns `true` if `db` is small enough that raw search beats the
+/// inclusion–exclusion setup cost.
+fn prefers_engine_when_tiny(db: &IncompleteDatabase) -> bool {
+    db.valuation_count()
+        .to_u64()
+        .is_some_and(|v| v <= ENGINE_TINY_INSTANCE_VALUATIONS)
+}
+
 /// Computes `#Val(q)(db)`: the number of valuations of `db` whose completion
 /// satisfies `q`. Routes to the tractable algorithms of Section 3 when they
-/// apply, and falls back to exhaustive enumeration otherwise.
+/// apply — except on tiny instances, where the engine beats the
+/// inclusion–exclusion setup cost (see
+/// [`ENGINE_TINY_INSTANCE_VALUATIONS`]) — and falls back to exhaustive
+/// enumeration otherwise.
 pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcome, SolveError> {
     db.validate()?;
     if val_nonuniform::applies_to(q) {
@@ -105,7 +133,7 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcome
             method: Method::CoddFactorisation,
         });
     }
-    if db.is_uniform() && val_uniform::applies_to_query(q) {
+    if db.is_uniform() && val_uniform::applies_to_query(q) && !prefers_engine_when_tiny(db) {
         let value = val_uniform::count_valuations(db, q)?;
         return Ok(CountOutcome {
             value,
@@ -192,11 +220,15 @@ mod tests {
         assert_eq!(outcome.method, Method::CoddFactorisation);
         assert_eq!(outcome.value.to_u64(), Some(3));
 
-        // Uniform naïve table + R(x) ∧ S(x): inclusion–exclusion.
+        // Uniform naïve table + R(x) ∧ S(x): inclusion–exclusion — the
+        // instance must clear the tiny-instance cutoff to route there.
         let mut db2 = IncompleteDatabase::new_uniform(0u64..2);
-        db2.add_fact("R", vec![Value::null(0)]).unwrap();
+        for i in 0..7 {
+            db2.add_fact("R", vec![Value::null(i)]).unwrap();
+            db2.add_fact("S", vec![Value::null(i + 7)]).unwrap();
+        }
         db2.add_fact("S", vec![Value::null(0)]).unwrap();
-        db2.add_fact("S", vec![Value::null(1)]).unwrap();
+        assert!(db2.valuation_count().to_u64().unwrap() > ENGINE_TINY_INSTANCE_VALUATIONS);
         let outcome = count_valuations(&db2, &q("R(x), S(x)")).unwrap();
         assert_eq!(outcome.method, Method::UniformInclusionExclusion);
 
@@ -213,8 +245,11 @@ mod tests {
     #[test]
     fn routing_for_completions() {
         let mut db = IncompleteDatabase::new_uniform(0u64..3);
-        db.add_fact("R", vec![Value::null(0)]).unwrap();
-        db.add_fact("S", vec![Value::null(1)]).unwrap();
+        for i in 0..4 {
+            db.add_fact("R", vec![Value::null(i)]).unwrap();
+            db.add_fact("S", vec![Value::null(4 + i)]).unwrap();
+        }
+        assert!(db.valuation_count().to_u64().unwrap() > ENGINE_TINY_INSTANCE_VALUATIONS);
         let outcome = count_completions(&db, &q("R(x), S(x)")).unwrap();
         assert_eq!(outcome.method, Method::UniformUnaryCompletions);
 
@@ -227,6 +262,41 @@ mod tests {
             .unwrap();
         let outcome = count_completions(&db2, &q("R(x,y)")).unwrap();
         assert_eq!(outcome.method, Method::BacktrackingSearch);
+    }
+
+    #[test]
+    fn tiny_instances_prefer_the_engine_over_exponential_setup() {
+        // The same query shapes that route to the Theorem 3.9 / 4.6 closed
+        // forms on large instances go to the engine when the whole
+        // valuation tree is smaller than the closed forms' setup cost —
+        // with identical values.
+        let mut db = IncompleteDatabase::new_uniform(0u64..2);
+        db.add_fact("R", vec![Value::null(0)]).unwrap();
+        db.add_fact("S", vec![Value::null(0)]).unwrap();
+        db.add_fact("S", vec![Value::null(1)]).unwrap();
+        assert!(db.valuation_count().to_u64().unwrap() <= ENGINE_TINY_INSTANCE_VALUATIONS);
+
+        let vals = count_valuations(&db, &q("R(x), S(x)")).unwrap();
+        assert_eq!(vals.method, Method::BacktrackingSearch);
+        assert_eq!(
+            vals.value,
+            val_uniform::count_valuations(&db, &q("R(x), S(x)")).unwrap()
+        );
+
+        // Completion counting keeps its closed form even when tiny: the
+        // Theorem 4.6 counter beats distinct-completion search at every
+        // size (see the tiny_comp_all bench row).
+        let comps = count_completions(&db, &q("R(x), S(x)")).unwrap();
+        assert_eq!(comps.method, Method::UniformUnaryCompletions);
+        let all = count_all_completions(&db).unwrap();
+        assert_eq!(all.method, Method::UniformUnaryCompletions);
+
+        // Closed forms with linear setup keep their routing even when tiny.
+        let mut codd = IncompleteDatabase::new_uniform(0u64..2);
+        codd.add_fact("R", vec![Value::null(0), Value::null(1)])
+            .unwrap();
+        let outcome = count_valuations(&codd, &q("R(x,x)")).unwrap();
+        assert_eq!(outcome.method, Method::CoddFactorisation);
     }
 
     #[test]

@@ -15,10 +15,21 @@ use rand::SeedableRng;
 fn engines() -> Vec<(&'static str, BacktrackingEngine)> {
     vec![
         ("sequential", BacktrackingEngine::sequential()),
-        // Shard even the tiny random instances over several workers.
+        // The PR 2 evaluation strategy: from-scratch holds_partial per node.
         (
-            "sharded",
+            "sequential_scratch",
+            BacktrackingEngine::sequential().without_incremental(),
+        ),
+        // Work-steal even the tiny random instances over several workers.
+        (
+            "stealing",
             BacktrackingEngine::with_threads(4).with_parallel_threshold(1),
+        ),
+        (
+            "stealing_scratch",
+            BacktrackingEngine::with_threads(4)
+                .with_parallel_threshold(1)
+                .without_incremental(),
         ),
     ]
 }
@@ -144,6 +155,52 @@ fn engine_matches_seed_brute_force_on_all_completions() {
                     "#Comp(all) mismatch [{name}] codd={codd} uniform={uniform} {db:?}"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn work_stealing_matches_sequential_on_skewed_instances() {
+    // The scheduler stress shape: a two-value gate null in front of an
+    // R(x,x) cycle, so one half of the prefix space refutes at the root
+    // while the other holds nearly all the work — exactly the imbalance
+    // split-on-steal exists for. Counts must not depend on how tasks get
+    // donated between workers.
+    use incdb_data::{NullId, Value};
+    for cycle in [4u32, 6, 8] {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.set_domain(NullId(cycle), [0u64, 1]).unwrap();
+        db.add_fact("S", vec![Value::null(cycle)]).unwrap();
+        for i in 0..cycle {
+            let j = (i + 1) % cycle;
+            db.set_domain(NullId(i), [0u64, 1, 2]).unwrap();
+            db.add_fact("R", vec![Value::null(i), Value::null(j)])
+                .unwrap();
+        }
+        let q: Bcq = "S(0), R(x,x)".parse().unwrap();
+        let expected_vals = BacktrackingEngine::sequential()
+            .count_valuations(&db, &q)
+            .unwrap();
+        let expected_comps = BacktrackingEngine::sequential()
+            .count_completions(&db, &q)
+            .unwrap();
+        assert_eq!(
+            NaiveEngine.count_valuations(&db, &q).unwrap(),
+            expected_vals,
+            "cycle={cycle}"
+        );
+        for threads in [2usize, 4, 8] {
+            let stealing = BacktrackingEngine::with_threads(threads).with_parallel_threshold(1);
+            assert_eq!(
+                stealing.count_valuations(&db, &q).unwrap(),
+                expected_vals,
+                "valuations cycle={cycle} threads={threads}"
+            );
+            assert_eq!(
+                stealing.count_completions(&db, &q).unwrap(),
+                expected_comps,
+                "completions cycle={cycle} threads={threads}"
+            );
         }
     }
 }

@@ -67,6 +67,15 @@ pub struct Grounding {
     occurrences: Vec<Vec<(usize, usize)>>,
     /// Fact indices per relation index.
     facts_by_rel: Vec<Vec<usize>>,
+    /// Nulls changed by `bind`/`unbind` since the last
+    /// [`Grounding::drain_dirty_into`] — the notification channel for watch
+    /// structures layered on top of the grounding (e.g. the incremental
+    /// residual evaluator of `incdb-query`), which use it to update only the
+    /// candidate sets that mention a changed null.
+    dirty: Vec<u32>,
+    /// Per null, whether it is already recorded in `dirty` (keeps the queue
+    /// duplicate-free so undrained groundings stay `O(nulls)`).
+    dirty_flag: Vec<bool>,
 }
 
 impl Grounding {
@@ -108,6 +117,7 @@ impl Grounding {
         }
 
         let assignment = vec![None; nulls.len()];
+        let dirty_flag = vec![false; nulls.len()];
         Ok(Grounding {
             nulls,
             domains,
@@ -121,6 +131,8 @@ impl Grounding {
             unbound_in_fact,
             occurrences,
             facts_by_rel,
+            dirty: Vec::new(),
+            dirty_flag,
         })
     }
 
@@ -161,6 +173,48 @@ impl Grounding {
         self.occurrences[i].len()
     }
 
+    /// The `(fact index, position)` occurrences of the `i`-th null — the
+    /// per-null index watchers use to find the facts affected by a bind.
+    pub fn occurrences_of(&self, i: usize) -> &[(usize, usize)] {
+        &self.occurrences[i]
+    }
+
+    /// The total number of facts in the table, across all relations. Fact
+    /// indices returned by the accessors below are stable for the lifetime
+    /// of the grounding.
+    pub fn fact_count(&self) -> usize {
+        self.resolved.len()
+    }
+
+    /// The relation owning a fact, as an index into the
+    /// [`Grounding::relation_names`] order.
+    pub fn fact_relation(&self, fact: usize) -> usize {
+        self.fact_rel[fact]
+    }
+
+    /// The partially resolved values of one fact under the current
+    /// assignment.
+    pub fn fact_values(&self, fact: usize) -> &[Value] {
+        &self.resolved[fact]
+    }
+
+    /// Returns `true` if every position of the fact is resolved (no unbound
+    /// null) under the current assignment.
+    pub fn fact_is_ground(&self, fact: usize) -> bool {
+        self.unbound_in_fact[fact] == 0
+    }
+
+    /// The index of a relation name within [`Grounding::relation_names`].
+    pub fn relation_index(&self, relation: &str) -> Option<usize> {
+        self.rel_index.get(relation).copied()
+    }
+
+    /// The fact indices of one relation (given by relation index), in
+    /// insertion order — the same order [`Grounding::facts_of`] iterates.
+    pub fn relation_facts(&self, rel: usize) -> &[usize] {
+        &self.facts_by_rel[rel]
+    }
+
     /// Binds a null to a value of its domain, resolving every occurrence in
     /// place. Rebinding an already-bound null is allowed.
     ///
@@ -196,6 +250,7 @@ impl Grounding {
         for &(fact, pos) in &self.occurrences[i] {
             self.resolved[fact][pos] = Value::Const(value);
         }
+        self.mark_dirty(i);
     }
 
     /// Unbinds a null, restoring its occurrences to the unresolved null.
@@ -215,7 +270,37 @@ impl Grounding {
                 self.resolved[fact][pos] = Value::Null(null);
                 self.unbound_in_fact[fact] += 1;
             }
+            self.mark_dirty(i);
         }
+    }
+
+    /// Records that the `i`-th null changed, notifying any watcher at its
+    /// next [`Grounding::drain_dirty_into`] call.
+    #[inline]
+    fn mark_dirty(&mut self, i: usize) {
+        if !self.dirty_flag[i] {
+            self.dirty_flag[i] = true;
+            self.dirty.push(i as u32);
+        }
+    }
+
+    /// Moves the set of nulls changed (bound, rebound or unbound) since the
+    /// last drain into `out`, clearing `out` first.
+    ///
+    /// This is the watcher protocol behind incremental residual evaluation:
+    /// after any batch of `bind`/`unbind` calls, a watch structure drains the
+    /// changed nulls and recomputes only the state that depends on them —
+    /// the drained indices are positions in [`Grounding::nulls`], and
+    /// [`Grounding::occurrences_of`] maps each one to the facts it appears
+    /// in. The set is deduplicated, so the cost of a resync is
+    /// `O(affected facts)` no matter how many times a null was rebound.
+    pub fn drain_dirty_into(&mut self, out: &mut Vec<usize>) {
+        out.clear();
+        for &i in &self.dirty {
+            self.dirty_flag[i as usize] = false;
+            out.push(i as usize);
+        }
+        self.dirty.clear();
     }
 
     /// The current value of a null, if bound.
@@ -477,6 +562,50 @@ mod tests {
         let cursor = g.valuation_cursor();
         assert_eq!(cursor.len(), 6);
         assert_eq!(cursor.count(), 6);
+    }
+
+    #[test]
+    fn dirty_channel_reports_each_changed_null_once() {
+        let db = example_2_2();
+        let mut g = db.try_grounding().unwrap();
+        let mut changed = Vec::new();
+        g.drain_dirty_into(&mut changed);
+        assert!(changed.is_empty(), "fresh grounding has no pending changes");
+
+        // Bind, rebind, bind the other, unbind the first: the drained set
+        // holds each affected null once, regardless of how often it moved.
+        g.bind(NullId(1), Constant(0)).unwrap();
+        g.bind(NullId(1), Constant(2)).unwrap();
+        g.bind(NullId(2), Constant(1)).unwrap();
+        g.unbind(NullId(1));
+        g.drain_dirty_into(&mut changed);
+        assert_eq!(changed, vec![0, 1]);
+
+        // Draining again is empty; a reset marks the still-bound null.
+        g.drain_dirty_into(&mut changed);
+        assert!(changed.is_empty());
+        g.reset();
+        g.drain_dirty_into(&mut changed);
+        assert_eq!(changed, vec![1]);
+    }
+
+    #[test]
+    fn fact_accessors_expose_the_watchable_view() {
+        let db = example_2_2();
+        let mut g = db.try_grounding().unwrap();
+        assert_eq!(g.fact_count(), 3);
+        assert_eq!(g.relation_index("S"), Some(0));
+        assert_eq!(g.relation_index("T"), None);
+        assert_eq!(g.relation_facts(0), &[0, 1, 2]);
+        assert_eq!(g.fact_relation(2), 0);
+        assert!(g.fact_is_ground(0));
+        assert!(!g.fact_is_ground(1));
+        // Facts sort by value within a relation: S(a,b), S(a,⊥2), S(⊥1,a).
+        assert_eq!(g.occurrences_of(0), &[(2, 0)]);
+        assert_eq!(g.occurrences_of(1), &[(1, 1)]);
+        g.bind(NullId(2), Constant(1)).unwrap();
+        assert!(g.fact_is_ground(1));
+        assert_eq!(g.fact_values(1), &[c(0), c(1)]);
     }
 
     #[test]

@@ -207,6 +207,13 @@ impl BooleanQuery for Bcq {
             PartialOutcome::Unknown
         }
     }
+
+    fn residual_state(
+        &self,
+        grounding: &incdb_data::Grounding,
+    ) -> Option<Box<dyn crate::ResidualState>> {
+        Some(Box::new(crate::BcqResidual::new(self, grounding)))
+    }
 }
 
 impl fmt::Debug for Bcq {

@@ -104,6 +104,68 @@ pub enum PartialMatch {
     Optimistic,
 }
 
+/// Extends `partial` so that the image of `atom` is the given partially
+/// resolved fact (with `ground` saying whether every position is resolved),
+/// under the given matching mode; `None` if the fact cannot be the image.
+///
+/// This is the single per-fact matching rule shared by the from-scratch
+/// searches below *and* the incremental candidate maintenance of
+/// [`crate::residual`], so the two agree exactly on what counts as a
+/// candidate. Matching is monotone in `partial`: a fact rejected under some
+/// partial assignment is rejected under every extension of it, which is what
+/// lets the incremental evaluator pre-filter candidates with an *empty*
+/// partial without losing completeness.
+pub(crate) fn extend_against_fact(
+    atom: &Atom,
+    fact: &[Value],
+    ground: bool,
+    g: &Grounding,
+    partial: &Homomorphism,
+    mode: PartialMatch,
+) -> Option<Homomorphism> {
+    if fact.len() != atom.arity() {
+        return None;
+    }
+    if mode == PartialMatch::GroundOnly && !ground {
+        return None;
+    }
+    let mut extension = partial.clone();
+    for (term, value) in atom.terms().iter().zip(fact.iter()) {
+        match (term, value) {
+            (Term::Const(c), Value::Const(d)) => {
+                if c != d {
+                    return None;
+                }
+            }
+            (Term::Const(c), Value::Null(n)) => {
+                // Only reachable in Optimistic mode: the null must be
+                // able to take exactly the constant the query demands.
+                if !g.null_can_take(*n, *c) {
+                    return None;
+                }
+            }
+            (Term::Var(v), Value::Const(d)) => match extension.get(v) {
+                Some(bound) if bound != d => return None,
+                Some(_) => {}
+                None => {
+                    extension.insert(v.clone(), *d);
+                }
+            },
+            (Term::Var(v), Value::Null(n)) => {
+                // If the variable already has a value, the null must be
+                // able to take it; otherwise the variable stays free
+                // (the wildcard can follow whatever the null becomes).
+                if let Some(&bound) = extension.get(v) {
+                    if !g.null_can_take(*n, bound) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+    Some(extension)
+}
+
 /// Extensions of `partial` matching `atom` against the partially resolved
 /// facts of `g`, under the given matching mode.
 ///
@@ -116,51 +178,9 @@ fn partial_candidates(
     partial: &Homomorphism,
     mode: PartialMatch,
 ) -> Vec<Homomorphism> {
-    let mut out = Vec::new();
-    'facts: for (fact, ground) in g.facts_of(atom.relation()) {
-        if fact.len() != atom.arity() {
-            continue;
-        }
-        if mode == PartialMatch::GroundOnly && !ground {
-            continue;
-        }
-        let mut extension = partial.clone();
-        for (term, value) in atom.terms().iter().zip(fact.iter()) {
-            match (term, value) {
-                (Term::Const(c), Value::Const(d)) => {
-                    if c != d {
-                        continue 'facts;
-                    }
-                }
-                (Term::Const(c), Value::Null(n)) => {
-                    // Only reachable in Optimistic mode: the null must be
-                    // able to take exactly the constant the query demands.
-                    if !g.null_can_take(*n, *c) {
-                        continue 'facts;
-                    }
-                }
-                (Term::Var(v), Value::Const(d)) => match extension.get(v) {
-                    Some(bound) if bound != d => continue 'facts,
-                    Some(_) => {}
-                    None => {
-                        extension.insert(v.clone(), *d);
-                    }
-                },
-                (Term::Var(v), Value::Null(n)) => {
-                    // If the variable already has a value, the null must be
-                    // able to take it; otherwise the variable stays free
-                    // (the wildcard can follow whatever the null becomes).
-                    if let Some(&bound) = extension.get(v) {
-                        if !g.null_can_take(*n, bound) {
-                            continue 'facts;
-                        }
-                    }
-                }
-            }
-        }
-        out.push(extension);
-    }
-    out
+    g.facts_of(atom.relation())
+        .filter_map(|(fact, ground)| extend_against_fact(atom, fact, ground, g, partial, mode))
+        .collect()
 }
 
 /// Searches for a (possibly partial) homomorphism from `q` into the

@@ -36,6 +36,7 @@ pub mod connectivity;
 pub mod error;
 pub mod homomorphism;
 pub mod patterns;
+pub mod residual;
 pub mod ucq;
 
 pub use atom::{Atom, Term, Variable};
@@ -46,6 +47,7 @@ pub use homomorphism::{
     all_homomorphisms, find_homomorphism, find_partial_homomorphism, Homomorphism, PartialMatch,
 };
 pub use patterns::{is_pattern_of, KnownPattern};
+pub use residual::{BcqResidual, NegatedBcqResidual, ResidualState, UcqResidual};
 pub use ucq::{NegatedBcq, Ucq};
 
 use incdb_data::{Database, Grounding};
@@ -96,5 +98,19 @@ pub trait BooleanQuery {
     /// query holds/fails in every completion of the unbound nulls.
     fn holds_partial(&self, _grounding: &Grounding) -> PartialOutcome {
         PartialOutcome::Unknown
+    }
+
+    /// Builds a stateful incremental evaluator of this query over the given
+    /// grounding (see [`residual::ResidualState`]), or `None` if the query
+    /// type has no incremental evaluation — callers then fall back to
+    /// [`holds_partial`](BooleanQuery::holds_partial) per node.
+    ///
+    /// The state snapshots the grounding's *current* assignment; the caller
+    /// must afterwards forward every change by draining the grounding's
+    /// dirty-null channel ([`Grounding::drain_dirty_into`]) into
+    /// [`ResidualState::apply`]. Implementations must keep
+    /// [`ResidualState::outcome`] in exact agreement with `holds_partial`.
+    fn residual_state(&self, _grounding: &Grounding) -> Option<Box<dyn ResidualState>> {
+        None
     }
 }

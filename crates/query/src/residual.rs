@@ -1,0 +1,643 @@
+//! Incremental residual evaluation: the stateful replacement for re-running
+//! [`BooleanQuery::holds_partial`](crate::BooleanQuery::holds_partial) from
+//! scratch at every node of a backtracking search.
+//!
+//! The from-scratch residual evaluation of a BCQ runs two partial
+//! homomorphism searches per call, each scanning every fact of every
+//! mentioned relation. During a DFS over a [`Grounding`] that cost is paid
+//! at *every* node even though a single bind changes only the handful of
+//! facts the bound null occurs in. A [`ResidualState`] turns the per-node
+//! cost into an incremental update, borrowing the watched-literal discipline
+//! of SAT solvers and the e-graph habit of maintaining candidate sets
+//! instead of recomputing them:
+//!
+//! * At construction, every query atom precomputes its **candidate fact
+//!   set** — the facts of its relation (with matching arity) that can still
+//!   be the atom's image — and each fact's status: a fully resolved match is
+//!   [certain](FactStatus::Certain) (it exists in every completion below the
+//!   current bindings), a match that still involves unbound nulls is merely
+//!   [possible](FactStatus::Possible), and everything else is
+//!   [excluded](FactStatus::Excluded).
+//! * A reverse **watch index** maps every fact to the atoms watching it.
+//!   Combined with the grounding's per-null fact-occurrence index
+//!   ([`Grounding::occurrences_of`]) and its dirty-null notification channel
+//!   ([`Grounding::drain_dirty_into`]), a bind re-classifies only the
+//!   `(atom, fact)` pairs that mention the bound null — `O(affected atoms)`
+//!   instead of two full searches.
+//! * [`outcome`](ResidualState::outcome) then decides from counters where it
+//!   can: an atom whose candidate set **empties** refutes the query on the
+//!   spot, and a single-atom query is **satisfied** the moment a certain
+//!   candidate appears. Multi-atom queries still need a join search, but it
+//!   runs over the maintained candidate lists (usually far smaller than the
+//!   relations) and is memoized: it re-runs only when a watched fact
+//!   actually changed since the last call.
+//!
+//! Soundness: every status is recomputed from the grounding's current state
+//! through the exact same per-fact matching rule the from-scratch searches
+//! use (`extend_against_fact`), and per-fact matching is monotone in the
+//! partial homomorphism, so pre-filtering candidates with an empty partial
+//! loses no matches. A [`ResidualState`] therefore agrees with
+//! `holds_partial` at **every** reachable binding state — a property pinned
+//! by the `residual_properties` test suite.
+
+use incdb_data::{Constant, Grounding, Value};
+
+use crate::atom::{Atom, Term};
+use crate::bcq::Bcq;
+use crate::homomorphism::{extend_against_fact, Homomorphism, PartialMatch};
+use crate::ucq::{NegatedBcq, Ucq};
+use crate::PartialOutcome;
+
+/// A stateful incremental residual evaluator for one query over one
+/// [`Grounding`].
+///
+/// The driving search owns both the grounding and the state, and keeps them
+/// in sync through the grounding's dirty-null channel:
+///
+/// ```
+/// use incdb_data::{Constant, IncompleteDatabase, NullId, Value};
+/// use incdb_query::{Bcq, BooleanQuery, PartialOutcome};
+///
+/// let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+/// db.add_fact("R", vec![Value::null(0), Value::null(0)]).unwrap();
+/// let mut g = db.try_grounding().unwrap();
+/// let q: Bcq = "R(x,x)".parse().unwrap();
+///
+/// let mut state = q.residual_state(&g).expect("BCQs evaluate incrementally");
+/// let mut changed = Vec::new();
+/// g.drain_dirty_into(&mut changed); // construction covered current state
+///
+/// g.bind(NullId(0), Constant(1)).unwrap();
+/// g.drain_dirty_into(&mut changed);
+/// state.apply(&g, &changed);
+/// assert_eq!(state.outcome(&g), PartialOutcome::Satisfied);
+/// assert_eq!(state.outcome(&g), q.holds_partial(&g));
+/// ```
+pub trait ResidualState: Send {
+    /// Incorporates a batch of changed nulls (indices into
+    /// [`Grounding::nulls`], as drained from
+    /// [`Grounding::drain_dirty_into`]), re-classifying only the candidate
+    /// facts those nulls occur in.
+    fn apply(&mut self, g: &Grounding, changed: &[usize]);
+
+    /// Decides the query for the whole subtree of completions below the
+    /// grounding's current bindings, exactly as
+    /// [`BooleanQuery::holds_partial`](crate::BooleanQuery::holds_partial)
+    /// would — provided every change since construction was [`apply`]ed.
+    ///
+    /// [`apply`]: ResidualState::apply
+    fn outcome(&mut self, g: &Grounding) -> PartialOutcome;
+}
+
+/// How one fact currently relates to one watching query atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FactStatus {
+    /// Cannot be the atom's image in any completion below the current
+    /// bindings.
+    Excluded,
+    /// Involves unbound nulls but could still match in some completion
+    /// (the optimistic-wildcard candidate of `PartialMatch::Optimistic`).
+    Possible,
+    /// Fully resolved and matches the atom — a witness present in *every*
+    /// completion below the current bindings.
+    Certain,
+}
+
+/// One position of a positionally compiled atom: a constant the fact must
+/// carry there, or a within-atom variable slot (numbered by first
+/// occurrence).
+#[derive(Debug, Clone, Copy)]
+enum CompiledTerm {
+    Const(Constant),
+    Var(u8),
+}
+
+/// One query atom together with its watched candidate facts.
+#[derive(Debug, Clone)]
+struct AtomWatch {
+    atom: Atom,
+    /// Positional compilation of `atom`, so classification runs on array
+    /// indexing instead of name-keyed maps.
+    compiled: Vec<CompiledTerm>,
+    /// Per-variable binding scratch (len = distinct variables of the atom),
+    /// reused across classifications so the hot path never allocates.
+    var_scratch: Vec<Option<Constant>>,
+    /// Global fact indices of the atom's relation (arity-matching only),
+    /// in the same order the from-scratch search visits them.
+    facts: Vec<usize>,
+    /// Current status of each fact in `facts`.
+    status: Vec<FactStatus>,
+    /// Number of `Certain` facts.
+    certain: usize,
+    /// Number of `Certain` or `Possible` facts; `0` empties the atom and
+    /// refutes the whole query.
+    viable: usize,
+}
+
+/// Compiles an atom's terms into positional form.
+fn compile_atom(atom: &Atom) -> (Vec<CompiledTerm>, usize) {
+    let mut vars: Vec<&crate::Variable> = Vec::new();
+    let compiled = atom
+        .terms()
+        .iter()
+        .map(|term| match term {
+            Term::Const(c) => CompiledTerm::Const(*c),
+            Term::Var(v) => {
+                let id = vars.iter().position(|u| *u == v).unwrap_or_else(|| {
+                    vars.push(v);
+                    vars.len() - 1
+                });
+                CompiledTerm::Var(u8::try_from(id).expect("more than 255 distinct variables"))
+            }
+        })
+        .collect();
+    (compiled, vars.len())
+}
+
+impl AtomWatch {
+    /// Classifies one candidate fact against the atom under the grounding's
+    /// current assignment: the allocation-free positional replay of the
+    /// shared per-fact matching rule (`extend_against_fact` with an empty
+    /// partial), cross-checked against it in debug builds.
+    fn classify(&mut self, slot: usize, g: &Grounding) -> FactStatus {
+        let fact = self.facts[slot];
+        let values = g.fact_values(fact);
+        let ground = g.fact_is_ground(fact);
+        self.var_scratch.fill(None);
+        let mut status = if ground {
+            FactStatus::Certain
+        } else {
+            FactStatus::Possible
+        };
+        for (term, value) in self.compiled.iter().zip(values.iter()) {
+            let ok = match (term, value) {
+                (CompiledTerm::Const(c), Value::Const(d)) => c == d,
+                (CompiledTerm::Const(c), Value::Null(n)) => g.null_can_take(*n, *c),
+                (CompiledTerm::Var(v), Value::Const(d)) => match self.var_scratch[*v as usize] {
+                    Some(bound) => bound == *d,
+                    None => {
+                        self.var_scratch[*v as usize] = Some(*d);
+                        true
+                    }
+                },
+                (CompiledTerm::Var(v), Value::Null(n)) => {
+                    // An unbound variable stays free (the wildcard follows
+                    // whatever the null becomes); a bound one constrains
+                    // the null's domain.
+                    match self.var_scratch[*v as usize] {
+                        Some(bound) => g.null_can_take(*n, bound),
+                        None => true,
+                    }
+                }
+            };
+            if !ok {
+                status = FactStatus::Excluded;
+                break;
+            }
+        }
+        debug_assert_eq!(
+            status != FactStatus::Excluded,
+            extend_against_fact(
+                &self.atom,
+                values,
+                ground,
+                g,
+                &Homomorphism::new(),
+                if ground {
+                    PartialMatch::GroundOnly
+                } else {
+                    PartialMatch::Optimistic
+                }
+            )
+            .is_some(),
+            "positional classification diverged from extend_against_fact"
+        );
+        status
+    }
+
+    /// Re-classifies one candidate fact and stores the result, keeping the
+    /// counters in step.
+    fn refresh(&mut self, slot: usize, g: &Grounding) {
+        let next = self.classify(slot, g);
+        self.set_status(slot, next);
+    }
+
+    /// Stores a freshly classified status, keeping the counters in step.
+    fn set_status(&mut self, slot: usize, next: FactStatus) {
+        let prev = std::mem::replace(&mut self.status[slot], next);
+        if prev == next {
+            return;
+        }
+        match prev {
+            FactStatus::Certain => {
+                self.certain -= 1;
+                self.viable -= 1;
+            }
+            FactStatus::Possible => self.viable -= 1,
+            FactStatus::Excluded => {}
+        }
+        match next {
+            FactStatus::Certain => {
+                self.certain += 1;
+                self.viable += 1;
+            }
+            FactStatus::Possible => self.viable += 1,
+            FactStatus::Excluded => {}
+        }
+    }
+}
+
+/// The incremental residual evaluator of a [`Bcq`].
+#[derive(Debug, Clone)]
+pub struct BcqResidual {
+    atoms: Vec<AtomWatch>,
+    /// Atom indices grouped into variable-connected components: a
+    /// homomorphism decomposes over atoms that share no variables, so each
+    /// component is searched independently — and a single-atom component is
+    /// decided by its counters alone, with no search at all.
+    components: Vec<Vec<usize>>,
+    /// Reverse watch index: global fact index → the `(atom, slot)` pairs
+    /// whose candidate sets contain that fact.
+    watchers: Vec<Vec<(u32, u32)>>,
+    /// Bumped whenever a watched fact is touched; guards the join-search
+    /// memo below.
+    revision: u64,
+    /// The outcome computed at `revision`, reused while nothing the query
+    /// watches has changed.
+    memo: Option<(u64, PartialOutcome)>,
+}
+
+/// Groups atom indices into connected components of the "shares a variable"
+/// relation.
+fn variable_components(q: &Bcq) -> Vec<Vec<usize>> {
+    let vars: Vec<std::collections::BTreeSet<&crate::Variable>> = q
+        .atoms()
+        .iter()
+        .map(|a| a.variables().into_iter().collect())
+        .collect();
+    let mut component: Vec<Option<usize>> = vec![None; q.atoms().len()];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for start in 0..q.atoms().len() {
+        if component[start].is_some() {
+            continue;
+        }
+        let id = components.len();
+        let mut frontier = vec![start];
+        component[start] = Some(id);
+        let mut members = vec![start];
+        while let Some(a) = frontier.pop() {
+            for b in 0..q.atoms().len() {
+                if component[b].is_none() && !vars[a].is_disjoint(&vars[b]) {
+                    component[b] = Some(id);
+                    frontier.push(b);
+                    members.push(b);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+impl BcqResidual {
+    /// Builds the evaluator, classifying every candidate fact under the
+    /// grounding's *current* (possibly partial) assignment.
+    pub fn new(q: &Bcq, g: &Grounding) -> Self {
+        let mut watchers: Vec<Vec<(u32, u32)>> = vec![Vec::new(); g.fact_count()];
+        let mut atoms: Vec<AtomWatch> = Vec::with_capacity(q.atoms().len());
+        for atom in q.atoms() {
+            let (compiled, var_count) = compile_atom(atom);
+            let mut watch = AtomWatch {
+                atom: atom.clone(),
+                compiled,
+                var_scratch: vec![None; var_count],
+                facts: Vec::new(),
+                status: Vec::new(),
+                certain: 0,
+                viable: 0,
+            };
+            if let Some(rel) = g.relation_index(atom.relation()) {
+                for &fact in g.relation_facts(rel) {
+                    if g.fact_values(fact).len() != atom.arity() {
+                        continue;
+                    }
+                    let slot = watch.facts.len();
+                    watch.facts.push(fact);
+                    watch.status.push(FactStatus::Excluded);
+                    watchers[fact].push((atoms.len() as u32, slot as u32));
+                }
+            }
+            atoms.push(watch);
+        }
+        let mut state = BcqResidual {
+            atoms,
+            components: variable_components(q),
+            watchers,
+            revision: 0,
+            memo: None,
+        };
+        for a in 0..state.atoms.len() {
+            for slot in 0..state.atoms[a].facts.len() {
+                state.atoms[a].refresh(slot, g);
+            }
+        }
+        state
+    }
+
+    /// The join search of `holds_partial` for one variable-connected
+    /// component, restricted to the maintained candidate lists. Facts
+    /// excluded with an empty partial cannot match under any extension
+    /// (matching is monotone), so the restriction is exact. Single-atom
+    /// components skip the search entirely: their counters decide.
+    fn component_matches(&self, g: &Grounding, component: &[usize], mode: PartialMatch) -> bool {
+        if let [only] = component {
+            let watch = &self.atoms[*only];
+            return match mode {
+                PartialMatch::GroundOnly => watch.certain > 0,
+                PartialMatch::Optimistic => watch.viable > 0,
+            };
+        }
+        fn go(
+            atoms: &[AtomWatch],
+            component: &[usize],
+            k: usize,
+            g: &Grounding,
+            partial: &Homomorphism,
+            mode: PartialMatch,
+        ) -> bool {
+            let Some(&a) = component.get(k) else {
+                return true;
+            };
+            let watch = &atoms[a];
+            for (slot, &fact) in watch.facts.iter().enumerate() {
+                let eligible = match mode {
+                    PartialMatch::GroundOnly => watch.status[slot] == FactStatus::Certain,
+                    PartialMatch::Optimistic => watch.status[slot] != FactStatus::Excluded,
+                };
+                if !eligible {
+                    continue;
+                }
+                let values = g.fact_values(fact);
+                let ground = g.fact_is_ground(fact);
+                if let Some(ext) =
+                    extend_against_fact(&watch.atom, values, ground, g, partial, mode)
+                {
+                    if go(atoms, component, k + 1, g, &ext, mode) {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        go(&self.atoms, component, 0, g, &Homomorphism::new(), mode)
+    }
+
+    /// Whether the whole query matches in the given mode: a homomorphism
+    /// decomposes over variable-disjoint components, so the query matches
+    /// iff every component does.
+    fn matches(&self, g: &Grounding, mode: PartialMatch) -> bool {
+        self.components
+            .iter()
+            .all(|component| self.component_matches(g, component, mode))
+    }
+}
+
+impl ResidualState for BcqResidual {
+    fn apply(&mut self, g: &Grounding, changed: &[usize]) {
+        let mut touched = false;
+        for &null in changed {
+            for k in 0..g.occurrences_of(null).len() {
+                let (fact, _pos) = g.occurrences_of(null)[k];
+                for w in 0..self.watchers[fact].len() {
+                    let (a, slot) = self.watchers[fact][w];
+                    self.atoms[a as usize].refresh(slot as usize, g);
+                    touched = true;
+                }
+            }
+        }
+        // Any touch can change join consistency even when no status moved
+        // (a rebind swaps one resolved constant for another), so the search
+        // memo is keyed on touches, not on status flips.
+        if touched {
+            self.revision += 1;
+            self.memo = None;
+        }
+    }
+
+    fn outcome(&mut self, g: &Grounding) -> PartialOutcome {
+        // An emptied atom refutes regardless of the other atoms — the
+        // watched-literal fast path, O(atoms) with no search.
+        if self.atoms.iter().any(|a| a.viable == 0) {
+            return PartialOutcome::Refuted;
+        }
+        if let Some((revision, cached)) = self.memo {
+            if revision == self.revision {
+                return cached;
+            }
+        }
+        // `certain > 0` everywhere is a necessary condition for the ground
+        // search, checked first because the counters are free.
+        let out = if self.atoms.iter().all(|a| a.certain > 0)
+            && self.matches(g, PartialMatch::GroundOnly)
+        {
+            PartialOutcome::Satisfied
+        } else if !self.matches(g, PartialMatch::Optimistic) {
+            PartialOutcome::Refuted
+        } else {
+            PartialOutcome::Unknown
+        };
+        self.memo = Some((self.revision, out));
+        out
+    }
+}
+
+/// The incremental evaluator of a [`Ucq`]: one [`BcqResidual`] per disjunct,
+/// combined with the union's short-circuit semantics. Disjuncts whose
+/// relations a bind does not touch keep their memoized outcome.
+#[derive(Debug, Clone)]
+pub struct UcqResidual {
+    disjuncts: Vec<BcqResidual>,
+}
+
+impl UcqResidual {
+    /// Builds per-disjunct evaluators over the grounding's current state.
+    pub fn new(q: &Ucq, g: &Grounding) -> Self {
+        UcqResidual {
+            disjuncts: q
+                .disjuncts()
+                .iter()
+                .map(|d| BcqResidual::new(d, g))
+                .collect(),
+        }
+    }
+}
+
+impl ResidualState for UcqResidual {
+    fn apply(&mut self, g: &Grounding, changed: &[usize]) {
+        for d in &mut self.disjuncts {
+            d.apply(g, changed);
+        }
+    }
+
+    fn outcome(&mut self, g: &Grounding) -> PartialOutcome {
+        let mut all_refuted = true;
+        for d in &mut self.disjuncts {
+            match d.outcome(g) {
+                PartialOutcome::Satisfied => return PartialOutcome::Satisfied,
+                PartialOutcome::Refuted => {}
+                PartialOutcome::Unknown => all_refuted = false,
+            }
+        }
+        if all_refuted {
+            PartialOutcome::Refuted
+        } else {
+            PartialOutcome::Unknown
+        }
+    }
+}
+
+/// The incremental evaluator of a [`NegatedBcq`]: the inner BCQ's state with
+/// the outcome negated.
+#[derive(Debug, Clone)]
+pub struct NegatedBcqResidual {
+    inner: BcqResidual,
+}
+
+impl NegatedBcqResidual {
+    /// Builds the inner evaluator over the grounding's current state.
+    pub fn new(q: &NegatedBcq, g: &Grounding) -> Self {
+        NegatedBcqResidual {
+            inner: BcqResidual::new(q.inner(), g),
+        }
+    }
+}
+
+impl ResidualState for NegatedBcqResidual {
+    fn apply(&mut self, g: &Grounding, changed: &[usize]) {
+        self.inner.apply(g, changed);
+    }
+
+    fn outcome(&mut self, g: &Grounding) -> PartialOutcome {
+        self.inner.outcome(g).negate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BooleanQuery;
+    use incdb_data::{Constant, IncompleteDatabase, NullId, Value};
+
+    /// Drains the grounding's dirty set into `state` and checks the
+    /// incremental outcome against the from-scratch evaluation.
+    fn sync_and_check<Q: BooleanQuery>(
+        q: &Q,
+        g: &mut Grounding,
+        state: &mut dyn ResidualState,
+        buf: &mut Vec<usize>,
+    ) -> PartialOutcome {
+        g.drain_dirty_into(buf);
+        state.apply(g, buf);
+        let incremental = state.outcome(g);
+        assert_eq!(incremental, q.holds_partial(g), "incremental vs scratch");
+        incremental
+    }
+
+    #[test]
+    fn single_atom_decides_from_counters() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![Value::null(0), Value::null(1)])
+            .unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        let mut state = BcqResidual::new(&q, &g);
+        let mut buf = Vec::new();
+        g.drain_dirty_into(&mut buf);
+
+        assert_eq!(state.outcome(&g), PartialOutcome::Unknown);
+        g.bind(NullId(0), Constant(1)).unwrap();
+        assert_eq!(
+            sync_and_check(&q, &mut g, &mut state, &mut buf),
+            PartialOutcome::Unknown
+        );
+        g.bind(NullId(1), Constant(1)).unwrap();
+        assert_eq!(
+            sync_and_check(&q, &mut g, &mut state, &mut buf),
+            PartialOutcome::Satisfied
+        );
+        g.bind(NullId(1), Constant(0)).unwrap();
+        assert_eq!(
+            sync_and_check(&q, &mut g, &mut state, &mut buf),
+            PartialOutcome::Refuted
+        );
+        g.unbind(NullId(1));
+        assert_eq!(
+            sync_and_check(&q, &mut g, &mut state, &mut buf),
+            PartialOutcome::Unknown
+        );
+    }
+
+    #[test]
+    fn rebind_without_status_change_invalidates_the_join_memo() {
+        // R(⊥0), S(⊥1) with q = R(x), S(x): both facts stay Certain across
+        // the rebind of ⊥1, but the join flips from satisfied to refuted —
+        // the memo must not serve the stale Satisfied.
+        let mut db = IncompleteDatabase::new_uniform([1u64, 2]);
+        db.add_fact("R", vec![Value::null(0)]).unwrap();
+        db.add_fact("S", vec![Value::null(1)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        let mut state = BcqResidual::new(&q, &g);
+        let mut buf = Vec::new();
+        g.drain_dirty_into(&mut buf);
+
+        g.bind(NullId(0), Constant(1)).unwrap();
+        g.bind(NullId(1), Constant(1)).unwrap();
+        assert_eq!(
+            sync_and_check(&q, &mut g, &mut state, &mut buf),
+            PartialOutcome::Satisfied
+        );
+        g.bind(NullId(1), Constant(2)).unwrap();
+        assert_eq!(
+            sync_and_check(&q, &mut g, &mut state, &mut buf),
+            PartialOutcome::Refuted
+        );
+    }
+
+    #[test]
+    fn missing_relation_empties_the_atom() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![Value::null(0)]).unwrap();
+        let g = db.try_grounding().unwrap();
+        let q: Bcq = "R(x), T(x)".parse().unwrap();
+        let mut state = BcqResidual::new(&q, &g);
+        assert_eq!(state.outcome(&g), PartialOutcome::Refuted);
+        assert_eq!(state.outcome(&g), q.holds_partial(&g));
+    }
+
+    #[test]
+    fn union_and_negation_compose() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![Value::null(0), Value::null(0)])
+            .unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let u: Ucq = "R(x,x) | T(y)".parse().unwrap();
+        let n = NegatedBcq::new("R(x,x)".parse().unwrap());
+        let mut us = UcqResidual::new(&u, &g);
+        let mut ns = NegatedBcqResidual::new(&n, &g);
+        let mut buf = Vec::new();
+        g.drain_dirty_into(&mut buf);
+
+        assert_eq!(us.outcome(&g), u.holds_partial(&g));
+        assert_eq!(ns.outcome(&g), n.holds_partial(&g));
+        g.bind(NullId(0), Constant(1)).unwrap();
+        g.drain_dirty_into(&mut buf);
+        us.apply(&g, &buf);
+        ns.apply(&g, &buf);
+        assert_eq!(us.outcome(&g), PartialOutcome::Satisfied);
+        assert_eq!(us.outcome(&g), u.holds_partial(&g));
+        assert_eq!(ns.outcome(&g), PartialOutcome::Refuted);
+        assert_eq!(ns.outcome(&g), n.holds_partial(&g));
+    }
+}

@@ -76,6 +76,13 @@ impl BooleanQuery for Ucq {
             PartialOutcome::Unknown
         }
     }
+
+    fn residual_state(
+        &self,
+        grounding: &incdb_data::Grounding,
+    ) -> Option<Box<dyn crate::ResidualState>> {
+        Some(Box::new(crate::UcqResidual::new(self, grounding)))
+    }
 }
 
 impl From<Bcq> for Ucq {
@@ -143,6 +150,13 @@ impl BooleanQuery for NegatedBcq {
 
     fn holds_partial(&self, grounding: &incdb_data::Grounding) -> PartialOutcome {
         self.inner.holds_partial(grounding).negate()
+    }
+
+    fn residual_state(
+        &self,
+        grounding: &incdb_data::Grounding,
+    ) -> Option<Box<dyn crate::ResidualState>> {
+        Some(Box::new(crate::NegatedBcqResidual::new(self, grounding)))
     }
 }
 
