@@ -16,6 +16,12 @@
 //!   `tiny_*` rows justify `ENGINE_TINY_INSTANCE_VALUATIONS` in
 //!   `incdb_core::solver`.
 //!
+//! The `stream_*` rows measure the `incdb-stream` memory-vs-passes
+//! trade-off against the in-memory engine: ratios below 1 are expected
+//! (bounded memory costs extra walks), the regression gate pins them from
+//! collapsing, and the rows carry the peak-resident-fingerprint high-water
+//! metric alongside the count check (peak ≤ budget, count identical).
+//!
 //! Besides the Criterion groups, this bench always measures the headline
 //! comparisons directly and writes the results to `BENCH_engine.json` at the
 //! workspace root, so every CI run appends a point to the perf trajectory —
@@ -33,9 +39,10 @@ use incdb_bench::{
     uniform_two_unary_relations, uniform_unary_completions_instance,
 };
 use incdb_core::algorithms::{comp_uniform, val_uniform};
-use incdb_core::engine::{BacktrackingEngine, CountingEngine, NaiveEngine};
+use incdb_core::engine::{BacktrackingEngine, CountingEngine, NaiveEngine, Tautology};
 use incdb_data::{IncompleteDatabase, Value};
 use incdb_query::Bcq;
+use incdb_stream::{all_completions_stream, count_completions_budgeted};
 
 /// The pruning-friendly acceptance instance: a cycle of `nulls` binary facts
 /// (≥ 6 nulls) and a query conjoined with an atom over the empty relation
@@ -206,12 +213,16 @@ fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> u128 {
 struct JsonRow {
     name: &'static str,
     /// What `naive_ns` measures for this row (`naive`, `engine_scratch`,
-    /// `closed_form`, `engine_sequential`).
+    /// `closed_form`, `engine_sequential`, `engine_unsharded`).
     baseline: &'static str,
     nulls: u32,
     valuations: String,
     naive_ns: u128,
     engine_ns: u128,
+    /// Extra JSON fields for this row (pre-rendered `, "key": value`
+    /// pairs), e.g. the `stream_*` rows' peak-resident-fingerprint
+    /// high-water metric. Empty for most rows.
+    extra: String,
 }
 
 impl JsonRow {
@@ -248,6 +259,7 @@ fn engine_row(
         valuations: db.valuation_count().to_string(),
         naive_ns,
         engine_ns,
+        extra: String::new(),
     }
 }
 
@@ -361,6 +373,7 @@ fn write_json_report(fast: bool) {
             valuations: db.valuation_count().to_string(),
             naive_ns,
             engine_ns,
+            extra: String::new(),
         });
     }
 
@@ -444,6 +457,7 @@ fn write_json_report(fast: bool) {
             valuations: db.valuation_count().to_string(),
             naive_ns,
             engine_ns,
+            extra: String::new(),
         });
     }
     {
@@ -471,6 +485,82 @@ fn write_json_report(fast: bool) {
             valuations: db.valuation_count().to_string(),
             naive_ns,
             engine_ns,
+            extra: String::new(),
+        });
+    }
+
+    // Streaming rows: the memory-vs-passes trade-off of `incdb-stream` on a
+    // dense distinct-completion instance (the Proposition 4.5(b) Codd
+    // shape). The ratio is expected *below* 1 — bounded memory is bought
+    // with extra passes — and the gate pins it from collapsing further,
+    // while the extra fields record the budgeted run's peak resident
+    // fingerprints (the acceptance metric: peak ≤ budget with the exact
+    // unsharded count).
+    {
+        const STREAM_BUDGET: usize = 64;
+        let db = uniform_codd_binary(5, 3);
+        let unsharded = BacktrackingEngine::sequential()
+            .count_all_completions(&db)
+            .unwrap();
+        let budgeted = count_completions_budgeted(&db, &Tautology, STREAM_BUDGET, 1).unwrap();
+        assert_eq!(
+            budgeted.count, unsharded,
+            "budgeted sharding must reproduce the unsharded count"
+        );
+        assert!(
+            budgeted.peak_resident_fingerprints <= STREAM_BUDGET,
+            "acceptance criterion: peak resident fingerprints {} exceed the budget {}",
+            budgeted.peak_resident_fingerprints,
+            STREAM_BUDGET
+        );
+        let naive_ns = median_ns(runs, || {
+            BacktrackingEngine::sequential()
+                .count_all_completions(&db)
+                .unwrap();
+        });
+        let engine_ns = median_ns(runs, || {
+            count_completions_budgeted(&db, &Tautology, STREAM_BUDGET, 1).unwrap();
+        });
+        rows.push(JsonRow {
+            name: "stream_sharded_comp",
+            baseline: "engine_unsharded",
+            nulls: db.nulls().len() as u32,
+            valuations: db.valuation_count().to_string(),
+            naive_ns,
+            engine_ns,
+            extra: format!(
+                ", \"budget\": {}, \"peak_resident\": {}, \"shard_walks\": {}, \"counted_shards\": {}",
+                STREAM_BUDGET,
+                budgeted.peak_resident_fingerprints,
+                budgeted.passes,
+                budgeted.counted_shards
+            ),
+        });
+
+        // Canonical-order paging: a full drain through bounded pages
+        // against the one-walk materialising enumerator.
+        let db = uniform_codd_binary(4, 3);
+        const PAGE: usize = 64;
+        let drained = all_completions_stream(&db, PAGE).unwrap().count();
+        assert_eq!(
+            drained,
+            incdb_core::enumerate::all_completions(&db).unwrap().len(),
+            "the paged drain must enumerate exactly the distinct completions"
+        );
+        let naive_ns = median_ns(runs, || {
+            incdb_core::enumerate::all_completions(&db).unwrap();
+        });
+        let engine_ns = median_ns(runs, || {
+            all_completions_stream(&db, PAGE).unwrap().count();
+        });
+        rows.push(JsonRow {
+            name: "stream_page_drain",
+            baseline: "all_completions",
+            nulls: db.nulls().len() as u32,
+            valuations: db.valuation_count().to_string(),
+            naive_ns,
+            engine_ns,
+            extra: format!(", \"page_size\": {PAGE}, \"completions\": {drained}"),
         });
     }
 
@@ -490,7 +580,7 @@ fn write_json_report(fast: bool) {
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"nulls\": {}, \
-             \"valuations\": \"{}\", \"naive_ns\": {}, \"engine_ns\": {}, \
+             \"valuations\": \"{}\", \"naive_ns\": {}, \"engine_ns\": {}{}, \
              \"speedup\": {:.2}}}{}\n",
             row.name,
             row.baseline,
@@ -498,6 +588,7 @@ fn write_json_report(fast: bool) {
             row.valuations,
             row.naive_ns,
             row.engine_ns,
+            row.extra,
             row.speedup(),
             if i + 1 < rows.len() { "," } else { "" }
         ));

@@ -16,7 +16,7 @@
 //! * **Incremental residual evaluation** — instead of re-running the two
 //!   partial-homomorphism searches of `BooleanQuery::holds_partial` from
 //!   scratch at every node, the engine keeps a stateful
-//!   [`ResidualState`](incdb_query::ResidualState) per worker: each bind
+//!   [`ResidualState`] per worker: each bind
 //!   flows through the grounding's dirty-null channel
 //!   ([`Grounding::drain_dirty_into`]) and re-classifies only the candidate
 //!   facts that mention the bound null, watched-literal style. A `Refuted`
@@ -51,7 +51,7 @@ use std::sync::{Condvar, Mutex};
 use std::thread;
 
 use incdb_bignum::{BigNat, NatAccumulator};
-use incdb_data::{Constant, DataError, Database, Grounding, IncompleteDatabase};
+use incdb_data::{CompletionKey, Constant, DataError, Database, Grounding, IncompleteDatabase};
 use incdb_query::{BooleanQuery, PartialOutcome, ResidualState};
 
 /// A strategy for exactly counting valuations and completions.
@@ -165,13 +165,45 @@ impl CountingEngine for NaiveEngine {
     }
 }
 
-/// The canonical fingerprint of one completion
-/// ([`Grounding::completion_fingerprint`]): a hash set of fingerprints
-/// counts distinct completions without ever building a [`Database`].
-type CompletionKey = Vec<(usize, Vec<Constant>)>;
-
+/// Extracts the canonical fingerprint
+/// ([`Grounding::completion_fingerprint`]) at a fully bound leaf: a hash
+/// set of [`CompletionKey`]s counts distinct completions without ever
+/// building a [`Database`].
 fn completion_key(g: &Grounding) -> CompletionKey {
     g.completion_fingerprint().expect("leaf is fully bound")
+}
+
+/// A consumer of satisfying completion leaves — the engine's streaming
+/// alternative to materialising a completion set.
+///
+/// [`BacktrackingEngine::visit_completions`] calls [`leaf`] once per
+/// *satisfying valuation leaf*, with the grounding fully bound; pruning
+/// (`Refuted` subtrees) happens before the visitor ever sees a leaf. Note
+/// that distinct completions are **not** deduplicated at this layer —
+/// several valuations may induce the same completion, and the visitor sees
+/// each of them. Deduplicate by fingerprint
+/// ([`Grounding::completion_fingerprint_into`]) when counting, as the
+/// sharded counters and the paging stream of `incdb-stream` do.
+///
+/// [`leaf`]: CompletionVisitor::leaf
+pub trait CompletionVisitor {
+    /// Consumes one satisfying leaf. Return `false` to stop the walk early
+    /// (e.g. a shard whose memory budget is exhausted, or a page that is
+    /// full and cannot accept a key that would displace nothing).
+    fn leaf(&mut self, g: &Grounding) -> bool;
+}
+
+/// The visitor behind the engine's own distinct-completion counting:
+/// collects canonical fingerprints into a hash set, never stopping early.
+struct CollectKeys<'s> {
+    keys: &'s mut HashSet<CompletionKey>,
+}
+
+impl CompletionVisitor for CollectKeys<'_> {
+    fn leaf(&mut self, g: &Grounding) -> bool {
+        self.keys.insert(completion_key(g));
+        true
+    }
 }
 
 /// Per-worker evaluation context: the query, its optional incremental
@@ -216,30 +248,39 @@ impl<'q, Q: BooleanQuery + ?Sized> NodeEval<'q, Q> {
     }
 }
 
-/// The shared work-stealing scheduler: subtree tasks (prefix assignments of
-/// the search order) in a deque guarded by a mutex and a condvar. Workers
-/// pop one task at a time, which already self-balances moderately skewed
-/// instances; when the deque runs dry while some worker still owns a large
-/// subtree, that worker donates its unexplored sibling branches
-/// ("split on steal", [`SubtreeSearch::maybe_donate`]), so a single heavy
-/// subtree ends up spread across every idle core.
-struct TaskQueue {
-    state: Mutex<QueueState>,
+/// The shared work-stealing scheduler: tasks in a deque guarded by a mutex
+/// and a condvar, generic over the task payload. Workers pop one task at a
+/// time, which already self-balances moderately skewed workloads; a running
+/// worker may [`donate`](TaskQueue::donate) freshly split tasks back while
+/// others are blocked in [`next_task`](TaskQueue::next_task), and the queue
+/// only releases waiting workers once every task — including donated ones —
+/// has been [`finish_task`](TaskQueue::finish_task)ed.
+///
+/// The engine instantiates it with prefix assignments (`Vec<Constant>`) and
+/// splits on steal (when the deque runs dry while some worker still owns a
+/// large subtree, that worker donates its unexplored sibling branches back
+/// through [`donate`](TaskQueue::donate)); the sharded distinct counter of
+/// `incdb-stream` instantiates it with fingerprint hash ranges and donates
+/// the halves of a shard whose fingerprint set overflowed its memory
+/// budget.
+pub struct TaskQueue<T> {
+    state: Mutex<QueueState<T>>,
     available: Condvar,
 }
 
-struct QueueState {
-    tasks: VecDeque<Vec<Constant>>,
+struct QueueState<T> {
+    tasks: VecDeque<T>,
     /// Tasks created but not yet finished (queued + running). Zero means
-    /// the whole search space is accounted for and workers may exit.
+    /// the whole workload is accounted for and workers may exit.
     unfinished: usize,
     /// Workers currently blocked waiting for a task — the starvation signal
     /// that triggers splitting.
     idle: usize,
 }
 
-impl TaskQueue {
-    fn new(tasks: Vec<Vec<Constant>>) -> Self {
+impl<T> TaskQueue<T> {
+    /// A queue seeded with the initial workload.
+    pub fn new(tasks: Vec<T>) -> Self {
         let unfinished = tasks.len();
         TaskQueue {
             state: Mutex::new(QueueState {
@@ -253,7 +294,7 @@ impl TaskQueue {
 
     /// Pops the next task, blocking while running workers may still donate
     /// new ones. Returns `None` once every task has finished.
-    fn next_task(&self) -> Option<Vec<Constant>> {
+    pub fn next_task(&self) -> Option<T> {
         let mut s = self.state.lock().expect("engine task queue poisoned");
         loop {
             if let Some(task) = s.tasks.pop_front() {
@@ -270,7 +311,7 @@ impl TaskQueue {
 
     /// Marks one popped task as finished, releasing waiting workers when it
     /// was the last.
-    fn finish_task(&self) {
+    pub fn finish_task(&self) {
         let mut s = self.state.lock().expect("engine task queue poisoned");
         s.unfinished -= 1;
         let done = s.unfinished == 0;
@@ -281,14 +322,16 @@ impl TaskQueue {
     }
 
     /// Returns `true` if some worker is starving — the signal for a busy
-    /// worker to split off part of its subtree.
-    fn wants_work(&self) -> bool {
+    /// worker to split off part of its workload.
+    pub fn wants_work(&self) -> bool {
         let s = self.state.lock().expect("engine task queue poisoned");
         s.idle > 0 && s.tasks.is_empty()
     }
 
-    /// Donates subtree tasks to starving workers.
-    fn donate(&self, tasks: impl IntoIterator<Item = Vec<Constant>>) {
+    /// Donates tasks to starving workers. Every donated task must
+    /// eventually be matched by a [`finish_task`](TaskQueue::finish_task)
+    /// call, exactly like the seed tasks.
+    pub fn donate(&self, tasks: impl IntoIterator<Item = T>) {
         let mut s = self.state.lock().expect("engine task queue poisoned");
         for task in tasks {
             s.tasks.push_back(task);
@@ -322,7 +365,7 @@ struct SubtreeSearch<'a, Q: ?Sized> {
     /// `suffix` saturated into machine words, for the donation heuristic.
     hint: &'a [u64],
     /// The scheduler to donate subtrees to; `None` when running sequentially.
-    steal: Option<&'a TaskQueue>,
+    steal: Option<&'a TaskQueue<Vec<Constant>>>,
     /// The values bound along `order[..depth]` — the prefix a donated
     /// sibling task is built from. Invariant: `path.len() == depth` whenever
     /// a recursive call at `depth` runs.
@@ -386,22 +429,23 @@ impl<'a, Q: BooleanQuery + ?Sized> SubtreeSearch<'a, Q> {
         }
     }
 
-    /// Collects the fingerprints of satisfying completions below the
-    /// current bindings. `decided` records that an ancestor already proved
-    /// the query `Satisfied` (no completion below can fail, so checks are
-    /// skipped); a donated task re-derives it at its root, since
-    /// `Satisfied` is monotone along a binding path.
-    fn collect_comps(
+    /// Walks the satisfying completion leaves below the current bindings,
+    /// handing each one to `visitor`. `decided` records that an ancestor
+    /// already proved the query `Satisfied` (no completion below can fail,
+    /// so checks are skipped); a donated task re-derives it at its root,
+    /// since `Satisfied` is monotone along a binding path. Returns `false`
+    /// as soon as the visitor stops the walk.
+    fn visit_leaves<V: CompletionVisitor + ?Sized>(
         &mut self,
         g: &mut Grounding,
         depth: usize,
         decided: bool,
-        keys: &mut HashSet<CompletionKey>,
-    ) {
+        visitor: &mut V,
+    ) -> bool {
         let decided = decided
             || match self.ev.outcome(g) {
                 PartialOutcome::Satisfied => true,
-                PartialOutcome::Refuted => return,
+                PartialOutcome::Refuted => return true,
                 PartialOutcome::Unknown => false,
             };
         if depth == self.order.len() {
@@ -411,25 +455,27 @@ impl<'a, Q: BooleanQuery + ?Sized> SubtreeSearch<'a, Q> {
                 self.ev.q.holds(&self.scratch)
             };
             if satisfied {
-                keys.insert(completion_key(g));
+                return visitor.leaf(g);
             }
-            return;
+            return true;
         }
         let i = self.order[depth];
+        let mut keep_going = true;
         let mut last = g.domain_by_index(i).len();
         let mut k = 0;
-        while k < last {
+        while keep_going && k < last {
             if k + 1 < last && self.maybe_donate(g, depth, k + 1) {
                 last = k + 1;
             }
             let value = g.domain_by_index(i)[k];
             g.bind_index(i, value);
             self.path.push(value);
-            self.collect_comps(g, depth + 1, decided, keys);
+            keep_going = self.visit_leaves(g, depth + 1, decided, visitor);
             self.path.pop();
             k += 1;
         }
         g.unbind_index(i);
+        keep_going
     }
 
     /// Rebinds the grounding for a fresh task: everything unbound, then
@@ -468,7 +514,7 @@ const DEFAULT_PARALLEL_THRESHOLD: u64 = 1024;
 
 impl Default for BacktrackingEngine {
     /// Auto-detects parallelism (capped at 8 workers), shards instances
-    /// with at least [`DEFAULT_PARALLEL_THRESHOLD`] valuations, and
+    /// with at least `DEFAULT_PARALLEL_THRESHOLD` (1024) valuations, and
     /// evaluates incrementally.
     fn default() -> Self {
         let threads = thread::available_parallelism()
@@ -617,6 +663,48 @@ impl BacktrackingEngine {
         Some(prefixes)
     }
 
+    /// Walks every **satisfying completion leaf** of the search tree in the
+    /// engine's canonical depth-first order, handing the fully bound
+    /// grounding to `visitor` at each one — the streaming primitive behind
+    /// `incdb-stream`'s hash-range-sharded counting and paged enumeration.
+    ///
+    /// The walk reuses the full pruning stack (incremental residual
+    /// evaluation, `Refuted` subtree discard), but unlike
+    /// [`count_valuations`](CountingEngine::count_valuations) it cannot
+    /// credit `Satisfied` subtrees in closed form: every leaf must be
+    /// visited for its fingerprint. The walk is **sequential** regardless
+    /// of the engine's thread configuration — the visitor sees leaves in a
+    /// deterministic order, and parallel callers (the shard scheduler)
+    /// parallelise *across* walks instead.
+    ///
+    /// Returns `Ok(true)` if the walk covered the whole tree, `Ok(false)`
+    /// if the visitor stopped it early, and an error if some null of the
+    /// table has no domain.
+    pub fn visit_completions<Q, V>(
+        &self,
+        db: &IncompleteDatabase,
+        q: &Q,
+        visitor: &mut V,
+    ) -> Result<bool, DataError>
+    where
+        Q: BooleanQuery + ?Sized,
+        V: CompletionVisitor + ?Sized,
+    {
+        let mut g = db.try_grounding()?;
+        let order = Self::search_order(&g);
+        let hint = Self::subtree_hints(&g, &order);
+        let mut search = SubtreeSearch {
+            ev: NodeEval::new(q, &mut g, self.incremental),
+            order: &order,
+            suffix: &[],
+            hint: &hint,
+            steal: None,
+            path: Vec::new(),
+            scratch: Database::new(),
+        };
+        Ok(search.visit_leaves(&mut g, 0, false, visitor))
+    }
+
     /// Runs one subtree walk per task of the work-stealing queue across up
     /// to [`threads`](BacktrackingEngine::threads) scoped workers, each on
     /// its own clone of the grounding with its own result accumulator of
@@ -735,7 +823,7 @@ impl CountingEngine for BacktrackingEngine {
                 scratch: Database::new(),
             };
             let mut keys = HashSet::new();
-            search.collect_comps(&mut g, 0, false, &mut keys);
+            search.visit_leaves(&mut g, 0, false, &mut CollectKeys { keys: &mut keys });
             return Ok(BigNat::from(keys.len()));
         };
         let plan = SearchPlan {
@@ -745,7 +833,7 @@ impl CountingEngine for BacktrackingEngine {
         };
         let shard_keys: Vec<HashSet<CompletionKey>> =
             self.run_stealing(&g, q, &plan, prefixes, |search, g, depth, keys| {
-                search.collect_comps(g, depth, false, keys)
+                search.visit_leaves(g, depth, false, &mut CollectKeys { keys });
             });
         // Distinct completions can be produced by several workers (different
         // prefix assignments may induce the same completion), so dedup again
@@ -948,6 +1036,58 @@ mod tests {
             assert_eq!(engine.count_valuations(&db, &q2).unwrap(), BigNat::zero());
             assert_eq!(engine.count_all_completions(&db).unwrap(), BigNat::one());
         }
+    }
+
+    #[test]
+    fn visitor_walk_streams_leaves_deterministically_and_stops_on_demand() {
+        struct Leaves {
+            keys: Vec<CompletionKey>,
+            stop_after: usize,
+        }
+        impl CompletionVisitor for Leaves {
+            fn leaf(&mut self, g: &Grounding) -> bool {
+                self.keys.push(completion_key(g));
+                self.keys.len() < self.stop_after
+            }
+        }
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let engine = BacktrackingEngine::sequential();
+        let mut full = Leaves {
+            keys: Vec::new(),
+            stop_after: usize::MAX,
+        };
+        assert!(engine.visit_completions(&db, &q, &mut full).unwrap());
+        // Four satisfying valuations stream as four leaves (no dedup at
+        // this layer), collapsing to the three distinct completions.
+        assert_eq!(full.keys.len(), 4);
+        let distinct: HashSet<&CompletionKey> = full.keys.iter().collect();
+        assert_eq!(
+            BigNat::from(distinct.len()),
+            engine.count_completions(&db, &q).unwrap()
+        );
+        // The walk order is canonical: a second run reproduces it exactly,
+        // and an early stop sees a strict prefix.
+        let mut again = Leaves {
+            keys: Vec::new(),
+            stop_after: usize::MAX,
+        };
+        assert!(engine.visit_completions(&db, &q, &mut again).unwrap());
+        assert_eq!(full.keys, again.keys);
+        let mut stopped = Leaves {
+            keys: Vec::new(),
+            stop_after: 2,
+        };
+        assert!(!engine.visit_completions(&db, &q, &mut stopped).unwrap());
+        assert_eq!(stopped.keys, full.keys[..2]);
+        // The multi-threaded configuration still walks sequentially.
+        let mut wide = Leaves {
+            keys: Vec::new(),
+            stop_after: usize::MAX,
+        };
+        let parallel = BacktrackingEngine::with_threads(3).with_parallel_threshold(1);
+        assert!(parallel.visit_completions(&db, &q, &mut wide).unwrap());
+        assert_eq!(full.keys, wide.keys);
     }
 
     #[test]

@@ -15,10 +15,12 @@
 use std::collections::BTreeSet;
 
 use incdb_bignum::BigNat;
-use incdb_data::{DataError, Database, IncompleteDatabase};
+use incdb_data::{
+    materialize_completion, CompletionKey, DataError, Database, Grounding, IncompleteDatabase,
+};
 use incdb_query::BooleanQuery;
 
-use crate::engine::{BacktrackingEngine, CountingEngine};
+use crate::engine::{BacktrackingEngine, CompletionVisitor, CountingEngine, Tautology};
 
 /// Counts the valuations `ν` of `db` such that `ν(db) ⊨ q`, searching the
 /// whole valuation tree (with pruning).
@@ -41,24 +43,47 @@ pub fn count_completions_brute<Q: BooleanQuery + Sync + ?Sized>(
 }
 
 /// Enumerates the set of **all** distinct completions of `db`
-/// (no query filter), materialised as [`Database`] values. Exponential and
-/// allocation-heavy by nature; intended for small instances and tests —
-/// counting callers should prefer [`count_all_completions_brute`], which
-/// never materialises.
+/// (no query filter), materialised as [`Database`] values. Exponential by
+/// nature; intended for small instances and tests. The walk streams through
+/// the engine's leaf-visitor API and dedups by canonical fingerprint
+/// ([`Grounding::completion_fingerprint_into`]), so each distinct
+/// completion is materialised exactly once — duplicate valuations cost a
+/// fingerprint comparison, not a [`Database`] clone. Counting callers
+/// should prefer [`count_all_completions_brute`], which never materialises
+/// at all, and callers that want paging or bounded memory should use the
+/// `incdb-stream` crate's `CompletionStream` / sharded counters.
 pub fn all_completions(db: &IncompleteDatabase) -> Result<BTreeSet<Database>, DataError> {
-    let mut seen: BTreeSet<Database> = BTreeSet::new();
-    let mut g = db.try_grounding()?;
-    let mut scratch = Database::new();
-    for valuation in db.try_valuations()? {
-        for (null, value) in valuation.iter() {
-            g.bind(null, value)?;
-        }
-        g.completion_into(&mut scratch)?;
-        if !seen.contains(&scratch) {
-            seen.insert(scratch.clone());
+    struct DistinctKeys {
+        keys: BTreeSet<CompletionKey>,
+        scratch: CompletionKey,
+    }
+    impl CompletionVisitor for DistinctKeys {
+        fn leaf(&mut self, g: &Grounding) -> bool {
+            g.completion_fingerprint_into(&mut self.scratch)
+                .expect("every null is bound at a leaf");
+            if !self.keys.contains(&self.scratch) {
+                self.keys.insert(self.scratch.clone());
+            }
+            true
         }
     }
-    Ok(seen)
+    let mut sink = DistinctKeys {
+        keys: BTreeSet::new(),
+        scratch: CompletionKey::new(),
+    };
+    BacktrackingEngine::sequential().visit_completions(db, &Tautology, &mut sink)?;
+    // Materialise each distinct fingerprint exactly once, declaring every
+    // relation of the table (a completion keeps empty relations).
+    let rel_names: Vec<String> = db
+        .try_grounding()?
+        .relation_names()
+        .map(String::from)
+        .collect();
+    Ok(sink
+        .keys
+        .into_iter()
+        .map(|key| materialize_completion(&rel_names, &key))
+        .collect())
 }
 
 /// Counts all distinct completions of `db` (no query filter).

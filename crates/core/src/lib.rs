@@ -23,7 +23,7 @@
 //!   * [`algorithms::val_codd`] — Theorem 3.7,
 //!   * [`algorithms::val_uniform`] — Theorem 3.9 / Proposition A.14,
 //!   * [`algorithms::comp_uniform`] — Theorem 4.6 / Appendix B.6;
-//! * [`classify`] — the dichotomy classifier reproducing Table 1 and the
+//! * [`classify`](mod@classify) — the dichotomy classifier reproducing Table 1 and the
 //!   approximability results of Section 5;
 //! * [`solver`] — a façade that inspects the query and the database, routes
 //!   to the best applicable algorithm and reports which one was used;
@@ -62,6 +62,6 @@ pub mod solver;
 
 pub use classify::{classify, classify_approx, ApproxStatus, ClassifyError, Complexity};
 pub use completion_check::is_possible_completion_of_codd;
-pub use engine::{BacktrackingEngine, CountingEngine, NaiveEngine};
+pub use engine::{BacktrackingEngine, CompletionVisitor, CountingEngine, NaiveEngine, Tautology};
 pub use problem::{CountingProblem, DomainKind, Setting, TableKind};
 pub use solver::{count_completions, count_valuations, CountOutcome, Method, SolveError};

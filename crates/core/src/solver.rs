@@ -27,6 +27,13 @@ pub enum Method {
     /// parallel sharding — still exponential in the worst case, as it must
     /// be inside the #P-hard cells.
     BacktrackingSearch,
+    /// Hash-range-sharded streaming search (the `incdb-stream` crate): the
+    /// same backtracking walk repeated once per shard of the fingerprint
+    /// hash space, so distinct-completion counting keeps its peak resident
+    /// fingerprint set within a memory budget at the price of extra passes.
+    /// Routed to by `incdb-stream`'s budgeted solver when the budget
+    /// actually forced sharding; `incdb-core` itself never returns it.
+    HashShardedSearch,
 }
 
 impl fmt::Display for Method {
@@ -37,6 +44,7 @@ impl fmt::Display for Method {
             Method::UniformInclusionExclusion => "Theorem 3.9 inclusion–exclusion",
             Method::UniformUnaryCompletions => "Theorem 4.6 unary completion counting",
             Method::BacktrackingSearch => "backtracking search",
+            Method::HashShardedSearch => "hash-sharded streaming search",
         };
         write!(f, "{name}")
     }
@@ -147,6 +155,40 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcome
     })
 }
 
+/// Tries the polynomial-time completion-counting route: the Theorem 4.6
+/// algorithm, applicable when the database is uniform with a unary schema
+/// (and, with a query, when the query shape qualifies). `None` asks for
+/// `#Comp` of every completion (no query filter).
+///
+/// Returns `Ok(None)` when no closed form applies and the caller must
+/// search — either the engine's in-memory fingerprint walk
+/// ([`Method::BacktrackingSearch`]) or, under a memory budget, the
+/// `incdb-stream` crate's hash-range-sharded walk
+/// ([`Method::HashShardedSearch`]). Exposed so that external routers (the
+/// budgeted solver of `incdb-stream`) can reuse this decision *before*
+/// committing to a search, instead of discovering after an exponential walk
+/// that a closed form existed. Assumes `db` was already validated.
+pub fn completion_closed_form(
+    db: &IncompleteDatabase,
+    q: Option<&Bcq>,
+) -> Result<Option<CountOutcome>, SolveError> {
+    let db_is_unary = db
+        .relation_names()
+        .all(|r| db.arity(r).is_none_or(|a| a == 1));
+    if !(db.is_uniform() && db_is_unary) {
+        return Ok(None);
+    }
+    let value = match q {
+        Some(q) if comp_uniform::applies_to_query(q) => comp_uniform::count_completions(db, q)?,
+        Some(_) => return Ok(None),
+        None => comp_uniform::count_all_completions(db)?,
+    };
+    Ok(Some(CountOutcome {
+        value,
+        method: Method::UniformUnaryCompletions,
+    }))
+}
+
 /// Computes `#Comp(q)(db)`: the number of distinct completions of `db`
 /// satisfying `q`. Routes to the Theorem 4.6 algorithm when the database is
 /// uniform with a unary schema, and falls back to enumeration otherwise —
@@ -155,15 +197,8 @@ pub fn count_valuations(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcome
 /// (Theorem 4.3).
 pub fn count_completions(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcome, SolveError> {
     db.validate()?;
-    let db_is_unary = db
-        .relation_names()
-        .all(|r| db.arity(r).is_none_or(|a| a == 1));
-    if db.is_uniform() && db_is_unary && comp_uniform::applies_to_query(q) {
-        let value = comp_uniform::count_completions(db, q)?;
-        return Ok(CountOutcome {
-            value,
-            method: Method::UniformUnaryCompletions,
-        });
+    if let Some(outcome) = completion_closed_form(db, Some(q))? {
+        return Ok(outcome);
     }
     let value = enumerate::count_completions_brute(db, q)?;
     Ok(CountOutcome {
@@ -176,15 +211,8 @@ pub fn count_completions(db: &IncompleteDatabase, q: &Bcq) -> Result<CountOutcom
 /// using the Theorem 4.6 machinery when possible.
 pub fn count_all_completions(db: &IncompleteDatabase) -> Result<CountOutcome, SolveError> {
     db.validate()?;
-    let db_is_unary = db
-        .relation_names()
-        .all(|r| db.arity(r).is_none_or(|a| a == 1));
-    if db.is_uniform() && db_is_unary {
-        let value = comp_uniform::count_all_completions(db)?;
-        return Ok(CountOutcome {
-            value,
-            method: Method::UniformUnaryCompletions,
-        });
+    if let Some(outcome) = completion_closed_form(db, None)? {
+        return Ok(outcome);
     }
     let value = enumerate::count_all_completions_brute(db)?;
     Ok(CountOutcome {
@@ -393,6 +421,10 @@ mod tests {
         assert_eq!(
             Method::BacktrackingSearch.to_string(),
             "backtracking search"
+        );
+        assert_eq!(
+            Method::HashShardedSearch.to_string(),
+            "hash-sharded streaming search"
         );
         assert!(Method::UniformInclusionExclusion
             .to_string()

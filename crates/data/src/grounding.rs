@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use crate::database::Database;
 use crate::error::DataError;
+use crate::fingerprint::{fingerprint_hash, CompletionKey, HashRange};
 use crate::incomplete::IncompleteDatabase;
 use crate::valuation::{Valuation, ValuationIter};
 use crate::value::{Constant, NullId, Value};
@@ -370,26 +371,64 @@ impl Grounding {
     ///
     /// Returns an error naming the first unbound null if the assignment is
     /// not total.
-    pub fn completion_fingerprint(&self) -> Result<Vec<(usize, Vec<Constant>)>, DataError> {
+    pub fn completion_fingerprint(&self) -> Result<CompletionKey, DataError> {
+        let mut key = CompletionKey::new();
+        self.completion_fingerprint_into(&mut key)?;
+        Ok(key)
+    }
+
+    /// Writes the canonical fingerprint of the current (full) assignment
+    /// into a reusable buffer, clearing it first — the allocation-recycling
+    /// form of [`Grounding::completion_fingerprint`] for per-leaf hot loops
+    /// (only the per-fact tuples are reallocated).
+    ///
+    /// Returns an error naming the first unbound null if the assignment is
+    /// not total.
+    pub fn completion_fingerprint_into(&self, key: &mut CompletionKey) -> Result<(), DataError> {
         if let Some(i) = self.assignment.iter().position(Option::is_none) {
             return Err(DataError::IncompleteValuation {
                 null: self.nulls[i],
             });
         }
-        let mut key: Vec<(usize, Vec<Constant>)> = self
-            .resolved_facts()
-            .map(|(rel, fact)| {
-                (
-                    rel,
-                    fact.iter()
-                        .map(|v| v.as_const().expect("all nulls are bound"))
-                        .collect(),
-                )
-            })
-            .collect();
+        key.clear();
+        key.extend(self.resolved_facts().map(|(rel, fact)| {
+            (
+                rel,
+                fact.iter()
+                    .map(|v| v.as_const().expect("all nulls are bound"))
+                    .collect::<Vec<Constant>>(),
+            )
+        }));
         key.sort_unstable();
         key.dedup();
-        Ok(key)
+        Ok(())
+    }
+
+    /// The stable 64-bit fingerprint hash ([`crate::fingerprint_hash`]) of
+    /// the completion induced by the current (full) assignment, computed
+    /// through a reusable key buffer. This is the point a hash-range shard
+    /// tests against its [`HashRange`].
+    ///
+    /// Returns an error naming the first unbound null if the assignment is
+    /// not total.
+    pub fn completion_hash_into(&self, scratch: &mut CompletionKey) -> Result<u64, DataError> {
+        self.completion_fingerprint_into(scratch)?;
+        Ok(fingerprint_hash(scratch))
+    }
+
+    /// The hash-range predicate of sharded distinct counting: does the
+    /// completion induced by the current (full) assignment fall in `range`?
+    /// Every completion falls in exactly one range of a
+    /// [`HashRange::partition`], so per-range walks count disjoint sets.
+    ///
+    /// Returns an error naming the first unbound null if the assignment is
+    /// not total.
+    pub fn completion_in_range(
+        &self,
+        range: HashRange,
+        scratch: &mut CompletionKey,
+    ) -> Result<bool, DataError> {
+        Ok(range.contains(self.completion_hash_into(scratch)?))
     }
 
     /// The current assignment as a [`Valuation`] (allocates; not for hot
@@ -606,6 +645,40 @@ mod tests {
         g.bind(NullId(2), Constant(1)).unwrap();
         assert!(g.fact_is_ground(1));
         assert_eq!(g.fact_values(1), &[c(0), c(1)]);
+    }
+
+    #[test]
+    fn fingerprint_buffers_and_hash_ranges_agree() {
+        let db = example_2_2();
+        let mut g = db.try_grounding().unwrap();
+        let mut key = CompletionKey::new();
+        // Partial assignments surface the missing null on every entry point.
+        assert!(matches!(
+            g.completion_fingerprint_into(&mut key),
+            Err(DataError::IncompleteValuation { null: NullId(1) })
+        ));
+        assert!(g.completion_hash_into(&mut key).is_err());
+        assert!(g.completion_in_range(HashRange::full(), &mut key).is_err());
+
+        g.bind(NullId(1), Constant(2)).unwrap();
+        g.bind(NullId(2), Constant(0)).unwrap();
+        g.completion_fingerprint_into(&mut key).unwrap();
+        assert_eq!(key, g.completion_fingerprint().unwrap());
+        let hash = g.completion_hash_into(&mut key).unwrap();
+        assert_eq!(hash, fingerprint_hash(&key));
+        assert!(g.completion_in_range(HashRange::full(), &mut key).unwrap());
+        // The completion falls in exactly one shard of any partition.
+        for shards in [2usize, 3, 5] {
+            let hits = HashRange::partition(shards)
+                .into_iter()
+                .filter(|r| g.completion_in_range(*r, &mut key).unwrap())
+                .count();
+            assert_eq!(hits, 1, "{shards} shards");
+        }
+        // The buffer is reused across assignments: rebind and re-derive.
+        g.bind(NullId(1), Constant(0)).unwrap();
+        let rebound = g.completion_hash_into(&mut key).unwrap();
+        assert_ne!(hash, rebound, "different completion, different hash");
     }
 
     #[test]

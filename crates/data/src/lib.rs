@@ -45,6 +45,7 @@
 pub mod database;
 pub mod domain;
 pub mod error;
+pub mod fingerprint;
 pub mod grounding;
 pub mod incomplete;
 pub mod interner;
@@ -54,6 +55,7 @@ pub mod value;
 pub use database::{Database, GroundFact};
 pub use domain::{Domain, DomainAssignment};
 pub use error::DataError;
+pub use fingerprint::{fingerprint_hash, materialize_completion, CompletionKey, HashRange};
 pub use grounding::Grounding;
 pub use incomplete::{IncompleteDatabase, IncompleteFact, NullDomains};
 pub use interner::ConstantPool;

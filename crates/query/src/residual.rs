@@ -14,10 +14,9 @@
 //! * At construction, every query atom precomputes its **candidate fact
 //!   set** — the facts of its relation (with matching arity) that can still
 //!   be the atom's image — and each fact's status: a fully resolved match is
-//!   [certain](FactStatus::Certain) (it exists in every completion below the
-//!   current bindings), a match that still involves unbound nulls is merely
-//!   [possible](FactStatus::Possible), and everything else is
-//!   [excluded](FactStatus::Excluded).
+//!   *certain* (it exists in every completion below the current bindings),
+//!   a match that still involves unbound nulls is merely *possible*, and
+//!   everything else is *excluded*.
 //! * A reverse **watch index** maps every fact to the atoms watching it.
 //!   Combined with the grounding's per-null fact-occurrence index
 //!   ([`Grounding::occurrences_of`]) and its dirty-null notification channel
@@ -29,8 +28,10 @@
 //!   spot, and a single-atom query is **satisfied** the moment a certain
 //!   candidate appears. Multi-atom queries still need a join search, but it
 //!   runs over the maintained candidate lists (usually far smaller than the
-//!   relations) and is memoized: it re-runs only when a watched fact
-//!   actually changed since the last call.
+//!   relations), decomposes over the query's **variable-connected
+//!   components**, and is memoized per component under its own revision
+//!   guard: a bind that touches only one component re-runs that component's
+//!   search, while every other component serves its memoized result.
 //!
 //! Soundness: every status is recomputed from the grounding's current state
 //! through the exact same per-fact matching rule the from-scratch searches
@@ -251,20 +252,51 @@ impl AtomWatch {
 #[derive(Debug, Clone)]
 pub struct BcqResidual {
     atoms: Vec<AtomWatch>,
-    /// Atom indices grouped into variable-connected components: a
-    /// homomorphism decomposes over atoms that share no variables, so each
-    /// component is searched independently — and a single-atom component is
-    /// decided by its counters alone, with no search at all.
-    components: Vec<Vec<usize>>,
+    /// Variable-connected components of the query: a homomorphism
+    /// decomposes over atoms that share no variables, so each component is
+    /// searched independently — a single-atom component is decided by its
+    /// counters alone, with no search at all, and each multi-atom
+    /// component's join results are memoized under **its own** revision
+    /// guard, so a bind touching one component never re-runs the others'
+    /// searches.
+    components: Vec<Component>,
+    /// Atom index → index of its component in `components`.
+    component_of: Vec<usize>,
     /// Reverse watch index: global fact index → the `(atom, slot)` pairs
     /// whose candidate sets contain that fact.
     watchers: Vec<Vec<(u32, u32)>>,
-    /// Bumped whenever a watched fact is touched; guards the join-search
-    /// memo below.
+    /// Multi-atom join searches actually executed (diagnostic; see
+    /// [`BcqResidual::join_search_count`]).
+    join_searches: u64,
+}
+
+/// One variable-connected component with its localized revision guard and
+/// per-mode join-search memo.
+#[derive(Debug, Clone)]
+struct Component {
+    /// The member atom indices, sorted.
+    members: Vec<usize>,
+    /// Bumped whenever a fact watched by a member atom is touched.
     revision: u64,
-    /// The outcome computed at `revision`, reused while nothing the query
-    /// watches has changed.
-    memo: Option<(u64, PartialOutcome)>,
+    /// The revision `ground` / `optimistic` below were computed at; a
+    /// mismatch with `revision` lazily invalidates both.
+    memo_at: u64,
+    /// Memoized "has a ground-only match" result, if computed at `memo_at`.
+    ground: Option<bool>,
+    /// Memoized "has an optimistic match" result, if computed at `memo_at`.
+    optimistic: Option<bool>,
+}
+
+impl Component {
+    /// Drops stale memo values if the component changed since they were
+    /// computed.
+    fn sync(&mut self) {
+        if self.memo_at != self.revision {
+            self.memo_at = self.revision;
+            self.ground = None;
+            self.optimistic = None;
+        }
+    }
 }
 
 /// Groups atom indices into connected components of the "shares a variable"
@@ -330,12 +362,28 @@ impl BcqResidual {
             }
             atoms.push(watch);
         }
+        let components: Vec<Component> = variable_components(q)
+            .into_iter()
+            .map(|members| Component {
+                members,
+                revision: 1,
+                memo_at: 0,
+                ground: None,
+                optimistic: None,
+            })
+            .collect();
+        let mut component_of = vec![0; q.atoms().len()];
+        for (ci, component) in components.iter().enumerate() {
+            for &a in &component.members {
+                component_of[a] = ci;
+            }
+        }
         let mut state = BcqResidual {
             atoms,
-            components: variable_components(q),
+            components,
+            component_of,
             watchers,
-            revision: 0,
-            memo: None,
+            join_searches: 0,
         };
         for a in 0..state.atoms.len() {
             for slot in 0..state.atoms[a].facts.len() {
@@ -345,83 +393,119 @@ impl BcqResidual {
         state
     }
 
-    /// The join search of `holds_partial` for one variable-connected
-    /// component, restricted to the maintained candidate lists. Facts
-    /// excluded with an empty partial cannot match under any extension
-    /// (matching is monotone), so the restriction is exact. Single-atom
-    /// components skip the search entirely: their counters decide.
-    fn component_matches(&self, g: &Grounding, component: &[usize], mode: PartialMatch) -> bool {
-        if let [only] = component {
-            let watch = &self.atoms[*only];
-            return match mode {
-                PartialMatch::GroundOnly => watch.certain > 0,
-                PartialMatch::Optimistic => watch.viable > 0,
-            };
-        }
-        fn go(
-            atoms: &[AtomWatch],
-            component: &[usize],
-            k: usize,
-            g: &Grounding,
-            partial: &Homomorphism,
-            mode: PartialMatch,
-        ) -> bool {
-            let Some(&a) = component.get(k) else {
-                return true;
-            };
-            let watch = &atoms[a];
-            for (slot, &fact) in watch.facts.iter().enumerate() {
-                let eligible = match mode {
-                    PartialMatch::GroundOnly => watch.status[slot] == FactStatus::Certain,
-                    PartialMatch::Optimistic => watch.status[slot] != FactStatus::Excluded,
-                };
-                if !eligible {
-                    continue;
-                }
-                let values = g.fact_values(fact);
-                let ground = g.fact_is_ground(fact);
-                if let Some(ext) =
-                    extend_against_fact(&watch.atom, values, ground, g, partial, mode)
-                {
-                    if go(atoms, component, k + 1, g, &ext, mode) {
-                        return true;
-                    }
-                }
-            }
-            false
-        }
-        go(&self.atoms, component, 0, g, &Homomorphism::new(), mode)
+    /// How many multi-atom join searches this evaluator has actually run —
+    /// the work the per-component memos exist to avoid. Single-atom
+    /// components never search (their counters decide), and a memo hit
+    /// costs no search, so the counter only moves when a component whose
+    /// watched facts changed is re-queried. Exposed for diagnostics and the
+    /// memo-localization tests.
+    pub fn join_search_count(&self) -> u64 {
+        self.join_searches
     }
 
-    /// Whether the whole query matches in the given mode: a homomorphism
-    /// decomposes over variable-disjoint components, so the query matches
-    /// iff every component does.
-    fn matches(&self, g: &Grounding, mode: PartialMatch) -> bool {
-        self.components
-            .iter()
-            .all(|component| self.component_matches(g, component, mode))
+    /// The memoized per-mode join result of one component, recomputing only
+    /// when a watched fact of the component changed since the memo was
+    /// filled.
+    fn component_matches_memo(&mut self, g: &Grounding, ci: usize, mode: PartialMatch) -> bool {
+        self.components[ci].sync();
+        let cached = match mode {
+            PartialMatch::GroundOnly => self.components[ci].ground,
+            PartialMatch::Optimistic => self.components[ci].optimistic,
+        };
+        if let Some(value) = cached {
+            return value;
+        }
+        let value = {
+            let component = &self.components[ci];
+            // Counter preconditions are free and exact for the search they
+            // guard: a ground match needs a `Certain` candidate in every
+            // member atom, any match needs a viable one.
+            let counters_allow = component.members.iter().all(|&a| match mode {
+                PartialMatch::GroundOnly => self.atoms[a].certain > 0,
+                PartialMatch::Optimistic => self.atoms[a].viable > 0,
+            });
+            counters_allow && {
+                if component.members.len() > 1 {
+                    self.join_searches += 1;
+                }
+                component_matches(&self.atoms, g, &component.members, mode)
+            }
+        };
+        match mode {
+            PartialMatch::GroundOnly => self.components[ci].ground = Some(value),
+            PartialMatch::Optimistic => self.components[ci].optimistic = Some(value),
+        }
+        value
     }
+}
+
+/// The join search of `holds_partial` for one variable-connected component,
+/// restricted to the maintained candidate lists. Facts excluded with an
+/// empty partial cannot match under any extension (matching is monotone),
+/// so the restriction is exact. Single-atom components skip the search
+/// entirely: their counters decide.
+fn component_matches(
+    atoms: &[AtomWatch],
+    g: &Grounding,
+    component: &[usize],
+    mode: PartialMatch,
+) -> bool {
+    if let [only] = component {
+        let watch = &atoms[*only];
+        return match mode {
+            PartialMatch::GroundOnly => watch.certain > 0,
+            PartialMatch::Optimistic => watch.viable > 0,
+        };
+    }
+    fn go(
+        atoms: &[AtomWatch],
+        component: &[usize],
+        k: usize,
+        g: &Grounding,
+        partial: &Homomorphism,
+        mode: PartialMatch,
+    ) -> bool {
+        let Some(&a) = component.get(k) else {
+            return true;
+        };
+        let watch = &atoms[a];
+        for (slot, &fact) in watch.facts.iter().enumerate() {
+            let eligible = match mode {
+                PartialMatch::GroundOnly => watch.status[slot] == FactStatus::Certain,
+                PartialMatch::Optimistic => watch.status[slot] != FactStatus::Excluded,
+            };
+            if !eligible {
+                continue;
+            }
+            let values = g.fact_values(fact);
+            let ground = g.fact_is_ground(fact);
+            if let Some(ext) = extend_against_fact(&watch.atom, values, ground, g, partial, mode) {
+                if go(atoms, component, k + 1, g, &ext, mode) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    go(atoms, component, 0, g, &Homomorphism::new(), mode)
 }
 
 impl ResidualState for BcqResidual {
     fn apply(&mut self, g: &Grounding, changed: &[usize]) {
-        let mut touched = false;
         for &null in changed {
             for k in 0..g.occurrences_of(null).len() {
                 let (fact, _pos) = g.occurrences_of(null)[k];
                 for w in 0..self.watchers[fact].len() {
                     let (a, slot) = self.watchers[fact][w];
                     self.atoms[a as usize].refresh(slot as usize, g);
-                    touched = true;
+                    // Any touch can change join consistency even when no
+                    // status moved (a rebind swaps one resolved constant
+                    // for another), so the memo guard is bumped on touches
+                    // — but only for the component that owns the touched
+                    // atom: the other components' join memos stay valid.
+                    self.components[self.component_of[a as usize]].revision += 1;
                 }
             }
-        }
-        // Any touch can change join consistency even when no status moved
-        // (a rebind swaps one resolved constant for another), so the search
-        // memo is keyed on touches, not on status flips.
-        if touched {
-            self.revision += 1;
-            self.memo = None;
         }
     }
 
@@ -431,24 +515,26 @@ impl ResidualState for BcqResidual {
         if self.atoms.iter().any(|a| a.viable == 0) {
             return PartialOutcome::Refuted;
         }
-        if let Some((revision, cached)) = self.memo {
-            if revision == self.revision {
-                return cached;
+        // A homomorphism decomposes over variable-disjoint components, so
+        // the query is Satisfied iff every component has a ground-only
+        // match, Refuted if some component cannot even match
+        // optimistically, and Unknown otherwise. A ground match is in
+        // particular an optimistic match, so a component that passes the
+        // ground test needs no optimistic search.
+        let mut all_ground = true;
+        for ci in 0..self.components.len() {
+            if !self.component_matches_memo(g, ci, PartialMatch::GroundOnly) {
+                all_ground = false;
+                if !self.component_matches_memo(g, ci, PartialMatch::Optimistic) {
+                    return PartialOutcome::Refuted;
+                }
             }
         }
-        // `certain > 0` everywhere is a necessary condition for the ground
-        // search, checked first because the counters are free.
-        let out = if self.atoms.iter().all(|a| a.certain > 0)
-            && self.matches(g, PartialMatch::GroundOnly)
-        {
+        if all_ground {
             PartialOutcome::Satisfied
-        } else if !self.matches(g, PartialMatch::Optimistic) {
-            PartialOutcome::Refuted
         } else {
             PartialOutcome::Unknown
-        };
-        self.memo = Some((self.revision, out));
-        out
+        }
     }
 }
 
@@ -603,6 +689,56 @@ mod tests {
             sync_and_check(&q, &mut g, &mut state, &mut buf),
             PartialOutcome::Refuted
         );
+    }
+
+    #[test]
+    fn memo_is_localized_per_component() {
+        // Two variable-disjoint multi-atom components: C₀ = R(x), S(x) over
+        // ⊥0/⊥1 and C₁ = T(y), U(y) over ⊥2/⊥3. Binds that touch only C₀'s
+        // facts must not re-run C₁'s join search.
+        let mut db = IncompleteDatabase::new_uniform([1u64, 2]);
+        db.add_fact("R", vec![Value::null(0)]).unwrap();
+        db.add_fact("S", vec![Value::null(1)]).unwrap();
+        db.add_fact("T", vec![Value::null(2)]).unwrap();
+        db.add_fact("U", vec![Value::null(3)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let q: Bcq = "R(x), S(x), T(y), U(y)".parse().unwrap();
+        let mut state = BcqResidual::new(&q, &g);
+        let mut buf = Vec::new();
+        g.drain_dirty_into(&mut buf);
+
+        assert_eq!(state.outcome(&g), PartialOutcome::Unknown);
+        let settled = state.join_search_count();
+        // Repeated queries with no change are pure memo hits.
+        assert_eq!(state.outcome(&g), PartialOutcome::Unknown);
+        assert_eq!(state.join_search_count(), settled);
+
+        // Rebinding ⊥0 repeatedly touches only C₀: each round may re-search
+        // C₀ (≤ 2 modes) but must never re-search C₁ — so over 4 rounds the
+        // counter can grow by at most 8. Without per-component guards every
+        // round would also pay C₁'s searches.
+        for value in [1u64, 2, 1, 2] {
+            g.bind(NullId(0), Constant(value)).unwrap();
+            g.drain_dirty_into(&mut buf);
+            state.apply(&g, &buf);
+            assert_eq!(state.outcome(&g), q.holds_partial(&g));
+        }
+        let c0_rounds = state.join_search_count() - settled;
+        assert!(
+            c0_rounds <= 8,
+            "binds confined to one component re-ran the other's search \
+             ({c0_rounds} searches for 4 single-component rounds)"
+        );
+
+        // Deciding the whole query still works across components.
+        g.bind(NullId(1), Constant(1)).unwrap();
+        g.bind(NullId(0), Constant(1)).unwrap();
+        g.bind(NullId(2), Constant(2)).unwrap();
+        g.bind(NullId(3), Constant(2)).unwrap();
+        g.drain_dirty_into(&mut buf);
+        state.apply(&g, &buf);
+        assert_eq!(state.outcome(&g), PartialOutcome::Satisfied);
+        assert_eq!(state.outcome(&g), q.holds_partial(&g));
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Serializable paging cursors over the canonical completion order.
+//!
+//! The canonical order on completions is the lexicographic order of their
+//! canonical fingerprints ([`CompletionKey`]): total, deterministic, and
+//! independent of how the search tree happens to be walked. A [`Cursor`]
+//! names a position in that order — "everything up to and including this
+//! fingerprint has been served" — which is exactly keyset pagination: a
+//! server can hand the encoded cursor to a client, forget the request, and
+//! later resume the enumeration from a *fresh* walk with no retained state
+//! beyond the cursor itself.
+//!
+//! The encoding is a plain ASCII string (relation indices and constant
+//! identifiers in decimal), versioned with an `incdbs1:` prefix so future
+//! formats can coexist, and strictly validated on decode. It depends on the
+//! fingerprint's relation *indices*, which follow the lexicographic
+//! relation order of the table — a cursor is only meaningful against the
+//! same database schema it was produced from.
+
+use std::fmt;
+use std::str::FromStr;
+
+use incdb_data::{CompletionKey, Constant};
+
+/// The version prefix of the cursor wire format.
+const PREFIX: &str = "incdbs1";
+
+/// A resumable position in the canonical (fingerprint-lexicographic)
+/// completion order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cursor {
+    /// The fingerprint of the last completion handed out; `None` means the
+    /// enumeration has not yielded anything yet.
+    after: Option<CompletionKey>,
+}
+
+impl Cursor {
+    /// The cursor before the first completion.
+    pub fn start() -> Cursor {
+        Cursor { after: None }
+    }
+
+    /// A cursor positioned immediately after the completion with the given
+    /// fingerprint.
+    pub fn after(key: CompletionKey) -> Cursor {
+        Cursor { after: Some(key) }
+    }
+
+    /// Returns `true` if no completion was yielded yet.
+    pub fn is_start(&self) -> bool {
+        self.after.is_none()
+    }
+
+    /// The fingerprint of the last yielded completion, if any.
+    pub fn last_key(&self) -> Option<&CompletionKey> {
+        self.after.as_ref()
+    }
+
+    /// Encodes the cursor as a plain ASCII string (see the module docs).
+    /// The inverse of [`Cursor::decode`].
+    pub fn encode(&self) -> String {
+        match &self.after {
+            None => format!("{PREFIX}:start"),
+            Some(key) => {
+                let body: Vec<String> = key
+                    .iter()
+                    .map(|(rel, tuple)| {
+                        let values: Vec<String> = tuple.iter().map(|c| c.0.to_string()).collect();
+                        format!("{rel}:{}", values.join(","))
+                    })
+                    .collect();
+                format!("{PREFIX}:after:{}", body.join(";"))
+            }
+        }
+    }
+
+    /// Decodes a cursor previously produced by [`Cursor::encode`],
+    /// rejecting anything malformed.
+    pub fn decode(s: &str) -> Result<Cursor, CursorDecodeError> {
+        let Some(rest) = s.strip_prefix(PREFIX) else {
+            return Err(CursorDecodeError::BadPrefix);
+        };
+        if rest == ":start" {
+            return Ok(Cursor::start());
+        }
+        let Some(body) = rest.strip_prefix(":after:") else {
+            return Err(CursorDecodeError::BadShape);
+        };
+        if body.is_empty() {
+            // The empty fingerprint: a completion with no facts.
+            return Ok(Cursor::after(CompletionKey::new()));
+        }
+        let mut key = CompletionKey::new();
+        for fact in body.split(';') {
+            let Some((rel, values)) = fact.split_once(':') else {
+                return Err(CursorDecodeError::BadFact {
+                    fact: fact.to_string(),
+                });
+            };
+            let rel: usize = rel.parse().map_err(|_| CursorDecodeError::BadFact {
+                fact: fact.to_string(),
+            })?;
+            let mut tuple = Vec::new();
+            if !values.is_empty() {
+                for value in values.split(',') {
+                    let id: u64 = value.parse().map_err(|_| CursorDecodeError::BadFact {
+                        fact: fact.to_string(),
+                    })?;
+                    tuple.push(Constant(id));
+                }
+            }
+            key.push((rel, tuple));
+        }
+        // A fingerprint is canonical: sorted and duplicate-free. Reject
+        // cursors that could never have been produced by `encode`.
+        if key.windows(2).any(|pair| pair[0] >= pair[1]) {
+            return Err(CursorDecodeError::NotCanonical);
+        }
+        Ok(Cursor::after(key))
+    }
+}
+
+impl fmt::Display for Cursor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+impl FromStr for Cursor {
+    type Err = CursorDecodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Cursor::decode(s)
+    }
+}
+
+/// Why a cursor string failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CursorDecodeError {
+    /// The string does not start with the `incdbs1` format prefix.
+    BadPrefix,
+    /// The string is neither a `start` nor an `after` cursor.
+    BadShape,
+    /// One fact of the fingerprint body failed to parse.
+    BadFact {
+        /// The offending fact fragment.
+        fact: String,
+    },
+    /// The fact list is not sorted and duplicate-free, so it is not a
+    /// canonical fingerprint.
+    NotCanonical,
+}
+
+impl fmt::Display for CursorDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CursorDecodeError::BadPrefix => {
+                write!(f, "cursor does not start with the '{PREFIX}' prefix")
+            }
+            CursorDecodeError::BadShape => {
+                write!(
+                    f,
+                    "cursor is neither '{PREFIX}:start' nor '{PREFIX}:after:…'"
+                )
+            }
+            CursorDecodeError::BadFact { fact } => {
+                write!(f, "unparseable cursor fact {fact:?}")
+            }
+            CursorDecodeError::NotCanonical => {
+                write!(f, "cursor fact list is not sorted and deduplicated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CursorDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(facts: &[(usize, &[u64])]) -> CompletionKey {
+        facts
+            .iter()
+            .map(|(rel, tuple)| (*rel, tuple.iter().map(|&c| Constant(c)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips() {
+        for cursor in [
+            Cursor::start(),
+            Cursor::after(CompletionKey::new()),
+            Cursor::after(key(&[(0, &[7])])),
+            Cursor::after(key(&[(0, &[1, 2]), (1, &[]), (3, &[u64::MAX])])),
+        ] {
+            let encoded = cursor.encode();
+            assert_eq!(Cursor::decode(&encoded).unwrap(), cursor, "{encoded}");
+            assert_eq!(encoded.parse::<Cursor>().unwrap(), cursor);
+            assert_eq!(cursor.to_string(), encoded);
+        }
+        assert!(Cursor::start().is_start());
+        assert!(!Cursor::after(key(&[(0, &[7])])).is_start());
+    }
+
+    #[test]
+    fn rejects_malformed_cursors() {
+        assert_eq!(
+            Cursor::decode("nonsense"),
+            Err(CursorDecodeError::BadPrefix)
+        );
+        assert_eq!(
+            Cursor::decode("incdbs1:resume"),
+            Err(CursorDecodeError::BadShape)
+        );
+        assert!(matches!(
+            Cursor::decode("incdbs1:after:0"),
+            Err(CursorDecodeError::BadFact { .. })
+        ));
+        assert!(matches!(
+            Cursor::decode("incdbs1:after:x:1"),
+            Err(CursorDecodeError::BadFact { .. })
+        ));
+        assert!(matches!(
+            Cursor::decode("incdbs1:after:0:1,oops"),
+            Err(CursorDecodeError::BadFact { .. })
+        ));
+        // Unsorted and duplicated fact lists are not canonical fingerprints.
+        assert_eq!(
+            Cursor::decode("incdbs1:after:1:1;0:2"),
+            Err(CursorDecodeError::NotCanonical)
+        );
+        assert_eq!(
+            Cursor::decode("incdbs1:after:0:1;0:1"),
+            Err(CursorDecodeError::NotCanonical)
+        );
+    }
+}

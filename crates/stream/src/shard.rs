@@ -1,0 +1,311 @@
+//! Hash-range-sharded distinct-completion counting with bounded resident
+//! memory.
+//!
+//! The engine's in-memory distinct counter
+//! ([`CountingEngine::count_completions`](incdb_core::engine::CountingEngine::count_completions))
+//! holds **every** canonical fingerprint at once, so its 93× search
+//! speedups hit a memory wall long before a CPU wall. This module trades passes for memory: the fingerprint
+//! hash space is partitioned into [`HashRange`] shards, and each shard
+//! **re-walks the backtracking search**, keeping only the fingerprints whose
+//! hash falls in its range. Ranges tile the space, so the per-shard sets are
+//! disjoint and their sizes simply add up (merged through
+//! [`NatAccumulator`]); resident memory is bounded by the largest shard
+//! instead of the whole fingerprint set.
+//!
+//! Two entry points expose the trade-off:
+//!
+//! * [`count_completions_sharded`] — a fixed partition into `K` ranges:
+//!   exactly `K` passes, expected resident set `≈ total/K`.
+//! * [`count_completions_budgeted`] — an explicit **memory budget** (maximum
+//!   resident fingerprints per shard walk): the driver starts with the full
+//!   range (one pass, no overhead when the instance fits) and, whenever a
+//!   shard's set would exceed the budget, **aborts that walk, splits the
+//!   range in half and requeues both halves** — adaptively refining exactly
+//!   the hash regions that are too dense, like a region quadtree over the
+//!   hash line.
+//!
+//! Shards are scheduled on the engine's work-stealing [`TaskQueue`]: workers
+//! pop ranges, and overflow splits are donated back to the queue, so idle
+//! workers immediately pick up the refined halves of a dense region.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use incdb_bignum::{BigNat, NatAccumulator};
+use incdb_core::engine::{BacktrackingEngine, CompletionVisitor, TaskQueue};
+use incdb_data::{CompletionKey, DataError, Grounding, HashRange, IncompleteDatabase};
+use incdb_query::BooleanQuery;
+
+/// The result of a sharded distinct-completion count, with the memory and
+/// pass accounting that the memory-vs-passes trade-off is judged by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedCount {
+    /// The number of distinct completions satisfying the query — always
+    /// equal to what the unsharded engine would return.
+    pub count: BigNat,
+    /// The high-water mark of resident fingerprints in any single shard
+    /// walk. Under [`count_completions_budgeted`] this never exceeds the
+    /// budget (each worker holds at most one shard set at a time, so with
+    /// `threads` workers the process-wide bound is `budget × threads`).
+    pub peak_resident_fingerprints: usize,
+    /// Search-tree walks performed, including walks aborted by an overflow.
+    /// The pass count is the price paid for the memory bound.
+    pub passes: usize,
+    /// Hash ranges whose fingerprints were actually counted (aborted walks
+    /// excluded). Under a budget this is the adaptively refined partition
+    /// size; `1` means the instance fit in a single unsharded walk.
+    pub counted_shards: usize,
+}
+
+/// Collects the in-range fingerprints of one shard walk, aborting the walk
+/// when admitting one more fingerprint would exceed the budget.
+struct RangeSink {
+    range: HashRange,
+    /// Maximum fingerprints this sink may hold; `None` is unbounded.
+    budget: Option<usize>,
+    set: HashSet<CompletionKey>,
+    scratch: CompletionKey,
+    overflowed: bool,
+}
+
+impl RangeSink {
+    fn new(range: HashRange, budget: Option<usize>) -> RangeSink {
+        RangeSink {
+            range,
+            budget,
+            set: HashSet::new(),
+            scratch: CompletionKey::new(),
+            overflowed: false,
+        }
+    }
+}
+
+impl CompletionVisitor for RangeSink {
+    fn leaf(&mut self, g: &Grounding) -> bool {
+        let hash = g
+            .completion_hash_into(&mut self.scratch)
+            .expect("every null is bound at a leaf");
+        if !self.range.contains(hash) || self.set.contains(&self.scratch) {
+            return true;
+        }
+        if self.budget.is_some_and(|budget| self.set.len() >= budget) {
+            self.overflowed = true;
+            return false;
+        }
+        self.set.insert(self.scratch.clone());
+        true
+    }
+}
+
+/// Counts the distinct completions of `db` satisfying `q` over a fixed
+/// partition of the fingerprint hash space into `shards` ranges, walking
+/// the search tree once per range across up to `threads` workers.
+///
+/// The merged count equals the unsharded engine's for **every** `shards ≥
+/// 1` (ranges tile the space and fingerprints are deduplicated per range),
+/// while the expected resident set per walk shrinks to `≈ total/shards`.
+///
+/// Returns an error if some null of the table has no domain.
+pub fn count_completions_sharded<Q: BooleanQuery + Sync + ?Sized>(
+    db: &IncompleteDatabase,
+    q: &Q,
+    shards: usize,
+    threads: usize,
+) -> Result<ShardedCount, DataError> {
+    run_shards(db, q, HashRange::partition(shards.max(1)), None, threads)
+}
+
+/// Counts the distinct completions of `db` satisfying `q` while keeping
+/// the resident fingerprint set of every shard walk within `budget`
+/// (at least 1), adaptively splitting overflowing hash ranges.
+///
+/// The first walk covers the full range, so instances whose fingerprint
+/// set fits the budget pay **no** sharding overhead (a single pass, exactly
+/// like the unsharded engine). Dense instances converge to the coarsest
+/// partition that respects the budget, at the price of one aborted walk
+/// per split. In the astronomically unlikely event that more than `budget`
+/// distinct completions share one 64-bit hash point (an unsplittable
+/// range), that point is counted in full rather than failing — the only
+/// case where `peak_resident_fingerprints` may exceed the budget.
+///
+/// Returns an error if some null of the table has no domain.
+pub fn count_completions_budgeted<Q: BooleanQuery + Sync + ?Sized>(
+    db: &IncompleteDatabase,
+    q: &Q,
+    budget: usize,
+    threads: usize,
+) -> Result<ShardedCount, DataError> {
+    run_shards(db, q, vec![HashRange::full()], Some(budget.max(1)), threads)
+}
+
+/// The shared shard driver: walks every range of the queue (splitting on
+/// overflow when a budget is set) and merges the disjoint per-shard counts.
+fn run_shards<Q: BooleanQuery + Sync + ?Sized>(
+    db: &IncompleteDatabase,
+    q: &Q,
+    initial: Vec<HashRange>,
+    budget: Option<usize>,
+    threads: usize,
+) -> Result<ShardedCount, DataError> {
+    // Surface missing-domain errors once, up front: worker walks over the
+    // same database cannot fail afterwards, which keeps the queue protocol
+    // (every popped task is finished) trivially correct.
+    db.try_grounding()?;
+    let engine = BacktrackingEngine::sequential();
+    let queue = TaskQueue::new(initial);
+    let passes = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let counted = AtomicUsize::new(0);
+    let threads = threads.max(1);
+
+    let worker = || {
+        let mut acc = NatAccumulator::new();
+        while let Some(range) = queue.next_task() {
+            passes.fetch_add(1, Ordering::Relaxed);
+            let mut sink = RangeSink::new(range, budget);
+            let completed = engine
+                .visit_completions(db, q, &mut sink)
+                .expect("domains validated before the walk");
+            peak.fetch_max(sink.set.len(), Ordering::Relaxed);
+            if completed {
+                debug_assert!(!sink.overflowed);
+                acc.add_u64(sink.set.len() as u64);
+                counted.fetch_add(1, Ordering::Relaxed);
+            } else {
+                match range.split() {
+                    // Overflow: refine this range. The halves tile exactly
+                    // the aborted range, so nothing is lost or re-counted.
+                    Some((lo, hi)) => queue.donate([lo, hi]),
+                    // A single hash point denser than the budget: count it
+                    // in full rather than looping forever (see the docs of
+                    // `count_completions_budgeted`).
+                    None => {
+                        passes.fetch_add(1, Ordering::Relaxed);
+                        let mut unbounded = RangeSink::new(range, None);
+                        engine
+                            .visit_completions(db, q, &mut unbounded)
+                            .expect("domains validated before the walk");
+                        peak.fetch_max(unbounded.set.len(), Ordering::Relaxed);
+                        acc.add_u64(unbounded.set.len() as u64);
+                        counted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            queue.finish_task();
+        }
+        acc
+    };
+
+    let totals: Vec<NatAccumulator> = if threads == 1 {
+        vec![worker()]
+    } else {
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    };
+
+    Ok(ShardedCount {
+        count: totals.into_iter().map(NatAccumulator::into_total).sum(),
+        peak_resident_fingerprints: peak.load(Ordering::Relaxed),
+        passes: passes.load(Ordering::Relaxed),
+        counted_shards: counted.load(Ordering::Relaxed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_core::engine::CountingEngine;
+    use incdb_data::{NullId, Value};
+    use incdb_query::Bcq;
+
+    /// The database of Example 2.2 / Figure 1 (3 distinct completions of
+    /// `S(x,x)`, 5 in total).
+    fn example_2_2() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("S", vec![Value::constant(0), Value::constant(1)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(1), Value::constant(0)])
+            .unwrap();
+        db.add_fact("S", vec![Value::constant(0), Value::null(2)])
+            .unwrap();
+        db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(2), [0u64, 1]).unwrap();
+        db
+    }
+
+    #[test]
+    fn fixed_partitions_agree_with_the_engine() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let expected = BacktrackingEngine::sequential()
+            .count_completions(&db, &q)
+            .unwrap();
+        for shards in [1usize, 2, 3, 8] {
+            for threads in [1usize, 3] {
+                let sharded = count_completions_sharded(&db, &q, shards, threads).unwrap();
+                assert_eq!(
+                    sharded.count, expected,
+                    "{shards} shards, {threads} threads"
+                );
+                assert_eq!(sharded.passes, shards);
+                assert_eq!(sharded.counted_shards, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_bounds_the_resident_set() {
+        // All 5 completions of Example 2.2 (Tautology query): a budget of 2
+        // must split until every counted shard holds ≤ 2 fingerprints.
+        let db = example_2_2();
+        let q = incdb_core::engine::Tautology;
+        let expected = BacktrackingEngine::sequential()
+            .count_all_completions(&db)
+            .unwrap();
+        let result = count_completions_budgeted(&db, &q, 2, 1).unwrap();
+        assert_eq!(result.count, expected);
+        assert!(
+            result.peak_resident_fingerprints <= 2,
+            "peak {} exceeds budget 2",
+            result.peak_resident_fingerprints
+        );
+        assert!(result.counted_shards > 1, "a 5-fingerprint set must shard");
+        assert!(result.passes > result.counted_shards, "splits cost passes");
+
+        // A roomy budget counts in a single unsharded pass.
+        let roomy = count_completions_budgeted(&db, &q, 64, 1).unwrap();
+        assert_eq!(roomy.count, expected);
+        assert_eq!((roomy.passes, roomy.counted_shards), (1, 1));
+    }
+
+    #[test]
+    fn missing_domain_is_an_error_not_a_hang() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![Value::null(0)]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        assert!(count_completions_sharded(&db, &q, 4, 2).is_err());
+        assert!(count_completions_budgeted(&db, &q, 8, 2).is_err());
+    }
+
+    #[test]
+    fn empty_and_ground_instances() {
+        // No nulls: one completion, whatever the sharding.
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![Value::constant(5)]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        let sharded = count_completions_sharded(&db, &q, 4, 2).unwrap();
+        assert_eq!(sharded.count, BigNat::one());
+        // An empty domain admits no completion at all.
+        let mut empty = IncompleteDatabase::new_uniform(Vec::<u64>::new());
+        empty.add_fact("R", vec![Value::null(0)]).unwrap();
+        let none = count_completions_budgeted(&empty, &q, 4, 2).unwrap();
+        assert_eq!(none.count, BigNat::zero());
+        assert_eq!(none.peak_resident_fingerprints, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The memory-budgeted completion-counting solver: the routing knob that
+//! puts the streaming subsystem behind the same façade as the closed
+//! forms.
+//!
+//! `incdb_core::solver` routes a `#Comp` request to the Theorem 4.6 closed
+//! form when one applies and to the in-memory backtracking engine
+//! otherwise. This module adds the third leg: when the caller declares a
+//! **fingerprint memory budget** and no closed form applies, the request
+//! goes to the adaptive hash-range-sharded counter
+//! ([`count_completions_budgeted`]) instead of the unbounded engine — same
+//! exact count, resident fingerprints bounded by the budget, extra passes
+//! as the price. The closed-form decision is shared with core
+//! ([`completion_closed_form`]) so the routing never discovers *after* an
+//! exponential walk that a polynomial algorithm existed.
+
+use incdb_core::engine::{BacktrackingEngine, CountingEngine, Tautology};
+use incdb_core::solver::{completion_closed_form, CountOutcome, Method, SolveError};
+use incdb_data::IncompleteDatabase;
+use incdb_query::{Bcq, BooleanQuery};
+
+use crate::shard::count_completions_budgeted;
+
+/// How a streaming count request may spend memory and threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOptions {
+    /// Maximum resident fingerprints per shard walk. `None` runs the
+    /// ordinary in-memory engine — the knob is off.
+    pub fingerprint_budget: Option<usize>,
+    /// Worker threads, honoured on both routes: the shard scheduler under
+    /// a budget (each worker holds at most one shard set at a time, so the
+    /// process-wide bound is `budget × threads`), the engine's
+    /// work-stealing search without one. At least 1.
+    pub threads: usize,
+}
+
+impl Default for StreamOptions {
+    /// No budget (in-memory engine) on a single deterministic worker.
+    fn default() -> Self {
+        StreamOptions {
+            fingerprint_budget: None,
+            threads: 1,
+        }
+    }
+}
+
+impl StreamOptions {
+    /// Options with the given fingerprint budget on one worker.
+    pub fn with_budget(budget: usize) -> Self {
+        StreamOptions {
+            fingerprint_budget: Some(budget),
+            threads: 1,
+        }
+    }
+
+    /// Builder-style thread override.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// The search leg shared by both entry points: budgeted sharding when the
+/// knob is set, the in-memory engine otherwise.
+fn search<Q: BooleanQuery + Sync + ?Sized>(
+    db: &IncompleteDatabase,
+    q: &Q,
+    opts: &StreamOptions,
+) -> Result<CountOutcome, SolveError> {
+    match opts.fingerprint_budget {
+        Some(budget) => {
+            let sharded = count_completions_budgeted(db, q, budget, opts.threads)?;
+            Ok(CountOutcome {
+                value: sharded.count,
+                // Report sharding only when the budget actually forced it;
+                // an instance that fit in one pass ran exactly like the
+                // engine.
+                method: if sharded.counted_shards > 1 {
+                    Method::HashShardedSearch
+                } else {
+                    Method::BacktrackingSearch
+                },
+            })
+        }
+        None => Ok(CountOutcome {
+            value: BacktrackingEngine::with_threads(opts.threads).count_completions(db, q)?,
+            method: Method::BacktrackingSearch,
+        }),
+    }
+}
+
+/// Computes `#Comp(q)(db)` under the streaming options: Theorem 4.6 closed
+/// form when it applies, otherwise exhaustive search with resident
+/// fingerprints bounded by the configured budget. The count always equals
+/// `incdb_core::solver::count_completions`; only the memory profile (and
+/// the reported [`Method`]) changes.
+pub fn count_completions(
+    db: &IncompleteDatabase,
+    q: &Bcq,
+    opts: &StreamOptions,
+) -> Result<CountOutcome, SolveError> {
+    db.validate()?;
+    if let Some(outcome) = completion_closed_form(db, Some(q))? {
+        return Ok(outcome);
+    }
+    search(db, q, opts)
+}
+
+/// Computes the number of *all* distinct completions of `db` under the
+/// streaming options (no query filter).
+pub fn count_all_completions(
+    db: &IncompleteDatabase,
+    opts: &StreamOptions,
+) -> Result<CountOutcome, SolveError> {
+    db.validate()?;
+    if let Some(outcome) = completion_closed_form(db, None)? {
+        return Ok(outcome);
+    }
+    search(db, &Tautology, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_data::{NullId, Value};
+
+    fn example_2_2() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("S", vec![Value::constant(0), Value::constant(1)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(1), Value::constant(0)])
+            .unwrap();
+        db.add_fact("S", vec![Value::constant(0), Value::null(2)])
+            .unwrap();
+        db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(2), [0u64, 1]).unwrap();
+        db
+    }
+
+    #[test]
+    fn budget_routes_to_sharding_only_when_it_binds() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let reference = incdb_core::solver::count_completions(&db, &q).unwrap();
+
+        let unbudgeted = count_completions(&db, &q, &StreamOptions::default()).unwrap();
+        assert_eq!(unbudgeted.value, reference.value);
+        assert_eq!(unbudgeted.method, Method::BacktrackingSearch);
+
+        // 3 distinct completions against a budget of 1: sharding binds.
+        let tight = count_completions(&db, &q, &StreamOptions::with_budget(1).threads(2)).unwrap();
+        assert_eq!(tight.value, reference.value);
+        assert_eq!(tight.method, Method::HashShardedSearch);
+
+        // A roomy budget runs like the engine and says so.
+        let roomy = count_completions(&db, &q, &StreamOptions::with_budget(100)).unwrap();
+        assert_eq!(roomy.value, reference.value);
+        assert_eq!(roomy.method, Method::BacktrackingSearch);
+    }
+
+    #[test]
+    fn closed_forms_keep_priority_over_the_budget() {
+        // Uniform unary instance: Theorem 4.6 applies and needs no memory
+        // bound, whatever the options say.
+        let mut db = IncompleteDatabase::new_uniform(0u64..3);
+        for i in 0..4 {
+            db.add_fact("R", vec![Value::null(i)]).unwrap();
+            db.add_fact("S", vec![Value::null(4 + i)]).unwrap();
+        }
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        for opts in [StreamOptions::default(), StreamOptions::with_budget(1)] {
+            let outcome = count_completions(&db, &q, &opts).unwrap();
+            assert_eq!(outcome.method, Method::UniformUnaryCompletions);
+            let all = count_all_completions(&db, &opts).unwrap();
+            assert_eq!(all.method, Method::UniformUnaryCompletions);
+        }
+    }
+
+    #[test]
+    fn all_completions_honours_the_budget() {
+        let db = example_2_2();
+        let reference = incdb_core::solver::count_all_completions(&db).unwrap();
+        let bounded = count_all_completions(&db, &StreamOptions::with_budget(2)).unwrap();
+        assert_eq!(bounded.value, reference.value);
+        assert_eq!(bounded.method, Method::HashShardedSearch);
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![Value::null(0)]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        assert!(count_completions(&db, &q, &StreamOptions::with_budget(4)).is_err());
+        assert!(count_all_completions(&db, &StreamOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Resumable canonical-order completion enumeration — the paging primitive
+//! a request-serving layer needs.
+//!
+//! A [`CompletionStream`] yields the distinct completions of an incomplete
+//! database that satisfy a query, **in canonical order** (lexicographic on
+//! canonical fingerprints — total, deterministic, identical across runs),
+//! each materialised as a [`Database`] exactly once. Instead of holding the
+//! full completion set, the stream works page by page: one backtracking
+//! walk per page collects the `page_size` smallest fingerprints beyond the
+//! current [`Cursor`] in a bounded selection buffer, so resident memory is
+//! `O(page_size)` fingerprints **regardless of how many completions
+//! exist** — the memory-vs-passes trade-off knob of the streaming
+//! subsystem (a full drain costs `⌈N / page_size⌉` walks).
+//!
+//! Because a page is determined by `(database, query, cursor, page size)`
+//! alone, the enumeration is **resumable**: [`CompletionStream::cursor`]
+//! after any yield serializes the position ([`Cursor::encode`]), and
+//! [`CompletionStream::resume`] continues the exact sequence from a fresh
+//! process with no other retained state — precisely keyset pagination over
+//! an exponential virtual result set.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use incdb_core::engine::{BacktrackingEngine, CompletionVisitor, Tautology};
+use incdb_data::{
+    materialize_completion, CompletionKey, DataError, Database, Grounding, IncompleteDatabase,
+};
+use incdb_query::BooleanQuery;
+
+use crate::cursor::Cursor;
+
+/// The bounded selection buffer of one page walk: keeps the `cap` smallest
+/// distinct fingerprints strictly greater than `after`.
+struct PageSink<'c> {
+    after: Option<&'c CompletionKey>,
+    cap: usize,
+    page: BTreeSet<CompletionKey>,
+    scratch: CompletionKey,
+}
+
+impl CompletionVisitor for PageSink<'_> {
+    fn leaf(&mut self, g: &Grounding) -> bool {
+        g.completion_fingerprint_into(&mut self.scratch)
+            .expect("every null is bound at a leaf");
+        if let Some(after) = self.after {
+            if self.scratch <= *after {
+                return true;
+            }
+        }
+        if self.page.contains(&self.scratch) {
+            return true;
+        }
+        if self.page.len() == self.cap {
+            // Full page: the candidate only enters by displacing the
+            // current maximum.
+            let max = self.page.last().expect("cap is at least 1");
+            if self.scratch >= *max {
+                return true;
+            }
+            self.page.pop_last();
+        }
+        self.page.insert(self.scratch.clone());
+        true
+    }
+}
+
+/// A resumable iterator over the distinct satisfying completions of one
+/// incomplete database, in canonical (fingerprint-lexicographic) order.
+///
+/// ```
+/// use incdb_core::engine::Tautology;
+/// use incdb_data::{IncompleteDatabase, Value};
+/// use incdb_stream::CompletionStream;
+///
+/// let mut db = IncompleteDatabase::new_uniform([1u64, 2]);
+/// db.add_fact("R", vec![Value::null(0)]).unwrap();
+/// db.add_fact("R", vec![Value::null(1)]).unwrap();
+///
+/// // 4 valuations collapse to 3 distinct completions: {1}, {2}, {1,2}.
+/// let mut stream = CompletionStream::new(&db, &Tautology, 2).unwrap();
+/// let first_two: Vec<_> = stream.by_ref().take(2).collect();
+/// assert_eq!(first_two.len(), 2);
+///
+/// // Pause: the cursor serializes; resume elsewhere with no other state.
+/// let ticket = stream.cursor().encode();
+/// let resumed = CompletionStream::resume(
+///     &db, &Tautology, 2, ticket.parse().unwrap()).unwrap();
+/// assert_eq!(resumed.count(), 1); // exactly the one remaining completion
+/// ```
+pub struct CompletionStream<'a, Q: BooleanQuery + ?Sized> {
+    db: &'a IncompleteDatabase,
+    q: &'a Q,
+    engine: BacktrackingEngine,
+    page_size: usize,
+    rel_names: Vec<String>,
+    /// Position after the last *yielded* completion.
+    cursor: Cursor,
+    /// Pre-fetched keys, all strictly greater than `cursor`; only refilled
+    /// when empty, so `cursor` plus the buffer describe the full state.
+    buffer: VecDeque<CompletionKey>,
+    /// Set once a page walk returns fewer keys than requested: nothing
+    /// beyond the buffer remains.
+    exhausted: bool,
+    passes: usize,
+}
+
+impl<'a, Q: BooleanQuery + ?Sized> CompletionStream<'a, Q> {
+    /// Opens a stream over the satisfying completions of `db`, paging
+    /// `page_size` (at least 1) completions per search-tree walk.
+    ///
+    /// Returns an error if some null of the table has no domain.
+    pub fn new(db: &'a IncompleteDatabase, q: &'a Q, page_size: usize) -> Result<Self, DataError> {
+        Self::resume(db, q, page_size, Cursor::start())
+    }
+
+    /// Reopens a stream at a previously saved [`Cursor`]: the iteration
+    /// continues with exactly the completions that had not been yielded
+    /// when the cursor was taken. `db` and `q` must be the ones the cursor
+    /// was produced against — the cursor itself carries no schema.
+    ///
+    /// Returns an error if some null of the table has no domain.
+    pub fn resume(
+        db: &'a IncompleteDatabase,
+        q: &'a Q,
+        page_size: usize,
+        cursor: Cursor,
+    ) -> Result<Self, DataError> {
+        let rel_names = db
+            .try_grounding()?
+            .relation_names()
+            .map(String::from)
+            .collect();
+        Ok(CompletionStream {
+            db,
+            q,
+            engine: BacktrackingEngine::sequential(),
+            page_size: page_size.max(1),
+            rel_names,
+            cursor,
+            buffer: VecDeque::new(),
+            exhausted: false,
+            passes: 0,
+        })
+    }
+
+    /// The resume position: immediately after the last yielded completion.
+    /// Serialize it with [`Cursor::encode`] and continue later with
+    /// [`CompletionStream::resume`].
+    pub fn cursor(&self) -> &Cursor {
+        &self.cursor
+    }
+
+    /// How many search-tree walks this stream has performed so far — the
+    /// passes side of the memory-vs-passes trade-off (one per page).
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    /// The configured page size: the stream's resident-memory bound, in
+    /// fingerprints.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Runs one search-tree walk to fetch the next page beyond the cursor.
+    fn refill(&mut self) {
+        debug_assert!(self.buffer.is_empty());
+        let mut sink = PageSink {
+            after: self.cursor.last_key(),
+            cap: self.page_size,
+            page: BTreeSet::new(),
+            scratch: CompletionKey::new(),
+        };
+        self.engine
+            .visit_completions(self.db, self.q, &mut sink)
+            .expect("domains validated when the stream was opened");
+        self.passes += 1;
+        if sink.page.len() < self.page_size {
+            // The page was not filled: everything beyond the cursor is
+            // already in hand.
+            self.exhausted = true;
+        }
+        self.buffer = sink.page.into_iter().collect();
+    }
+}
+
+impl<Q: BooleanQuery + ?Sized> Iterator for CompletionStream<'_, Q> {
+    type Item = Database;
+
+    fn next(&mut self) -> Option<Database> {
+        if self.buffer.is_empty() && !self.exhausted {
+            self.refill();
+        }
+        let key = self.buffer.pop_front()?;
+        let completion = materialize_completion(&self.rel_names, &key);
+        self.cursor = Cursor::after(key);
+        Some(completion)
+    }
+}
+
+/// Opens a [`CompletionStream`] over **all** completions of `db` (no query
+/// filter), paging `page_size` completions per walk.
+///
+/// Returns an error if some null of the table has no domain.
+pub fn all_completions_stream(
+    db: &IncompleteDatabase,
+    page_size: usize,
+) -> Result<CompletionStream<'_, Tautology>, DataError> {
+    static TAUTOLOGY: Tautology = Tautology;
+    CompletionStream::new(db, &TAUTOLOGY, page_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_core::engine::CountingEngine;
+    use incdb_core::enumerate::all_completions;
+    use incdb_data::{NullId, Value};
+    use incdb_query::Bcq;
+
+    fn example_2_2() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("S", vec![Value::constant(0), Value::constant(1)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(1), Value::constant(0)])
+            .unwrap();
+        db.add_fact("S", vec![Value::constant(0), Value::null(2)])
+            .unwrap();
+        db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(2), [0u64, 1]).unwrap();
+        db
+    }
+
+    #[test]
+    fn drains_every_distinct_completion_once() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let drained: Vec<Database> = CompletionStream::new(&db, &q, 2).unwrap().collect();
+        assert_eq!(
+            incdb_bignum::BigNat::from(drained.len()),
+            BacktrackingEngine::sequential()
+                .count_completions(&db, &q)
+                .unwrap()
+        );
+        // No duplicates: every yielded completion is distinct.
+        let mut unique = drained.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), drained.len());
+        // The no-filter stream matches the materialising enumerator.
+        let all: Vec<Database> = all_completions_stream(&db, 2).unwrap().collect();
+        let expected: Vec<Database> = all_completions(&db).unwrap().into_iter().collect();
+        assert_eq!(all.len(), expected.len());
+        for completion in &all {
+            assert!(expected.contains(completion));
+        }
+    }
+
+    #[test]
+    fn page_size_trades_passes_for_memory() {
+        let db = example_2_2();
+        let mut one_by_one = all_completions_stream(&db, 1).unwrap();
+        let n = one_by_one.by_ref().count();
+        assert_eq!(n, 5);
+        // One walk per completion, plus the final empty-page walk.
+        assert_eq!(one_by_one.passes(), n + 1);
+        let mut wide = all_completions_stream(&db, 64).unwrap();
+        assert_eq!(wide.by_ref().count(), 5);
+        assert_eq!(wide.passes(), 1);
+        assert_eq!(wide.page_size(), 64);
+    }
+
+    #[test]
+    fn pause_resume_reproduces_the_sequence() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let full: Vec<Database> = CompletionStream::new(&db, &q, 2).unwrap().collect();
+        for split in 0..=full.len() {
+            let mut head = CompletionStream::new(&db, &q, 2).unwrap();
+            let prefix: Vec<Database> = head.by_ref().take(split).collect();
+            // Round-trip the cursor through its wire format, as a serving
+            // layer would.
+            let ticket = head.cursor().encode();
+            let tail: Vec<Database> =
+                CompletionStream::resume(&db, &q, 3, Cursor::decode(&ticket).unwrap())
+                    .unwrap()
+                    .collect();
+            let mut rejoined = prefix;
+            rejoined.extend(tail);
+            assert_eq!(rejoined, full, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn missing_domain_is_an_error() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![Value::null(0)]).unwrap();
+        let q: Bcq = "R(x)".parse().unwrap();
+        assert!(CompletionStream::new(&db, &q, 4).is_err());
+    }
+
+    #[test]
+    fn unsatisfiable_query_streams_nothing() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x), T(x)".parse().unwrap();
+        let mut stream = CompletionStream::new(&db, &q, 4).unwrap();
+        assert!(stream.next().is_none());
+        assert!(stream.cursor().is_start());
+    }
+}

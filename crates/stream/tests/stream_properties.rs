@@ -1,0 +1,223 @@
+//! Property suite for the streaming completion subsystem, pinning the
+//! three contracts the ISSUE demands plus the acceptance criterion:
+//!
+//! * **Shard-merge exactness** — for random instances, queries and shard
+//!   counts `K` (and random worker counts), the merged sharded count
+//!   equals the unsharded engine's count.
+//! * **Pause/resume fidelity** — cutting a [`CompletionStream`] at any
+//!   point and resuming from its (wire-round-tripped) cursor reproduces
+//!   exactly the canonical sequence, whatever the page sizes.
+//! * **Canonical order totality and stability** — the streamed order is
+//!   strictly increasing in the canonical fingerprint order (hence total
+//!   and duplicate-free) and identical across independent runs.
+//! * **Budgeted counting** — an instance whose full fingerprint set
+//!   exceeds the budget still counts exactly, with peak resident
+//!   fingerprints within the budget.
+
+use incdb_core::engine::{BacktrackingEngine, CountingEngine, Tautology};
+use incdb_data::{IncompleteDatabase, NullId, Value};
+use incdb_query::Bcq;
+use incdb_stream::{
+    count_completions_budgeted, count_completions_sharded, CompletionStream, Cursor,
+};
+use proptest::prelude::*;
+
+const NULL_POOL: u32 = 4;
+
+/// One table position: constants `0..3`, nulls `⊥0..⊥3`.
+fn decode_value(code: usize) -> Value {
+    if code < 3 {
+        Value::constant(code as u64)
+    } else {
+        Value::null((code - 3) as u32)
+    }
+}
+
+/// Builds a non-uniform instance from generated specs, mirroring the
+/// residual property suite: `facts` picks a relation (`R` binary, `S`
+/// unary) with position codes, `domains` gives every null of the pool a
+/// non-empty subset of `{0, 1, 2}` (coded as a 3-bit mask).
+fn build_db(facts: &[(usize, (usize, usize))], domains: &[usize]) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_non_uniform();
+    for (i, mask) in domains.iter().enumerate() {
+        let values: Vec<u64> = (0..3u64).filter(|b| mask & (1 << b) != 0).collect();
+        db.set_domain(NullId(i as u32), values).unwrap();
+    }
+    for &(rel, (a, b)) in facts {
+        match rel {
+            0 => db
+                .add_fact("R", vec![decode_value(a), decode_value(b)])
+                .unwrap(),
+            _ => db.add_fact("S", vec![decode_value(a)]).unwrap(),
+        };
+    }
+    db
+}
+
+/// Query shapes covering satisfied/refuted/undecided structure.
+fn queries() -> Vec<Bcq> {
+    ["R(x,x)", "R(x,y), S(y)", "S(x)", "R(0,x)", "R(x,x), T(x)"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_counts_merge_to_the_unsharded_count(
+        facts in proptest::collection::vec((0usize..2, (0usize..7, 0usize..7)), 1..=5),
+        domains in proptest::collection::vec(1usize..8, NULL_POOL as usize..=NULL_POOL as usize),
+        shards in 1usize..12,
+        threads in 1usize..4,
+    ) {
+        let db = build_db(&facts, &domains);
+        for q in queries() {
+            let expected = BacktrackingEngine::sequential()
+                .count_completions(&db, &q)
+                .unwrap();
+            let sharded = count_completions_sharded(&db, &q, shards, threads).unwrap();
+            prop_assert_eq!(
+                &sharded.count, &expected,
+                "query {} with {} shards / {} threads", q, shards, threads
+            );
+            prop_assert_eq!(sharded.passes, shards);
+        }
+        // The no-filter count shards identically.
+        let expected = BacktrackingEngine::sequential()
+            .count_all_completions(&db)
+            .unwrap();
+        let sharded = count_completions_sharded(&db, &Tautology, shards, threads).unwrap();
+        prop_assert_eq!(&sharded.count, &expected);
+    }
+
+    #[test]
+    fn budgeted_counts_stay_exact_within_budget(
+        facts in proptest::collection::vec((0usize..2, (0usize..7, 0usize..7)), 1..=5),
+        domains in proptest::collection::vec(1usize..8, NULL_POOL as usize..=NULL_POOL as usize),
+        budget in 1usize..6,
+    ) {
+        let db = build_db(&facts, &domains);
+        let expected = BacktrackingEngine::sequential()
+            .count_all_completions(&db)
+            .unwrap();
+        let result = count_completions_budgeted(&db, &Tautology, budget, 1).unwrap();
+        prop_assert_eq!(&result.count, &expected);
+        prop_assert!(
+            result.peak_resident_fingerprints <= budget,
+            "peak {} exceeds budget {}", result.peak_resident_fingerprints, budget
+        );
+    }
+
+    #[test]
+    fn pause_resume_reproduces_the_canonical_sequence(
+        facts in proptest::collection::vec((0usize..2, (0usize..7, 0usize..7)), 1..=5),
+        domains in proptest::collection::vec(1usize..8, NULL_POOL as usize..=NULL_POOL as usize),
+        page in 1usize..5,
+        resume_page in 1usize..5,
+        cut in 0usize..10,
+    ) {
+        let db = build_db(&facts, &domains);
+        for q in queries() {
+            let full: Vec<_> = CompletionStream::new(&db, &q, page).unwrap().collect();
+            let cut = cut.min(full.len());
+            let mut head = CompletionStream::new(&db, &q, page).unwrap();
+            let mut rejoined: Vec<_> = head.by_ref().take(cut).collect();
+            // Round-trip the cursor through its wire encoding, as a
+            // serving layer would between requests.
+            let ticket = head.cursor().encode();
+            let resumed = CompletionStream::resume(
+                &db, &q, resume_page, Cursor::decode(&ticket).unwrap()
+            ).unwrap();
+            rejoined.extend(resumed);
+            prop_assert_eq!(
+                &rejoined, &full,
+                "query {} cut at {} (pages {}/{})", q, cut, page, resume_page
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_total_and_stable(
+        facts in proptest::collection::vec((0usize..2, (0usize..7, 0usize..7)), 1..=5),
+        domains in proptest::collection::vec(1usize..8, NULL_POOL as usize..=NULL_POOL as usize),
+        page_a in 1usize..5,
+        page_b in 1usize..7,
+    ) {
+        let db = build_db(&facts, &domains);
+        for q in queries() {
+            let mut stream = CompletionStream::new(&db, &q, page_a).unwrap();
+            let mut keys = Vec::new();
+            while stream.next().is_some() {
+                keys.push(stream.cursor().last_key().unwrap().clone());
+            }
+            // Strictly increasing fingerprints: the order is total, stable
+            // under re-walks, and free of duplicates.
+            prop_assert!(
+                keys.windows(2).all(|pair| pair[0] < pair[1]),
+                "stream order not strictly increasing for {}", q
+            );
+            // The count matches the engine: nothing skipped, nothing added.
+            let expected = BacktrackingEngine::sequential()
+                .count_completions(&db, &q)
+                .unwrap();
+            prop_assert_eq!(incdb_bignum::BigNat::from(keys.len()), expected);
+            // An independent run with a different page size yields the
+            // same sequence.
+            let mut again = CompletionStream::new(&db, &q, page_b).unwrap();
+            let mut replay = Vec::new();
+            while again.next().is_some() {
+                replay.push(again.cursor().last_key().unwrap().clone());
+            }
+            prop_assert_eq!(&keys, &replay, "order unstable for {}", q);
+        }
+    }
+}
+
+/// The ISSUE's acceptance criterion, as a deterministic test: a distinct-
+/// completion instance whose full fingerprint set exceeds the configured
+/// budget completes under sharding with peak resident fingerprints within
+/// the budget and the unsharded engine's exact count. (The matching
+/// `stream_sharded_comp` bench row records the same run's timings in
+/// `BENCH_engine.json`.)
+#[test]
+fn acceptance_budgeted_count_on_an_oversized_instance() {
+    // A uniform Codd table of fresh-null binary facts (the Proposition
+    // 4.5(b) hard shape): 3^6 = 729 valuations whose fact sets collapse to
+    // every non-empty set of ≤ 3 of the 9 possible pairs — 9 + 36 + 84 =
+    // 129 distinct completions, far beyond the budget.
+    let mut db = IncompleteDatabase::new_uniform(0u64..3);
+    for i in 0..3u32 {
+        db.add_fact("R", vec![Value::null(2 * i), Value::null(2 * i + 1)])
+            .unwrap();
+    }
+    let budget = 32;
+    let unsharded = BacktrackingEngine::sequential()
+        .count_all_completions(&db)
+        .unwrap();
+    assert_eq!(unsharded.to_u64(), Some(129), "instance sanity");
+    let total = unsharded.to_u64().unwrap() as usize;
+    assert!(
+        total > budget,
+        "the full fingerprint set must exceed the budget"
+    );
+
+    let result = count_completions_budgeted(&db, &Tautology, budget, 1).unwrap();
+    assert_eq!(result.count, unsharded, "sharded count must stay exact");
+    assert!(
+        result.peak_resident_fingerprints <= budget,
+        "peak resident fingerprints {} exceed the budget {budget}",
+        result.peak_resident_fingerprints
+    );
+    assert!(
+        result.counted_shards >= total / budget,
+        "{} shards cannot each hold ≤ {budget} of {total} fingerprints",
+        result.counted_shards
+    );
+    // Two workers keep the per-walk bound; the sum of counted shards is
+    // scheduling-independent.
+    let parallel = count_completions_budgeted(&db, &Tautology, budget, 2).unwrap();
+    assert_eq!(parallel.count, unsharded);
+    assert!(parallel.peak_resident_fingerprints <= budget);
+}

@@ -21,6 +21,10 @@
 //!   valuations and baseline estimators;
 //! * [`reductions`] (`incdb-reductions`) — the executable hardness
 //!   reductions (#3COL, #IS, #BIS, #VC, #Avoidance, #PF, #k3SAT);
+//! * [`stream`] (`incdb-stream`) — the streaming completion subsystem:
+//!   hash-range-sharded distinct counting under a memory budget and
+//!   resumable canonical-order enumeration with serializable paging
+//!   cursors;
 //! * [`graph`] (`incdb-graph`) and [`bignum`] (`incdb-bignum`) — the
 //!   substrates they rely on.
 //!
@@ -60,6 +64,7 @@ pub use incdb_data as data;
 pub use incdb_graph as graph;
 pub use incdb_query as query;
 pub use incdb_reductions as reductions;
+pub use incdb_stream as stream;
 
 /// The most commonly used items, re-exported for `use incdb::prelude::*`.
 pub mod prelude {
@@ -74,6 +79,9 @@ pub mod prelude {
         Constant, ConstantPool, Database, IncompleteDatabase, NullId, Valuation, Value,
     };
     pub use incdb_query::{Bcq, BooleanQuery, KnownPattern, NegatedBcq, Ucq};
+    pub use incdb_stream::{
+        all_completions_stream, count_completions_budgeted, CompletionStream, Cursor, StreamOptions,
+    };
 }
 
 #[cfg(test)]

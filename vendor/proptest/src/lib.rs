@@ -335,7 +335,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length range for [`vec`], convertible from the usual range types.
+    /// A length range for [`vec`](fn@vec), convertible from the usual range types.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -380,7 +380,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec`](fn@vec).
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
