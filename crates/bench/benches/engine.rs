@@ -31,18 +31,22 @@
 //! `cargo bench --bench engine -- --test` (or set `ENGINE_BENCH_FAST=1`)
 //! for the fast smoke mode CI uses.
 
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use criterion::{BenchmarkId, Criterion};
 use incdb_bench::{
     deep_null_cycle, skewed_switch_cycle, uniform_codd_binary, uniform_self_loop_cycle,
-    uniform_two_unary_relations, uniform_unary_completions_instance,
+    uniform_two_unary_relations, uniform_unary_completions_instance, wide_ground_cycle,
 };
+use incdb_bignum::BigNat;
 use incdb_core::algorithms::{comp_uniform, val_uniform};
-use incdb_core::engine::{BacktrackingEngine, CountingEngine, NaiveEngine, Tautology};
-use incdb_data::{IncompleteDatabase, Value};
+use incdb_core::engine::{
+    BacktrackingEngine, CompletionVisitor, CountingEngine, NaiveEngine, Tautology,
+};
+use incdb_data::{CompletionKey, Grounding, HashRange, IncompleteDatabase, Value};
 use incdb_query::Bcq;
-use incdb_stream::{all_completions_stream, count_completions_budgeted};
+use incdb_stream::{all_completions_stream, count_completions_budgeted, count_completions_sharded};
 
 /// The pruning-friendly acceptance instance: a cycle of `nulls` binary facts
 /// (≥ 6 nulls) and a query conjoined with an atom over the empty relation
@@ -564,6 +568,131 @@ fn write_json_report(fast: bool) {
         });
     }
 
+    // Session-layer rows. `session_shard_reuse` pits the session-reusing
+    // sharded counter (one grounding build + one residual compilation per
+    // worker, every further range a rewind) against the pre-refactor
+    // rebuild-per-range driver, on a wide-table instance whose per-walk
+    // setup rivals its small search tree — the shape serving workloads
+    // (many walks over one large mostly-ground table) actually have. The
+    // acceptance criterion demands this ratio beat 1.
+    {
+        const REUSE_SHARDS: usize = 8;
+        // 2 nulls over a binary domain: a 4-leaf tree (2 satisfying) under
+        // a 600-fact table, so each walk is dominated by the setup a
+        // rebuild-per-range driver repeats and a session pays once.
+        let db = wide_ground_cycle(2, 2, 600);
+        let q: Bcq = "R(x,x)".parse().unwrap();
+
+        /// The pre-refactor per-range sink: distinct in-range fingerprints.
+        struct RangeCount {
+            range: HashRange,
+            set: HashSet<CompletionKey>,
+            scratch: CompletionKey,
+        }
+        impl CompletionVisitor for RangeCount {
+            fn leaf(&mut self, g: &Grounding) -> bool {
+                let hash = g
+                    .completion_hash_into(&mut self.scratch)
+                    .expect("leaf is fully bound");
+                if self.range.contains(hash) && !self.set.contains(&self.scratch) {
+                    self.set.insert(self.scratch.clone());
+                }
+                true
+            }
+        }
+        // The pre-refactor driver: every hash range pays a fresh engine
+        // walk — grounding rebuild, residual recompilation, order
+        // re-derivation — exactly what `run_shards` did before the session
+        // layer.
+        let rebuild_per_range = || {
+            let engine = BacktrackingEngine::sequential();
+            let mut total = 0usize;
+            for range in HashRange::partition(REUSE_SHARDS) {
+                let mut sink = RangeCount {
+                    range,
+                    set: HashSet::new(),
+                    scratch: CompletionKey::new(),
+                };
+                engine.visit_completions(&db, &q, &mut sink).unwrap();
+                total += sink.set.len();
+            }
+            total
+        };
+        let expected = BacktrackingEngine::sequential()
+            .count_completions(&db, &q)
+            .unwrap();
+        assert_eq!(
+            BigNat::from(rebuild_per_range()),
+            expected,
+            "rebuild-per-range baseline must count exactly"
+        );
+        let reused = count_completions_sharded(&db, &q, REUSE_SHARDS, 1).unwrap();
+        assert_eq!(
+            reused.count, expected,
+            "session-reusing sharded count must stay exact"
+        );
+        assert_eq!(
+            reused.sessions_built, 1,
+            "one worker must build exactly one session for {REUSE_SHARDS} ranges"
+        );
+        let naive_ns = median_ns(runs, || {
+            rebuild_per_range();
+        });
+        let engine_ns = median_ns(runs, || {
+            count_completions_sharded(&db, &q, REUSE_SHARDS, 1).unwrap();
+        });
+        rows.push(JsonRow {
+            name: "session_shard_reuse",
+            baseline: "rebuild_per_range",
+            nulls: db.nulls().len() as u32,
+            valuations: db.valuation_count().to_string(),
+            naive_ns,
+            engine_ns,
+            extra: format!(
+                ", \"shards\": {REUSE_SHARDS}, \"sessions_built\": {}, \"walks_reused\": {}",
+                reused.sessions_built, reused.walks_reused
+            ),
+        });
+
+        // Parallel page fills against the sequential drain. Like
+        // `skewed_stealing`, the meaning of this ratio flips with the
+        // host's core count: on the 1-core CI container it records pure
+        // scheduler overhead, on multicore serving hosts it is the page
+        // latency win. The count equality check is host-independent.
+        const PPAGE: usize = 32;
+        const PTHREADS: usize = 4;
+        let db = uniform_codd_binary(4, 3);
+        let sequential = all_completions_stream(&db, PPAGE).unwrap().count();
+        let parallel = all_completions_stream(&db, PPAGE)
+            .unwrap()
+            .with_threads(PTHREADS)
+            .count();
+        assert_eq!(
+            sequential, parallel,
+            "parallel page fills must drain the identical completion set"
+        );
+        let naive_ns = median_ns(runs, || {
+            all_completions_stream(&db, PPAGE).unwrap().count();
+        });
+        let engine_ns = median_ns(runs, || {
+            all_completions_stream(&db, PPAGE)
+                .unwrap()
+                .with_threads(PTHREADS)
+                .count();
+        });
+        rows.push(JsonRow {
+            name: "stream_page_parallel",
+            baseline: "stream_sequential",
+            nulls: db.nulls().len() as u32,
+            valuations: db.valuation_count().to_string(),
+            naive_ns,
+            engine_ns,
+            extra: format!(
+                ", \"page_size\": {PPAGE}, \"threads\": {PTHREADS}, \"completions\": {sequential}"
+            ),
+        });
+    }
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     if std::env::var("ENGINE_BENCH_NO_REGRESSION").is_err() {
         if let Ok(committed) = std::fs::read_to_string(path) {
@@ -617,6 +746,16 @@ fn write_json_report(fast: bool) {
             row.speedup()
         );
     }
+    let reuse = rows
+        .iter()
+        .find(|r| r.name == "session_shard_reuse")
+        .unwrap();
+    assert!(
+        reuse.speedup() >= 1.0,
+        "acceptance criterion: the session-reusing sharded counter must beat \
+         the rebuild-per-range baseline (got {:.2}×)",
+        reuse.speedup()
+    );
 }
 
 fn main() {

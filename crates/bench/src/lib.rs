@@ -67,6 +67,25 @@ pub fn deep_null_cycle(nulls: u32) -> IncompleteDatabase {
     uniform_self_loop_cycle(nulls, 2)
 }
 
+/// A "wide table" instance for session-reuse benchmarks: an `R(x,x)` cycle
+/// of `nulls` nulls over a uniform domain of size `domain_size`, embedded
+/// in a table with `ground_facts` additional ground binary facts
+/// `R(c, c+1)` (constants outside the domain, never self-loops, so they
+/// decide nothing). The search tree stays small (`domain_size^nulls`
+/// leaves) while the per-walk *setup* — building the grounding and
+/// classifying every fact of `R` against the query's atoms — scales with
+/// the table: a rebuild-per-range driver pays for the table on every hash
+/// range, a rewound search session pays once per worker.
+pub fn wide_ground_cycle(nulls: u32, domain_size: u64, ground_facts: u64) -> IncompleteDatabase {
+    let mut db = uniform_self_loop_cycle(nulls, domain_size);
+    for c in 0..ground_facts {
+        let base = domain_size + 2 * c;
+        db.add_fact("R", vec![Value::constant(base), Value::constant(base + 1)])
+            .unwrap();
+    }
+    db
+}
+
 /// A uniform Codd table with one binary relation of `facts` rows of fresh
 /// nulls — the `#Compᵘ_Cd(R(x,y))` hard cell (Proposition 4.5(b) shape).
 pub fn uniform_codd_binary(facts: u32, domain_size: u64) -> IncompleteDatabase {
@@ -127,6 +146,11 @@ mod tests {
         let db = uniform_codd_binary(4, 3);
         assert!(db.is_codd());
         assert_eq!(db.nulls().len(), 8);
+
+        let db = wide_ground_cycle(4, 3, 100);
+        assert_eq!(db.nulls().len(), 4);
+        assert!(db.is_uniform());
+        db.validate().unwrap();
 
         let db = uniform_unary_completions_instance(4, 5);
         assert!(db.is_uniform());

@@ -15,14 +15,11 @@
 //!   cannot evaluate partially.
 //! * **Incremental residual evaluation** — instead of re-running the two
 //!   partial-homomorphism searches of `BooleanQuery::holds_partial` from
-//!   scratch at every node, the engine keeps a stateful
-//!   [`ResidualState`] per worker: each bind
-//!   flows through the grounding's dirty-null channel
-//!   ([`Grounding::drain_dirty_into`]) and re-classifies only the candidate
-//!   facts that mention the bound null, watched-literal style. A `Refuted`
-//!   answer discards the whole subtree; a `Satisfied` answer counts it in
-//!   closed form, `∏` of the remaining domain sizes, without visiting a
-//!   single leaf. The from-scratch path survives behind
+//!   scratch at every node, each walk keeps a stateful
+//!   [`ResidualState`](incdb_query::ResidualState) synced through the
+//!   grounding's dirty-null channel. A `Refuted` answer discards the whole
+//!   subtree; a `Satisfied` answer counts it in closed form. The
+//!   from-scratch path survives behind
 //!   [`BacktrackingEngine::without_incremental`] as the differential /
 //!   benchmark baseline (the PR 2 engine).
 //! * **Domain-size-aware ordering** — nulls are explored smallest-domain
@@ -40,6 +37,17 @@
 //!   counting hashes a sorted, deduplicated fact list instead of comparing
 //!   whole `Database` values.
 //!
+//! Since the session refactor this module is the **policy** half of the
+//! engine: routing (shard or not, incremental or not), the tuning constants
+//! with their builder methods and `ENGINE_*` env overrides, and the
+//! [`TaskQueue`] scheduling protocol. The **mechanism** — the walks
+//! themselves, with their persistent grounding / residual-state / search
+//! -plan context — lives in [`crate::session`] as [`SearchSession`]; every
+//! engine entry point builds one session and drives it, and long-lived
+//! callers (the sharded counters and paging streams of `incdb-stream`) hold
+//! sessions of their own so consecutive walks pay a reset instead of a
+//! rebuild.
+//!
 //! All exact consumers share this engine: `enumerate.rs` is a thin wrapper
 //! over it, the solver routes the hard cells here
 //! ([`crate::solver::Method::BacktrackingSearch`]), and the samplers in
@@ -52,7 +60,10 @@ use std::thread;
 
 use incdb_bignum::{BigNat, NatAccumulator};
 use incdb_data::{CompletionKey, Constant, DataError, Database, Grounding, IncompleteDatabase};
-use incdb_query::{BooleanQuery, PartialOutcome, ResidualState};
+use incdb_query::{BooleanQuery, PartialOutcome};
+
+use crate::session::CollectKeys;
+pub use crate::session::{CompletionVisitor, SearchSession, StealGate};
 
 /// A strategy for exactly counting valuations and completions.
 ///
@@ -165,89 +176,6 @@ impl CountingEngine for NaiveEngine {
     }
 }
 
-/// Extracts the canonical fingerprint
-/// ([`Grounding::completion_fingerprint`]) at a fully bound leaf: a hash
-/// set of [`CompletionKey`]s counts distinct completions without ever
-/// building a [`Database`].
-fn completion_key(g: &Grounding) -> CompletionKey {
-    g.completion_fingerprint().expect("leaf is fully bound")
-}
-
-/// A consumer of satisfying completion leaves — the engine's streaming
-/// alternative to materialising a completion set.
-///
-/// [`BacktrackingEngine::visit_completions`] calls [`leaf`] once per
-/// *satisfying valuation leaf*, with the grounding fully bound; pruning
-/// (`Refuted` subtrees) happens before the visitor ever sees a leaf. Note
-/// that distinct completions are **not** deduplicated at this layer —
-/// several valuations may induce the same completion, and the visitor sees
-/// each of them. Deduplicate by fingerprint
-/// ([`Grounding::completion_fingerprint_into`]) when counting, as the
-/// sharded counters and the paging stream of `incdb-stream` do.
-///
-/// [`leaf`]: CompletionVisitor::leaf
-pub trait CompletionVisitor {
-    /// Consumes one satisfying leaf. Return `false` to stop the walk early
-    /// (e.g. a shard whose memory budget is exhausted, or a page that is
-    /// full and cannot accept a key that would displace nothing).
-    fn leaf(&mut self, g: &Grounding) -> bool;
-}
-
-/// The visitor behind the engine's own distinct-completion counting:
-/// collects canonical fingerprints into a hash set, never stopping early.
-struct CollectKeys<'s> {
-    keys: &'s mut HashSet<CompletionKey>,
-}
-
-impl CompletionVisitor for CollectKeys<'_> {
-    fn leaf(&mut self, g: &Grounding) -> bool {
-        self.keys.insert(completion_key(g));
-        true
-    }
-}
-
-/// Per-worker evaluation context: the query, its optional incremental
-/// [`ResidualState`], and the buffer that carries the grounding's dirty-null
-/// notifications into it.
-struct NodeEval<'q, Q: ?Sized> {
-    q: &'q Q,
-    state: Option<Box<dyn ResidualState>>,
-    changed: Vec<usize>,
-}
-
-impl<'q, Q: BooleanQuery + ?Sized> NodeEval<'q, Q> {
-    /// Builds the evaluator over the grounding's current assignment. With
-    /// `incremental` unset (or for query types without incremental
-    /// evaluation) every [`NodeEval::outcome`] call falls back to a
-    /// from-scratch `holds_partial`.
-    fn new(q: &'q Q, g: &mut Grounding, incremental: bool) -> Self {
-        // The state snapshots the grounding as-is; clear pending
-        // notifications so the sync cursor starts at the snapshot.
-        let mut changed = Vec::new();
-        g.drain_dirty_into(&mut changed);
-        let state = if incremental {
-            q.residual_state(g)
-        } else {
-            None
-        };
-        NodeEval { q, state, changed }
-    }
-
-    /// The query's outcome for the subtree below the grounding's current
-    /// bindings, after syncing the incremental state with every null that
-    /// changed since the previous call.
-    fn outcome(&mut self, g: &mut Grounding) -> PartialOutcome {
-        match &mut self.state {
-            Some(state) => {
-                g.drain_dirty_into(&mut self.changed);
-                state.apply(g, &self.changed);
-                state.outcome(g)
-            }
-            None => self.q.holds_partial(g),
-        }
-    }
-}
-
 /// The shared work-stealing scheduler: tasks in a deque guarded by a mutex
 /// and a condvar, generic over the task payload. Workers pop one task at a
 /// time, which already self-balances moderately skewed workloads; a running
@@ -342,156 +270,36 @@ impl<T> TaskQueue<T> {
     }
 }
 
-/// Subtrees smaller than this many valuations are never donated: queue
-/// round-trips would cost more than just searching them locally.
+/// Default for [`BacktrackingEngine::with_min_split_valuations`]: subtrees
+/// smaller than this many valuations are never donated — queue round-trips
+/// would cost more than just searching them locally.
 const MIN_SPLIT_VALUATIONS: u64 = 64;
 
-/// How many seed tasks per worker [`BacktrackingEngine::shard_plan`] aims
-/// for. Moderate oversubscription self-balances most instances; split-on-
-/// steal refines the partition at runtime, so the seed stays small.
+/// Default for [`BacktrackingEngine::with_prefix_oversubscription`]: how
+/// many seed tasks per worker [`BacktrackingEngine::shard_plan`] aims for.
+/// Moderate oversubscription self-balances most instances; split-on-steal
+/// refines the partition at runtime, so the seed stays small.
 const PREFIX_OVERSUBSCRIPTION: usize = 4;
 
-/// One worker's DFS over `order[depth..]`: the evaluation context plus the
-/// per-worker scratch state, bundled so the recursive walks stay at a
-/// readable arity.
-struct SubtreeSearch<'a, Q: ?Sized> {
-    ev: NodeEval<'a, Q>,
-    order: &'a [usize],
-    /// `suffix[d] = ∏_{i ≥ d} |dom(order[i])|` — the closed-form size of the
-    /// subtree below depth `d`, credited wholesale on `Satisfied`. Only the
-    /// valuation walk reads it; the completions path (which must visit
-    /// leaves for fingerprints regardless) passes an empty slice.
-    suffix: &'a [BigNat],
-    /// `suffix` saturated into machine words, for the donation heuristic.
-    hint: &'a [u64],
-    /// The scheduler to donate subtrees to; `None` when running sequentially.
-    steal: Option<&'a TaskQueue<Vec<Constant>>>,
-    /// The values bound along `order[..depth]` — the prefix a donated
-    /// sibling task is built from. Invariant: `path.len() == depth` whenever
-    /// a recursive call at `depth` runs.
-    path: Vec<Constant>,
-    scratch: Database,
-}
+/// The default [`BacktrackingEngine::with_parallel_threshold`]: with
+/// work-stealing keeping skewed shards balanced, sharding pays off well
+/// below the static-sharding engine's old 4096-valuation floor.
+const DEFAULT_PARALLEL_THRESHOLD: u64 = 1024;
 
-impl<'a, Q: BooleanQuery + ?Sized> SubtreeSearch<'a, Q> {
-    /// Donates the unexplored sibling branches `order[depth] ↦ dom[from..]`
-    /// if another worker is starving and the subtree is worth splitting.
-    /// Returns `true` if the siblings now belong to the queue.
-    fn maybe_donate(&mut self, g: &Grounding, depth: usize, from: usize) -> bool {
-        let Some(queue) = self.steal else {
-            return false;
-        };
-        if self.hint[depth + 1] < MIN_SPLIT_VALUATIONS || !queue.wants_work() {
-            return false;
-        }
-        let dom = g.domain_by_index(self.order[depth]);
-        queue.donate((from..dom.len()).map(|j| {
-            let mut prefix = self.path.clone();
-            prefix.push(dom[j]);
-            prefix
-        }));
-        true
-    }
-
-    /// Counts satisfying valuations below the current bindings of `g` into
-    /// `acc`, exploring `order[depth..]`.
-    fn count_vals(&mut self, g: &mut Grounding, depth: usize, acc: &mut NatAccumulator) {
-        match self.ev.outcome(g) {
-            PartialOutcome::Satisfied => acc.add_big(&self.suffix[depth]),
-            PartialOutcome::Refuted => {}
-            PartialOutcome::Unknown => {
-                if depth == self.order.len() {
-                    // Fully bound yet undecided: the query type has no
-                    // residual evaluation, so materialise and model-check.
-                    g.completion_into(&mut self.scratch)
-                        .expect("every null is bound at a leaf");
-                    if self.ev.q.holds(&self.scratch) {
-                        acc.add_one();
-                    }
-                } else {
-                    let i = self.order[depth];
-                    let mut last = g.domain_by_index(i).len();
-                    let mut k = 0;
-                    while k < last {
-                        if k + 1 < last && self.maybe_donate(g, depth, k + 1) {
-                            last = k + 1;
-                        }
-                        let value = g.domain_by_index(i)[k];
-                        g.bind_index(i, value);
-                        self.path.push(value);
-                        self.count_vals(g, depth + 1, acc);
-                        self.path.pop();
-                        k += 1;
-                    }
-                    g.unbind_index(i);
-                }
-            }
-        }
-    }
-
-    /// Walks the satisfying completion leaves below the current bindings,
-    /// handing each one to `visitor`. `decided` records that an ancestor
-    /// already proved the query `Satisfied` (no completion below can fail,
-    /// so checks are skipped); a donated task re-derives it at its root,
-    /// since `Satisfied` is monotone along a binding path. Returns `false`
-    /// as soon as the visitor stops the walk.
-    fn visit_leaves<V: CompletionVisitor + ?Sized>(
-        &mut self,
-        g: &mut Grounding,
-        depth: usize,
-        decided: bool,
-        visitor: &mut V,
-    ) -> bool {
-        let decided = decided
-            || match self.ev.outcome(g) {
-                PartialOutcome::Satisfied => true,
-                PartialOutcome::Refuted => return true,
-                PartialOutcome::Unknown => false,
-            };
-        if depth == self.order.len() {
-            let satisfied = decided || {
-                g.completion_into(&mut self.scratch)
-                    .expect("every null is bound at a leaf");
-                self.ev.q.holds(&self.scratch)
-            };
-            if satisfied {
-                return visitor.leaf(g);
-            }
-            return true;
-        }
-        let i = self.order[depth];
-        let mut keep_going = true;
-        let mut last = g.domain_by_index(i).len();
-        let mut k = 0;
-        while keep_going && k < last {
-            if k + 1 < last && self.maybe_donate(g, depth, k + 1) {
-                last = k + 1;
-            }
-            let value = g.domain_by_index(i)[k];
-            g.bind_index(i, value);
-            self.path.push(value);
-            keep_going = self.visit_leaves(g, depth + 1, decided, visitor);
-            self.path.pop();
-            k += 1;
-        }
-        g.unbind_index(i);
-        keep_going
-    }
-
-    /// Rebinds the grounding for a fresh task: everything unbound, then
-    /// `order[d] ↦ prefix[d]`. The changes reach the residual state through
-    /// the dirty channel at the next evaluation — no rebuild.
-    fn start_task(&mut self, g: &mut Grounding, prefix: &[Constant]) {
-        g.reset();
-        for (d, &value) in prefix.iter().enumerate() {
-            g.bind_index(self.order[d], value);
-        }
-        self.path.clear();
-        self.path.extend_from_slice(prefix);
-    }
+/// Reads one scheduler tuning knob from the environment: `Some` only when
+/// the variable is present and parses.
+fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok()?.trim().parse().ok()
 }
 
 /// The backtracking counting engine (see the module documentation).
+///
+/// The scheduler tuning constants have builder overrides **and** env-var
+/// overrides (`ENGINE_PARALLEL_THRESHOLD`, `ENGINE_MIN_SPLIT_VALUATIONS`,
+/// `ENGINE_PREFIX_OVERSUBSCRIPTION`, read at construction), so the
+/// multicore tuning loop can sweep them on a real host without a rebuild;
+/// explicit builder calls always win over the environment. None of the
+/// knobs affect any count — only how the work is cut up.
 #[derive(Debug, Clone)]
 pub struct BacktrackingEngine {
     /// Maximum number of worker threads for the work-stealing search.
@@ -505,47 +313,55 @@ pub struct BacktrackingEngine {
     /// residual evaluator (`false` re-runs `holds_partial` from scratch at
     /// every node, as the PR 2 engine did).
     incremental: bool,
+    /// Subtrees smaller than this many valuations are never donated to
+    /// starving workers.
+    min_split_valuations: u64,
+    /// Seed tasks per worker the shard planner aims for.
+    prefix_oversubscription: usize,
 }
-
-/// The default [`BacktrackingEngine::with_parallel_threshold`]: with
-/// work-stealing keeping skewed shards balanced, sharding pays off well
-/// below the static-sharding engine's old 4096-valuation floor.
-const DEFAULT_PARALLEL_THRESHOLD: u64 = 1024;
 
 impl Default for BacktrackingEngine {
     /// Auto-detects parallelism (capped at 8 workers), shards instances
-    /// with at least `DEFAULT_PARALLEL_THRESHOLD` (1024) valuations, and
-    /// evaluates incrementally.
+    /// with at least [`BacktrackingEngine::parallel_threshold`] (default
+    /// 1024) valuations, and evaluates incrementally. Tuning env overrides
+    /// apply.
     fn default() -> Self {
         let threads = thread::available_parallelism()
             .map_or(1, usize::from)
             .min(8);
-        BacktrackingEngine {
-            threads,
-            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
-            incremental: true,
-        }
+        Self::with_threads(threads)
     }
 }
 
 impl BacktrackingEngine {
     /// A single-threaded engine (deterministic scheduling; used by the thin
-    /// wrappers in [`crate::enumerate`] and by tests).
+    /// wrappers in [`crate::enumerate`] and by tests). The parallel
+    /// threshold is pinned to `u64::MAX` — this constructor promises a
+    /// sequential walk, so `ENGINE_PARALLEL_THRESHOLD` does not apply.
     pub fn sequential() -> Self {
         BacktrackingEngine {
             threads: 1,
             parallel_threshold: u64::MAX,
             incremental: true,
+            min_split_valuations: env_knob("ENGINE_MIN_SPLIT_VALUATIONS")
+                .unwrap_or(MIN_SPLIT_VALUATIONS),
+            prefix_oversubscription: env_knob("ENGINE_PREFIX_OVERSUBSCRIPTION")
+                .unwrap_or(PREFIX_OVERSUBSCRIPTION),
         }
     }
 
     /// An engine spreading the search over up to `threads` work-stealing
-    /// workers.
+    /// workers. Tuning env overrides apply.
     pub fn with_threads(threads: usize) -> Self {
         BacktrackingEngine {
             threads: threads.max(1),
-            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            parallel_threshold: env_knob("ENGINE_PARALLEL_THRESHOLD")
+                .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
             incremental: true,
+            min_split_valuations: env_knob("ENGINE_MIN_SPLIT_VALUATIONS")
+                .unwrap_or(MIN_SPLIT_VALUATIONS),
+            prefix_oversubscription: env_knob("ENGINE_PREFIX_OVERSUBSCRIPTION")
+                .unwrap_or(PREFIX_OVERSUBSCRIPTION),
         }
     }
 
@@ -565,6 +381,41 @@ impl BacktrackingEngine {
         self
     }
 
+    /// Overrides the minimum donated-subtree size, in valuations: a busy
+    /// worker only splits off sibling branches whose subtree holds at least
+    /// this many valuations, because queue round-trips cost more than just
+    /// searching a tiny subtree locally. Defaults to 64; env override
+    /// `ENGINE_MIN_SPLIT_VALUATIONS`.
+    pub fn with_min_split_valuations(mut self, valuations: u64) -> Self {
+        self.min_split_valuations = valuations;
+        self
+    }
+
+    /// Overrides how many seed tasks per worker the shard planner aims for
+    /// (at least 1). More oversubscription self-balances skewed instances
+    /// at the price of task overhead; split-on-steal refines at runtime
+    /// either way. Defaults to 4; env override
+    /// `ENGINE_PREFIX_OVERSUBSCRIPTION`.
+    pub fn with_prefix_oversubscription(mut self, tasks_per_worker: usize) -> Self {
+        self.prefix_oversubscription = tasks_per_worker.max(1);
+        self
+    }
+
+    /// The configured minimum donated-subtree size, in valuations.
+    pub fn min_split_valuations(&self) -> u64 {
+        self.min_split_valuations
+    }
+
+    /// The configured seed tasks per worker.
+    pub fn prefix_oversubscription(&self) -> usize {
+        self.prefix_oversubscription
+    }
+
+    /// The configured sharding threshold, in total valuations.
+    pub fn parallel_threshold(&self) -> u64 {
+        self.parallel_threshold
+    }
+
     /// Disables the incremental residual evaluator: every node re-runs
     /// `holds_partial` from scratch, exactly as the PR 2 engine did. Kept
     /// as the benchmark baseline (`BENCH_engine.json`'s `incremental_*`
@@ -574,57 +425,36 @@ impl BacktrackingEngine {
         self
     }
 
-    /// The search order: null indices sorted by ascending domain size, ties
-    /// broken towards nulls with more occurrences (deciding more of the
-    /// table per bind), then by label for determinism.
-    fn search_order(g: &Grounding) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..g.null_count()).collect();
-        order.sort_by_key(|&i| {
-            (
-                g.domain_by_index(i).len(),
-                usize::MAX - g.occurrence_count(i),
-                i,
-            )
-        });
-        order
-    }
-
-    /// `suffix[d] = ∏_{i ≥ d} |dom(order[i])|` — the closed-form size of the
-    /// subtree below depth `d`, credited wholesale when the query is decided
-    /// `Satisfied` there.
-    fn suffix_products(g: &Grounding, order: &[usize]) -> Vec<BigNat> {
-        let mut suffix = vec![BigNat::one(); order.len() + 1];
-        for d in (0..order.len()).rev() {
-            suffix[d] = &suffix[d + 1] * &BigNat::from(g.domain_by_index(order[d]).len());
-        }
-        suffix
-    }
-
-    /// [`suffix_products`](BacktrackingEngine::suffix_products) saturated
-    /// into machine words: the cheap subtree-size signal the donation
-    /// heuristic compares against [`MIN_SPLIT_VALUATIONS`].
-    fn subtree_hints(g: &Grounding, order: &[usize]) -> Vec<u64> {
-        let mut hint = vec![1u64; order.len() + 1];
-        for d in (0..order.len()).rev() {
-            hint[d] = hint[d + 1].saturating_mul(g.domain_by_index(order[d]).len() as u64);
-        }
-        hint
+    /// Builds a [`SearchSession`] over `db` and `q` with this engine's
+    /// incremental-evaluation setting — the entry point for callers that
+    /// keep the session alive across walks (shard-walk reuse, page fills).
+    ///
+    /// Returns an error if some null of the table has no domain.
+    pub fn session<'q, Q: BooleanQuery + ?Sized>(
+        &self,
+        db: &IncompleteDatabase,
+        q: &'q Q,
+    ) -> Result<SearchSession<'q, Q>, DataError> {
+        SearchSession::build(db, q, self.incremental)
     }
 
     /// Decides whether this instance is worth sharding and, if so, seeds
     /// the task queue: the assignments of the shallowest search prefix wide
-    /// enough for a few tasks per worker ([`PREFIX_OVERSUBSCRIPTION`]).
+    /// enough for a few tasks per worker
+    /// ([`prefix_oversubscription`](BacktrackingEngine::prefix_oversubscription)).
     /// Sharding over prefix *assignments* rather than the first null's
     /// domain keeps full parallel width even when the pruning-optimal order
     /// puts a tiny domain first; split-on-steal refines the partition at
     /// runtime.
     ///
-    /// Returns every assignment of the prefix (odometer order), or `None`
-    /// when the engine should run sequentially: fewer than two workers, or
-    /// fewer total valuations than the
+    /// Returns every assignment of the prefix (odometer order, following
+    /// `order`), or `None` when the engine should run sequentially: fewer
+    /// than two workers, or fewer total valuations than the
     /// [threshold](BacktrackingEngine::with_parallel_threshold) (the
-    /// boundary is inclusive).
-    fn shard_plan(&self, g: &Grounding, order: &[usize]) -> Option<Vec<Vec<Constant>>> {
+    /// boundary is inclusive). Exposed so session-holding callers (e.g.
+    /// parallel page fills in `incdb-stream`) can reuse the engine's
+    /// routing policy over their own walks.
+    pub fn shard_plan(&self, g: &Grounding, order: &[usize]) -> Option<Vec<Vec<Constant>>> {
         if self.threads < 2 || order.is_empty() {
             return None;
         }
@@ -635,7 +465,7 @@ impl BacktrackingEngine {
         if valuations < self.parallel_threshold {
             return None;
         }
-        let target = self.threads.saturating_mul(PREFIX_OVERSUBSCRIPTION);
+        let target = self.threads.saturating_mul(self.prefix_oversubscription);
         let mut depth = 0;
         let mut width: usize = 1;
         while depth < order.len() && width < target {
@@ -677,6 +507,12 @@ impl BacktrackingEngine {
     /// deterministic order, and parallel callers (the shard scheduler)
     /// parallelise *across* walks instead.
     ///
+    /// This is a one-shot convenience: the session it builds is dropped
+    /// when the walk ends. Callers that walk the same instance repeatedly
+    /// should hold a [`session`](BacktrackingEngine::session) and call
+    /// [`SearchSession::visit_completions`] on it, paying a reset per walk
+    /// instead of a rebuild.
+    ///
     /// Returns `Ok(true)` if the walk covered the whole tree, `Ok(false)`
     /// if the visitor stopped it early, and an error if some null of the
     /// table has no domain.
@@ -690,62 +526,44 @@ impl BacktrackingEngine {
         Q: BooleanQuery + ?Sized,
         V: CompletionVisitor + ?Sized,
     {
-        let mut g = db.try_grounding()?;
-        let order = Self::search_order(&g);
-        let hint = Self::subtree_hints(&g, &order);
-        let mut search = SubtreeSearch {
-            ev: NodeEval::new(q, &mut g, self.incremental),
-            order: &order,
-            suffix: &[],
-            hint: &hint,
-            steal: None,
-            path: Vec::new(),
-            scratch: Database::new(),
-        };
-        Ok(search.visit_leaves(&mut g, 0, false, visitor))
+        let mut session = self.session(db, q)?;
+        Ok(session.visit_completions(visitor))
     }
 
     /// Runs one subtree walk per task of the work-stealing queue across up
     /// to [`threads`](BacktrackingEngine::threads) scoped workers, each on
-    /// its own clone of the grounding with its own result accumulator of
-    /// type `A`, and returns the per-worker accumulators for the caller to
-    /// merge. `work` resumes the search at the task's prefix depth — both
-    /// counting modes share every other line of the worker protocol.
-    fn run_stealing<Q, A, W>(
+    /// its own [`fork`](SearchSession::fork) of the primary session with
+    /// its own result accumulator of type `A`, and returns the per-worker
+    /// accumulators for the caller to merge. Forking clones the grounding
+    /// and the compiled residual state — the expensive query compilation
+    /// happens exactly once, on the primary.
+    fn run_stealing<'q, Q, A, W>(
         &self,
-        g: &Grounding,
-        q: &Q,
-        plan: &SearchPlan<'_>,
+        primary: &SearchSession<'q, Q>,
         prefixes: Vec<Vec<Constant>>,
         work: W,
     ) -> Vec<A>
     where
         Q: BooleanQuery + Sync + ?Sized,
         A: Default + Send,
-        W: for<'s> Fn(&mut SubtreeSearch<'s, Q>, &mut Grounding, usize, &mut A) + Sync,
+        W: Fn(&mut SearchSession<'q, Q>, &[Constant], &StealGate<'_>, &mut A) + Sync,
     {
         let queue = TaskQueue::new(prefixes);
+        let forks: Vec<SearchSession<'q, Q>> = (0..self.threads).map(|_| primary.fork()).collect();
         thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.threads)
-                .map(|_| {
-                    let base = g.clone();
+            let handles: Vec<_> = forks
+                .into_iter()
+                .map(|mut session| {
                     let (queue, work) = (&queue, &work);
-                    let incremental = self.incremental;
+                    let min_split_valuations = self.min_split_valuations;
                     scope.spawn(move || {
-                        let mut g = base;
-                        let mut search = SubtreeSearch {
-                            ev: NodeEval::new(q, &mut g, incremental),
-                            order: plan.order,
-                            suffix: plan.suffix,
-                            hint: plan.hint,
-                            steal: Some(queue),
-                            path: Vec::new(),
-                            scratch: Database::new(),
+                        let gate = StealGate {
+                            queue,
+                            min_split_valuations,
                         };
                         let mut acc = A::default();
                         while let Some(prefix) = queue.next_task() {
-                            search.start_task(&mut g, &prefix);
-                            work(&mut search, &mut g, prefix.len(), &mut acc);
+                            work(&mut session, &prefix, &gate, &mut acc);
                             queue.finish_task();
                         }
                         acc
@@ -760,46 +578,19 @@ impl BacktrackingEngine {
     }
 }
 
-/// The precomputed per-instance search geometry shared by every worker: the
-/// null exploration order with its closed-form subtree sizes.
-struct SearchPlan<'a> {
-    order: &'a [usize],
-    suffix: &'a [BigNat],
-    hint: &'a [u64],
-}
-
 impl CountingEngine for BacktrackingEngine {
     fn count_valuations<Q: BooleanQuery + Sync + ?Sized>(
         &self,
         db: &IncompleteDatabase,
         q: &Q,
     ) -> Result<BigNat, DataError> {
-        let mut g = db.try_grounding()?;
-        let order = Self::search_order(&g);
-        let suffix = Self::suffix_products(&g, &order);
-        let hint = Self::subtree_hints(&g, &order);
-        let Some(prefixes) = self.shard_plan(&g, &order) else {
-            let mut search = SubtreeSearch {
-                ev: NodeEval::new(q, &mut g, self.incremental),
-                order: &order,
-                suffix: &suffix,
-                hint: &hint,
-                steal: None,
-                path: Vec::new(),
-                scratch: Database::new(),
-            };
-            let mut acc = NatAccumulator::new();
-            search.count_vals(&mut g, 0, &mut acc);
-            return Ok(acc.into_total());
-        };
-        let plan = SearchPlan {
-            order: &order,
-            suffix: &suffix,
-            hint: &hint,
+        let mut session = self.session(db, q)?;
+        let Some(prefixes) = self.shard_plan(session.grounding(), session.order()) else {
+            return Ok(session.count());
         };
         let totals: Vec<NatAccumulator> =
-            self.run_stealing(&g, q, &plan, prefixes, |search, g, depth, acc| {
-                search.count_vals(g, depth, acc)
+            self.run_stealing(&session, prefixes, |session, prefix, gate, acc| {
+                session.count_subtree(prefix, Some(gate), acc)
             });
         Ok(totals.into_iter().map(NatAccumulator::into_total).sum())
     }
@@ -809,31 +600,15 @@ impl CountingEngine for BacktrackingEngine {
         db: &IncompleteDatabase,
         q: &Q,
     ) -> Result<BigNat, DataError> {
-        let mut g = db.try_grounding()?;
-        let order = Self::search_order(&g);
-        let hint = Self::subtree_hints(&g, &order);
-        let Some(prefixes) = self.shard_plan(&g, &order) else {
-            let mut search = SubtreeSearch {
-                ev: NodeEval::new(q, &mut g, self.incremental),
-                order: &order,
-                suffix: &[],
-                hint: &hint,
-                steal: None,
-                path: Vec::new(),
-                scratch: Database::new(),
-            };
+        let mut session = self.session(db, q)?;
+        let Some(prefixes) = self.shard_plan(session.grounding(), session.order()) else {
             let mut keys = HashSet::new();
-            search.visit_leaves(&mut g, 0, false, &mut CollectKeys { keys: &mut keys });
+            session.visit_completions(&mut CollectKeys { keys: &mut keys });
             return Ok(BigNat::from(keys.len()));
         };
-        let plan = SearchPlan {
-            order: &order,
-            suffix: &[],
-            hint: &hint,
-        };
         let shard_keys: Vec<HashSet<CompletionKey>> =
-            self.run_stealing(&g, q, &plan, prefixes, |search, g, depth, keys| {
-                search.visit_leaves(g, depth, false, &mut CollectKeys { keys });
+            self.run_stealing(&session, prefixes, |session, prefix, gate, keys| {
+                session.visit_subtree(prefix, Some(gate), &mut CollectKeys { keys });
             });
         // Distinct completions can be produced by several workers (different
         // prefix assignments may induce the same completion), so dedup again
@@ -849,6 +624,7 @@ impl CountingEngine for BacktrackingEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::completion_key;
     use incdb_data::{NullId, Value};
     use incdb_query::{Bcq, NegatedBcq, Ucq};
 
@@ -890,14 +666,64 @@ mod tests {
         // any other notion of "leaves".
         let db = example_2_2();
         let g = db.try_grounding().unwrap();
-        let order = BacktrackingEngine::search_order(&g);
+        let session = SearchSession::new(&db, &Tautology).unwrap();
+        let order = session.order();
         let at = BacktrackingEngine::with_threads(2).with_parallel_threshold(6);
-        assert!(at.shard_plan(&g, &order).is_some());
+        assert!(at.shard_plan(&g, order).is_some());
         let above = BacktrackingEngine::with_threads(2).with_parallel_threshold(7);
-        assert!(above.shard_plan(&g, &order).is_none());
+        assert!(above.shard_plan(&g, order).is_none());
         // One worker never shards, whatever the threshold.
         let solo = BacktrackingEngine::with_threads(1).with_parallel_threshold(1);
-        assert!(solo.shard_plan(&g, &order).is_none());
+        assert!(solo.shard_plan(&g, order).is_none());
+    }
+
+    #[test]
+    fn tuning_builders_and_env_overrides() {
+        // Builders override the compiled defaults.
+        let tuned = BacktrackingEngine::with_threads(2)
+            .with_min_split_valuations(7)
+            .with_prefix_oversubscription(9)
+            .with_parallel_threshold(11);
+        assert_eq!(tuned.min_split_valuations(), 7);
+        assert_eq!(tuned.prefix_oversubscription(), 9);
+        assert_eq!(tuned.parallel_threshold(), 11);
+        // Oversubscription is clamped to at least one task per worker.
+        assert_eq!(
+            BacktrackingEngine::default()
+                .with_prefix_oversubscription(0)
+                .prefix_oversubscription(),
+            1
+        );
+
+        // Env knobs reach freshly constructed engines (the no-rebuild
+        // tuning loop of the ROADMAP); none of them changes any count.
+        // Process-global env is visible to concurrently running tests, but
+        // the knobs only steer scheduling (donation sizes, task widths),
+        // never results, and every test that asserts *on* scheduling pins
+        // its thresholds through the builders — so the brief window below
+        // cannot flip another test's assertion.
+        std::env::set_var("ENGINE_MIN_SPLIT_VALUATIONS", "128");
+        std::env::set_var("ENGINE_PREFIX_OVERSUBSCRIPTION", "2");
+        std::env::set_var("ENGINE_PARALLEL_THRESHOLD", "3");
+        let from_env = BacktrackingEngine::with_threads(2);
+        std::env::remove_var("ENGINE_MIN_SPLIT_VALUATIONS");
+        std::env::remove_var("ENGINE_PREFIX_OVERSUBSCRIPTION");
+        std::env::remove_var("ENGINE_PARALLEL_THRESHOLD");
+        assert_eq!(from_env.min_split_valuations(), 128);
+        assert_eq!(from_env.prefix_oversubscription(), 2);
+        assert_eq!(from_env.parallel_threshold(), 3);
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        assert_eq!(
+            from_env.count_valuations(&db, &q).unwrap(),
+            BigNat::from(4u64)
+        );
+
+        // `sequential()` stays sequential even under the env threshold.
+        std::env::set_var("ENGINE_PARALLEL_THRESHOLD", "1");
+        let seq = BacktrackingEngine::sequential();
+        std::env::remove_var("ENGINE_PARALLEL_THRESHOLD");
+        assert_eq!(seq.parallel_threshold(), u64::MAX);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   sharding ([`engine::BacktrackingEngine`]), plus the seed
 //!   materialise-everything loop kept as [`engine::NaiveEngine`] for
 //!   differential testing;
+//! * [`session`] — the persistent walk context under the engine
+//!   ([`session::SearchSession`]): the built grounding, compiled residual
+//!   state and search plan, reused across consecutive walks (count /
+//!   enumerate / page) at reset cost instead of rebuild cost;
 //! * [`enumerate`] — the exhaustive entry points, now thin wrappers over the
 //!   engine (exponential worst case; the only exact option in the #P-hard
 //!   cells of Table 1);
@@ -58,10 +62,12 @@ pub mod engine;
 pub mod enumerate;
 pub mod generator;
 pub mod problem;
+pub mod session;
 pub mod solver;
 
 pub use classify::{classify, classify_approx, ApproxStatus, ClassifyError, Complexity};
 pub use completion_check::is_possible_completion_of_codd;
 pub use engine::{BacktrackingEngine, CompletionVisitor, CountingEngine, NaiveEngine, Tautology};
 pub use problem::{CountingProblem, DomainKind, Setting, TableKind};
+pub use session::{SearchSession, StealGate};
 pub use solver::{count_completions, count_valuations, CountOutcome, Method, SolveError};

@@ -1,0 +1,680 @@
+//! Search sessions: the persistent walk context behind every exact search.
+//!
+//! Before this layer existed, each budgeted shard walk and each paging
+//! selection walk was a one-shot call on [`BacktrackingEngine`]: build the
+//! [`Grounding`], compile the query's [`ResidualState`], derive the DFS
+//! null order — then walk once and throw all of it away, even though the
+//! next walk over the same instance differs only in its leaf filter. A
+//! [`SearchSession`] owns that setup for as long as the caller keeps it:
+//!
+//! * the built [`Grounding`] (the in-place partial-valuation workspace),
+//! * the compiled incremental [`ResidualState`] of the query,
+//! * the search plan — the smallest-domain-first null order with its
+//!   closed-form subtree sizes, shared via `Arc` across forks — and
+//! * the per-walk scratch (path buffer, scratch [`Database`], dirty-null
+//!   batch buffer), reused allocation-free from walk to walk.
+//!
+//! Walks are **methods on the session**: [`count`](SearchSession::count),
+//! [`visit_completions`](SearchSession::visit_completions) and the bounded
+//! [`select_page`](SearchSession::select_page), plus `*_subtree` variants
+//! that resume at a task prefix for work-stealing schedulers. A finished or
+//! aborted walk returns the session to its root state through the cheap
+//! rewind protocol ([`Grounding::reset`] + [`ResidualState::rewind`]) — a
+//! reset, not a rebuild — so consecutive walks amortise the entire setup.
+//! [`fork`](SearchSession::fork) clones a session for another worker by
+//! cloning the compiled state ([`ResidualState::boxed_clone`]) and sharing
+//! the plan, again skipping recompilation.
+//!
+//! This module is the **mechanism** half of the engine split: it knows how
+//! to walk, donate subtrees through a [`StealGate`], and keep the residual
+//! state in sync through the grounding's dirty-null channel. The **policy**
+//! half — routing, thresholds, worker counts, [`TaskQueue`] scheduling —
+//! stays in [`crate::engine`], and the streaming subsystem (`incdb-stream`)
+//! drives sessions directly for shard-walk reuse and parallel page fills.
+//!
+//! [`BacktrackingEngine`]: crate::engine::BacktrackingEngine
+
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+
+use incdb_bignum::{BigNat, NatAccumulator};
+use incdb_data::{CompletionKey, Constant, DataError, Database, Grounding, IncompleteDatabase};
+use incdb_query::{BooleanQuery, PartialOutcome, ResidualState};
+
+use crate::engine::TaskQueue;
+
+/// A consumer of satisfying completion leaves — the engine's streaming
+/// alternative to materialising a completion set.
+///
+/// [`SearchSession::visit_completions`] (and the engine wrapper
+/// `BacktrackingEngine::visit_completions`) calls [`leaf`] once per
+/// *satisfying valuation leaf*, with the grounding fully bound; pruning
+/// (`Refuted` subtrees) happens before the visitor ever sees a leaf. Note
+/// that distinct completions are **not** deduplicated at this layer —
+/// several valuations may induce the same completion, and the visitor sees
+/// each of them. Deduplicate by fingerprint
+/// ([`Grounding::completion_fingerprint_into`]) when counting, as the
+/// sharded counters and the paging stream of `incdb-stream` do.
+///
+/// [`leaf`]: CompletionVisitor::leaf
+pub trait CompletionVisitor {
+    /// Consumes one satisfying leaf. Return `false` to stop the walk early
+    /// (e.g. a shard whose memory budget is exhausted, or a page that is
+    /// full and cannot accept a key that would displace nothing).
+    fn leaf(&mut self, g: &Grounding) -> bool;
+}
+
+/// Extracts the canonical fingerprint
+/// ([`Grounding::completion_fingerprint`]) at a fully bound leaf: a hash
+/// set of [`CompletionKey`]s counts distinct completions without ever
+/// building a [`Database`].
+pub(crate) fn completion_key(g: &Grounding) -> CompletionKey {
+    g.completion_fingerprint().expect("leaf is fully bound")
+}
+
+/// The visitor behind the engine's own distinct-completion counting:
+/// collects canonical fingerprints into a hash set, never stopping early.
+pub(crate) struct CollectKeys<'s> {
+    pub(crate) keys: &'s mut HashSet<CompletionKey>,
+}
+
+impl CompletionVisitor for CollectKeys<'_> {
+    fn leaf(&mut self, g: &Grounding) -> bool {
+        self.keys.insert(completion_key(g));
+        true
+    }
+}
+
+/// The bounded selection sink of [`SearchSession::select_page`]: keeps the
+/// `cap` smallest distinct fingerprints strictly greater than `after`.
+struct PageSink<'c> {
+    after: Option<&'c CompletionKey>,
+    cap: usize,
+    page: &'c mut BTreeSet<CompletionKey>,
+    scratch: CompletionKey,
+}
+
+impl CompletionVisitor for PageSink<'_> {
+    fn leaf(&mut self, g: &Grounding) -> bool {
+        g.completion_fingerprint_into(&mut self.scratch)
+            .expect("every null is bound at a leaf");
+        if let Some(after) = self.after {
+            if self.scratch <= *after {
+                return true;
+            }
+        }
+        if self.page.contains(&self.scratch) {
+            return true;
+        }
+        if self.page.len() >= self.cap {
+            // Full page: the candidate only enters by displacing the
+            // current maximum.
+            let max = self.page.last().expect("cap is at least 1");
+            if self.scratch >= *max {
+                return true;
+            }
+            self.page.pop_last();
+        }
+        self.page.insert(self.scratch.clone());
+        true
+    }
+}
+
+/// The precomputed per-instance search geometry, shared (`Arc`) by a
+/// session and all its forks: the null exploration order with its
+/// closed-form subtree sizes.
+#[derive(Debug)]
+struct SessionPlan {
+    /// Null indices sorted by ascending domain size, ties broken towards
+    /// nulls with more occurrences (deciding more of the table per bind),
+    /// then by label for determinism.
+    order: Vec<usize>,
+    /// `suffix[d] = ∏_{i ≥ d} |dom(order[i])|` — the closed-form size of
+    /// the subtree below depth `d`, credited wholesale on `Satisfied`
+    /// during valuation counting.
+    suffix: Vec<BigNat>,
+    /// `suffix` saturated into machine words, for the donation heuristic.
+    hint: Vec<u64>,
+}
+
+impl SessionPlan {
+    fn of(g: &Grounding) -> SessionPlan {
+        let mut order: Vec<usize> = (0..g.null_count()).collect();
+        order.sort_by_key(|&i| {
+            (
+                g.domain_by_index(i).len(),
+                usize::MAX - g.occurrence_count(i),
+                i,
+            )
+        });
+        let mut suffix = vec![BigNat::one(); order.len() + 1];
+        let mut hint = vec![1u64; order.len() + 1];
+        for d in (0..order.len()).rev() {
+            let dom = g.domain_by_index(order[d]).len();
+            suffix[d] = &suffix[d + 1] * &BigNat::from(dom);
+            hint[d] = hint[d + 1].saturating_mul(dom as u64);
+        }
+        SessionPlan {
+            order,
+            suffix,
+            hint,
+        }
+    }
+}
+
+/// A donation point for work-stealing walks: the shared queue plus the
+/// policy threshold below which subtrees are not worth splitting off.
+///
+/// Sessions are pure mechanism — they donate unexplored sibling branches
+/// through the gate whenever another worker starves, but the queue and the
+/// threshold are chosen by the caller (the engine's
+/// `min_split_valuations`, or whatever a custom scheduler prefers).
+pub struct StealGate<'a> {
+    /// The queue starving workers pop from; donated prefixes must follow
+    /// the same order as the session's [`SearchSession::order`].
+    pub queue: &'a TaskQueue<Vec<Constant>>,
+    /// Subtrees with fewer valuations than this are never donated: queue
+    /// round-trips would cost more than just searching them locally.
+    pub min_split_valuations: u64,
+}
+
+/// A persistent walk context over one incomplete database and one query:
+/// the built grounding, the compiled residual state and the search plan,
+/// reused across any number of walks (see the [module docs](self)).
+///
+/// ```
+/// use incdb_core::session::SearchSession;
+/// use incdb_data::{IncompleteDatabase, Value};
+/// use incdb_query::Bcq;
+///
+/// let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+/// db.add_fact("R", vec![Value::null(0)]).unwrap();
+/// db.add_fact("R", vec![Value::null(1)]).unwrap();
+/// let q: Bcq = "R(x)".parse().unwrap();
+///
+/// // One setup, many walks: count, then stream, on the same session.
+/// let mut session = SearchSession::new(&db, &q).unwrap();
+/// assert_eq!(session.count().to_u64(), Some(4));
+/// let mut page = std::collections::BTreeSet::new();
+/// session.select_page(None, 2, &mut page);
+/// assert_eq!(page.len(), 2); // the 2 canonically smallest completions
+/// assert_eq!(session.count().to_u64(), Some(4)); // still at full strength
+/// ```
+pub struct SearchSession<'q, Q: ?Sized> {
+    q: &'q Q,
+    g: Grounding,
+    plan: Arc<SessionPlan>,
+    /// The incremental evaluator, `None` when the query type has no
+    /// residual evaluation or the caller disabled it — then every node
+    /// falls back to a from-scratch `holds_partial`.
+    state: Option<Box<dyn ResidualState>>,
+    /// The buffer that carries the grounding's dirty-null notifications
+    /// into `state`.
+    changed: Vec<usize>,
+    /// The values bound along `order[..depth]` — the prefix a donated
+    /// sibling task is built from. Invariant: `path.len() == depth`
+    /// whenever a recursive call at `depth` runs.
+    path: Vec<Constant>,
+    scratch: Database,
+}
+
+impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
+    /// Builds a session over `db` and `q` with incremental residual
+    /// evaluation — the one-time setup every subsequent walk reuses.
+    ///
+    /// Returns an error if some null of the table has no domain.
+    pub fn new(db: &IncompleteDatabase, q: &'q Q) -> Result<Self, DataError> {
+        Self::build(db, q, true)
+    }
+
+    /// Builds a session, choosing whether the query is evaluated through
+    /// its stateful incremental [`ResidualState`] (`incremental`) or by
+    /// re-running `holds_partial` from scratch at every node (the
+    /// differential / benchmark baseline).
+    ///
+    /// Returns an error if some null of the table has no domain.
+    pub fn build(db: &IncompleteDatabase, q: &'q Q, incremental: bool) -> Result<Self, DataError> {
+        let mut g = db.try_grounding()?;
+        let plan = Arc::new(SessionPlan::of(&g));
+        // The state snapshots the grounding as-is (fully unbound); clear
+        // pending notifications so the sync cursor starts at the snapshot.
+        let mut changed = Vec::new();
+        g.drain_dirty_into(&mut changed);
+        let state = if incremental {
+            q.residual_state(&g)
+        } else {
+            None
+        };
+        Ok(SearchSession {
+            q,
+            g,
+            plan,
+            state,
+            changed,
+            path: Vec::new(),
+            scratch: Database::new(),
+        })
+    }
+
+    /// Clones this session for another worker: the grounding is cloned, the
+    /// compiled residual state is cloned behind the trait object
+    /// ([`ResidualState::boxed_clone`]) and the search plan is shared — no
+    /// recompilation, no re-derivation. The fork is independent: walks on
+    /// it never touch this session.
+    pub fn fork(&self) -> SearchSession<'q, Q> {
+        SearchSession {
+            q: self.q,
+            g: self.g.clone(),
+            plan: Arc::clone(&self.plan),
+            state: self.state.as_ref().map(|s| s.boxed_clone()),
+            changed: Vec::new(),
+            path: Vec::new(),
+            scratch: Database::new(),
+        }
+    }
+
+    /// The session's grounding (current walk state included) — for policy
+    /// layers that need the instance geometry (domains, null count) to plan
+    /// sharding.
+    pub fn grounding(&self) -> &Grounding {
+        &self.g
+    }
+
+    /// The DFS null exploration order of every walk on this session. Task
+    /// prefixes handed to the `*_subtree` walks assign `order()[0..k]` in
+    /// this order.
+    pub fn order(&self) -> &[usize] {
+        &self.plan.order
+    }
+
+    /// Returns the session to its root state — every null unbound, the
+    /// residual state back at its construction snapshot — at reset cost
+    /// (`O(touched occurrences)` plus a status memcpy), not rebuild cost.
+    /// Root-entry walks call this themselves; it only needs to be called
+    /// explicitly around direct `*_subtree` use.
+    pub fn rewind(&mut self) {
+        self.g.reset();
+        // Discard the pending dirty batch: the wholesale state rewind below
+        // supersedes an incremental apply of it.
+        self.g.drain_dirty_into(&mut self.changed);
+        if let Some(state) = &mut self.state {
+            state.rewind(&self.g);
+        }
+        self.changed.clear();
+        self.path.clear();
+    }
+
+    /// The query's outcome for the subtree below the grounding's current
+    /// bindings, after syncing the incremental state with every null that
+    /// changed since the previous call.
+    fn outcome(&mut self) -> PartialOutcome {
+        match &mut self.state {
+            Some(state) => {
+                self.g.drain_dirty_into(&mut self.changed);
+                state.apply(&self.g, &self.changed);
+                state.outcome(&self.g)
+            }
+            None => self.q.holds_partial(&self.g),
+        }
+    }
+
+    /// Rebinds the grounding for a fresh task: everything unbound, then
+    /// `order[d] ↦ prefix[d]`. The changes reach the residual state through
+    /// the dirty channel at the next evaluation — no rebuild.
+    fn start_task(&mut self, prefix: &[Constant]) {
+        self.g.reset();
+        for (d, &value) in prefix.iter().enumerate() {
+            self.g.bind_index(self.plan.order[d], value);
+        }
+        self.path.clear();
+        self.path.extend_from_slice(prefix);
+    }
+
+    /// Donates the unexplored sibling branches `order[depth] ↦ dom[from..]`
+    /// if another worker is starving and the subtree is worth splitting.
+    /// Returns `true` if the siblings now belong to the queue.
+    fn maybe_donate(&mut self, depth: usize, from: usize, steal: Option<&StealGate<'_>>) -> bool {
+        let Some(gate) = steal else {
+            return false;
+        };
+        if self.plan.hint[depth + 1] < gate.min_split_valuations || !gate.queue.wants_work() {
+            return false;
+        }
+        let dom = self.g.domain_by_index(self.plan.order[depth]);
+        gate.queue.donate((from..dom.len()).map(|j| {
+            let mut prefix = self.path.clone();
+            prefix.push(dom[j]);
+            prefix
+        }));
+        true
+    }
+
+    /// Counts the valuations satisfying the query over the whole search
+    /// tree — one full walk from the root, with `Satisfied` subtrees
+    /// credited in closed form and `Refuted` subtrees discarded.
+    pub fn count(&mut self) -> BigNat {
+        self.rewind();
+        let mut acc = NatAccumulator::new();
+        self.count_rec(0, None, &mut acc);
+        acc.into_total()
+    }
+
+    /// Counts the satisfying valuations of one task's subtree into `acc`:
+    /// the prefix assigns `order()[0..prefix.len()]`, and unexplored
+    /// sibling branches are donated through `steal` when other workers
+    /// starve. The session seeks to the prefix at reset cost.
+    pub fn count_subtree(
+        &mut self,
+        prefix: &[Constant],
+        steal: Option<&StealGate<'_>>,
+        acc: &mut NatAccumulator,
+    ) {
+        self.start_task(prefix);
+        self.count_rec(prefix.len(), steal, acc);
+    }
+
+    fn count_rec(&mut self, depth: usize, steal: Option<&StealGate<'_>>, acc: &mut NatAccumulator) {
+        match self.outcome() {
+            PartialOutcome::Satisfied => acc.add_big(&self.plan.suffix[depth]),
+            PartialOutcome::Refuted => {}
+            PartialOutcome::Unknown => {
+                if depth == self.plan.order.len() {
+                    // Fully bound yet undecided: the query type has no
+                    // residual evaluation, so materialise and model-check.
+                    self.g
+                        .completion_into(&mut self.scratch)
+                        .expect("every null is bound at a leaf");
+                    if self.q.holds(&self.scratch) {
+                        acc.add_one();
+                    }
+                } else {
+                    let i = self.plan.order[depth];
+                    let mut last = self.g.domain_by_index(i).len();
+                    let mut k = 0;
+                    while k < last {
+                        if k + 1 < last && self.maybe_donate(depth, k + 1, steal) {
+                            last = k + 1;
+                        }
+                        let value = self.g.domain_by_index(i)[k];
+                        self.g.bind_index(i, value);
+                        self.path.push(value);
+                        self.count_rec(depth + 1, steal, acc);
+                        self.path.pop();
+                        k += 1;
+                    }
+                    self.g.unbind_index(i);
+                }
+            }
+        }
+    }
+
+    /// Walks every satisfying completion leaf in the session's canonical
+    /// depth-first order, handing the fully bound grounding to `visitor` at
+    /// each one. Returns `true` if the walk covered the whole tree, `false`
+    /// if the visitor stopped it early — either way the session is back at
+    /// its root state afterwards, ready for the next walk.
+    pub fn visit_completions<V>(&mut self, visitor: &mut V) -> bool
+    where
+        V: CompletionVisitor + ?Sized,
+    {
+        self.rewind();
+        self.visit_rec(0, false, None, visitor)
+    }
+
+    /// Walks the satisfying completion leaves of one task's subtree (see
+    /// [`count_subtree`](SearchSession::count_subtree) for the task
+    /// protocol). Returns `false` if the visitor stopped the walk.
+    pub fn visit_subtree<V>(
+        &mut self,
+        prefix: &[Constant],
+        steal: Option<&StealGate<'_>>,
+        visitor: &mut V,
+    ) -> bool
+    where
+        V: CompletionVisitor + ?Sized,
+    {
+        self.start_task(prefix);
+        self.visit_rec(prefix.len(), false, steal, visitor)
+    }
+
+    /// The leaf walk: `decided` records that an ancestor already proved the
+    /// query `Satisfied` (no completion below can fail, so checks are
+    /// skipped); a donated task re-derives it at its root, since
+    /// `Satisfied` is monotone along a binding path.
+    fn visit_rec<V>(
+        &mut self,
+        depth: usize,
+        decided: bool,
+        steal: Option<&StealGate<'_>>,
+        visitor: &mut V,
+    ) -> bool
+    where
+        V: CompletionVisitor + ?Sized,
+    {
+        let decided = decided
+            || match self.outcome() {
+                PartialOutcome::Satisfied => true,
+                PartialOutcome::Refuted => return true,
+                PartialOutcome::Unknown => false,
+            };
+        if depth == self.plan.order.len() {
+            let satisfied = decided || {
+                self.g
+                    .completion_into(&mut self.scratch)
+                    .expect("every null is bound at a leaf");
+                self.q.holds(&self.scratch)
+            };
+            if satisfied {
+                return visitor.leaf(&self.g);
+            }
+            return true;
+        }
+        let i = self.plan.order[depth];
+        let mut keep_going = true;
+        let mut last = self.g.domain_by_index(i).len();
+        let mut k = 0;
+        while keep_going && k < last {
+            if k + 1 < last && self.maybe_donate(depth, k + 1, steal) {
+                last = k + 1;
+            }
+            let value = self.g.domain_by_index(i)[k];
+            self.g.bind_index(i, value);
+            self.path.push(value);
+            keep_going = self.visit_rec(depth + 1, decided, steal, visitor);
+            self.path.pop();
+            k += 1;
+        }
+        self.g.unbind_index(i);
+        keep_going
+    }
+
+    /// One bounded selection walk: collects into `page` the `cap` smallest
+    /// distinct completion fingerprints strictly greater than `after`
+    /// (displacing the running maximum once the page fills), over the whole
+    /// tree — the paging primitive behind `incdb-stream`'s
+    /// `CompletionStream`. Resident memory is `O(cap)` fingerprints
+    /// regardless of how many completions exist.
+    ///
+    /// `page` is not cleared first: pre-existing entries participate in the
+    /// bound, so several selection walks (e.g. per-worker subtree walks of
+    /// a parallel page fill) can accumulate into one heap.
+    pub fn select_page(
+        &mut self,
+        after: Option<&CompletionKey>,
+        cap: usize,
+        page: &mut BTreeSet<CompletionKey>,
+    ) {
+        self.rewind();
+        let mut sink = PageSink {
+            after,
+            cap: cap.max(1),
+            page,
+            scratch: CompletionKey::new(),
+        };
+        self.visit_rec(0, false, None, &mut sink);
+    }
+
+    /// The bounded selection walk of one task's subtree (see
+    /// [`count_subtree`](SearchSession::count_subtree) for the task
+    /// protocol and [`select_page`](SearchSession::select_page) for the
+    /// selection semantics) — the per-worker piece of a parallel page fill.
+    pub fn select_page_subtree(
+        &mut self,
+        prefix: &[Constant],
+        steal: Option<&StealGate<'_>>,
+        after: Option<&CompletionKey>,
+        cap: usize,
+        page: &mut BTreeSet<CompletionKey>,
+    ) {
+        self.start_task(prefix);
+        let mut sink = PageSink {
+            after,
+            cap: cap.max(1),
+            page,
+            scratch: CompletionKey::new(),
+        };
+        self.visit_rec(prefix.len(), false, steal, &mut sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BacktrackingEngine, CountingEngine, Tautology};
+    use incdb_data::{NullId, Value};
+    use incdb_query::Bcq;
+
+    /// The database of Example 2.2 / Figure 1.
+    fn example_2_2() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("S", vec![Value::constant(0), Value::constant(1)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(1), Value::constant(0)])
+            .unwrap();
+        db.add_fact("S", vec![Value::constant(0), Value::null(2)])
+            .unwrap();
+        db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(2), [0u64, 1]).unwrap();
+        db
+    }
+
+    /// A visitor that stops after `stop_after` leaves — used to abort walks
+    /// mid-tree.
+    struct StopAfter {
+        seen: usize,
+        stop_after: usize,
+    }
+
+    impl CompletionVisitor for StopAfter {
+        fn leaf(&mut self, _g: &Grounding) -> bool {
+            self.seen += 1;
+            self.seen < self.stop_after
+        }
+    }
+
+    #[test]
+    fn one_session_serves_every_walk_kind() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        // Count, enumerate, page — all on the same context, interleaved.
+        assert_eq!(session.count(), BigNat::from(4u64));
+        let mut keys = HashSet::new();
+        assert!(session.visit_completions(&mut CollectKeys { keys: &mut keys }));
+        assert_eq!(keys.len(), 3);
+        let mut page = BTreeSet::new();
+        session.select_page(None, 2, &mut page);
+        assert_eq!(page.len(), 2);
+        assert_eq!(session.count(), BigNat::from(4u64));
+    }
+
+    #[test]
+    fn aborted_walks_leave_the_session_exact() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        let expected_count = BacktrackingEngine::sequential()
+            .count_valuations(&db, &q)
+            .unwrap();
+        // Interleave aborted (over-budget-style) walks with full walks: the
+        // counts never drift.
+        for stop_after in [1usize, 2, 3] {
+            let mut abort = StopAfter {
+                seen: 0,
+                stop_after,
+            };
+            assert!(!session.visit_completions(&mut abort));
+            assert_eq!(session.count(), expected_count, "after abort {stop_after}");
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_and_cheap_to_make() {
+        let db = example_2_2();
+        let q = Tautology;
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        let mut fork = session.fork();
+        // Drive the fork mid-walk state divergently, then check both.
+        let mut abort = StopAfter {
+            seen: 0,
+            stop_after: 2,
+        };
+        assert!(!fork.visit_completions(&mut abort));
+        assert_eq!(session.count(), BigNat::from(6u64));
+        assert_eq!(fork.count(), BigNat::from(6u64));
+    }
+
+    #[test]
+    fn subtree_walks_compose_to_the_full_walk() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        let whole = session.count();
+        // Partition the tree by the first null of the order and re-walk it
+        // task by task on the same session.
+        let first = session.order()[0];
+        let dom: Vec<Constant> = session.grounding().domain_by_index(first).to_vec();
+        let mut acc = NatAccumulator::new();
+        for value in dom {
+            session.count_subtree(&[value], None, &mut acc);
+        }
+        assert_eq!(acc.into_total(), whole);
+        session.rewind();
+
+        // Same for the selection walk: per-subtree pages merge to the
+        // sequential page.
+        let mut sequential = BTreeSet::new();
+        session.select_page(None, 3, &mut sequential);
+        let first = session.order()[0];
+        let dom: Vec<Constant> = session.grounding().domain_by_index(first).to_vec();
+        let mut merged = BTreeSet::new();
+        for value in dom {
+            session.select_page_subtree(&[value], None, None, 3, &mut merged);
+        }
+        session.rewind();
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn select_page_pages_in_canonical_order() {
+        let db = example_2_2();
+        let q = Tautology;
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        // Drain 5 completions two at a time through the keyset protocol.
+        let mut seen: Vec<CompletionKey> = Vec::new();
+        loop {
+            let mut page = BTreeSet::new();
+            session.select_page(seen.last(), 2, &mut page);
+            let got = page.len();
+            seen.extend(page);
+            if got < 2 {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 5);
+        let mut sorted = seen.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, seen, "pages arrive sorted and distinct");
+    }
+}

@@ -324,8 +324,21 @@ impl Grounding {
         self.bound
     }
 
-    /// Unbinds every null at once.
+    /// Unbinds every null at once — the grounding half of the search-session
+    /// rewind protocol (`incdb_core::session::SearchSession::rewind`).
+    ///
+    /// Cost is `O(occurrences of the bound nulls)` with **no** allocation: a
+    /// reset rewrites exactly the positions the walk resolved, restores no
+    /// untouched state, and is free on an already-pristine grounding. Every
+    /// unbound null reaches watchers through the dirty channel as usual, so
+    /// an incremental [`ResidualState`-style] watcher either applies the
+    /// batch or rewinds wholesale — both leave it consistent.
+    ///
+    /// [`ResidualState`-style]: Grounding::drain_dirty_into
     pub fn reset(&mut self) {
+        if self.bound == 0 {
+            return;
+        }
         for i in 0..self.nulls.len() {
             self.unbind_index(i);
         }
@@ -626,6 +639,10 @@ mod tests {
         g.reset();
         g.drain_dirty_into(&mut changed);
         assert_eq!(changed, vec![1]);
+        // Resetting a pristine grounding is free and marks nothing.
+        g.reset();
+        g.drain_dirty_into(&mut changed);
+        assert!(changed.is_empty());
     }
 
     #[test]

@@ -74,7 +74,7 @@ use crate::PartialOutcome;
 /// assert_eq!(state.outcome(&g), PartialOutcome::Satisfied);
 /// assert_eq!(state.outcome(&g), q.holds_partial(&g));
 /// ```
-pub trait ResidualState: Send {
+pub trait ResidualState: Send + Sync {
     /// Incorporates a batch of changed nulls (indices into
     /// [`Grounding::nulls`], as drained from
     /// [`Grounding::drain_dirty_into`]), re-classifying only the candidate
@@ -88,6 +88,25 @@ pub trait ResidualState: Send {
     ///
     /// [`apply`]: ResidualState::apply
     fn outcome(&mut self, g: &Grounding) -> PartialOutcome;
+
+    /// Rewinds the evaluator to the state it captured at construction,
+    /// **without reallocation** — the cheap reset half of the search-session
+    /// protocol (`incdb_core::session::SearchSession::rewind`).
+    ///
+    /// The caller must first return the grounding to the assignment it had
+    /// when the state was built (for a search session: fully unbound, via
+    /// [`Grounding::reset`]) and discard the pending dirty-null batch — the
+    /// restore supersedes an incremental [`apply`](ResidualState::apply) of
+    /// those changes. [`BcqResidual`] implements this as a counter/status
+    /// snapshot restore, so a rewind costs `O(candidate facts)` copies
+    /// instead of re-running classification, and never touches the heap.
+    fn rewind(&mut self, g: &Grounding);
+
+    /// Clones the evaluator behind the trait object — the forking half of
+    /// the search-session protocol: a parallel worker clones the compiled
+    /// state (candidate sets, watch index, component decomposition) instead
+    /// of re-deriving it from the query and the table.
+    fn boxed_clone(&self) -> Box<dyn ResidualState>;
 }
 
 /// How one fact currently relates to one watching query atom.
@@ -265,9 +284,25 @@ pub struct BcqResidual {
     /// Reverse watch index: global fact index → the `(atom, slot)` pairs
     /// whose candidate sets contain that fact.
     watchers: Vec<Vec<(u32, u32)>>,
+    /// The construction-time snapshot [`ResidualState::rewind`] restores:
+    /// per atom, the fact statuses and counters as classified at build time.
+    root: Vec<RootSnapshot>,
+    /// The grounding's bound-null count at construction — the rewind
+    /// precondition (the caller must restore that assignment first), checked
+    /// in debug builds.
+    root_bound: usize,
     /// Multi-atom join searches actually executed (diagnostic; see
     /// [`BcqResidual::join_search_count`]).
     join_searches: u64,
+}
+
+/// One atom's share of the construction-time state: everything
+/// [`ResidualState::rewind`] needs to restore it by plain copies.
+#[derive(Debug, Clone)]
+struct RootSnapshot {
+    status: Vec<FactStatus>,
+    certain: usize,
+    viable: usize,
 }
 
 /// One variable-connected component with its localized revision guard and
@@ -383,6 +418,8 @@ impl BcqResidual {
             components,
             component_of,
             watchers,
+            root: Vec::new(),
+            root_bound: g.bound_count(),
             join_searches: 0,
         };
         for a in 0..state.atoms.len() {
@@ -390,6 +427,15 @@ impl BcqResidual {
                 state.atoms[a].refresh(slot, g);
             }
         }
+        state.root = state
+            .atoms
+            .iter()
+            .map(|a| RootSnapshot {
+                status: a.status.clone(),
+                certain: a.certain,
+                viable: a.viable,
+            })
+            .collect();
         state
     }
 
@@ -536,6 +582,32 @@ impl ResidualState for BcqResidual {
             PartialOutcome::Unknown
         }
     }
+
+    fn rewind(&mut self, g: &Grounding) {
+        debug_assert_eq!(
+            g.bound_count(),
+            self.root_bound,
+            "rewind requires the grounding back at its construction assignment"
+        );
+        for (atom, root) in self.atoms.iter_mut().zip(self.root.iter()) {
+            atom.status.copy_from_slice(&root.status);
+            atom.certain = root.certain;
+            atom.viable = root.viable;
+        }
+        // Memos go back to pristine (nothing computed yet), exactly as a
+        // freshly built state would report them. `join_searches` is a
+        // cumulative diagnostic and survives the rewind.
+        for component in &mut self.components {
+            component.revision = 1;
+            component.memo_at = 0;
+            component.ground = None;
+            component.optimistic = None;
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ResidualState> {
+        Box::new(self.clone())
+    }
 }
 
 /// The incremental evaluator of a [`Ucq`]: one [`BcqResidual`] per disjunct,
@@ -581,6 +653,16 @@ impl ResidualState for UcqResidual {
             PartialOutcome::Unknown
         }
     }
+
+    fn rewind(&mut self, g: &Grounding) {
+        for d in &mut self.disjuncts {
+            d.rewind(g);
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ResidualState> {
+        Box::new(self.clone())
+    }
 }
 
 /// The incremental evaluator of a [`NegatedBcq`]: the inner BCQ's state with
@@ -606,6 +688,14 @@ impl ResidualState for NegatedBcqResidual {
 
     fn outcome(&mut self, g: &Grounding) -> PartialOutcome {
         self.inner.outcome(g).negate()
+    }
+
+    fn rewind(&mut self, g: &Grounding) {
+        self.inner.rewind(g);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ResidualState> {
+        Box::new(self.clone())
     }
 }
 
@@ -739,6 +829,76 @@ mod tests {
         state.apply(&g, &buf);
         assert_eq!(state.outcome(&g), PartialOutcome::Satisfied);
         assert_eq!(state.outcome(&g), q.holds_partial(&g));
+    }
+
+    #[test]
+    fn rewind_restores_the_construction_state() {
+        let mut db = IncompleteDatabase::new_uniform([1u64, 2]);
+        db.add_fact("R", vec![Value::null(0)]).unwrap();
+        db.add_fact("S", vec![Value::null(1)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let q: Bcq = "R(x), S(x)".parse().unwrap();
+        let mut state = BcqResidual::new(&q, &g);
+        let mut buf = Vec::new();
+        g.drain_dirty_into(&mut buf);
+        let at_root = state.outcome(&g);
+        assert_eq!(at_root, q.holds_partial(&g));
+
+        // Walk somewhere, rewind, and the state answers like a fresh build —
+        // including through several rewind cycles on the same allocation.
+        for (a, b) in [(1u64, 2u64), (1, 1), (2, 2)] {
+            g.bind(NullId(0), Constant(a)).unwrap();
+            g.bind(NullId(1), Constant(b)).unwrap();
+            sync_and_check(&q, &mut g, &mut state, &mut buf);
+            g.reset();
+            g.drain_dirty_into(&mut buf);
+            state.rewind(&g);
+            assert_eq!(state.outcome(&g), at_root, "after rewind from {a},{b}");
+            assert_eq!(state.outcome(&g), q.holds_partial(&g));
+        }
+
+        // A rewound state keeps evaluating incrementally.
+        g.bind(NullId(0), Constant(2)).unwrap();
+        g.bind(NullId(1), Constant(1)).unwrap();
+        assert_eq!(
+            sync_and_check(&q, &mut g, &mut state, &mut buf),
+            PartialOutcome::Refuted
+        );
+    }
+
+    #[test]
+    fn boxed_clone_forks_an_independent_evaluator() {
+        let mut db = IncompleteDatabase::new_uniform([1u64, 2]);
+        db.add_fact("R", vec![Value::null(0), Value::null(1)])
+            .unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        let mut state: Box<dyn ResidualState> = Box::new(BcqResidual::new(&q, &g));
+        let mut buf = Vec::new();
+        g.drain_dirty_into(&mut buf);
+
+        // Fork, then drive the fork along a different path on its own clone
+        // of the grounding: the original is unaffected.
+        let mut fork = state.boxed_clone();
+        let mut g2 = g.clone();
+        g2.bind(NullId(0), Constant(1)).unwrap();
+        g2.bind(NullId(1), Constant(2)).unwrap();
+        g2.drain_dirty_into(&mut buf);
+        fork.apply(&g2, &buf);
+        assert_eq!(fork.outcome(&g2), PartialOutcome::Refuted);
+        assert_eq!(fork.outcome(&g2), q.holds_partial(&g2));
+
+        g.bind(NullId(0), Constant(1)).unwrap();
+        g.bind(NullId(1), Constant(1)).unwrap();
+        g.drain_dirty_into(&mut buf);
+        state.apply(&g, &buf);
+        assert_eq!(state.outcome(&g), PartialOutcome::Satisfied);
+
+        // The fork carries the construction snapshot: rewind works on it.
+        g2.reset();
+        g2.drain_dirty_into(&mut buf);
+        fork.rewind(&g2);
+        assert_eq!(fork.outcome(&g2), q.holds_partial(&g2));
     }
 
     #[test]

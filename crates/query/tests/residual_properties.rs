@@ -65,8 +65,16 @@ fn bcqs() -> Vec<Bcq> {
 }
 
 /// Replays `ops` on a fresh grounding of `db`, checking `state` against
-/// `holds_partial` after construction and after every mutation.
-fn check_query<Q: BooleanQuery>(q: &Q, db: &IncompleteDatabase, ops: &[(usize, usize)]) {
+/// `holds_partial` after construction and after every mutation. With
+/// `rewind_every`, the session-layer rewind protocol is exercised too:
+/// every that-many ops the grounding is reset and the state rewound to its
+/// construction snapshot instead of incrementally applying the batch.
+fn check_query_with_rewinds<Q: BooleanQuery>(
+    q: &Q,
+    db: &IncompleteDatabase,
+    ops: &[(usize, usize)],
+    rewind_every: Option<usize>,
+) {
     let mut g = db.try_grounding().unwrap();
     let Some(mut state) = q.residual_state(&g) else {
         panic!("query type must provide incremental evaluation");
@@ -74,7 +82,16 @@ fn check_query<Q: BooleanQuery>(q: &Q, db: &IncompleteDatabase, ops: &[(usize, u
     let mut buf = Vec::new();
     g.drain_dirty_into(&mut buf);
     assert_eq!(state.outcome(&g), q.holds_partial(&g), "initial state");
-    for &(null, action) in ops {
+    for (step, &(null, action)) in ops.iter().enumerate() {
+        if rewind_every.is_some_and(|every| step % every == every - 1) {
+            // The rewind protocol of `SearchSession::rewind`: grounding
+            // back to root, pending dirty batch discarded, state restored
+            // wholesale from its construction snapshot.
+            g.reset();
+            g.drain_dirty_into(&mut buf);
+            state.rewind(&g);
+            assert_eq!(state.outcome(&g), q.holds_partial(&g), "after rewind");
+        }
         let null = NullId(null as u32 % NULL_POOL);
         if action == 0 {
             g.unbind(null);
@@ -96,6 +113,10 @@ fn check_query<Q: BooleanQuery>(q: &Q, db: &IncompleteDatabase, ops: &[(usize, u
     }
 }
 
+fn check_query<Q: BooleanQuery>(q: &Q, db: &IncompleteDatabase, ops: &[(usize, usize)]) {
+    check_query_with_rewinds(q, db, ops, None);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -109,6 +130,22 @@ proptest! {
         for q in bcqs() {
             check_query(&q, &db, &ops);
         }
+    }
+
+    #[test]
+    fn rewound_states_agree_with_scratch_at_every_step(
+        facts in proptest::collection::vec((0usize..3, (0usize..9, 0usize..9)), 1..=6),
+        domains in proptest::collection::vec(1usize..8, NULL_POOL as usize..=NULL_POOL as usize),
+        ops in proptest::collection::vec((0usize..NULL_POOL as usize, 0usize..4), 1..=40),
+        rewind_every in 1usize..6,
+    ) {
+        let db = build_db(&facts, &domains);
+        for q in bcqs() {
+            check_query_with_rewinds(&q, &db, &ops, Some(rewind_every));
+            check_query_with_rewinds(&NegatedBcq::new(q), &db, &ops, Some(rewind_every));
+        }
+        let u: Ucq = "R(x,x) | S(x)".parse().unwrap();
+        check_query_with_rewinds(&u, &db, &ops, Some(rewind_every));
     }
 
     #[test]

@@ -21,13 +21,22 @@
 //!   ([`count_completions_budgeted`]) starts unsharded and adaptively
 //!   splits exactly the hash ranges that overflow the budget, with shards
 //!   scheduled on the engine's work-stealing
-//!   [`TaskQueue`](incdb_core::engine::TaskQueue).
+//!   [`TaskQueue`](incdb_core::engine::TaskQueue). Each worker drives all
+//!   its walks on **one persistent
+//!   [`SearchSession`](incdb_core::session::SearchSession)** — consecutive
+//!   ranges cost a rewind, not a grounding rebuild plus a residual-state
+//!   recompilation (pinned by [`ShardedCount::sessions_built`] /
+//!   [`ShardedCount::walks_reused`]).
 //! * **Resumable canonical-order enumeration** ([`stream`]). A
 //!   [`CompletionStream`] yields distinct completions in the canonical
 //!   fingerprint-lexicographic order, one `page_size`-bounded selection
 //!   walk per page, with a serializable keyset [`Cursor`] ([`cursor`]) —
 //!   pause, persist the cursor string, and resume the exact sequence in a
 //!   fresh process. The paging primitive a request-serving layer needs.
+//!   The stream holds its session across pages, and
+//!   [`CompletionStream::with_threads`] shards each selection walk across
+//!   work-stealing workers (merging their bounded heaps) for multicore
+//!   page latency — the page contents are scheduling-independent.
 //!
 //! The [`solver`] module exposes the memory-budget routing knob
 //! ([`StreamOptions`]): closed forms keep priority, unbudgeted requests run

@@ -27,13 +27,22 @@
 //! Shards are scheduled on the engine's work-stealing [`TaskQueue`]: workers
 //! pop ranges, and overflow splits are donated back to the queue, so idle
 //! workers immediately pick up the refined halves of a dense region.
+//!
+//! Consecutive walks of one worker run on a persistent
+//! [`SearchSession`]: the grounding, the compiled residual state and the
+//! DFS order are built **once per worker** and rewound — not rebuilt — for
+//! every subsequent range, so an aborted over-budget walk costs a reset
+//! plus the wasted search, never a recompilation. The
+//! [`ShardedCount::sessions_built`] / [`ShardedCount::walks_reused`]
+//! counters pin the reuse actually happening.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use incdb_bignum::{BigNat, NatAccumulator};
-use incdb_core::engine::{BacktrackingEngine, CompletionVisitor, TaskQueue};
+use incdb_core::engine::{CompletionVisitor, TaskQueue};
+use incdb_core::session::SearchSession;
 use incdb_data::{CompletionKey, DataError, Grounding, HashRange, IncompleteDatabase};
 use incdb_query::BooleanQuery;
 
@@ -56,6 +65,18 @@ pub struct ShardedCount {
     /// excluded). Under a budget this is the adaptively refined partition
     /// size; `1` means the instance fit in a single unsharded walk.
     pub counted_shards: usize,
+    /// How many worker walk contexts were created: each is a
+    /// [`SearchSession::fork`] off the call's one template session (the
+    /// single grounding build + residual-state compilation of the whole
+    /// call). At most one per worker that processed a range (workers that
+    /// never got a task fork nothing), however many ranges and splits the
+    /// run took.
+    pub sessions_built: usize,
+    /// Walks served by rewinding an already-built session instead of
+    /// rebuilding: always `passes - sessions_built`. The reuse the session
+    /// layer exists for — on a `K`-range run this saves `K - threads`
+    /// setups.
+    pub walks_reused: usize,
 }
 
 /// Collects the in-range fingerprints of one shard walk, aborting the walk
@@ -148,25 +169,39 @@ fn run_shards<Q: BooleanQuery + Sync + ?Sized>(
     budget: Option<usize>,
     threads: usize,
 ) -> Result<ShardedCount, DataError> {
-    // Surface missing-domain errors once, up front: worker walks over the
-    // same database cannot fail afterwards, which keeps the queue protocol
-    // (every popped task is finished) trivially correct.
-    db.try_grounding()?;
-    let engine = BacktrackingEngine::sequential();
+    // The one-time setup for the whole call: building the template session
+    // both validates the instance (missing-domain errors surface here, so
+    // worker walks cannot fail and the queue protocol — every popped task
+    // is finished — stays trivially correct) and compiles the query's
+    // residual state exactly once. Workers fork the template (cloning the
+    // compiled state, never re-deriving it) the first time they pop a
+    // range.
+    let template = SearchSession::new(db, q)?;
     let queue = TaskQueue::new(initial);
     let passes = AtomicUsize::new(0);
     let peak = AtomicUsize::new(0);
     let counted = AtomicUsize::new(0);
+    let sessions_built = AtomicUsize::new(0);
+    let walks_reused = AtomicUsize::new(0);
     let threads = threads.max(1);
 
     let worker = || {
         let mut acc = NatAccumulator::new();
+        // The worker's persistent walk context: forked off the template on
+        // its first range, rewound — not rebuilt — for every range after
+        // it. Workers that never pop a task never pay the fork.
+        let mut session: Option<SearchSession<'_, Q>> = None;
         while let Some(range) = queue.next_task() {
+            if session.is_none() {
+                sessions_built.fetch_add(1, Ordering::Relaxed);
+                session = Some(template.fork());
+            } else {
+                walks_reused.fetch_add(1, Ordering::Relaxed);
+            }
+            let session = session.as_mut().expect("session built above");
             passes.fetch_add(1, Ordering::Relaxed);
             let mut sink = RangeSink::new(range, budget);
-            let completed = engine
-                .visit_completions(db, q, &mut sink)
-                .expect("domains validated before the walk");
+            let completed = session.visit_completions(&mut sink);
             peak.fetch_max(sink.set.len(), Ordering::Relaxed);
             if completed {
                 debug_assert!(!sink.overflowed);
@@ -176,16 +211,16 @@ fn run_shards<Q: BooleanQuery + Sync + ?Sized>(
                 match range.split() {
                     // Overflow: refine this range. The halves tile exactly
                     // the aborted range, so nothing is lost or re-counted.
+                    // The aborted walk cost a rewind, not a rebuild.
                     Some((lo, hi)) => queue.donate([lo, hi]),
                     // A single hash point denser than the budget: count it
                     // in full rather than looping forever (see the docs of
                     // `count_completions_budgeted`).
                     None => {
                         passes.fetch_add(1, Ordering::Relaxed);
+                        walks_reused.fetch_add(1, Ordering::Relaxed);
                         let mut unbounded = RangeSink::new(range, None);
-                        engine
-                            .visit_completions(db, q, &mut unbounded)
-                            .expect("domains validated before the walk");
+                        session.visit_completions(&mut unbounded);
                         peak.fetch_max(unbounded.set.len(), Ordering::Relaxed);
                         acc.add_u64(unbounded.set.len() as u64);
                         counted.fetch_add(1, Ordering::Relaxed);
@@ -214,13 +249,15 @@ fn run_shards<Q: BooleanQuery + Sync + ?Sized>(
         peak_resident_fingerprints: peak.load(Ordering::Relaxed),
         passes: passes.load(Ordering::Relaxed),
         counted_shards: counted.load(Ordering::Relaxed),
+        sessions_built: sessions_built.load(Ordering::Relaxed),
+        walks_reused: walks_reused.load(Ordering::Relaxed),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use incdb_core::engine::CountingEngine;
+    use incdb_core::engine::{BacktrackingEngine, CountingEngine};
     use incdb_data::{NullId, Value};
     use incdb_query::Bcq;
 
@@ -255,6 +292,16 @@ mod tests {
                 );
                 assert_eq!(sharded.passes, shards);
                 assert_eq!(sharded.counted_shards, shards);
+                // Session reuse: at most one setup per worker that saw a
+                // task, and every other walk rode a rewound session.
+                assert!(sharded.sessions_built <= threads.min(shards));
+                assert_eq!(
+                    sharded.walks_reused,
+                    sharded.passes - sharded.sessions_built
+                );
+                if threads == 1 && shards > 0 {
+                    assert_eq!(sharded.sessions_built, 1);
+                }
             }
         }
     }
@@ -277,6 +324,10 @@ mod tests {
         );
         assert!(result.counted_shards > 1, "a 5-fingerprint set must shard");
         assert!(result.passes > result.counted_shards, "splits cost passes");
+        // One worker, one setup: every walk after the first — aborted and
+        // completed alike — reused the session.
+        assert_eq!(result.sessions_built, 1);
+        assert_eq!(result.walks_reused, result.passes - 1);
 
         // A roomy budget counts in a single unsharded pass.
         let roomy = count_completions_budgeted(&db, &q, 64, 1).unwrap();

@@ -6,63 +6,48 @@
 //! canonical fingerprints — total, deterministic, identical across runs),
 //! each materialised as a [`Database`] exactly once. Instead of holding the
 //! full completion set, the stream works page by page: one backtracking
-//! walk per page collects the `page_size` smallest fingerprints beyond the
-//! current [`Cursor`] in a bounded selection buffer, so resident memory is
-//! `O(page_size)` fingerprints **regardless of how many completions
-//! exist** — the memory-vs-passes trade-off knob of the streaming
-//! subsystem (a full drain costs `⌈N / page_size⌉` walks).
+//! selection walk per page collects the `page_size` smallest fingerprints
+//! beyond the current [`Cursor`] in a bounded selection buffer, so resident
+//! memory is `O(page_size)` fingerprints **regardless of how many
+//! completions exist** — the memory-vs-passes trade-off knob of the
+//! streaming subsystem (a full drain costs `⌈N / page_size⌉` walks).
+//!
+//! Two session-layer upgrades cut the per-page cost:
+//!
+//! * **Persistent walk contexts.** The stream holds a
+//!   [`SearchSession`] for as long as it lives: the grounding, the
+//!   compiled residual state and the DFS order are built once, and every
+//!   page fill rewinds that session instead of rebuilding the setup
+//!   ([`CompletionStream::sessions_built`] stays at 1 on the sequential
+//!   path no matter how many pages are drained).
+//! * **Parallel page fills.** With [`CompletionStream::with_engine`] (or
+//!   the [`with_threads`](CompletionStream::with_threads) shorthand) the
+//!   selection walk is sharded over the engine's work-stealing
+//!   [`TaskQueue`]: each worker runs the bounded selection on its own
+//!   forked session over donated subtree prefixes, and the per-worker
+//!   bounded heaps merge into the page — same page, deterministically,
+//!   at multicore latency. [`CompletionStream::fill_walks`] accounts the
+//!   per-worker walks the way [`passes`](CompletionStream::passes) counts
+//!   page fills.
 //!
 //! Because a page is determined by `(database, query, cursor, page size)`
-//! alone, the enumeration is **resumable**: [`CompletionStream::cursor`]
-//! after any yield serializes the position ([`Cursor::encode`]), and
+//! alone — worker scheduling cannot change its contents — the enumeration
+//! is **resumable**: [`CompletionStream::cursor`] after any yield
+//! serializes the position ([`Cursor::encode`]), and
 //! [`CompletionStream::resume`] continues the exact sequence from a fresh
 //! process with no other retained state — precisely keyset pagination over
 //! an exponential virtual result set.
 
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
 
-use incdb_core::engine::{BacktrackingEngine, CompletionVisitor, Tautology};
-use incdb_data::{
-    materialize_completion, CompletionKey, DataError, Database, Grounding, IncompleteDatabase,
-};
+use incdb_core::engine::{BacktrackingEngine, TaskQueue, Tautology};
+use incdb_core::session::{SearchSession, StealGate};
+use incdb_data::{materialize_completion, CompletionKey, DataError, Database, IncompleteDatabase};
 use incdb_query::BooleanQuery;
 
 use crate::cursor::Cursor;
-
-/// The bounded selection buffer of one page walk: keeps the `cap` smallest
-/// distinct fingerprints strictly greater than `after`.
-struct PageSink<'c> {
-    after: Option<&'c CompletionKey>,
-    cap: usize,
-    page: BTreeSet<CompletionKey>,
-    scratch: CompletionKey,
-}
-
-impl CompletionVisitor for PageSink<'_> {
-    fn leaf(&mut self, g: &Grounding) -> bool {
-        g.completion_fingerprint_into(&mut self.scratch)
-            .expect("every null is bound at a leaf");
-        if let Some(after) = self.after {
-            if self.scratch <= *after {
-                return true;
-            }
-        }
-        if self.page.contains(&self.scratch) {
-            return true;
-        }
-        if self.page.len() == self.cap {
-            // Full page: the candidate only enters by displacing the
-            // current maximum.
-            let max = self.page.last().expect("cap is at least 1");
-            if self.scratch >= *max {
-                return true;
-            }
-            self.page.pop_last();
-        }
-        self.page.insert(self.scratch.clone());
-        true
-    }
-}
 
 /// A resumable iterator over the distinct satisfying completions of one
 /// incomplete database, in canonical (fingerprint-lexicographic) order.
@@ -87,9 +72,12 @@ impl CompletionVisitor for PageSink<'_> {
 ///     &db, &Tautology, 2, ticket.parse().unwrap()).unwrap();
 /// assert_eq!(resumed.count(), 1); // exactly the one remaining completion
 /// ```
-pub struct CompletionStream<'a, Q: BooleanQuery + ?Sized> {
+pub struct CompletionStream<'a, Q: BooleanQuery + Sync + ?Sized> {
     db: &'a IncompleteDatabase,
     q: &'a Q,
+    /// The policy half: worker count, sharding thresholds and tuning knobs
+    /// for parallel fills. The default ([`BacktrackingEngine::sequential`])
+    /// fills pages with one sequential walk.
     engine: BacktrackingEngine,
     page_size: usize,
     rel_names: Vec<String>,
@@ -101,10 +89,18 @@ pub struct CompletionStream<'a, Q: BooleanQuery + ?Sized> {
     /// Set once a page walk returns fewer keys than requested: nothing
     /// beyond the buffer remains.
     exhausted: bool,
+    /// The stream's persistent walk context, built at the first fill and
+    /// rewound for every one after it.
+    session: Option<SearchSession<'a, Q>>,
+    /// Persistent forks for parallel fills, grown to the engine's worker
+    /// count at the first sharded fill and reused for every one after it.
+    workers: Vec<SearchSession<'a, Q>>,
     passes: usize,
+    fill_walks: usize,
+    sessions_built: usize,
 }
 
-impl<'a, Q: BooleanQuery + ?Sized> CompletionStream<'a, Q> {
+impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
     /// Opens a stream over the satisfying completions of `db`, paging
     /// `page_size` (at least 1) completions per search-tree walk.
     ///
@@ -139,8 +135,33 @@ impl<'a, Q: BooleanQuery + ?Sized> CompletionStream<'a, Q> {
             cursor,
             buffer: VecDeque::new(),
             exhausted: false,
+            session: None,
+            workers: Vec::new(),
             passes: 0,
+            fill_walks: 0,
+            sessions_built: 0,
         })
+    }
+
+    /// Replaces the fill policy: page fills shard the selection walk across
+    /// the engine's workers whenever its
+    /// [`shard_plan`](BacktrackingEngine::shard_plan) says the instance is
+    /// worth it (and run sequentially otherwise). The page *contents* are
+    /// independent of the policy — only the fill latency changes.
+    ///
+    /// Builder style; call before iterating (an engine swap mid-stream
+    /// drops the already-forked workers, not the cursor position).
+    pub fn with_engine(mut self, engine: BacktrackingEngine) -> Self {
+        self.engine = engine;
+        self.workers.clear();
+        self
+    }
+
+    /// Shorthand for [`with_engine`](CompletionStream::with_engine) with
+    /// `threads` default-tuned workers: parallel page fills on instances
+    /// above the engine's default sharding threshold.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_engine(BacktrackingEngine::with_threads(threads))
     }
 
     /// The resume position: immediately after the last yielded completion.
@@ -150,10 +171,29 @@ impl<'a, Q: BooleanQuery + ?Sized> CompletionStream<'a, Q> {
         &self.cursor
     }
 
-    /// How many search-tree walks this stream has performed so far — the
-    /// passes side of the memory-vs-passes trade-off (one per page).
+    /// How many page fills this stream has performed so far — the passes
+    /// side of the memory-vs-passes trade-off (one per page, whatever the
+    /// fill policy).
     pub fn passes(&self) -> usize {
         self.passes
+    }
+
+    /// How many selection walks the fills cost in total: equal to
+    /// [`passes`](CompletionStream::passes) for sequential fills, and the
+    /// sum of per-worker subtree walks (task pops, including donated
+    /// splits) for parallel ones — the accounting that shows where a
+    /// parallel fill spent its workers.
+    pub fn fill_walks(&self) -> usize {
+        self.fill_walks
+    }
+
+    /// How many walk contexts this stream has built: `1` after the first
+    /// sequential fill however many pages are drained, plus one per
+    /// persistent worker fork on the parallel path. Pinned by tests — the
+    /// counter that proves pages reuse the session instead of rebuilding
+    /// the grounding and recompiling the query.
+    pub fn sessions_built(&self) -> usize {
+        self.sessions_built
     }
 
     /// The configured page size: the stream's resident-memory bound, in
@@ -162,29 +202,101 @@ impl<'a, Q: BooleanQuery + ?Sized> CompletionStream<'a, Q> {
         self.page_size
     }
 
-    /// Runs one search-tree walk to fetch the next page beyond the cursor.
+    /// Runs the selection walks for the next page beyond the cursor.
     fn refill(&mut self) {
         debug_assert!(self.buffer.is_empty());
-        let mut sink = PageSink {
-            after: self.cursor.last_key(),
-            cap: self.page_size,
-            page: BTreeSet::new(),
-            scratch: CompletionKey::new(),
+        if self.session.is_none() {
+            self.session = Some(
+                self.engine
+                    .session(self.db, self.q)
+                    .expect("domains validated when the stream was opened"),
+            );
+            self.sessions_built += 1;
+        }
+        let after = self.cursor.last_key();
+        let cap = self.page_size;
+        let mut page: BTreeSet<CompletionKey> = BTreeSet::new();
+        let prefixes = {
+            let session = self.session.as_ref().expect("session built above");
+            self.engine.shard_plan(session.grounding(), session.order())
         };
-        self.engine
-            .visit_completions(self.db, self.q, &mut sink)
-            .expect("domains validated when the stream was opened");
+        match prefixes {
+            // Sequential fill: one bounded selection walk on the persistent
+            // session.
+            None => {
+                let session = self.session.as_mut().expect("session built above");
+                session.select_page(after, cap, &mut page);
+                self.fill_walks += 1;
+            }
+            // Parallel fill: shard the selection walk over the engine's
+            // work-stealing queue. Each worker accumulates its own bounded
+            // heap over the subtree prefixes it pops (donating splits when
+            // others starve); any key among the page's true `cap` smallest
+            // is seen by whichever worker owns its subtree and cannot be
+            // displaced from that worker's heap, so merging the K bounded
+            // heaps and trimming to `cap` yields exactly the sequential
+            // page.
+            Some(prefixes) => {
+                while self.workers.len() < self.engine.threads() {
+                    self.workers
+                        .push(self.session.as_ref().expect("session built above").fork());
+                    self.sessions_built += 1;
+                }
+                let queue = TaskQueue::new(prefixes);
+                let walks = AtomicUsize::new(0);
+                let min_split_valuations = self.engine.min_split_valuations();
+                let heaps: Vec<BTreeSet<CompletionKey>> = thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .workers
+                        .iter_mut()
+                        .map(|session| {
+                            let (queue, walks) = (&queue, &walks);
+                            scope.spawn(move || {
+                                let gate = StealGate {
+                                    queue,
+                                    min_split_valuations,
+                                };
+                                let mut heap = BTreeSet::new();
+                                while let Some(prefix) = queue.next_task() {
+                                    session.select_page_subtree(
+                                        &prefix,
+                                        Some(&gate),
+                                        after,
+                                        cap,
+                                        &mut heap,
+                                    );
+                                    walks.fetch_add(1, Ordering::Relaxed);
+                                    queue.finish_task();
+                                }
+                                heap
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("page-fill worker panicked"))
+                        .collect()
+                });
+                self.fill_walks += walks.load(Ordering::Relaxed);
+                for heap in heaps {
+                    page.extend(heap);
+                }
+                while page.len() > cap {
+                    page.pop_last();
+                }
+            }
+        }
         self.passes += 1;
-        if sink.page.len() < self.page_size {
+        if page.len() < self.page_size {
             // The page was not filled: everything beyond the cursor is
             // already in hand.
             self.exhausted = true;
         }
-        self.buffer = sink.page.into_iter().collect();
+        self.buffer = page.into_iter().collect();
     }
 }
 
-impl<Q: BooleanQuery + ?Sized> Iterator for CompletionStream<'_, Q> {
+impl<Q: BooleanQuery + Sync + ?Sized> Iterator for CompletionStream<'_, Q> {
     type Item = Database;
 
     fn next(&mut self) -> Option<Database> {
@@ -231,6 +343,12 @@ mod tests {
         db
     }
 
+    /// A fill policy that forces parallel page fills even on the tiny test
+    /// instances (3 workers, shard from the first valuation).
+    fn parallel_engine() -> BacktrackingEngine {
+        BacktrackingEngine::with_threads(3).with_parallel_threshold(1)
+    }
+
     #[test]
     fn drains_every_distinct_completion_once() {
         let db = example_2_2();
@@ -262,12 +380,39 @@ mod tests {
         let mut one_by_one = all_completions_stream(&db, 1).unwrap();
         let n = one_by_one.by_ref().count();
         assert_eq!(n, 5);
-        // One walk per completion, plus the final empty-page walk.
+        // One walk per completion, plus the final empty-page walk — on one
+        // persistent session: the setup was built exactly once.
         assert_eq!(one_by_one.passes(), n + 1);
+        assert_eq!(one_by_one.fill_walks(), n + 1);
+        assert_eq!(one_by_one.sessions_built(), 1);
         let mut wide = all_completions_stream(&db, 64).unwrap();
         assert_eq!(wide.by_ref().count(), 5);
         assert_eq!(wide.passes(), 1);
         assert_eq!(wide.page_size(), 64);
+    }
+
+    #[test]
+    fn parallel_fills_reproduce_the_sequential_pages() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        for page_size in [1usize, 2, 3, 64] {
+            let sequential: Vec<Database> =
+                CompletionStream::new(&db, &q, page_size).unwrap().collect();
+            let mut parallel = CompletionStream::new(&db, &q, page_size)
+                .unwrap()
+                .with_engine(parallel_engine());
+            let drained: Vec<Database> = parallel.by_ref().collect();
+            assert_eq!(drained, sequential, "page size {page_size}");
+            // The sharded fills really ran: more walks than passes, on the
+            // primary session plus its persistent worker forks (built once,
+            // not once per page).
+            assert!(parallel.fill_walks() >= parallel.passes());
+            assert!(
+                parallel.sessions_built() <= 1 + parallel_engine().threads(),
+                "forks must persist across fills, got {}",
+                parallel.sessions_built()
+            );
+        }
     }
 
     #[test]
@@ -279,11 +424,13 @@ mod tests {
             let mut head = CompletionStream::new(&db, &q, 2).unwrap();
             let prefix: Vec<Database> = head.by_ref().take(split).collect();
             // Round-trip the cursor through its wire format, as a serving
-            // layer would.
+            // layer would — resuming onto a *parallel* stream must continue
+            // the identical sequence.
             let ticket = head.cursor().encode();
             let tail: Vec<Database> =
                 CompletionStream::resume(&db, &q, 3, Cursor::decode(&ticket).unwrap())
                     .unwrap()
+                    .with_engine(parallel_engine())
                     .collect();
             let mut rejoined = prefix;
             rejoined.extend(tail);

@@ -72,8 +72,8 @@ pub mod prelude {
     pub use incdb_bignum::{BigInt, BigNat, BigRat};
     pub use incdb_core::solver::{count_all_completions, count_completions, count_valuations};
     pub use incdb_core::{
-        classify, classify_approx, ApproxStatus, Complexity, CountingProblem, DomainKind, Setting,
-        TableKind,
+        classify, classify_approx, ApproxStatus, Complexity, CountingProblem, DomainKind,
+        SearchSession, Setting, TableKind,
     };
     pub use incdb_data::{
         Constant, ConstantPool, Database, IncompleteDatabase, NullId, Valuation, Value,
