@@ -22,6 +22,12 @@
 //! collapsing, and the rows carry the peak-resident-fingerprint high-water
 //! metric alongside the count check (peak ≤ budget, count identical).
 //!
+//! The `columnar_scan` and `wide_count_limbs` rows measure the columnar
+//! data layer: bulk candidate classification over the contiguous value
+//! arena vs the per-row name-keyed-map idiom it replaced, and the
+//! fixed-limb counting accumulator vs per-node `BigNat` additions (with
+//! `bignat_op_count() == 0` asserted).
+//!
 //! Besides the Criterion groups, this bench always measures the headline
 //! comparisons directly and writes the results to `BENCH_engine.json` at the
 //! workspace root, so every CI run appends a point to the perf trajectory —
@@ -39,13 +45,13 @@ use incdb_bench::{
     deep_null_cycle, skewed_switch_cycle, uniform_codd_binary, uniform_self_loop_cycle,
     uniform_two_unary_relations, uniform_unary_completions_instance, wide_ground_cycle,
 };
-use incdb_bignum::BigNat;
+use incdb_bignum::{BigNat, NatAccumulator};
 use incdb_core::algorithms::{comp_uniform, val_uniform};
 use incdb_core::engine::{
     BacktrackingEngine, CompletionVisitor, CountingEngine, NaiveEngine, Tautology,
 };
 use incdb_data::{CompletionKey, Grounding, HashRange, IncompleteDatabase, Value};
-use incdb_query::Bcq;
+use incdb_query::{Bcq, BcqResidual, Homomorphism, Term};
 use incdb_stream::{all_completions_stream, count_completions_budgeted, count_completions_sharded};
 
 /// The pruning-friendly acceptance instance: a cycle of `nulls` binary facts
@@ -693,6 +699,159 @@ fn write_json_report(fast: bool) {
         });
     }
 
+    // Columnar-layer rows (the interned data-layer refactor).
+    //
+    // `columnar_scan` measures bulk candidate classification: the engine
+    // side is `BcqResidual::reclassify` — positionally compiled matching
+    // walking each relation's status slab in step with its contiguous
+    // value-arena slice — against the row-store idiom it replaced: per
+    // candidate row, replay the identical matching rule through name-keyed
+    // `Homomorphism` maps (a fresh `BTreeMap` with an insert per variable
+    // position, per row), the pre-compilation shape of
+    // `extend_against_fact`.
+    {
+        const SCAN_FACTS: u64 = 1500;
+        let db = wide_ground_cycle(2, 2, SCAN_FACTS);
+        let q: Bcq = "R(x,x)".parse().unwrap();
+        let g = db.try_grounding().unwrap();
+        let mut residual = BcqResidual::new(&q, &g);
+        let viable = residual.reclassify(&g);
+
+        let row_store_scan = || {
+            let mut viable = 0usize;
+            for atom in q.atoms() {
+                let Some(rel) = g.relation_index(atom.relation()) else {
+                    continue;
+                };
+                if g.relation_arity(rel) != atom.arity() {
+                    continue;
+                }
+                for fact in g.relation_facts(rel) {
+                    let values = g.fact_values(fact);
+                    let mut extension = Homomorphism::new();
+                    let mut ok = true;
+                    for (term, value) in atom.terms().iter().zip(values.iter()) {
+                        ok = match (term, value) {
+                            (Term::Const(c), Value::Const(d)) => c == d,
+                            (Term::Const(c), Value::Null(n)) => g.null_can_take(*n, *c),
+                            (Term::Var(v), Value::Const(d)) => match extension.get(v) {
+                                Some(bound) => bound == d,
+                                None => {
+                                    extension.insert(v.clone(), *d);
+                                    true
+                                }
+                            },
+                            (Term::Var(v), Value::Null(n)) => match extension.get(v) {
+                                Some(&bound) => g.null_can_take(*n, bound),
+                                None => true,
+                            },
+                        };
+                        if !ok {
+                            break;
+                        }
+                    }
+                    if ok {
+                        viable += 1;
+                    }
+                }
+            }
+            viable
+        };
+        assert_eq!(
+            row_store_scan(),
+            viable,
+            "the row-store baseline must classify exactly the reclassify set"
+        );
+        let naive_ns = median_ns(runs, || {
+            row_store_scan();
+        });
+        let engine_ns = median_ns(runs, || {
+            residual.reclassify(&g);
+        });
+        rows.push(JsonRow {
+            name: "columnar_scan",
+            baseline: "row_store_scan",
+            nulls: db.nulls().len() as u32,
+            valuations: db.valuation_count().to_string(),
+            naive_ns,
+            engine_ns,
+            extra: format!(
+                ", \"rows_scanned\": {}, \"viable\": {viable}",
+                g.fact_count()
+            ),
+        });
+    }
+
+    // `wide_count_limbs` measures the counting accumulator: per-hit
+    // increments and sub-2^128 closed-form subtree products landing in
+    // `NatAccumulator`'s fixed `[u64; 4]` wide counter, against the
+    // per-node arbitrary-precision idiom it replaced (`count += BigNat`
+    // per hit), on a mix whose exact total overflows even u128. The
+    // asserted acceptance property: the limb path performs **zero** BigNat
+    // additions along the way.
+    {
+        const HITS: usize = 4096;
+        // ≈ 2^126.8 — a closed-form ∏|dom| subtree product just under the
+        // limb path's 2^128 landing pad.
+        let product = BigNat::from(3u64).pow(80);
+        let accumulate_limbs = || {
+            let mut acc = NatAccumulator::new();
+            for i in 0..HITS {
+                if i % 16 == 0 {
+                    acc.add_big(&product);
+                } else {
+                    acc.add_one();
+                }
+            }
+            acc
+        };
+        let accumulate_bignat = || {
+            let mut count = BigNat::zero();
+            for i in 0..HITS {
+                if i % 16 == 0 {
+                    count += &product;
+                } else {
+                    count += BigNat::one();
+                }
+            }
+            count
+        };
+        let acc = accumulate_limbs();
+        assert_eq!(
+            acc.bignat_op_count(),
+            0,
+            "acceptance criterion: no per-node BigNat traffic on the limb path"
+        );
+        let total = acc.total();
+        assert!(
+            total.to_u128().is_none(),
+            "the accumulated total must overflow u128 for the row to mean anything"
+        );
+        assert_eq!(
+            total,
+            accumulate_bignat(),
+            "the limb path must produce the exact per-node BigNat total"
+        );
+        let naive_ns = median_ns(runs, || {
+            accumulate_bignat();
+        });
+        let engine_ns = median_ns(runs, || {
+            accumulate_limbs();
+        });
+        rows.push(JsonRow {
+            name: "wide_count_limbs",
+            baseline: "bignat_per_node",
+            nulls: 0,
+            valuations: total.to_string(),
+            naive_ns,
+            engine_ns,
+            extra: format!(
+                ", \"hits\": {HITS}, \"bignat_ops\": {}",
+                acc.bignat_op_count()
+            ),
+        });
+    }
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     if std::env::var("ENGINE_BENCH_NO_REGRESSION").is_err() {
         if let Ok(committed) = std::fs::read_to_string(path) {
@@ -755,6 +914,13 @@ fn write_json_report(fast: bool) {
         "acceptance criterion: the session-reusing sharded counter must beat \
          the rebuild-per-range baseline (got {:.2}×)",
         reuse.speedup()
+    );
+    let scan = rows.iter().find(|r| r.name == "columnar_scan").unwrap();
+    assert!(
+        scan.speedup() >= 2.0,
+        "acceptance criterion: the columnar slice-walk classification must be \
+         ≥2× the row-store per-row baseline (got {:.2}×)",
+        scan.speedup()
     );
 }
 

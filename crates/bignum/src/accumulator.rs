@@ -2,14 +2,23 @@
 //!
 //! The exact counters of the workspace used to execute `count += BigNat::one()`
 //! once per satisfying valuation, paying a heap allocation and a limb-vector
-//! walk per hit. [`NatAccumulator`] keeps a machine-word fast path: increments
-//! land in a `u64` and are only folded ("spilled") into the exact [`BigNat`]
-//! total when the word would overflow, so the hot loop runs on register
-//! arithmetic while the final total stays exact.
+//! walk per hit. [`NatAccumulator`] keeps a fixed-limb fast path: additions
+//! land in a `[u64; 4]` wide counter (256 bits of headroom) via plain
+//! carry-propagating register arithmetic, and an exact [`BigNat`] is only
+//! materialised on overflow of the wide counter or on extraction of the
+//! total. Closed-form subtree products up to `2^128` route through the same
+//! limb path ([`NatAccumulator::add_big`] → [`NatAccumulator::add_u128`]),
+//! so even astronomically large exact counts accumulate without touching
+//! arbitrary-precision arithmetic per node.
 
 use crate::nat::BigNat;
 
-/// An exact natural-number accumulator with a `u64` fast path.
+/// The number of 64-bit limbs of the wide counter: 256 bits of headroom
+/// before any accumulation path needs a [`BigNat`].
+const LIMBS: usize = 4;
+
+/// An exact natural-number accumulator with a fixed-limb `[u64; 4]` fast
+/// path.
 ///
 /// ```
 /// use incdb_bignum::{BigNat, NatAccumulator};
@@ -19,19 +28,27 @@ use crate::nat::BigNat;
 /// }
 /// acc.add_big(&BigNat::from(2u64).pow(100));
 /// assert_eq!(acc.total(), BigNat::from(1000u64) + BigNat::from(2u64).pow(100));
+/// // Everything above stayed in the fixed limbs:
+/// assert_eq!(acc.bignat_op_count(), 0);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct NatAccumulator {
-    small: u64,
+    /// The wide counter, little-endian base-2^64.
+    limbs: [u64; LIMBS],
+    /// The spill total: value accumulated beyond the wide counter.
     big: BigNat,
+    /// Number of arbitrary-precision additions performed (spills of the
+    /// wide counter plus `add_big` calls too large for the limb path).
+    bignat_ops: u64,
 }
 
 impl NatAccumulator {
     /// A fresh accumulator holding zero.
     pub fn new() -> Self {
         NatAccumulator {
-            small: 0,
+            limbs: [0; LIMBS],
             big: BigNat::zero(),
+            bignat_ops: 0,
         }
     }
 
@@ -41,40 +58,95 @@ impl NatAccumulator {
         self.add_u64(1);
     }
 
-    /// Adds a machine word, spilling into the big total only on overflow.
+    /// Adds a machine word into the wide counter.
     #[inline]
     pub fn add_u64(&mut self, n: u64) {
-        match self.small.checked_add(n) {
-            Some(sum) => self.small = sum,
-            None => {
-                self.big += BigNat::from(self.small);
-                self.small = n;
-            }
+        self.add_at(0, n);
+    }
+
+    /// Adds a 128-bit value into the wide counter — the landing pad for
+    /// closed-form `∏|dom|` subtree products that exceed one machine word.
+    #[inline]
+    pub fn add_u128(&mut self, n: u128) {
+        self.add_at(0, n as u64);
+        self.add_at(1, (n >> 64) as u64);
+    }
+
+    /// Adds `n` into limb `idx`, propagating carries upward.
+    #[inline]
+    fn add_at(&mut self, idx: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let (sum, carry) = self.limbs[idx].overflowing_add(n);
+        self.limbs[idx] = sum;
+        if carry {
+            self.propagate(idx + 1);
         }
     }
 
+    /// Carries one unit into limb `idx` and upward; a carry out of the top
+    /// limb folds `2^256` into the big spill total (the only way ordinary
+    /// accumulation ever reaches the arbitrary-precision path).
+    #[cold]
+    fn propagate(&mut self, mut idx: usize) {
+        while idx < LIMBS {
+            let (sum, carry) = self.limbs[idx].overflowing_add(1);
+            self.limbs[idx] = sum;
+            if !carry {
+                return;
+            }
+            idx += 1;
+        }
+        self.bignat_ops += 1;
+        self.big += BigNat::one().shl_bits(64 * LIMBS);
+    }
+
     /// Adds an exact big natural (used for closed-form subtree counts).
+    /// Values below `2^128` stay in the wide counter; larger ones fall back
+    /// to arbitrary-precision addition.
     pub fn add_big(&mut self, n: &BigNat) {
-        if let Some(word) = n.to_u64() {
-            self.add_u64(word);
+        if let Some(wide) = n.to_u128() {
+            self.add_u128(wide);
         } else {
+            self.bignat_ops += 1;
             self.big += n;
         }
     }
 
     /// Returns `true` if nothing has been accumulated yet.
     pub fn is_zero(&self) -> bool {
-        self.small == 0 && self.big.is_zero()
+        self.limbs == [0; LIMBS] && self.big.is_zero()
+    }
+
+    /// How many arbitrary-precision additions this accumulator has
+    /// performed. Stays `0` as long as every addition fit the fixed-limb
+    /// path — the property the `wide_count_limbs` benchmark asserts
+    /// (materialising the total on extraction is not counted; the issue is
+    /// per-node traffic, not the final readout).
+    pub fn bignat_op_count(&self) -> u64 {
+        self.bignat_ops
+    }
+
+    /// The wide counter's current value as an exact [`BigNat`].
+    fn limbs_value(&self) -> BigNat {
+        let mut raw = Vec::with_capacity(2 * LIMBS);
+        for limb in self.limbs {
+            raw.push(limb as u32);
+            raw.push((limb >> 32) as u32);
+        }
+        BigNat::from_limbs(raw)
     }
 
     /// The exact accumulated total.
     pub fn total(&self) -> BigNat {
-        &self.big + &BigNat::from(self.small)
+        &self.big + &self.limbs_value()
     }
 
     /// Consumes the accumulator, returning the exact total.
     pub fn into_total(self) -> BigNat {
-        self.big + BigNat::from(self.small)
+        let limbs = self.limbs_value();
+        self.big + limbs
     }
 }
 
@@ -93,6 +165,7 @@ mod tests {
         let acc = NatAccumulator::new();
         assert!(acc.is_zero());
         assert_eq!(acc.total(), BigNat::zero());
+        assert_eq!(acc.bignat_op_count(), 0);
     }
 
     #[test]
@@ -103,26 +176,86 @@ mod tests {
         }
         assert_eq!(acc.total().to_u64(), Some(123));
         assert!(!acc.is_zero());
+        assert_eq!(acc.bignat_op_count(), 0);
     }
 
     #[test]
-    fn overflow_spills_into_the_big_total() {
+    fn word_overflow_carries_within_the_limbs() {
         let mut acc = NatAccumulator::new();
         acc.add_u64(u64::MAX);
         acc.add_u64(u64::MAX);
         acc.add_one();
         let expected = BigNat::from(u64::MAX) + BigNat::from(u64::MAX) + BigNat::one();
         assert_eq!(acc.total(), expected);
+        // Crossing 2^64 is plain carry propagation, not a BigNat spill.
+        assert_eq!(acc.bignat_op_count(), 0);
     }
 
     #[test]
-    fn mixed_big_and_small_additions() {
+    fn u128_additions_stay_in_the_limbs() {
         let mut acc = NatAccumulator::new();
-        let huge = BigNat::from(3u64).pow(100);
+        acc.add_u128(u128::MAX);
+        acc.add_u128(u128::MAX);
+        acc.add_one();
+        let expected = BigNat::from(u128::MAX) + BigNat::from(u128::MAX) + BigNat::one();
+        assert_eq!(acc.total(), expected);
+        assert_eq!(acc.bignat_op_count(), 0);
+    }
+
+    #[test]
+    fn sub_2_128_products_use_the_limb_path() {
+        // The engine's closed-form subtree products arrive as BigNat; below
+        // 2^128 they must fold into the wide counter with no BigNat work.
+        let mut acc = NatAccumulator::new();
+        let product = BigNat::from(3u64).pow(80); // ≈ 2^126.8
+        for _ in 0..100 {
+            acc.add_big(&product);
+        }
+        assert_eq!(acc.bignat_op_count(), 0);
+        assert_eq!(acc.total(), product * BigNat::from(100u64));
+    }
+
+    #[test]
+    fn oversized_additions_fall_back_to_bignat() {
+        let mut acc = NatAccumulator::new();
+        let huge = BigNat::from(3u64).pow(100); // ≈ 2^158.5
         acc.add_big(&huge);
         acc.add_u64(41);
         acc.add_one();
         assert_eq!(acc.clone().into_total(), huge + BigNat::from(42u64));
         assert_eq!(BigNat::from(acc.clone()), acc.total());
+        assert_eq!(acc.bignat_op_count(), 1);
+    }
+
+    #[test]
+    fn wide_counter_overflow_spills_exactly() {
+        // Force a carry out of the top limb: accumulate 2^256 - 1, add one.
+        let mut acc = NatAccumulator::new();
+        let max_wide = (BigNat::one().shl_bits(256))
+            .checked_sub(&BigNat::one())
+            .unwrap();
+        // 2^256 - 1 = (2^128 - 1) * 2^128 + (2^128 - 1).
+        acc.add_u128(u128::MAX);
+        let high = BigNat::from(u128::MAX).shl_bits(128);
+        // The high half exceeds 2^128, so it takes the BigNat path …
+        acc.add_big(&high);
+        assert_eq!(acc.total(), max_wide);
+        let ops_before = acc.bignat_op_count();
+        // … but the +1 overflowing the low half only carries within limbs.
+        acc.add_one();
+        assert_eq!(acc.total(), BigNat::one().shl_bits(128).pow(2));
+        assert_eq!(acc.bignat_op_count(), ops_before);
+    }
+
+    #[test]
+    fn top_limb_carry_folds_into_the_spill_total() {
+        // The 2^256 rollover is unreachable through ordinary use (it takes
+        // 2^128 maximal additions), so poke the limbs directly to pin the
+        // cold path: a carry out of the top limb folds 2^256 into `big`.
+        let mut acc = NatAccumulator::new();
+        acc.limbs = [u64::MAX; LIMBS];
+        acc.add_one();
+        assert_eq!(acc.total(), BigNat::one().shl_bits(256));
+        assert_eq!(acc.bignat_op_count(), 1);
     }
 }

@@ -45,9 +45,9 @@ pub fn is_possible_completion_of_codd(db: &IncompleteDatabase, target: &Database
             db_facts.push((relation, fact));
         }
     }
-    let mut target_facts: Vec<(&str, &Vec<incdb_data::Constant>)> = Vec::new();
-    for (relation, facts) in target.relations() {
-        for fact in facts {
+    let mut target_facts: Vec<(&str, &[incdb_data::Constant])> = Vec::new();
+    for (relation, table) in target.relations() {
+        for fact in table.rows() {
             target_facts.push((relation, fact));
         }
     }
@@ -55,7 +55,7 @@ pub fn is_possible_completion_of_codd(db: &IncompleteDatabase, target: &Database
     // Compatibility: db fact i can be instantiated (within the domains of its
     // nulls) to target fact j.
     let compatible = |(rel_d, fact_d): (&str, &Vec<Value>),
-                      (rel_t, fact_t): (&str, &Vec<incdb_data::Constant>)|
+                      (rel_t, fact_t): (&str, &[incdb_data::Constant])|
      -> bool {
         if rel_d != rel_t || fact_d.len() != fact_t.len() {
             return false;

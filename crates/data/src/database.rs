@@ -2,21 +2,26 @@
 //!
 //! Completions of incomplete databases are values of this type; counting
 //! *distinct* completions relies on [`Database`] having structural equality
-//! and hashing that coincide with set equality of facts, which the
-//! `BTreeMap`/`BTreeSet` representation guarantees.
+//! and hashing that coincide with set equality of facts. The columnar
+//! representation guarantees this because each relation's [`Table`] keeps
+//! its row arena sorted and deduplicated, so equal fact sets have
+//! byte-identical storage.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::error::DataError;
+use crate::interner::{RelId, SymbolRegistry};
+use crate::table::{FactId, Table};
 use crate::value::Constant;
 
 /// A ground fact: a tuple of constants (the relation name is the key of the
 /// containing relation map).
 pub type GroundFact = Vec<Constant>;
 
-/// A complete relational database: for each relation name, a set of ground
-/// facts of a fixed arity.
+/// A complete relational database: relation names interned to [`RelId`] via
+/// a [`SymbolRegistry`], each relation stored as a columnar [`Table`], facts
+/// addressed by dense [`FactId`] row indices.
 ///
 /// ```
 /// use incdb_data::{Database, Constant};
@@ -25,9 +30,24 @@ pub type GroundFact = Vec<Constant>;
 /// db.add_fact("R", vec![Constant(1), Constant(2)]).unwrap(); // duplicate, set semantics
 /// assert_eq!(db.fact_count(), 1);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+///
+/// The interned view addresses the same facts without string lookups:
+///
+/// ```
+/// use incdb_data::{Database, Constant, FactId};
+/// let mut db = Database::new();
+/// db.add_fact("R", vec![Constant(3)]).unwrap();
+/// let rel = db.rel_id("R").unwrap();
+/// let table = db.table(rel);
+/// assert_eq!(table.row(FactId(0)), &[Constant(3)]);
+/// ```
+#[derive(Clone, Default)]
 pub struct Database {
-    relations: BTreeMap<String, BTreeSet<GroundFact>>,
+    registry: SymbolRegistry,
+    tables: Vec<Table>,
+    /// Relation ids sorted by name — the canonical iteration order (ids
+    /// themselves are assigned in insertion order).
+    order: Vec<RelId>,
 }
 
 impl Database {
@@ -47,28 +67,44 @@ impl Database {
                 relation: relation.to_string(),
             });
         }
-        if let Some(existing) = self.relations.get(relation) {
-            if let Some(first) = existing.iter().next() {
-                if first.len() != fact.len() {
+        let rel = match self.registry.get(relation) {
+            Some(rel) => {
+                let table = &self.tables[rel.index()];
+                if !table.is_empty() && table.arity() != fact.len() {
                     return Err(DataError::ArityMismatch {
                         relation: relation.to_string(),
-                        expected: first.len(),
+                        expected: table.arity(),
                         found: fact.len(),
                     });
                 }
+                rel
             }
-        }
-        self.relations
-            .entry(relation.to_string())
-            .or_default()
-            .insert(fact);
+            None => self.declare(relation),
+        };
+        self.tables[rel.index()].insert(&fact);
         Ok(())
     }
 
     /// Declares a relation name with no facts (useful so that `relations()`
     /// mentions it even when empty).
     pub fn declare_relation(&mut self, relation: &str) {
-        self.relations.entry(relation.to_string()).or_default();
+        if self.registry.get(relation).is_none() {
+            self.declare(relation);
+        }
+    }
+
+    /// Interns a fresh relation name, allocates its table and splices its id
+    /// into the name-sorted iteration order.
+    fn declare(&mut self, relation: &str) -> RelId {
+        let rel = self.registry.intern(relation);
+        debug_assert_eq!(rel.index(), self.tables.len());
+        self.tables.push(Table::new());
+        let at = self
+            .order
+            .binary_search_by(|&r| self.registry.name(r).unwrap().cmp(relation))
+            .unwrap_err();
+        self.order.insert(at, rel);
+        rel
     }
 
     /// Removes every relation and fact, turning `self` back into the empty
@@ -76,62 +112,98 @@ impl Database {
     /// (e.g. [`crate::Grounding::completion_into`]) instead of allocating a
     /// fresh value per completion.
     pub fn clear(&mut self) {
-        self.relations.clear();
+        self.registry.clear();
+        self.tables.clear();
+        self.order.clear();
+    }
+
+    /// The interned relation symbols.
+    pub fn registry(&self) -> &SymbolRegistry {
+        &self.registry
+    }
+
+    /// Looks up the id of a relation name.
+    pub fn rel_id(&self, relation: &str) -> Option<RelId> {
+        self.registry.get(relation)
+    }
+
+    /// The columnar table of a relation.
+    ///
+    /// # Panics
+    /// Panics if `rel` was not interned through this database.
+    pub fn table(&self, rel: RelId) -> &Table {
+        &self.tables[rel.index()]
+    }
+
+    /// The row addressed by `(rel, fact)`.
+    pub fn fact(&self, rel: RelId, fact: FactId) -> &[Constant] {
+        self.tables[rel.index()].row(fact)
     }
 
     /// Returns `true` if the given ground fact belongs to the database.
     pub fn contains(&self, relation: &str, fact: &[Constant]) -> bool {
-        self.relations
+        self.registry
             .get(relation)
-            .is_some_and(|facts| facts.contains(fact))
+            .is_some_and(|rel| self.tables[rel.index()].contains(fact))
     }
 
-    /// The set of facts of a relation (empty if the relation is unknown).
-    pub fn facts(&self, relation: &str) -> impl Iterator<Item = &GroundFact> {
-        self.relations.get(relation).into_iter().flatten()
+    /// The facts of a relation in canonical order (empty if the relation is
+    /// unknown).
+    pub fn facts(&self, relation: &str) -> impl Iterator<Item = &[Constant]> {
+        self.registry
+            .get(relation)
+            .map(|rel| self.tables[rel.index()].rows())
+            .into_iter()
+            .flatten()
     }
 
     /// The number of facts stored in a relation.
     pub fn relation_size(&self, relation: &str) -> usize {
-        self.relations.get(relation).map_or(0, BTreeSet::len)
+        self.registry
+            .get(relation)
+            .map_or(0, |rel| self.tables[rel.index()].len())
     }
 
-    /// Iterates over `(relation name, facts)` pairs in name order.
-    pub fn relations(&self) -> impl Iterator<Item = (&str, &BTreeSet<GroundFact>)> {
-        self.relations
-            .iter()
-            .map(|(name, facts)| (name.as_str(), facts))
+    /// Iterates over `(relation name, table)` pairs in name order.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &Table)> {
+        self.order.iter().map(|&rel| {
+            (
+                self.registry.name(rel).expect("ordered ids are interned"),
+                &self.tables[rel.index()],
+            )
+        })
     }
 
     /// The relation names present in the database (including declared-empty
     /// ones), in lexicographic order.
     pub fn relation_names(&self) -> impl Iterator<Item = &str> {
-        self.relations.keys().map(String::as_str)
+        self.order
+            .iter()
+            .map(|&rel| self.registry.name(rel).expect("ordered ids are interned"))
     }
 
     /// The total number of facts.
     pub fn fact_count(&self) -> usize {
-        self.relations.values().map(BTreeSet::len).sum()
+        self.tables.iter().map(Table::len).sum()
     }
 
     /// Returns `true` if the database stores no facts at all.
     pub fn is_empty(&self) -> bool {
-        self.relations.values().all(BTreeSet::is_empty)
+        self.tables.iter().all(Table::is_empty)
     }
 
     /// The active domain: every constant appearing in some fact.
     pub fn active_domain(&self) -> BTreeSet<Constant> {
-        self.relations
-            .values()
-            .flat_map(|facts| facts.iter().flat_map(|f| f.iter().copied()))
+        self.tables
+            .iter()
+            .flat_map(|t| t.data().iter().copied())
             .collect()
     }
 
     /// Returns `true` if `other` contains every fact of `self`.
     pub fn is_subset_of(&self, other: &Database) -> bool {
-        self.relations
-            .iter()
-            .all(|(name, facts)| facts.iter().all(|f| other.contains(name, f)))
+        self.relations()
+            .all(|(name, table)| table.rows().all(|f| other.contains(name, f)))
     }
 
     /// The set of constants appearing in the given relation.
@@ -142,12 +214,44 @@ impl Database {
     }
 }
 
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.order.len() == other.order.len() && self.relations().eq(other.relations())
+    }
+}
+
+impl Eq for Database {}
+
+impl std::hash::Hash for Database {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Name-ordered (name, table) sequence: equal databases hash
+        // identically regardless of interning order.
+        self.order.len().hash(state);
+        for (name, table) in self.relations() {
+            name.hash(state);
+            table.hash(state);
+        }
+    }
+}
+
+impl PartialOrd for Database {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Database {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.relations().cmp(other.relations())
+    }
+}
+
 impl fmt::Debug for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
         let mut first = true;
-        for (name, facts) in &self.relations {
-            for fact in facts {
+        for (name, table) in self.relations() {
+            for fact in table.rows() {
                 if !first {
                     write!(f, ", ")?;
                 }
@@ -219,6 +323,35 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_interning_order() {
+        let mut a = Database::new();
+        a.add_fact("S", vec![c(1)]).unwrap();
+        a.add_fact("R", vec![c(2)]).unwrap();
+        let mut b = Database::new();
+        b.add_fact("R", vec![c(2)]).unwrap();
+        b.add_fact("S", vec![c(1)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        let mut h = std::collections::HashSet::new();
+        h.insert(a);
+        h.insert(b);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let mut a = Database::new();
+        a.add_fact("R", vec![c(1)]).unwrap();
+        let mut b = Database::new();
+        b.add_fact("R", vec![c(2)]).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        let set: BTreeSet<Database> = [a.clone(), b.clone(), a.clone()].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
     fn active_domain_and_relation_adom() {
         let mut db = Database::new();
         db.add_fact("R", vec![c(1), c(2)]).unwrap();
@@ -248,6 +381,42 @@ mod tests {
         assert!(db.is_empty());
         assert_eq!(db.relation_names().collect::<Vec<_>>(), vec!["R"]);
         assert_eq!(db.relation_size("R"), 0);
+    }
+
+    #[test]
+    fn relation_names_are_sorted_regardless_of_insertion() {
+        let mut db = Database::new();
+        db.add_fact("S", vec![c(1)]).unwrap();
+        db.add_fact("Q", vec![c(1)]).unwrap();
+        db.add_fact("R", vec![c(1)]).unwrap();
+        assert_eq!(db.relation_names().collect::<Vec<_>>(), vec!["Q", "R", "S"]);
+        // Interned ids reflect insertion order, not name order.
+        assert_eq!(db.rel_id("S"), Some(crate::RelId(0)));
+        assert_eq!(db.rel_id("R"), Some(crate::RelId(2)));
+    }
+
+    #[test]
+    fn interned_addressing_round_trips() {
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(4), c(5)]).unwrap();
+        db.add_fact("R", vec![c(1), c(2)]).unwrap();
+        let rel = db.rel_id("R").unwrap();
+        let table = db.table(rel);
+        assert_eq!(table.len(), 2);
+        assert_eq!(db.fact(rel, FactId(0)), &[c(1), c(2)]);
+        assert_eq!(db.fact(rel, FactId(1)), &[c(4), c(5)]);
+        assert_eq!(table.position(&[c(4), c(5)]), Some(FactId(1)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(1)]).unwrap();
+        db.clear();
+        assert!(db.is_empty());
+        assert_eq!(db.relation_names().count(), 0);
+        assert_eq!(db.rel_id("R"), None);
+        assert_eq!(db, Database::new());
     }
 
     #[test]

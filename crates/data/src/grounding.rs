@@ -2,31 +2,49 @@
 //!
 //! The exhaustive counters used to clone a full [`Database`] per valuation
 //! and re-run model checking from scratch. A [`Grounding`] is the mutable
-//! workspace that replaces that pattern: it snapshots the naïve table once,
-//! then lets a search [`bind`](Grounding::bind) and
-//! [`unbind`](Grounding::unbind) individual nulls in `O(occurrences)` time,
-//! keeping a *partially resolved* view of every fact. Query evaluators can
-//! inspect that view directly (see `BooleanQuery::holds_partial` in
-//! `incdb-query`), and a completion only has to be materialised — into a
-//! reusable scratch [`Database`] — when a caller genuinely needs one.
+//! workspace that replaces that pattern: it snapshots the naïve table once
+//! — into a single flat value arena with per-fact spans — then lets a
+//! search [`bind`](Grounding::bind) and [`unbind`](Grounding::unbind)
+//! individual nulls in `O(occurrences)` time, keeping a *partially
+//! resolved* view of every fact. Query evaluators can inspect that view
+//! directly (see `BooleanQuery::holds_partial` in `incdb-query`), and a
+//! completion only has to be materialised — into a reusable scratch
+//! [`Database`] — when a caller genuinely needs one.
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::sync::Arc;
 
 use crate::database::Database;
 use crate::error::DataError;
 use crate::fingerprint::{fingerprint_hash, CompletionKey, HashRange};
 use crate::incomplete::IncompleteDatabase;
+use crate::interner::SymbolRegistry;
 use crate::valuation::{Valuation, ValuationIter};
 use crate::value::{Constant, NullId, Value};
+
+/// One occurrence of a null in the table: the owning fact and the absolute
+/// position of the value in the grounding's flat arena, so a bind rewrites
+/// `arena[pos]` directly without an indirection through the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occurrence {
+    /// The fact index (dense, stable for the lifetime of the grounding).
+    pub fact: u32,
+    /// The absolute index of the occurrence in the value arena.
+    pub pos: u32,
+}
 
 /// A mutable partial-valuation workspace over one incomplete database.
 ///
 /// The grounding owns a snapshot of the table (so it carries no lifetime and
-/// can be moved into worker threads) plus, per null, the list of positions
-/// where it occurs. Binding a null rewrites exactly those positions in the
-/// resolved view; unbinding restores them. No per-step allocation happens on
-/// either path.
+/// can be moved into worker threads): one row-major arena of values with a
+/// span per fact, relation names interned to dense indices via a
+/// [`SymbolRegistry`], and, per null, the list of arena positions where it
+/// occurs. Binding a null rewrites exactly those positions in the resolved
+/// view; unbinding restores them. No per-step allocation happens on either
+/// path, and the facts of one relation occupy a contiguous fact-index range
+/// (and a contiguous arena slice), so watchers can classify candidates with
+/// cache-friendly slice walks.
 ///
 /// ```
 /// use incdb_data::{Constant, IncompleteDatabase, NullId, Value};
@@ -54,20 +72,23 @@ pub struct Grounding {
     /// Current partial assignment, indexed like `nulls`.
     assignment: Vec<Option<Constant>>,
     bound: usize,
-    /// Relation names, in lexicographic order.
-    rel_names: Vec<String>,
-    rel_index: BTreeMap<String, usize>,
-    /// One entry per fact: owning relation (index into `rel_names`).
-    fact_rel: Vec<usize>,
-    /// The facts with bound nulls replaced by their constants, updated in
-    /// place by `bind` / `unbind`.
-    resolved: Vec<Vec<Value>>,
+    /// Relation names interned in lexicographic order, so a relation's
+    /// dense index equals its rank among the table's relation names.
+    registry: SymbolRegistry,
+    /// One entry per fact: owning relation (index into the registry).
+    fact_rel: Vec<u32>,
+    /// The flat value arena: every fact's values back to back, with bound
+    /// nulls replaced by their constants, updated in place by `bind` /
+    /// `unbind`.
+    values: Vec<Value>,
+    /// `offsets[f]..offsets[f + 1]` is the arena span of fact `f`.
+    offsets: Vec<u32>,
     /// Number of *unbound* null positions per fact (0 ⇒ the fact is ground).
-    unbound_in_fact: Vec<usize>,
-    /// Per null index, the `(fact, position)` pairs where it occurs.
-    occurrences: Vec<Vec<(usize, usize)>>,
-    /// Fact indices per relation index.
-    facts_by_rel: Vec<Vec<usize>>,
+    unbound_in_fact: Vec<u32>,
+    /// Per null index, the occurrences (fact + absolute arena position).
+    occurrences: Vec<Vec<Occurrence>>,
+    /// Contiguous fact-index range per relation.
+    rel_ranges: Vec<(u32, u32)>,
     /// Nulls changed by `bind`/`unbind` since the last
     /// [`Grounding::drain_dirty_into`] — the notification channel for watch
     /// structures layered on top of the grounding (e.g. the incremental
@@ -88,33 +109,38 @@ impl Grounding {
         let index_of: BTreeMap<NullId, usize> =
             nulls.iter().enumerate().map(|(i, &n)| (n, i)).collect();
 
-        let mut rel_names = Vec::new();
-        let mut rel_index = BTreeMap::new();
+        let mut registry = SymbolRegistry::new();
         let mut fact_rel = Vec::new();
-        let mut resolved = Vec::new();
+        let mut values = Vec::new();
+        let mut offsets = vec![0u32];
         let mut unbound_in_fact = Vec::new();
-        let mut occurrences: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nulls.len()];
-        let mut facts_by_rel = Vec::new();
+        let mut occurrences: Vec<Vec<Occurrence>> = vec![Vec::new(); nulls.len()];
+        let mut rel_ranges = Vec::new();
 
+        // `db.relations()` iterates in name order, so interned ids equal
+        // each relation's lexicographic rank.
         for (name, facts) in db.relations() {
-            let rel = rel_names.len();
-            rel_names.push(name.to_string());
-            rel_index.insert(name.to_string(), rel);
-            facts_by_rel.push(Vec::new());
+            let rel = registry.intern(name);
+            debug_assert_eq!(rel.index(), rel_ranges.len());
+            let start = fact_rel.len() as u32;
             for fact in facts {
-                let idx = resolved.len();
+                let idx = fact_rel.len() as u32;
                 let mut unbound = 0;
-                for (pos, value) in fact.iter().enumerate() {
+                for value in fact.iter() {
                     if let Value::Null(n) = value {
-                        occurrences[index_of[n]].push((idx, pos));
+                        occurrences[index_of[n]].push(Occurrence {
+                            fact: idx,
+                            pos: values.len() as u32,
+                        });
                         unbound += 1;
                     }
+                    values.push(*value);
                 }
-                fact_rel.push(rel);
-                resolved.push(fact.clone());
+                fact_rel.push(rel.0);
+                offsets.push(values.len() as u32);
                 unbound_in_fact.push(unbound);
-                facts_by_rel[rel].push(idx);
             }
+            rel_ranges.push((start, fact_rel.len() as u32));
         }
 
         let assignment = vec![None; nulls.len()];
@@ -125,13 +151,13 @@ impl Grounding {
             index_of,
             assignment,
             bound: 0,
-            rel_names,
-            rel_index,
+            registry,
             fact_rel,
-            resolved,
+            values,
+            offsets,
             unbound_in_fact,
             occurrences,
-            facts_by_rel,
+            rel_ranges,
             dirty: Vec::new(),
             dirty_flag,
         })
@@ -174,9 +200,9 @@ impl Grounding {
         self.occurrences[i].len()
     }
 
-    /// The `(fact index, position)` occurrences of the `i`-th null — the
-    /// per-null index watchers use to find the facts affected by a bind.
-    pub fn occurrences_of(&self, i: usize) -> &[(usize, usize)] {
+    /// The occurrences of the `i`-th null — the per-null index watchers use
+    /// to find the facts affected by a bind.
+    pub fn occurrences_of(&self, i: usize) -> &[Occurrence] {
         &self.occurrences[i]
     }
 
@@ -184,19 +210,19 @@ impl Grounding {
     /// indices returned by the accessors below are stable for the lifetime
     /// of the grounding.
     pub fn fact_count(&self) -> usize {
-        self.resolved.len()
+        self.fact_rel.len()
     }
 
     /// The relation owning a fact, as an index into the
     /// [`Grounding::relation_names`] order.
     pub fn fact_relation(&self, fact: usize) -> usize {
-        self.fact_rel[fact]
+        self.fact_rel[fact] as usize
     }
 
     /// The partially resolved values of one fact under the current
     /// assignment.
     pub fn fact_values(&self, fact: usize) -> &[Value] {
-        &self.resolved[fact]
+        &self.values[self.offsets[fact] as usize..self.offsets[fact + 1] as usize]
     }
 
     /// Returns `true` if every position of the fact is resolved (no unbound
@@ -207,13 +233,35 @@ impl Grounding {
 
     /// The index of a relation name within [`Grounding::relation_names`].
     pub fn relation_index(&self, relation: &str) -> Option<usize> {
-        self.rel_index.get(relation).copied()
+        self.registry.get(relation).map(|r| r.index())
     }
 
-    /// The fact indices of one relation (given by relation index), in
-    /// insertion order — the same order [`Grounding::facts_of`] iterates.
-    pub fn relation_facts(&self, rel: usize) -> &[usize] {
-        &self.facts_by_rel[rel]
+    /// The contiguous fact-index range of one relation (given by relation
+    /// index) — the same order [`Grounding::facts_of`] iterates.
+    pub fn relation_facts(&self, rel: usize) -> Range<usize> {
+        let (start, end) = self.rel_ranges[rel];
+        start as usize..end as usize
+    }
+
+    /// The arity of one relation (0 if it has no facts).
+    pub fn relation_arity(&self, rel: usize) -> usize {
+        let (start, end) = self.rel_ranges[rel];
+        if start == end {
+            0
+        } else {
+            (self.offsets[start as usize + 1] - self.offsets[start as usize]) as usize
+        }
+    }
+
+    /// The flat arena slice covering every fact of one relation, together
+    /// with the relation's arity (stride). Fact `first + k` of the range
+    /// occupies `slice[k * arity..(k + 1) * arity]` — the columnar surface
+    /// that residual watchers scan without per-fact indirections.
+    pub fn relation_arena(&self, rel: usize) -> (&[Value], usize) {
+        let (start, end) = self.rel_ranges[rel];
+        let lo = self.offsets[start as usize] as usize;
+        let hi = self.offsets[end as usize] as usize;
+        (&self.values[lo..hi], self.relation_arity(rel))
     }
 
     /// Binds a null to a value of its domain, resolving every occurrence in
@@ -243,13 +291,13 @@ impl Grounding {
         );
         if self.assignment[i].is_none() {
             self.bound += 1;
-            for &(fact, _) in &self.occurrences[i] {
-                self.unbound_in_fact[fact] -= 1;
+            for occ in &self.occurrences[i] {
+                self.unbound_in_fact[occ.fact as usize] -= 1;
             }
         }
         self.assignment[i] = Some(value);
-        for &(fact, pos) in &self.occurrences[i] {
-            self.resolved[fact][pos] = Value::Const(value);
+        for occ in &self.occurrences[i] {
+            self.values[occ.pos as usize] = Value::Const(value);
         }
         self.mark_dirty(i);
     }
@@ -267,9 +315,9 @@ impl Grounding {
         if self.assignment[i].take().is_some() {
             self.bound -= 1;
             let null = self.nulls[i];
-            for &(fact, pos) in &self.occurrences[i] {
-                self.resolved[fact][pos] = Value::Null(null);
-                self.unbound_in_fact[fact] += 1;
+            for occ in &self.occurrences[i] {
+                self.values[occ.pos as usize] = Value::Null(null);
+                self.unbound_in_fact[occ.fact as usize] += 1;
             }
             self.mark_dirty(i);
         }
@@ -346,22 +394,17 @@ impl Grounding {
 
     /// The relation names of the table, in lexicographic order.
     pub fn relation_names(&self) -> impl Iterator<Item = &str> {
-        self.rel_names.iter().map(String::as_str)
+        self.registry.iter().map(|(_, name)| name)
     }
 
     /// The partially resolved facts of one relation, each tagged with
     /// whether it is fully ground under the current assignment.
     pub fn facts_of(&self, relation: &str) -> impl Iterator<Item = (&[Value], bool)> {
-        self.rel_index
+        self.registry
             .get(relation)
             .into_iter()
-            .flat_map(|&rel| self.facts_by_rel[rel].iter())
-            .map(|&idx| {
-                (
-                    self.resolved[idx].as_slice(),
-                    self.unbound_in_fact[idx] == 0,
-                )
-            })
+            .flat_map(|rel| self.relation_facts(rel.index()))
+            .map(|idx| (self.fact_values(idx), self.unbound_in_fact[idx] == 0))
     }
 
     /// Every partially resolved fact as `(relation index, values)`; relation
@@ -369,10 +412,7 @@ impl Grounding {
     /// counting engine to fingerprint completions without building a
     /// [`Database`].
     pub fn resolved_facts(&self) -> impl Iterator<Item = (usize, &[Value])> {
-        self.fact_rel
-            .iter()
-            .zip(self.resolved.iter())
-            .map(|(&rel, fact)| (rel, fact.as_slice()))
+        (0..self.fact_count()).map(|idx| (self.fact_rel[idx] as usize, self.fact_values(idx)))
     }
 
     /// The canonical fingerprint of the completion induced by the current
@@ -473,15 +513,18 @@ impl Grounding {
             });
         }
         out.clear();
-        for name in &self.rel_names {
+        for (_, name) in self.registry.iter() {
             out.declare_relation(name);
         }
+        let mut ground = Vec::new();
         for (rel, fact) in self.resolved_facts() {
-            let ground: Vec<Constant> = fact
-                .iter()
-                .map(|v| v.as_const().expect("all nulls are bound"))
-                .collect();
-            out.add_fact(&self.rel_names[rel], ground)
+            ground.clear();
+            ground.extend(
+                fact.iter()
+                    .map(|v| v.as_const().expect("all nulls are bound")),
+            );
+            let name = self.registry.name(crate::RelId(rel as u32)).unwrap();
+            out.add_fact(name, ground.clone())
                 .expect("arity verified at insertion time");
         }
         Ok(())
@@ -652,16 +695,46 @@ mod tests {
         assert_eq!(g.fact_count(), 3);
         assert_eq!(g.relation_index("S"), Some(0));
         assert_eq!(g.relation_index("T"), None);
-        assert_eq!(g.relation_facts(0), &[0, 1, 2]);
+        assert_eq!(g.relation_facts(0), 0..3);
         assert_eq!(g.fact_relation(2), 0);
         assert!(g.fact_is_ground(0));
         assert!(!g.fact_is_ground(1));
         // Facts sort by value within a relation: S(a,b), S(a,⊥2), S(⊥1,a).
-        assert_eq!(g.occurrences_of(0), &[(2, 0)]);
-        assert_eq!(g.occurrences_of(1), &[(1, 1)]);
+        // Occurrences carry the absolute arena position: ⊥1 sits at the
+        // first slot of fact 2 (arena index 4), ⊥2 at the second slot of
+        // fact 1 (arena index 3).
+        assert_eq!(g.occurrences_of(0), &[Occurrence { fact: 2, pos: 4 }]);
+        assert_eq!(g.occurrences_of(1), &[Occurrence { fact: 1, pos: 3 }]);
         g.bind(NullId(2), Constant(1)).unwrap();
         assert!(g.fact_is_ground(1));
         assert_eq!(g.fact_values(1), &[c(0), c(1)]);
+    }
+
+    #[test]
+    fn relation_arena_is_the_contiguous_columnar_view() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![c(9), n(0)]).unwrap();
+        db.add_fact("R", vec![c(8), c(7)]).unwrap();
+        db.add_fact("S", vec![n(1)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let (slice, arity) = g.relation_arena(0);
+        assert_eq!(arity, 2);
+        assert_eq!(slice, &[c(8), c(7), c(9), n(0)]);
+        assert_eq!(g.relation_arity(1), 1);
+        let (s_slice, _) = g.relation_arena(1);
+        assert_eq!(s_slice, &[n(1)]);
+        // Binds show up in the arena slice in place.
+        g.bind(NullId(0), Constant(1)).unwrap();
+        let (slice, _) = g.relation_arena(0);
+        assert_eq!(slice, &[c(8), c(7), c(9), c(1)]);
+        // An empty relation has an empty arena and arity 0.
+        let mut with_empty = IncompleteDatabase::new_uniform([0u64]);
+        with_empty.declare_relation("Z");
+        with_empty.add_fact("A", vec![n(0)]).unwrap();
+        let g2 = with_empty.try_grounding().unwrap();
+        let z = g2.relation_index("Z").unwrap();
+        assert_eq!(g2.relation_arena(z), (&[][..], 0));
+        assert_eq!(g2.relation_facts(z), 1..1);
     }
 
     #[test]

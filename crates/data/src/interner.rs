@@ -1,11 +1,18 @@
-//! A small bidirectional interner mapping human-readable names to
-//! [`Constant`] identifiers.
+//! Interners mapping human-readable names to dense integer identifiers.
 //!
-//! The counting algorithms only ever see integer identifiers; the pool exists
-//! so that examples and pretty-printers can speak about constants `a`, `b`,
-//! `c` like the paper does.
+//! Two interners live here:
+//!
+//! * [`ConstantPool`] maps constant names to [`Constant`] identifiers, so
+//!   that examples and pretty-printers can speak about constants `a`, `b`,
+//!   `c` like the paper does.
+//! * [`SymbolRegistry`] maps relation names to [`RelId`] identifiers — the
+//!   interned symbols of the columnar [`crate::Database`] representation.
+//!
+//! Both store each name exactly once: the backing string is an `Arc<str>`
+//! shared between the id-indexed vector and the name-keyed map.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::value::Constant;
 
@@ -22,8 +29,8 @@ use crate::value::Constant;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ConstantPool {
-    names: Vec<String>,
-    by_name: HashMap<String, Constant>,
+    names: Vec<Arc<str>>,
+    by_name: HashMap<Arc<str>, Constant>,
 }
 
 impl ConstantPool {
@@ -39,8 +46,9 @@ impl ConstantPool {
             return c;
         }
         let c = Constant(self.names.len() as u64);
-        self.names.push(name.to_string());
-        self.by_name.insert(name.to_string(), c);
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.by_name.insert(shared, c);
         c
     }
 
@@ -51,7 +59,7 @@ impl ConstantPool {
 
     /// The name associated with `c`, if `c` was interned through this pool.
     pub fn name(&self, c: Constant) -> Option<&str> {
-        self.names.get(c.0 as usize).map(String::as_str)
+        self.names.get(c.0 as usize).map(|s| &**s)
     }
 
     /// The number of interned constants.
@@ -70,6 +78,95 @@ impl ConstantPool {
             Some(n) => n.to_string(),
             None => c.0.to_string(),
         }
+    }
+}
+
+/// An interned relation symbol: a dense index into a [`SymbolRegistry`].
+///
+/// Relation ids are assigned in interning order; the columnar
+/// [`crate::Database`] uses them to index its table vector, so every
+/// fact lookup is an array access instead of a string-keyed map walk.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional map between relation names and [`RelId`] identifiers —
+/// the relation-symbol counterpart of [`ConstantPool`], sharing the same
+/// single-allocation `Arc<str>` idiom.
+///
+/// ```
+/// use incdb_data::SymbolRegistry;
+/// let mut reg = SymbolRegistry::new();
+/// let r = reg.intern("R");
+/// let s = reg.intern("S");
+/// assert_ne!(r, s);
+/// assert_eq!(reg.intern("R"), r);
+/// assert_eq!(reg.name(r), Some("R"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolRegistry {
+    names: Vec<Arc<str>>,
+    by_name: HashMap<Arc<str>, RelId>,
+}
+
+impl SymbolRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the relation id previously associated with
+    /// it or a fresh one.
+    pub fn intern(&mut self, name: &str) -> RelId {
+        if let Some(&r) = self.by_name.get(name) {
+            return r;
+        }
+        let r = RelId(self.names.len() as u32);
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.by_name.insert(shared, r);
+        r
+    }
+
+    /// Looks up a relation id by name without interning.
+    pub fn get(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name associated with `r`, if `r` was interned through this
+    /// registry.
+    pub fn name(&self, r: RelId) -> Option<&str> {
+        self.names.get(r.index()).map(|s| &**s)
+    }
+
+    /// The number of interned relation symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RelId(i as u32), &**s))
+    }
+
+    /// Removes every interned symbol.
+    pub fn clear(&mut self) {
+        self.names.clear();
+        self.by_name.clear();
     }
 }
 
@@ -112,5 +209,44 @@ mod tests {
         assert_eq!(pool.display(Constant(99)), "99");
         assert!(!pool.is_empty());
         assert!(ConstantPool::new().is_empty());
+    }
+
+    #[test]
+    fn pool_stores_each_name_once() {
+        // The vector entry and the map key share one allocation.
+        let mut pool = ConstantPool::new();
+        let a = pool.intern("shared");
+        let vec_entry = Arc::clone(&pool.names[a.0 as usize]);
+        // Two clones live in the pool (vector + map key) plus ours.
+        assert_eq!(Arc::strong_count(&vec_entry), 3);
+    }
+
+    #[test]
+    fn registry_interning_and_lookup() {
+        let mut reg = SymbolRegistry::new();
+        assert!(reg.is_empty());
+        let r = reg.intern("R");
+        let s = reg.intern("S");
+        assert_eq!(reg.intern("R"), r);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("R"), Some(r));
+        assert_eq!(reg.get("T"), None);
+        assert_eq!(reg.name(r), Some("R"));
+        assert_eq!(reg.name(RelId(9)), None);
+        assert_eq!(r.index(), 0);
+        assert_eq!(s.index(), 1);
+        let pairs: Vec<_> = reg.iter().collect();
+        assert_eq!(pairs, vec![(r, "R"), (s, "S")]);
+        reg.clear();
+        assert!(reg.is_empty());
+        assert_eq!(reg.get("R"), None);
+    }
+
+    #[test]
+    fn registry_stores_each_name_once() {
+        let mut reg = SymbolRegistry::new();
+        let r = reg.intern("Edge");
+        let vec_entry = Arc::clone(&reg.names[r.index()]);
+        assert_eq!(Arc::strong_count(&vec_entry), 3);
     }
 }

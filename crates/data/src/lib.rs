@@ -49,6 +49,7 @@ pub mod fingerprint;
 pub mod grounding;
 pub mod incomplete;
 pub mod interner;
+pub mod table;
 pub mod valuation;
 pub mod value;
 
@@ -56,8 +57,9 @@ pub use database::{Database, GroundFact};
 pub use domain::{Domain, DomainAssignment};
 pub use error::DataError;
 pub use fingerprint::{fingerprint_hash, materialize_completion, CompletionKey, HashRange};
-pub use grounding::Grounding;
+pub use grounding::{Grounding, Occurrence};
 pub use incomplete::{IncompleteDatabase, IncompleteFact, NullDomains};
-pub use interner::ConstantPool;
+pub use interner::{ConstantPool, RelId, SymbolRegistry};
+pub use table::{FactId, Table};
 pub use valuation::{Valuation, ValuationIter};
 pub use value::{Constant, NullId, Value};

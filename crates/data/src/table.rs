@@ -1,0 +1,275 @@
+//! Columnar relation storage: a row-major constant arena with a fixed
+//! stride, kept sorted and deduplicated so that set semantics and
+//! deterministic iteration fall out of the representation itself.
+
+use std::fmt;
+
+/// A dense row identifier within one [`Table`]: row `i` of the sorted
+/// arena. Fact ids are stable as long as no fact sorting after them is
+/// inserted, and are always meaningful as "the `i`-th fact in canonical
+/// order".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// The raw row index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+use crate::value::Constant;
+
+/// One relation of a columnar [`crate::Database`]: ground facts stored in a
+/// single flat `Vec<Constant>` arena with stride = arity, rows sorted
+/// lexicographically and deduplicated.
+///
+/// The sorted arena gives three properties the old `BTreeSet<Vec<Constant>>`
+/// provided, without the per-fact heap tuple:
+///
+/// * **set semantics** — inserts binary-search the row index and skip
+///   duplicates;
+/// * **deterministic iteration** — rows iterate in lexicographic order;
+/// * **structural equality** — two tables with the same fact set have
+///   byte-identical arenas, so `Eq`/`Hash`/`Ord` can be derived.
+///
+/// An arity of `0` means "no facts yet" (empty facts are rejected upstream,
+/// so any non-empty table has arity ≥ 1).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Table {
+    arity: usize,
+    data: Vec<Constant>,
+}
+
+impl Table {
+    /// Creates an empty table with no arity constraint yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty table that will hold facts of the given arity.
+    pub fn with_arity(arity: usize) -> Self {
+        Table {
+            arity,
+            data: Vec::new(),
+        }
+    }
+
+    /// The arity of the stored facts (`0` while the table is empty and no
+    /// arity has been fixed).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of facts.
+    pub fn len(&self) -> usize {
+        // arity 0 ⇒ the table is empty (its arity is fixed on first insert).
+        self.data.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// Returns `true` if the table holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The row addressed by `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn row(&self, id: FactId) -> &[Constant] {
+        let start = id.index() * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    /// The row addressed by `id`, or `None` if out of range.
+    pub fn get(&self, id: FactId) -> Option<&[Constant]> {
+        let start = id.index().checked_mul(self.arity)?;
+        self.data.get(start..start + self.arity)
+    }
+
+    /// Iterates over the rows in canonical (lexicographic) order.
+    pub fn rows(&self) -> impl Iterator<Item = &[Constant]> {
+        // `chunks_exact(0)` panics, so guard the unset-arity (empty) case.
+        let stride = self.arity.max(1);
+        self.data.chunks_exact(stride)
+    }
+
+    /// The flat row-major arena (length = `len() * arity()`); the columnar
+    /// surface that slice-walk scans iterate.
+    pub fn data(&self) -> &[Constant] {
+        &self.data
+    }
+
+    /// Binary-searches for a fact, returning its row id if present.
+    pub fn position(&self, fact: &[Constant]) -> Option<FactId> {
+        if fact.len() != self.arity || self.arity == 0 {
+            return None;
+        }
+        self.search(fact).ok().map(|i| FactId(i as u32))
+    }
+
+    /// Returns `true` if the fact is present.
+    pub fn contains(&self, fact: &[Constant]) -> bool {
+        self.position(fact).is_some()
+    }
+
+    /// Inserts a fact, keeping the arena sorted and deduplicated. Returns
+    /// the row id of the fact (pre-existing or newly inserted) and whether
+    /// it was newly inserted.
+    ///
+    /// The caller must have validated the arity (the table fixes its arity
+    /// on first insert).
+    ///
+    /// # Panics
+    /// Panics if the fact is empty or its arity differs from a previously
+    /// fixed arity.
+    pub fn insert(&mut self, fact: &[Constant]) -> (FactId, bool) {
+        assert!(!fact.is_empty(), "empty facts are rejected upstream");
+        if self.arity == 0 {
+            self.arity = fact.len();
+        }
+        assert_eq!(fact.len(), self.arity, "arity verified upstream");
+        match self.search(fact) {
+            Ok(i) => (FactId(i as u32), false),
+            Err(i) => {
+                let at = i * self.arity;
+                // Splice the row into the sorted arena.
+                self.data.splice(at..at, fact.iter().copied());
+                (FactId(i as u32), true)
+            }
+        }
+    }
+
+    /// Removes every fact, keeping the arity constraint.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Binary search over rows: `Ok(row)` if found, `Err(row)` with the
+    /// insertion point otherwise.
+    fn search(&self, fact: &[Constant]) -> Result<usize, usize> {
+        debug_assert_eq!(fact.len(), self.arity);
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let start = mid * self.arity;
+            match self.data[start..start + self.arity].cmp(fact) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut set = f.debug_set();
+        for row in self.rows() {
+            set.entry(&row);
+        }
+        set.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64) -> Constant {
+        Constant(id)
+    }
+
+    #[test]
+    fn insert_keeps_rows_sorted_and_deduped() {
+        let mut t = Table::new();
+        let (id_b, fresh_b) = t.insert(&[c(2), c(0)]);
+        let (id_a, fresh_a) = t.insert(&[c(1), c(5)]);
+        let (id_dup, fresh_dup) = t.insert(&[c(2), c(0)]);
+        assert!(fresh_b && fresh_a && !fresh_dup);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.arity(), 2);
+        // (1,5) sorts before (2,0); ids reflect canonical positions.
+        assert_eq!(id_a, FactId(0));
+        assert_eq!(id_dup, FactId(1));
+        assert_eq!(id_b, FactId(0)); // id at time of insert, before (1,5) arrived
+        let rows: Vec<&[Constant]> = t.rows().collect();
+        assert_eq!(rows, vec![&[c(1), c(5)][..], &[c(2), c(0)][..]]);
+    }
+
+    #[test]
+    fn position_and_contains() {
+        let mut t = Table::new();
+        for i in 0..10u64 {
+            t.insert(&[c(i * 2)]);
+        }
+        assert_eq!(t.position(&[c(6)]), Some(FactId(3)));
+        assert_eq!(t.position(&[c(7)]), None);
+        assert!(t.contains(&[c(0)]));
+        assert!(!t.contains(&[c(1)]));
+        // Arity mismatch is a miss, not a panic.
+        assert_eq!(t.position(&[c(0), c(0)]), None);
+    }
+
+    #[test]
+    fn row_addressing_matches_iteration() {
+        let mut t = Table::new();
+        t.insert(&[c(3), c(1), c(4)]);
+        t.insert(&[c(1), c(5), c(9)]);
+        for (i, row) in t.rows().enumerate() {
+            assert_eq!(t.row(FactId(i as u32)), row);
+            assert_eq!(t.get(FactId(i as u32)), Some(row));
+        }
+        assert_eq!(t.get(FactId(2)), None);
+        assert_eq!(t.data().len(), 6);
+    }
+
+    #[test]
+    fn empty_table_behaves() {
+        let t = Table::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.rows().count(), 0);
+        assert_eq!(t.position(&[c(1)]), None);
+        let fixed = Table::with_arity(2);
+        assert_eq!(fixed.arity(), 2);
+        assert!(fixed.is_empty());
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let mut a = Table::new();
+        a.insert(&[c(1)]);
+        a.insert(&[c(2)]);
+        let mut b = Table::new();
+        b.insert(&[c(2)]);
+        b.insert(&[c(1)]);
+        b.insert(&[c(2)]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn clear_keeps_arity() {
+        let mut t = Table::new();
+        t.insert(&[c(1), c(2)]);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.arity(), 2);
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let mut t = Table::new();
+        t.insert(&[c(1), c(2)]);
+        assert_eq!(format!("{t:?}"), "{[c1, c2]}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Differential property suite for the columnar interned data layer.
+//!
+//! `Database` used to be a `BTreeMap<String, BTreeSet<GroundFact>>`; it is
+//! now a `SymbolRegistry` + columnar `Table` arena addressed by
+//! (`RelId`, `FactId`). These tests drive random operation sequences
+//! through the columnar type and through the old representation rebuilt as
+//! an explicit reference model, and demand observational identity: the
+//! same accepted/rejected operations, the same deduplicated fact sets, the
+//! same deterministic iteration order, and the same equality/hash/ordering
+//! partition — the property the distinct-completion counters lean on.
+
+use incdb_data::{Constant, DataError, Database, FactId, IncompleteDatabase, Value};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// The pre-refactor representation: name-keyed sorted sets of tuples.
+type Model = BTreeMap<String, BTreeSet<Vec<Constant>>>;
+
+const RELATIONS: [&str; 3] = ["Q", "R", "S"];
+
+/// One mutation of the database under test.
+#[derive(Clone, Debug)]
+enum Op {
+    Add(usize, Vec<Constant>),
+    Declare(usize),
+    Clear,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = (
+        0usize..12,
+        0usize..RELATIONS.len(),
+        proptest::collection::vec((0u64..3).prop_map(Constant), 0..4),
+    )
+        .prop_map(|(kind, rel, fact)| match kind {
+            0 => Op::Clear,
+            1 => Op::Declare(rel),
+            _ => Op::Add(rel, fact),
+        });
+    proptest::collection::vec(op, 0..16)
+}
+
+/// Applies `op` to the reference model, mirroring the documented error
+/// contract: empty facts are rejected first, then arity mismatches against
+/// a non-empty relation.
+fn model_apply(model: &mut Model, op: &Op) -> Result<(), &'static str> {
+    match op {
+        Op::Add(rel, fact) => {
+            if fact.is_empty() {
+                return Err("empty");
+            }
+            let set = model.entry(RELATIONS[*rel].to_string()).or_default();
+            if let Some(existing) = set.iter().next() {
+                if existing.len() != fact.len() {
+                    return Err("arity");
+                }
+            }
+            set.insert(fact.clone());
+            Ok(())
+        }
+        Op::Declare(rel) => {
+            model.entry(RELATIONS[*rel].to_string()).or_default();
+            Ok(())
+        }
+        Op::Clear => {
+            model.clear();
+            Ok(())
+        }
+    }
+}
+
+fn db_apply(db: &mut Database, op: &Op) -> Result<(), &'static str> {
+    match op {
+        Op::Add(rel, fact) => db
+            .add_fact(RELATIONS[*rel], fact.clone())
+            .map_err(|e| match e {
+                DataError::EmptyFact { .. } => "empty",
+                DataError::ArityMismatch { .. } => "arity",
+                _ => "other",
+            }),
+        Op::Declare(rel) => {
+            db.declare_relation(RELATIONS[*rel]);
+            Ok(())
+        }
+        Op::Clear => {
+            db.clear();
+            Ok(())
+        }
+    }
+}
+
+/// Projects the columnar database back onto the reference representation.
+fn project(db: &Database) -> Model {
+    db.relations()
+        .map(|(name, table)| {
+            (
+                name.to_string(),
+                table.rows().map(<[Constant]>::to_vec).collect(),
+            )
+        })
+        .collect()
+}
+
+fn hash_of<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every operation sequence leaves the columnar database in exactly the
+    /// state of the reference model, with per-operation error agreement.
+    #[test]
+    fn random_op_sequences_match_the_reference_model(ops in ops()) {
+        let mut db = Database::new();
+        let mut model = Model::new();
+        for op in &ops {
+            prop_assert_eq!(
+                db_apply(&mut db, op),
+                model_apply(&mut model, op),
+                "error disagreement on {:?}", op
+            );
+        }
+        prop_assert_eq!(project(&db), model.clone());
+        // Aggregates agree.
+        let model_count: usize = model.values().map(BTreeSet::len).sum();
+        prop_assert_eq!(db.fact_count(), model_count);
+        prop_assert_eq!(db.is_empty(), model_count == 0);
+        prop_assert_eq!(
+            db.relation_names().map(String::from).collect::<Vec<_>>(),
+            model.keys().cloned().collect::<Vec<_>>(),
+            "iteration must be name-sorted like the old BTreeMap"
+        );
+        // Membership agrees on present and absent facts.
+        for (name, set) in &model {
+            prop_assert_eq!(db.relation_size(name), set.len());
+            for fact in set {
+                prop_assert!(db.contains(name, fact));
+            }
+            prop_assert!(!db.contains(name, &[Constant(99)]));
+        }
+    }
+
+    /// Fact-id addressing round-trips: row `i` of every table is reachable
+    /// as `FactId(i)` and reports its own position.
+    #[test]
+    fn interned_addressing_round_trips_on_random_instances(ops in ops()) {
+        let mut db = Database::new();
+        for op in &ops {
+            let _ = db_apply(&mut db, op);
+        }
+        for (name, table) in db.relations() {
+            let rel = db.rel_id(name).unwrap();
+            for (i, row) in table.rows().enumerate() {
+                let id = FactId(i as u32);
+                prop_assert_eq!(db.fact(rel, id), row);
+                prop_assert_eq!(table.position(row), Some(id));
+            }
+        }
+    }
+
+    /// Insertion order is unobservable: permuted builds are equal, hash
+    /// identically, compare `Equal` and render byte-identically — even
+    /// though their interned `RelId`s differ.
+    #[test]
+    fn insertion_order_is_unobservable(
+        facts in proptest::collection::vec(
+            (0usize..RELATIONS.len(), (0u64..3, 0u64..3)),
+            0..10
+        ),
+    ) {
+        // Fixed per-relation arities keep every insertion valid.
+        let build = |order: &[(usize, (u64, u64))]| {
+            let mut db = Database::new();
+            for &(rel, (a, b)) in order {
+                let fact = if rel == 1 {
+                    vec![Constant(a), Constant(b)]
+                } else {
+                    vec![Constant(a)]
+                };
+                db.add_fact(RELATIONS[rel], fact).unwrap();
+            }
+            db
+        };
+        let forward = build(&facts);
+        let reversed: Vec<_> = facts.iter().rev().cloned().collect();
+        let backward = build(&reversed);
+        let mut sorted = facts.clone();
+        sorted.sort();
+        let canonical = build(&sorted);
+        for other in [&backward, &canonical] {
+            prop_assert_eq!(&forward, other);
+            prop_assert_eq!(hash_of(&forward), hash_of(other));
+            prop_assert_eq!(forward.cmp(other), std::cmp::Ordering::Equal);
+            prop_assert_eq!(format!("{forward:?}"), format!("{other:?}"));
+        }
+    }
+
+    /// Equality, hashing and ordering of the columnar type induce exactly
+    /// the partition of the reference model.
+    #[test]
+    fn equivalence_partition_matches_the_model(a in ops(), b in ops()) {
+        let mut da = Database::new();
+        let mut db = Database::new();
+        for op in &a {
+            let _ = db_apply(&mut da, op);
+        }
+        for op in &b {
+            let _ = db_apply(&mut db, op);
+        }
+        let (ma, mb) = (project(&da), project(&db));
+        prop_assert_eq!(da == db, ma == mb, "Eq disagrees with the model");
+        prop_assert_eq!(
+            da.cmp(&db) == std::cmp::Ordering::Equal,
+            ma == mb,
+            "Ord must be consistent with Eq"
+        );
+        prop_assert_eq!(da.cmp(&db), db.cmp(&da).reverse(), "antisymmetry");
+        if ma == mb {
+            prop_assert_eq!(hash_of(&da), hash_of(&db), "equal values, equal hashes");
+        }
+    }
+
+    /// The distinct-completion partition — the load-bearing consumer of
+    /// `Database` equality — is identical under the columnar type and the
+    /// reference model, sequence-for-sequence.
+    #[test]
+    fn distinct_completion_counting_matches_the_model(
+        facts in proptest::collection::vec(
+            (0usize..2, (0usize..6, 0usize..6)),
+            1..5
+        ),
+        domain in 1u64..4,
+    ) {
+        let decode = |code: usize| {
+            if code < 3 {
+                Value::constant(code as u64)
+            } else {
+                Value::null((code - 3) as u32)
+            }
+        };
+        let mut idb = IncompleteDatabase::new_uniform(0..domain);
+        for &(rel, (x, y)) in &facts {
+            if rel == 0 {
+                idb.add_fact("R", vec![decode(x), decode(y)]).unwrap();
+            } else {
+                idb.add_fact("S", vec![decode(x)]).unwrap();
+            }
+        }
+        let completions: Vec<Database> =
+            idb.valuations().map(|v| idb.apply_unchecked(&v)).collect();
+        let via_columnar: BTreeSet<&Database> = completions.iter().collect();
+        let via_hash: HashSet<&Database> = completions.iter().collect();
+        let via_model: BTreeSet<Model> = completions.iter().map(project).collect();
+        prop_assert_eq!(via_columnar.len(), via_model.len());
+        prop_assert_eq!(via_hash.len(), via_model.len());
+        // Pairwise: the same completions are identified, none conflated.
+        for x in &completions {
+            for y in &completions {
+                prop_assert_eq!(x == y, project(x) == project(y));
+            }
+        }
+    }
+}

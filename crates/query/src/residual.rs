@@ -11,14 +11,16 @@
 //! of SAT solvers and the e-graph habit of maintaining candidate sets
 //! instead of recomputing them:
 //!
-//! * At construction, every query atom precomputes its **candidate fact
-//!   set** — the facts of its relation (with matching arity) that can still
-//!   be the atom's image — and each fact's status: a fully resolved match is
+//! * At construction, every query atom precomputes its **candidate
+//!   range** — the facts of its relation occupy a contiguous fact-index
+//!   range of the grounding (and a contiguous slice of its value arena), so
+//!   the candidate set is the range itself, with a status byte per row
+//!   stored in a slab parallel to the rows: a fully resolved match is
 //!   *certain* (it exists in every completion below the current bindings),
 //!   a match that still involves unbound nulls is merely *possible*, and
 //!   everything else is *excluded*.
-//! * A reverse **watch index** maps every fact to the atoms watching it.
-//!   Combined with the grounding's per-null fact-occurrence index
+//! * A reverse **watch index** maps every relation to the atoms watching
+//!   it. Combined with the grounding's per-null occurrence index
 //!   ([`Grounding::occurrences_of`]) and its dirty-null notification channel
 //!   ([`Grounding::drain_dirty_into`]), a bind re-classifies only the
 //!   `(atom, fact)` pairs that mention the bound null — `O(affected atoms)`
@@ -109,8 +111,11 @@ pub trait ResidualState: Send + Sync {
     fn boxed_clone(&self) -> Box<dyn ResidualState>;
 }
 
-/// How one fact currently relates to one watching query atom.
+/// How one fact currently relates to one watching query atom. `repr(u8)`
+/// so a status slab is one byte per table row — a `Vec<u8>` in memory,
+/// walked as a plain slice when classifying or joining.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
 enum FactStatus {
     /// Cannot be the atom's image in any completion below the current
     /// bindings.
@@ -132,7 +137,13 @@ enum CompiledTerm {
     Var(u8),
 }
 
-/// One query atom together with its watched candidate facts.
+/// One query atom together with its watched candidate rows.
+///
+/// Because the facts of a relation are contiguous in the grounding (and all
+/// share one arity), the candidate set is a *range* — `first .. first +
+/// status.len()` — rather than a list of fact indices: slot `s` of the
+/// status slab is fact `first + s`, and classification walks the relation's
+/// flat value arena slice in step with the slab.
 #[derive(Debug, Clone)]
 struct AtomWatch {
     atom: Atom,
@@ -142,10 +153,14 @@ struct AtomWatch {
     /// Per-variable binding scratch (len = distinct variables of the atom),
     /// reused across classifications so the hot path never allocates.
     var_scratch: Vec<Option<Constant>>,
-    /// Global fact indices of the atom's relation (arity-matching only),
-    /// in the same order the from-scratch search visits them.
-    facts: Vec<usize>,
-    /// Current status of each fact in `facts`.
+    /// Relation index of the atom in the grounding, if present with the
+    /// atom's arity (otherwise the candidate range is empty).
+    rel: Option<usize>,
+    /// Global index of the first candidate fact (facts of the relation are
+    /// contiguous, in the same order the from-scratch search visits them).
+    first: usize,
+    /// Status slab parallel to the relation's rows: one byte per fact of
+    /// the candidate range.
     status: Vec<FactStatus>,
     /// Number of `Certain` facts.
     certain: usize,
@@ -180,7 +195,7 @@ impl AtomWatch {
     /// shared per-fact matching rule (`extend_against_fact` with an empty
     /// partial), cross-checked against it in debug builds.
     fn classify(&mut self, slot: usize, g: &Grounding) -> FactStatus {
-        let fact = self.facts[slot];
+        let fact = self.first + slot;
         let values = g.fact_values(fact);
         let ground = g.fact_is_ground(fact);
         self.var_scratch.fill(None);
@@ -281,9 +296,11 @@ pub struct BcqResidual {
     components: Vec<Component>,
     /// Atom index → index of its component in `components`.
     component_of: Vec<usize>,
-    /// Reverse watch index: global fact index → the `(atom, slot)` pairs
-    /// whose candidate sets contain that fact.
-    watchers: Vec<Vec<(u32, u32)>>,
+    /// Reverse watch index: relation index → the atoms whose candidate
+    /// range covers that relation's rows. Because a relation's facts are
+    /// contiguous, the watching atom's slot for fact `f` is `f - first` —
+    /// no per-fact table needed.
+    watchers: Vec<Vec<u32>>,
     /// The construction-time snapshot [`ResidualState::rewind`] restores:
     /// per atom, the fact statuses and counters as classified at build time.
     root: Vec<RootSnapshot>,
@@ -371,7 +388,8 @@ impl BcqResidual {
     /// Builds the evaluator, classifying every candidate fact under the
     /// grounding's *current* (possibly partial) assignment.
     pub fn new(q: &Bcq, g: &Grounding) -> Self {
-        let mut watchers: Vec<Vec<(u32, u32)>> = vec![Vec::new(); g.fact_count()];
+        let rel_count = g.relation_names().count();
+        let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); rel_count];
         let mut atoms: Vec<AtomWatch> = Vec::with_capacity(q.atoms().len());
         for atom in q.atoms() {
             let (compiled, var_count) = compile_atom(atom);
@@ -379,20 +397,21 @@ impl BcqResidual {
                 atom: atom.clone(),
                 compiled,
                 var_scratch: vec![None; var_count],
-                facts: Vec::new(),
+                rel: None,
+                first: 0,
                 status: Vec::new(),
                 certain: 0,
                 viable: 0,
             };
+            // All facts of a relation share one arity, so the candidate set
+            // is either the relation's whole contiguous range or empty.
             if let Some(rel) = g.relation_index(atom.relation()) {
-                for &fact in g.relation_facts(rel) {
-                    if g.fact_values(fact).len() != atom.arity() {
-                        continue;
-                    }
-                    let slot = watch.facts.len();
-                    watch.facts.push(fact);
-                    watch.status.push(FactStatus::Excluded);
-                    watchers[fact].push((atoms.len() as u32, slot as u32));
+                if g.relation_arity(rel) == atom.arity() {
+                    let range = g.relation_facts(rel);
+                    watch.rel = Some(rel);
+                    watch.first = range.start;
+                    watch.status = vec![FactStatus::Excluded; range.len()];
+                    watchers[rel].push(atoms.len() as u32);
                 }
             }
             atoms.push(watch);
@@ -422,11 +441,7 @@ impl BcqResidual {
             root_bound: g.bound_count(),
             join_searches: 0,
         };
-        for a in 0..state.atoms.len() {
-            for slot in 0..state.atoms[a].facts.len() {
-                state.atoms[a].refresh(slot, g);
-            }
-        }
+        state.reclassify(g);
         state.root = state
             .atoms
             .iter()
@@ -437,6 +452,25 @@ impl BcqResidual {
             })
             .collect();
         state
+    }
+
+    /// Re-classifies every candidate row of every atom by walking each
+    /// relation's status slab (and, through it, the relation's contiguous
+    /// slice of the grounding's value arena) front to back. This is the
+    /// bulk classification path — used at construction, and the columnar
+    /// counterpart the `columnar_scan` benchmark measures against per-row
+    /// from-scratch evaluation. Returns the total number of viable
+    /// (`Possible` or `Certain`) candidate rows across all atoms.
+    pub fn reclassify(&mut self, g: &Grounding) -> usize {
+        for a in 0..self.atoms.len() {
+            for slot in 0..self.atoms[a].status.len() {
+                self.atoms[a].refresh(slot, g);
+            }
+        }
+        for component in &mut self.components {
+            component.revision += 1;
+        }
+        self.atoms.iter().map(|a| a.viable).sum()
     }
 
     /// How many multi-atom join searches this evaluator has actually run —
@@ -515,14 +549,15 @@ fn component_matches(
             return true;
         };
         let watch = &atoms[a];
-        for (slot, &fact) in watch.facts.iter().enumerate() {
+        for (slot, &status) in watch.status.iter().enumerate() {
             let eligible = match mode {
-                PartialMatch::GroundOnly => watch.status[slot] == FactStatus::Certain,
-                PartialMatch::Optimistic => watch.status[slot] != FactStatus::Excluded,
+                PartialMatch::GroundOnly => status == FactStatus::Certain,
+                PartialMatch::Optimistic => status != FactStatus::Excluded,
             };
             if !eligible {
                 continue;
             }
+            let fact = watch.first + slot;
             let values = g.fact_values(fact);
             let ground = g.fact_is_ground(fact);
             if let Some(ext) = extend_against_fact(&watch.atom, values, ground, g, partial, mode) {
@@ -540,16 +575,18 @@ impl ResidualState for BcqResidual {
     fn apply(&mut self, g: &Grounding, changed: &[usize]) {
         for &null in changed {
             for k in 0..g.occurrences_of(null).len() {
-                let (fact, _pos) = g.occurrences_of(null)[k];
-                for w in 0..self.watchers[fact].len() {
-                    let (a, slot) = self.watchers[fact][w];
-                    self.atoms[a as usize].refresh(slot as usize, g);
+                let fact = g.occurrences_of(null)[k].fact as usize;
+                let rel = g.fact_relation(fact);
+                for w in 0..self.watchers[rel].len() {
+                    let a = self.watchers[rel][w] as usize;
+                    let slot = fact - self.atoms[a].first;
+                    self.atoms[a].refresh(slot, g);
                     // Any touch can change join consistency even when no
                     // status moved (a rebind swaps one resolved constant
                     // for another), so the memo guard is bumped on touches
                     // — but only for the component that owns the touched
                     // atom: the other components' join memos stay valid.
-                    self.components[self.component_of[a as usize]].revision += 1;
+                    self.components[self.component_of[a]].revision += 1;
                 }
             }
         }

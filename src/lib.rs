@@ -56,6 +56,35 @@
 //!     Complexity::SharpPComplete,
 //! );
 //! ```
+//!
+//! ## The columnar data layer
+//!
+//! Complete databases (and the completions the counters enumerate) live in
+//! the columnar interned storage of `incdb-data`: relation names intern once
+//! into a [`data::SymbolRegistry`] and are addressed by dense
+//! [`data::RelId`]s; each relation is a columnar [`data::Table`] whose
+//! sorted row arena gives facts dense [`data::FactId`] addresses, set
+//! semantics and a deterministic iteration order for free. (This is the
+//! README's registry-construction example, kept compiling here.)
+//!
+//! ```
+//! use incdb::prelude::*;
+//!
+//! let mut db = Database::new();
+//! db.add_fact("R", vec![Constant(4), Constant(5)]).unwrap();
+//! db.add_fact("R", vec![Constant(1), Constant(2)]).unwrap();
+//! db.add_fact("R", vec![Constant(1), Constant(2)]).unwrap(); // dedup: set semantics
+//! db.add_fact("S", vec![Constant(7)]).unwrap();
+//!
+//! // String names resolve through the registry exactly once …
+//! let r: RelId = db.rel_id("R").unwrap();
+//! // … and everything after that is dense-index addressing.
+//! let table: &Table = db.table(r);
+//! assert_eq!(table.len(), 2);
+//! assert_eq!(table.row(FactId(0)), &[Constant(1), Constant(2)]); // sorted row arena
+//! assert_eq!(table.position(&[Constant(4), Constant(5)]), Some(FactId(1)));
+//! assert_eq!(db.registry().iter().count(), 2); // interned symbols: R, S
+//! ```
 
 pub use incdb_approx as approx;
 pub use incdb_bignum as bignum;
@@ -76,7 +105,8 @@ pub mod prelude {
         SearchSession, Setting, TableKind,
     };
     pub use incdb_data::{
-        Constant, ConstantPool, Database, IncompleteDatabase, NullId, Valuation, Value,
+        Constant, ConstantPool, Database, FactId, IncompleteDatabase, NullId, RelId,
+        SymbolRegistry, Table, Valuation, Value,
     };
     pub use incdb_query::{Bcq, BooleanQuery, KnownPattern, NegatedBcq, Ucq};
     pub use incdb_stream::{
