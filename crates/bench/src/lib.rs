@@ -86,6 +86,63 @@ pub fn wide_ground_cycle(nulls: u32, domain_size: u64, ground_facts: u64) -> Inc
     db
 }
 
+/// A large mostly-ground instance for the bulk-execution rows: a two-null
+/// `R(⊥0,⊥1), R(⊥1,⊥0)` cycle over the binary domain `{0, 1}`, under
+/// `ground_facts` ground chain facts `(c, c+1)` with constants starting at
+/// `2` (outside the domain, never self-loops — they decide nothing). The
+/// chain is split between `R` and `S` by `r_percent` (`50` ⇒ uniform
+/// relation sizes, `99` ⇒ `R` holds ~99% of the table), so the same builder
+/// covers both the skewed and uniform shapes at 10⁵–10⁶ facts. Against
+/// `R(x,x)` the search tree has 4 leaves (2 satisfying) regardless of
+/// `ground_facts`: all the weight is in per-fact classification, exactly
+/// what the block-scan and large-count rows measure.
+pub fn large_ground_instance(ground_facts: u64, r_percent: u64) -> IncompleteDatabase {
+    assert!(r_percent <= 100, "r_percent is a percentage");
+    let mut db = IncompleteDatabase::new_uniform(0..2u64);
+    db.add_fact("R", vec![Value::null(0), Value::null(1)])
+        .unwrap();
+    db.add_fact("R", vec![Value::null(1), Value::null(0)])
+        .unwrap();
+    db.declare_relation("S");
+    for c in 0..ground_facts {
+        let base = 2 + 2 * c;
+        let rel = if c % 100 < r_percent { "R" } else { "S" };
+        db.add_fact(rel, vec![Value::constant(base), Value::constant(base + 1)])
+            .unwrap();
+    }
+    db
+}
+
+/// A worst-case join instance for the sort-merge rows, paired with the
+/// query `R(0, x), S(x, y)`: `R` holds `selected` facts `(0, 10+k)` plus
+/// one null fact `(0, ⊥0)` (domain `{2, 3}`) plus `r_noise` facts whose
+/// first column is ≥ 10⁶ (excluded by the constant `0`); `S` holds
+/// `s_facts` ground facts `(10⁹+2k, 10⁹+2k+1)`. The two sides' key sets
+/// (`x` = `R` column 1 vs `S` column 0) are disjoint in every completion,
+/// so the join is always refuted only after exhausting the candidate
+/// space — `O(selected · s_facts)` partial-map extensions for the
+/// backtracking join, one sort + galloping intersection for the merge.
+pub fn merge_join_instance(selected: u64, r_noise: u64, s_facts: u64) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_uniform(2..4u64);
+    db.add_fact("R", vec![Value::constant(0), Value::null(0)])
+        .unwrap();
+    for k in 0..selected {
+        db.add_fact("R", vec![Value::constant(0), Value::constant(10 + k)])
+            .unwrap();
+    }
+    for k in 0..r_noise {
+        let c = 1_000_000 + k;
+        db.add_fact("R", vec![Value::constant(c), Value::constant(c)])
+            .unwrap();
+    }
+    for k in 0..s_facts {
+        let c = 1_000_000_000 + 2 * k;
+        db.add_fact("S", vec![Value::constant(c), Value::constant(c + 1)])
+            .unwrap();
+    }
+    db
+}
+
 /// A uniform Codd table with one binary relation of `facts` rows of fresh
 /// nulls — the `#Compᵘ_Cd(R(x,y))` hard cell (Proposition 4.5(b) shape).
 pub fn uniform_codd_binary(facts: u32, domain_size: u64) -> IncompleteDatabase {
@@ -154,6 +211,19 @@ mod tests {
 
         let db = uniform_unary_completions_instance(4, 5);
         assert!(db.is_uniform());
+
+        let skewed = large_ground_instance(1_000, 99);
+        assert_eq!(skewed.nulls().len(), 2);
+        assert!(skewed.is_uniform());
+        skewed.validate().unwrap();
+        let uniform = large_ground_instance(1_000, 50);
+        assert!(uniform.is_uniform());
+        uniform.validate().unwrap();
+
+        let db = merge_join_instance(8, 16, 32);
+        assert_eq!(db.nulls().len(), 1);
+        assert!(db.is_uniform());
+        db.validate().unwrap();
 
         let db = codd_self_loop_instance(3, 4);
         assert!(db.is_codd());

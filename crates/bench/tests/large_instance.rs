@@ -1,0 +1,80 @@
+//! Large-instance smoke: the bulk-execution layer at 10⁵ ground facts,
+//! run in release mode by CI (`cargo test --release -q -p incdb-bench
+//! --test large_instance`) where the `debug_assert` oracles inside the
+//! block scan and the merge dispatch are compiled out and the fast paths
+//! run for real. Debug runs shrink the instance so the inline oracles
+//! (which re-run the per-row reference on every call) stay affordable.
+//!
+//! Each test is time-bounded with a deliberately loose ceiling: the point
+//! is to catch accidental complexity blow-ups (quadratic scans, lost
+//! routing) that turn seconds into minutes, not to re-measure the bench.
+
+use std::time::{Duration, Instant};
+
+use incdb_bench::{large_ground_instance, merge_join_instance};
+use incdb_bignum::BigNat;
+use incdb_core::engine::{BacktrackingEngine, CountingEngine};
+use incdb_query::Bcq;
+
+/// 10⁵ ground facts in release, shrunk 5× under the debug oracles.
+const FACTS: u64 = if cfg!(debug_assertions) {
+    20_000
+} else {
+    100_000
+};
+
+const TIME_CEILING: Duration = Duration::from_secs(90);
+
+#[test]
+fn large_instance_count_stays_exact_and_bounded() {
+    let start = Instant::now();
+    let db = large_ground_instance(FACTS, 99);
+    let q: Bcq = "R(x,x)".parse().unwrap();
+    let incremental = BacktrackingEngine::sequential()
+        .count_valuations(&db, &q)
+        .unwrap();
+    let scratch = BacktrackingEngine::sequential()
+        .without_incremental()
+        .count_valuations(&db, &q)
+        .unwrap();
+    assert_eq!(
+        incremental, scratch,
+        "incremental and from-scratch engines disagree on the skewed instance"
+    );
+    // The two-null cycle satisfies R(x,x) exactly when ⊥0 = ⊥1: 2 of the
+    // 4 valuations, however wide the ground table.
+    assert_eq!(incremental, BigNat::from(2u64));
+    assert!(
+        start.elapsed() < TIME_CEILING,
+        "large-instance valuation count took {:?} (ceiling {TIME_CEILING:?})",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn large_instance_merge_join_agrees_across_the_crossover() {
+    let start = Instant::now();
+    let r_facts = FACTS / 2;
+    let db = merge_join_instance(32, r_facts - 33, r_facts);
+    let q: Bcq = "R(0, x), S(x, y)".parse().unwrap();
+    let forced = BacktrackingEngine::sequential()
+        .with_merge_join_min_rows(0)
+        .count_valuations(&db, &q)
+        .unwrap();
+    let disabled = BacktrackingEngine::sequential()
+        .with_merge_join_min_rows(u64::MAX)
+        .count_valuations(&db, &q)
+        .unwrap();
+    assert_eq!(
+        forced, disabled,
+        "merge and backtracking joins disagree on the disjoint-key instance"
+    );
+    // The key sets are disjoint in every completion: no valuation
+    // satisfies the join.
+    assert_eq!(forced, BigNat::zero());
+    assert!(
+        start.elapsed() < TIME_CEILING,
+        "large-instance merge-join count took {:?} (ceiling {TIME_CEILING:?})",
+        start.elapsed()
+    );
+}

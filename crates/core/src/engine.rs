@@ -60,7 +60,7 @@ use std::thread;
 
 use incdb_bignum::{BigNat, NatAccumulator};
 use incdb_data::{CompletionKey, Constant, DataError, Database, Grounding, IncompleteDatabase};
-use incdb_query::{BooleanQuery, PartialOutcome};
+use incdb_query::{BooleanQuery, PartialOutcome, DEFAULT_MERGE_JOIN_MIN_ROWS};
 
 use crate::session::CollectKeys;
 pub use crate::session::{CompletionVisitor, SearchSession, StealGate};
@@ -296,10 +296,12 @@ fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
 ///
 /// The scheduler tuning constants have builder overrides **and** env-var
 /// overrides (`ENGINE_PARALLEL_THRESHOLD`, `ENGINE_MIN_SPLIT_VALUATIONS`,
-/// `ENGINE_PREFIX_OVERSUBSCRIPTION`, read at construction), so the
-/// multicore tuning loop can sweep them on a real host without a rebuild;
-/// explicit builder calls always win over the environment. None of the
-/// knobs affect any count — only how the work is cut up.
+/// `ENGINE_PREFIX_OVERSUBSCRIPTION`, `ENGINE_MERGE_JOIN_MIN_ROWS`, read at
+/// construction), so the multicore tuning loop can sweep them on a real
+/// host without a rebuild; explicit builder calls always win over the
+/// environment. None of the knobs affect any count — only how the work is
+/// cut up (or, for the merge-join crossover, which exact join algorithm
+/// runs).
 #[derive(Debug, Clone)]
 pub struct BacktrackingEngine {
     /// Maximum number of worker threads for the work-stealing search.
@@ -318,6 +320,9 @@ pub struct BacktrackingEngine {
     min_split_valuations: u64,
     /// Seed tasks per worker the shard planner aims for.
     prefix_oversubscription: usize,
+    /// Row-count crossover above which two-atom join components use the
+    /// sort-merge join instead of the backtracking join.
+    merge_join_min_rows: u64,
 }
 
 impl Default for BacktrackingEngine {
@@ -347,6 +352,8 @@ impl BacktrackingEngine {
                 .unwrap_or(MIN_SPLIT_VALUATIONS),
             prefix_oversubscription: env_knob("ENGINE_PREFIX_OVERSUBSCRIPTION")
                 .unwrap_or(PREFIX_OVERSUBSCRIPTION),
+            merge_join_min_rows: env_knob("ENGINE_MERGE_JOIN_MIN_ROWS")
+                .unwrap_or(DEFAULT_MERGE_JOIN_MIN_ROWS),
         }
     }
 
@@ -362,6 +369,8 @@ impl BacktrackingEngine {
                 .unwrap_or(MIN_SPLIT_VALUATIONS),
             prefix_oversubscription: env_knob("ENGINE_PREFIX_OVERSUBSCRIPTION")
                 .unwrap_or(PREFIX_OVERSUBSCRIPTION),
+            merge_join_min_rows: env_knob("ENGINE_MERGE_JOIN_MIN_ROWS")
+                .unwrap_or(DEFAULT_MERGE_JOIN_MIN_ROWS),
         }
     }
 
@@ -411,6 +420,24 @@ impl BacktrackingEngine {
         self.prefix_oversubscription
     }
 
+    /// Overrides the sort-merge join crossover: a two-atom join component
+    /// whose larger eligible side holds at least this many candidate rows
+    /// is joined by merging sorted key columns instead of the backtracking
+    /// nested-loop walk. The routing never changes a count — both joins
+    /// decide the same predicate. `0` forces the merge path, `u64::MAX`
+    /// disables it. Defaults to
+    /// [`incdb_query::DEFAULT_MERGE_JOIN_MIN_ROWS`]; env override
+    /// `ENGINE_MERGE_JOIN_MIN_ROWS`.
+    pub fn with_merge_join_min_rows(mut self, rows: u64) -> Self {
+        self.merge_join_min_rows = rows;
+        self
+    }
+
+    /// The configured sort-merge join crossover, in candidate rows.
+    pub fn merge_join_min_rows(&self) -> u64 {
+        self.merge_join_min_rows
+    }
+
     /// The configured sharding threshold, in total valuations.
     pub fn parallel_threshold(&self) -> u64 {
         self.parallel_threshold
@@ -435,7 +462,9 @@ impl BacktrackingEngine {
         db: &IncompleteDatabase,
         q: &'q Q,
     ) -> Result<SearchSession<'q, Q>, DataError> {
-        SearchSession::build(db, q, self.incremental)
+        let mut session = SearchSession::build(db, q, self.incremental)?;
+        session.set_merge_join_min_rows(self.merge_join_min_rows);
+        Ok(session)
     }
 
     /// Decides whether this instance is worth sharding and, if so, seeds
@@ -683,10 +712,16 @@ mod tests {
         let tuned = BacktrackingEngine::with_threads(2)
             .with_min_split_valuations(7)
             .with_prefix_oversubscription(9)
-            .with_parallel_threshold(11);
+            .with_parallel_threshold(11)
+            .with_merge_join_min_rows(13);
         assert_eq!(tuned.min_split_valuations(), 7);
         assert_eq!(tuned.prefix_oversubscription(), 9);
         assert_eq!(tuned.parallel_threshold(), 11);
+        assert_eq!(tuned.merge_join_min_rows(), 13);
+        assert_eq!(
+            BacktrackingEngine::sequential().merge_join_min_rows(),
+            incdb_query::DEFAULT_MERGE_JOIN_MIN_ROWS
+        );
         // Oversubscription is clamped to at least one task per worker.
         assert_eq!(
             BacktrackingEngine::default()
@@ -705,13 +740,16 @@ mod tests {
         std::env::set_var("ENGINE_MIN_SPLIT_VALUATIONS", "128");
         std::env::set_var("ENGINE_PREFIX_OVERSUBSCRIPTION", "2");
         std::env::set_var("ENGINE_PARALLEL_THRESHOLD", "3");
+        std::env::set_var("ENGINE_MERGE_JOIN_MIN_ROWS", "5");
         let from_env = BacktrackingEngine::with_threads(2);
         std::env::remove_var("ENGINE_MIN_SPLIT_VALUATIONS");
         std::env::remove_var("ENGINE_PREFIX_OVERSUBSCRIPTION");
         std::env::remove_var("ENGINE_PARALLEL_THRESHOLD");
+        std::env::remove_var("ENGINE_MERGE_JOIN_MIN_ROWS");
         assert_eq!(from_env.min_split_valuations(), 128);
         assert_eq!(from_env.prefix_oversubscription(), 2);
         assert_eq!(from_env.parallel_threshold(), 3);
+        assert_eq!(from_env.merge_join_min_rows(), 5);
         let db = example_2_2();
         let q: Bcq = "S(x,x)".parse().unwrap();
         assert_eq!(
@@ -724,6 +762,28 @@ mod tests {
         let seq = BacktrackingEngine::sequential();
         std::env::remove_var("ENGINE_PARALLEL_THRESHOLD");
         assert_eq!(seq.parallel_threshold(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_join_routing_never_changes_counts() {
+        // A two-atom join over nulls on both sides: force the merge path on
+        // one engine (crossover 0) and pin the other to backtracking
+        // (crossover u64::MAX). Routing is policy, so every count agrees.
+        let mut db = IncompleteDatabase::new_uniform([1u64, 2, 3]);
+        db.add_fact("R", vec![c(0), n(0)]).unwrap();
+        db.add_fact("R", vec![c(0), c(2)]).unwrap();
+        db.add_fact("R", vec![c(7), c(8)]).unwrap();
+        db.add_fact("S", vec![n(1), c(9)]).unwrap();
+        db.add_fact("S", vec![c(3), n(2)]).unwrap();
+        let q: Bcq = "R(0, x), S(x, y)".parse().unwrap();
+        let merged = BacktrackingEngine::sequential().with_merge_join_min_rows(0);
+        let backtracked = BacktrackingEngine::sequential().with_merge_join_min_rows(u64::MAX);
+        let count = merged.count_valuations(&db, &q).unwrap();
+        assert_eq!(count, backtracked.count_valuations(&db, &q).unwrap());
+        assert_eq!(
+            merged.count_completions(&db, &q).unwrap(),
+            backtracked.count_completions(&db, &q).unwrap()
+        );
     }
 
     #[test]

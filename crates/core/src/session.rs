@@ -256,6 +256,16 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
         })
     }
 
+    /// Forwards the sort-merge join crossover to the residual state (see
+    /// `BacktrackingEngine::with_merge_join_min_rows`). A no-op for
+    /// non-incremental sessions and for evaluators without a merge path;
+    /// forks inherit the setting through the state clone.
+    pub fn set_merge_join_min_rows(&mut self, rows: u64) {
+        if let Some(state) = &mut self.state {
+            state.set_merge_join_min_rows(rows);
+        }
+    }
+
     /// Clones this session for another worker: the grounding is cloned, the
     /// compiled residual state is cloned behind the trait object
     /// ([`ResidualState::boxed_clone`]) and the search plan is shared — no

@@ -103,12 +103,16 @@ impl From<AlgorithmError> for SolveError {
 /// `BENCH_engine.json`): through 256 valuations on the reference shape the
 /// two are within ~10% of parity with the engine usually slightly ahead
 /// (typical medians 1.0–1.1×), so routing below this cutoff is at worst
-/// neutral and avoids the DP's big-rational setup entirely. The same
-/// bench's `tiny_comp_all` row shows the Theorem 4.6 unary completion
-/// counter is ~5× cheaper than search even on tiny instances (distinct-
-/// completion search cannot prune into closed forms), so completion routing
-/// ignores this cutoff; the linear-setup closed forms (Theorems 3.6 / 3.7)
-/// also stay preferred at every size.
+/// neutral and avoids the DP's big-rational setup entirely. Completion
+/// counting is the opposite case and **ignores this cutoff**: the Theorem
+/// 4.6 unary completion counter is ~5× cheaper than the distinct-completion
+/// search even on tiny instances (completion search cannot prune into
+/// closed forms), so [`count_completions`] / [`count_all_completions`] try
+/// the closed form first at every size — the routing the `tiny_comp_all`
+/// bench row measures (solver-routed closed form vs raw engine search,
+/// asserted ≥1×) and the `tiny_instances_prefer_the_engine_over_exponential_setup`
+/// test pins. The linear-setup closed forms (Theorems 3.6 / 3.7) likewise
+/// stay preferred at every size.
 pub const ENGINE_TINY_INSTANCE_VALUATIONS: u64 = 64;
 
 /// Returns `true` if `db` is small enough that raw search beats the

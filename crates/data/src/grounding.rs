@@ -257,11 +257,43 @@ impl Grounding {
     /// with the relation's arity (stride). Fact `first + k` of the range
     /// occupies `slice[k * arity..(k + 1) * arity]` — the columnar surface
     /// that residual watchers scan without per-fact indirections.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message if `rel` is not a valid relation
+    /// index (`rel >= relation_names().count()`), so an internal index slip
+    /// surfaces as a named relation-range error instead of an opaque slice
+    /// panic.
     pub fn relation_arena(&self, rel: usize) -> (&[Value], usize) {
+        self.check_relation(rel);
         let (start, end) = self.rel_ranges[rel];
         let lo = self.offsets[start as usize] as usize;
         let hi = self.offsets[end as usize] as usize;
         (&self.values[lo..hi], self.relation_arity(rel))
+    }
+
+    /// The per-fact unbound-null counts of one relation, parallel to the
+    /// rows of [`Grounding::relation_arena`]: entry `k` is the number of
+    /// distinct unbound nulls in fact `first + k`, and `0` means the row is
+    /// fully ground. Block scans read this slice to split a batch into the
+    /// ground fast path and the per-row null fallback.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message if `rel` is not a valid relation
+    /// index.
+    pub fn relation_unbound(&self, rel: usize) -> &[u32] {
+        self.check_relation(rel);
+        let (start, end) = self.rel_ranges[rel];
+        &self.unbound_in_fact[start as usize..end as usize]
+    }
+
+    /// Bounds-checks a relation index with a descriptive panic message.
+    #[inline]
+    fn check_relation(&self, rel: usize) {
+        assert!(
+            rel < self.rel_ranges.len(),
+            "relation index {rel} out of range: the grounding has {} relations",
+            self.rel_ranges.len()
+        );
     }
 
     /// Binds a null to a value of its domain, resolving every occurrence in
@@ -735,6 +767,42 @@ mod tests {
         let z = g2.relation_index("Z").unwrap();
         assert_eq!(g2.relation_arena(z), (&[][..], 0));
         assert_eq!(g2.relation_facts(z), 1..1);
+    }
+
+    #[test]
+    fn relation_unbound_tracks_ground_rows_per_relation() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![c(9), n(0)]).unwrap();
+        db.add_fact("R", vec![c(8), c(7)]).unwrap();
+        db.add_fact("S", vec![n(0), n(1)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+        // Rows in arena order: R = [(8,7), (9,⊥0)], S = [(⊥0,⊥1)].
+        assert_eq!(g.relation_unbound(0), &[0, 1]);
+        assert_eq!(g.relation_unbound(1), &[2]);
+        g.bind(NullId(0), Constant(1)).unwrap();
+        assert_eq!(g.relation_unbound(0), &[0, 0]);
+        assert_eq!(g.relation_unbound(1), &[1]);
+        g.unbind(NullId(0));
+        assert_eq!(g.relation_unbound(0), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "relation index 2 out of range: the grounding has 2 relations")]
+    fn relation_arena_names_the_out_of_range_relation() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        db.add_fact("S", vec![n(0)]).unwrap();
+        let g = db.try_grounding().unwrap();
+        let _ = g.relation_arena(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn relation_unbound_checks_bounds_like_the_arena() {
+        let mut db = IncompleteDatabase::new_uniform([0u64]);
+        db.add_fact("R", vec![n(0)]).unwrap();
+        let g = db.try_grounding().unwrap();
+        let _ = g.relation_unbound(7);
     }
 
     #[test]

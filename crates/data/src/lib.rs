@@ -49,6 +49,7 @@ pub mod fingerprint;
 pub mod grounding;
 pub mod incomplete;
 pub mod interner;
+pub mod scanmask;
 pub mod table;
 pub mod valuation;
 pub mod value;
@@ -60,6 +61,7 @@ pub use fingerprint::{fingerprint_hash, materialize_completion, CompletionKey, H
 pub use grounding::{Grounding, Occurrence};
 pub use incomplete::{IncompleteDatabase, IncompleteFact, NullDomains};
 pub use interner::{ConstantPool, RelId, SymbolRegistry};
+pub use scanmask::{ScanMask, WORD_BITS};
 pub use table::{FactId, Table};
 pub use valuation::{Valuation, ValuationIter};
 pub use value::{Constant, NullId, Value};

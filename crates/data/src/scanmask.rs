@@ -1,0 +1,161 @@
+//! Reusable row-selection bitsets for block scans over columnar arenas.
+//!
+//! A [`ScanMask`] is the working set of a columnar scan: one bit per row of
+//! a relation slice, processed a 64-row word at a time. A scan starts from
+//! all-ones, ANDs in one comparison word per column constraint
+//! ([`ScanMask::and_word`]), and finally decodes the surviving rows — the
+//! classic select-then-decode discipline of columnar execution engines,
+//! here sized for the residual evaluator's per-relation candidate slabs.
+//! The buffer is reusable: [`ScanMask::reset_ones`] reshapes it for a new
+//! row count without reallocating when capacity suffices.
+
+/// Bits per mask word — scans process rows in blocks of this size.
+pub const WORD_BITS: usize = 64;
+
+/// A reusable bitset over the rows of one columnar scan.
+///
+/// Tail bits beyond [`ScanMask::len`] are kept zero, so word-level
+/// aggregation (`count_ones`, OR/AND folds) never sees phantom rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl ScanMask {
+    /// Creates an empty mask (zero rows).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reshapes the mask to `len` rows with **every** bit set — the neutral
+    /// starting selection of a conjunctive scan — reusing the existing
+    /// allocation when it is large enough.
+    pub fn reset_ones(&mut self, len: usize) {
+        self.len = len;
+        let words = len.div_ceil(WORD_BITS);
+        self.words.clear();
+        self.words.resize(words, u64::MAX);
+        let tail = len % WORD_BITS;
+        if tail != 0 {
+            // Keep the unused high bits of the last word zero.
+            self.words[words - 1] = (1u64 << tail) - 1;
+        }
+    }
+
+    /// The number of rows the mask covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the mask covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The number of 64-row words backing the mask.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The `w`-th selection word (rows `w * 64 .. w * 64 + 64`).
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range.
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// ANDs one comparison word into the `w`-th selection word — the
+    /// column-by-column narrowing step of a conjunctive scan.
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range.
+    pub fn and_word(&mut self, w: usize, bits: u64) {
+        self.words[w] &= bits;
+    }
+
+    /// Returns `true` if row `row` is still selected.
+    ///
+    /// # Panics
+    /// Panics if `row >= len()`.
+    pub fn get(&self, row: usize) -> bool {
+        assert!(
+            row < self.len,
+            "row {row} out of range for mask of {} rows",
+            self.len
+        );
+        self.words[row / WORD_BITS] >> (row % WORD_BITS) & 1 == 1
+    }
+
+    /// The number of selected rows.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Calls `f` with every selected row index, in increasing order.
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                f(w * WORD_BITS + i);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_ones_selects_every_row_and_zeroes_the_tail() {
+        let mut mask = ScanMask::new();
+        assert!(mask.is_empty());
+        mask.reset_ones(70);
+        assert_eq!(mask.len(), 70);
+        assert_eq!(mask.word_count(), 2);
+        assert_eq!(mask.count_ones(), 70);
+        assert_eq!(
+            mask.word(1),
+            (1u64 << 6) - 1,
+            "tail bits beyond len are zero"
+        );
+        assert!(mask.get(0) && mask.get(69));
+    }
+
+    #[test]
+    fn and_word_narrows_the_selection() {
+        let mut mask = ScanMask::new();
+        mask.reset_ones(10);
+        mask.and_word(0, 0b1010101010);
+        assert_eq!(mask.count_ones(), 5);
+        assert!(!mask.get(0) && mask.get(1) && !mask.get(2));
+        let mut seen = Vec::new();
+        mask.for_each_set(|row| seen.push(row));
+        assert_eq!(seen, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn reset_reuses_the_allocation_across_sizes() {
+        let mut mask = ScanMask::new();
+        mask.reset_ones(128);
+        mask.and_word(1, 0);
+        mask.reset_ones(64);
+        assert_eq!(mask.word_count(), 1);
+        assert_eq!(mask.count_ones(), 64, "shrinking resets stale words");
+        mask.reset_ones(0);
+        assert!(mask.is_empty());
+        assert_eq!(mask.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_checks_bounds() {
+        let mut mask = ScanMask::new();
+        mask.reset_ones(3);
+        mask.get(3);
+    }
+}

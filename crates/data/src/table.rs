@@ -3,6 +3,7 @@
 //! deterministic iteration fall out of the representation itself.
 
 use std::fmt;
+use std::ops::Range;
 
 /// A dense row identifier within one [`Table`]: row `i` of the sorted
 /// arena. Fact ids are stable as long as no fact sorting after them is
@@ -98,6 +99,91 @@ impl Table {
     /// surface that slice-walk scans iterate.
     pub fn data(&self) -> &[Constant] {
         &self.data
+    }
+
+    /// The flat arena slice covering a contiguous block of rows —
+    /// `chunks_exact(arity())` over the result yields exactly the rows of
+    /// the block, so bulk scans can process cache-line-sized batches
+    /// without per-row [`Table::row`] calls.
+    ///
+    /// # Panics
+    /// Panics if the row range is out of bounds.
+    pub fn rows_block(&self, rows: Range<usize>) -> &[Constant] {
+        &self.data[rows.start * self.arity..rows.end * self.arity]
+    }
+
+    /// Iterates one column top to bottom: the strided per-column view of
+    /// the row-major arena.
+    ///
+    /// # Panics
+    /// Panics if the table is non-empty and `col >= arity()`.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = Constant> + '_ {
+        assert!(
+            self.data.is_empty() || col < self.arity,
+            "column {col} out of range for arity {}",
+            self.arity
+        );
+        self.data
+            .get(col..)
+            .unwrap_or(&[])
+            .iter()
+            .step_by(self.arity.max(1))
+            .copied()
+    }
+
+    /// The index of the first row whose leading `prefix.len()` columns
+    /// compare `>=` to `prefix` (lexicographically), or `len()` if every
+    /// row compares below — the lower-bound half of the sorted-arena
+    /// binary-search API that sort-merge joins probe with.
+    ///
+    /// # Panics
+    /// Panics if the table is non-empty and `prefix` is longer than the
+    /// arity.
+    pub fn first_ge(&self, prefix: &[Constant]) -> usize {
+        self.prefix_bound(prefix, false)
+    }
+
+    /// The contiguous range of rows whose leading `prefix.len()` columns
+    /// equal `prefix` — empty (but positioned at the insertion point) when
+    /// no row matches. `range_of(&[])` spans the whole table.
+    ///
+    /// # Panics
+    /// Panics if the table is non-empty and `prefix` is longer than the
+    /// arity.
+    pub fn range_of(&self, prefix: &[Constant]) -> Range<usize> {
+        self.prefix_bound(prefix, false)..self.prefix_bound(prefix, true)
+    }
+
+    /// Binary search for the first row whose prefix compares `>= prefix`
+    /// (`upper == false`) or `> prefix` (`upper == true`).
+    fn prefix_bound(&self, prefix: &[Constant], upper: bool) -> usize {
+        if self.arity == 0 {
+            return 0;
+        }
+        assert!(
+            prefix.len() <= self.arity,
+            "prefix of length {} exceeds arity {}",
+            prefix.len(),
+            self.arity
+        );
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let start = mid * self.arity;
+            let row_prefix = &self.data[start..start + prefix.len()];
+            let below = match row_prefix.cmp(prefix) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => upper,
+                std::cmp::Ordering::Greater => false,
+            };
+            if below {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
     }
 
     /// Binary-searches for a fact, returning its row id if present.
@@ -224,6 +310,55 @@ mod tests {
         }
         assert_eq!(t.get(FactId(2)), None);
         assert_eq!(t.data().len(), 6);
+    }
+
+    #[test]
+    fn prefix_binary_search_over_the_sorted_arena() {
+        let mut t = Table::new();
+        for (a, b) in [(1u64, 1u64), (1, 3), (2, 0), (2, 5), (2, 9), (4, 4)] {
+            t.insert(&[c(a), c(b)]);
+        }
+        // first_ge lands on the first row at-or-after the prefix.
+        assert_eq!(t.first_ge(&[c(2)]), 2);
+        assert_eq!(t.first_ge(&[c(2), c(5)]), 3);
+        assert_eq!(t.first_ge(&[c(3)]), 5);
+        assert_eq!(t.first_ge(&[c(9)]), 6);
+        // range_of spans exactly the rows matching the prefix.
+        assert_eq!(t.range_of(&[c(2)]), 2..5);
+        assert_eq!(t.range_of(&[c(1), c(3)]), 1..2);
+        assert_eq!(
+            t.range_of(&[c(3)]),
+            5..5,
+            "missing prefix gives empty range"
+        );
+        assert_eq!(t.range_of(&[]), 0..6, "empty prefix spans the table");
+        // The block view of a range is chunks_exact-friendly.
+        let block = t.rows_block(t.range_of(&[c(2)]));
+        let rows: Vec<&[Constant]> = block.chunks_exact(t.arity()).collect();
+        assert_eq!(
+            rows,
+            vec![&[c(2), c(0)][..], &[c(2), c(5)][..], &[c(2), c(9)][..]]
+        );
+    }
+
+    #[test]
+    fn column_views_stride_the_arena() {
+        let mut t = Table::new();
+        t.insert(&[c(1), c(10)]);
+        t.insert(&[c(2), c(20)]);
+        t.insert(&[c(3), c(30)]);
+        assert_eq!(t.column(0).collect::<Vec<_>>(), vec![c(1), c(2), c(3)]);
+        assert_eq!(t.column(1).collect::<Vec<_>>(), vec![c(10), c(20), c(30)]);
+        let empty = Table::new();
+        assert_eq!(empty.column(0).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds arity")]
+    fn overlong_prefix_is_rejected() {
+        let mut t = Table::new();
+        t.insert(&[c(1)]);
+        t.first_ge(&[c(1), c(2)]);
     }
 
     #[test]

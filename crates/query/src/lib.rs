@@ -47,7 +47,9 @@ pub use homomorphism::{
     all_homomorphisms, find_homomorphism, find_partial_homomorphism, Homomorphism, PartialMatch,
 };
 pub use patterns::{is_pattern_of, KnownPattern};
-pub use residual::{BcqResidual, NegatedBcqResidual, ResidualState, UcqResidual};
+pub use residual::{
+    BcqResidual, NegatedBcqResidual, ResidualState, UcqResidual, DEFAULT_MERGE_JOIN_MIN_ROWS,
+};
 pub use ucq::{NegatedBcq, Ucq};
 
 use incdb_data::{Database, Grounding};

@@ -43,7 +43,7 @@
 //! `holds_partial` at **every** reachable binding state — a property pinned
 //! by the `residual_properties` test suite.
 
-use incdb_data::{Constant, Grounding, Value};
+use incdb_data::{Constant, Grounding, ScanMask, Value, WORD_BITS};
 
 use crate::atom::{Atom, Term};
 use crate::bcq::Bcq;
@@ -109,7 +109,24 @@ pub trait ResidualState: Send + Sync {
     /// state (candidate sets, watch index, component decomposition) instead
     /// of re-deriving it from the query and the table.
     fn boxed_clone(&self) -> Box<dyn ResidualState>;
+
+    /// Sets the row-count crossover above which two-atom components use the
+    /// sort-merge join instead of the backtracking join (see
+    /// [`DEFAULT_MERGE_JOIN_MIN_ROWS`]). Routing only — the join result is
+    /// identical either way. The default implementation ignores the hint,
+    /// for evaluators without a merge path.
+    fn set_merge_join_min_rows(&mut self, _rows: u64) {}
 }
+
+/// The default sort-merge crossover: a two-atom component whose larger
+/// eligible side has at least this many rows is joined by collecting and
+/// merging sorted key columns (`O(n log n)`, and `O(n)` when the key column
+/// is presorted in the arena) instead of the backtracking nested-loop walk
+/// (`O(n·m)`). Small components stay on the backtracking join, whose
+/// constant factor is lower. Tunable per engine via
+/// `BacktrackingEngine::with_merge_join_min_rows` and the
+/// `ENGINE_MERGE_JOIN_MIN_ROWS` environment knob.
+pub const DEFAULT_MERGE_JOIN_MIN_ROWS: u64 = 1024;
 
 /// How one fact currently relates to one watching query atom. `repr(u8)`
 /// so a status slab is one byte per table row — a `Vec<u8>` in memory,
@@ -137,6 +154,20 @@ enum CompiledTerm {
     Var(u8),
 }
 
+/// One bound-column constraint of a compiled atom, as consumed by the block
+/// scan: the column either must equal a query constant, or must equal an
+/// earlier column of the same row (a repeated variable). First variable
+/// occurrences constrain nothing and compile to no check — for **ground**
+/// rows, a fact matches the atom iff every check passes.
+#[derive(Debug, Clone, Copy)]
+enum ColumnCheck {
+    /// The column must hold this constant.
+    Const(Constant),
+    /// The column must equal the given earlier column (the first occurrence
+    /// of the same variable).
+    Col(u32),
+}
+
 /// One query atom together with its watched candidate rows.
 ///
 /// Because the facts of a relation are contiguous in the grounding (and all
@@ -150,6 +181,10 @@ struct AtomWatch {
     /// Positional compilation of `atom`, so classification runs on array
     /// indexing instead of name-keyed maps.
     compiled: Vec<CompiledTerm>,
+    /// The bound-column constraints of `compiled` as `(column, check)`
+    /// pairs — the column-by-column program the block scan ANDs into its
+    /// [`ScanMask`].
+    checks: Vec<(u32, ColumnCheck)>,
     /// Per-variable binding scratch (len = distinct variables of the atom),
     /// reused across classifications so the hot path never allocates.
     var_scratch: Vec<Option<Constant>>,
@@ -169,24 +204,37 @@ struct AtomWatch {
     viable: usize,
 }
 
-/// Compiles an atom's terms into positional form.
-fn compile_atom(atom: &Atom) -> (Vec<CompiledTerm>, usize) {
+/// Compiles an atom's terms into positional form, together with the
+/// bound-column checks the block scan runs: constants check their column,
+/// repeated variable occurrences check equality with the column of the
+/// variable's first occurrence, and first occurrences compile to no check.
+fn compile_atom(atom: &Atom) -> (Vec<CompiledTerm>, usize, Vec<(u32, ColumnCheck)>) {
     let mut vars: Vec<&crate::Variable> = Vec::new();
+    let mut first_pos: Vec<u32> = Vec::new();
+    let mut checks: Vec<(u32, ColumnCheck)> = Vec::new();
     let compiled = atom
         .terms()
         .iter()
-        .map(|term| match term {
-            Term::Const(c) => CompiledTerm::Const(*c),
+        .enumerate()
+        .map(|(pos, term)| match term {
+            Term::Const(c) => {
+                checks.push((pos as u32, ColumnCheck::Const(*c)));
+                CompiledTerm::Const(*c)
+            }
             Term::Var(v) => {
                 let id = vars.iter().position(|u| *u == v).unwrap_or_else(|| {
                     vars.push(v);
+                    first_pos.push(pos as u32);
                     vars.len() - 1
                 });
+                if first_pos[id] != pos as u32 {
+                    checks.push((pos as u32, ColumnCheck::Col(first_pos[id])));
+                }
                 CompiledTerm::Var(u8::try_from(id).expect("more than 255 distinct variables"))
             }
         })
         .collect();
-    (compiled, vars.len())
+    (compiled, vars.len(), checks)
 }
 
 impl AtomWatch {
@@ -257,6 +305,95 @@ impl AtomWatch {
         self.set_status(slot, next);
     }
 
+    /// Re-classifies the whole candidate range as a branch-light block scan
+    /// over the relation's arena slice: every bound-column check sweeps one
+    /// column across the rows, ANDing a 64-row comparison word at a time
+    /// into `mask`, and statuses are then decoded from the surviving bits.
+    ///
+    /// The mask verdict is exact for **ground** rows (every value a
+    /// constant, so a row matches the atom iff all checks pass); rows that
+    /// still hold unbound nulls take the per-row [`AtomWatch::classify`]
+    /// fallback, which also consults null domains. Counters are recomputed
+    /// wholesale. In debug builds every decoded status is cross-checked
+    /// against the per-row reference path.
+    fn reclassify_blocks(&mut self, g: &Grounding, mask: &mut ScanMask) {
+        let rows = self.status.len();
+        if rows == 0 {
+            return;
+        }
+        let rel = self
+            .rel
+            .expect("a non-empty candidate range has a relation");
+        let (arena, arity) = g.relation_arena(rel);
+        let unbound = g.relation_unbound(rel);
+        mask.reset_ones(rows);
+        for &(pos, check) in &self.checks {
+            let pos = pos as usize;
+            match check {
+                ColumnCheck::Const(c) => {
+                    let want = Value::Const(c);
+                    for w in 0..mask.word_count() {
+                        let base = w * WORD_BITS;
+                        let n = (rows - base).min(WORD_BITS);
+                        let mut bits = 0u64;
+                        for i in 0..n {
+                            bits |= u64::from(arena[(base + i) * arity + pos] == want) << i;
+                        }
+                        mask.and_word(w, bits);
+                    }
+                }
+                ColumnCheck::Col(earlier) => {
+                    let earlier = earlier as usize;
+                    for w in 0..mask.word_count() {
+                        let base = w * WORD_BITS;
+                        let n = (rows - base).min(WORD_BITS);
+                        let mut bits = 0u64;
+                        for i in 0..n {
+                            let row = (base + i) * arity;
+                            bits |= u64::from(arena[row + pos] == arena[row + earlier]) << i;
+                        }
+                        mask.and_word(w, bits);
+                    }
+                }
+            }
+        }
+        let mut certain = 0usize;
+        let mut viable = 0usize;
+        for w in 0..mask.word_count() {
+            let word = mask.word(w);
+            let base = w * WORD_BITS;
+            let n = (rows - base).min(WORD_BITS);
+            for i in 0..n {
+                let slot = base + i;
+                let status = if unbound[slot] == 0 {
+                    if word >> i & 1 == 1 {
+                        FactStatus::Certain
+                    } else {
+                        FactStatus::Excluded
+                    }
+                } else {
+                    self.classify(slot, g)
+                };
+                debug_assert_eq!(
+                    status,
+                    self.classify(slot, g),
+                    "block scan diverged from per-row classification at slot {slot}"
+                );
+                match status {
+                    FactStatus::Certain => {
+                        certain += 1;
+                        viable += 1;
+                    }
+                    FactStatus::Possible => viable += 1,
+                    FactStatus::Excluded => {}
+                }
+                self.status[slot] = status;
+            }
+        }
+        self.certain = certain;
+        self.viable = viable;
+    }
+
     /// Stores a freshly classified status, keeping the counters in step.
     fn set_status(&mut self, slot: usize, next: FactStatus) {
         let prev = std::mem::replace(&mut self.status[slot], next);
@@ -311,6 +448,24 @@ pub struct BcqResidual {
     /// Multi-atom join searches actually executed (diagnostic; see
     /// [`BcqResidual::join_search_count`]).
     join_searches: u64,
+    /// Sort-merge joins actually executed instead of backtracking searches
+    /// (diagnostic; see [`BcqResidual::merge_join_count`]).
+    merge_joins: u64,
+    /// Row-count crossover for the sort-merge join path (see
+    /// [`DEFAULT_MERGE_JOIN_MIN_ROWS`]).
+    merge_min_rows: u64,
+    /// Reusable bitset for the block-scan classification path.
+    scan_mask: ScanMask,
+    /// Reusable key buffers for the sort-merge join.
+    merge_scratch: MergeScratch,
+}
+
+/// The reusable single-key buffers of the sort-merge join (one sorted key
+/// column per side), so repeated joins never reallocate.
+#[derive(Debug, Clone, Default)]
+struct MergeScratch {
+    left: Vec<u64>,
+    right: Vec<u64>,
 }
 
 /// One atom's share of the construction-time state: everything
@@ -337,6 +492,15 @@ struct Component {
     ground: Option<bool>,
     /// Memoized "has an optimistic match" result, if computed at `memo_at`.
     optimistic: Option<bool>,
+    /// For two-atom components: the sort-merge join key, as pairs of
+    /// first-occurrence columns `(col in members[0], col in members[1])` of
+    /// every shared variable. Empty for components of any other size.
+    ///
+    /// Within-atom constraints (constants, repeated variables) are already
+    /// encoded in each side's statuses, so two eligible **ground** facts
+    /// join iff they agree on every shared variable — i.e. iff their key
+    /// tuples are equal.
+    merge_keys: Vec<(u32, u32)>,
 }
 
 impl Component {
@@ -384,6 +548,34 @@ fn variable_components(q: &Bcq) -> Vec<Vec<usize>> {
     components
 }
 
+/// The sort-merge join key of a two-atom component: for every variable the
+/// atoms share, the column of its **first** occurrence in each atom. First
+/// occurrences suffice: repeated occurrences are already constrained
+/// against the first one by each atom's own status classification.
+fn shared_variable_columns(a: &Atom, b: &Atom) -> Vec<(u32, u32)> {
+    fn first_occurrences(atom: &Atom) -> Vec<(&crate::Variable, u32)> {
+        let mut firsts: Vec<(&crate::Variable, u32)> = Vec::new();
+        for (pos, term) in atom.terms().iter().enumerate() {
+            if let Term::Var(v) = term {
+                if !firsts.iter().any(|(u, _)| *u == v) {
+                    firsts.push((v, pos as u32));
+                }
+            }
+        }
+        firsts
+    }
+    let b_firsts = first_occurrences(b);
+    first_occurrences(a)
+        .into_iter()
+        .filter_map(|(v, pa)| {
+            b_firsts
+                .iter()
+                .find(|(u, _)| *u == v)
+                .map(|&(_, pb)| (pa, pb))
+        })
+        .collect()
+}
+
 impl BcqResidual {
     /// Builds the evaluator, classifying every candidate fact under the
     /// grounding's *current* (possibly partial) assignment.
@@ -392,10 +584,11 @@ impl BcqResidual {
         let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); rel_count];
         let mut atoms: Vec<AtomWatch> = Vec::with_capacity(q.atoms().len());
         for atom in q.atoms() {
-            let (compiled, var_count) = compile_atom(atom);
+            let (compiled, var_count, checks) = compile_atom(atom);
             let mut watch = AtomWatch {
                 atom: atom.clone(),
                 compiled,
+                checks,
                 var_scratch: vec![None; var_count],
                 rel: None,
                 first: 0,
@@ -418,12 +611,20 @@ impl BcqResidual {
         }
         let components: Vec<Component> = variable_components(q)
             .into_iter()
-            .map(|members| Component {
-                members,
-                revision: 1,
-                memo_at: 0,
-                ground: None,
-                optimistic: None,
+            .map(|members| {
+                let merge_keys = if let [a, b] = members[..] {
+                    shared_variable_columns(&q.atoms()[a], &q.atoms()[b])
+                } else {
+                    Vec::new()
+                };
+                Component {
+                    members,
+                    revision: 1,
+                    memo_at: 0,
+                    ground: None,
+                    optimistic: None,
+                    merge_keys,
+                }
             })
             .collect();
         let mut component_of = vec![0; q.atoms().len()];
@@ -440,6 +641,10 @@ impl BcqResidual {
             root: Vec::new(),
             root_bound: g.bound_count(),
             join_searches: 0,
+            merge_joins: 0,
+            merge_min_rows: DEFAULT_MERGE_JOIN_MIN_ROWS,
+            scan_mask: ScanMask::new(),
+            merge_scratch: MergeScratch::default(),
         };
         state.reclassify(g);
         state.root = state
@@ -454,14 +659,33 @@ impl BcqResidual {
         state
     }
 
-    /// Re-classifies every candidate row of every atom by walking each
-    /// relation's status slab (and, through it, the relation's contiguous
-    /// slice of the grounding's value arena) front to back. This is the
-    /// bulk classification path — used at construction, and the columnar
-    /// counterpart the `columnar_scan` benchmark measures against per-row
-    /// from-scratch evaluation. Returns the total number of viable
-    /// (`Possible` or `Certain`) candidate rows across all atoms.
+    /// Re-classifies every candidate row of every atom as a block scan over
+    /// each relation's contiguous arena slice: bound-column checks AND
+    /// 64-row comparison words into a reusable [`ScanMask`], statuses decode
+    /// from the surviving bits, and only rows still holding unbound nulls
+    /// fall back to per-row classification. This is the bulk classification
+    /// path — used at construction, and the columnar counterpart the
+    /// `columnar_scan` / `block_reclassify` benchmarks measure. Returns the
+    /// total number of viable (`Possible` or `Certain`) candidate rows
+    /// across all atoms.
     pub fn reclassify(&mut self, g: &Grounding) -> usize {
+        let mut mask = std::mem::take(&mut self.scan_mask);
+        for a in 0..self.atoms.len() {
+            self.atoms[a].reclassify_blocks(g, &mut mask);
+        }
+        self.scan_mask = mask;
+        for component in &mut self.components {
+            component.revision += 1;
+        }
+        self.atoms.iter().map(|a| a.viable).sum()
+    }
+
+    /// The per-row reference path of [`BcqResidual::reclassify`]: walks
+    /// every status slab front to back, classifying one fact at a time.
+    /// Semantically identical to the block scan (which cross-checks against
+    /// it in debug builds); kept as the differential-test oracle and the
+    /// `block_reclassify` benchmark baseline.
+    pub fn reclassify_rowwise(&mut self, g: &Grounding) -> usize {
         for a in 0..self.atoms.len() {
             for slot in 0..self.atoms[a].status.len() {
                 self.atoms[a].refresh(slot, g);
@@ -471,6 +695,20 @@ impl BcqResidual {
             component.revision += 1;
         }
         self.atoms.iter().map(|a| a.viable).sum()
+    }
+
+    /// How many two-atom components were joined by the sort-merge path
+    /// instead of the backtracking search — the routing diagnostic the
+    /// crossover tests pin. Moves only when a join actually runs (memo
+    /// misses on a two-atom component routed to the merge path).
+    pub fn merge_join_count(&self) -> u64 {
+        self.merge_joins
+    }
+
+    /// The current sort-merge crossover (rows in the larger eligible side
+    /// at or above which a two-atom component merges).
+    pub fn merge_join_min_rows(&self) -> u64 {
+        self.merge_min_rows
     }
 
     /// How many multi-atom join searches this evaluator has actually run —
@@ -505,10 +743,42 @@ impl BcqResidual {
                 PartialMatch::Optimistic => self.atoms[a].viable > 0,
             });
             counters_allow && {
-                if component.members.len() > 1 {
-                    self.join_searches += 1;
+                // Two-atom components with at least one shared variable can
+                // route to the sort-merge join when the crossover and
+                // groundness conditions hold; everything else takes the
+                // backtracking join.
+                let merge = matches!(component.members[..], [a, b]
+                if !component.merge_keys.is_empty()
+                    && merge_applicable(
+                        &self.atoms[a],
+                        &self.atoms[b],
+                        mode,
+                        self.merge_min_rows,
+                    ));
+                if merge {
+                    let [a, b] = component.members[..] else {
+                        unreachable!("merge routing only selects two-atom components")
+                    };
+                    self.merge_joins += 1;
+                    let hit = sort_merge_join(
+                        &self.atoms[a],
+                        &self.atoms[b],
+                        &component.merge_keys,
+                        g,
+                        &mut self.merge_scratch,
+                    );
+                    debug_assert_eq!(
+                        hit,
+                        component_matches(&self.atoms, g, &component.members, mode),
+                        "sort-merge join diverged from the backtracking join"
+                    );
+                    hit
+                } else {
+                    if component.members.len() > 1 {
+                        self.join_searches += 1;
+                    }
+                    component_matches(&self.atoms, g, &component.members, mode)
                 }
-                component_matches(&self.atoms, g, &component.members, mode)
             }
         };
         match mode {
@@ -569,6 +839,122 @@ fn component_matches(
         false
     }
     go(atoms, component, 0, g, &Homomorphism::new(), mode)
+}
+
+/// Whether the sort-merge path may replace the backtracking join for a
+/// two-atom component: every eligible row on both sides must be ground —
+/// always true in `GroundOnly` mode (a `Certain` row is by construction
+/// ground), and true in `Optimistic` mode exactly when neither side holds
+/// `Possible` rows — and the larger eligible side must reach the crossover.
+fn merge_applicable(a: &AtomWatch, b: &AtomWatch, mode: PartialMatch, min_rows: u64) -> bool {
+    let all_ground = match mode {
+        PartialMatch::GroundOnly => true,
+        PartialMatch::Optimistic => a.viable == a.certain && b.viable == b.certain,
+    };
+    all_ground && (a.certain.max(b.certain) as u64) >= min_rows
+}
+
+/// The sort-merge join of one two-atom component over its eligible
+/// (`Certain`, hence ground) candidate rows: collect each side's
+/// shared-variable key column(s) from the relation arenas, sort, and probe
+/// for a non-empty intersection. Exact under [`merge_applicable`]:
+/// within-atom constraints are already encoded in the statuses, so a pair
+/// of ground rows joins iff their key tuples are equal. When a key column
+/// is column 0 of its (lexicographically sorted) arena the collected run is
+/// presorted and the sort is a linear verification pass.
+fn sort_merge_join(
+    left: &AtomWatch,
+    right: &AtomWatch,
+    keys: &[(u32, u32)],
+    g: &Grounding,
+    scratch: &mut MergeScratch,
+) -> bool {
+    if let [(pl, pr)] = keys[..] {
+        // Single shared variable: flat `u64` key columns in reused buffers.
+        let MergeScratch {
+            left: lbuf,
+            right: rbuf,
+        } = scratch;
+        collect_key_column(left, pl as usize, g, lbuf);
+        collect_key_column(right, pr as usize, g, rbuf);
+        lbuf.sort_unstable();
+        rbuf.sort_unstable();
+        sorted_intersect(lbuf, rbuf)
+    } else {
+        // Several shared variables: tuple keys, compared lexicographically.
+        let mut lbuf = collect_key_tuples(left, keys.iter().map(|k| k.0 as usize), g);
+        let mut rbuf = collect_key_tuples(right, keys.iter().map(|k| k.1 as usize), g);
+        lbuf.sort_unstable();
+        rbuf.sort_unstable();
+        sorted_intersect(&lbuf, &rbuf)
+    }
+}
+
+/// Collects one key column over the `Certain` rows of a watch, reading the
+/// relation's flat arena slice directly.
+fn collect_key_column(watch: &AtomWatch, pos: usize, g: &Grounding, out: &mut Vec<u64>) {
+    out.clear();
+    let rel = watch
+        .rel
+        .expect("a Certain candidate implies a backing relation");
+    let (arena, arity) = g.relation_arena(rel);
+    for (slot, &status) in watch.status.iter().enumerate() {
+        if status == FactStatus::Certain {
+            out.push(ground_key(&arena[slot * arity + pos]));
+        }
+    }
+}
+
+/// Collects tuple keys (one value per shared variable) over the `Certain`
+/// rows of a watch.
+fn collect_key_tuples(
+    watch: &AtomWatch,
+    positions: impl Iterator<Item = usize> + Clone,
+    g: &Grounding,
+) -> Vec<Vec<u64>> {
+    let rel = watch
+        .rel
+        .expect("a Certain candidate implies a backing relation");
+    let (arena, arity) = g.relation_arena(rel);
+    watch
+        .status
+        .iter()
+        .enumerate()
+        .filter(|(_, &status)| status == FactStatus::Certain)
+        .map(|(slot, _)| {
+            positions
+                .clone()
+                .map(|pos| ground_key(&arena[slot * arity + pos]))
+                .collect()
+        })
+        .collect()
+}
+
+/// The constant under a ground row's key column.
+fn ground_key(value: &Value) -> u64 {
+    match value {
+        Value::Const(c) => c.0,
+        Value::Null(_) => unreachable!("merge-join keys come from ground rows"),
+    }
+}
+
+/// Whether two sorted key columns intersect. When one side is much smaller,
+/// each of its keys binary-searches the larger column (the galloping case a
+/// selective atom produces); otherwise a two-pointer merge pass.
+fn sorted_intersect<T: Ord>(a: &[T], b: &[T]) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if large.len() / 32 > small.len() {
+        return small.iter().any(|k| large.binary_search(k).is_ok());
+    }
+    let (mut i, mut j) = (0, 0);
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
 }
 
 impl ResidualState for BcqResidual {
@@ -645,6 +1031,10 @@ impl ResidualState for BcqResidual {
     fn boxed_clone(&self) -> Box<dyn ResidualState> {
         Box::new(self.clone())
     }
+
+    fn set_merge_join_min_rows(&mut self, rows: u64) {
+        self.merge_min_rows = rows;
+    }
 }
 
 /// The incremental evaluator of a [`Ucq`]: one [`BcqResidual`] per disjunct,
@@ -700,6 +1090,12 @@ impl ResidualState for UcqResidual {
     fn boxed_clone(&self) -> Box<dyn ResidualState> {
         Box::new(self.clone())
     }
+
+    fn set_merge_join_min_rows(&mut self, rows: u64) {
+        for d in &mut self.disjuncts {
+            d.merge_min_rows = rows;
+        }
+    }
 }
 
 /// The incremental evaluator of a [`NegatedBcq`]: the inner BCQ's state with
@@ -733,6 +1129,10 @@ impl ResidualState for NegatedBcqResidual {
 
     fn boxed_clone(&self) -> Box<dyn ResidualState> {
         Box::new(self.clone())
+    }
+
+    fn set_merge_join_min_rows(&mut self, rows: u64) {
+        self.inner.merge_min_rows = rows;
     }
 }
 

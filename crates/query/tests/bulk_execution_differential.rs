@@ -1,0 +1,226 @@
+//! Differential properties for the bulk-execution layer: the block-scan
+//! reclassifier must agree with the per-row reference classifier, and the
+//! sort-merge join must agree with the backtracking join, on random
+//! non-uniform instances driven through arbitrary bind/rebind/unbind
+//! sequences — plus a deterministic probe of the size crossover at the
+//! threshold boundary ±1.
+//!
+//! Both fast paths also carry `debug_assert` oracles inline (per-slot
+//! status comparison in `reclassify`, full-join comparison in the merge
+//! dispatch), so every debug-mode run of this suite checks the equivalence
+//! twice: here against an independently driven twin state, and inside the
+//! fast path against the reference computation on the same state.
+
+use incdb_data::{Constant, IncompleteDatabase, NullId, Value};
+use incdb_query::{Bcq, BcqResidual, BooleanQuery, PartialOutcome, ResidualState};
+use proptest::prelude::*;
+
+const NULL_POOL: u32 = 5;
+
+/// One table position: constants `0..4`, nulls `⊥0..⊥4`.
+fn decode_value(code: usize) -> Value {
+    if code < 4 {
+        Value::constant(code as u64)
+    } else {
+        Value::null((code - 4) as u32)
+    }
+}
+
+/// Builds a non-uniform instance from generated specs: `facts` picks a
+/// relation (`R`/`T` binary, `S` unary) and two position codes; `domains`
+/// gives every null in the pool a non-empty subset of `{0, 1, 2}` (coded as
+/// a 3-bit mask).
+fn build_db(facts: &[(usize, (usize, usize))], domains: &[usize]) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_non_uniform();
+    for (i, mask) in domains.iter().enumerate() {
+        let values: Vec<u64> = (0..3u64).filter(|b| mask & (1 << b) != 0).collect();
+        db.set_domain(NullId(i as u32), values).unwrap();
+    }
+    for &(rel, (a, b)) in facts {
+        match rel {
+            0 => db
+                .add_fact("R", vec![decode_value(a), decode_value(b)])
+                .unwrap(),
+            1 => db.add_fact("S", vec![decode_value(a)]).unwrap(),
+            _ => db
+                .add_fact("T", vec![decode_value(a), decode_value(b)])
+                .unwrap(),
+        };
+    }
+    db
+}
+
+/// Query shapes covering the structure both fast paths branch on: repeated
+/// variables (in-atom column checks), constants, two-atom components with
+/// one shared variable (single-key merge), with two shared variables
+/// (multi-key merge), self-joins, and components the merge path must
+/// decline (three atoms, no shared variable).
+fn bcqs() -> Vec<Bcq> {
+    [
+        "R(x,x)",
+        "R(x,y), S(y)",
+        "R(x,2), S(x)",
+        "R(x,y), T(y,z)",
+        "R(x,y), T(y,x)",
+        "R(x,y), R(y,x)",
+        "R(x,x), T(y,z)",
+        "R(x,y), T(y,z), S(z)",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect()
+}
+
+/// Replays `ops` on a fresh grounding of `db`, mutating the grounding like
+/// the engine's search walk does and handing each state to `check` as
+/// `(grounding, step)`.
+fn drive<F: FnMut(&incdb_data::Grounding, usize)>(
+    db: &IncompleteDatabase,
+    ops: &[(usize, usize)],
+    mut check: F,
+) {
+    let mut g = db.try_grounding().unwrap();
+    let mut buf = Vec::new();
+    g.drain_dirty_into(&mut buf);
+    check(&g, 0);
+    for (step, &(null, action)) in ops.iter().enumerate() {
+        let null = NullId(null as u32 % NULL_POOL);
+        if action == 0 {
+            g.unbind(null);
+        } else {
+            let Some(dom) = g.domain(null) else { continue };
+            let value: Constant = dom[(action - 1) % dom.len()];
+            g.bind(null, value).unwrap();
+        }
+        g.drain_dirty_into(&mut buf);
+        check(&g, step + 1);
+    }
+}
+
+/// At every step, a full block-scan reclassification and a full per-row
+/// reclassification of twin states must return the same viable total and
+/// the same outcome, and both must agree with `holds_partial`.
+fn check_block_vs_rowwise(q: &Bcq, db: &IncompleteDatabase, ops: &[(usize, usize)]) {
+    let g0 = db.try_grounding().unwrap();
+    let mut block = BcqResidual::new(q, &g0);
+    let mut rowwise = BcqResidual::new(q, &g0);
+    drive(db, ops, |g, step| {
+        let viable_blocks = block.reclassify(g);
+        let viable_rows = rowwise.reclassify_rowwise(g);
+        assert_eq!(
+            viable_blocks,
+            viable_rows,
+            "viable totals diverged at step {step} with bound set {:?}",
+            g.current_valuation()
+        );
+        let expected = q.holds_partial(g);
+        assert_eq!(block.outcome(g), expected, "block outcome at step {step}");
+        assert_eq!(
+            rowwise.outcome(g),
+            expected,
+            "rowwise outcome at step {step}"
+        );
+    });
+}
+
+/// At every step, twin states with the merge join forced (crossover 0) and
+/// disabled (crossover `u64::MAX`) must agree with `holds_partial`; the
+/// disabled twin's diagnostic counter must never move.
+fn check_merge_vs_backtracking(q: &Bcq, db: &IncompleteDatabase, ops: &[(usize, usize)]) {
+    let g0 = db.try_grounding().unwrap();
+    let mut merge = BcqResidual::new(q, &g0);
+    merge.set_merge_join_min_rows(0);
+    let mut back = BcqResidual::new(q, &g0);
+    back.set_merge_join_min_rows(u64::MAX);
+    drive(db, ops, |g, step| {
+        merge.reclassify(g);
+        back.reclassify(g);
+        let expected = q.holds_partial(g);
+        assert_eq!(merge.outcome(g), expected, "forced merge at step {step}");
+        assert_eq!(back.outcome(g), expected, "disabled merge at step {step}");
+    });
+    assert_eq!(
+        back.merge_join_count(),
+        0,
+        "a u64::MAX crossover must never take the merge path"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn block_scan_agrees_with_the_per_row_reference(
+        facts in proptest::collection::vec((0usize..3, (0usize..9, 0usize..9)), 1..=6),
+        domains in proptest::collection::vec(1usize..8, NULL_POOL as usize..=NULL_POOL as usize),
+        ops in proptest::collection::vec((0usize..NULL_POOL as usize, 0usize..4), 1..=30),
+    ) {
+        let db = build_db(&facts, &domains);
+        for q in bcqs() {
+            check_block_vs_rowwise(&q, &db, &ops);
+        }
+    }
+
+    #[test]
+    fn merge_join_agrees_with_the_backtracking_join(
+        facts in proptest::collection::vec((0usize..3, (0usize..9, 0usize..9)), 1..=6),
+        domains in proptest::collection::vec(1usize..8, NULL_POOL as usize..=NULL_POOL as usize),
+        ops in proptest::collection::vec((0usize..NULL_POOL as usize, 0usize..4), 1..=30),
+    ) {
+        let db = build_db(&facts, &domains);
+        for q in bcqs() {
+            check_merge_vs_backtracking(&q, &db, &ops);
+        }
+    }
+}
+
+/// The size crossover routes exactly at the threshold: on an all-ground
+/// two-atom component whose larger side holds `N` certain rows, crossovers
+/// `N-1` and `N` take the merge join, `N+1` falls back to the backtracking
+/// search — with identical outcomes on both sides of the boundary.
+#[test]
+fn crossover_boundary_routes_exactly_at_the_threshold() {
+    let mut db = IncompleteDatabase::new_uniform(0..2u64);
+    // R(x,y) watches 3 certain rows, S(y,z) watches 2 — N = 3. The pair
+    // (1,2) ⋈ (2,7) satisfies the query in the only completion.
+    for (a, b) in [(1u64, 2), (3, 4), (5, 2)] {
+        db.add_fact("R", vec![Value::constant(a), Value::constant(b)])
+            .unwrap();
+    }
+    for (a, b) in [(2u64, 7), (9, 9)] {
+        db.add_fact("S", vec![Value::constant(a), Value::constant(b)])
+            .unwrap();
+    }
+    let q: Bcq = "R(x,y), S(y,z)".parse().unwrap();
+    let g = db.try_grounding().unwrap();
+    for (threshold, expect_merge) in [(2u64, true), (3, true), (4, false)] {
+        let mut r = BcqResidual::new(&q, &g);
+        r.set_merge_join_min_rows(threshold);
+        assert_eq!(
+            r.outcome(&g),
+            PartialOutcome::Satisfied,
+            "the ground join pair must satisfy the query at crossover {threshold}"
+        );
+        if expect_merge {
+            assert!(
+                r.merge_join_count() > 0,
+                "crossover {threshold} ≤ N must route to the merge join"
+            );
+            assert_eq!(
+                r.join_search_count(),
+                0,
+                "crossover {threshold} must not also run the backtracking join"
+            );
+        } else {
+            assert_eq!(
+                r.merge_join_count(),
+                0,
+                "crossover {threshold} > N must decline the merge join"
+            );
+            assert!(
+                r.join_search_count() > 0,
+                "crossover {threshold} must fall back to the backtracking join"
+            );
+        }
+    }
+}
