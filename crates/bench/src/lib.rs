@@ -154,6 +154,108 @@ pub fn uniform_codd_binary(facts: u32, domain_size: u64) -> IncompleteDatabase {
     db
 }
 
+/// A mixed dirty/separable instance for the budgeted streaming rows:
+/// `dirty_pairs` Codd rows `R(⊥, ⊥)` of fresh nulls (pairwise unifiable,
+/// so every one is dirty) next to `separable` rows `S(⊥, c)` whose
+/// distinct constant columns make them pairwise non-unifiable — each `S`
+/// null is single-occurrence and separable. Over the uniform domain
+/// `{0, …, domain_size−1}` the distinct-completion count factors as
+/// `(#distinct R-parts) × domain_size^separable`: a class-counting walk
+/// enumerates only the `domain_size^(2·dirty_pairs)` dirty valuations and
+/// credits each class's separable subtree in closed form, while a
+/// leaf-enumerating baseline must touch every one of the
+/// `domain_size^(2·dirty_pairs + separable)` valuations.
+pub fn mixed_separable_instance(
+    dirty_pairs: u32,
+    separable: u32,
+    domain_size: u64,
+) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_uniform(0..domain_size);
+    for i in 0..dirty_pairs {
+        db.add_fact("R", vec![Value::null(2 * i), Value::null(2 * i + 1)])
+            .unwrap();
+    }
+    for j in 0..separable {
+        // Constants outside the domain and distinct per fact: never equal
+        // to a completed null column, never unifiable across rows.
+        db.add_fact(
+            "S",
+            vec![
+                Value::null(2 * dirty_pairs + j),
+                Value::constant(domain_size + 100 + j as u64),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// A key-locality instance for the cursor-pruned paging rows: `nulls`
+/// facts `R(c_i, ⊥i)` with strictly ascending first-column constants
+/// (outside the uniform domain), one fresh null each, under
+/// `ground_facts` ground rows whose constants sort *below* every band.
+/// Every completion key lists the shared ground block first and the band
+/// tuples in the fixed `c_0 < c_1 < …` order after it, so the canonical
+/// key order is exactly the lexicographic order of `(⊥0, ⊥1, …)` — which
+/// is also the session's depth-first order. Pages therefore retire whole
+/// search subtrees, the regime where a page walk's recorded subtree
+/// summary prunes every already-served prefix. The shared ground block
+/// makes every whole-completion comparison walk an identical prefix —
+/// the cost an unbounded sorted materialised set pays `O(log n)` times
+/// per completion, and a fingerprint-paged stream only a bounded number
+/// of times.
+pub fn key_local_band_instance(
+    nulls: u32,
+    domain_size: u64,
+    ground_facts: u64,
+) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_uniform(0..domain_size);
+    for c in 0..ground_facts {
+        let base = domain_size + 2 * c;
+        db.add_fact("R", vec![Value::constant(base), Value::constant(base + 1)])
+            .unwrap();
+    }
+    for i in 0..nulls {
+        let band = domain_size + 2 * ground_facts + 1000 * (i as u64 + 1);
+        db.add_fact("R", vec![Value::constant(band), Value::null(i)])
+            .unwrap();
+    }
+    db
+}
+
+/// The bounded-streaming large-instance shape: `ground_facts` ground rows
+/// `R(base, base+1)` (constants from `1000` up, outside the domain) under
+/// two dirty rows `R(⊥0,⊥1)`, `R(⊥2,⊥3)` and `separable` clean rows
+/// `S(⊥, c)` with distinct constant columns, all nulls over the uniform
+/// domain `{0, 1, 2}`. The distinct-completion count is analytic:
+/// the dirty part contributes the 45 distinct one-or-two-element subsets
+/// of the 9 pairs (9 singletons + 36 pairs), the separable part a
+/// `3^separable` factor, and the ground table nothing — so the exact
+/// count is `45 · 3^separable` however wide the table. Every class
+/// fingerprint spans the whole ground table, which is precisely what
+/// makes an unbounded all-fingerprints-resident run hurt at 10⁵ facts and
+/// a budgeted multi-walk run the only reasonable mode.
+pub fn bounded_stream_large_instance(ground_facts: u64, separable: u32) -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_uniform(0..3u64);
+    db.add_fact("R", vec![Value::null(0), Value::null(1)])
+        .unwrap();
+    db.add_fact("R", vec![Value::null(2), Value::null(3)])
+        .unwrap();
+    for j in 0..separable {
+        db.add_fact(
+            "S",
+            vec![Value::null(4 + j), Value::constant(100 + j as u64)],
+        )
+        .unwrap();
+    }
+    for c in 0..ground_facts {
+        let base = 1000 + 2 * c;
+        db.add_fact("R", vec![Value::constant(base), Value::constant(base + 1)])
+            .unwrap();
+    }
+    db
+}
+
 /// A uniform unary instance for the Theorem 4.6 completion-counting
 /// algorithm: two unary relations sharing a few nulls.
 pub fn uniform_unary_completions_instance(nulls: u32, domain_size: u64) -> IncompleteDatabase {
@@ -222,6 +324,21 @@ mod tests {
 
         let db = merge_join_instance(8, 16, 32);
         assert_eq!(db.nulls().len(), 1);
+        assert!(db.is_uniform());
+        db.validate().unwrap();
+
+        let db = mixed_separable_instance(2, 3, 3);
+        assert_eq!(db.nulls().len(), 7);
+        assert!(db.is_uniform());
+        db.validate().unwrap();
+
+        let db = key_local_band_instance(4, 3, 20);
+        assert_eq!(db.nulls().len(), 4);
+        assert!(db.is_codd());
+        db.validate().unwrap();
+
+        let db = bounded_stream_large_instance(50, 2);
+        assert_eq!(db.nulls().len(), 6);
         assert!(db.is_uniform());
         db.validate().unwrap();
 

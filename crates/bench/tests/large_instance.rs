@@ -11,10 +11,11 @@
 
 use std::time::{Duration, Instant};
 
-use incdb_bench::{large_ground_instance, merge_join_instance};
+use incdb_bench::{bounded_stream_large_instance, large_ground_instance, merge_join_instance};
 use incdb_bignum::BigNat;
-use incdb_core::engine::{BacktrackingEngine, CountingEngine};
+use incdb_core::engine::{BacktrackingEngine, CountingEngine, Tautology};
 use incdb_query::Bcq;
+use incdb_stream::count_completions_budgeted;
 
 /// 10⁵ ground facts in release, shrunk 5× under the debug oracles.
 const FACTS: u64 = if cfg!(debug_assertions) {
@@ -47,6 +48,44 @@ fn large_instance_count_stays_exact_and_bounded() {
     assert!(
         start.elapsed() < TIME_CEILING,
         "large-instance valuation count took {:?} (ceiling {TIME_CEILING:?})",
+        start.elapsed()
+    );
+}
+
+/// The bounded-streaming smoke the ISSUE demands: a 10⁵-fact instance
+/// whose class fingerprints each span the whole ground table, counted
+/// exactly under a budget far below the class count. An unbounded
+/// all-fingerprints run would hold 45 table-wide keys *and* enumerate the
+/// separable suffix leaf by leaf; the budgeted counter holds at most
+/// `BUDGET` keys at a time (multiple walks, evictions) and credits every
+/// class's separable subtree in closed form.
+#[test]
+fn large_instance_budgeted_streaming_counts_in_closed_form() {
+    const BUDGET: usize = 12;
+    const SEPARABLE: u32 = 4;
+    let start = Instant::now();
+    let db = bounded_stream_large_instance(FACTS, SEPARABLE);
+    // Analytic: 45 distinct dirty R-parts × 3⁴ separable completions.
+    let expected = BigNat::from(45u64 * 3u64.pow(SEPARABLE));
+    let result = count_completions_budgeted(&db, &Tautology, BUDGET, 1).unwrap();
+    assert_eq!(result.count, expected, "budgeted count must stay exact");
+    assert!(
+        result.peak_resident_fingerprints <= BUDGET,
+        "peak resident fingerprints {} exceed the budget {BUDGET}",
+        result.peak_resident_fingerprints
+    );
+    // 45 classes against a budget of 12: the bound must actually bind.
+    assert!(
+        result.passes > 1,
+        "a 12-key budget cannot serve 45 classes in one walk"
+    );
+    assert!(
+        result.evictions > 0,
+        "overflowing walks must evict, not grow past the budget"
+    );
+    assert!(
+        start.elapsed() < TIME_CEILING,
+        "large-instance budgeted streaming count took {:?} (ceiling {TIME_CEILING:?})",
         start.elapsed()
     );
 }

@@ -63,7 +63,9 @@ use incdb_data::{CompletionKey, Constant, DataError, Database, Grounding, Incomp
 use incdb_query::{BooleanQuery, PartialOutcome, DEFAULT_MERGE_JOIN_MIN_ROWS};
 
 use crate::session::CollectKeys;
-pub use crate::session::{CompletionVisitor, SearchSession, StealGate};
+pub use crate::session::{
+    ClassAction, CompletionVisitor, Mark, PageSummary, SearchSession, StealGate,
+};
 
 /// A strategy for exactly counting valuations and completions.
 ///

@@ -69,5 +69,5 @@ pub use classify::{classify, classify_approx, ApproxStatus, ClassifyError, Compl
 pub use completion_check::is_possible_completion_of_codd;
 pub use engine::{BacktrackingEngine, CompletionVisitor, CountingEngine, NaiveEngine, Tautology};
 pub use problem::{CountingProblem, DomainKind, Setting, TableKind};
-pub use session::{SearchSession, StealGate};
+pub use session::{ClassAction, Mark, PageSummary, SearchSession, StealGate};
 pub use solver::{count_completions, count_valuations, CountOutcome, Method, SolveError};

@@ -43,6 +43,26 @@ use incdb_query::{BooleanQuery, PartialOutcome, ResidualState};
 
 use crate::engine::TaskQueue;
 
+/// What a class-aware visitor wants done with the subtree below a
+/// **separation-cut node** (see [`CompletionVisitor::class_node`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassAction {
+    /// Walk the subtree leaf by leaf, as a plain visitor would.
+    Descend,
+    /// Skip the subtree entirely — its class was already accounted for.
+    Skip,
+    /// Count the subtree's satisfying valuations in closed form /
+    /// accumulator form without visiting its leaves, then report the total
+    /// through [`CompletionVisitor::class_counted`]. Sound for distinct-
+    /// completion counting because below the cut only separable nulls
+    /// remain: distinct assignments induce distinct completions
+    /// ([`incdb_data::Separability`]), so satisfying valuations *are*
+    /// distinct completions.
+    Count,
+    /// Abort the whole walk (e.g. a memory budget overran beyond repair).
+    Stop,
+}
+
 /// A consumer of satisfying completion leaves — the engine's streaming
 /// alternative to materialising a completion set.
 ///
@@ -62,6 +82,31 @@ pub trait CompletionVisitor {
     /// (e.g. a shard whose memory budget is exhausted, or a page that is
     /// full and cannot accept a key that would displace nothing).
     fn leaf(&mut self, g: &Grounding) -> bool;
+
+    /// Called once per node at the plan's **separation cut** — the depth at
+    /// which every remaining unbound null is separable
+    /// ([`SearchSession::separation_cut`]). At such a node the non-clean
+    /// ("dirty") facts are fully resolved, so their partial fingerprint
+    /// ([`Grounding::partial_fingerprint_into`] over
+    /// [`SearchSession::class_facts`]) canonically names the node's
+    /// **completion class**: all leaves below share that dirty part, and
+    /// distinct separable assignments below it induce distinct completions.
+    /// `decided` reports whether an ancestor already proved the query
+    /// `Satisfied`.
+    ///
+    /// The default descends, which reproduces the plain leaf walk exactly.
+    /// Class-aware walks must enter the tree at task prefixes no deeper
+    /// than the cut, or the hook is skipped for that task.
+    fn class_node(&mut self, _g: &Grounding, _decided: bool) -> ClassAction {
+        ClassAction::Descend
+    }
+
+    /// Receives the exact number of satisfying valuations — equivalently,
+    /// distinct completions — below a class node the visitor asked to
+    /// [`ClassAction::Count`]. Return `false` to stop the walk.
+    fn class_counted(&mut self, _distinct: &BigNat) -> bool {
+        true
+    }
 }
 
 /// Extracts the canonical fingerprint
@@ -85,38 +130,332 @@ impl CompletionVisitor for CollectKeys<'_> {
     }
 }
 
-/// The bounded selection sink of [`SearchSession::select_page`]: keeps the
-/// `cap` smallest distinct fingerprints strictly greater than `after`.
-struct PageSink<'c> {
+/// What a page-selection walk knows about one **summary node** — a prefix
+/// subtree of the first [`PageSummary::depth`] plan levels — from previous
+/// walks over the same instance.
+///
+/// Marks are *walk-invariant*: a selection walk records every satisfying
+/// leaf key of a node it enters (before any cursor filtering), so a
+/// recorded `Span` is the node's true min/max completion key, identical no
+/// matter which page the walk was serving. That invariance is what makes
+/// carrying marks across pages sound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mark {
+    /// Nothing recorded yet; the node must be walked.
+    Unvisited,
+    /// Proven to contain no satisfying completion (a `Refuted` residual, or
+    /// a completed sequential walk that observed nothing).
+    Empty,
+    /// The smallest and largest satisfying completion keys of the node.
+    Span(CompletionKey, CompletionKey),
+}
+
+impl Mark {
+    /// Folds a leaf observation into the mark.
+    fn observe(&mut self, key: &CompletionKey) {
+        match self {
+            Mark::Span(min, max) => {
+                if key < min {
+                    *min = key.clone();
+                } else if key > max {
+                    *max = key.clone();
+                }
+            }
+            _ => *self = Mark::Span(key.clone(), key.clone()),
+        }
+    }
+
+    /// Folds a *sibling's* known mark into a parent union under
+    /// construction: `Empty` is the identity, spans widen. Both sides must
+    /// be known (`Unvisited` children abort the derivation upstream).
+    fn union_with(&mut self, child: &Mark) {
+        match (&mut *self, child) {
+            (_, Mark::Empty) => {}
+            (Mark::Empty, m) => *self = m.clone(),
+            (Mark::Span(min, max), Mark::Span(omin, omax)) => {
+                if omin < min {
+                    *min = omin.clone();
+                }
+                if omax > max {
+                    *max = omax.clone();
+                }
+            }
+            _ => unreachable!("union over known children only"),
+        }
+    }
+
+    /// Merges another exact-or-unknown record of the same node. Marks are
+    /// walk-invariant, so two known marks can only agree (or one subsumes a
+    /// partial observation of the other) — union is always sound.
+    fn merge_from(&mut self, other: &Mark) {
+        match (&mut *self, other) {
+            (_, Mark::Unvisited) => {}
+            (Mark::Unvisited, m) => *self = m.clone(),
+            (Mark::Empty, Mark::Empty) => {}
+            (Mark::Span(min, max), Mark::Span(omin, omax)) => {
+                if omin < min {
+                    *min = omin.clone();
+                }
+                if omax > max {
+                    *max = omax.clone();
+                }
+            }
+            (slot, m) => {
+                debug_assert!(
+                    false,
+                    "Empty and Span marks for one node: {slot:?} vs {m:?}"
+                );
+                if matches!(slot, Mark::Empty) {
+                    *slot = m.clone();
+                }
+            }
+        }
+    }
+}
+
+/// The compressed fingerprint summary a [`CompletionStream`]-style pager
+/// carries across selection walks: per-prefix subtree [`Mark`]s for the
+/// first `depth` levels of the plan, recorded during previous walks, so
+/// each new walk prunes subtrees provably **below the cursor** (all keys
+/// `≤ after`), provably **beyond the page** (all keys `≥` the page's
+/// running maximum once it is full), or provably empty — before descending
+/// into them.
+///
+/// Only the bottom level is recorded during walks (through a
+/// [`PageSummary::worksheet`]); internal levels are re-derived bottom-up in
+/// [`PageSummary::absorb`], and a node with incompletely-known children
+/// keeps its previous (still exact) mark. Memory is bounded by the
+/// `cap_nodes` passed to [`PageSummary::plan`]: roughly two completion keys
+/// per non-empty bottom node, independent of the completion count.
+///
+/// [`CompletionStream`]: ../../incdb_stream/struct.CompletionStream.html
+#[derive(Debug, Clone)]
+pub struct PageSummary {
+    /// How many leading plan levels the summary indexes.
+    depth: usize,
+    /// `widths[d]` = `|dom(order[d])|` for `d < depth`.
+    widths: Vec<usize>,
+    /// `levels[l]` holds one mark per level-`l` node (`∏ widths[..l]`
+    /// nodes); `levels[0]` is the root, `levels[depth]` the recorded bottom.
+    levels: Vec<Vec<Mark>>,
+}
+
+impl PageSummary {
+    /// Chooses the deepest plan prefix whose cumulative node count stays
+    /// within `cap_nodes` and builds the all-[`Mark::Unvisited`] summary
+    /// for it. A depth of 0 (e.g. a huge first domain) degrades gracefully
+    /// to tracking just the global completion span.
+    pub fn plan(g: &Grounding, order: &[usize], cap_nodes: usize) -> PageSummary {
+        let mut widths = Vec::new();
+        let mut nodes = 1usize;
+        let mut cumulative = 0usize;
+        for &i in order {
+            let w = g.domain_by_index(i).len().max(1);
+            let next = nodes.saturating_mul(w);
+            if cumulative.saturating_add(next) > cap_nodes {
+                break;
+            }
+            widths.push(w);
+            nodes = next;
+            cumulative += next;
+        }
+        let depth = widths.len();
+        let mut levels = Vec::with_capacity(depth + 1);
+        let mut n = 1usize;
+        levels.push(vec![Mark::Unvisited; n]);
+        for &w in &widths {
+            n *= w;
+            levels.push(vec![Mark::Unvisited; n]);
+        }
+        PageSummary {
+            depth,
+            widths,
+            levels,
+        }
+    }
+
+    /// The number of plan levels the summary indexes.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The number of bottom-level nodes — the length of a worksheet.
+    pub fn bottom_len(&self) -> usize {
+        self.levels[self.depth].len()
+    }
+
+    /// A fresh all-[`Mark::Unvisited`] bottom-level observation sheet for
+    /// one walk (or one worker of a parallel walk).
+    pub fn worksheet(&self) -> Vec<Mark> {
+        vec![Mark::Unvisited; self.bottom_len()]
+    }
+
+    /// Folds one or more walk worksheets into the summary: bottom marks
+    /// merge (unvisited sheet entries leave the carried mark untouched),
+    /// then internal levels are re-derived bottom-up, keeping the previous
+    /// mark wherever some child is still unknown.
+    pub fn absorb<'a, I>(&mut self, sheets: I)
+    where
+        I: IntoIterator<Item = &'a [Mark]>,
+    {
+        for sheet in sheets {
+            debug_assert_eq!(sheet.len(), self.bottom_len());
+            for (slot, mark) in self.levels[self.depth].iter_mut().zip(sheet) {
+                slot.merge_from(mark);
+            }
+        }
+        for l in (0..self.depth).rev() {
+            let w = self.widths[l];
+            let (uppers, lowers) = self.levels.split_at_mut(l + 1);
+            let (parents, children) = (&mut uppers[l], &lowers[0]);
+            for (n, parent) in parents.iter_mut().enumerate() {
+                let kids = &children[n * w..(n + 1) * w];
+                if kids.iter().any(|k| matches!(k, Mark::Unvisited)) {
+                    continue; // keep the previous (exact) mark, if any
+                }
+                let mut derived = Mark::Empty;
+                for kid in kids {
+                    derived.union_with(kid);
+                }
+                *parent = derived;
+            }
+        }
+    }
+
+    /// The recorded mark of one node.
+    fn mark(&self, level: usize, node: usize) -> &Mark {
+        &self.levels[level][node]
+    }
+
+    /// `true` when the summary *proves* no completion beyond `after`
+    /// remains — the root span is known and already fully served (or the
+    /// instance has no satisfying completion at all). Lets a pager declare
+    /// exhaustion without a final empty walk.
+    pub fn served(&self, after: Option<&CompletionKey>) -> bool {
+        match &self.levels[0][0] {
+            Mark::Unvisited => false,
+            Mark::Empty => true,
+            Mark::Span(_, max) => after.is_some_and(|a| max <= a),
+        }
+    }
+
+    /// The number of completion keys held by `Span` marks across all
+    /// levels — the summary's contribution to a pager's resident-memory
+    /// accounting.
+    pub fn resident_keys(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .filter(|m| matches!(m, Mark::Span(_, _)))
+            .count()
+            * 2
+    }
+}
+
+/// The live state of one bounded selection walk: the page heap plus the
+/// optional summary recorder.
+struct PageCtx<'c> {
     after: Option<&'c CompletionKey>,
     cap: usize,
     page: &'c mut BTreeSet<CompletionKey>,
     scratch: CompletionKey,
+    rec: Option<PageRecorder<'c>>,
 }
 
-impl CompletionVisitor for PageSink<'_> {
-    fn leaf(&mut self, g: &Grounding) -> bool {
-        g.completion_fingerprint_into(&mut self.scratch)
-            .expect("every null is bound at a leaf");
-        if let Some(after) = self.after {
-            if self.scratch <= *after {
-                return true;
+/// The recording half of a pruned selection walk: reads the carried
+/// summary for pruning, writes fresh observations into a bottom worksheet.
+struct PageRecorder<'c> {
+    summary: &'c PageSummary,
+    bottom: &'c mut [Mark],
+    /// Whether a completed, observation-free subtree may be marked
+    /// [`Mark::Empty`]: only sound when this walk alone covers the node
+    /// (sequential, non-donating); `Refuted` nodes are provably empty in
+    /// any mode.
+    can_mark_empty: bool,
+}
+
+impl PageCtx<'_> {
+    fn summary_depth(&self) -> usize {
+        self.rec.as_ref().map_or(usize::MAX, |r| r.summary.depth())
+    }
+
+    /// Can the level-`level` node `node` be skipped outright for the page
+    /// currently being built?
+    fn prunable(&self, level: usize, node: usize) -> bool {
+        let Some(rec) = &self.rec else {
+            return false;
+        };
+        match rec.summary.mark(level, node) {
+            Mark::Unvisited => false,
+            Mark::Empty => true,
+            Mark::Span(min, max) => {
+                // Every key of the node already served to the cursor?
+                if self.after.is_some_and(|a| max <= a) {
+                    return true;
+                }
+                // Page full and the node's smallest key cannot displace?
+                self.page.len() >= self.cap && self.page.last().is_some_and(|pmax| min >= pmax)
             }
         }
-        if self.page.contains(&self.scratch) {
-            return true;
+    }
+
+    /// Records a satisfying-leaf observation for bottom node `node`.
+    fn observe(&mut self, node: usize) {
+        if let Some(rec) = &mut self.rec {
+            rec.bottom[node].observe(&self.scratch);
+        }
+    }
+
+    /// The satisfying-leaf admission path, shared by walked and generated
+    /// leaves: `scratch` holds the candidate key. Records the observation
+    /// first — marks must describe the node's true key span, independent of
+    /// the page served — then offers the key to the page heap.
+    fn admit(&mut self, node: usize) {
+        self.observe(node);
+        if self.after.is_some_and(|after| self.scratch <= *after) {
+            return;
         }
         if self.page.len() >= self.cap {
-            // Full page: the candidate only enters by displacing the
-            // current maximum.
+            // A full page only admits the candidate by displacing the
+            // current maximum; `>=` also rejects a re-arrival of the
+            // maximum itself.
             let max = self.page.last().expect("cap is at least 1");
             if self.scratch >= *max {
-                return true;
+                return;
             }
+        }
+        // `insert` refuses duplicates, so the page only shrinks back when
+        // the candidate genuinely displaced the maximum — one tree
+        // traversal instead of a separate `contains` probe per candidate.
+        if self.page.insert(self.scratch.clone()) && self.page.len() > self.cap {
             self.page.pop_last();
         }
-        self.page.insert(self.scratch.clone());
-        true
+    }
+
+    /// Marks bottom node `node` empty if nothing was observed (walk
+    /// completed the node without finding a satisfying leaf).
+    fn finish_bottom(&mut self, node: usize, refuted: bool) {
+        if let Some(rec) = &mut self.rec {
+            if (refuted || rec.can_mark_empty) && matches!(rec.bottom[node], Mark::Unvisited) {
+                rec.bottom[node] = Mark::Empty;
+            }
+        }
+    }
+
+    /// A `Refuted` residual at `level ≤ depth` proves every bottom
+    /// descendant of `node` empty, in any walk mode.
+    fn refute_subtree(&mut self, level: usize, node: usize) {
+        if let Some(rec) = &mut self.rec {
+            let mut stride = 1usize;
+            for w in &rec.summary.widths[level..] {
+                stride *= w;
+            }
+            for slot in &mut rec.bottom[node * stride..(node + 1) * stride] {
+                if matches!(slot, Mark::Unvisited) {
+                    *slot = Mark::Empty;
+                }
+            }
+        }
     }
 }
 
@@ -127,7 +466,11 @@ impl CompletionVisitor for PageSink<'_> {
 struct SessionPlan {
     /// Null indices sorted by ascending domain size, ties broken towards
     /// nulls with more occurrences (deciding more of the table per bind),
-    /// then by label for determinism.
+    /// then by label for determinism — except that **separable** nulls
+    /// ([`incdb_data::Separability`]) are demoted wholesale to the end
+    /// (keeping the same relative order among themselves), so that below
+    /// [`SessionPlan::sep_cut`] only separable nulls remain and class-aware
+    /// walks can count whole subtrees without visiting leaves.
     order: Vec<usize>,
     /// `suffix[d] = ∏_{i ≥ d} |dom(order[i])|` — the closed-form size of
     /// the subtree below depth `d`, credited wholesale on `Satisfied`
@@ -135,18 +478,32 @@ struct SessionPlan {
     suffix: Vec<BigNat>,
     /// `suffix` saturated into machine words, for the donation heuristic.
     hint: Vec<u64>,
+    /// The depth at which every remaining null of `order` is separable
+    /// (`order.len()` when none is): the classing depth of
+    /// [`CompletionVisitor::class_node`].
+    sep_cut: usize,
+    /// Per fact: `true` iff the fact is **not** clean — the include mask
+    /// whose partial fingerprint names a completion class at the cut
+    /// (ground template facts included, so a dirty fact resolving onto a
+    /// ground fact dedups inside the class key).
+    class_facts: Vec<bool>,
 }
 
 impl SessionPlan {
     fn of(g: &Grounding) -> SessionPlan {
+        let sep = g.separability();
         let mut order: Vec<usize> = (0..g.null_count()).collect();
         order.sort_by_key(|&i| {
             (
+                sep.null_is_separable(i),
                 g.domain_by_index(i).len(),
                 usize::MAX - g.occurrence_count(i),
                 i,
             )
         });
+        let sep_cut = order.len() - sep.separable_count();
+        debug_assert!(order[sep_cut..].iter().all(|&i| sep.null_is_separable(i)));
+        let class_facts = sep.clean_facts().iter().map(|&clean| !clean).collect();
         let mut suffix = vec![BigNat::one(); order.len() + 1];
         let mut hint = vec![1u64; order.len() + 1];
         for d in (0..order.len()).rev() {
@@ -158,6 +515,8 @@ impl SessionPlan {
             order,
             suffix,
             hint,
+            sep_cut,
+            class_facts,
         }
     }
 }
@@ -295,6 +654,21 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
     /// this order.
     pub fn order(&self) -> &[usize] {
         &self.plan.order
+    }
+
+    /// The **separation cut**: the depth of [`SearchSession::order`] below
+    /// which every remaining null is separable (see
+    /// [`incdb_data::Separability`]); equals `order().len()` when no null
+    /// is. [`CompletionVisitor::class_node`] fires at exactly this depth.
+    pub fn separation_cut(&self) -> usize {
+        self.plan.sep_cut
+    }
+
+    /// Per-fact include mask of the non-clean facts — the
+    /// [`Grounding::partial_fingerprint_into`] mask that canonically names
+    /// a completion class at the separation cut.
+    pub fn class_facts(&self) -> &[bool] {
+        &self.plan.class_facts
     }
 
     /// Returns the session to its root state — every null unbound, the
@@ -467,6 +841,22 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
                 PartialOutcome::Refuted => return true,
                 PartialOutcome::Unknown => false,
             };
+        if depth == self.plan.sep_cut {
+            match visitor.class_node(&self.g, decided) {
+                ClassAction::Descend => {}
+                ClassAction::Skip => return true,
+                ClassAction::Stop => return false,
+                ClassAction::Count => {
+                    // Count the class subtree's satisfying valuations —
+                    // below the cut they are pairwise-distinct completions.
+                    // Donation is disabled inside a class so the count stays
+                    // whole; classes above the cut still parallelise.
+                    let mut acc = NatAccumulator::new();
+                    self.count_rec(depth, None, &mut acc);
+                    return visitor.class_counted(&acc.into_total());
+                }
+            }
+        }
         if depth == self.plan.order.len() {
             let satisfied = decided || {
                 self.g
@@ -515,13 +905,44 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
         page: &mut BTreeSet<CompletionKey>,
     ) {
         self.rewind();
-        let mut sink = PageSink {
+        let mut ctx = PageCtx {
             after,
             cap: cap.max(1),
             page,
             scratch: CompletionKey::new(),
+            rec: None,
         };
-        self.visit_rec(0, false, None, &mut sink);
+        self.select_rec(0, 0, false, None, &mut ctx);
+    }
+
+    /// [`select_page`](SearchSession::select_page) with the cursor-pruning
+    /// summary protocol: previous walks' marks in `summary` prune subtrees
+    /// provably below `after`, provably beyond a full page, or provably
+    /// empty — and this walk's observations land in `bottom` (a
+    /// [`PageSummary::worksheet`]), to be folded back via
+    /// [`PageSummary::absorb`] afterwards. The page produced is **exactly**
+    /// the page the unpruned walk would produce; only the work differs.
+    pub fn select_page_recorded(
+        &mut self,
+        after: Option<&CompletionKey>,
+        cap: usize,
+        page: &mut BTreeSet<CompletionKey>,
+        summary: &PageSummary,
+        bottom: &mut [Mark],
+    ) {
+        self.rewind();
+        let mut ctx = PageCtx {
+            after,
+            cap: cap.max(1),
+            page,
+            scratch: CompletionKey::new(),
+            rec: Some(PageRecorder {
+                summary,
+                bottom,
+                can_mark_empty: true,
+            }),
+        };
+        self.select_rec(0, 0, false, None, &mut ctx);
     }
 
     /// The bounded selection walk of one task's subtree (see
@@ -537,13 +958,269 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
         page: &mut BTreeSet<CompletionKey>,
     ) {
         self.start_task(prefix);
-        let mut sink = PageSink {
+        let mut ctx = PageCtx {
             after,
             cap: cap.max(1),
             page,
             scratch: CompletionKey::new(),
+            rec: None,
         };
-        self.visit_rec(prefix.len(), false, steal, &mut sink);
+        self.select_rec(prefix.len(), 0, false, steal, &mut ctx);
+    }
+
+    /// [`select_page_subtree`](SearchSession::select_page_subtree) with the
+    /// summary protocol of
+    /// [`select_page_recorded`](SearchSession::select_page_recorded): the
+    /// task's ancestor nodes are prune-checked up front (a fully-served
+    /// task returns without binding anything), observations land in the
+    /// worker's own `bottom` worksheet, and completed-but-empty nodes are
+    /// **not** marked (only this walk's `Refuted` proofs are), since one
+    /// task covers only part of a node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_page_subtree_recorded(
+        &mut self,
+        prefix: &[Constant],
+        steal: Option<&StealGate<'_>>,
+        after: Option<&CompletionKey>,
+        cap: usize,
+        page: &mut BTreeSet<CompletionKey>,
+        summary: &PageSummary,
+        bottom: &mut [Mark],
+    ) {
+        // Locate the task's node at each summary level and prune the whole
+        // task if any ancestor is already served for this page.
+        let cap = cap.max(1);
+        let mut node = 0usize;
+        for (d, &value) in prefix.iter().enumerate().take(summary.depth()) {
+            let dom = self.g.domain_by_index(self.plan.order[d]);
+            let k = dom
+                .binary_search(&value)
+                .expect("task prefixes assign domain values");
+            node = node * summary.widths[d] + k;
+            let served = match summary.mark(d + 1, node) {
+                Mark::Unvisited => false,
+                Mark::Empty => true,
+                Mark::Span(min, max) => {
+                    after.is_some_and(|a| max <= a)
+                        || (page.len() >= cap && page.last().is_some_and(|pmax| min >= pmax))
+                }
+            };
+            if served {
+                return;
+            }
+        }
+        let mut ctx = PageCtx {
+            after,
+            cap,
+            page,
+            scratch: CompletionKey::new(),
+            rec: Some(PageRecorder {
+                summary,
+                bottom,
+                can_mark_empty: false,
+            }),
+        };
+        self.start_task(prefix);
+        self.select_rec(prefix.len(), node, false, steal, &mut ctx);
+    }
+
+    /// The selection walk itself: DFS like
+    /// [`visit_rec`](SearchSession::visit_rec), with the page-heap filter
+    /// inlined (a page never stops a walk early, so there is no `bool`
+    /// plumbing) and, when a recorder is attached, summary-node pruning on
+    /// the way down and span/empty recording on the way up. `node` is the
+    /// current summary-node index, frozen once `depth` passes the summary
+    /// depth.
+    fn select_rec(
+        &mut self,
+        depth: usize,
+        node: usize,
+        decided: bool,
+        steal: Option<&StealGate<'_>>,
+        ctx: &mut PageCtx<'_>,
+    ) {
+        let sum_depth = ctx.summary_depth();
+        let decided = decided
+            || match self.outcome() {
+                PartialOutcome::Satisfied => true,
+                PartialOutcome::Refuted => {
+                    if depth <= sum_depth {
+                        ctx.refute_subtree(depth, node);
+                    }
+                    return;
+                }
+                PartialOutcome::Unknown => false,
+            };
+        if depth == self.plan.order.len() {
+            let satisfied = decided || {
+                self.g
+                    .completion_into(&mut self.scratch)
+                    .expect("every null is bound at a leaf");
+                self.q.holds(&self.scratch)
+            };
+            if satisfied {
+                self.g
+                    .completion_fingerprint_into(&mut ctx.scratch)
+                    .expect("every null is bound at a leaf");
+                ctx.admit(node);
+            }
+            if depth == sum_depth {
+                // A leaf coincides with its bottom node, so its outcome is
+                // the node's whole truth in any walk mode.
+                ctx.finish_bottom(node, true);
+            }
+            return;
+        }
+        if decided && depth >= self.plan.sep_cut && depth >= sum_depth {
+            // Every remaining null is separable and the query is decided:
+            // the subtree's keys are the cross product of the remaining
+            // domains, generated in closed form without binds or re-walks.
+            self.generate_separable_page(depth, node, ctx);
+            if depth == sum_depth {
+                ctx.finish_bottom(node, false);
+            }
+            return;
+        }
+        let i = self.plan.order[depth];
+        let mut last = self.g.domain_by_index(i).len();
+        let mut k = 0;
+        while k < last {
+            if k + 1 < last && self.maybe_donate(depth, k + 1, steal) {
+                last = k + 1;
+            }
+            let child = if depth < sum_depth {
+                let child = node * self.g.domain_by_index(i).len() + k;
+                if ctx.prunable(depth + 1, child) {
+                    k += 1;
+                    continue;
+                }
+                child
+            } else {
+                node
+            };
+            let value = self.g.domain_by_index(i)[k];
+            self.g.bind_index(i, value);
+            self.path.push(value);
+            self.select_rec(depth + 1, child, decided, steal, ctx);
+            self.path.pop();
+            k += 1;
+        }
+        self.g.unbind_index(i);
+        if depth == sum_depth {
+            ctx.finish_bottom(node, false);
+        }
+    }
+
+    /// Closed-form page generation below the separation cut: every
+    /// remaining null is separable — single-occurrence, hosted by a clean
+    /// fact — so with the query already decided the subtree's satisfying
+    /// keys are *exactly* the cross product of the remaining domains. And
+    /// because a clean fact's tuple can never equal any other fact's tuple
+    /// under any assignment, stepping one null changes exactly one tuple of
+    /// the fingerprint in place: no re-sort, no dedup shifts, no binds, no
+    /// outcome re-evaluation — just a bubble move of the changed tuple to
+    /// its new slot. This is what lets a selection walk emit a separable
+    /// subtree at O(1) amortised per key instead of paying the full
+    /// per-leaf walk machinery.
+    fn generate_separable_page(&mut self, depth: usize, node: usize, ctx: &mut PageCtx<'_>) {
+        let rest: Vec<usize> = self.plan.order[depth..].to_vec();
+        if rest.iter().any(|&i| self.g.domain_by_index(i).is_empty()) {
+            return;
+        }
+        for &i in &rest {
+            let v = self.g.domain_by_index(i)[0];
+            self.g.bind_index(i, v);
+        }
+        self.g
+            .completion_fingerprint_into(&mut ctx.scratch)
+            .expect("every null is bound below the cut");
+        // Track where each remaining null's tuple sits in the key, and
+        // which column it owns. Clean tuples are unique in the key, so the
+        // binary search pins each one exactly.
+        let mut slots: Vec<(usize, usize)> = rest
+            .iter()
+            .map(|&i| {
+                let occs = self.g.occurrences_of(i);
+                debug_assert_eq!(occs.len(), 1, "separable nulls occur exactly once");
+                let occ = &occs[0];
+                let col = self.g.occurrence_column(occ);
+                let fact = occ.fact as usize;
+                let probe = (
+                    self.g.fact_relation(fact),
+                    self.g
+                        .fact_values(fact)
+                        .iter()
+                        .map(|v| v.as_const().expect("fact fully bound"))
+                        .collect::<Vec<Constant>>(),
+                );
+                let at = ctx
+                    .scratch
+                    .binary_search(&probe)
+                    .expect("clean tuples are present and unique");
+                (at, col)
+            })
+            .collect();
+        let mut digits = vec![0usize; rest.len()];
+        loop {
+            debug_assert!(
+                ctx.scratch.windows(2).all(|w| w[0] < w[1]),
+                "generated fingerprint lost strict sortedness"
+            );
+            ctx.admit(node);
+            // Odometer step: bump the innermost null, carrying leftward;
+            // every reset and the final bump each retune one tuple.
+            let mut d = rest.len();
+            loop {
+                if d == 0 {
+                    // Every combination emitted: restore the grounding.
+                    for &i in rest.iter().rev() {
+                        self.g.unbind_index(i);
+                    }
+                    return;
+                }
+                d -= 1;
+                let dom = self.g.domain_by_index(rest[d]);
+                digits[d] += 1;
+                if digits[d] < dom.len() {
+                    let v = dom[digits[d]];
+                    Self::retune_slot(&mut ctx.scratch, &mut slots, d, v);
+                    break;
+                }
+                digits[d] = 0;
+                let v = dom[0];
+                Self::retune_slot(&mut ctx.scratch, &mut slots, d, v);
+            }
+        }
+    }
+
+    /// Writes `v` into slot `j`'s column and bubbles the changed tuple to
+    /// its sorted position, keeping every tracked slot index consistent.
+    /// Strict inequalities suffice: a clean tuple never ties with another.
+    fn retune_slot(key: &mut CompletionKey, slots: &mut [(usize, usize)], j: usize, v: Constant) {
+        let (from, col) = slots[j];
+        key[from].1[col] = v;
+        let mut at = from;
+        while at + 1 < key.len() && key[at] > key[at + 1] {
+            key.swap(at, at + 1);
+            at += 1;
+        }
+        while at > 0 && key[at - 1] > key[at] {
+            key.swap(at, at - 1);
+            at -= 1;
+        }
+        if at != from {
+            for s in slots.iter_mut() {
+                // Slots sharing the moved fact's tuple move with it; the
+                // slots it crossed shift one step the other way.
+                if s.0 == from {
+                    s.0 = at;
+                } else if from < at && s.0 > from && s.0 <= at {
+                    s.0 -= 1;
+                } else if at < from && s.0 >= at && s.0 < from {
+                    s.0 += 1;
+                }
+            }
+        }
     }
 }
 
@@ -663,6 +1340,258 @@ mod tests {
         }
         session.rewind();
         assert_eq!(merged, sequential);
+    }
+
+    /// A mixed instance: R(⊥0,⊥1) over a shared domain (dirty — the two
+    /// R-facts unify), another R(⊥2,⊥3) likewise, plus separable
+    /// S(⊥4,c)/S(⊥5,c') facts with distinct second columns.
+    fn mixed_instance() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![Value::null(0), Value::null(1)])
+            .unwrap();
+        db.add_fact("R", vec![Value::null(2), Value::null(3)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(4), Value::constant(100)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(5), Value::constant(200)])
+            .unwrap();
+        for n in 0..4u32 {
+            db.set_domain(NullId(n), [0u64, 1]).unwrap();
+        }
+        db.set_domain(NullId(4), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(5), [0u64, 1, 2]).unwrap();
+        db
+    }
+
+    /// A class visitor that counts distinct completions the separable way:
+    /// dirty-part fingerprints memoised exactly, class subtrees credited
+    /// through `class_counted`.
+    struct ClassCounter {
+        class_facts: Vec<bool>,
+        seen: HashSet<CompletionKey>,
+        scratch: CompletionKey,
+        total: BigNat,
+        classes: usize,
+    }
+
+    impl CompletionVisitor for ClassCounter {
+        fn leaf(&mut self, _g: &Grounding) -> bool {
+            panic!("a counting class visitor never descends to leaves");
+        }
+        fn class_node(&mut self, g: &Grounding, _decided: bool) -> ClassAction {
+            g.partial_fingerprint_into(&self.class_facts, &mut self.scratch)
+                .expect("dirty facts are resolved at the cut");
+            if self.seen.contains(&self.scratch) {
+                return ClassAction::Skip;
+            }
+            self.seen.insert(self.scratch.clone());
+            self.classes += 1;
+            ClassAction::Count
+        }
+        fn class_counted(&mut self, distinct: &BigNat) -> bool {
+            self.total = &self.total + distinct;
+            true
+        }
+    }
+
+    #[test]
+    fn class_counting_matches_leaf_walk_distinct_counts() {
+        for (db, expect_classes_below) in [
+            (mixed_instance(), true),
+            (example_2_2(), false), // nothing separable: cut at the leaves
+        ] {
+            let q = Tautology;
+            let mut session = SearchSession::new(&db, &q).unwrap();
+            let cut = session.separation_cut();
+            assert!(cut <= session.order().len());
+            if expect_classes_below {
+                assert!(cut < session.order().len(), "separable nulls demoted");
+            }
+            let mut reference = HashSet::new();
+            session.visit_completions(&mut CollectKeys {
+                keys: &mut reference,
+            });
+            let mut counter = ClassCounter {
+                class_facts: session.class_facts().to_vec(),
+                seen: HashSet::new(),
+                scratch: CompletionKey::new(),
+                total: BigNat::zero(),
+                classes: 0,
+            };
+            assert!(session.visit_completions(&mut counter));
+            assert_eq!(counter.total, BigNat::from(reference.len() as u64));
+            // Interleaving with other walk kinds keeps the session exact.
+            assert_eq!(session.count(), session.count());
+        }
+    }
+
+    #[test]
+    fn class_stop_aborts_the_walk() {
+        struct StopAtFirstClass;
+        impl CompletionVisitor for StopAtFirstClass {
+            fn leaf(&mut self, _g: &Grounding) -> bool {
+                panic!("never reaches a leaf");
+            }
+            fn class_node(&mut self, _g: &Grounding, _decided: bool) -> ClassAction {
+                ClassAction::Stop
+            }
+        }
+        let db = mixed_instance();
+        let q = Tautology;
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        assert!(!session.visit_completions(&mut StopAtFirstClass));
+        // The aborted walk rewinds cleanly.
+        assert!(session.count() > BigNat::zero());
+    }
+
+    #[test]
+    fn recorded_pages_reproduce_the_unpruned_sequence() {
+        let db = mixed_instance();
+        let q = Tautology;
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        for cap_nodes in [1usize, 8, 64, 4096] {
+            let mut summary = PageSummary::plan(session.grounding(), session.order(), cap_nodes);
+            let mut plain: Vec<CompletionKey> = Vec::new();
+            let mut pruned: Vec<CompletionKey> = Vec::new();
+            let mut exhausted_early = false;
+            loop {
+                let mut page = BTreeSet::new();
+                session.select_page(plain.last(), 3, &mut page);
+                let done = page.len() < 3;
+                plain.extend(page);
+                if done {
+                    break;
+                }
+            }
+            loop {
+                if summary.served(pruned.last()) {
+                    exhausted_early = true;
+                    break;
+                }
+                let mut page = BTreeSet::new();
+                let mut sheet = summary.worksheet();
+                session.select_page_recorded(pruned.last(), 3, &mut page, &summary, &mut sheet);
+                summary.absorb([sheet.as_slice()]);
+                let done = page.len() < 3;
+                pruned.extend(page);
+                if done {
+                    break;
+                }
+            }
+            assert_eq!(plain, pruned, "cap_nodes {cap_nodes}");
+            // After one full drain the root span is known, so the summary
+            // proves exhaustion for the final cursor.
+            assert!(summary.served(pruned.last()), "cap_nodes {cap_nodes}");
+            assert!(summary.resident_keys() > 0);
+            let _ = exhausted_early;
+        }
+    }
+
+    #[test]
+    fn subtree_recorded_walks_merge_like_sequential_ones() {
+        let db = mixed_instance();
+        let q = Tautology;
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        let mut summary = PageSummary::plan(session.grounding(), session.order(), 64);
+        let first = session.order()[0];
+        let dom: Vec<Constant> = session.grounding().domain_by_index(first).to_vec();
+        let mut after: Option<CompletionKey> = None;
+        let mut expected_pages: Vec<CompletionKey> = Vec::new();
+        let mut got_pages: Vec<CompletionKey> = Vec::new();
+        loop {
+            // Reference page, unpruned sequential walk.
+            let mut reference = BTreeSet::new();
+            session.select_page(after.as_ref(), 4, &mut reference);
+            // Parallel-style fill: one recorded subtree walk per first-level
+            // branch, each with its own worksheet, merged afterwards.
+            let mut merged = BTreeSet::new();
+            let mut sheets: Vec<Vec<Mark>> = Vec::new();
+            for &value in &dom {
+                let mut sheet = summary.worksheet();
+                session.select_page_subtree_recorded(
+                    &[value],
+                    None,
+                    after.as_ref(),
+                    4,
+                    &mut merged,
+                    &summary,
+                    &mut sheet,
+                );
+                sheets.push(sheet);
+            }
+            session.rewind();
+            summary.absorb(sheets.iter().map(Vec::as_slice));
+            assert_eq!(merged, reference);
+            let done = reference.len() < 4;
+            expected_pages.extend(reference.iter().cloned());
+            got_pages.extend(merged);
+            after = expected_pages.last().cloned();
+            if done {
+                break;
+            }
+        }
+        assert_eq!(expected_pages, got_pages);
+        assert!(
+            summary.served(after.as_ref()),
+            "root span known after drain"
+        );
+    }
+
+    /// Two disjoint single-null facts whose constant columns keep the DFS
+    /// order of leaves aligned with the canonical key order: the ⊥0 tuple
+    /// always sorts below the ⊥1 tuple, so the subtree ⊥0 = 0 owns exactly
+    /// the smallest block of completion keys.
+    fn key_local_instance() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![Value::null(0), Value::constant(10)])
+            .unwrap();
+        db.add_fact("R", vec![Value::null(1), Value::constant(20)])
+            .unwrap();
+        db.set_domain(NullId(0), [0u64, 1]).unwrap();
+        db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+        db
+    }
+
+    #[test]
+    fn summary_prunes_visits_not_just_in_theory() {
+        // On a key-local instance the first page exhausts an entire
+        // first-level subtree, and the recorded summary must prove it: the
+        // subtree's span max lies at or below the cursor, so the next walk
+        // is entitled to skip the subtree without descending into it.
+        let db = key_local_instance();
+        let q = Tautology;
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        let mut summary = PageSummary::plan(session.grounding(), session.order(), 64);
+        assert!(summary.depth() >= 1, "two levels fit under 64 nodes");
+        // First page, recorded: the 3 completions with ⊥0 = 0 sort first.
+        let mut page = BTreeSet::new();
+        let mut sheet = summary.worksheet();
+        session.select_page_recorded(None, 3, &mut page, &summary, &mut sheet);
+        summary.absorb([sheet.as_slice()]);
+        assert_eq!(page.len(), 3);
+        let cursor = page.iter().next_back().cloned().unwrap();
+        let served_nodes = (0..summary.levels[1].len())
+            .filter(|&n| match &summary.levels[1][n] {
+                Mark::Span(_, max) => *max <= cursor,
+                Mark::Empty => true,
+                Mark::Unvisited => false,
+            })
+            .count();
+        assert_eq!(
+            served_nodes, 1,
+            "first page must fully serve exactly the ⊥0 = 0 subtree"
+        );
+        // The pruned second page still returns the correct remainder.
+        let mut rest = BTreeSet::new();
+        let mut sheet = summary.worksheet();
+        session.select_page_recorded(Some(&cursor), 8, &mut rest, &summary, &mut sheet);
+        summary.absorb([sheet.as_slice()]);
+        assert_eq!(rest.len(), 3, "three completions remain past the cursor");
+        assert!(rest.iter().all(|k| *k > cursor));
+        assert!(
+            summary.served(rest.iter().next_back()),
+            "root span proves exhaustion after the drain"
+        );
     }
 
     #[test]

@@ -22,6 +22,15 @@ pub enum Method {
     UniformInclusionExclusion,
     /// Theorem 4.6 / Appendix B.6: uniform unary completion counting.
     UniformUnaryCompletions,
+    /// Fully separable instance: every null occurs exactly once and no two
+    /// facts of the table can resolve to the same tuple under any
+    /// assignment, so distinct valuations yield pairwise distinct
+    /// completions and query-free `#Comp` collapses to the product of the
+    /// null domain sizes. Detected by the static separability analysis
+    /// ([`incdb_data::Separability`]); never applicable under a query
+    /// filter, where only the satisfying subset of completions counts —
+    /// filtered counting still searches.
+    SeparableProduct,
     /// The backtracking counting engine ([`crate::engine`]): exhaustive
     /// search with residual-query pruning, closed-form subtree counts and
     /// parallel sharding — still exponential in the worst case, as it must
@@ -43,6 +52,7 @@ impl fmt::Display for Method {
             Method::CoddFactorisation => "Theorem 3.7 Codd factorisation",
             Method::UniformInclusionExclusion => "Theorem 3.9 inclusion–exclusion",
             Method::UniformUnaryCompletions => "Theorem 4.6 unary completion counting",
+            Method::SeparableProduct => "separable domain product",
             Method::BacktrackingSearch => "backtracking search",
             Method::HashShardedSearch => "hash-sharded streaming search",
         };
@@ -179,18 +189,38 @@ pub fn completion_closed_form(
     let db_is_unary = db
         .relation_names()
         .all(|r| db.arity(r).is_none_or(|a| a == 1));
-    if !(db.is_uniform() && db_is_unary) {
-        return Ok(None);
+    if db.is_uniform() && db_is_unary {
+        let value = match q {
+            Some(q) if comp_uniform::applies_to_query(q) => {
+                Some(comp_uniform::count_completions(db, q)?)
+            }
+            Some(_) => None,
+            None => Some(comp_uniform::count_all_completions(db)?),
+        };
+        if let Some(value) = value {
+            return Ok(Some(CountOutcome {
+                value,
+                method: Method::UniformUnaryCompletions,
+            }));
+        }
     }
-    let value = match q {
-        Some(q) if comp_uniform::applies_to_query(q) => comp_uniform::count_completions(db, q)?,
-        Some(_) => return Ok(None),
-        None => comp_uniform::count_all_completions(db)?,
-    };
-    Ok(Some(CountOutcome {
-        value,
-        method: Method::UniformUnaryCompletions,
-    }))
+    // Query-free counting over a fully separable table: when every null
+    // occurs exactly once and the static analysis proves no two facts can
+    // ever resolve to the same tuple, distinct valuations yield pairwise
+    // distinct completions, so #Comp is exactly the valuation count — the
+    // product of the null domain sizes — with no search and no fingerprint
+    // set. Only sound without a query, where every completion counts.
+    if q.is_none() {
+        let g = db.try_grounding()?;
+        let sep = g.separability();
+        if sep.any() && sep.complete() && sep.separable_count() == g.null_count() {
+            return Ok(Some(CountOutcome {
+                value: db.valuation_count(),
+                method: Method::SeparableProduct,
+            }));
+        }
+    }
+    Ok(None)
 }
 
 /// Computes `#Comp(q)(db)`: the number of distinct completions of `db`
@@ -294,6 +324,46 @@ mod tests {
             .unwrap();
         let outcome = count_completions(&db2, &q("R(x,y)")).unwrap();
         assert_eq!(outcome.method, Method::BacktrackingSearch);
+    }
+
+    #[test]
+    fn fully_separable_instances_count_all_completions_in_closed_form() {
+        // Binary facts with pairwise non-unifiable tuples (distinct second
+        // columns): every null is separable, so the query-free count is
+        // the domain product — no search, no fingerprint set.
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![Value::null(0), Value::constant(10)])
+            .unwrap();
+        db.add_fact("R", vec![Value::null(1), Value::constant(20)])
+            .unwrap();
+        db.add_fact("R", vec![Value::constant(7), Value::constant(30)])
+            .unwrap();
+        db.set_domain(NullId(0), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(1), [0u64, 1, 2, 3]).unwrap();
+        let outcome = count_all_completions(&db).unwrap();
+        assert_eq!(outcome.method, Method::SeparableProduct);
+        assert_eq!(outcome.value.to_u64(), Some(12));
+        assert_eq!(
+            outcome.value,
+            enumerate::count_all_completions_brute(&db).unwrap()
+        );
+
+        // A query filter disables the product: only satisfying completions
+        // count, so the solver must search.
+        let filtered = count_completions(&db, &q("R(x,y)")).unwrap();
+        assert_eq!(filtered.method, Method::BacktrackingSearch);
+
+        // A unifiable pair poisons separability and sends the query-free
+        // count back to search too: R(⊥2,10) can collide with R(⊥0,10).
+        db.add_fact("R", vec![Value::null(2), Value::constant(10)])
+            .unwrap();
+        db.set_domain(NullId(2), [0u64, 1]).unwrap();
+        let outcome = count_all_completions(&db).unwrap();
+        assert_eq!(outcome.method, Method::BacktrackingSearch);
+        assert_eq!(
+            outcome.value,
+            enumerate::count_all_completions_brute(&db).unwrap()
+        );
     }
 
     #[test]
@@ -429,6 +499,10 @@ mod tests {
         assert_eq!(
             Method::HashShardedSearch.to_string(),
             "hash-sharded streaming search"
+        );
+        assert_eq!(
+            Method::SeparableProduct.to_string(),
+            "separable domain product"
         );
         assert!(Method::UniformInclusionExclusion
             .to_string()

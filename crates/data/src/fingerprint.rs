@@ -150,6 +150,19 @@ impl HashRange {
         ))
     }
 
+    /// Locates `hash` among `ranges` by binary search, returning the index
+    /// of the (unique) range containing it, or `None` when no range does.
+    ///
+    /// `ranges` must be sorted by `start` and pairwise disjoint — the shape
+    /// produced by [`HashRange::partition`], preserved by [`HashRange::split`]
+    /// and by removing ranges. This is the O(log n) bucket step that lets a
+    /// *single* walk of the search tree feed many per-range accumulators at
+    /// once instead of re-walking the tree per range.
+    pub fn find(ranges: &[HashRange], hash: u64) -> Option<usize> {
+        let i = ranges.partition_point(|r| r.last < hash);
+        (i < ranges.len() && ranges[i].contains(hash)).then_some(i)
+    }
+
     /// Partitions the full hash space into `shards` contiguous ranges of
     /// near-equal width (the first `2⁶⁴ mod shards` ranges are one point
     /// wider). With a well-distributed hash, each range receives an
@@ -225,6 +238,44 @@ mod tests {
                 assert_eq!(ranges.iter().filter(|r| r.contains(probe)).count(), 1);
             }
         }
+    }
+
+    #[test]
+    fn find_buckets_every_probe_into_its_unique_range() {
+        for shards in [1usize, 2, 5, 16] {
+            let ranges = HashRange::partition(shards);
+            for probe in [0u64, 1, 1 << 20, u64::MAX / 7, u64::MAX / 2, u64::MAX] {
+                let i = HashRange::find(&ranges, probe).expect("partition tiles the space");
+                assert!(ranges[i].contains(probe));
+                assert_eq!(ranges.iter().filter(|r| r.contains(probe)).count(), 1);
+            }
+        }
+        // Sorted but gappy range lists answer `None` inside the gaps and in
+        // the uncovered tails.
+        let gappy = vec![
+            HashRange {
+                start: 10,
+                last: 19,
+            },
+            HashRange {
+                start: 40,
+                last: 40,
+            },
+            HashRange {
+                start: 60,
+                last: 99,
+            },
+        ];
+        assert_eq!(HashRange::find(&gappy, 9), None);
+        assert_eq!(HashRange::find(&gappy, 10), Some(0));
+        assert_eq!(HashRange::find(&gappy, 19), Some(0));
+        assert_eq!(HashRange::find(&gappy, 20), None);
+        assert_eq!(HashRange::find(&gappy, 40), Some(1));
+        assert_eq!(HashRange::find(&gappy, 41), None);
+        assert_eq!(HashRange::find(&gappy, 99), Some(2));
+        assert_eq!(HashRange::find(&gappy, 100), None);
+        assert_eq!(HashRange::find(&gappy, u64::MAX), None);
+        assert_eq!(HashRange::find(&[], 7), None);
     }
 
     #[test]

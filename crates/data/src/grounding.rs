@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::database::Database;
 use crate::error::DataError;
@@ -32,6 +32,69 @@ pub struct Occurrence {
     pub fact: u32,
     /// The absolute index of the occurrence in the value arena.
     pub pos: u32,
+}
+
+/// The result of the static separability analysis of one table
+/// ([`Grounding::separability`]).
+///
+/// A fact is **clean** when it contains at least one null, every null in it
+/// is globally single-occurrence, and the fact is non-unifiable with every
+/// other fact of its relation (no resolution of one can equal a resolution
+/// of the other). A null is **separable** when its host fact is clean.
+/// Resolutions of a clean fact are pairwise distinct (its nulls sit at
+/// disjoint positions) and can never coincide with a resolution of any
+/// other fact — so across valuations that agree on the non-separable nulls,
+/// **distinct separable assignments induce distinct completions**. That
+/// injectivity is what lets distinct-completion counters take the
+/// `∏|dom|` closed form below a `Satisfied` residual instead of walking
+/// and fingerprinting every leaf.
+#[derive(Debug, Clone)]
+pub struct Separability {
+    /// Per fact (grounding fact index): is the fact clean?
+    clean: Vec<bool>,
+    /// Per null (position in [`Grounding::nulls`]): is the null separable?
+    separable: Vec<bool>,
+    /// `false` when the analysis tripped its work limit and conservatively
+    /// reported nothing separable.
+    complete: bool,
+}
+
+impl Separability {
+    /// Is the `fact`-th fact clean (see the type docs)?
+    pub fn fact_is_clean(&self, fact: usize) -> bool {
+        self.clean[fact]
+    }
+
+    /// Per-fact clean flags, indexed like the grounding's facts.
+    pub fn clean_facts(&self) -> &[bool] {
+        &self.clean
+    }
+
+    /// Is the `i`-th null (position in [`Grounding::nulls`]) separable?
+    pub fn null_is_separable(&self, i: usize) -> bool {
+        self.separable[i]
+    }
+
+    /// Per-null separable flags, indexed like [`Grounding::nulls`].
+    pub fn separable_nulls(&self) -> &[bool] {
+        &self.separable
+    }
+
+    /// The number of separable nulls.
+    pub fn separable_count(&self) -> usize {
+        self.separable.iter().filter(|&&b| b).count()
+    }
+
+    /// `true` if at least one null is separable.
+    pub fn any(&self) -> bool {
+        self.separable.iter().any(|&b| b)
+    }
+
+    /// `false` when the pairwise analysis tripped its work limit and the
+    /// all-dirty answer is a conservative bail-out, not a proof.
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
 }
 
 /// A mutable partial-valuation workspace over one incomplete database.
@@ -98,6 +161,27 @@ pub struct Grounding {
     /// Per null, whether it is already recorded in `dirty` (keeps the queue
     /// duplicate-free so undrained groundings stay `O(nulls)`).
     dirty_flag: Vec<bool>,
+    /// Lazily built skeleton of the full-fingerprint hot path (see
+    /// [`KeyPlan`]); assignment-independent, so clones share a consistent
+    /// value and rebuilding after `Clone` is merely redundant, never wrong.
+    key_plan: OnceLock<KeyPlan>,
+}
+
+/// An assignment-independent skeleton for fingerprinting a fixed fact
+/// subset: the template-ground members pre-sorted and deduplicated once,
+/// plus the indices of the null-hosting members that must be re-resolved
+/// per assignment. Leaf fingerprints then cost one small sort over the
+/// null-hosting facts and a linear merge with the ground block — instead
+/// of re-collecting and re-sorting the whole table with a fresh tuple
+/// allocation per fact at every leaf, which dominated both the unbounded
+/// enumeration baseline and the streaming selection walks.
+#[derive(Debug, Clone)]
+pub struct KeyPlan {
+    /// Sorted, deduplicated `(relation, tuple)` pairs of the included facts
+    /// whose template holds no null — their resolved form never changes.
+    ground: CompletionKey,
+    /// Included template fact indices hosting at least one null, ascending.
+    null_hosts: Vec<u32>,
 }
 
 impl Grounding {
@@ -160,6 +244,7 @@ impl Grounding {
             rel_ranges,
             dirty: Vec::new(),
             dirty_flag,
+            key_plan: OnceLock::new(),
         })
     }
 
@@ -204,6 +289,12 @@ impl Grounding {
     /// to find the facts affected by a bind.
     pub fn occurrences_of(&self, i: usize) -> &[Occurrence] {
         &self.occurrences[i]
+    }
+
+    /// The in-fact column of an occurrence — its arena position relative
+    /// to the owning fact's span.
+    pub fn occurrence_column(&self, occ: &Occurrence) -> usize {
+        (occ.pos - self.offsets[occ.fact as usize]) as usize
     }
 
     /// The total number of facts in the table, across all relations. Fact
@@ -463,9 +554,11 @@ impl Grounding {
     }
 
     /// Writes the canonical fingerprint of the current (full) assignment
-    /// into a reusable buffer, clearing it first — the allocation-recycling
-    /// form of [`Grounding::completion_fingerprint`] for per-leaf hot loops
-    /// (only the per-fact tuples are reallocated).
+    /// into a reusable buffer — the allocation-recycling form of
+    /// [`Grounding::completion_fingerprint`] for per-leaf hot loops. The
+    /// template-ground facts come pre-sorted from a lazily built
+    /// [`KeyPlan`], so each call only resolves and sorts the null-hosting
+    /// facts and merges them in, reusing the buffer's tuple allocations.
     ///
     /// Returns an error naming the first unbound null if the assignment is
     /// not total.
@@ -475,18 +568,87 @@ impl Grounding {
                 null: self.nulls[i],
             });
         }
-        key.clear();
-        key.extend(self.resolved_facts().map(|(rel, fact)| {
-            (
-                rel,
-                fact.iter()
-                    .map(|v| v.as_const().expect("all nulls are bound"))
-                    .collect::<Vec<Constant>>(),
-            )
-        }));
-        key.sort_unstable();
-        key.dedup();
+        let plan = self.full_key_plan();
+        self.merge_key(plan, key);
         Ok(())
+    }
+
+    /// The cached [`KeyPlan`] covering every fact, built on first use.
+    fn full_key_plan(&self) -> &KeyPlan {
+        self.key_plan.get_or_init(|| self.build_key_plan(|_| true))
+    }
+
+    /// Builds a [`KeyPlan`] for the facts selected by `include`.
+    fn build_key_plan(&self, include: impl Fn(usize) -> bool) -> KeyPlan {
+        let mut hosts_null = vec![false; self.fact_count()];
+        for occs in &self.occurrences {
+            for occ in occs {
+                hosts_null[occ.fact as usize] = true;
+            }
+        }
+        let mut ground = CompletionKey::new();
+        let mut null_hosts = Vec::new();
+        for (f, &hosts) in hosts_null.iter().enumerate() {
+            if !include(f) {
+                continue;
+            }
+            if hosts {
+                null_hosts.push(f as u32);
+            } else {
+                ground.push((
+                    self.fact_rel[f] as usize,
+                    self.fact_values(f)
+                        .iter()
+                        .map(|v| v.as_const().expect("template-ground fact"))
+                        .collect(),
+                ));
+            }
+        }
+        ground.sort_unstable();
+        ground.dedup();
+        KeyPlan { ground, null_hosts }
+    }
+
+    /// Resolves the plan's null-hosting facts (which must all be fully
+    /// bound) and merges them with its pre-sorted ground block into `key`:
+    /// sorted, deduplicated, and byte-identical to the rebuild-and-sort
+    /// form. Tuple allocations already in `key` are reused; the merge runs
+    /// back to front so it needs no side buffer.
+    fn merge_key(&self, plan: &KeyPlan, key: &mut CompletionKey) {
+        let nf = plan.null_hosts.len();
+        let total = nf + plan.ground.len();
+        key.resize_with(total, Default::default);
+        for (slot, &f) in key.iter_mut().zip(&plan.null_hosts) {
+            slot.0 = self.fact_rel[f as usize] as usize;
+            slot.1.clear();
+            slot.1.extend(
+                self.fact_values(f as usize)
+                    .iter()
+                    .map(|v| v.as_const().expect("null-hosting fact verified resolved")),
+            );
+        }
+        key[..nf].sort_unstable();
+        // Backward merge: `key[..i]` holds the still-unmerged resolved
+        // facts, `w = i + j` slots remain to fill, so the write position
+        // never collides with an unread one.
+        let mut i = nf;
+        let mut j = plan.ground.len();
+        let mut w = total;
+        while j > 0 {
+            w -= 1;
+            if i > 0 && key[i - 1] > plan.ground[j - 1] {
+                i -= 1;
+                key.swap(i, w);
+            } else {
+                j -= 1;
+                let (rel, tuple) = &plan.ground[j];
+                let slot = &mut key[w];
+                slot.0 = *rel;
+                slot.1.clear();
+                slot.1.extend_from_slice(tuple);
+            }
+        }
+        key.dedup();
     }
 
     /// The stable 64-bit fingerprint hash ([`crate::fingerprint_hash`]) of
@@ -514,6 +676,274 @@ impl Grounding {
         scratch: &mut CompletionKey,
     ) -> Result<bool, DataError> {
         Ok(range.contains(self.completion_hash_into(scratch)?))
+    }
+
+    /// Writes the canonical fingerprint of the *included* facts only —
+    /// `include[f]` selects fact `f` — into a reusable buffer, clearing it
+    /// first. The partial key is sorted and deduplicated exactly like
+    /// [`Grounding::completion_fingerprint_into`], so it is a canonical name
+    /// for the induced sub-completion: two assignments produce the same
+    /// partial key iff the included facts resolve to the same fact set.
+    ///
+    /// Unlike the full fingerprint this does not require a total assignment
+    /// — only the included facts must be fully resolved. Returns an error
+    /// naming an unbound null of the first unresolved included fact.
+    ///
+    /// This is the classing primitive of separable counting: keying on the
+    /// fingerprint of the **non-clean** facts groups valuations whose dirty
+    /// parts coincide, and within such a class distinct separable
+    /// assignments induce distinct completions (see [`Separability`]).
+    pub fn partial_fingerprint_into(
+        &self,
+        include: &[bool],
+        key: &mut CompletionKey,
+    ) -> Result<(), DataError> {
+        key.clear();
+        for (f, &included) in include[..self.fact_count()].iter().enumerate() {
+            if !included {
+                continue;
+            }
+            let fact = self.fact_values(f);
+            if self.unbound_in_fact[f] != 0 {
+                let null = fact
+                    .iter()
+                    .find_map(|v| match v {
+                        Value::Null(n) => Some(*n),
+                        Value::Const(_) => None,
+                    })
+                    .expect("a fact with unbound positions holds a null");
+                return Err(DataError::IncompleteValuation { null });
+            }
+            key.push((
+                self.fact_rel[f] as usize,
+                fact.iter()
+                    .map(|v| v.as_const().expect("fact verified resolved"))
+                    .collect(),
+            ));
+        }
+        key.sort_unstable();
+        key.dedup();
+        Ok(())
+    }
+
+    /// The stable 64-bit fingerprint hash of the included facts' canonical
+    /// sub-completion, through a reusable key buffer — the partial-key
+    /// analogue of [`Grounding::completion_hash_into`].
+    pub fn partial_hash_into(
+        &self,
+        include: &[bool],
+        scratch: &mut CompletionKey,
+    ) -> Result<u64, DataError> {
+        self.partial_fingerprint_into(include, scratch)?;
+        Ok(fingerprint_hash(scratch))
+    }
+
+    /// Builds a reusable [`KeyPlan`] for the `include`-selected facts — the
+    /// precomputed form of [`Grounding::partial_fingerprint_into`] for hot
+    /// loops that fingerprint the same fact subset at every class node
+    /// (separable class counting keys on the non-clean facts thousands of
+    /// times): the included template-ground facts are sorted once here
+    /// instead of at every call.
+    pub fn partial_key_plan(&self, include: &[bool]) -> KeyPlan {
+        self.build_key_plan(|f| include[f])
+    }
+
+    /// Writes the canonical partial fingerprint of `plan`'s fact subset
+    /// into a reusable buffer — the plan-accelerated form of
+    /// [`Grounding::partial_fingerprint_into`], producing the identical
+    /// sorted, deduplicated key.
+    ///
+    /// Returns an error naming an unbound null of the first unresolved
+    /// included fact.
+    pub fn partial_fingerprint_with(
+        &self,
+        plan: &KeyPlan,
+        key: &mut CompletionKey,
+    ) -> Result<(), DataError> {
+        for &f in &plan.null_hosts {
+            if self.unbound_in_fact[f as usize] != 0 {
+                let null = self
+                    .fact_values(f as usize)
+                    .iter()
+                    .find_map(|v| match v {
+                        Value::Null(n) => Some(*n),
+                        Value::Const(_) => None,
+                    })
+                    .expect("a fact with unbound positions holds a null");
+                return Err(DataError::IncompleteValuation { null });
+            }
+        }
+        self.merge_key(plan, key);
+        Ok(())
+    }
+
+    /// The stable 64-bit fingerprint hash of `plan`'s sub-completion,
+    /// through a reusable key buffer — the plan-accelerated form of
+    /// [`Grounding::partial_hash_into`].
+    pub fn partial_hash_with(
+        &self,
+        plan: &KeyPlan,
+        scratch: &mut CompletionKey,
+    ) -> Result<u64, DataError> {
+        self.partial_fingerprint_with(plan, scratch)?;
+        Ok(fingerprint_hash(scratch))
+    }
+
+    /// Statically analyses the table for clean facts and separable nulls
+    /// (see [`Separability`]). The analysis reads the original template —
+    /// null positions are identified through the occurrence index, which the
+    /// current assignment never changes — so it may be called on a grounding
+    /// in any bind state and the answer is assignment-independent.
+    ///
+    /// Worst case the pairwise non-unifiability check is quadratic in the
+    /// facts of a relation, so the analysis carries a hard work limit
+    /// (~4M position comparisons); beyond it the answer degrades to the
+    /// sound "nothing separable" with [`Separability::complete`] `false`.
+    pub fn separability(&self) -> Separability {
+        /// Pairwise-comparison budget: positions compared + domain elements
+        /// merged. Large enough for thousands of template facts, small
+        /// enough that 10⁵-fact ground-heavy instances bail in the estimate
+        /// phase before doing any quadratic work.
+        const WORK_LIMIT: usize = 1 << 22;
+        let nfacts = self.fact_count();
+        let bail = Separability {
+            clean: vec![false; nfacts],
+            separable: vec![false; self.nulls.len()],
+            complete: false,
+        };
+
+        // Template view: a position hosts a null iff it appears in some
+        // occurrence list (constants are never rewritten by binds).
+        let mut host_null = vec![usize::MAX; self.values.len()];
+        for (i, occs) in self.occurrences.iter().enumerate() {
+            for occ in occs {
+                host_null[occ.pos as usize] = i;
+            }
+        }
+
+        // Candidate facts: at least one null, all of them single-occurrence.
+        let mut candidate = vec![false; nfacts];
+        for (f, slot) in candidate.iter_mut().enumerate() {
+            let span = self.offsets[f] as usize..self.offsets[f + 1] as usize;
+            let mut nulls_seen = 0usize;
+            let mut ok = true;
+            for p in span {
+                let n = host_null[p];
+                if n != usize::MAX {
+                    nulls_seen += 1;
+                    if self.occurrences[n].len() != 1 {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            *slot = ok && nulls_seen > 0;
+        }
+
+        // Cheap up-front estimate: candidates × relation facts × arity. On
+        // ground-heavy bulk instances this trips immediately and the
+        // analysis costs O(facts).
+        let mut estimate: usize = 0;
+        for (rel, &(start, end)) in self.rel_ranges.iter().enumerate() {
+            let facts = (end - start) as usize;
+            let cands = (start..end).filter(|&f| candidate[f as usize]).count();
+            let arity = self.relation_arity(rel).max(1);
+            estimate = estimate.saturating_add(cands.saturating_mul(facts).saturating_mul(arity));
+            if estimate > WORK_LIMIT {
+                return bail;
+            }
+        }
+
+        // Exact pairwise pass, with an actual-work budget covering the
+        // domain-intersection merges the estimate cannot see.
+        let mut work = 0usize;
+        let mut clean = vec![false; nfacts];
+        for &(start, end) in &self.rel_ranges {
+            for f in start as usize..end as usize {
+                if !candidate[f] {
+                    continue;
+                }
+                let mut is_clean = true;
+                for g in start as usize..end as usize {
+                    if g == f {
+                        continue;
+                    }
+                    match self.templates_unifiable(f, g, &host_null, &mut work) {
+                        None => return bail,
+                        Some(true) => {
+                            is_clean = false;
+                            break;
+                        }
+                        Some(false) => {}
+                    }
+                }
+                clean[f] = is_clean;
+            }
+        }
+
+        let separable = (0..self.nulls.len())
+            .map(|i| {
+                let occs = &self.occurrences[i];
+                occs.len() == 1 && clean[occs[0].fact as usize]
+            })
+            .collect();
+        Separability {
+            clean,
+            separable,
+            complete: true,
+        }
+    }
+
+    /// Can some resolution of template fact `f` equal some resolution of
+    /// template fact `g` (same relation)? Per position: constants must be
+    /// equal, a null unifies with a constant iff the constant is in its
+    /// domain, and two nulls unify iff their domains intersect. Checking
+    /// positions independently over-approximates joint satisfiability, so
+    /// `Some(false)` ("never equal") is sound — which is the direction the
+    /// cleanliness proof consumes. Returns `None` when the work budget is
+    /// exhausted.
+    fn templates_unifiable(
+        &self,
+        f: usize,
+        g: usize,
+        host_null: &[usize],
+        work: &mut usize,
+    ) -> Option<bool> {
+        const WORK_LIMIT: usize = 1 << 22;
+        let fs = self.offsets[f] as usize;
+        let gs = self.offsets[g] as usize;
+        let arity = self.offsets[f + 1] as usize - fs;
+        debug_assert_eq!(arity, self.offsets[g + 1] as usize - gs);
+        for k in 0..arity {
+            *work += 1;
+            if *work > WORK_LIMIT {
+                return None;
+            }
+            let (fp, gp) = (fs + k, gs + k);
+            let unifiable_here = match (host_null[fp], host_null[gp]) {
+                (usize::MAX, usize::MAX) => self.values[fp] == self.values[gp],
+                (n, usize::MAX) => {
+                    let c = self.values[gp].as_const().expect("const template slot");
+                    self.domains[n].binary_search(&c).is_ok()
+                }
+                (usize::MAX, n) => {
+                    let c = self.values[fp].as_const().expect("const template slot");
+                    self.domains[n].binary_search(&c).is_ok()
+                }
+                (n, m) => {
+                    let (a, b) = (&self.domains[n], &self.domains[m]);
+                    *work += a.len() + b.len();
+                    if *work > WORK_LIMIT {
+                        return None;
+                    }
+                    sorted_slices_intersect(a, b)
+                }
+            };
+            if !unifiable_here {
+                return Some(false);
+            }
+        }
+        Some(true)
     }
 
     /// The current assignment as a [`Valuation`] (allocates; not for hot
@@ -574,6 +1004,20 @@ impl Grounding {
             .expect("every null must be bound");
         out
     }
+}
+
+/// Do two sorted constant slices share an element? Galloping-free linear
+/// merge — domains are small and the caller budgets the work.
+fn sorted_slices_intersect(a: &[Constant], b: &[Constant]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -840,6 +1284,131 @@ mod tests {
     }
 
     #[test]
+    fn separability_proves_disjoint_single_occurrence_nulls_clean() {
+        // R(⊥0, 10), R(⊥1, 20), R(⊥2, ⊥3) with disjoint constant bands:
+        // every null is single-occurrence and the second columns (10, 20,
+        // domain {30,31}) can never coincide, so all facts are clean.
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![n(0), c(10)]).unwrap();
+        db.add_fact("R", vec![n(1), c(20)]).unwrap();
+        db.add_fact("R", vec![n(2), n(3)]).unwrap();
+        db.set_domain(NullId(0), [0u64, 1]).unwrap();
+        db.set_domain(NullId(1), [0u64, 1]).unwrap();
+        db.set_domain(NullId(2), [0u64, 1]).unwrap();
+        db.set_domain(NullId(3), [30u64, 31]).unwrap();
+        let g = db.try_grounding().unwrap();
+        let sep = g.separability();
+        assert!(sep.complete());
+        assert_eq!(sep.clean_facts(), &[true, true, true]);
+        assert_eq!(sep.separable_nulls(), &[true, true, true, true]);
+        assert_eq!(sep.separable_count(), 4);
+        assert!(sep.any());
+    }
+
+    #[test]
+    fn separability_rejects_unifiable_and_multi_occurrence_facts() {
+        // Example 2.2: S(a,b), S(⊥1,a), S(a,⊥2). S(⊥1,a) unifies with
+        // S(a,b)? positions: ⊥1 vs a (0 ∈ dom ⊥1 ✓), a vs b (0 ≠ 1 ✗) —
+        // not that pair; but S(⊥1,a) vs S(a,⊥2): ⊥1 can be a and ⊥2 can be
+        // a, so they unify and both facts are dirty; the ground fact is
+        // never clean.
+        let db = example_2_2();
+        let g = db.try_grounding().unwrap();
+        let sep = g.separability();
+        assert!(sep.complete());
+        assert_eq!(sep.clean_facts(), &[false, false, false]);
+        assert_eq!(sep.separable_nulls(), &[false, false]);
+        assert!(!sep.any());
+
+        // A null occurring twice is never separable, even if its facts are
+        // otherwise isolated.
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![n(0), c(10)]).unwrap();
+        db.add_fact("S", vec![n(0), c(20)]).unwrap();
+        db.add_fact("S", vec![n(1), c(30)]).unwrap();
+        let g = db.try_grounding().unwrap();
+        let sep = g.separability();
+        assert!(sep.complete());
+        assert!(!sep.fact_is_clean(0));
+        assert!(!sep.fact_is_clean(1));
+        assert!(sep.fact_is_clean(2), "S(⊥1,30) collides with nothing");
+        assert_eq!(sep.separable_nulls(), &[false, true]);
+
+        // Null/null positions unify exactly when the domains intersect.
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("T", vec![n(0)]).unwrap();
+        db.add_fact("T", vec![n(1)]).unwrap();
+        db.set_domain(NullId(0), [0u64, 1]).unwrap();
+        db.set_domain(NullId(1), [1u64, 2]).unwrap();
+        let g = db.try_grounding().unwrap();
+        assert!(!g.separability().any(), "domains share 1 → unifiable");
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("T", vec![n(0)]).unwrap();
+        db.add_fact("T", vec![n(1)]).unwrap();
+        db.set_domain(NullId(0), [0u64, 1]).unwrap();
+        db.set_domain(NullId(1), [2u64, 3]).unwrap();
+        let g = db.try_grounding().unwrap();
+        let sep = g.separability();
+        assert_eq!(sep.separable_nulls(), &[true, true]);
+    }
+
+    #[test]
+    fn separability_is_assignment_independent_and_work_limited() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![n(0), c(10)]).unwrap();
+        db.add_fact("R", vec![n(1), c(20)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let fresh = g.separability();
+        g.bind(NullId(0), Constant(1)).unwrap();
+        let bound = g.separability();
+        assert_eq!(fresh.clean_facts(), bound.clean_facts());
+        assert_eq!(fresh.separable_nulls(), bound.separable_nulls());
+
+        // A relation wide enough to trip the quadratic estimate bails to
+        // the sound all-dirty answer with `complete() == false`.
+        let mut big = IncompleteDatabase::new_uniform([0u64, 1]);
+        for i in 0..2100u32 {
+            big.add_fact("R", vec![n(i), c(10_000 + u64::from(i))])
+                .unwrap();
+        }
+        let g = big.try_grounding().unwrap();
+        let sep = g.separability();
+        assert!(!sep.complete());
+        assert!(!sep.any());
+    }
+
+    #[test]
+    fn partial_fingerprints_name_the_included_subcompletion() {
+        let db = example_2_2();
+        let mut g = db.try_grounding().unwrap();
+        let mut key = CompletionKey::new();
+        // Facts sort as S(a,b), S(a,⊥2), S(⊥1,a). Including only the ground
+        // fact needs no binds at all.
+        g.partial_fingerprint_into(&[true, false, false], &mut key)
+            .unwrap();
+        assert_eq!(key, vec![(0, vec![Constant(0), Constant(1)])]);
+        // Including an unresolved fact names one of its unbound nulls.
+        assert!(matches!(
+            g.partial_fingerprint_into(&[true, true, false], &mut key),
+            Err(DataError::IncompleteValuation { null: NullId(2) })
+        ));
+        // Binding just that fact's null is enough — the other fact may stay
+        // unbound — and duplicates collapse like the full fingerprint.
+        g.bind(NullId(2), Constant(1)).unwrap();
+        g.partial_fingerprint_into(&[true, true, false], &mut key)
+            .unwrap();
+        assert_eq!(key, vec![(0, vec![Constant(0), Constant(1)])]);
+        let h = g.partial_hash_into(&[true, true, false], &mut key).unwrap();
+        assert_eq!(h, fingerprint_hash(&key));
+        // With every fact included and every null bound, the partial key is
+        // the full fingerprint.
+        g.bind(NullId(1), Constant(2)).unwrap();
+        g.partial_fingerprint_into(&[true, true, true], &mut key)
+            .unwrap();
+        assert_eq!(key, g.completion_fingerprint().unwrap());
+    }
+
+    #[test]
     fn domain_accessors() {
         let db = example_2_2();
         let g = db.try_grounding().unwrap();
@@ -855,5 +1424,71 @@ mod tests {
         assert_eq!(g.relation_names().collect::<Vec<_>>(), vec!["S"]);
         assert_eq!(g.resolved_facts().count(), 3);
         assert_eq!(g.value_by_index(0), None);
+    }
+
+    /// The merged (plan-based) fingerprints must be byte-identical to the
+    /// rebuild-and-sort reference at every assignment — including ones
+    /// where resolved null facts collide with ground facts or each other,
+    /// so dedup fires across the merge boundary.
+    #[test]
+    fn key_plans_reproduce_the_rebuild_reference_exactly() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1, 2]);
+        db.add_fact("R", vec![c(1), c(2)]).unwrap(); // collides with ⊥0=1,⊥1=2
+        db.add_fact("R", vec![c(5), c(6)]).unwrap();
+        db.add_fact("R", vec![n(0), n(1)]).unwrap();
+        db.add_fact("R", vec![n(1), n(0)]).unwrap(); // collides when ⊥0=⊥1
+        db.add_fact("S", vec![n(2), c(9)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+
+        let reference = |g: &Grounding| -> CompletionKey {
+            let mut key: CompletionKey = g
+                .resolved_facts()
+                .map(|(rel, fact)| {
+                    (
+                        rel,
+                        fact.iter()
+                            .map(|v| v.as_const().unwrap())
+                            .collect::<Vec<Constant>>(),
+                    )
+                })
+                .collect();
+            key.sort_unstable();
+            key.dedup();
+            key
+        };
+
+        let include = [true, false, true, true, false];
+        let plan = g.partial_key_plan(&include);
+        let mut key = CompletionKey::new();
+        let mut partial = CompletionKey::new();
+        for a in 0..3u64 {
+            for b in 0..3u64 {
+                for s in 0..3u64 {
+                    g.reset();
+                    g.bind(NullId(0), Constant(a)).unwrap();
+                    g.bind(NullId(1), Constant(b)).unwrap();
+                    g.bind(NullId(2), Constant(s)).unwrap();
+                    g.completion_fingerprint_into(&mut key).unwrap();
+                    assert_eq!(key, reference(&g), "full key diverges at ({a},{b},{s})");
+
+                    g.partial_fingerprint_with(&plan, &mut partial).unwrap();
+                    let mut expect = CompletionKey::new();
+                    g.partial_fingerprint_into(&include, &mut expect).unwrap();
+                    assert_eq!(partial, expect, "partial key diverges at ({a},{b},{s})");
+                    assert_eq!(
+                        g.partial_hash_with(&plan, &mut partial).unwrap(),
+                        g.partial_hash_into(&include, &mut expect).unwrap(),
+                    );
+                }
+            }
+        }
+
+        // An unresolved included fact errors through the plan path too.
+        g.reset();
+        g.bind(NullId(2), Constant(0)).unwrap();
+        assert!(matches!(
+            g.partial_fingerprint_with(&plan, &mut partial),
+            Err(DataError::IncompleteValuation { .. })
+        ));
     }
 }

@@ -58,7 +58,7 @@ pub use database::{Database, GroundFact};
 pub use domain::{Domain, DomainAssignment};
 pub use error::DataError;
 pub use fingerprint::{fingerprint_hash, materialize_completion, CompletionKey, HashRange};
-pub use grounding::{Grounding, Occurrence};
+pub use grounding::{Grounding, KeyPlan, Occurrence, Separability};
 pub use incomplete::{IncompleteDatabase, IncompleteFact, NullDomains};
 pub use interner::{ConstantPool, RelId, SymbolRegistry};
 pub use scanmask::{ScanMask, WORD_BITS};

@@ -75,6 +75,14 @@ impl Cursor {
 
     /// Decodes a cursor previously produced by [`Cursor::encode`],
     /// rejecting anything malformed.
+    ///
+    /// The decoder is **strict**: it accepts exactly the image of
+    /// [`Cursor::encode`], so `decode(s)` succeeding implies
+    /// `decode(s)?.encode() == s`. In particular decimal numbers must be
+    /// canonical (no sign, no leading zeros, no whitespace) — two distinct
+    /// wire strings never name the same cursor, and nothing a serving
+    /// layer hands out can be forged into an equivalent-but-different
+    /// ticket.
     pub fn decode(s: &str) -> Result<Cursor, CursorDecodeError> {
         let Some(rest) = s.strip_prefix(PREFIX) else {
             return Err(CursorDecodeError::BadPrefix);
@@ -91,21 +99,19 @@ impl Cursor {
         }
         let mut key = CompletionKey::new();
         for fact in body.split(';') {
-            let Some((rel, values)) = fact.split_once(':') else {
-                return Err(CursorDecodeError::BadFact {
-                    fact: fact.to_string(),
-                });
-            };
-            let rel: usize = rel.parse().map_err(|_| CursorDecodeError::BadFact {
+            let bad = || CursorDecodeError::BadFact {
                 fact: fact.to_string(),
-            })?;
+            };
+            let Some((rel, values)) = fact.split_once(':') else {
+                return Err(bad());
+            };
+            let rel = strict_u64(rel)
+                .and_then(|r| usize::try_from(r).ok())
+                .ok_or_else(bad)?;
             let mut tuple = Vec::new();
             if !values.is_empty() {
                 for value in values.split(',') {
-                    let id: u64 = value.parse().map_err(|_| CursorDecodeError::BadFact {
-                        fact: fact.to_string(),
-                    })?;
-                    tuple.push(Constant(id));
+                    tuple.push(Constant(strict_u64(value).ok_or_else(bad)?));
                 }
             }
             key.push((rel, tuple));
@@ -117,6 +123,19 @@ impl Cursor {
         }
         Ok(Cursor::after(key))
     }
+}
+
+/// Strict decimal parse: exactly the digit strings [`Cursor::encode`]
+/// emits. Rejects what `u64::from_str` would silently admit — a leading
+/// `+`, leading zeros — as well as anything non-digit, over-long or
+/// overflowing, so the accepted wire language has one spelling per value.
+fn strict_u64(s: &str) -> Option<u64> {
+    let canonical =
+        s == "0" || (!s.is_empty() && !s.starts_with('0') && s.bytes().all(|b| b.is_ascii_digit()));
+    if !canonical {
+        return None;
+    }
+    s.parse().ok()
 }
 
 impl fmt::Display for Cursor {
@@ -233,5 +252,146 @@ mod tests {
             Cursor::decode("incdbs1:after:0:1;0:1"),
             Err(CursorDecodeError::NotCanonical)
         );
+    }
+
+    /// The strictness invariant the wire format promises: whenever decode
+    /// accepts, re-encoding reproduces the input byte for byte. Anything
+    /// else means two wire strings name one cursor — a forgeable ticket.
+    fn assert_strict(s: &str) {
+        if let Ok(cursor) = Cursor::decode(s) {
+            assert_eq!(
+                cursor.encode(),
+                s,
+                "decode silently accepted a non-canonical spelling"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_number_spellings_encode_never_emits() {
+        // `u64::from_str` accepts all of these; the wire format must not.
+        for s in [
+            "incdbs1:after:+0:1",
+            "incdbs1:after:0:+1",
+            "incdbs1:after:00:1",
+            "incdbs1:after:0:01",
+            "incdbs1:after:0:1,007",
+            "incdbs1:after:01:",
+        ] {
+            assert!(
+                matches!(Cursor::decode(s), Err(CursorDecodeError::BadFact { .. })),
+                "accepted {s:?}"
+            );
+        }
+        // Overflow is an error, not a wrap or a panic.
+        assert!(Cursor::decode("incdbs1:after:0:18446744073709551616").is_err());
+        assert!(Cursor::decode("incdbs1:after:99999999999999999999999999:1").is_err());
+        // u64::MAX itself is fine.
+        assert!(Cursor::decode("incdbs1:after:0:18446744073709551615").is_ok());
+    }
+
+    #[test]
+    fn truncation_never_panics_or_lies() {
+        // Every prefix of every valid encoding either fails to decode or
+        // decodes to something that re-encodes to that exact prefix.
+        let cursors = [
+            Cursor::start(),
+            Cursor::after(CompletionKey::new()),
+            Cursor::after(key(&[(0, &[7])])),
+            Cursor::after(key(&[(0, &[1, 2]), (1, &[]), (3, &[u64::MAX])])),
+            Cursor::after(key(&[(10, &[0, 0, 0]), (11, &[100, 200])])),
+        ];
+        for cursor in &cursors {
+            let encoded = cursor.encode();
+            for cut in 0..encoded.len() {
+                assert_strict(&encoded[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_fuzz_never_panics_or_silently_accepts() {
+        // Deterministic mutation fuzz over valid encodings: byte
+        // substitutions at every position, insertions, deletions, segment
+        // duplications and swaps. Strictness must hold for every mutant —
+        // and a mutant that still decodes must mean exactly what it says.
+        let seeds = [
+            Cursor::start().encode(),
+            Cursor::after(CompletionKey::new()).encode(),
+            Cursor::after(key(&[(0, &[7])])).encode(),
+            Cursor::after(key(&[(0, &[1, 2]), (1, &[]), (3, &[u64::MAX])])).encode(),
+            Cursor::after(key(&[(2, &[30, 40]), (5, &[9])])).encode(),
+        ];
+        let alphabet: Vec<char> = "0123456789:;,+- abcièstartafter\u{0}\n".chars().collect();
+        let mut fuzzed = 0usize;
+        for seed in &seeds {
+            for i in 0..seed.len() {
+                if !seed.is_char_boundary(i) {
+                    continue;
+                }
+                for &c in &alphabet {
+                    // Substitute one character.
+                    let mut sub: String = seed[..i].to_string();
+                    sub.push(c);
+                    sub.extend(seed[i..].chars().skip(1));
+                    assert_strict(&sub);
+                    // Insert one character.
+                    let mut ins: String = seed[..i].to_string();
+                    ins.push(c);
+                    ins.push_str(&seed[i..]);
+                    assert_strict(&ins);
+                    fuzzed += 2;
+                }
+                // Delete one character.
+                let mut del: String = seed[..i].to_string();
+                del.extend(seed[i..].chars().skip(1));
+                assert_strict(&del);
+                // Length-lying: duplicate the tail after this position.
+                let mut dup = seed.clone();
+                dup.push_str(&seed[i..]);
+                assert_strict(&dup);
+                fuzzed += 2;
+            }
+            // Segment-level attacks: repeat and reorder `;`-separated facts.
+            if let Some(body) = seed.strip_prefix("incdbs1:after:") {
+                let facts: Vec<&str> = body.split(';').collect();
+                for a in 0..facts.len() {
+                    for b in 0..facts.len() {
+                        let mut swapped = facts.clone();
+                        swapped.swap(a, b);
+                        let mut shuffled = swapped.join(";");
+                        shuffled.insert_str(0, "incdbs1:after:");
+                        assert_strict(&shuffled);
+                        fuzzed += 1;
+                    }
+                }
+            }
+        }
+        assert!(fuzzed > 4000, "the fuzz corpus collapsed ({fuzzed} cases)");
+    }
+
+    #[test]
+    fn xorshift_fuzz_random_bytes_never_panic() {
+        // A deterministic xorshift stream of arbitrary ASCII-and-beyond
+        // strings, with and without the magic prefix grafted on: decode
+        // must return — never panic, hang or accept non-canonically.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let len = (next() % 40) as usize;
+            let raw: String = (0..len)
+                .map(|_| char::from_u32((next() % 128) as u32).unwrap_or('?'))
+                .collect();
+            assert_strict(&raw);
+            let grafted = format!("incdbs1:{raw}");
+            assert_strict(&grafted);
+            let after = format!("incdbs1:after:{raw}");
+            assert_strict(&after);
+        }
     }
 }

@@ -1,40 +1,64 @@
 //! Hash-range-sharded distinct-completion counting with bounded resident
-//! memory.
+//! memory — now at **one search walk per batch of ranges**, not one per
+//! range.
 //!
 //! The engine's in-memory distinct counter
 //! ([`CountingEngine::count_completions`](incdb_core::engine::CountingEngine::count_completions))
-//! holds **every** canonical fingerprint at once, so its 93× search
-//! speedups hit a memory wall long before a CPU wall. This module trades passes for memory: the fingerprint
-//! hash space is partitioned into [`HashRange`] shards, and each shard
-//! **re-walks the backtracking search**, keeping only the fingerprints whose
-//! hash falls in its range. Ranges tile the space, so the per-shard sets are
-//! disjoint and their sizes simply add up (merged through
-//! [`NatAccumulator`]); resident memory is bounded by the largest shard
-//! instead of the whole fingerprint set.
+//! holds **every** canonical fingerprint at once, so its search speedups
+//! hit a memory wall long before a CPU wall. This module trades passes for
+//! memory: the fingerprint hash space is partitioned into [`HashRange`]
+//! shards, and the backtracking search keeps only the fingerprints whose
+//! hash falls in the ranges it is currently serving. Ranges tile the space,
+//! so the per-range sets are disjoint and their counts simply add up
+//! (merged through [`NatAccumulator`]); resident memory is bounded by the
+//! walk's shared budget instead of the whole fingerprint set.
+//!
+//! Three mechanisms keep the memory bound from costing a full re-walk per
+//! range, which is what the previous one-range-per-walk driver paid:
+//!
+//! * **Single-walk multi-range counting** (`MultiRangeSink`): one search
+//!   walk carries a whole sorted batch of ranges, bucketing every
+//!   fingerprint into its range by binary search ([`HashRange::find`]) in
+//!   `O(log ranges)`. A `K`-range partition costs `min(threads, K)` walks,
+//!   not `K`.
+//! * **Eviction instead of restart**: when a budgeted walk's resident set
+//!   would exceed the budget, the walk **evicts the fattest range's set**
+//!   and defers that range to a follow-up walk — the walk itself continues
+//!   and finishes every other range. The old driver aborted the whole walk,
+//!   split the range and restarted from scratch, wasting the work done on
+//!   the still-countable part of the space.
+//! * **Closed-form class counting**: the sink counts at the session's
+//!   [separation cut](SearchSession::separation_cut) instead of at leaves.
+//!   Completions sharing a *dirty part* (the resolved facts that could
+//!   collide) form a class whose members are pairwise distinct, so one
+//!   memoised dirty-part fingerprint plus a closed-form subtree count
+//!   replaces one resident fingerprint **per completion**. On instances
+//!   with no separable nulls the cut sits at the leaves and the sink
+//!   degrades to exactly the old per-completion behaviour.
 //!
 //! Two entry points expose the trade-off:
 //!
-//! * [`count_completions_sharded`] — a fixed partition into `K` ranges:
-//!   exactly `K` passes, expected resident set `≈ total/K`.
-//! * [`count_completions_budgeted`] — an explicit **memory budget** (maximum
-//!   resident fingerprints per shard walk): the driver starts with the full
-//!   range (one pass, no overhead when the instance fits) and, whenever a
-//!   shard's set would exceed the budget, **aborts that walk, splits the
-//!   range in half and requeues both halves** — adaptively refining exactly
-//!   the hash regions that are too dense, like a region quadtree over the
-//!   hash line.
+//! * [`count_completions_sharded`] — a fixed partition into `K` ranges,
+//!   chunked into `min(threads, K)` contiguous batches: one walk per
+//!   worker, expected resident set `≈ total/K` per range.
+//! * [`count_completions_budgeted`] — an explicit **memory budget**
+//!   (maximum resident fingerprints per walk, shared across the walk's
+//!   batch): the driver starts with the full range (one pass, no overhead
+//!   when the instance fits) and refines by evicting overweight ranges —
+//!   deferred ranges are re-queued **as one sorted batch**, so follow-up
+//!   walks stay multi-range and the eviction machinery keeps paying off.
 //!
-//! Shards are scheduled on the engine's work-stealing [`TaskQueue`]: workers
-//! pop ranges, and overflow splits are donated back to the queue, so idle
-//! workers immediately pick up the refined halves of a dense region.
+//! Batches are scheduled on the engine's work-stealing [`TaskQueue`]:
+//! workers pop batches, and deferred ranges are donated back to the queue,
+//! so idle workers immediately pick up the refined remainder of a dense
+//! region.
 //!
-//! Consecutive walks of one worker run on a persistent
-//! [`SearchSession`]: the grounding, the compiled residual state and the
-//! DFS order are built **once per worker** and rewound — not rebuilt — for
-//! every subsequent range, so an aborted over-budget walk costs a reset
-//! plus the wasted search, never a recompilation. The
-//! [`ShardedCount::sessions_built`] / [`ShardedCount::walks_reused`]
-//! counters pin the reuse actually happening.
+//! Consecutive walks of one worker run on a persistent [`SearchSession`]:
+//! the grounding, the compiled residual state and the DFS order are built
+//! **once per worker** and rewound — not rebuilt — for every subsequent
+//! batch. The [`ShardedCount::sessions_built`] /
+//! [`ShardedCount::walks_reused`] counters pin the reuse actually
+//! happening.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,8 +66,8 @@ use std::thread;
 
 use incdb_bignum::{BigNat, NatAccumulator};
 use incdb_core::engine::{CompletionVisitor, TaskQueue};
-use incdb_core::session::SearchSession;
-use incdb_data::{CompletionKey, DataError, Grounding, HashRange, IncompleteDatabase};
+use incdb_core::session::{ClassAction, SearchSession};
+use incdb_data::{CompletionKey, DataError, Grounding, HashRange, IncompleteDatabase, KeyPlan};
 use incdb_query::BooleanQuery;
 
 /// The result of a sharded distinct-completion count, with the memory and
@@ -53,79 +77,241 @@ pub struct ShardedCount {
     /// The number of distinct completions satisfying the query — always
     /// equal to what the unsharded engine would return.
     pub count: BigNat,
-    /// The high-water mark of resident fingerprints in any single shard
-    /// walk. Under [`count_completions_budgeted`] this never exceeds the
-    /// budget (each worker holds at most one shard set at a time, so with
-    /// `threads` workers the process-wide bound is `budget × threads`).
+    /// The high-water mark of resident fingerprints in any single walk —
+    /// the sum over the walk's whole batch, since the budget is shared.
+    /// Under [`count_completions_budgeted`] this never exceeds the budget
+    /// (each worker runs one walk at a time, so with `threads` workers the
+    /// process-wide bound is `budget × threads`), except in the
+    /// astronomically unlikely unsplittable-hash-point case documented
+    /// there.
     pub peak_resident_fingerprints: usize,
-    /// Search-tree walks performed, including walks aborted by an overflow.
-    /// The pass count is the price paid for the memory bound.
+    /// Search-tree walks performed. Each walk serves a whole batch of
+    /// ranges, so this is `min(threads, ranges)` for a fixed partition and
+    /// `1 + follow-ups` under a budget — the pass count is the price paid
+    /// for the memory bound.
     pub passes: usize,
-    /// Hash ranges whose fingerprints were actually counted (aborted walks
-    /// excluded). Under a budget this is the adaptively refined partition
-    /// size; `1` means the instance fit in a single unsharded walk.
+    /// Hash ranges whose fingerprints were actually counted (evicted
+    /// attempts excluded — a range deferred `n` times before completing
+    /// still counts once). Under a budget this is the size of the final
+    /// refined partition; `1` means the instance fit in a single range.
     pub counted_shards: usize,
+    /// Ranges carried by walks, summed over all walks and including
+    /// evicted attempts: `ranges_walked / passes` is the mean batch width,
+    /// the single-walk amortisation this module exists for.
+    pub ranges_walked: usize,
+    /// Range sets discarded mid-walk to respect the budget: whole-range
+    /// evictions plus sole-range splits. Zero whenever the budget was
+    /// never hit.
+    pub evictions: usize,
     /// How many worker walk contexts were created: each is a
     /// [`SearchSession::fork`] off the call's one template session (the
     /// single grounding build + residual-state compilation of the whole
-    /// call). At most one per worker that processed a range (workers that
-    /// never got a task fork nothing), however many ranges and splits the
-    /// run took.
+    /// call). At most one per worker that processed a batch (workers that
+    /// never got a task fork nothing).
     pub sessions_built: usize,
     /// Walks served by rewinding an already-built session instead of
     /// rebuilding: always `passes - sessions_built`. The reuse the session
-    /// layer exists for — on a `K`-range run this saves `K - threads`
-    /// setups.
+    /// layer exists for.
     pub walks_reused: usize,
 }
 
-/// Collects the in-range fingerprints of one shard walk, aborting the walk
-/// when admitting one more fingerprint would exceed the budget.
-struct RangeSink {
+/// One hash range being served by the current walk.
+struct ActiveRange {
     range: HashRange,
-    /// Maximum fingerprints this sink may hold; `None` is unbounded.
-    budget: Option<usize>,
-    set: HashSet<CompletionKey>,
-    scratch: CompletionKey,
-    overflowed: bool,
+    /// Memoised class fingerprints (dirty-part keys; full completion keys
+    /// when nothing is separable) whose hash falls in `range`.
+    keys: HashSet<CompletionKey>,
+    /// Distinct completions credited to this range so far.
+    acc: NatAccumulator,
+    /// Discarded mid-walk: the range was deferred to a follow-up walk and
+    /// this walk must ignore it from now on.
+    evicted: bool,
+    /// A single hash point denser than the whole budget: counted in full
+    /// rather than split forever.
+    unbounded: bool,
 }
 
-impl RangeSink {
-    fn new(range: HashRange, budget: Option<usize>) -> RangeSink {
-        RangeSink {
-            range,
+/// Counts the distinct completions of one walk into a whole batch of hash
+/// ranges at once, at the session's separation cut.
+///
+/// Every class node is bucketed into its range by binary search over the
+/// sorted batch; unseen classes are memoised and counted in closed form
+/// ([`ClassAction::Count`]), seen ones skipped. When a budgeted insert
+/// finds the shared resident set full, the fattest range is evicted whole
+/// (its keys dropped, its range deferred); a range that overflows the
+/// budget all by itself is split and both halves deferred; an unsplittable
+/// single hash point is counted unbounded. The walk only stops early when
+/// every range of the batch has been evicted.
+struct MultiRangeSink<'a> {
+    /// The batch's spans, sorted and disjoint — the [`HashRange::find`]
+    /// index, kept parallel to `ranges`.
+    spans: Vec<HashRange>,
+    ranges: Vec<ActiveRange>,
+    /// Precomputed fingerprint skeleton of the class facts
+    /// ([`SearchSession::class_facts`], everything that is not provably
+    /// separable): the ground members pre-sorted once, so each class node
+    /// pays a merge instead of a full sort.
+    plan: &'a KeyPlan,
+    /// Maximum resident keys across the whole batch; `None` is unbounded.
+    budget: Option<usize>,
+    /// Current resident keys summed over live (non-evicted) ranges.
+    resident: usize,
+    /// High-water mark of `resident`, sampled when a key is kept — classes
+    /// that count zero completions are removed again and never peak.
+    peak: usize,
+    /// Live (non-evicted) ranges remaining.
+    live: usize,
+    evictions: usize,
+    /// Ranges this walk gave up on, to be re-queued as one sorted batch.
+    deferred: Vec<HashRange>,
+    scratch: CompletionKey,
+    /// Range index of the key inserted by the last `class_node`, so
+    /// `class_counted` can credit — or, for zero counts, remove — it.
+    pending: Option<usize>,
+}
+
+impl<'a> MultiRangeSink<'a> {
+    fn new(batch: Vec<HashRange>, budget: Option<usize>, plan: &'a KeyPlan) -> Self {
+        debug_assert!(batch.windows(2).all(|w| w[0].last < w[1].start));
+        let ranges: Vec<ActiveRange> = batch
+            .iter()
+            .map(|&range| ActiveRange {
+                range,
+                keys: HashSet::new(),
+                acc: NatAccumulator::new(),
+                evicted: false,
+                unbounded: false,
+            })
+            .collect();
+        MultiRangeSink {
+            spans: batch,
+            live: ranges.len(),
+            ranges,
+            plan,
             budget,
-            set: HashSet::new(),
+            resident: 0,
+            peak: 0,
+            evictions: 0,
+            deferred: Vec::new(),
             scratch: CompletionKey::new(),
-            overflowed: false,
+            pending: None,
         }
+    }
+
+    /// Frees one resident slot so range `current` can admit a key. Returns
+    /// `false` when `current` itself was sacrificed (evicted whole, or
+    /// split because it overflows the budget alone) — the caller must skip
+    /// the class.
+    fn make_room(&mut self, current: usize) -> bool {
+        let victim = self
+            .ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.evicted && !r.unbounded)
+            .max_by_key(|(j, r)| (r.keys.len(), usize::MAX - j))
+            .map(|(j, _)| j)
+            .expect("the bounded live range `current` is a candidate");
+        if victim == current && self.live == 1 {
+            // This range overflows the whole budget on its own: no
+            // follow-up walk can serve it unsplit, so refine it now.
+            let r = &mut self.ranges[current];
+            match r.range.split() {
+                Some((lo, hi)) => {
+                    self.deferred.push(lo);
+                    self.deferred.push(hi);
+                    self.evict(current);
+                    false
+                }
+                None => {
+                    // A single hash point denser than the budget: count it
+                    // in full rather than splitting forever (see the docs
+                    // of `count_completions_budgeted`).
+                    r.unbounded = true;
+                    true
+                }
+            }
+        } else {
+            let deferred = self.ranges[victim].range;
+            self.deferred.push(deferred);
+            self.evict(victim);
+            victim != current
+        }
+    }
+
+    /// Drops a range's partial state and removes it from the walk.
+    fn evict(&mut self, i: usize) {
+        let r = &mut self.ranges[i];
+        debug_assert!(!r.evicted);
+        self.resident -= r.keys.len();
+        r.keys = HashSet::new();
+        r.acc = NatAccumulator::new();
+        r.evicted = true;
+        self.live -= 1;
+        self.evictions += 1;
     }
 }
 
-impl CompletionVisitor for RangeSink {
-    fn leaf(&mut self, g: &Grounding) -> bool {
+impl CompletionVisitor for MultiRangeSink<'_> {
+    fn leaf(&mut self, _g: &Grounding) -> bool {
+        unreachable!("the class dispatch covers every satisfying leaf");
+    }
+
+    fn class_node(&mut self, g: &Grounding, _decided: bool) -> ClassAction {
         let hash = g
-            .completion_hash_into(&mut self.scratch)
-            .expect("every null is bound at a leaf");
-        if !self.range.contains(hash) || self.set.contains(&self.scratch) {
-            return true;
+            .partial_hash_with(self.plan, &mut self.scratch)
+            .expect("every non-separable null is bound at the cut");
+        let Some(i) = HashRange::find(&self.spans, hash) else {
+            return ClassAction::Skip;
+        };
+        if self.ranges[i].evicted || self.ranges[i].keys.contains(&self.scratch) {
+            return ClassAction::Skip;
         }
-        if self.budget.is_some_and(|budget| self.set.len() >= budget) {
-            self.overflowed = true;
-            return false;
+        if !self.ranges[i].unbounded && self.budget.is_some_and(|b| self.resident >= b) {
+            // Shared set full: evict before admitting. `make_room` may
+            // sacrifice `i` itself, in which case this class is skipped —
+            // and once nothing in the batch is live, the rest of the walk
+            // has nothing left to observe.
+            if !self.make_room(i) {
+                return if self.live == 0 {
+                    ClassAction::Stop
+                } else {
+                    ClassAction::Skip
+                };
+            }
         }
-        self.set.insert(self.scratch.clone());
+        self.ranges[i].keys.insert(self.scratch.clone());
+        self.resident += 1;
+        self.pending = Some(i);
+        ClassAction::Count
+    }
+
+    fn class_counted(&mut self, distinct: &BigNat) -> bool {
+        let i = self.pending.take().expect("a count follows an insert");
+        if distinct.is_zero() {
+            // No satisfying completion in the class: un-memoise it, so
+            // only satisfying classes occupy the budget. Re-deriving a
+            // zero count on a later encounter is sound.
+            self.ranges[i].keys.remove(&self.scratch);
+            self.resident -= 1;
+        } else {
+            self.ranges[i].acc.add_big(distinct);
+            self.peak = self.peak.max(self.resident);
+        }
         true
     }
 }
 
 /// Counts the distinct completions of `db` satisfying `q` over a fixed
-/// partition of the fingerprint hash space into `shards` ranges, walking
-/// the search tree once per range across up to `threads` workers.
+/// partition of the fingerprint hash space into `shards` ranges, chunked
+/// into `min(threads, shards)` contiguous batches — **one search walk per
+/// batch**, with every fingerprint bucketed into its range in
+/// `O(log shards)`.
 ///
 /// The merged count equals the unsharded engine's for **every** `shards ≥
 /// 1` (ranges tile the space and fingerprints are deduplicated per range),
-/// while the expected resident set per walk shrinks to `≈ total/shards`.
+/// while the expected resident set per range shrinks to `≈ total/shards`.
+/// Note the walk-level resident set is the sum over its batch; use
+/// [`count_completions_budgeted`] for a hard bound.
 ///
 /// Returns an error if some null of the table has no domain.
 pub fn count_completions_sharded<Q: BooleanQuery + Sync + ?Sized>(
@@ -134,21 +320,35 @@ pub fn count_completions_sharded<Q: BooleanQuery + Sync + ?Sized>(
     shards: usize,
     threads: usize,
 ) -> Result<ShardedCount, DataError> {
-    run_shards(db, q, HashRange::partition(shards.max(1)), None, threads)
+    let shards = shards.max(1);
+    let ranges = HashRange::partition(shards);
+    let batches = threads.clamp(1, shards);
+    let initial: Vec<Vec<HashRange>> = (0..batches)
+        .map(|b| {
+            // Contiguous near-equal chunks, the first `shards % batches`
+            // of them one range wider.
+            let lo = (b * shards) / batches;
+            let hi = ((b + 1) * shards) / batches;
+            ranges[lo..hi].to_vec()
+        })
+        .collect();
+    run_shards(db, q, initial, None, threads)
 }
 
 /// Counts the distinct completions of `db` satisfying `q` while keeping
-/// the resident fingerprint set of every shard walk within `budget`
-/// (at least 1), adaptively splitting overflowing hash ranges.
+/// each walk's resident fingerprint set within `budget` (at least 1),
+/// evicting overweight hash ranges to follow-up walks.
 ///
 /// The first walk covers the full range, so instances whose fingerprint
-/// set fits the budget pay **no** sharding overhead (a single pass, exactly
-/// like the unsharded engine). Dense instances converge to the coarsest
-/// partition that respects the budget, at the price of one aborted walk
-/// per split. In the astronomically unlikely event that more than `budget`
-/// distinct completions share one 64-bit hash point (an unsplittable
-/// range), that point is counted in full rather than failing — the only
-/// case where `peak_resident_fingerprints` may exceed the budget.
+/// set fits the budget pay **no** sharding overhead (a single pass,
+/// exactly like the unsharded engine). Dense instances shed their fattest
+/// ranges mid-walk — the walk itself finishes every range that fits — and
+/// the deferred ranges are re-queued as one sorted batch, repeating until
+/// every range has been counted. In the astronomically unlikely event that
+/// more than `budget` distinct class fingerprints share one 64-bit hash
+/// point (an unsplittable range), that point is counted in full rather
+/// than failing — the only case where `peak_resident_fingerprints` may
+/// exceed the budget.
 ///
 /// Returns an error if some null of the table has no domain.
 pub fn count_completions_budgeted<Q: BooleanQuery + Sync + ?Sized>(
@@ -157,15 +357,22 @@ pub fn count_completions_budgeted<Q: BooleanQuery + Sync + ?Sized>(
     budget: usize,
     threads: usize,
 ) -> Result<ShardedCount, DataError> {
-    run_shards(db, q, vec![HashRange::full()], Some(budget.max(1)), threads)
+    run_shards(
+        db,
+        q,
+        vec![vec![HashRange::full()]],
+        Some(budget.max(1)),
+        threads,
+    )
 }
 
-/// The shared shard driver: walks every range of the queue (splitting on
-/// overflow when a budget is set) and merges the disjoint per-shard counts.
+/// The shared driver: walks every batch of the queue (deferring evicted
+/// ranges as new batches when a budget is set) and merges the disjoint
+/// per-range counts.
 fn run_shards<Q: BooleanQuery + Sync + ?Sized>(
     db: &IncompleteDatabase,
     q: &Q,
-    initial: Vec<HashRange>,
+    initial: Vec<Vec<HashRange>>,
     budget: Option<usize>,
     threads: usize,
 ) -> Result<ShardedCount, DataError> {
@@ -173,14 +380,21 @@ fn run_shards<Q: BooleanQuery + Sync + ?Sized>(
     // both validates the instance (missing-domain errors surface here, so
     // worker walks cannot fail and the queue protocol — every popped task
     // is finished — stays trivially correct) and compiles the query's
-    // residual state exactly once. Workers fork the template (cloning the
-    // compiled state, never re-deriving it) the first time they pop a
-    // range.
+    // residual state and separability plan exactly once. Workers fork the
+    // template (cloning the compiled state, never re-deriving it) the
+    // first time they pop a batch.
     let template = SearchSession::new(db, q)?;
+    // One sort of the ground class facts for the whole call; fact indices
+    // are template-level, so every forked worker session shares the plan.
+    let class_plan = template
+        .grounding()
+        .partial_key_plan(template.class_facts());
     let queue = TaskQueue::new(initial);
     let passes = AtomicUsize::new(0);
     let peak = AtomicUsize::new(0);
     let counted = AtomicUsize::new(0);
+    let ranges_walked = AtomicUsize::new(0);
+    let evictions = AtomicUsize::new(0);
     let sessions_built = AtomicUsize::new(0);
     let walks_reused = AtomicUsize::new(0);
     let threads = threads.max(1);
@@ -188,10 +402,10 @@ fn run_shards<Q: BooleanQuery + Sync + ?Sized>(
     let worker = || {
         let mut acc = NatAccumulator::new();
         // The worker's persistent walk context: forked off the template on
-        // its first range, rewound — not rebuilt — for every range after
+        // its first batch, rewound — not rebuilt — for every batch after
         // it. Workers that never pop a task never pay the fork.
         let mut session: Option<SearchSession<'_, Q>> = None;
-        while let Some(range) = queue.next_task() {
+        while let Some(batch) = queue.next_task() {
             if session.is_none() {
                 sessions_built.fetch_add(1, Ordering::Relaxed);
                 session = Some(template.fork());
@@ -200,32 +414,26 @@ fn run_shards<Q: BooleanQuery + Sync + ?Sized>(
             }
             let session = session.as_mut().expect("session built above");
             passes.fetch_add(1, Ordering::Relaxed);
-            let mut sink = RangeSink::new(range, budget);
+            ranges_walked.fetch_add(batch.len(), Ordering::Relaxed);
+            let mut sink = MultiRangeSink::new(batch, budget, &class_plan);
             let completed = session.visit_completions(&mut sink);
-            peak.fetch_max(sink.set.len(), Ordering::Relaxed);
-            if completed {
-                debug_assert!(!sink.overflowed);
-                acc.add_u64(sink.set.len() as u64);
-                counted.fetch_add(1, Ordering::Relaxed);
-            } else {
-                match range.split() {
-                    // Overflow: refine this range. The halves tile exactly
-                    // the aborted range, so nothing is lost or re-counted.
-                    // The aborted walk cost a rewind, not a rebuild.
-                    Some((lo, hi)) => queue.donate([lo, hi]),
-                    // A single hash point denser than the budget: count it
-                    // in full rather than looping forever (see the docs of
-                    // `count_completions_budgeted`).
-                    None => {
-                        passes.fetch_add(1, Ordering::Relaxed);
-                        walks_reused.fetch_add(1, Ordering::Relaxed);
-                        let mut unbounded = RangeSink::new(range, None);
-                        session.visit_completions(&mut unbounded);
-                        peak.fetch_max(unbounded.set.len(), Ordering::Relaxed);
-                        acc.add_u64(unbounded.set.len() as u64);
-                        counted.fetch_add(1, Ordering::Relaxed);
-                    }
+            // The walk only stops early once every range has been evicted,
+            // so every live range's count is complete either way.
+            debug_assert!(completed || sink.live == 0);
+            peak.fetch_max(sink.peak, Ordering::Relaxed);
+            evictions.fetch_add(sink.evictions, Ordering::Relaxed);
+            for r in sink.ranges {
+                if !r.evicted {
+                    acc.add_big(&r.acc.into_total());
+                    counted.fetch_add(1, Ordering::Relaxed);
                 }
+            }
+            if !sink.deferred.is_empty() {
+                // One sorted batch, not one task per range: follow-up
+                // walks stay multi-range, so a dense region is re-counted
+                // with single-walk amortisation too.
+                sink.deferred.sort_unstable_by_key(|r| r.start);
+                queue.donate([sink.deferred]);
             }
             queue.finish_task();
         }
@@ -249,6 +457,8 @@ fn run_shards<Q: BooleanQuery + Sync + ?Sized>(
         peak_resident_fingerprints: peak.load(Ordering::Relaxed),
         passes: passes.load(Ordering::Relaxed),
         counted_shards: counted.load(Ordering::Relaxed),
+        ranges_walked: ranges_walked.load(Ordering::Relaxed),
+        evictions: evictions.load(Ordering::Relaxed),
         sessions_built: sessions_built.load(Ordering::Relaxed),
         walks_reused: walks_reused.load(Ordering::Relaxed),
     })
@@ -257,7 +467,7 @@ fn run_shards<Q: BooleanQuery + Sync + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use incdb_core::engine::{BacktrackingEngine, CountingEngine};
+    use incdb_core::engine::{BacktrackingEngine, CountingEngine, Tautology};
     use incdb_data::{NullId, Value};
     use incdb_query::Bcq;
 
@@ -276,6 +486,27 @@ mod tests {
         db
     }
 
+    /// Dirty pairs (the two `R` facts of each pair unify) plus separable
+    /// `S` facts with distinct constant columns: exercises the class
+    /// counting path with real closed-form credits.
+    fn mixed_instance() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![Value::null(0), Value::null(1)])
+            .unwrap();
+        db.add_fact("R", vec![Value::null(2), Value::null(3)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(4), Value::constant(100)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(5), Value::constant(200)])
+            .unwrap();
+        for n in 0..4u32 {
+            db.set_domain(NullId(n), [0u64, 1]).unwrap();
+        }
+        db.set_domain(NullId(4), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(5), [0u64, 1, 2]).unwrap();
+        db
+    }
+
     #[test]
     fn fixed_partitions_agree_with_the_engine() {
         let db = example_2_2();
@@ -290,8 +521,11 @@ mod tests {
                     sharded.count, expected,
                     "{shards} shards, {threads} threads"
                 );
-                assert_eq!(sharded.passes, shards);
+                // One walk per batch, not per range.
+                assert_eq!(sharded.passes, threads.min(shards));
                 assert_eq!(sharded.counted_shards, shards);
+                assert_eq!(sharded.ranges_walked, shards);
+                assert_eq!(sharded.evictions, 0, "no budget, no evictions");
                 // Session reuse: at most one setup per worker that saw a
                 // task, and every other walk rode a rewound session.
                 assert!(sharded.sessions_built <= threads.min(shards));
@@ -299,19 +533,55 @@ mod tests {
                     sharded.walks_reused,
                     sharded.passes - sharded.sessions_built
                 );
-                if threads == 1 && shards > 0 {
-                    assert_eq!(sharded.sessions_built, 1);
+                if threads == 1 {
+                    assert_eq!((sharded.sessions_built, sharded.passes), (1, 1));
                 }
             }
         }
     }
 
     #[test]
-    fn budget_bounds_the_resident_set() {
-        // All 5 completions of Example 2.2 (Tautology query): a budget of 2
-        // must split until every counted shard holds ≤ 2 fingerprints.
+    fn single_walk_carries_the_whole_partition() {
+        // 16 ranges, 1 thread: the partition must be served by ONE walk.
         let db = example_2_2();
-        let q = incdb_core::engine::Tautology;
+        let q = Tautology;
+        let expected = BacktrackingEngine::sequential()
+            .count_all_completions(&db)
+            .unwrap();
+        let sharded = count_completions_sharded(&db, &q, 16, 1).unwrap();
+        assert_eq!(sharded.count, expected);
+        assert_eq!(sharded.passes, 1, "one walk for all 16 ranges");
+        assert_eq!(sharded.ranges_walked, 16);
+        assert_eq!(sharded.counted_shards, 16);
+    }
+
+    #[test]
+    fn class_counting_agrees_on_separable_instances() {
+        // 10 dirty R-parts × 9 separable S-completions = 90 distinct.
+        let db = mixed_instance();
+        let q = Tautology;
+        let expected = BacktrackingEngine::sequential()
+            .count_all_completions(&db)
+            .unwrap();
+        for shards in [1usize, 4, 16] {
+            let sharded = count_completions_sharded(&db, &q, shards, 2).unwrap();
+            assert_eq!(sharded.count, expected, "{shards} shards");
+        }
+        // The budgeted path too — and with 10 dirty classes a budget of 4
+        // must evict, yet the resident set stays classes-not-completions
+        // small.
+        let result = count_completions_budgeted(&db, &q, 4, 1).unwrap();
+        assert_eq!(result.count, expected);
+        assert!(result.peak_resident_fingerprints <= 4);
+        assert!(result.evictions > 0, "10 classes cannot fit a budget of 4");
+    }
+
+    #[test]
+    fn budget_bounds_the_resident_set() {
+        // All 5 completions of Example 2.2 (Tautology query): a budget of
+        // 2 must evict and defer until every range fits.
+        let db = example_2_2();
+        let q = Tautology;
         let expected = BacktrackingEngine::sequential()
             .count_all_completions(&db)
             .unwrap();
@@ -323,9 +593,10 @@ mod tests {
             result.peak_resident_fingerprints
         );
         assert!(result.counted_shards > 1, "a 5-fingerprint set must shard");
-        assert!(result.passes > result.counted_shards, "splits cost passes");
-        // One worker, one setup: every walk after the first — aborted and
-        // completed alike — reused the session.
+        assert!(result.evictions > 0, "the bound is paid for by evictions");
+        assert!(result.passes > 1, "deferred ranges cost follow-up walks");
+        // One worker, one setup: every walk after the first reused the
+        // session.
         assert_eq!(result.sessions_built, 1);
         assert_eq!(result.walks_reused, result.passes - 1);
 
@@ -333,6 +604,27 @@ mod tests {
         let roomy = count_completions_budgeted(&db, &q, 64, 1).unwrap();
         assert_eq!(roomy.count, expected);
         assert_eq!((roomy.passes, roomy.counted_shards), (1, 1));
+        assert_eq!(roomy.evictions, 0);
+    }
+
+    #[test]
+    fn every_budget_and_thread_count_agrees() {
+        let db = mixed_instance();
+        let q = Tautology;
+        let expected = BacktrackingEngine::sequential()
+            .count_all_completions(&db)
+            .unwrap();
+        for budget in [1usize, 2, 3, 7, 100] {
+            for threads in [1usize, 3] {
+                let result = count_completions_budgeted(&db, &q, budget, threads).unwrap();
+                assert_eq!(result.count, expected, "budget {budget} threads {threads}");
+                assert!(
+                    result.peak_resident_fingerprints <= budget,
+                    "budget {budget}: peak {}",
+                    result.peak_resident_fingerprints
+                );
+            }
+        }
     }
 
     #[test]

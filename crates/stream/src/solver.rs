@@ -11,7 +11,10 @@
 //! exact count, resident fingerprints bounded by the budget, extra passes
 //! as the price. The closed-form decision is shared with core
 //! ([`completion_closed_form`]) so the routing never discovers *after* an
-//! exponential walk that a polynomial algorithm existed.
+//! exponential walk that a polynomial algorithm existed — including the
+//! separable domain product ([`Method::SeparableProduct`]), which answers
+//! query-free counts over fully separable tables with no search and no
+//! fingerprints at all, whatever the budget.
 
 use incdb_core::engine::{BacktrackingEngine, CountingEngine, Tautology};
 use incdb_core::solver::{completion_closed_form, CountOutcome, Method, SolveError};
@@ -173,6 +176,23 @@ mod tests {
             let all = count_all_completions(&db, &opts).unwrap();
             assert_eq!(all.method, Method::UniformUnaryCompletions);
         }
+    }
+
+    #[test]
+    fn separable_instances_skip_the_search_entirely() {
+        // Fully separable table (single-occurrence nulls, non-unifiable
+        // facts): the query-free count is a domain product, and no budget
+        // — however tight — forces a walk.
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("R", vec![Value::null(0), Value::constant(10)])
+            .unwrap();
+        db.add_fact("R", vec![Value::null(1), Value::constant(20)])
+            .unwrap();
+        db.set_domain(NullId(0), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(1), [0u64, 1]).unwrap();
+        let outcome = count_all_completions(&db, &StreamOptions::with_budget(1)).unwrap();
+        assert_eq!(outcome.method, Method::SeparableProduct);
+        assert_eq!(outcome.value.to_u64(), Some(6));
     }
 
     #[test]

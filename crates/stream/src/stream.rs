@@ -12,7 +12,7 @@
 //! completions exist** — the memory-vs-passes trade-off knob of the
 //! streaming subsystem (a full drain costs `⌈N / page_size⌉` walks).
 //!
-//! Two session-layer upgrades cut the per-page cost:
+//! Three session-layer upgrades cut the per-page cost:
 //!
 //! * **Persistent walk contexts.** The stream holds a
 //!   [`SearchSession`] for as long as it lives: the grounding, the
@@ -20,6 +20,17 @@
 //!   page fill rewinds that session instead of rebuilding the setup
 //!   ([`CompletionStream::sessions_built`] stays at 1 on the sequential
 //!   path no matter how many pages are drained).
+//! * **Cursor-pruned walks.** The stream carries a compressed
+//!   [`PageSummary`] of what previous selection walks observed: per-prefix
+//!   subtree key spans over the top of the search tree, recorded as a side
+//!   effect of each walk. Every subsequent walk skips the subtrees whose
+//!   recorded span lies provably at or below the cursor (already served)
+//!   or provably past the page bound — so late pages stop re-descending
+//!   the full tree, and a fully drained stream proves its own exhaustion
+//!   from the root span **without a final empty walk**
+//!   ([`CompletionStream::fill_walks`] counts the walks that actually
+//!   ran). The summary costs `O(page_size)` extra resident keys, counted
+//!   by [`CompletionStream::peak_resident`].
 //! * **Parallel page fills.** With [`CompletionStream::with_engine`] (or
 //!   the [`with_threads`](CompletionStream::with_threads) shorthand) the
 //!   selection walk is sharded over the engine's work-stealing
@@ -43,7 +54,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use incdb_core::engine::{BacktrackingEngine, TaskQueue, Tautology};
-use incdb_core::session::{SearchSession, StealGate};
+use incdb_core::session::{Mark, PageSummary, SearchSession, StealGate};
 use incdb_data::{materialize_completion, CompletionKey, DataError, Database, IncompleteDatabase};
 use incdb_query::BooleanQuery;
 
@@ -95,9 +106,22 @@ pub struct CompletionStream<'a, Q: BooleanQuery + Sync + ?Sized> {
     /// Persistent forks for parallel fills, grown to the engine's worker
     /// count at the first sharded fill and reused for every one after it.
     workers: Vec<SearchSession<'a, Q>>,
+    /// What previous selection walks learned about the top of the search
+    /// tree: per-subtree key spans that let later walks skip provably
+    /// served (or provably beyond-page) subtrees, and the stream prove
+    /// exhaustion without a walk. Built with the session at the first fill.
+    summary: Option<PageSummary>,
     passes: usize,
     fill_walks: usize,
     sessions_built: usize,
+    peak_resident: usize,
+}
+
+/// How many search-tree nodes the cursor summary may track: enough depth to
+/// prune usefully even at small page sizes, scaling with the page so the
+/// summary's resident keys stay `O(page_size)` (at most `2 ×` this many).
+fn summary_cap_nodes(page_size: usize) -> usize {
+    (4 * page_size).max(64)
 }
 
 impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
@@ -137,9 +161,11 @@ impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
             exhausted: false,
             session: None,
             workers: Vec::new(),
+            summary: None,
             passes: 0,
             fill_walks: 0,
             sessions_built: 0,
+            peak_resident: 0,
         })
     }
 
@@ -202,30 +228,64 @@ impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
         self.page_size
     }
 
+    /// The high-water mark of completion keys this stream has held at once:
+    /// the filled page plus the cursor summary's recorded spans (the
+    /// pruning index costs `O(page_size)` keys, see [`PageSummary`]). The
+    /// memory side of the stream's trade-off, `O(page_size)` regardless of
+    /// how many completions exist.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
     /// Runs the selection walks for the next page beyond the cursor.
     fn refill(&mut self) {
         debug_assert!(self.buffer.is_empty());
         if self.session.is_none() {
-            self.session = Some(
-                self.engine
-                    .session(self.db, self.q)
-                    .expect("domains validated when the stream was opened"),
-            );
+            let session = self
+                .engine
+                .session(self.db, self.q)
+                .expect("domains validated when the stream was opened");
+            self.summary = Some(PageSummary::plan(
+                session.grounding(),
+                session.order(),
+                summary_cap_nodes(self.page_size),
+            ));
+            self.session = Some(session);
             self.sessions_built += 1;
         }
         let after = self.cursor.last_key();
+        // Exhaustion shortcut: once the recorded root span lies at or below
+        // the cursor, nothing remains — no walk at all for the final page.
+        if self
+            .summary
+            .as_ref()
+            .is_some_and(|summary| summary.served(after))
+        {
+            self.passes += 1;
+            self.exhausted = true;
+            return;
+        }
         let cap = self.page_size;
         let mut page: BTreeSet<CompletionKey> = BTreeSet::new();
+        // Keys transiently resident during this fill: the merged page for a
+        // sequential walk, the per-worker heaps for a parallel one.
+        let mut fill_keys = 0usize;
         let prefixes = {
             let session = self.session.as_ref().expect("session built above");
             self.engine.shard_plan(session.grounding(), session.order())
         };
         match prefixes {
             // Sequential fill: one bounded selection walk on the persistent
-            // session.
+            // session, pruned by — and recorded into — the cursor summary.
             None => {
+                let summary = self.summary.as_ref().expect("built with the session");
+                let mut sheet = summary.worksheet();
                 let session = self.session.as_mut().expect("session built above");
-                session.select_page(after, cap, &mut page);
+                session.select_page_recorded(after, cap, &mut page, summary, &mut sheet);
+                self.summary
+                    .as_mut()
+                    .expect("built with the session")
+                    .absorb([sheet.as_slice()]);
                 self.fill_walks += 1;
             }
             // Parallel fill: shard the selection walk over the engine's
@@ -235,17 +295,20 @@ impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
             // is seen by whichever worker owns its subtree and cannot be
             // displaced from that worker's heap, so merging the K bounded
             // heaps and trimming to `cap` yields exactly the sequential
-            // page.
+            // page. Workers consult the shared summary to skip served
+            // subtrees — whole tasks die at the prune check — and record
+            // their observations on private worksheets, merged afterwards.
             Some(prefixes) => {
                 while self.workers.len() < self.engine.threads() {
                     self.workers
                         .push(self.session.as_ref().expect("session built above").fork());
                     self.sessions_built += 1;
                 }
+                let summary = self.summary.as_ref().expect("built with the session");
                 let queue = TaskQueue::new(prefixes);
                 let walks = AtomicUsize::new(0);
                 let min_split_valuations = self.engine.min_split_valuations();
-                let heaps: Vec<BTreeSet<CompletionKey>> = thread::scope(|scope| {
+                let results: Vec<(BTreeSet<CompletionKey>, Vec<Mark>)> = thread::scope(|scope| {
                     let handles: Vec<_> = self
                         .workers
                         .iter_mut()
@@ -257,18 +320,21 @@ impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
                                     min_split_valuations,
                                 };
                                 let mut heap = BTreeSet::new();
+                                let mut sheet = summary.worksheet();
                                 while let Some(prefix) = queue.next_task() {
-                                    session.select_page_subtree(
+                                    session.select_page_subtree_recorded(
                                         &prefix,
                                         Some(&gate),
                                         after,
                                         cap,
                                         &mut heap,
+                                        summary,
+                                        &mut sheet,
                                     );
                                     walks.fetch_add(1, Ordering::Relaxed);
                                     queue.finish_task();
                                 }
-                                heap
+                                (heap, sheet)
                             })
                         })
                         .collect();
@@ -278,21 +344,48 @@ impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
                         .collect()
                 });
                 self.fill_walks += walks.load(Ordering::Relaxed);
-                for heap in heaps {
+                let mut sheets = Vec::with_capacity(results.len());
+                for (heap, sheet) in results {
+                    fill_keys += heap.len();
                     page.extend(heap);
+                    sheets.push(sheet);
                 }
                 while page.len() > cap {
                     page.pop_last();
                 }
+                self.summary
+                    .as_mut()
+                    .expect("built with the session")
+                    .absorb(sheets.iter().map(Vec::as_slice));
             }
         }
         self.passes += 1;
+        let resident =
+            fill_keys.max(page.len()) + self.summary.as_ref().map_or(0, PageSummary::resident_keys);
+        self.peak_resident = self.peak_resident.max(resident);
         if page.len() < self.page_size {
             // The page was not filled: everything beyond the cursor is
             // already in hand.
             self.exhausted = true;
         }
         self.buffer = page.into_iter().collect();
+    }
+}
+
+impl<Q: BooleanQuery + Sync + ?Sized> CompletionStream<'_, Q> {
+    /// Advances the stream by one completion and returns its canonical
+    /// fingerprint key, **without materialising** the completion — the
+    /// keys-level drain for callers that ship fingerprints (the cursor wire
+    /// format already does) and materialise on demand. Interleaves freely
+    /// with [`Iterator::next`]: the cursor advances identically either way,
+    /// so a drain may mix key peeks and materialised pulls.
+    pub fn next_key(&mut self) -> Option<&CompletionKey> {
+        if self.buffer.is_empty() && !self.exhausted {
+            self.refill();
+        }
+        let key = self.buffer.pop_front()?;
+        self.cursor = Cursor::after(key);
+        self.cursor.last_key()
     }
 }
 
@@ -380,15 +473,51 @@ mod tests {
         let mut one_by_one = all_completions_stream(&db, 1).unwrap();
         let n = one_by_one.by_ref().count();
         assert_eq!(n, 5);
-        // One walk per completion, plus the final empty-page walk — on one
+        // One walk per completion — the final refill proves exhaustion
+        // from the recorded root span instead of walking — on one
         // persistent session: the setup was built exactly once.
         assert_eq!(one_by_one.passes(), n + 1);
-        assert_eq!(one_by_one.fill_walks(), n + 1);
+        assert_eq!(one_by_one.fill_walks(), n);
         assert_eq!(one_by_one.sessions_built(), 1);
         let mut wide = all_completions_stream(&db, 64).unwrap();
         assert_eq!(wide.by_ref().count(), 5);
         assert_eq!(wide.passes(), 1);
         assert_eq!(wide.page_size(), 64);
+        // The resident bound held: a page of keys plus the summary spans.
+        assert!(wide.peak_resident() > 0);
+        assert!(wide.peak_resident() <= 64 + 2 * super::summary_cap_nodes(64));
+    }
+
+    #[test]
+    fn pruned_drains_match_and_prove_their_own_exhaustion() {
+        // A key-local instance (disjoint single-null facts whose constant
+        // columns align DFS order with key order): summary pruning has
+        // whole subtrees to retire as pages advance.
+        let mut db = IncompleteDatabase::new_non_uniform();
+        for i in 0..4u32 {
+            db.add_fact(
+                "R",
+                vec![Value::null(i), Value::constant(100 + u64::from(i))],
+            )
+            .unwrap();
+            db.set_domain(NullId(i), [0u64, 1, 2]).unwrap();
+        }
+        let expected: Vec<Database> = all_completions(&db).unwrap().into_iter().collect();
+        assert_eq!(expected.len(), 81);
+        for page_size in [1usize, 7, 16, 100] {
+            let mut stream = all_completions_stream(&db, page_size).unwrap();
+            let drained: Vec<Database> = stream.by_ref().collect();
+            assert_eq!(drained.len(), expected.len(), "page size {page_size}");
+            for completion in &drained {
+                assert!(expected.contains(completion));
+            }
+            // Exhaustion came from the summary, not an empty walk: every
+            // walk that ran produced a (partial) page. When the drain ends
+            // on a full page, the closing refill is walk-free.
+            assert_eq!(stream.fill_walks(), 81usize.div_ceil(page_size));
+            let closing = usize::from(81 % page_size == 0);
+            assert_eq!(stream.passes(), stream.fill_walks() + closing);
+        }
     }
 
     #[test]
