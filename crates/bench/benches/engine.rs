@@ -25,6 +25,14 @@
 //! (`walks_total`, `ranges_per_walk`, `evictions`) and the
 //! peak-resident high-water metric alongside the count checks.
 //!
+//! The `serve_*` rows measure the serving layer: the keyed session pool
+//! behind the `ServeNode` thread-per-core front-end against the identical
+//! front-end with `cache_key()` stripped (rebuild-per-request), at equal
+//! worker count. `serve_pool_reuse` isolates hot-key reuse (≥2× asserted
+//! below); `serve_mixed_traffic` replays the full workload shape — hot-key
+//! skew, cold keys, cursor resumes, invalidating writes — and carries the
+//! end-to-end latency percentiles and the pool hit rate.
+//!
 //! The `columnar_scan` and `wide_count_limbs` rows measure the columnar
 //! data layer: bulk candidate classification over the contiguous value
 //! arena vs the per-row name-keyed-map idiom it replaced, and the
@@ -63,9 +71,12 @@ use incdb_core::engine::{
     BacktrackingEngine, CompletionVisitor, CountingEngine, NaiveEngine, Tautology,
 };
 use incdb_data::{
-    CompletionKey, Constant, Grounding, HashRange, IncompleteDatabase, NullId, Value,
+    CompletionKey, Constant, Database, Grounding, HashRange, IncompleteDatabase, NullId, Value,
 };
-use incdb_query::{Bcq, BcqResidual, Homomorphism, PartialOutcome, ResidualState, Term};
+use incdb_query::{
+    Bcq, BcqResidual, BooleanQuery, Homomorphism, PartialOutcome, ResidualState, Term,
+};
+use incdb_serve::{Outcome, Request, ServeNode, Tenant};
 use incdb_stream::{all_completions_stream, count_completions_budgeted, count_completions_sharded};
 
 /// The pruning-friendly acceptance instance: a cycle of `nulls` binary facts
@@ -1095,6 +1106,244 @@ fn write_json_report(fast: bool) {
         });
     }
 
+    // Serving-layer rows (the keyed session pool behind the `ServeNode`
+    // front-end). Both rows drive the same thread-per-core front-end at the
+    // same worker count; the baseline node serves the *same* queries wrapped
+    // in `NoKey` — `cache_key()` stays the trait default `None` — so every
+    // checkout misses the pool and builds a session from scratch: the
+    // pre-pool serving idiom, differing from the pooled node by nothing but
+    // the cache key. The instance is a wide ground table, where session
+    // builds (grounding construction + residual compilation over the full
+    // table) dominate and walks retire in a handful of leaves — the regime
+    // a session pool exists for.
+    {
+        const SERVE_WORKERS: usize = 2;
+        const SERVE_FACTS: u64 = 30_000;
+        const REUSE_REQUESTS: usize = 64;
+        const MIXED_REQUESTS: usize = 96;
+
+        /// A query with its cache key stripped: same semantics, same
+        /// residual compilation, but unpoolable.
+        struct NoKey(Bcq);
+        impl BooleanQuery for NoKey {
+            fn holds(&self, db: &Database) -> bool {
+                self.0.holds(db)
+            }
+            fn signature(&self) -> std::collections::BTreeSet<String> {
+                self.0.signature()
+            }
+            fn holds_partial(&self, g: &Grounding) -> PartialOutcome {
+                self.0.holds_partial(g)
+            }
+            fn residual_state(&self, g: &Grounding) -> Option<Box<dyn ResidualState>> {
+                self.0.residual_state(g)
+            }
+            // `cache_key` stays the default `None`.
+        }
+
+        let mut db = wide_ground_cycle(2, 2, SERVE_FACTS);
+        db.declare_relation("T");
+
+        // `serve_pool_reuse`: a hot-key-only read workload on a root-refuted
+        // query (the `session_shard_reuse` regime): the pooled node builds a
+        // handful of sessions once and rewinds them forever; the stripped
+        // node rebuilds one per request. The ≥2× acceptance assert below
+        // guards this row.
+        let hot_refuted: Bcq = "R(x,x), T(x)".parse().unwrap();
+        let hot_refuted_alias: Bcq = "R(y,y), T(y)".parse().unwrap();
+        assert_eq!(
+            hot_refuted.cache_key(),
+            hot_refuted_alias.cache_key(),
+            "the renamed spelling must land on the same shelf"
+        );
+        let pooled = ServeNode::new(
+            db.clone(),
+            vec![&hot_refuted, &hot_refuted_alias],
+            vec![Tenant::new("bulk", 8)],
+        );
+        let stripped_hot = NoKey(hot_refuted.clone());
+        let stripped_alias = NoKey(hot_refuted_alias.clone());
+        let rebuild = ServeNode::new(
+            db.clone(),
+            vec![&stripped_hot, &stripped_alias],
+            vec![Tenant::new("bulk", 8)],
+        );
+        let reuse_batch = || -> Vec<Request> {
+            (0..REUSE_REQUESTS)
+                .map(|i| Request::Count {
+                    tenant: 0,
+                    query: i % 2,
+                })
+                .collect()
+        };
+        let expected = BacktrackingEngine::sequential()
+            .count_completions(&db, &hot_refuted)
+            .unwrap();
+        for reply in pooled.serve_with_workers(reuse_batch(), SERVE_WORKERS) {
+            assert_eq!(
+                reply.outcome,
+                Outcome::Count(expected.clone()),
+                "pooled count must match the engine"
+            );
+        }
+        for reply in rebuild.serve_with_workers(reuse_batch(), SERVE_WORKERS) {
+            assert_eq!(
+                reply.outcome,
+                Outcome::Count(expected.clone()),
+                "rebuild-per-request count must match the engine"
+            );
+        }
+        assert!(
+            pooled.pool().stats().reused > pooled.pool().stats().built,
+            "the warm pooled node must mostly reuse"
+        );
+        let rb = rebuild.pool().stats();
+        assert_eq!(rb.reused, 0, "the stripped node must never hit the pool");
+        assert_eq!(
+            rb.uncacheable, rb.built,
+            "every stripped request must build from scratch"
+        );
+        let naive_ns = median_ns(runs, || {
+            rebuild.serve_with_workers(reuse_batch(), SERVE_WORKERS);
+        });
+        let engine_ns = median_ns(runs, || {
+            pooled.serve_with_workers(reuse_batch(), SERVE_WORKERS);
+        });
+        let stats = pooled.pool().stats();
+        rows.push(JsonRow {
+            name: "serve_pool_reuse",
+            baseline: "serve_rebuild_per_request",
+            nulls: db.nulls().len() as u32,
+            valuations: db.valuation_count().to_string(),
+            naive_ns,
+            engine_ns,
+            extra: format!(
+                ", \"workers\": {SERVE_WORKERS}, \"requests\": {REUSE_REQUESTS}, \
+                 \"sessions_built\": {}, \"pool_hit_rate\": {:.4}",
+                stats.built,
+                stats.hit_rate()
+            ),
+        });
+
+        // `serve_mixed_traffic`: the full workload shape — ~60% hot-key
+        // traffic split across two spellings of the same query, cold keys,
+        // cursor resumes, and writes that bump the revision and shoot down
+        // every shelf — served end to end, fresh node per run so each run
+        // replays the identical invalidation schedule. The extras carry the
+        // end-to-end latency percentiles and the pool hit rate.
+        let hot: Bcq = "R(x,x)".parse().unwrap();
+        let hot_alias: Bcq = "R(y,y)".parse().unwrap();
+        let cold_scan: Bcq = "R(x,y)".parse().unwrap();
+        let tenants = || {
+            vec![
+                Tenant::new("bulk", 8),
+                Tenant::new("metered", 8).with_budget(2),
+            ]
+        };
+        // A genuine continuation cursor for the resume requests, minted by a
+        // throwaway node.
+        let seed = ServeNode::new(db.clone(), vec![&hot], tenants());
+        let seeded = seed.serve_with_workers(
+            vec![Request::Page {
+                tenant: 0,
+                query: 0,
+                page_size: 1,
+            }],
+            1,
+        );
+        let Outcome::Page { cursor, .. } = &seeded[0].outcome else {
+            panic!("seed page failed: {:?}", seeded[0].outcome);
+        };
+        let mixed_batch = |cursor: &str| -> Vec<Request> {
+            (0..MIXED_REQUESTS)
+                .map(|i| {
+                    if i % 24 == 17 {
+                        // A genuinely new fact each time: the revision bumps
+                        // and every shelf is invalidated mid-batch.
+                        return Request::Write {
+                            relation: "W".to_string(),
+                            fact: vec![Value::constant(1_000_000 + i as u64)],
+                        };
+                    }
+                    let query = match i % 10 {
+                        0..=5 => i % 2,
+                        6 | 7 => 2,
+                        _ => 3,
+                    };
+                    let tenant = i % 2;
+                    match i % 3 {
+                        0 => Request::Count { tenant, query },
+                        1 => Request::Page {
+                            tenant,
+                            query,
+                            page_size: 4,
+                        },
+                        _ => Request::CursorResume {
+                            tenant,
+                            query,
+                            page_size: 4,
+                            cursor: cursor.to_string(),
+                        },
+                    }
+                })
+                .collect()
+        };
+        let mixed_queries: Vec<&Bcq> = vec![&hot, &hot_alias, &cold_scan, &hot_refuted];
+        let stripped: Vec<NoKey> = [&hot, &hot_alias, &cold_scan, &hot_refuted]
+            .map(|q| NoKey(q.clone()))
+            .into_iter()
+            .collect();
+        let stripped_refs: Vec<&NoKey> = stripped.iter().collect();
+
+        // One instrumented run for the extras and the sanity checks.
+        let node = ServeNode::new(db.clone(), mixed_queries.clone(), tenants());
+        let replies = node.serve_with_workers(mixed_batch(cursor), SERVE_WORKERS);
+        for reply in &replies {
+            assert!(
+                !matches!(reply.outcome, Outcome::Error(_)),
+                "the mixed workload is well-formed: {:?}",
+                reply.outcome
+            );
+        }
+        let stats = node.pool().stats();
+        assert!(stats.invalidated > 0, "the writes must shoot down shelves");
+        assert!(
+            stats.reused > stats.built,
+            "hot-key skew must make reuse dominate even across invalidations"
+        );
+        let mut latencies: Vec<u64> = replies
+            .iter()
+            .map(|r| r.metrics.queue_wait_ns + r.metrics.service_ns)
+            .collect();
+        latencies.sort_unstable();
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+
+        let naive_ns = median_ns(runs, || {
+            let node = ServeNode::new(db.clone(), stripped_refs.clone(), tenants());
+            node.serve_with_workers(mixed_batch(cursor), SERVE_WORKERS);
+        });
+        let engine_ns = median_ns(runs, || {
+            let node = ServeNode::new(db.clone(), mixed_queries.clone(), tenants());
+            node.serve_with_workers(mixed_batch(cursor), SERVE_WORKERS);
+        });
+        rows.push(JsonRow {
+            name: "serve_mixed_traffic",
+            baseline: "serve_rebuild_per_request",
+            nulls: db.nulls().len() as u32,
+            valuations: db.valuation_count().to_string(),
+            naive_ns,
+            engine_ns,
+            extra: format!(
+                ", \"workers\": {SERVE_WORKERS}, \"requests\": {MIXED_REQUESTS}, \
+                 \"p50_ns\": {p50}, \"p95_ns\": {p95}, \"p99_ns\": {p99}, \
+                 \"pool_hit_rate\": {:.4}, \"invalidated\": {}",
+                stats.hit_rate(),
+                stats.invalidated
+            ),
+        });
+    }
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     if std::env::var("ENGINE_BENCH_NO_REGRESSION").is_err() {
         if let Ok(committed) = std::fs::read_to_string(path) {
@@ -1187,6 +1436,13 @@ fn write_json_report(fast: bool) {
             row.speedup()
         );
     }
+    let serve = rows.iter().find(|r| r.name == "serve_pool_reuse").unwrap();
+    assert!(
+        serve.speedup() >= 2.0,
+        "acceptance criterion: the keyed session pool must be ≥2× the \
+         rebuild-per-request front-end at equal workers (got {:.2}×)",
+        serve.speedup()
+    );
     let tiny_comp = rows.iter().find(|r| r.name == "tiny_comp_all").unwrap();
     assert!(
         tiny_comp.speedup() >= 1.0,

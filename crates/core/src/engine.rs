@@ -112,6 +112,11 @@ impl BooleanQuery for Tautology {
     fn holds_partial(&self, _grounding: &Grounding) -> PartialOutcome {
         PartialOutcome::Satisfied
     }
+
+    /// Every `Tautology` is the same query, so one fixed key suffices.
+    fn cache_key(&self) -> Option<String> {
+        Some("⊤".to_string())
+    }
 }
 
 /// Evaluates `q` under the grounding's *current* (total) assignment: the

@@ -34,11 +34,13 @@
 //!
 //! [`BacktrackingEngine`]: crate::engine::BacktrackingEngine
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use incdb_bignum::{BigNat, NatAccumulator};
-use incdb_data::{CompletionKey, Constant, DataError, Database, Grounding, IncompleteDatabase};
+use incdb_data::{
+    CompletionKey, Constant, DataError, Database, Grounding, IncompleteDatabase, PageHeap,
+};
 use incdb_query::{BooleanQuery, PartialOutcome, ResidualState};
 
 use crate::engine::TaskQueue;
@@ -290,6 +292,16 @@ impl PageSummary {
         vec![Mark::Unvisited; self.bottom_len()]
     }
 
+    /// Resets a previously used worksheet to all-[`Mark::Unvisited`] **in
+    /// place**, reusing its allocation — what a long-lived pager's
+    /// persistent per-worker scratch calls between page fills instead of
+    /// allocating a fresh [`worksheet`](PageSummary::worksheet) each time.
+    /// Adapts the length if the summary changed (e.g. a rebuilt session).
+    pub fn refresh_worksheet(&self, sheet: &mut Vec<Mark>) {
+        sheet.clear();
+        sheet.resize(self.bottom_len(), Mark::Unvisited);
+    }
+
     /// Folds one or more walk worksheets into the summary: bottom marks
     /// merge (unvisited sheet entries leave the carried mark untouched),
     /// then internal levels are re-derived bottom-up, keeping the previous
@@ -357,7 +369,7 @@ impl PageSummary {
 struct PageCtx<'c> {
     after: Option<&'c CompletionKey>,
     cap: usize,
-    page: &'c mut BTreeSet<CompletionKey>,
+    page: &'c mut PageHeap,
     scratch: CompletionKey,
     rec: Option<PageRecorder<'c>>,
 }
@@ -412,24 +424,7 @@ impl PageCtx<'_> {
     /// the page served — then offers the key to the page heap.
     fn admit(&mut self, node: usize) {
         self.observe(node);
-        if self.after.is_some_and(|after| self.scratch <= *after) {
-            return;
-        }
-        if self.page.len() >= self.cap {
-            // A full page only admits the candidate by displacing the
-            // current maximum; `>=` also rejects a re-arrival of the
-            // maximum itself.
-            let max = self.page.last().expect("cap is at least 1");
-            if self.scratch >= *max {
-                return;
-            }
-        }
-        // `insert` refuses duplicates, so the page only shrinks back when
-        // the candidate genuinely displaced the maximum — one tree
-        // traversal instead of a separate `contains` probe per candidate.
-        if self.page.insert(self.scratch.clone()) && self.page.len() > self.cap {
-            self.page.pop_last();
-        }
+        self.page.admit(&self.scratch, self.after, self.cap);
     }
 
     /// Marks bottom node `node` empty if nothing was observed (walk
@@ -554,7 +549,7 @@ pub struct StealGate<'a> {
 /// // One setup, many walks: count, then stream, on the same session.
 /// let mut session = SearchSession::new(&db, &q).unwrap();
 /// assert_eq!(session.count().to_u64(), Some(4));
-/// let mut page = std::collections::BTreeSet::new();
+/// let mut page = incdb_data::PageHeap::new();
 /// session.select_page(None, 2, &mut page);
 /// assert_eq!(page.len(), 2); // the 2 canonically smallest completions
 /// assert_eq!(session.count().to_u64(), Some(4)); // still at full strength
@@ -686,6 +681,25 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
         }
         self.changed.clear();
         self.path.clear();
+    }
+
+    /// The pool check-in contract: [`rewind`](SearchSession::rewind) plus a
+    /// debug-mode assertion that the session really is back at its root
+    /// state. Callers that shelve sessions for later reuse (a keyed session
+    /// pool) call this instead of `rewind` so a broken check-in is caught at
+    /// the shelf boundary, not at the next checkout's first walk.
+    pub fn quiesce(&mut self) {
+        self.rewind();
+        debug_assert!(self.is_quiescent());
+    }
+
+    /// Whether the session is at its root state — no bound path prefix and
+    /// no dirty-null notifications pending delivery to the residual state.
+    /// Holds after [`rewind`](SearchSession::rewind) /
+    /// [`quiesce`](SearchSession::quiesce) and before any walk; a pool
+    /// refuses (or repairs) check-ins where this is `false`.
+    pub fn is_quiescent(&self) -> bool {
+        self.path.is_empty() && self.changed.is_empty() && !self.g.has_dirty()
     }
 
     /// The query's outcome for the subtree below the grounding's current
@@ -898,12 +912,7 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
     /// `page` is not cleared first: pre-existing entries participate in the
     /// bound, so several selection walks (e.g. per-worker subtree walks of
     /// a parallel page fill) can accumulate into one heap.
-    pub fn select_page(
-        &mut self,
-        after: Option<&CompletionKey>,
-        cap: usize,
-        page: &mut BTreeSet<CompletionKey>,
-    ) {
+    pub fn select_page(&mut self, after: Option<&CompletionKey>, cap: usize, page: &mut PageHeap) {
         self.rewind();
         let mut ctx = PageCtx {
             after,
@@ -926,7 +935,7 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
         &mut self,
         after: Option<&CompletionKey>,
         cap: usize,
-        page: &mut BTreeSet<CompletionKey>,
+        page: &mut PageHeap,
         summary: &PageSummary,
         bottom: &mut [Mark],
     ) {
@@ -955,7 +964,7 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
         steal: Option<&StealGate<'_>>,
         after: Option<&CompletionKey>,
         cap: usize,
-        page: &mut BTreeSet<CompletionKey>,
+        page: &mut PageHeap,
     ) {
         self.start_task(prefix);
         let mut ctx = PageCtx {
@@ -983,7 +992,7 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
         steal: Option<&StealGate<'_>>,
         after: Option<&CompletionKey>,
         cap: usize,
-        page: &mut BTreeSet<CompletionKey>,
+        page: &mut PageHeap,
         summary: &PageSummary,
         bottom: &mut [Mark],
     ) {
@@ -1269,7 +1278,7 @@ mod tests {
         let mut keys = HashSet::new();
         assert!(session.visit_completions(&mut CollectKeys { keys: &mut keys }));
         assert_eq!(keys.len(), 3);
-        let mut page = BTreeSet::new();
+        let mut page = PageHeap::new();
         session.select_page(None, 2, &mut page);
         assert_eq!(page.len(), 2);
         assert_eq!(session.count(), BigNat::from(4u64));
@@ -1330,16 +1339,16 @@ mod tests {
 
         // Same for the selection walk: per-subtree pages merge to the
         // sequential page.
-        let mut sequential = BTreeSet::new();
+        let mut sequential = PageHeap::new();
         session.select_page(None, 3, &mut sequential);
         let first = session.order()[0];
         let dom: Vec<Constant> = session.grounding().domain_by_index(first).to_vec();
-        let mut merged = BTreeSet::new();
+        let mut merged = PageHeap::new();
         for value in dom {
             session.select_page_subtree(&[value], None, None, 3, &mut merged);
         }
         session.rewind();
-        assert_eq!(merged, sequential);
+        assert_eq!(merged.as_slice(), sequential.as_slice());
     }
 
     /// A mixed instance: R(⊥0,⊥1) over a shared domain (dirty — the two
@@ -1455,10 +1464,10 @@ mod tests {
             let mut pruned: Vec<CompletionKey> = Vec::new();
             let mut exhausted_early = false;
             loop {
-                let mut page = BTreeSet::new();
+                let mut page = PageHeap::new();
                 session.select_page(plain.last(), 3, &mut page);
                 let done = page.len() < 3;
-                plain.extend(page);
+                plain.extend(page.drain());
                 if done {
                     break;
                 }
@@ -1468,12 +1477,12 @@ mod tests {
                     exhausted_early = true;
                     break;
                 }
-                let mut page = BTreeSet::new();
+                let mut page = PageHeap::new();
                 let mut sheet = summary.worksheet();
                 session.select_page_recorded(pruned.last(), 3, &mut page, &summary, &mut sheet);
                 summary.absorb([sheet.as_slice()]);
                 let done = page.len() < 3;
-                pruned.extend(page);
+                pruned.extend(page.drain());
                 if done {
                     break;
                 }
@@ -1500,11 +1509,11 @@ mod tests {
         let mut got_pages: Vec<CompletionKey> = Vec::new();
         loop {
             // Reference page, unpruned sequential walk.
-            let mut reference = BTreeSet::new();
+            let mut reference = PageHeap::new();
             session.select_page(after.as_ref(), 4, &mut reference);
             // Parallel-style fill: one recorded subtree walk per first-level
             // branch, each with its own worksheet, merged afterwards.
-            let mut merged = BTreeSet::new();
+            let mut merged = PageHeap::new();
             let mut sheets: Vec<Vec<Mark>> = Vec::new();
             for &value in &dom {
                 let mut sheet = summary.worksheet();
@@ -1521,10 +1530,10 @@ mod tests {
             }
             session.rewind();
             summary.absorb(sheets.iter().map(Vec::as_slice));
-            assert_eq!(merged, reference);
+            assert_eq!(merged.as_slice(), reference.as_slice());
             let done = reference.len() < 4;
             expected_pages.extend(reference.iter().cloned());
-            got_pages.extend(merged);
+            got_pages.extend(merged.drain());
             after = expected_pages.last().cloned();
             if done {
                 break;
@@ -1564,12 +1573,12 @@ mod tests {
         let mut summary = PageSummary::plan(session.grounding(), session.order(), 64);
         assert!(summary.depth() >= 1, "two levels fit under 64 nodes");
         // First page, recorded: the 3 completions with ⊥0 = 0 sort first.
-        let mut page = BTreeSet::new();
+        let mut page = PageHeap::new();
         let mut sheet = summary.worksheet();
         session.select_page_recorded(None, 3, &mut page, &summary, &mut sheet);
         summary.absorb([sheet.as_slice()]);
         assert_eq!(page.len(), 3);
-        let cursor = page.iter().next_back().cloned().unwrap();
+        let cursor = page.last().cloned().unwrap();
         let served_nodes = (0..summary.levels[1].len())
             .filter(|&n| match &summary.levels[1][n] {
                 Mark::Span(_, max) => *max <= cursor,
@@ -1582,16 +1591,61 @@ mod tests {
             "first page must fully serve exactly the ⊥0 = 0 subtree"
         );
         // The pruned second page still returns the correct remainder.
-        let mut rest = BTreeSet::new();
+        let mut rest = PageHeap::new();
         let mut sheet = summary.worksheet();
         session.select_page_recorded(Some(&cursor), 8, &mut rest, &summary, &mut sheet);
         summary.absorb([sheet.as_slice()]);
         assert_eq!(rest.len(), 3, "three completions remain past the cursor");
         assert!(rest.iter().all(|k| *k > cursor));
         assert!(
-            summary.served(rest.iter().next_back()),
+            summary.served(rest.last()),
             "root span proves exhaustion after the drain"
         );
+    }
+
+    #[test]
+    fn quiesce_restores_the_check_in_invariant_after_any_walk() {
+        let db = mixed_instance();
+        let q = Tautology;
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        assert!(session.is_quiescent(), "fresh sessions are quiescent");
+        // A completed walk rewinds itself.
+        let _ = session.count();
+        assert!(session.is_quiescent());
+        // A direct subtree walk leaves bound state behind; quiesce clears it.
+        let first = session.order()[0];
+        let value = session.grounding().domain_by_index(first)[0];
+        let mut acc = NatAccumulator::new();
+        session.count_subtree(&[value], None, &mut acc);
+        assert!(!session.is_quiescent(), "subtree walks leave a bound path");
+        session.quiesce();
+        assert!(session.is_quiescent());
+        // An aborted walk likewise checks back in cleanly.
+        let mut abort = StopAfter {
+            seen: 0,
+            stop_after: 1,
+        };
+        assert!(!session.visit_completions(&mut abort));
+        session.quiesce();
+        assert!(session.is_quiescent());
+        // 4 nulls over {0,1} and 2 nulls over {0,1,2}: 2⁴·3² valuations.
+        assert_eq!(session.count(), BigNat::from(144u64));
+    }
+
+    #[test]
+    fn refresh_worksheet_reuses_the_allocation() {
+        let db = mixed_instance();
+        let q = Tautology;
+        let session = SearchSession::new(&db, &q).unwrap();
+        let summary = PageSummary::plan(session.grounding(), session.order(), 64);
+        let mut sheet = summary.worksheet();
+        let len = sheet.len();
+        let cap = sheet.capacity();
+        sheet[0] = Mark::Empty;
+        summary.refresh_worksheet(&mut sheet);
+        assert_eq!(sheet.len(), len);
+        assert!(sheet.iter().all(|m| matches!(m, Mark::Unvisited)));
+        assert_eq!(sheet.capacity(), cap, "refresh must not reallocate");
     }
 
     #[test]
@@ -1602,10 +1656,10 @@ mod tests {
         // Drain 5 completions two at a time through the keyset protocol.
         let mut seen: Vec<CompletionKey> = Vec::new();
         loop {
-            let mut page = BTreeSet::new();
+            let mut page = PageHeap::new();
             session.select_page(seen.last(), 2, &mut page);
             let got = page.len();
-            seen.extend(page);
+            seen.extend(page.drain());
             if got < 2 {
                 break;
             }

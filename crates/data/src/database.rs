@@ -48,6 +48,11 @@ pub struct Database {
     /// Relation ids sorted by name — the canonical iteration order (ids
     /// themselves are assigned in insertion order).
     order: Vec<RelId>,
+    /// Monotone mutation epoch: bumped by every fact insert, remove and
+    /// clear (see [`Database::revision`]). Excluded from equality, hashing
+    /// and ordering — two databases with the same fact set compare equal
+    /// whatever their histories.
+    revision: u64,
 }
 
 impl Database {
@@ -81,8 +86,36 @@ impl Database {
             }
             None => self.declare(relation),
         };
-        self.tables[rel.index()].insert(&fact);
+        let (_, inserted) = self.tables[rel.index()].insert(&fact);
+        if inserted {
+            self.revision += 1;
+        }
         Ok(())
+    }
+
+    /// Removes a ground fact, returning `true` when it was present. A
+    /// removal bumps [`Database::revision`]; removing an absent fact is a
+    /// no-op. The relation itself stays declared even when it empties.
+    pub fn remove_fact(&mut self, relation: &str, fact: &[Constant]) -> bool {
+        let removed = self
+            .registry
+            .get(relation)
+            .is_some_and(|rel| self.tables[rel.index()].remove(fact));
+        if removed {
+            self.revision += 1;
+        }
+        removed
+    }
+
+    /// The monotone mutation epoch of this value: bumped by every actual
+    /// fact insert, remove and [`Database::clear`] (no-op mutations such as
+    /// re-inserting a present fact leave it unchanged). Two values with
+    /// equal revisions and a shared history hold the same fact set, so a
+    /// serving layer can key cache invalidation on the epoch instead of
+    /// comparing fact sets. The epoch is *per value*: clones carry it
+    /// forward but advance independently.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Declares a relation name with no facts (useful so that `relations()`
@@ -115,6 +148,7 @@ impl Database {
         self.registry.clear();
         self.tables.clear();
         self.order.clear();
+        self.revision += 1;
     }
 
     /// The interned relation symbols.
@@ -424,5 +458,61 @@ mod tests {
         let mut db = Database::new();
         db.add_fact("R", vec![c(1), c(2)]).unwrap();
         assert_eq!(format!("{db:?}"), "{R(1,2)}");
+    }
+
+    #[test]
+    fn revision_bumps_on_every_actual_mutation() {
+        let mut db = Database::new();
+        assert_eq!(db.revision(), 0);
+        db.add_fact("R", vec![c(1)]).unwrap();
+        assert_eq!(db.revision(), 1);
+        // Re-inserting a present fact is a set-semantics no-op.
+        db.add_fact("R", vec![c(1)]).unwrap();
+        assert_eq!(db.revision(), 1);
+        db.add_fact("R", vec![c(2)]).unwrap();
+        assert_eq!(db.revision(), 2);
+        // Removing an absent fact is a no-op; a real removal bumps.
+        assert!(!db.remove_fact("R", &[c(9)]));
+        assert!(!db.remove_fact("S", &[c(1)]));
+        assert_eq!(db.revision(), 2);
+        assert!(db.remove_fact("R", &[c(2)]));
+        assert_eq!(db.revision(), 3);
+        assert!(!db.contains("R", &[c(2)]));
+        // Declaring a relation stores no facts and moves no epoch.
+        db.declare_relation("S");
+        assert_eq!(db.revision(), 3);
+        db.clear();
+        assert_eq!(db.revision(), 4);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn revision_is_invisible_to_equality_hashing_and_order() {
+        let mut a = Database::new();
+        a.add_fact("R", vec![c(1)]).unwrap();
+        let mut b = Database::new();
+        b.add_fact("R", vec![c(2)]).unwrap();
+        b.add_fact("R", vec![c(1)]).unwrap();
+        assert!(b.remove_fact("R", &[c(2)]));
+        assert_ne!(a.revision(), b.revision());
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        let mut h = std::collections::HashSet::new();
+        h.insert(a);
+        h.insert(b);
+        assert_eq!(h.len(), 1, "equal fact sets must hash identically");
+    }
+
+    #[test]
+    fn remove_fact_shifts_later_row_ids_down() {
+        let mut db = Database::new();
+        db.add_fact("R", vec![c(1), c(2)]).unwrap();
+        db.add_fact("R", vec![c(3), c(4)]).unwrap();
+        db.add_fact("R", vec![c(5), c(6)]).unwrap();
+        assert!(db.remove_fact("R", &[c(3), c(4)]));
+        let rel = db.rel_id("R").unwrap();
+        assert_eq!(db.table(rel).len(), 2);
+        assert_eq!(db.fact(rel, FactId(0)), &[c(1), c(2)]);
+        assert_eq!(db.fact(rel, FactId(1)), &[c(5), c(6)]);
     }
 }

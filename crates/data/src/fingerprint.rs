@@ -54,6 +54,168 @@ pub fn materialize_completion(rel_names: &[String], key: &CompletionKey) -> Data
     out
 }
 
+/// A bounded, reusable buffer of [`CompletionKey`]s in ascending canonical
+/// order — the page accumulator of the bounded selection walks
+/// (`SearchSession::select_page*` in `incdb-core`) and of the streaming
+/// pager built on them.
+///
+/// The heap replaces the `BTreeSet<CompletionKey>` the selection walks used
+/// to fill: a sorted `Vec` gives the same `len`/`last`/insert/`pop_last`
+/// protocol, and — the point — **retains its allocations across uses**.
+/// Keys displaced from a full page (or cleared between page fills) retire
+/// into a spare list instead of being dropped; the next insertion reuses a
+/// retired key's buffers via `clone_from`. A long-lived pager (one
+/// [`CompletionStream`] draining thousands of pages, or a serving layer's
+/// per-worker scratch) therefore stops paying per-candidate heap churn
+/// once the first page has warmed the buffers, pinned by
+/// [`PageHeap::fresh_keys`].
+///
+/// [`CompletionStream`]: ../../incdb_stream/struct.CompletionStream.html
+#[derive(Debug, Clone, Default)]
+pub struct PageHeap {
+    /// The held keys, sorted ascending and deduplicated.
+    keys: Vec<CompletionKey>,
+    /// Retired keys kept for allocation reuse; contents are meaningless.
+    spare: Vec<CompletionKey>,
+    /// How many keys were ever allocated from scratch (no spare available)
+    /// — the allocation-count observable the amortisation tests pin.
+    fresh_keys: u64,
+}
+
+impl PageHeap {
+    /// Creates an empty heap.
+    pub fn new() -> PageHeap {
+        PageHeap::default()
+    }
+
+    /// The number of keys currently held.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` when no key is held.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The smallest held key.
+    pub fn first(&self) -> Option<&CompletionKey> {
+        self.keys.first()
+    }
+
+    /// The largest held key.
+    pub fn last(&self) -> Option<&CompletionKey> {
+        self.keys.last()
+    }
+
+    /// The held keys in ascending canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &CompletionKey> {
+        self.keys.iter()
+    }
+
+    /// The held keys as one ascending slice.
+    pub fn as_slice(&self) -> &[CompletionKey] {
+        &self.keys
+    }
+
+    /// How many keys were allocated from scratch over this heap's lifetime
+    /// (insertions that found no retired key to reuse). A warmed heap
+    /// serving bounded pages stops advancing this counter: every displaced
+    /// key funds a later insertion.
+    pub fn fresh_keys(&self) -> u64 {
+        self.fresh_keys
+    }
+
+    /// Inserts a copy of `key` unless already present, reusing a retired
+    /// key's allocations when one is available. Returns `true` if the heap
+    /// grew.
+    pub fn insert(&mut self, key: &CompletionKey) -> bool {
+        match self.keys.binary_search(key) {
+            Ok(_) => false,
+            Err(at) => {
+                let mut slot = match self.spare.pop() {
+                    Some(spare) => spare,
+                    None => {
+                        self.fresh_keys += 1;
+                        CompletionKey::new()
+                    }
+                };
+                slot.clone_from(key);
+                self.keys.insert(at, slot);
+                true
+            }
+        }
+    }
+
+    /// Removes the largest key, retiring its allocations for reuse.
+    pub fn pop_last(&mut self) {
+        if let Some(key) = self.keys.pop() {
+            self.spare.push(key);
+        }
+    }
+
+    /// The bounded-page admission protocol shared by every selection walk:
+    /// offers `key` to a page of at most `cap` keys strictly greater than
+    /// `after`, displacing the current maximum when the page is full and
+    /// `key` sorts below it. Returns `true` if the key entered the page.
+    ///
+    /// Pre-existing keys participate in the bound, so several walks (e.g.
+    /// per-worker subtree walks of a parallel page fill) can accumulate
+    /// into one heap — or a merge step can [`admit`](PageHeap::admit) one
+    /// heap's keys into another.
+    pub fn admit(
+        &mut self,
+        key: &CompletionKey,
+        after: Option<&CompletionKey>,
+        cap: usize,
+    ) -> bool {
+        let cap = cap.max(1);
+        if after.is_some_and(|a| key <= a) {
+            return false;
+        }
+        if self.keys.len() >= cap {
+            // A full page only admits the candidate by displacing the
+            // current maximum; `>=` also rejects a re-arrival of the
+            // maximum itself.
+            let max = self.keys.last().expect("cap is at least 1");
+            if key >= max {
+                return false;
+            }
+        }
+        // `insert` refuses duplicates, so the page only shrinks back when
+        // the candidate genuinely displaced the maximum.
+        if self.insert(key) {
+            if self.keys.len() > cap {
+                self.pop_last();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties the heap, retiring every key's allocations for reuse.
+    pub fn clear(&mut self) {
+        self.spare.append(&mut self.keys);
+    }
+
+    /// Moves the held keys out in ascending order, leaving the heap empty.
+    /// The moved keys take their allocations with them (they now belong to
+    /// the caller); the heap's own backbone and spare list are retained.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, CompletionKey> {
+        self.keys.drain(..)
+    }
+}
+
+impl<'a> IntoIterator for &'a PageHeap {
+    type Item = &'a CompletionKey;
+    type IntoIter = std::slice::Iter<'a, CompletionKey>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.keys.iter()
+    }
+}
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
@@ -276,6 +438,75 @@ mod tests {
         assert_eq!(HashRange::find(&gappy, 100), None);
         assert_eq!(HashRange::find(&gappy, u64::MAX), None);
         assert_eq!(HashRange::find(&[], 7), None);
+    }
+
+    #[test]
+    fn page_heap_admission_matches_the_btreeset_protocol() {
+        use std::collections::BTreeSet;
+        // Differential check: admitting a pseudo-random candidate stream
+        // into a PageHeap reproduces the reference BTreeSet page for every
+        // (after, cap) combination.
+        let candidates: Vec<CompletionKey> = (0..60u64)
+            .map(|i| key(&[(0, &[i * 7919 % 23]), (1, &[i % 5, i % 3])]))
+            .collect();
+        let afters = [None, Some(key(&[(0, &[4])])), Some(key(&[(2, &[0])]))];
+        for after in &afters {
+            for cap in [1usize, 3, 8] {
+                let mut heap = PageHeap::new();
+                let mut reference: BTreeSet<CompletionKey> = BTreeSet::new();
+                for c in &candidates {
+                    heap.admit(c, after.as_ref(), cap);
+                    if after.as_ref().is_none_or(|a| c > a) {
+                        reference.insert(c.clone());
+                        if reference.len() > cap {
+                            reference.pop_last();
+                        }
+                    }
+                }
+                let got: Vec<&CompletionKey> = heap.iter().collect();
+                let want: Vec<&CompletionKey> = reference.iter().collect();
+                assert_eq!(got, want, "after {after:?} cap {cap}");
+                assert_eq!(heap.len(), reference.len());
+                assert_eq!(heap.last(), reference.last());
+                assert_eq!(heap.first(), reference.first());
+            }
+        }
+    }
+
+    #[test]
+    fn page_heap_reuses_retired_keys_across_fills() {
+        // Capacity-retention pin: once one bounded fill has warmed the
+        // buffers, further fills (and the churn inside them) allocate no
+        // fresh keys — displaced and cleared keys fund every insertion.
+        let candidates: Vec<CompletionKey> = (0..40u64)
+            .map(|i| key(&[(0, &[(i * 31) % 40, i])]))
+            .collect();
+        let mut heap = PageHeap::new();
+        for c in &candidates {
+            heap.admit(c, None, 8);
+        }
+        let after_first_fill = heap.fresh_keys();
+        // The page bound caps live keys; churn retired the displaced ones.
+        assert_eq!(heap.len(), 8);
+        assert!(after_first_fill <= candidates.len() as u64);
+        for _round in 0..5 {
+            heap.clear();
+            assert!(heap.is_empty());
+            for c in &candidates {
+                heap.admit(c, None, 8);
+            }
+            assert_eq!(heap.len(), 8);
+            assert_eq!(
+                heap.fresh_keys(),
+                after_first_fill,
+                "a warmed heap must not allocate fresh keys"
+            );
+        }
+        // Draining hands the keys (and their allocations) to the caller;
+        // only then do fresh allocations resume.
+        let drained: Vec<CompletionKey> = heap.drain().collect();
+        assert_eq!(drained.len(), 8);
+        assert!(drained.windows(2).all(|w| w[0] < w[1]), "ascending drain");
     }
 
     #[test]

@@ -475,6 +475,14 @@ impl Grounding {
         self.dirty.clear();
     }
 
+    /// Whether any null changed since the last
+    /// [`drain_dirty_into`](Grounding::drain_dirty_into) — i.e. a watcher
+    /// notification is pending. A quiescence probe for callers that shelve
+    /// walk state between uses.
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
     /// The current value of a null, if bound.
     pub fn value(&self, null: NullId) -> Option<Constant> {
         self.index_of.get(&null).and_then(|&i| self.assignment[i])

@@ -33,11 +33,26 @@ pub type NullDomains = (Vec<NullId>, Vec<Arc<[Constant]>>);
 /// ([`IncompleteDatabase::apply`]); duplicate facts collapse because
 /// completions use set semantics (closed-world assumption, Section 2 of the
 /// paper).
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct IncompleteDatabase {
     relations: BTreeMap<String, BTreeSet<IncompleteFact>>,
     domains: DomainAssignment,
+    /// Monotone mutation epoch: bumped by every change that can affect
+    /// completions — fact inserts/removals, new relation declarations
+    /// (they shift the canonical relation order) and domain updates. See
+    /// [`IncompleteDatabase::revision`]. Excluded from equality.
+    revision: u64,
 }
+
+impl PartialEq for IncompleteDatabase {
+    fn eq(&self, other: &Self) -> bool {
+        // The revision is history, not content: two databases with the
+        // same table and domains are equal whatever their edit histories.
+        self.relations == other.relations && self.domains == other.domains
+    }
+}
+
+impl Eq for IncompleteDatabase {}
 
 impl IncompleteDatabase {
     /// Creates an empty incomplete database in the non-uniform setting
@@ -46,6 +61,7 @@ impl IncompleteDatabase {
         IncompleteDatabase {
             relations: BTreeMap::new(),
             domains: DomainAssignment::non_uniform(),
+            revision: 0,
         }
     }
 
@@ -59,6 +75,7 @@ impl IncompleteDatabase {
         IncompleteDatabase {
             relations: BTreeMap::new(),
             domains: DomainAssignment::uniform(domain),
+            revision: 0,
         }
     }
 
@@ -81,26 +98,69 @@ impl IncompleteDatabase {
                 }
             }
         }
-        self.relations
+        let is_new_relation = !self.relations.contains_key(relation);
+        let inserted = self
+            .relations
             .entry(relation.to_string())
             .or_default()
             .insert(fact);
+        if is_new_relation || inserted {
+            self.revision += 1;
+        }
         Ok(())
     }
 
-    /// Declares a relation with no facts.
-    pub fn declare_relation(&mut self, relation: &str) {
-        self.relations.entry(relation.to_string()).or_default();
+    /// Removes a fact from relation `relation`, returning `true` when it was
+    /// present. A removal bumps [`IncompleteDatabase::revision`]; removing
+    /// an absent fact is a no-op. The relation stays declared even when it
+    /// empties (the canonical relation order is unchanged).
+    pub fn remove_fact(&mut self, relation: &str, fact: &IncompleteFact) -> bool {
+        let removed = self
+            .relations
+            .get_mut(relation)
+            .is_some_and(|facts| facts.remove(fact));
+        if removed {
+            self.revision += 1;
+        }
+        removed
     }
 
-    /// Sets the domain of a null (non-uniform databases only).
+    /// Declares a relation with no facts. Declaring a *new* relation bumps
+    /// [`IncompleteDatabase::revision`]: it shifts the canonical
+    /// (lexicographic) relation order that completion fingerprints and
+    /// cursors are indexed against.
+    pub fn declare_relation(&mut self, relation: &str) {
+        if !self.relations.contains_key(relation) {
+            self.relations.insert(relation.to_string(), BTreeSet::new());
+            self.revision += 1;
+        }
+    }
+
+    /// Sets the domain of a null (non-uniform databases only). A successful
+    /// update bumps [`IncompleteDatabase::revision`] — domain changes
+    /// change the completion set just as fact edits do.
     pub fn set_domain<I>(&mut self, null: NullId, domain: I) -> Result<(), DataError>
     where
         I: IntoIterator,
         I::Item: Into<Constant>,
     {
         let dom: Domain = domain.into_iter().map(Into::into).collect();
-        self.domains.set(null, dom)
+        self.domains.set(null, dom)?;
+        self.revision += 1;
+        Ok(())
+    }
+
+    /// The monotone mutation epoch of this value: bumped by every mutation
+    /// that can change the completion set or its canonical order — actual
+    /// fact inserts and removals, new relation declarations and domain
+    /// updates. No-op mutations (re-adding a present fact, re-declaring a
+    /// known relation) leave it unchanged. A serving layer keys session
+    /// caches on `(revision, query)`: any entry built at an older revision
+    /// is provably stale. The epoch is *per value*: clones carry it forward
+    /// but advance independently, so revisions are only comparable along
+    /// one value's own history.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Returns the domain assignment.
@@ -353,6 +413,9 @@ impl IncompleteDatabase {
                 .map(|(name, facts)| (name.clone(), facts.clone()))
                 .collect(),
             domains: self.domains.clone(),
+            // A derived value starts its own epoch: its revisions are not
+            // comparable with the source's.
+            revision: 0,
         }
     }
 
@@ -595,5 +658,57 @@ mod tests {
         let mut db = IncompleteDatabase::new_uniform([0u64]);
         db.add_fact("R", vec![c(1), n(2)]).unwrap();
         assert_eq!(format!("{db}"), "{R(1,⊥2)}");
+    }
+
+    #[test]
+    fn revision_bumps_on_completion_affecting_mutations_only() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        assert_eq!(db.revision(), 0);
+        db.add_fact("R", vec![c(1), n(0)]).unwrap();
+        assert_eq!(db.revision(), 1);
+        // Set-semantics duplicate: no change, no bump.
+        db.add_fact("R", vec![c(1), n(0)]).unwrap();
+        assert_eq!(db.revision(), 1);
+        // A new relation shifts the canonical relation order.
+        db.declare_relation("S");
+        assert_eq!(db.revision(), 2);
+        db.declare_relation("S");
+        assert_eq!(db.revision(), 2);
+        // Domain updates change the completion set.
+        db.set_domain(NullId(0), [0u64, 1]).unwrap();
+        assert_eq!(db.revision(), 3);
+        // Rejected mutations leave the epoch untouched.
+        assert!(db.add_fact("R", vec![c(1)]).is_err());
+        assert_eq!(db.revision(), 3);
+        // Removals bump only when the fact was present.
+        assert!(!db.remove_fact("R", &vec![c(9), n(0)]));
+        assert!(!db.remove_fact("T", &vec![c(1)]));
+        assert_eq!(db.revision(), 3);
+        assert!(db.remove_fact("R", &vec![c(1), n(0)]));
+        assert_eq!(db.revision(), 4);
+        assert_eq!(db.relation_size("R"), 0);
+        // The emptied relation stays declared.
+        assert_eq!(
+            db.relation_names().collect::<Vec<_>>(),
+            vec!["R", "S"],
+            "removal must not undeclare the relation"
+        );
+    }
+
+    #[test]
+    fn revision_is_invisible_to_equality() {
+        let mut a = IncompleteDatabase::new_non_uniform();
+        a.add_fact("R", vec![n(0)]).unwrap();
+        a.set_domain(NullId(0), [0u64, 1]).unwrap();
+        let mut b = IncompleteDatabase::new_non_uniform();
+        b.add_fact("R", vec![n(0)]).unwrap();
+        b.add_fact("R", vec![n(1)]).unwrap();
+        assert!(b.remove_fact("R", &vec![n(1)]));
+        b.set_domain(NullId(0), [0u64, 1]).unwrap();
+        assert_ne!(a.revision(), b.revision());
+        assert_eq!(
+            a, b,
+            "equal table and domains ⇒ equal, whatever the history"
+        );
     }
 }

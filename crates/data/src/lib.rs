@@ -57,7 +57,9 @@ pub mod value;
 pub use database::{Database, GroundFact};
 pub use domain::{Domain, DomainAssignment};
 pub use error::DataError;
-pub use fingerprint::{fingerprint_hash, materialize_completion, CompletionKey, HashRange};
+pub use fingerprint::{
+    fingerprint_hash, materialize_completion, CompletionKey, HashRange, PageHeap,
+};
 pub use grounding::{Grounding, KeyPlan, Occurrence, Separability};
 pub use incomplete::{IncompleteDatabase, IncompleteFact, NullDomains};
 pub use interner::{ConstantPool, RelId, SymbolRegistry};

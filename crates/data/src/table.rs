@@ -226,6 +226,23 @@ impl Table {
         }
     }
 
+    /// Removes a fact if present, keeping the arena sorted. Returns `true`
+    /// when the fact was stored (and is now gone). Row ids of facts sorting
+    /// after the removed one shift down by one.
+    pub fn remove(&mut self, fact: &[Constant]) -> bool {
+        if fact.len() != self.arity || self.arity == 0 {
+            return false;
+        }
+        match self.search(fact) {
+            Ok(i) => {
+                let at = i * self.arity;
+                self.data.drain(at..at + self.arity);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Removes every fact, keeping the arity constraint.
     pub fn clear(&mut self) {
         self.data.clear();

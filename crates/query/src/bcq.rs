@@ -214,6 +214,40 @@ impl BooleanQuery for Bcq {
     ) -> Option<Box<dyn crate::ResidualState>> {
         Some(Box::new(crate::BcqResidual::new(self, grounding)))
     }
+
+    /// Canonicalises **bound variable names only** (`x0, x1, …` in order of
+    /// first appearance), keeping relation symbols and atom order verbatim.
+    /// Unlike [`Bcq::canonical_form`] — which also renames relations and is
+    /// therefore only a corpus-deduplication tool — this key never merges
+    /// semantically distinct queries: `A(x)` and `B(x)` keep distinct keys,
+    /// while `R(u,v)` and `R(x,y)` share one.
+    fn cache_key(&self) -> Option<String> {
+        let mut var_map: BTreeMap<Variable, String> = BTreeMap::new();
+        let mut key = String::from("bcq:");
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                key.push('∧');
+            }
+            key.push_str(atom.relation());
+            key.push('(');
+            for (j, term) in atom.terms().iter().enumerate() {
+                if j > 0 {
+                    key.push(',');
+                }
+                match term {
+                    Term::Var(v) => {
+                        let next = format!("x{}", var_map.len());
+                        key.push_str(var_map.entry(v.clone()).or_insert(next));
+                    }
+                    Term::Const(c) => {
+                        key.push_str(&c.to_string());
+                    }
+                }
+            }
+            key.push(')');
+        }
+        Some(key)
+    }
 }
 
 impl fmt::Debug for Bcq {
@@ -304,6 +338,29 @@ impl FromStr for Bcq {
 mod tests {
     use super::*;
     use incdb_data::Constant;
+
+    #[test]
+    fn cache_key_renames_variables_but_never_relations() {
+        // Bound-variable names are immaterial: one shared key.
+        let a: Bcq = "R(u,v), S(v)".parse().unwrap();
+        let b: Bcq = "R(x,y), S(y)".parse().unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_eq!(a.cache_key().unwrap(), "bcq:R(x0,x1)∧S(x1)");
+
+        // Relation symbols are semantics: distinct keys, even though
+        // `canonical_form` would collapse both to `R0(x0)`.
+        let p: Bcq = "A(x)".parse().unwrap();
+        let q: Bcq = "B(x)".parse().unwrap();
+        assert_ne!(p.cache_key(), q.cache_key());
+        assert_eq!(
+            p.canonical_form().to_string(),
+            q.canonical_form().to_string()
+        );
+
+        // Repeated variables and constants survive canonically.
+        let r: Bcq = "R(z,z,7)".parse().unwrap();
+        assert_eq!(r.cache_key().unwrap(), "bcq:R(x0,x0,7)");
+    }
 
     #[test]
     fn parse_simple_queries() {

@@ -115,4 +115,19 @@ pub trait BooleanQuery {
     fn residual_state(&self, _grounding: &Grounding) -> Option<Box<dyn ResidualState>> {
         None
     }
+
+    /// A canonical cache key for this query, or `None` when the query type
+    /// cannot name itself — uncacheable queries are still served, they just
+    /// never share pooled walk state.
+    ///
+    /// Soundness contract: two queries may return the **same** key only if
+    /// they are semantically identical over every database. Keys must
+    /// therefore keep relation symbols verbatim (renaming `A(x)` and `B(x)`
+    /// to a common form would make distinct queries collide) and may only
+    /// canonicalise what provably does not change meaning, such as bound
+    /// variable names. Session pools key shelved sessions by
+    /// `(database revision, cache_key)`.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
 }

@@ -1,0 +1,374 @@
+//! The thread-per-core front-end: a [`ServeNode`] owns one incomplete
+//! database behind a read/write lock, a catalog of prepared queries, a
+//! tenant table, and a [`SessionPool`] — and multiplexes batches of
+//! [`Request`]s across worker threads.
+//!
+//! Read requests ([`Request::Count`], [`Request::Page`],
+//! [`Request::CursorResume`]) check a session out of the pool under the
+//! read lock, drop the lock (the session snapshots the data, so walks
+//! never block writers), walk, and check the session back in. Writes take
+//! the write lock, mutate (bumping
+//! [`IncompleteDatabase::revision`]), and purge the pool's now-stale
+//! shelves. Every reply carries [`RequestMetrics`]: queue wait, walk time,
+//! and whether the pool had to build a session.
+//!
+//! Memory discipline is per tenant: a [`Tenant`]'s
+//! [`StreamOptions::fingerprint_budget`] clamps the page size of every
+//! walk serving it — pages and counting drains alike stay within
+//! `O(budget)` resident fingerprints, the serving-layer face of the
+//! streaming subsystem's memory-vs-passes trade-off.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, RwLock};
+use std::thread;
+use std::time::Instant;
+
+use incdb_bignum::BigNat;
+use incdb_data::{CompletionKey, IncompleteDatabase, PageHeap, Value};
+use incdb_query::BooleanQuery;
+use incdb_stream::stream::page_from_session;
+use incdb_stream::{Cursor, StreamOptions};
+
+use crate::pool::SessionPool;
+
+/// A client class with its own memory discipline.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Display name, echoed in errors.
+    pub name: String,
+    /// The tenant's streaming options. `fingerprint_budget` bounds the
+    /// resident fingerprints of any walk run on this tenant's behalf by
+    /// clamping page sizes; `threads` is not consulted here — the node's
+    /// thread-per-core front-end supplies the parallelism.
+    pub options: StreamOptions,
+    /// Hard page-size ceiling, applied after the budget clamp.
+    pub max_page_size: usize,
+}
+
+impl Tenant {
+    /// A tenant with no fingerprint budget and the given page ceiling.
+    pub fn new(name: impl Into<String>, max_page_size: usize) -> Tenant {
+        Tenant {
+            name: name.into(),
+            options: StreamOptions::default(),
+            max_page_size: max_page_size.max(1),
+        }
+    }
+
+    /// Builder-style fingerprint budget.
+    pub fn with_budget(mut self, budget: usize) -> Tenant {
+        self.options.fingerprint_budget = Some(budget.max(1));
+        self
+    }
+
+    /// The page size actually served for a request of `requested`: at
+    /// least 1, at most the tenant ceiling, at most the fingerprint
+    /// budget.
+    pub fn clamp_page(&self, requested: usize) -> usize {
+        let mut page = requested.clamp(1, self.max_page_size);
+        if let Some(budget) = self.options.fingerprint_budget {
+            page = page.min(budget.max(1));
+        }
+        page
+    }
+}
+
+/// One client request. Queries and tenants are referenced by index into
+/// the node's catalogs — the serving layer's "prepared statement"
+/// discipline, which is also what lets pooled sessions borrow the query
+/// for as long as the node lives.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// How many distinct completions satisfy the query? Served by paging
+    /// the canonical order on a pooled session, so resident memory stays
+    /// within the tenant's clamp whatever the true count is.
+    Count { tenant: usize, query: usize },
+    /// The first `page_size` completions in canonical order.
+    Page {
+        tenant: usize,
+        query: usize,
+        page_size: usize,
+    },
+    /// The next `page_size` completions after a wire-format cursor
+    /// previously returned in [`Outcome::Page`].
+    CursorResume {
+        tenant: usize,
+        query: usize,
+        page_size: usize,
+        cursor: String,
+    },
+    /// Inserts a fact, bumping the database revision and invalidating
+    /// every pooled session built before it.
+    Write { relation: String, fact: Vec<Value> },
+}
+
+/// What a request produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The distinct-completion count of a [`Request::Count`].
+    Count(BigNat),
+    /// One served page: the completion keys in canonical order, the
+    /// encoded cursor to resume after them, and whether the enumeration
+    /// is exhausted (a short page).
+    Page {
+        keys: Vec<CompletionKey>,
+        cursor: String,
+        exhausted: bool,
+    },
+    /// A write landed; `revision` is the database epoch after it.
+    Wrote { revision: u64 },
+    /// The request was malformed (unknown tenant/query index, undecodable
+    /// cursor, arity mismatch, …). The batch keeps going.
+    Error(String),
+}
+
+/// Per-request accounting, returned with every reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestMetrics {
+    /// Nanoseconds between enqueue and a worker picking the request up.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds spent walking (page fills, counting drains); zero for
+    /// writes and errors.
+    pub walk_ns: u64,
+    /// Nanoseconds from a worker picking the request up to its reply being
+    /// ready — checkout (including any session build), walk, check-in, and
+    /// for writes the locked mutation. `queue_wait_ns + service_ns` is the
+    /// request's end-to-end latency from batch submission.
+    pub service_ns: u64,
+    /// Whether serving this request built a session from scratch (`false`
+    /// when the pool had one shelved, and for writes/errors).
+    pub session_built: bool,
+}
+
+/// The reply to one [`Request`], tagged with its index in the submitted
+/// batch (replies are returned sorted by it).
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Index of the request in the batch passed to [`ServeNode::serve`].
+    pub request: usize,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Where the time went.
+    pub metrics: RequestMetrics,
+}
+
+/// A serving node: one database, a prepared-query catalog, a tenant
+/// table, and the session pool that makes repeat traffic cheap. See the
+/// [module docs](self).
+pub struct ServeNode<'q, Q: BooleanQuery + Sync + ?Sized> {
+    db: RwLock<IncompleteDatabase>,
+    queries: Vec<&'q Q>,
+    tenants: Vec<Tenant>,
+    pool: SessionPool<'q, Q>,
+}
+
+impl<'q, Q: BooleanQuery + Sync + ?Sized> ServeNode<'q, Q> {
+    /// A node serving `db` for the given prepared queries and tenants.
+    pub fn new(db: IncompleteDatabase, queries: Vec<&'q Q>, tenants: Vec<Tenant>) -> Self {
+        ServeNode {
+            db: RwLock::new(db),
+            queries,
+            tenants,
+            pool: SessionPool::new(),
+        }
+    }
+
+    /// The session pool (for stats and tests).
+    pub fn pool(&self) -> &SessionPool<'q, Q> {
+        &self.pool
+    }
+
+    /// The database's current mutation epoch.
+    pub fn revision(&self) -> u64 {
+        self.db.read().expect("db lock poisoned").revision()
+    }
+
+    /// A clone of the current database state (differential tests compare
+    /// served answers against fresh computations over this).
+    pub fn snapshot(&self) -> IncompleteDatabase {
+        self.db.read().expect("db lock poisoned").clone()
+    }
+
+    /// Serves a batch on one worker per available core.
+    pub fn serve(&self, requests: Vec<Request>) -> Vec<Reply> {
+        let workers = thread::available_parallelism().map_or(4, |n| n.get());
+        self.serve_with_workers(requests, workers)
+    }
+
+    /// Serves a batch of requests on `workers` threads pulling from a
+    /// shared queue, returning one reply per request (sorted by request
+    /// index). Requests run concurrently; each individual reply is
+    /// computed against the database revision current when its worker
+    /// picked it up.
+    pub fn serve_with_workers(&self, requests: Vec<Request>, workers: usize) -> Vec<Reply> {
+        let total = requests.len();
+        let enqueued = Instant::now();
+        let queue: Mutex<VecDeque<(usize, Request)>> =
+            Mutex::new(requests.into_iter().enumerate().collect());
+        let replies: Mutex<Vec<Reply>> = Mutex::new(Vec::with_capacity(total));
+        thread::scope(|scope| {
+            for _ in 0..workers.max(1) {
+                scope.spawn(|| {
+                    // One page heap per worker, reused across every request
+                    // it serves — the same allocation-recycling discipline
+                    // the stream's fill scratch uses.
+                    let mut heap = PageHeap::new();
+                    loop {
+                        let job = queue.lock().expect("queue lock poisoned").pop_front();
+                        let Some((idx, request)) = job else {
+                            break;
+                        };
+                        let queue_wait_ns = enqueued.elapsed().as_nanos() as u64;
+                        let reply = self.handle(idx, request, queue_wait_ns, &mut heap);
+                        replies.lock().expect("reply lock poisoned").push(reply);
+                    }
+                });
+            }
+        });
+        let mut out = replies.into_inner().expect("reply lock poisoned");
+        out.sort_by_key(|reply| reply.request);
+        out
+    }
+
+    /// Serves one request (see [`serve`](ServeNode::serve) for the
+    /// concurrency contract).
+    fn handle(
+        &self,
+        idx: usize,
+        request: Request,
+        queue_wait_ns: u64,
+        heap: &mut PageHeap,
+    ) -> Reply {
+        let mut metrics = RequestMetrics {
+            queue_wait_ns,
+            ..RequestMetrics::default()
+        };
+        let picked_up = Instant::now();
+        let outcome = match request {
+            Request::Count { tenant, query } => self.read_request(tenant, query, |t, lease| {
+                metrics.session_built = !lease.was_reused();
+                let page = t.clamp_page(t.max_page_size);
+                let started = Instant::now();
+                let mut cursor = Cursor::start();
+                let mut count = 0u64;
+                loop {
+                    cursor = page_from_session(&mut lease.session, &cursor, page, heap);
+                    count += heap.len() as u64;
+                    if heap.len() < page {
+                        break;
+                    }
+                }
+                metrics.walk_ns = started.elapsed().as_nanos() as u64;
+                Outcome::Count(BigNat::from(count))
+            }),
+            Request::Page {
+                tenant,
+                query,
+                page_size,
+            } => self.page_request(
+                tenant,
+                query,
+                page_size,
+                Cursor::start(),
+                &mut metrics,
+                heap,
+            ),
+            Request::CursorResume {
+                tenant,
+                query,
+                page_size,
+                cursor,
+            } => match Cursor::decode(&cursor) {
+                Ok(cursor) => {
+                    self.page_request(tenant, query, page_size, cursor, &mut metrics, heap)
+                }
+                Err(err) => Outcome::Error(format!("request {idx}: bad cursor: {err}")),
+            },
+            Request::Write { relation, fact } => {
+                let revision = {
+                    let mut db = self.db.write().expect("db lock poisoned");
+                    if let Err(err) = db.add_fact(&relation, fact) {
+                        drop(db);
+                        metrics.service_ns = picked_up.elapsed().as_nanos() as u64;
+                        return Reply {
+                            request: idx,
+                            outcome: Outcome::Error(format!("request {idx}: write failed: {err}")),
+                            metrics,
+                        };
+                    }
+                    db.revision()
+                };
+                // Stale shelves free their memory now, not at their next
+                // unlucky checkout.
+                self.pool.invalidate_stale(revision);
+                Outcome::Wrote { revision }
+            }
+        };
+        metrics.service_ns = picked_up.elapsed().as_nanos() as u64;
+        Reply {
+            request: idx,
+            outcome,
+            metrics,
+        }
+    }
+
+    /// One served page beyond `cursor`.
+    fn page_request(
+        &self,
+        tenant: usize,
+        query: usize,
+        page_size: usize,
+        cursor: Cursor,
+        metrics: &mut RequestMetrics,
+        heap: &mut PageHeap,
+    ) -> Outcome {
+        self.read_request(tenant, query, |t, lease| {
+            metrics.session_built = !lease.was_reused();
+            let page = t.clamp_page(page_size);
+            let started = Instant::now();
+            let next = page_from_session(&mut lease.session, &cursor, page, heap);
+            metrics.walk_ns = started.elapsed().as_nanos() as u64;
+            Outcome::Page {
+                keys: heap.iter().cloned().collect(),
+                cursor: next.encode(),
+                exhausted: heap.len() < page,
+            }
+        })
+    }
+
+    /// The shared read-path skeleton: validate indices, check a session
+    /// out under the read lock, release the lock, run `body`, check the
+    /// session back in.
+    fn read_request(
+        &self,
+        tenant: usize,
+        query: usize,
+        body: impl FnOnce(&Tenant, &mut crate::pool::Lease<'q, Q>) -> Outcome,
+    ) -> Outcome {
+        let Some(tenant) = self.tenants.get(tenant) else {
+            return Outcome::Error(format!("unknown tenant index {tenant}"));
+        };
+        let Some(&query) = self.queries.get(query) else {
+            return Outcome::Error(format!(
+                "unknown query index {query} (tenant {})",
+                tenant.name
+            ));
+        };
+        let lease = {
+            let db = self.db.read().expect("db lock poisoned");
+            self.pool.check_out(&db, query)
+        };
+        let mut lease = match lease {
+            Ok(lease) => lease,
+            Err(err) => {
+                return Outcome::Error(format!(
+                    "session build failed for tenant {}: {err}",
+                    tenant.name
+                ))
+            }
+        };
+        let outcome = body(tenant, &mut lease);
+        self.pool.check_in(lease);
+        outcome
+    }
+}

@@ -1,0 +1,401 @@
+//! The keyed session pool: quiescent [`SearchSession`]s shelved by
+//! `(database revision, canonical query key)` and handed back out instead
+//! of being rebuilt.
+//!
+//! Building a session pays for a grounding construction plus a residual
+//! state compilation; a pooled checkout pays for a
+//! [`rewind`](SearchSession::rewind). The pool is only allowed to confuse
+//! the two when it is provably safe, which is exactly what the key
+//! encodes:
+//!
+//! * the **revision** half ([`IncompleteDatabase::revision`]) pins the
+//!   data: any completion-affecting mutation bumps it, so a session built
+//!   at revision `r` is never reused at revision `r' ≠ r`;
+//! * the **query** half ([`BooleanQuery::cache_key`]) pins the semantics:
+//!   two queries share a key only when they are semantically identical
+//!   over every database. Queries that cannot name themselves
+//!   (`cache_key() == None`) are served with fresh sessions every time —
+//!   correct, just never amortised.
+//!
+//! Check-in runs the session's [`quiesce`](SearchSession::quiesce)
+//! contract, so a shelved session is indistinguishable from a freshly
+//! built one at its next checkout. Writers call
+//! [`SessionPool::invalidate_stale`] after bumping the revision to drop
+//! every shelf built against older data.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use incdb_core::engine::BacktrackingEngine;
+use incdb_core::session::SearchSession;
+use incdb_data::{DataError, IncompleteDatabase};
+use incdb_query::BooleanQuery;
+
+/// How many quiescent sessions one `(revision, query)` shelf retains;
+/// check-ins beyond this depth drop the session instead. Bounds pool
+/// memory at `SHELF_DEPTH ×` live keys without turning hot keys away — a
+/// shelf only grows this deep when that many requests for one key were
+/// genuinely in flight at once.
+const SHELF_DEPTH: usize = 8;
+
+/// One cache shelf: the sessions available for a single canonical query
+/// key, all built against the same database revision.
+struct Shelf<'q, Q: BooleanQuery + ?Sized> {
+    revision: u64,
+    sessions: Vec<SearchSession<'q, Q>>,
+}
+
+/// Counters describing how the pool has been serving (all monotone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Sessions built from scratch (pool misses plus uncacheable queries).
+    pub built: u64,
+    /// Checkouts served from a shelf — each one is a grounding build and a
+    /// residual-state compilation that did not happen.
+    pub reused: u64,
+    /// Shelved sessions dropped because the database moved past them.
+    pub invalidated: u64,
+    /// Checkouts of queries with no [`BooleanQuery::cache_key`]: served
+    /// fresh, never shelved.
+    pub uncacheable: u64,
+}
+
+impl PoolStats {
+    /// The fraction of cacheable checkouts served from a shelf, in
+    /// `[0, 1]`; `0` before any cacheable checkout.
+    pub fn hit_rate(&self) -> f64 {
+        let cacheable = self.built + self.reused - self.uncacheable;
+        if cacheable == 0 {
+            0.0
+        } else {
+            self.reused as f64 / cacheable as f64
+        }
+    }
+}
+
+/// A checked-out session plus the bookkeeping its check-in needs. Obtain
+/// with [`SessionPool::check_out`], walk `session` freely (counts, pages,
+/// aborted walks — anything), then return it with
+/// [`SessionPool::check_in`]; dropping the lease instead is safe and
+/// simply forfeits the reuse.
+pub struct Lease<'q, Q: BooleanQuery + ?Sized> {
+    /// The session itself, ready to walk.
+    pub session: SearchSession<'q, Q>,
+    /// The shelf key, `None` for uncacheable queries.
+    key: Option<String>,
+    /// The database revision the session was built against.
+    revision: u64,
+    /// Whether the checkout was served from a shelf.
+    reused: bool,
+}
+
+impl<Q: BooleanQuery + ?Sized> Lease<'_, Q> {
+    /// Whether this checkout reused a shelved session (`false`: it was
+    /// built from scratch).
+    pub fn was_reused(&self) -> bool {
+        self.reused
+    }
+
+    /// The database revision the session snapshots.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+}
+
+/// A keyed pool of quiescent [`SearchSession`]s (see the [module
+/// docs](self)). Thread-safe: checkouts and check-ins from any number of
+/// front-end workers interleave freely.
+pub struct SessionPool<'q, Q: BooleanQuery + ?Sized> {
+    engine: BacktrackingEngine,
+    shelves: Mutex<HashMap<String, Shelf<'q, Q>>>,
+    built: AtomicU64,
+    reused: AtomicU64,
+    invalidated: AtomicU64,
+    uncacheable: AtomicU64,
+}
+
+impl<'q, Q: BooleanQuery + ?Sized> SessionPool<'q, Q> {
+    /// An empty pool whose fresh builds use the deterministic sequential
+    /// engine — the usual choice when a thread-per-core front-end already
+    /// provides the parallelism.
+    pub fn new() -> Self {
+        Self::with_engine(BacktrackingEngine::sequential())
+    }
+
+    /// An empty pool building fresh sessions through the given engine
+    /// (tuning knobs such as merge-join thresholds carry into every
+    /// session the pool builds).
+    pub fn with_engine(engine: BacktrackingEngine) -> Self {
+        SessionPool {
+            engine,
+            shelves: Mutex::new(HashMap::new()),
+            built: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            uncacheable: AtomicU64::new(0),
+        }
+    }
+
+    /// Checks out a session for `q` over `db`: from the shelf keyed
+    /// `(db.revision(), q.cache_key())` when one is waiting, built from
+    /// scratch otherwise. The caller must hold `db` stable (e.g. a read
+    /// lock) across the call so the revision it reads is the data the
+    /// session snapshots.
+    ///
+    /// Returns an error only when a fresh build fails validation (some
+    /// null has no domain).
+    pub fn check_out(&self, db: &IncompleteDatabase, q: &'q Q) -> Result<Lease<'q, Q>, DataError> {
+        let revision = db.revision();
+        let key = q.cache_key();
+        match &key {
+            None => {
+                self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(k) => {
+                let mut shelves = self.shelves.lock().expect("pool lock poisoned");
+                if let Some(shelf) = shelves.get_mut(k) {
+                    if shelf.revision == revision {
+                        if let Some(session) = shelf.sessions.pop() {
+                            self.reused.fetch_add(1, Ordering::Relaxed);
+                            return Ok(Lease {
+                                session,
+                                key,
+                                revision,
+                                reused: true,
+                            });
+                        }
+                    } else {
+                        // The database moved past this shelf: every session
+                        // on it is stale, whichever direction we look from.
+                        self.invalidated
+                            .fetch_add(shelf.sessions.len() as u64, Ordering::Relaxed);
+                        shelves.remove(k);
+                    }
+                }
+            }
+        }
+        let session = self.engine.session(db, q)?;
+        self.built.fetch_add(1, Ordering::Relaxed);
+        Ok(Lease {
+            session,
+            key,
+            revision,
+            reused: false,
+        })
+    }
+
+    /// Returns a lease to the pool. The session is
+    /// [`quiesce`](SearchSession::quiesce)d — whatever walks (completed or
+    /// aborted) it served — and shelved for the next checkout of the same
+    /// `(revision, query)` key. Uncacheable leases, leases whose revision
+    /// no longer matches their shelf, and check-ins beyond the shelf depth
+    /// are dropped instead.
+    pub fn check_in(&self, lease: Lease<'q, Q>) {
+        let Lease {
+            mut session,
+            key,
+            revision,
+            ..
+        } = lease;
+        let Some(key) = key else {
+            return;
+        };
+        session.quiesce();
+        let mut shelves = self.shelves.lock().expect("pool lock poisoned");
+        let shelf = shelves.entry(key).or_insert_with(|| Shelf {
+            revision,
+            sessions: Vec::new(),
+        });
+        if shelf.revision != revision {
+            if shelf.revision < revision {
+                // This lease saw newer data than the shelf: the shelf is
+                // stale, the lease is the shelf's future.
+                self.invalidated
+                    .fetch_add(shelf.sessions.len() as u64, Ordering::Relaxed);
+                shelf.sessions.clear();
+                shelf.revision = revision;
+            } else {
+                // The shelf moved on while this lease was out: the lease
+                // itself is the stale party.
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if shelf.sessions.len() < SHELF_DEPTH {
+            shelf.sessions.push(session);
+        }
+    }
+
+    /// Drops every shelf not built against `current_revision`, returning
+    /// how many sessions were invalidated. Writers call this right after a
+    /// mutation so stale sessions free their memory immediately instead of
+    /// lingering until their key is next requested.
+    pub fn invalidate_stale(&self, current_revision: u64) -> u64 {
+        let mut shelves = self.shelves.lock().expect("pool lock poisoned");
+        let mut dropped = 0u64;
+        shelves.retain(|_, shelf| {
+            if shelf.revision == current_revision {
+                true
+            } else {
+                dropped += shelf.sessions.len() as u64;
+                false
+            }
+        });
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// How many sessions are currently shelved (across every key).
+    pub fn shelved(&self) -> usize {
+        self.shelves
+            .lock()
+            .expect("pool lock poisoned")
+            .values()
+            .map(|shelf| shelf.sessions.len())
+            .sum()
+    }
+
+    /// A snapshot of the pool's lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            built: self.built.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<Q: BooleanQuery + ?Sized> Default for SessionPool<'_, Q> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdb_bignum::BigNat;
+    use incdb_data::{NullId, Value};
+    use incdb_query::Bcq;
+
+    fn example_db() -> IncompleteDatabase {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.add_fact("S", vec![Value::constant(0), Value::constant(1)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(1), Value::constant(0)])
+            .unwrap();
+        db.add_fact("S", vec![Value::constant(0), Value::null(2)])
+            .unwrap();
+        db.set_domain(NullId(1), [0u64, 1, 2]).unwrap();
+        db.set_domain(NullId(2), [0u64, 1]).unwrap();
+        db
+    }
+
+    #[test]
+    fn checkout_reuses_only_matching_revision_and_key() {
+        let db = example_db();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let renamed: Bcq = "S(y,y)".parse().unwrap();
+        let other: Bcq = "S(x,y)".parse().unwrap();
+        let pool: SessionPool<'_, Bcq> = SessionPool::new();
+
+        let lease = pool.check_out(&db, &q).unwrap();
+        assert!(!lease.was_reused());
+        pool.check_in(lease);
+        assert_eq!(pool.shelved(), 1);
+
+        // Same key under a different variable naming: a hit.
+        let lease = pool.check_out(&db, &renamed).unwrap();
+        assert!(lease.was_reused());
+        assert!(
+            lease.session.is_quiescent(),
+            "shelved sessions come back quiescent"
+        );
+        pool.check_in(lease);
+
+        // A different query: a miss, served fresh.
+        let lease = pool.check_out(&db, &other).unwrap();
+        assert!(!lease.was_reused());
+        pool.check_in(lease);
+
+        let stats = pool.stats();
+        assert_eq!((stats.built, stats.reused), (2, 1));
+    }
+
+    #[test]
+    fn writes_invalidate_shelved_sessions() {
+        let mut db = example_db();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let pool: SessionPool<'_, Bcq> = SessionPool::new();
+        let lease = pool.check_out(&db, &q).unwrap();
+        let count_before = {
+            let mut lease = lease;
+            let c = lease.session.count();
+            pool.check_in(lease);
+            c
+        };
+
+        // Mutate: the revision moves, the shelf is stale.
+        db.add_fact("S", vec![Value::constant(5), Value::constant(5)])
+            .unwrap();
+        assert_eq!(pool.invalidate_stale(db.revision()), 1);
+        assert_eq!(pool.shelved(), 0);
+
+        let mut lease = pool.check_out(&db, &q).unwrap();
+        assert!(!lease.was_reused(), "stale sessions must not be reused");
+        // The rebuilt session sees the new fact: S(5,5) satisfies S(x,x)
+        // in every completion, so the count strictly grows.
+        assert!(lease.session.count() > count_before);
+        assert!(lease.session.count() > BigNat::zero());
+        pool.check_in(lease);
+
+        let stats = pool.stats();
+        assert_eq!(stats.invalidated, 1);
+        assert_eq!(stats.built, 2);
+    }
+
+    #[test]
+    fn lazy_invalidation_catches_stale_shelves_without_a_purge() {
+        let mut db = example_db();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let pool: SessionPool<'_, Bcq> = SessionPool::new();
+        let lease = pool.check_out(&db, &q).unwrap();
+        pool.check_in(lease);
+        db.add_fact("S", vec![Value::constant(7), Value::constant(8)])
+            .unwrap();
+        // No explicit purge: the next checkout finds the stale shelf and
+        // drops it on its own.
+        let lease = pool.check_out(&db, &q).unwrap();
+        assert!(!lease.was_reused());
+        pool.check_in(lease);
+        assert_eq!(pool.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn uncacheable_queries_are_served_fresh_every_time() {
+        /// A query type that cannot name itself.
+        struct Opaque;
+        impl BooleanQuery for Opaque {
+            fn holds(&self, _db: &incdb_data::Database) -> bool {
+                true
+            }
+            fn signature(&self) -> std::collections::BTreeSet<String> {
+                std::collections::BTreeSet::new()
+            }
+        }
+        let db = example_db();
+        let q = Opaque;
+        let pool: SessionPool<'_, Opaque> = SessionPool::new();
+        for _ in 0..3 {
+            let lease = pool.check_out(&db, &q).unwrap();
+            assert!(!lease.was_reused());
+            pool.check_in(lease);
+        }
+        assert_eq!(pool.shelved(), 0, "uncacheable leases are never shelved");
+        let stats = pool.stats();
+        assert_eq!((stats.built, stats.uncacheable), (3, 3));
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Multi-threaded smoke test for the [`ServeNode`] front-end under mixed
+//! traffic: hot-key skew, cold keys, cursor resumes, malformed requests,
+//! and writes that force pool invalidation — the miniature of the bench
+//! workload, with every answer checked against fresh computations.
+
+use incdb_bignum::BigNat;
+use incdb_core::engine::BacktrackingEngine;
+use incdb_data::{CompletionKey, IncompleteDatabase, PageHeap, Value};
+use incdb_query::Bcq;
+use incdb_serve::{Outcome, Request, ServeNode, Tenant};
+use incdb_stream::{page_from_session, Cursor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WORKERS: usize = 4;
+
+fn build_db() -> IncompleteDatabase {
+    let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+    db.add_fact("R", vec![Value::null(0)]).unwrap();
+    db.add_fact("R", vec![Value::null(1)]).unwrap();
+    db.add_fact("S", vec![Value::null(2), Value::null(3)])
+        .unwrap();
+    db
+}
+
+/// Every distinct completion key of `q` over `db`, in canonical order,
+/// computed from a fresh session (the serving layer never touches this).
+fn fresh_keys(db: &IncompleteDatabase, q: &Bcq) -> Vec<CompletionKey> {
+    let engine = BacktrackingEngine::sequential();
+    let mut session = engine.session(db, q).unwrap();
+    let mut page = PageHeap::new();
+    let mut cursor = Cursor::start();
+    let mut keys = Vec::new();
+    loop {
+        cursor = page_from_session(&mut session, &cursor, 4, &mut page);
+        let short = page.len() < 4;
+        keys.extend(page.drain());
+        if short {
+            break;
+        }
+    }
+    keys
+}
+
+#[test]
+fn mixed_traffic_is_answered_correctly_across_writes() {
+    let queries: Vec<Bcq> = vec![
+        "R(x)".parse().unwrap(),         // the hot key
+        "R(y)".parse().unwrap(),         // same cache key, renamed
+        "S(x,x)".parse().unwrap(),       // cold key
+        "R(x), S(x,y)".parse().unwrap(), // cold key, join
+    ];
+    let query_refs: Vec<&Bcq> = queries.iter().collect();
+    let tenants = vec![
+        Tenant::new("bulk", 8),
+        // A budgeted tenant: every page it is served fits in 2 resident
+        // fingerprints, whatever it asks for.
+        Tenant::new("metered", 8).with_budget(2),
+    ];
+    let node = ServeNode::new(build_db(), query_refs, tenants);
+
+    let before: Vec<Vec<CompletionKey>> = {
+        let snapshot = node.snapshot();
+        queries.iter().map(|q| fresh_keys(&snapshot, q)).collect()
+    };
+
+    // Phase 1: read-only mixed traffic, skewed ~70% onto the hot key.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut batch = Vec::new();
+    for _ in 0..48 {
+        let query = if rng.random_bool(0.7) {
+            rng.random_range(0usize..2)
+        } else {
+            rng.random_range(2usize..4)
+        };
+        let tenant = rng.random_range(0usize..2);
+        if rng.random_bool(0.5) {
+            batch.push(Request::Count { tenant, query });
+        } else {
+            batch.push(Request::Page {
+                tenant,
+                query,
+                page_size: 1 + rng.random_range(0usize..8),
+            });
+        }
+    }
+    batch.push(Request::Count {
+        tenant: 7,
+        query: 0,
+    });
+    batch.push(Request::CursorResume {
+        tenant: 0,
+        query: 0,
+        page_size: 4,
+        cursor: "not a cursor".to_string(),
+    });
+    let requests = batch.clone();
+    let replies = node.serve_with_workers(batch, WORKERS);
+    assert_eq!(replies.len(), requests.len());
+
+    let mut resume_seed = None;
+    for (i, reply) in replies.iter().enumerate() {
+        assert_eq!(reply.request, i, "replies come back sorted by index");
+        match (&requests[reply.request], &reply.outcome) {
+            (Request::Count { tenant: 7, .. }, Outcome::Error(msg)) => {
+                assert!(msg.contains("tenant"), "{msg}");
+            }
+            (Request::CursorResume { .. }, Outcome::Error(msg)) => {
+                assert!(msg.contains("cursor"), "{msg}");
+            }
+            (Request::Count { query, .. }, Outcome::Count(n)) => {
+                assert_eq!(n, &BigNat::from(before[*query].len() as u64));
+            }
+            (
+                Request::Page {
+                    tenant,
+                    query,
+                    page_size,
+                },
+                Outcome::Page {
+                    keys,
+                    cursor,
+                    exhausted,
+                },
+            ) => {
+                let served = if *tenant == 1 {
+                    page_size.clamp(&1, &2)
+                } else {
+                    page_size
+                };
+                let expected = &before[*query][..before[*query].len().min(*served)];
+                assert_eq!(keys.as_slice(), expected);
+                assert_eq!(*exhausted, keys.len() < *served);
+                if *query == 0 && !*exhausted {
+                    resume_seed = Some((keys.len(), cursor.clone()));
+                }
+            }
+            (request, outcome) => panic!("unexpected reply {outcome:?} to {request:?}"),
+        }
+    }
+    // The skew paid off: far fewer builds than requests.
+    let stats = node.pool().stats();
+    assert!(stats.reused > stats.built, "{stats:?}");
+    assert!(replies.iter().filter(|r| r.metrics.session_built).count() < replies.len() / 2);
+
+    // Phase 2: resume one of phase 1's cursors — the pooled session must
+    // continue exactly where the canonical order left off.
+    let (skip, cursor) = resume_seed.expect("phase 1 served a resumable hot-key page");
+    let replies = node.serve_with_workers(
+        vec![Request::CursorResume {
+            tenant: 0,
+            query: 0,
+            page_size: 8,
+            cursor,
+        }],
+        1,
+    );
+    match &replies[0].outcome {
+        Outcome::Page { keys, .. } => {
+            let rest = &before[0][skip..(skip + 8).min(before[0].len())];
+            assert_eq!(keys.as_slice(), rest);
+        }
+        other => panic!("unexpected resume outcome {other:?}"),
+    }
+
+    // Phase 3: a write lands between reads. Every count answered in this
+    // batch saw either the old database or the new one — never a torn mix.
+    let revision_before = node.revision();
+    let batch = vec![
+        Request::Count {
+            tenant: 0,
+            query: 0,
+        },
+        // R(0) is a possible completion of the nulls already in R, so the
+        // write genuinely changes the distinct-completion count (every
+        // completion now contains R(0); the R-relations {1} and {0,1}
+        // collapse onto {0,1}).
+        Request::Write {
+            relation: "R".to_string(),
+            fact: vec![Value::constant(0)],
+        },
+        Request::Count {
+            tenant: 0,
+            query: 0,
+        },
+        Request::Count {
+            tenant: 1,
+            query: 1,
+        },
+    ];
+    let replies = node.serve_with_workers(batch, WORKERS);
+    let after: Vec<Vec<CompletionKey>> = {
+        let snapshot = node.snapshot();
+        queries.iter().map(|q| fresh_keys(&snapshot, q)).collect()
+    };
+    assert!(node.revision() > revision_before);
+    assert_ne!(before[0].len(), after[0].len());
+    for reply in &replies {
+        match &reply.outcome {
+            Outcome::Count(n) => {
+                let old = BigNat::from(before[0].len() as u64);
+                let new = BigNat::from(after[0].len() as u64);
+                assert!(n == &old || n == &new, "count {n:?} matches neither epoch");
+            }
+            Outcome::Wrote { revision } => assert_eq!(*revision, node.revision()),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    // Phase 4: post-write reads see only the new epoch, and the pool
+    // really did shoot down its stale shelves.
+    assert!(node.pool().stats().invalidated > 0);
+    let replies = node.serve_with_workers(
+        vec![
+            Request::Count {
+                tenant: 0,
+                query: 0,
+            },
+            Request::Page {
+                tenant: 0,
+                query: 2,
+                page_size: 8,
+            },
+        ],
+        WORKERS,
+    );
+    assert!(matches!(
+        &replies[0].outcome,
+        Outcome::Count(n) if n == &BigNat::from(after[0].len() as u64)
+    ));
+    assert!(matches!(
+        &replies[1].outcome,
+        Outcome::Page { keys, .. }
+            if keys.as_slice() == &after[2][..after[2].len().min(8)]
+    ));
+}

@@ -75,4 +75,4 @@ pub mod stream;
 pub use cursor::{Cursor, CursorDecodeError};
 pub use shard::{count_completions_budgeted, count_completions_sharded, ShardedCount};
 pub use solver::StreamOptions;
-pub use stream::{all_completions_stream, CompletionStream};
+pub use stream::{all_completions_stream, page_from_session, CompletionStream};

@@ -49,13 +49,15 @@
 //! process with no other retained state — precisely keyset pagination over
 //! an exponential virtual result set.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use incdb_core::engine::{BacktrackingEngine, TaskQueue, Tautology};
 use incdb_core::session::{Mark, PageSummary, SearchSession, StealGate};
-use incdb_data::{materialize_completion, CompletionKey, DataError, Database, IncompleteDatabase};
+use incdb_data::{
+    materialize_completion, CompletionKey, DataError, Database, IncompleteDatabase, PageHeap,
+};
 use incdb_query::BooleanQuery;
 
 use crate::cursor::Cursor;
@@ -111,6 +113,17 @@ pub struct CompletionStream<'a, Q: BooleanQuery + Sync + ?Sized> {
     /// served (or provably beyond-page) subtrees, and the stream prove
     /// exhaustion without a walk. Built with the session at the first fill.
     summary: Option<PageSummary>,
+    /// The page assembly heap, persistent across refills: keys displaced or
+    /// cleared go to its spare list and are recycled, so steady-state fills
+    /// only allocate for the keys actually shipped to the buffer.
+    page: PageHeap,
+    /// The sequential fill's observation worksheet, refreshed in place
+    /// ([`PageSummary::refresh_worksheet`]) instead of reallocated per page.
+    sheet: Vec<Mark>,
+    /// Per-worker `(heap, worksheet)` scratch for parallel fills, persistent
+    /// across refills like the `workers` forks themselves — the worker heaps
+    /// that used to be rebuilt (and reallocated) on every page.
+    worker_scratch: Vec<(PageHeap, Vec<Mark>)>,
     passes: usize,
     fill_walks: usize,
     sessions_built: usize,
@@ -162,6 +175,9 @@ impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
             session: None,
             workers: Vec::new(),
             summary: None,
+            page: PageHeap::new(),
+            sheet: Vec::new(),
+            worker_scratch: Vec::new(),
             passes: 0,
             fill_walks: 0,
             sessions_built: 0,
@@ -237,9 +253,23 @@ impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
         self.peak_resident
     }
 
+    /// How many `CompletionKey` allocations the parallel fill scratch has
+    /// made from scratch, ever: per-worker heaps persist across refills and
+    /// recycle retired keys ([`PageHeap`]'s spare list), so this stays flat
+    /// — bounded by `workers × (page_size + 1)` — no matter how many pages
+    /// are drained. Pinned by tests; before the scratch became persistent it
+    /// grew with every pass.
+    pub fn fill_scratch_fresh_keys(&self) -> u64 {
+        self.worker_scratch
+            .iter()
+            .map(|(heap, _)| heap.fresh_keys())
+            .sum()
+    }
+
     /// Runs the selection walks for the next page beyond the cursor.
     fn refill(&mut self) {
         debug_assert!(self.buffer.is_empty());
+        debug_assert!(self.page.is_empty(), "the previous fill drained fully");
         if self.session.is_none() {
             let session = self
                 .engine
@@ -266,7 +296,6 @@ impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
             return;
         }
         let cap = self.page_size;
-        let mut page: BTreeSet<CompletionKey> = BTreeSet::new();
         // Keys transiently resident during this fill: the merged page for a
         // sequential walk, the per-worker heaps for a parallel one.
         let mut fill_keys = 0usize;
@@ -279,13 +308,13 @@ impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
             // session, pruned by — and recorded into — the cursor summary.
             None => {
                 let summary = self.summary.as_ref().expect("built with the session");
-                let mut sheet = summary.worksheet();
+                summary.refresh_worksheet(&mut self.sheet);
                 let session = self.session.as_mut().expect("session built above");
-                session.select_page_recorded(after, cap, &mut page, summary, &mut sheet);
+                session.select_page_recorded(after, cap, &mut self.page, summary, &mut self.sheet);
                 self.summary
                     .as_mut()
                     .expect("built with the session")
-                    .absorb([sheet.as_slice()]);
+                    .absorb([self.sheet.as_slice()]);
                 self.fill_walks += 1;
             }
             // Parallel fill: shard the selection walk over the engine's
@@ -304,71 +333,76 @@ impl<'a, Q: BooleanQuery + Sync + ?Sized> CompletionStream<'a, Q> {
                         .push(self.session.as_ref().expect("session built above").fork());
                     self.sessions_built += 1;
                 }
+                while self.worker_scratch.len() < self.workers.len() {
+                    self.worker_scratch.push((PageHeap::new(), Vec::new()));
+                }
                 let summary = self.summary.as_ref().expect("built with the session");
                 let queue = TaskQueue::new(prefixes);
                 let walks = AtomicUsize::new(0);
                 let min_split_valuations = self.engine.min_split_valuations();
-                let results: Vec<(BTreeSet<CompletionKey>, Vec<Mark>)> = thread::scope(|scope| {
+                thread::scope(|scope| {
                     let handles: Vec<_> = self
                         .workers
                         .iter_mut()
-                        .map(|session| {
+                        .zip(self.worker_scratch.iter_mut())
+                        .map(|(session, (heap, sheet))| {
                             let (queue, walks) = (&queue, &walks);
                             scope.spawn(move || {
                                 let gate = StealGate {
                                     queue,
                                     min_split_valuations,
                                 };
-                                let mut heap = BTreeSet::new();
-                                let mut sheet = summary.worksheet();
+                                // Persistent scratch: retire last page's keys
+                                // into the spare list, blank the worksheet in
+                                // place — no per-refill allocation.
+                                heap.clear();
+                                summary.refresh_worksheet(sheet);
                                 while let Some(prefix) = queue.next_task() {
                                     session.select_page_subtree_recorded(
                                         &prefix,
                                         Some(&gate),
                                         after,
                                         cap,
-                                        &mut heap,
+                                        heap,
                                         summary,
-                                        &mut sheet,
+                                        sheet,
                                     );
                                     walks.fetch_add(1, Ordering::Relaxed);
                                     queue.finish_task();
                                 }
-                                (heap, sheet)
                             })
                         })
                         .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("page-fill worker panicked"))
-                        .collect()
+                    for handle in handles {
+                        handle.join().expect("page-fill worker panicked");
+                    }
                 });
                 self.fill_walks += walks.load(Ordering::Relaxed);
-                let mut sheets = Vec::with_capacity(results.len());
-                for (heap, sheet) in results {
+                // Merge the bounded worker heaps through the same admission
+                // protocol the walks use: order-independent, deduplicating,
+                // and never more than `cap` keys resident in the page.
+                for (heap, _) in &self.worker_scratch {
                     fill_keys += heap.len();
-                    page.extend(heap);
-                    sheets.push(sheet);
-                }
-                while page.len() > cap {
-                    page.pop_last();
+                    for key in heap {
+                        self.page.admit(key, after, cap);
+                    }
                 }
                 self.summary
                     .as_mut()
                     .expect("built with the session")
-                    .absorb(sheets.iter().map(Vec::as_slice));
+                    .absorb(self.worker_scratch.iter().map(|(_, s)| s.as_slice()));
             }
         }
         self.passes += 1;
-        let resident =
-            fill_keys.max(page.len()) + self.summary.as_ref().map_or(0, PageSummary::resident_keys);
+        let resident = fill_keys.max(self.page.len())
+            + self.summary.as_ref().map_or(0, PageSummary::resident_keys);
         self.peak_resident = self.peak_resident.max(resident);
-        if page.len() < self.page_size {
+        if self.page.len() < self.page_size {
             // The page was not filled: everything beyond the cursor is
             // already in hand.
             self.exhausted = true;
         }
-        self.buffer = page.into_iter().collect();
+        self.buffer.extend(self.page.drain());
     }
 }
 
@@ -413,6 +447,36 @@ pub fn all_completions_stream(
 ) -> Result<CompletionStream<'_, Tautology>, DataError> {
     static TAUTOLOGY: Tautology = Tautology;
     CompletionStream::new(db, &TAUTOLOGY, page_size)
+}
+
+/// Serves one page of the canonical completion order from an
+/// **already-built** session — the cursor-resume primitive of a
+/// session-pooling serving layer: a checked-out [`SearchSession`] replaces
+/// the grounding build and query compilation a fresh
+/// [`CompletionStream::resume`] would pay, while the page produced is
+/// byte-identical (a page is determined by `(database, query, cursor,
+/// page size)` alone).
+///
+/// Collects into `page` (cleared first, allocations recycled) the up-to
+/// `page_size` smallest completion keys strictly beyond `cursor`, and
+/// returns the advanced cursor: positioned after the page's last key, or
+/// `cursor` unchanged when nothing remains. A short page (fewer than
+/// `page_size` keys) means the enumeration is exhausted.
+///
+/// The session is left mid-walk-state like any other completed walk; pool
+/// check-in ([`SearchSession::quiesce`]) restores the shelf invariant.
+pub fn page_from_session<Q: BooleanQuery + ?Sized>(
+    session: &mut SearchSession<'_, Q>,
+    cursor: &Cursor,
+    page_size: usize,
+    page: &mut PageHeap,
+) -> Cursor {
+    page.clear();
+    session.select_page(cursor.last_key(), page_size.max(1), page);
+    match page.last() {
+        Some(key) => Cursor::after(key.clone()),
+        None => cursor.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -565,6 +629,78 @@ mod tests {
             rejoined.extend(tail);
             assert_eq!(rejoined, full, "split at {split}");
         }
+    }
+
+    #[test]
+    fn parallel_fill_scratch_is_reused_across_refills() {
+        // 81 completions at page size 7: a dozen parallel fills. The
+        // per-worker heaps persist and recycle their keys, so the number of
+        // from-scratch key allocations in the fill scratch is bounded by
+        // workers × (page + 1) — flat in the number of passes. Before the
+        // scratch became persistent, every pass allocated fresh heaps.
+        let mut db = IncompleteDatabase::new_non_uniform();
+        for i in 0..4u32 {
+            db.add_fact(
+                "R",
+                vec![Value::null(i), Value::constant(100 + u64::from(i))],
+            )
+            .unwrap();
+            db.set_domain(NullId(i), [0u64, 1, 2]).unwrap();
+        }
+        let mut stream = all_completions_stream(&db, 7)
+            .unwrap()
+            .with_engine(parallel_engine());
+        assert_eq!(stream.by_ref().count(), 81);
+        assert!(stream.passes() >= 81 / 7, "many fills actually ran");
+        let bound = (parallel_engine().threads() * (7 + 1)) as u64;
+        assert!(
+            stream.fill_scratch_fresh_keys() <= bound,
+            "fill scratch allocated {} fresh keys across {} passes, bound {}",
+            stream.fill_scratch_fresh_keys(),
+            stream.passes(),
+            bound
+        );
+    }
+
+    #[test]
+    fn pooled_sessions_serve_the_stream_sequence() {
+        let db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        // Reference: the keys-level drain of a fresh stream.
+        let mut reference = CompletionStream::new(&db, &q, 2).unwrap();
+        let mut expected: Vec<CompletionKey> = Vec::new();
+        while let Some(key) = reference.next_key() {
+            expected.push(key.clone());
+        }
+        // A pool-style serving loop: one long-lived session, pages served
+        // beyond an advancing wire-format cursor.
+        let mut session = BacktrackingEngine::sequential().session(&db, &q).unwrap();
+        let mut page = PageHeap::new();
+        let mut cursor = Cursor::start();
+        let mut got: Vec<CompletionKey> = Vec::new();
+        loop {
+            let ticket = cursor.encode();
+            cursor = page_from_session(
+                &mut session,
+                &Cursor::decode(&ticket).unwrap(),
+                2,
+                &mut page,
+            );
+            let short = page.len() < 2;
+            got.extend(page.iter().cloned());
+            // The shelf invariant holds again after check-in.
+            session.quiesce();
+            assert!(session.is_quiescent());
+            if short {
+                break;
+            }
+        }
+        assert_eq!(got, expected);
+        // The final cursor proves exhaustion on the next request.
+        assert!(
+            page_from_session(&mut session, &cursor, 2, &mut page).last_key() == cursor.last_key()
+        );
+        assert!(page.is_empty());
     }
 
     #[test]

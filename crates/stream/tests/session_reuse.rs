@@ -17,11 +17,9 @@
 //!   every prefix of the interleaving, counts and page selections still
 //!   agree with a fresh engine.
 
-use std::collections::BTreeSet;
-
 use incdb_core::engine::{BacktrackingEngine, CompletionVisitor, CountingEngine, Tautology};
 use incdb_core::session::SearchSession;
-use incdb_data::{CompletionKey, Grounding, IncompleteDatabase, NullId, Value};
+use incdb_data::{CompletionKey, Grounding, IncompleteDatabase, NullId, PageHeap, Value};
 use incdb_query::Bcq;
 use incdb_stream::{count_completions_budgeted, CompletionStream};
 use proptest::prelude::*;
@@ -166,14 +164,14 @@ proptest! {
                     }
                     _ => {
                         let cap = 1 + arg;
-                        let mut reused = BTreeSet::new();
+                        let mut reused = PageHeap::new();
                         session.select_page(None, cap, &mut reused);
-                        let mut pristine: BTreeSet<CompletionKey> = BTreeSet::new();
+                        let mut pristine = PageHeap::new();
                         SearchSession::new(&db, &q)
                             .unwrap()
                             .select_page(None, cap, &mut pristine);
                         prop_assert_eq!(
-                            &reused, &pristine,
+                            reused.as_slice(), pristine.as_slice(),
                             "page drifted at step {} cap {} for {}", step, cap, q
                         );
                     }
@@ -246,10 +244,10 @@ fn one_session_serves_mixed_workloads_exactly() {
         // session, comparing against the stream (which builds its own).
         let mut keys: Vec<CompletionKey> = Vec::new();
         loop {
-            let mut page = BTreeSet::new();
+            let mut page = PageHeap::new();
             session.select_page(keys.last(), 2, &mut page);
             let got = page.len();
-            keys.extend(page);
+            keys.extend(page.drain());
             if got < 2 {
                 break;
             }

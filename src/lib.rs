@@ -25,6 +25,10 @@
 //!   hash-range-sharded distinct counting under a memory budget and
 //!   resumable canonical-order enumeration with serializable paging
 //!   cursors;
+//! * [`serve`] (`incdb-serve`) — the serving layer: a keyed session pool
+//!   (sessions shelved by database revision × canonical query key) behind
+//!   a thread-per-core front-end multiplexing count/page/cursor-resume
+//!   requests with per-tenant memory budgets;
 //! * [`graph`] (`incdb-graph`) and [`bignum`] (`incdb-bignum`) — the
 //!   substrates they rely on.
 //!
@@ -93,6 +97,7 @@ pub use incdb_data as data;
 pub use incdb_graph as graph;
 pub use incdb_query as query;
 pub use incdb_reductions as reductions;
+pub use incdb_serve as serve;
 pub use incdb_stream as stream;
 
 /// The most commonly used items, re-exported for `use incdb::prelude::*`.
@@ -109,6 +114,7 @@ pub mod prelude {
         SymbolRegistry, Table, Valuation, Value,
     };
     pub use incdb_query::{Bcq, BooleanQuery, KnownPattern, NegatedBcq, Ucq};
+    pub use incdb_serve::{Request, ServeNode, SessionPool, Tenant};
     pub use incdb_stream::{
         all_completions_stream, count_completions_budgeted, CompletionStream, Cursor, StreamOptions,
     };
