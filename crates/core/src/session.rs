@@ -351,6 +351,35 @@ impl PageSummary {
         }
     }
 
+    /// Drops every mark a table delta could have falsified, resetting it
+    /// to [`Mark::Unvisited`] — always sound: the next walk simply
+    /// re-derives the node. `Empty` marks are dropped too, since an
+    /// inserted fact can populate a previously empty subtree.
+    ///
+    /// `lo`/`hi` bound (inclusively) the completion keys whose membership
+    /// or position the delta may have changed; `None` is unbounded on that
+    /// side. **A table delta splices the written tuple into every
+    /// completion of the instance** — every recorded key moves — so after
+    /// [`SearchSession::advance_to`] a pager passes `(None, None)`. The
+    /// bounded form serves callers that can prove a delta only perturbs a
+    /// key range; marks entirely outside it survive.
+    pub fn invalidate_span(&mut self, lo: Option<&CompletionKey>, hi: Option<&CompletionKey>) {
+        for level in &mut self.levels {
+            for mark in level.iter_mut() {
+                let stale = match &*mark {
+                    Mark::Unvisited => false,
+                    Mark::Empty => true,
+                    Mark::Span(min, max) => {
+                        lo.is_none_or(|l| l <= max) && hi.is_none_or(|h| min <= h)
+                    }
+                };
+                if stale {
+                    *mark = Mark::Unvisited;
+                }
+            }
+        }
+    }
+
     /// The number of completion keys held by `Span` marks across all
     /// levels — the summary's contribution to a pager's resident-memory
     /// accounting.
@@ -700,6 +729,65 @@ impl<'q, Q: BooleanQuery + ?Sized> SearchSession<'q, Q> {
     /// refuses (or repairs) check-ins where this is `false`.
     pub fn is_quiescent(&self) -> bool {
         self.path.is_empty() && self.changed.is_empty() && !self.g.has_dirty()
+    }
+
+    /// Patches a **quiescent** session forward across the table writes
+    /// between `built_at` (the database revision the session was built or
+    /// last advanced at) and `db`'s current revision: the delta chain is
+    /// read from the database's bounded log
+    /// ([`IncompleteDatabase::delta_since`]), spliced into the grounding's
+    /// flat value arena ([`Grounding::apply_delta`]) and patched into the
+    /// residual evaluator's status slabs
+    /// ([`ResidualState::apply_delta`])
+    /// — `O(delta)` work in place of a full grounding construction and
+    /// residual recompile. The search plan is re-derived (a write can flip
+    /// separability), which is `O(nulls)` plus a bounded cleanliness pass —
+    /// far below rebuild cost.
+    ///
+    /// Returns `true` when the session now reflects `db` at its current
+    /// revision. Returns `false` — leaving the session valid at `built_at`,
+    /// untouched — when patching is impossible: the session is mid-walk,
+    /// the delta log was truncated or interrupted by a structural write
+    /// (new relation, domain change), or the delta is not arena-patchable
+    /// (a null the grounding never saw, a null's last occurrence removed).
+    /// The caller then falls back to a fresh build. If only the *residual*
+    /// patch declines (e.g. a previously-empty relation coming alive), the
+    /// evaluator alone is recompiled and the call still succeeds.
+    ///
+    /// Page summaries are owned by the caller, not the session; after a
+    /// successful advance, carried [`PageSummary`] marks are stale and must
+    /// be dropped via [`PageSummary::invalidate_span`].
+    pub fn advance_to(&mut self, db: &IncompleteDatabase, built_at: u64) -> bool {
+        if !self.is_quiescent() {
+            return false;
+        }
+        let Some(ops) = db.delta_since(built_at) else {
+            return false;
+        };
+        if ops.is_empty() {
+            return true;
+        }
+        let Some(splices) = self.g.apply_delta(&ops) else {
+            return false;
+        };
+        let patched = match &mut self.state {
+            Some(state) => state.apply_delta(&self.g, &splices),
+            None => true,
+        };
+        if !patched {
+            // The slab patch declined after the arena was already spliced:
+            // recompile just the evaluator — still far cheaper than a full
+            // session rebuild (no grounding construction).
+            self.state = self.q.residual_state(&self.g);
+            self.g.drain_dirty_into(&mut self.changed);
+            self.changed.clear();
+        }
+        // A write can flip fact cleanliness and null separability (a new
+        // ground fact may unify with a previously clean fact), so the
+        // plan's order, cut and class mask are re-derived. The grounding
+        // and the evaluator — the expensive parts — stay patched.
+        self.plan = Arc::new(SessionPlan::of(&self.g));
+        true
     }
 
     /// The query's outcome for the subtree below the grounding's current
@@ -1669,5 +1757,76 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted, seen, "pages arrive sorted and distinct");
+    }
+
+    #[test]
+    fn advance_to_matches_a_fresh_session() {
+        let mut db = example_2_2();
+        let q: Bcq = "S(x,x)".parse().unwrap();
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        assert_eq!(session.count(), BigNat::from(4u64));
+        let built_at = db.revision();
+
+        // Ground insert, null insert (known null), ground removal.
+        db.add_fact("S", vec![Value::constant(2), Value::constant(2)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(1), Value::constant(1)])
+            .unwrap();
+        assert!(db.remove_fact("S", &vec![Value::constant(0), Value::constant(1)]));
+        // advance_to requires the check-in state a pool shelves at.
+        session.quiesce();
+        assert!(session.advance_to(&db, built_at));
+
+        // Counts and full page sequences agree with a fresh build.
+        let mut fresh = SearchSession::new(&db, &q).unwrap();
+        assert_eq!(session.count(), fresh.count());
+        let (mut a, mut b) = (PageHeap::new(), PageHeap::new());
+        session.select_page(None, 64, &mut a);
+        fresh.select_page(None, 64, &mut b);
+        assert!(
+            !a.is_empty(),
+            "the patched instance still satisfies the query"
+        );
+        assert_eq!(a.as_slice(), b.as_slice(), "patched ≡ fresh, key for key");
+
+        // A no-op gap advances trivially; a truncated gap refuses.
+        session.quiesce();
+        assert!(session.advance_to(&db, db.revision()));
+        assert!(!session.advance_to(&db, 0));
+        // Structural writes (a new relation) are barriers: refuse, rebuild.
+        let at = db.revision();
+        db.add_fact("T", vec![Value::constant(0)]).unwrap();
+        assert!(!session.advance_to(&db, at));
+    }
+
+    #[test]
+    fn invalidate_span_resets_exactly_the_intersecting_marks() {
+        let db = mixed_instance();
+        let q = Tautology;
+        let mut session = SearchSession::new(&db, &q).unwrap();
+        let mut summary = PageSummary::plan(session.grounding(), session.order(), 64);
+        // Record real marks by walking the whole instance through the
+        // recorded selection path.
+        let mut sheet = summary.worksheet();
+        let mut page = PageHeap::new();
+        session.select_page_recorded(None, usize::MAX, &mut page, &summary, &mut sheet);
+        summary.absorb([sheet.as_slice()]);
+        assert!(summary.resident_keys() > 0, "the walk recorded spans");
+        assert!(summary.served(page.last()));
+
+        // An unbounded invalidation (what a table delta requires) drops
+        // every recorded mark.
+        let mut wiped = summary.clone();
+        wiped.invalidate_span(None, None);
+        assert_eq!(wiped.resident_keys(), 0);
+        assert!(!wiped.served(page.last()));
+
+        // A bounded invalidation outside every recorded span keeps them:
+        // the empty key is lexicographically below every recorded one.
+        let below = CompletionKey::new();
+        let resident = summary.resident_keys();
+        summary.invalidate_span(None, Some(&below));
+        assert_eq!(summary.resident_keys(), resident);
+        assert!(summary.served(page.last()));
     }
 }

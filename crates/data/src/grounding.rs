@@ -18,10 +18,26 @@ use std::sync::{Arc, OnceLock};
 use crate::database::Database;
 use crate::error::DataError;
 use crate::fingerprint::{fingerprint_hash, CompletionKey, HashRange};
-use crate::incomplete::IncompleteDatabase;
+use crate::incomplete::{DeltaOp, IncompleteDatabase};
 use crate::interner::SymbolRegistry;
 use crate::valuation::{Valuation, ValuationIter};
 use crate::value::{Constant, NullId, Value};
+
+/// One resolved write of [`Grounding::apply_delta`]: the relation, the
+/// **row** (local fact position within the relation's contiguous range,
+/// after the splice for inserts / before it for removals) and the
+/// direction. This is the coordinate system residual watchers index their
+/// per-relation status slabs by, so a watcher can patch slot `row` in place
+/// without re-deriving the whole relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Splice {
+    /// The relation index (see [`Grounding::relation_index`]).
+    pub rel: usize,
+    /// The local row within [`Grounding::relation_facts`]`(rel)`.
+    pub row: usize,
+    /// `true` for an inserted row, `false` for a retired one.
+    pub added: bool,
+}
 
 /// One occurrence of a null in the table: the owning fact and the absolute
 /// position of the value in the grounding's flat arena, so a bind rewrites
@@ -520,6 +536,183 @@ impl Grounding {
         }
         for i in 0..self.nulls.len() {
             self.unbind_index(i);
+        }
+    }
+
+    /// Splices a compacted fact delta (see
+    /// [`IncompleteDatabase::delta_since`]) into the flat arena **without
+    /// reconstructing it**: inserted facts take their sorted row inside the
+    /// owning relation's contiguous range, retired facts are cut out, and
+    /// the occurrence index, per-fact spans and relation ranges are shifted
+    /// in place. Returns the resolved [`Splice`] per op, in application
+    /// order, for watch structures layered on top.
+    ///
+    /// Returns `None` — **without mutating anything** — when the delta
+    /// cannot be expressed as a patch and the caller must rebuild:
+    ///
+    /// * the grounding is not fully unbound (patching is a quiescent-state
+    ///   operation; the arena must equal the template);
+    /// * an op names a relation the grounding never interned (a new
+    ///   relation shifts every interned id);
+    /// * an inserted fact mentions a null the grounding does not know (the
+    ///   null set, domains and plan geometry would change);
+    /// * the delta would remove a null's last occurrence (the null would
+    ///   leave the table, shrinking the null set);
+    /// * an op is inconsistent with the arena (inserting a present fact or
+    ///   removing an absent one — the grounding was not built at the
+    ///   delta's base revision).
+    pub fn apply_delta(&mut self, ops: &[DeltaOp]) -> Option<Vec<Splice>> {
+        if self.bound != 0 {
+            return None;
+        }
+        // Validation pass: every check runs against the pre-delta arena.
+        // Compacted deltas touch each (relation, fact) at most once, so
+        // presence checks are order-independent and nothing needs undoing.
+        let mut occ_delta = vec![0isize; self.nulls.len()];
+        let mut arity: Vec<usize> = (0..self.rel_ranges.len())
+            .map(|r| self.relation_arity(r))
+            .collect();
+        for op in ops {
+            let rel = self.registry.get(&op.relation)?.index();
+            if arity[rel] == 0 {
+                if !op.added {
+                    return None; // removing from an empty relation
+                }
+                arity[rel] = op.fact.len();
+            } else if op.fact.len() != arity[rel] {
+                return None;
+            }
+            for value in &op.fact {
+                if let Value::Null(n) = value {
+                    let i = *self.index_of.get(n)?;
+                    occ_delta[i] += if op.added { 1 } else { -1 };
+                }
+            }
+            match (op.added, self.row_search(rel, &op.fact)) {
+                (true, Ok(_)) | (false, Err(_)) => return None,
+                _ => {}
+            }
+        }
+        for (i, delta) in occ_delta.iter().enumerate() {
+            let after = self.occurrences[i].len() as isize + delta;
+            debug_assert!(after >= 0, "more occurrences removed than exist");
+            if after <= 0 {
+                return None; // the null would leave the table
+            }
+        }
+
+        // Apply pass: splice each op at its sorted row.
+        let mut splices = Vec::with_capacity(ops.len());
+        for op in ops {
+            let rel = self
+                .registry
+                .get(&op.relation)
+                .expect("validated above")
+                .index();
+            let width = op.fact.len() as u32;
+            let row = if op.added {
+                let row = self
+                    .row_search(rel, &op.fact)
+                    .expect_err("validated absent");
+                let fact = self.rel_ranges[rel].0 as usize + row;
+                let base = self.offsets[fact];
+                self.values
+                    .splice(base as usize..base as usize, op.fact.iter().copied());
+                self.fact_rel.insert(fact, rel as u32);
+                self.unbound_in_fact.insert(
+                    fact,
+                    op.fact.iter().filter(|v| v.as_null().is_some()).count() as u32,
+                );
+                self.offsets.insert(fact + 1, base + width);
+                for o in &mut self.offsets[fact + 2..] {
+                    *o += width;
+                }
+                self.shift_occurrences(fact as u32, 1, width as i64);
+                for (k, value) in op.fact.iter().enumerate() {
+                    if let Value::Null(n) = value {
+                        let i = self.index_of[n];
+                        let occ = Occurrence {
+                            fact: fact as u32,
+                            pos: base + k as u32,
+                        };
+                        let at = self.occurrences[i]
+                            .partition_point(|o| (o.fact, o.pos) < (occ.fact, occ.pos));
+                        self.occurrences[i].insert(at, occ);
+                    }
+                }
+                self.bump_ranges(rel, 1);
+                row
+            } else {
+                let row = self.row_search(rel, &op.fact).expect("validated present");
+                let fact = self.rel_ranges[rel].0 as usize + row;
+                let base = self.offsets[fact];
+                for value in &op.fact {
+                    if let Value::Null(n) = value {
+                        let i = self.index_of[n];
+                        self.occurrences[i].retain(|o| o.fact as usize != fact);
+                    }
+                }
+                self.values.drain(base as usize..(base + width) as usize);
+                self.fact_rel.remove(fact);
+                self.unbound_in_fact.remove(fact);
+                self.offsets.remove(fact + 1);
+                for o in &mut self.offsets[fact + 1..] {
+                    *o -= width;
+                }
+                self.shift_occurrences(fact as u32, -1, -i64::from(width));
+                self.bump_ranges(rel, -1);
+                row
+            };
+            splices.push(Splice {
+                rel,
+                row,
+                added: op.added,
+            });
+        }
+        // The fact set changed: any cached fingerprint skeleton is stale.
+        self.key_plan = OnceLock::new();
+        Some(splices)
+    }
+
+    /// Binary-searches one relation's rows for `fact` (the arena equals the
+    /// template when fully unbound, and rows are sorted in the table's
+    /// canonical fact order): `Ok(row)` when present, `Err(row)` with the
+    /// insertion row otherwise.
+    fn row_search(&self, rel: usize, fact: &[Value]) -> Result<usize, usize> {
+        let (start, end) = self.rel_ranges[rel];
+        let (mut lo, mut hi) = (start as usize, end as usize);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.fact_values(mid).cmp(fact) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid - start as usize),
+            }
+        }
+        Err(lo - start as usize)
+    }
+
+    /// Shifts every occurrence at or after splice point `from` by
+    /// `fact_shift` fact indices and `pos_shift` arena positions — the
+    /// index-maintenance half of [`Grounding::apply_delta`].
+    fn shift_occurrences(&mut self, from: u32, fact_shift: i32, pos_shift: i64) {
+        for occs in &mut self.occurrences {
+            for occ in occs.iter_mut() {
+                if occ.fact >= from {
+                    occ.fact = occ.fact.wrapping_add_signed(fact_shift);
+                    occ.pos = (i64::from(occ.pos) + pos_shift) as u32;
+                }
+            }
+        }
+    }
+
+    /// Grows or shrinks relation `rel`'s fact range by `delta` and shifts
+    /// every later relation's range accordingly.
+    fn bump_ranges(&mut self, rel: usize, delta: i32) {
+        self.rel_ranges[rel].1 = self.rel_ranges[rel].1.wrapping_add_signed(delta);
+        for range in &mut self.rel_ranges[rel + 1..] {
+            range.0 = range.0.wrapping_add_signed(delta);
+            range.1 = range.1.wrapping_add_signed(delta);
         }
     }
 
@@ -1432,6 +1625,81 @@ mod tests {
         assert_eq!(g.relation_names().collect::<Vec<_>>(), vec!["S"]);
         assert_eq!(g.resolved_facts().count(), 3);
         assert_eq!(g.value_by_index(0), None);
+    }
+
+    /// `apply_delta` must leave the grounding structurally identical to a
+    /// fresh build over the post-delta database: arena, spans, occurrence
+    /// index, relation ranges and fingerprints all agree.
+    #[test]
+    fn apply_delta_matches_a_fresh_rebuild() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![c(5), n(0)]).unwrap();
+        db.add_fact("R", vec![c(9), c(9)]).unwrap();
+        db.add_fact("S", vec![n(1), c(3)]).unwrap();
+        db.add_fact("S", vec![n(0), c(4)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let base = db.revision();
+
+        // Interleave inserts and removals across both relations.
+        db.add_fact("R", vec![c(1), c(2)]).unwrap();
+        assert!(db.remove_fact("R", &vec![c(9), c(9)]));
+        db.add_fact("S", vec![n(1), c(7)]).unwrap();
+        let ops = db.delta_since(base).unwrap();
+        let splices = g.apply_delta(&ops).unwrap();
+        assert_eq!(splices.len(), 3);
+
+        let fresh = db.try_grounding().unwrap();
+        assert_eq!(g.fact_count(), fresh.fact_count());
+        for f in 0..fresh.fact_count() {
+            assert_eq!(g.fact_values(f), fresh.fact_values(f), "fact {f}");
+            assert_eq!(g.fact_relation(f), fresh.fact_relation(f));
+        }
+        for i in 0..fresh.null_count() {
+            assert_eq!(g.occurrences_of(i), fresh.occurrences_of(i), "null {i}");
+        }
+        for r in 0..2 {
+            assert_eq!(g.relation_facts(r), fresh.relation_facts(r));
+            assert_eq!(g.relation_unbound(r), fresh.relation_unbound(r));
+        }
+        // Binding still works and fingerprints agree with the fresh build.
+        g.bind(NullId(0), Constant(1)).unwrap();
+        g.bind(NullId(1), Constant(0)).unwrap();
+        let mut fresh = fresh;
+        fresh.bind(NullId(0), Constant(1)).unwrap();
+        fresh.bind(NullId(1), Constant(0)).unwrap();
+        assert_eq!(
+            g.completion_fingerprint().unwrap(),
+            fresh.completion_fingerprint().unwrap()
+        );
+    }
+
+    /// Deltas a patch cannot express refuse cleanly without mutating.
+    #[test]
+    fn apply_delta_refuses_unpatchable_deltas() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![n(0), c(1)]).unwrap();
+        db.add_fact("R", vec![c(2), c(3)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let before: Vec<Value> = g.fact_values(0).to_vec();
+
+        let op = |added: bool, relation: &str, fact: Vec<Value>| DeltaOp {
+            added,
+            relation: relation.to_string(),
+            fact,
+        };
+        // Unknown relation, unknown null, last-occurrence removal,
+        // inconsistent presence — each rebuild-only, each a clean refusal.
+        assert!(g.apply_delta(&[op(true, "T", vec![c(1)])]).is_none());
+        assert!(g.apply_delta(&[op(true, "R", vec![n(7), c(1)])]).is_none());
+        assert!(g.apply_delta(&[op(false, "R", vec![n(0), c(1)])]).is_none());
+        assert!(g.apply_delta(&[op(true, "R", vec![c(2), c(3)])]).is_none());
+        assert!(g.apply_delta(&[op(false, "R", vec![c(8), c(8)])]).is_none());
+        // A bound grounding refuses too: patching is quiescent-state only.
+        g.bind(NullId(0), Constant(0)).unwrap();
+        assert!(g.apply_delta(&[op(true, "R", vec![c(4), c(4)])]).is_none());
+        g.unbind(NullId(0));
+        assert_eq!(g.fact_values(0), &before[..], "refusals must not mutate");
+        assert_eq!(g.fact_count(), 2);
     }
 
     /// The merged (plan-based) fingerprints must be byte-identical to the

@@ -17,6 +17,66 @@ use crate::value::{Constant, NullId, Value};
 /// A fact of a naïve table: a tuple of values (constants and/or nulls).
 pub type IncompleteFact = Vec<Value>;
 
+/// One logged write of the database's delta log: a fact that was actually
+/// added to (`added == true`) or removed from a relation. Only mutations
+/// that bumped [`IncompleteDatabase::revision`] are logged, so replaying a
+/// delta range in order reproduces the table transition exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaOp {
+    /// `true` for an insert, `false` for a removal.
+    pub added: bool,
+    /// The relation the fact was added to / removed from.
+    pub relation: String,
+    /// The fact itself (constants and/or nulls).
+    pub fact: IncompleteFact,
+}
+
+/// How many fact-level writes the per-database delta log retains before
+/// the oldest entries fall off and readers built before them must rebuild.
+pub const DELTA_LOG_CAP: usize = 128;
+
+/// The bounded per-revision write log behind
+/// [`IncompleteDatabase::delta_since`]: every fact insert/removal that
+/// bumped the revision, tagged with the revision it produced. Mutations
+/// that are not expressible as fact deltas — a new relation declaration
+/// (shifts the canonical relation order) or a domain update (changes the
+/// valuation space) — act as **barriers**: they clear the log, so readers
+/// built before the barrier fall back to a rebuild.
+#[derive(Debug, Clone)]
+struct DeltaLog {
+    /// The highest revision *not* covered by the log: `ops` holds exactly
+    /// the fact writes of revisions `floor+1 ..= revision`.
+    floor: u64,
+    /// `(revision produced, op)` pairs in write order.
+    ops: Vec<(u64, DeltaOp)>,
+}
+
+impl DeltaLog {
+    fn new() -> Self {
+        DeltaLog {
+            floor: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Logs one fact write that produced revision `rev`, dropping the
+    /// oldest entry (and raising the floor past it) at capacity.
+    fn push(&mut self, rev: u64, op: DeltaOp) {
+        if self.ops.len() == DELTA_LOG_CAP {
+            let (dropped_rev, _) = self.ops.remove(0);
+            self.floor = dropped_rev;
+        }
+        self.ops.push((rev, op));
+    }
+
+    /// A non-fact mutation happened at revision `rev`: nothing before it
+    /// can be patched forward any more.
+    fn barrier(&mut self, rev: u64) {
+        self.ops.clear();
+        self.floor = rev;
+    }
+}
+
 /// The nulls of a table paired with their domains as shared sorted slices
 /// (see [`IncompleteDatabase::null_domains`]).
 pub type NullDomains = (Vec<NullId>, Vec<Arc<[Constant]>>);
@@ -42,6 +102,9 @@ pub struct IncompleteDatabase {
     /// (they shift the canonical relation order) and domain updates. See
     /// [`IncompleteDatabase::revision`]. Excluded from equality.
     revision: u64,
+    /// The bounded write log behind [`IncompleteDatabase::delta_since`].
+    /// History, not content: excluded from equality like the revision.
+    log: DeltaLog,
 }
 
 impl PartialEq for IncompleteDatabase {
@@ -62,6 +125,7 @@ impl IncompleteDatabase {
             relations: BTreeMap::new(),
             domains: DomainAssignment::non_uniform(),
             revision: 0,
+            log: DeltaLog::new(),
         }
     }
 
@@ -76,6 +140,7 @@ impl IncompleteDatabase {
             relations: BTreeMap::new(),
             domains: DomainAssignment::uniform(domain),
             revision: 0,
+            log: DeltaLog::new(),
         }
     }
 
@@ -103,9 +168,23 @@ impl IncompleteDatabase {
             .relations
             .entry(relation.to_string())
             .or_default()
-            .insert(fact);
+            .insert(fact.clone());
         if is_new_relation || inserted {
             self.revision += 1;
+            if is_new_relation {
+                // A new relation shifts the canonical relation order: not
+                // expressible as a fact delta, so it seals the log.
+                self.log.barrier(self.revision);
+            } else {
+                self.log.push(
+                    self.revision,
+                    DeltaOp {
+                        added: true,
+                        relation: relation.to_string(),
+                        fact,
+                    },
+                );
+            }
         }
         Ok(())
     }
@@ -121,6 +200,14 @@ impl IncompleteDatabase {
             .is_some_and(|facts| facts.remove(fact));
         if removed {
             self.revision += 1;
+            self.log.push(
+                self.revision,
+                DeltaOp {
+                    added: false,
+                    relation: relation.to_string(),
+                    fact: fact.clone(),
+                },
+            );
         }
         removed
     }
@@ -133,6 +220,7 @@ impl IncompleteDatabase {
         if !self.relations.contains_key(relation) {
             self.relations.insert(relation.to_string(), BTreeSet::new());
             self.revision += 1;
+            self.log.barrier(self.revision);
         }
     }
 
@@ -147,6 +235,9 @@ impl IncompleteDatabase {
         let dom: Domain = domain.into_iter().map(Into::into).collect();
         self.domains.set(null, dom)?;
         self.revision += 1;
+        // Domain updates change the valuation space itself: no fact delta
+        // describes them, so they seal the log.
+        self.log.barrier(self.revision);
         Ok(())
     }
 
@@ -161,6 +252,44 @@ impl IncompleteDatabase {
     /// one value's own history.
     pub fn revision(&self) -> u64 {
         self.revision
+    }
+
+    /// The **compacted** fact delta carrying a reader built at revision
+    /// `rev` forward to the current revision, or `None` when patching is
+    /// impossible and the reader must rebuild:
+    ///
+    /// * `rev` lies below the log floor — the bounded log (capacity
+    ///   [`DELTA_LOG_CAP`]) dropped the oldest writes, or a **barrier**
+    ///   mutation (new relation declaration, domain update) intervened;
+    ///   either way the gap is too wide to replay;
+    /// * `rev` exceeds the current revision — a foreign epoch (revisions
+    ///   are only comparable along one value's own history).
+    ///
+    /// Compaction cancels insert/removal pairs of the same fact inside the
+    /// requested range (logged writes of one fact strictly alternate, since
+    /// only mutations that changed the set are logged), so the returned ops
+    /// are the *net* table difference, applicable in order. `rev ==
+    /// revision` yields the empty delta.
+    pub fn delta_since(&self, rev: u64) -> Option<Vec<DeltaOp>> {
+        if rev > self.revision || rev < self.log.floor {
+            return None;
+        }
+        let mut net: Vec<DeltaOp> = Vec::new();
+        for (op_rev, op) in &self.log.ops {
+            if *op_rev <= rev {
+                continue;
+            }
+            if let Some(at) = net
+                .iter()
+                .position(|o| o.relation == op.relation && o.fact == op.fact)
+            {
+                debug_assert_ne!(net[at].added, op.added, "writes of one fact alternate");
+                net.remove(at);
+            } else {
+                net.push(op.clone());
+            }
+        }
+        Some(net)
     }
 
     /// Returns the domain assignment.
@@ -416,6 +545,7 @@ impl IncompleteDatabase {
             // A derived value starts its own epoch: its revisions are not
             // comparable with the source's.
             revision: 0,
+            log: DeltaLog::new(),
         }
     }
 
@@ -693,6 +823,68 @@ mod tests {
             vec!["R", "S"],
             "removal must not undeclare the relation"
         );
+    }
+
+    #[test]
+    fn delta_log_replays_fact_writes_and_compacts_cancelling_pairs() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.declare_relation("R");
+        let base = db.revision();
+        db.add_fact("R", vec![c(1)]).unwrap();
+        db.add_fact("R", vec![c(2)]).unwrap();
+        assert!(db.remove_fact("R", &vec![c(1)]));
+        // Net delta from `base`: +R(2) only — the R(1) pair cancels.
+        let delta = db.delta_since(base).unwrap();
+        assert_eq!(
+            delta,
+            vec![DeltaOp {
+                added: true,
+                relation: "R".to_string(),
+                fact: vec![c(2)],
+            }]
+        );
+        // A mid-range reader still sees the removal it needs.
+        let mid = db.delta_since(base + 1).unwrap();
+        assert_eq!(mid.len(), 2);
+        assert!(!mid[1].added);
+        // Current-revision readers get the empty delta; foreign epochs None.
+        assert_eq!(db.delta_since(db.revision()), Some(Vec::new()));
+        assert_eq!(db.delta_since(db.revision() + 1), None);
+    }
+
+    #[test]
+    fn delta_log_barriers_force_rebuilds() {
+        let mut db = IncompleteDatabase::new_non_uniform();
+        db.declare_relation("R");
+        db.add_fact("R", vec![c(1), n(0)]).unwrap();
+        let before = db.revision();
+        // A domain update is not a fact delta: everything older is sealed.
+        db.set_domain(NullId(0), [0u64, 1]).unwrap();
+        assert_eq!(db.delta_since(before), None);
+        let after_domain = db.revision();
+        db.add_fact("R", vec![c(2), c(3)]).unwrap();
+        assert_eq!(db.delta_since(after_domain).map(|d| d.len()), Some(1));
+        // A new relation shifts the canonical order: barrier again.
+        db.add_fact("S", vec![c(5)]).unwrap();
+        assert_eq!(db.delta_since(after_domain), None);
+        assert_eq!(db.delta_since(db.revision()), Some(Vec::new()));
+    }
+
+    #[test]
+    fn delta_log_is_bounded_and_raises_its_floor() {
+        let mut db = IncompleteDatabase::new_uniform([0u64]);
+        db.declare_relation("R");
+        let base = db.revision();
+        for i in 0..(DELTA_LOG_CAP as u64 + 10) {
+            db.add_fact("R", vec![c(100 + i)]).unwrap();
+        }
+        // The oldest writes fell off: the original base can't be served.
+        assert_eq!(db.delta_since(base), None);
+        // A reader within the retained window still patches forward.
+        let served = db
+            .delta_since(db.revision() - DELTA_LOG_CAP as u64)
+            .unwrap();
+        assert_eq!(served.len(), DELTA_LOG_CAP);
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub use error::DataError;
 pub use fingerprint::{
     fingerprint_hash, materialize_completion, CompletionKey, HashRange, PageHeap,
 };
-pub use grounding::{Grounding, KeyPlan, Occurrence, Separability};
-pub use incomplete::{IncompleteDatabase, IncompleteFact, NullDomains};
+pub use grounding::{Grounding, KeyPlan, Occurrence, Separability, Splice};
+pub use incomplete::{DeltaOp, IncompleteDatabase, IncompleteFact, NullDomains, DELTA_LOG_CAP};
 pub use interner::{ConstantPool, RelId, SymbolRegistry};
 pub use scanmask::{ScanMask, WORD_BITS};
 pub use table::{FactId, Table};

@@ -43,7 +43,7 @@
 //! `holds_partial` at **every** reachable binding state — a property pinned
 //! by the `residual_properties` test suite.
 
-use incdb_data::{Constant, Grounding, ScanMask, Value, WORD_BITS};
+use incdb_data::{Constant, Grounding, ScanMask, Splice, Value, WORD_BITS};
 
 use crate::atom::{Atom, Term};
 use crate::bcq::Bcq;
@@ -82,6 +82,28 @@ pub trait ResidualState: Send + Sync {
     /// [`Grounding::drain_dirty_into`]), re-classifying only the candidate
     /// facts those nulls occur in.
     fn apply(&mut self, g: &Grounding, changed: &[usize]);
+
+    /// Patches the evaluator across a **table delta** already spliced into
+    /// the grounding by [`Grounding::apply_delta`]: status slabs grow or
+    /// shrink by exactly the spliced rows, candidate-range starts shift,
+    /// only the spliced rows are classified, and only the components owning
+    /// a touched atom lose their join memos — `O(delta)` against the
+    /// `O(table)` recompile it replaces.
+    ///
+    /// Returns `false` when the evaluator cannot patch itself: the default
+    /// (evaluators without a delta path), or structural changes such as a
+    /// previously-empty relation gaining facts an idle atom could watch.
+    /// **On `false` the state may be partially patched and must be
+    /// discarded** — the caller rebuilds via
+    /// [`BooleanQuery::residual_state`](crate::BooleanQuery::residual_state).
+    ///
+    /// The caller must hand over a *quiescent* evaluator: the grounding
+    /// fully unbound (as [`Grounding::apply_delta`] itself requires) and the
+    /// state rewound, so the live slabs and the rewind snapshot coincide
+    /// and are patched identically.
+    fn apply_delta(&mut self, _g: &Grounding, _splices: &[Splice]) -> bool {
+        false
+    }
 
     /// Decides the query for the whole subtree of completions below the
     /// grounding's current bindings, exactly as
@@ -978,6 +1000,129 @@ impl ResidualState for BcqResidual {
         }
     }
 
+    fn apply_delta(&mut self, g: &Grounding, splices: &[Splice]) -> bool {
+        // Patchability pre-pass. An idle atom (no candidate range) can come
+        // alive when an insert gives its previously-empty relation the
+        // atom's arity, and a repopulated relation can change arity under a
+        // live atom — both grow or retarget a watch, which is a rebuild,
+        // not a patch.
+        for s in splices {
+            for watch in &self.atoms {
+                match watch.rel {
+                    None => {
+                        if g.relation_index(watch.atom.relation()) == Some(s.rel) {
+                            return false;
+                        }
+                    }
+                    Some(rel) => {
+                        if rel == s.rel && s.added && g.relation_arity(rel) != watch.atom.arity() {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            g.bound_count(),
+            self.root_bound,
+            "delta patching requires the construction assignment"
+        );
+        debug_assert!(
+            self.atoms
+                .iter()
+                .zip(self.root.iter())
+                .all(|(a, r)| a.status == r.status),
+            "delta patching requires a rewound evaluator (live slabs == snapshot)"
+        );
+        // Splice rows are sequential — each was resolved against the table
+        // with all earlier splices applied — so the slabs are patched in the
+        // same order. Classification of inserted rows waits until every slab
+        // structurally matches the post-delta grounding: a later splice in
+        // the same relation shifts earlier pending rows.
+        let mut inserted: Vec<(usize, usize)> = Vec::new();
+        let mut touched = vec![false; self.atoms.len()];
+        for s in splices {
+            for (a, watch) in self.atoms.iter_mut().enumerate() {
+                match watch.rel {
+                    Some(rel) if rel == s.rel => {
+                        if s.added {
+                            for p in inserted.iter_mut() {
+                                if p.0 == a && p.1 >= s.row {
+                                    p.1 += 1;
+                                }
+                            }
+                            watch.status.insert(s.row, FactStatus::Excluded);
+                            inserted.push((a, s.row));
+                        } else {
+                            debug_assert!(
+                                !inserted.iter().any(|p| p.0 == a && p.1 == s.row),
+                                "a compacted delta never removes a row it inserted"
+                            );
+                            for p in inserted.iter_mut() {
+                                if p.0 == a && p.1 > s.row {
+                                    p.1 -= 1;
+                                }
+                            }
+                            match watch.status.remove(s.row) {
+                                FactStatus::Certain => {
+                                    watch.certain -= 1;
+                                    watch.viable -= 1;
+                                }
+                                FactStatus::Possible => watch.viable -= 1,
+                                FactStatus::Excluded => {}
+                            }
+                        }
+                        touched[a] = true;
+                    }
+                    // Relations are contiguous and ordered in the fact
+                    // space, so a splice in an earlier relation shifts the
+                    // candidate-range start of every later atom. The shifted
+                    // atom's rows are untouched — no memo bump needed.
+                    Some(rel) if rel > s.rel => {
+                        watch.first = if s.added {
+                            watch.first + 1
+                        } else {
+                            watch.first - 1
+                        };
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for &(a, slot) in &inserted {
+            self.atoms[a].refresh(slot, g);
+        }
+        for (a, patched) in touched.iter().enumerate() {
+            if !patched {
+                continue;
+            }
+            // A touched slab changed shape: the join memos over it are void.
+            self.components[self.component_of[a]].revision += 1;
+            // The evaluator is rewound (checked above), so the rewind
+            // snapshot is brought to the same post-delta state.
+            self.root[a].status.clone_from(&self.atoms[a].status);
+            self.root[a].certain = self.atoms[a].certain;
+            self.root[a].viable = self.atoms[a].viable;
+        }
+        // The from-scratch rebuild stays on as the oracle: the patched
+        // slabs and counters must agree with a full rowwise
+        // reclassification over the post-delta grounding.
+        #[cfg(debug_assertions)]
+        {
+            let mut oracle = self.clone();
+            oracle.reclassify_rowwise(g);
+            for (a, (patched, scratch)) in self.atoms.iter().zip(oracle.atoms.iter()).enumerate() {
+                debug_assert_eq!(
+                    patched.status, scratch.status,
+                    "delta patch diverged from the from-scratch rebuild at atom {a}"
+                );
+                debug_assert_eq!(patched.certain, scratch.certain);
+                debug_assert_eq!(patched.viable, scratch.viable);
+            }
+        }
+        true
+    }
+
     fn outcome(&mut self, g: &Grounding) -> PartialOutcome {
         // An emptied atom refutes regardless of the other atoms — the
         // watched-literal fast path, O(atoms) with no search.
@@ -1065,6 +1210,13 @@ impl ResidualState for UcqResidual {
         }
     }
 
+    fn apply_delta(&mut self, g: &Grounding, splices: &[Splice]) -> bool {
+        // All-or-nothing: a disjunct that cannot patch leaves the union
+        // partially patched, and the `false` contract hands the whole state
+        // back for a rebuild.
+        self.disjuncts.iter_mut().all(|d| d.apply_delta(g, splices))
+    }
+
     fn outcome(&mut self, g: &Grounding) -> PartialOutcome {
         let mut all_refuted = true;
         for d in &mut self.disjuncts {
@@ -1117,6 +1269,10 @@ impl NegatedBcqResidual {
 impl ResidualState for NegatedBcqResidual {
     fn apply(&mut self, g: &Grounding, changed: &[usize]) {
         self.inner.apply(g, changed);
+    }
+
+    fn apply_delta(&mut self, g: &Grounding, splices: &[Splice]) -> bool {
+        self.inner.apply_delta(g, splices)
     }
 
     fn outcome(&mut self, g: &Grounding) -> PartialOutcome {
@@ -1372,5 +1528,74 @@ mod tests {
         assert_eq!(us.outcome(&g), u.holds_partial(&g));
         assert_eq!(ns.outcome(&g), PartialOutcome::Refuted);
         assert_eq!(ns.outcome(&g), n.holds_partial(&g));
+    }
+
+    #[test]
+    fn apply_delta_patches_to_the_fresh_build() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1, 2]);
+        db.add_fact("R", vec![Value::constant(0), Value::constant(1)])
+            .unwrap();
+        db.add_fact("R", vec![Value::null(0), Value::constant(2)])
+            .unwrap();
+        db.add_fact("S", vec![Value::constant(1)]).unwrap();
+        let mut g = db.try_grounding().unwrap();
+        let q: Bcq = "R(x,y), S(y)".parse().unwrap();
+        let mut state = BcqResidual::new(&q, &g);
+        let built_at = db.revision();
+
+        // A mixed delta: ground insert, null insert (of a null the
+        // grounding already carries), ground removal — with the splices
+        // landing in both watched relations.
+        db.add_fact("R", vec![Value::constant(2), Value::constant(1)])
+            .unwrap();
+        db.add_fact("S", vec![Value::null(0)]).unwrap();
+        assert!(db.remove_fact("R", &vec![Value::constant(0), Value::constant(1)]));
+        let ops = db.delta_since(built_at).expect("gap within the log");
+        let splices = g.apply_delta(&ops).expect("patchable delta");
+        assert!(state.apply_delta(&g, &splices));
+
+        // Patched state ≡ fresh build over the post-delta table, and both
+        // agree with the from-scratch evaluation (the debug-asserted
+        // rowwise oracle inside apply_delta already checked the slabs).
+        let fresh_g = db.try_grounding().unwrap();
+        let mut fresh = BcqResidual::new(&q, &fresh_g);
+        assert_eq!(state.outcome(&g), fresh.outcome(&fresh_g));
+        assert_eq!(state.outcome(&g), q.holds_partial(&g));
+
+        // The patched rewind snapshot matches the patched live state: a
+        // walk after the patch still rewinds to the post-delta root.
+        let mut buf = Vec::new();
+        g.drain_dirty_into(&mut buf);
+        g.bind(NullId(0), Constant(2)).unwrap();
+        g.drain_dirty_into(&mut buf);
+        state.apply(&g, &buf);
+        assert_eq!(state.outcome(&g), q.holds_partial(&g));
+        g.reset();
+        g.drain_dirty_into(&mut buf);
+        state.rewind(&g);
+        assert_eq!(state.outcome(&g), q.holds_partial(&g));
+    }
+
+    #[test]
+    fn apply_delta_refuses_structural_changes() {
+        let mut db = IncompleteDatabase::new_uniform([0u64, 1]);
+        db.add_fact("R", vec![Value::constant(0)]).unwrap();
+        db.add_fact("T", vec![Value::constant(0), Value::constant(1)])
+            .unwrap();
+        let mut g = db.try_grounding().unwrap();
+        // "T(x)" mismatches T's arity, so its watch is idle (no range).
+        let q: Bcq = "R(x), T(x), T(x,y)".parse().unwrap();
+        let mut state = BcqResidual::new(&q, &g);
+        let built_at = db.revision();
+
+        // A splice into the arity-2 relation T touches the idle "T(x)"
+        // watch's relation — a patch would have to grow that watch.
+        db.add_fact("T", vec![Value::constant(1), Value::constant(1)])
+            .unwrap();
+        let ops = db.delta_since(built_at).expect("gap within the log");
+        let splices = g
+            .apply_delta(&ops)
+            .expect("patchable at the grounding layer");
+        assert!(!state.apply_delta(&g, &splices));
     }
 }

@@ -20,12 +20,17 @@
 //!
 //! The [`SessionPool`] shelves quiescent sessions under that key,
 //! checking the [`quiesce`](incdb_core::session::SearchSession::quiesce)
-//! contract on the way in; writes bump the revision and
-//! [`invalidate`](SessionPool::invalidate_stale) every older shelf. The
-//! [`ServeNode`] is the thread-per-core front-end over it: batches of
-//! [`Request`]s (counts, pages, cursor resumes, writes) fan out across
-//! workers, each reply carrying [`RequestMetrics`] (queue wait, walk
-//! time, built-vs-reused) and each tenant held to its own
+//! contract on the way in. Writes bump the revision and run the pool's
+//! [`MaintenancePolicy`]: by default stale sessions are **patched
+//! forward** through the database's bounded delta log
+//! ([`SessionPool::maintain`] /
+//! [`SearchSession::advance_to`](incdb_core::session::SearchSession::advance_to))
+//! in `O(delta)`, falling back to a drop-and-rebuild only when the log
+//! can no longer cover the gap. The [`ServeNode`] is the thread-per-core
+//! front-end over it: batches of [`Request`]s (counts, pages, cursor
+//! resumes, writes) fan out across workers, each reply carrying
+//! [`RequestMetrics`] (queue wait, walk time, built-vs-patched-vs-reused)
+//! and each tenant held to its own
 //! [`StreamOptions`](incdb_stream::StreamOptions) fingerprint budget.
 //!
 //! ## Example
@@ -58,4 +63,4 @@ pub mod node;
 pub mod pool;
 
 pub use node::{Outcome, Reply, Request, RequestMetrics, ServeNode, Tenant};
-pub use pool::{Lease, PoolStats, SessionPool};
+pub use pool::{Lease, MaintenancePolicy, PoolStats, SessionPool};

@@ -29,7 +29,7 @@ use incdb_query::BooleanQuery;
 use incdb_stream::stream::page_from_session;
 use incdb_stream::{Cursor, StreamOptions};
 
-use crate::pool::SessionPool;
+use crate::pool::{MaintenancePolicy, SessionPool};
 
 /// A client class with its own memory discipline.
 #[derive(Debug, Clone)]
@@ -97,8 +97,10 @@ pub enum Request {
         page_size: usize,
         cursor: String,
     },
-    /// Inserts a fact, bumping the database revision and invalidating
-    /// every pooled session built before it.
+    /// Inserts a fact, bumping the database revision and running the
+    /// pool's maintenance sweep — under the default
+    /// [`MaintenancePolicy::PatchForward`] every shelved session is
+    /// advanced through the delta log rather than rebuilt.
     Write { relation: String, fact: Vec<Value> },
 }
 
@@ -135,9 +137,18 @@ pub struct RequestMetrics {
     /// for writes the locked mutation. `queue_wait_ns + service_ns` is the
     /// request's end-to-end latency from batch submission.
     pub service_ns: u64,
+    /// Nanoseconds the pool checkout took — the session acquisition cost.
+    /// For a shelf hit this is a pop; for a patched checkout it is the
+    /// delta patch; for a miss it is the full build. Comparing this figure
+    /// across `session_built` / `session_patched` is the per-request
+    /// patch-vs-build ledger. Zero for writes and errors.
+    pub checkout_ns: u64,
     /// Whether serving this request built a session from scratch (`false`
     /// when the pool had one shelved, and for writes/errors).
     pub session_built: bool,
+    /// Whether serving this request advanced a stale shelved session
+    /// through the delta log instead of rebuilding it.
+    pub session_patched: bool,
 }
 
 /// The reply to one [`Request`], tagged with its index in the submitted
@@ -163,13 +174,29 @@ pub struct ServeNode<'q, Q: BooleanQuery + Sync + ?Sized> {
 }
 
 impl<'q, Q: BooleanQuery + Sync + ?Sized> ServeNode<'q, Q> {
-    /// A node serving `db` for the given prepared queries and tenants.
+    /// A node serving `db` for the given prepared queries and tenants,
+    /// with the default patch-forward session maintenance.
     pub fn new(db: IncompleteDatabase, queries: Vec<&'q Q>, tenants: Vec<Tenant>) -> Self {
+        Self::with_maintenance(db, queries, tenants, MaintenancePolicy::default())
+    }
+
+    /// A node whose session pool maintains stale shelves under the given
+    /// [`MaintenancePolicy`] — [`MaintenancePolicy::DropAndRebuild`] is
+    /// the measurable rebuild baseline.
+    pub fn with_maintenance(
+        db: IncompleteDatabase,
+        queries: Vec<&'q Q>,
+        tenants: Vec<Tenant>,
+        policy: MaintenancePolicy,
+    ) -> Self {
         ServeNode {
             db: RwLock::new(db),
             queries,
             tenants,
-            pool: SessionPool::new(),
+            pool: SessionPool::with_policy(
+                incdb_core::engine::BacktrackingEngine::sequential(),
+                policy,
+            ),
         }
     }
 
@@ -245,22 +272,26 @@ impl<'q, Q: BooleanQuery + Sync + ?Sized> ServeNode<'q, Q> {
         };
         let picked_up = Instant::now();
         let outcome = match request {
-            Request::Count { tenant, query } => self.read_request(tenant, query, |t, lease| {
-                metrics.session_built = !lease.was_reused();
-                let page = t.clamp_page(t.max_page_size);
-                let started = Instant::now();
-                let mut cursor = Cursor::start();
-                let mut count = 0u64;
-                loop {
-                    cursor = page_from_session(&mut lease.session, &cursor, page, heap);
-                    count += heap.len() as u64;
-                    if heap.len() < page {
-                        break;
+            Request::Count { tenant, query } => {
+                self.read_request(tenant, query, |t, lease, checkout_ns| {
+                    metrics.checkout_ns = checkout_ns;
+                    metrics.session_built = !lease.was_reused();
+                    metrics.session_patched = lease.was_patched();
+                    let page = t.clamp_page(t.max_page_size);
+                    let started = Instant::now();
+                    let mut cursor = Cursor::start();
+                    let mut count = 0u64;
+                    loop {
+                        cursor = page_from_session(&mut lease.session, &cursor, page, heap);
+                        count += heap.len() as u64;
+                        if heap.len() < page {
+                            break;
+                        }
                     }
-                }
-                metrics.walk_ns = started.elapsed().as_nanos() as u64;
-                Outcome::Count(BigNat::from(count))
-            }),
+                    metrics.walk_ns = started.elapsed().as_nanos() as u64;
+                    Outcome::Count(BigNat::from(count))
+                })
+            }
             Request::Page {
                 tenant,
                 query,
@@ -298,9 +329,14 @@ impl<'q, Q: BooleanQuery + Sync + ?Sized> ServeNode<'q, Q> {
                     }
                     db.revision()
                 };
-                // Stale shelves free their memory now, not at their next
-                // unlucky checkout.
-                self.pool.invalidate_stale(revision);
+                // Eager maintenance, before the next read lands: under
+                // patch-forward every shelved session is advanced through
+                // the delta log; under drop-and-rebuild stale shelves free
+                // their memory now, not at their next unlucky checkout.
+                {
+                    let db = self.db.read().expect("db lock poisoned");
+                    self.pool.maintain(&db);
+                }
                 Outcome::Wrote { revision }
             }
         };
@@ -322,8 +358,10 @@ impl<'q, Q: BooleanQuery + Sync + ?Sized> ServeNode<'q, Q> {
         metrics: &mut RequestMetrics,
         heap: &mut PageHeap,
     ) -> Outcome {
-        self.read_request(tenant, query, |t, lease| {
+        self.read_request(tenant, query, |t, lease, checkout_ns| {
+            metrics.checkout_ns = checkout_ns;
             metrics.session_built = !lease.was_reused();
+            metrics.session_patched = lease.was_patched();
             let page = t.clamp_page(page_size);
             let started = Instant::now();
             let next = page_from_session(&mut lease.session, &cursor, page, heap);
@@ -337,13 +375,13 @@ impl<'q, Q: BooleanQuery + Sync + ?Sized> ServeNode<'q, Q> {
     }
 
     /// The shared read-path skeleton: validate indices, check a session
-    /// out under the read lock, release the lock, run `body`, check the
-    /// session back in.
+    /// out under the read lock (timing the checkout — pop, patch, or full
+    /// build), release the lock, run `body`, check the session back in.
     fn read_request(
         &self,
         tenant: usize,
         query: usize,
-        body: impl FnOnce(&Tenant, &mut crate::pool::Lease<'q, Q>) -> Outcome,
+        body: impl FnOnce(&Tenant, &mut crate::pool::Lease<'q, Q>, u64) -> Outcome,
     ) -> Outcome {
         let Some(tenant) = self.tenants.get(tenant) else {
             return Outcome::Error(format!("unknown tenant index {tenant}"));
@@ -354,10 +392,12 @@ impl<'q, Q: BooleanQuery + Sync + ?Sized> ServeNode<'q, Q> {
                 tenant.name
             ));
         };
+        let checkout = Instant::now();
         let lease = {
             let db = self.db.read().expect("db lock poisoned");
             self.pool.check_out(&db, query)
         };
+        let checkout_ns = checkout.elapsed().as_nanos() as u64;
         let mut lease = match lease {
             Ok(lease) => lease,
             Err(err) => {
@@ -367,7 +407,7 @@ impl<'q, Q: BooleanQuery + Sync + ?Sized> ServeNode<'q, Q> {
                 ))
             }
         };
-        let outcome = body(tenant, &mut lease);
+        let outcome = body(tenant, &mut lease, checkout_ns);
         self.pool.check_in(lease);
         outcome
     }

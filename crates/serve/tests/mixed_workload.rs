@@ -1,7 +1,8 @@
 //! Multi-threaded smoke test for the [`ServeNode`] front-end under mixed
 //! traffic: hot-key skew, cold keys, cursor resumes, malformed requests,
-//! and writes that force pool invalidation — the miniature of the bench
-//! workload, with every answer checked against fresh computations.
+//! and writes whose maintenance sweep patches pooled sessions forward —
+//! the miniature of the bench workload, with every answer checked
+//! against fresh computations.
 
 use incdb_bignum::BigNat;
 use incdb_core::engine::BacktrackingEngine;
@@ -138,9 +139,16 @@ fn mixed_traffic_is_answered_correctly_across_writes() {
             (request, outcome) => panic!("unexpected reply {outcome:?} to {request:?}"),
         }
     }
-    // The skew paid off: far fewer builds than requests.
+    // The skew paid off: far fewer builds than requests, and the shelf
+    // hit rate clears a hard floor — at most one build per (query key ×
+    // concurrently-live checkout), so with 4 keys and 4 workers at least
+    // two thirds of the 48 well-formed requests must reuse a session.
     let stats = node.pool().stats();
     assert!(stats.reused > stats.built, "{stats:?}");
+    assert!(
+        stats.reused >= 2 * 48 / 3,
+        "hit rate fell below the floor: {stats:?}"
+    );
     assert!(replies.iter().filter(|r| r.metrics.session_built).count() < replies.len() / 2);
 
     // Phase 2: resume one of phase 1's cursors — the pooled session must
@@ -207,9 +215,16 @@ fn mixed_traffic_is_answered_correctly_across_writes() {
         }
     }
 
-    // Phase 4: post-write reads see only the new epoch, and the pool
-    // really did shoot down its stale shelves.
-    assert!(node.pool().stats().invalidated > 0);
+    // Phase 4: post-write reads see only the new epoch, and the write's
+    // maintenance sweep patched the stale shelves forward through the
+    // delta log instead of shooting them down (R is a relation every
+    // shelved grounding already carries, so the one-fact delta is always
+    // coverable — no gap rebuilds, whatever the thread interleaving;
+    // `invalidated` may still count leases that went stale while checked
+    // out, which is interleaving-dependent).
+    let stats = node.pool().stats();
+    assert!(stats.patched > 0, "{stats:?}");
+    assert_eq!(stats.rebuilt_gap, 0, "{stats:?}");
     let replies = node.serve_with_workers(
         vec![
             Request::Count {
